@@ -1,0 +1,161 @@
+//! Query accounting for prediction APIs.
+//!
+//! Real cloud APIs meter (and bill) every call; an interpreter's query
+//! budget is a first-class cost. [`CountingApi`] wraps any model and counts
+//! `predict` calls so experiments can report, e.g., how many queries
+//! OpenAPI's adaptive halving spends versus ZOO's fixed `2d` probes.
+
+use crate::traits::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_linalg::Vector;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Transparent wrapper that counts prediction queries.
+///
+/// Counting is lock-free (`AtomicU64` with relaxed ordering — the count is a
+/// statistic, not a synchronization point), so a single wrapped model can be
+/// shared across evaluation threads.
+#[derive(Debug)]
+pub struct CountingApi<M> {
+    inner: M,
+    queries: AtomicU64,
+}
+
+impl<M> CountingApi<M> {
+    /// Wraps a model, starting the counter at zero.
+    pub fn new(inner: M) -> Self {
+        CountingApi { inner, queries: AtomicU64::new(0) }
+    }
+
+    /// Number of `predict` calls so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Resets the counter to zero and returns the previous value.
+    pub fn reset(&self) -> u64 {
+        self.queries.swap(0, Ordering::Relaxed)
+    }
+
+    /// Borrows the wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+
+    /// Unwraps, discarding the counter.
+    pub fn into_inner(self) -> M {
+        self.inner
+    }
+}
+
+impl<M: PredictionApi> PredictionApi for CountingApi<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        self.inner.predict(x)
+    }
+}
+
+// Oracle capabilities pass through untouched (and uncounted: ground truth
+// and gradients are evaluation-side, not API traffic).
+impl<M: GroundTruthOracle> GroundTruthOracle for CountingApi<M> {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        self.inner.region_id(x)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        self.inner.local_model(x)
+    }
+}
+
+impl<M: GradientOracle> GradientOracle for CountingApi<M> {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        self.inner.logit_gradient(x, class)
+    }
+
+    fn prob_gradient(&self, x: &[f64], class: usize) -> Vector {
+        self.inner.prob_gradient(x, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearSoftmaxModel;
+    use openapi_linalg::Matrix;
+
+    fn model() -> LinearSoftmaxModel {
+        LinearSoftmaxModel::new(
+            Matrix::from_rows(&[&[1.0, -1.0], &[0.0, 1.0]]).unwrap(),
+            Vector(vec![0.0, 0.5]),
+        )
+    }
+
+    #[test]
+    fn counts_each_predict_call() {
+        let api = CountingApi::new(model());
+        assert_eq!(api.queries(), 0);
+        let _ = api.predict(&[0.0, 0.0]);
+        let _ = api.predict(&[1.0, 2.0]);
+        assert_eq!(api.queries(), 2);
+    }
+
+    #[test]
+    fn batch_prediction_counts_per_instance() {
+        let api = CountingApi::new(model());
+        let xs = vec![Vector(vec![0.0, 0.0]), Vector(vec![1.0, 1.0]), Vector(vec![2.0, 0.5])];
+        let _ = api.predict_batch(&xs);
+        assert_eq!(api.queries(), 3);
+    }
+
+    #[test]
+    fn reset_returns_previous_count() {
+        let api = CountingApi::new(model());
+        let _ = api.predict(&[0.0, 0.0]);
+        assert_eq!(api.reset(), 1);
+        assert_eq!(api.queries(), 0);
+    }
+
+    #[test]
+    fn passthrough_preserves_predictions() {
+        let raw = model();
+        let api = CountingApi::new(model());
+        let x = [0.3, -0.7];
+        assert_eq!(raw.predict(&x), api.predict(&x));
+        assert_eq!(raw.dim(), api.dim());
+        assert_eq!(raw.num_classes(), api.num_classes());
+    }
+
+    #[test]
+    fn oracle_calls_are_not_counted() {
+        let api = CountingApi::new(model());
+        let _ = api.region_id(&[0.0, 0.0]);
+        let _ = api.local_model(&[0.0, 0.0]);
+        let _ = api.logit_gradient(&[0.0, 0.0], 0);
+        assert_eq!(api.queries(), 0);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let api = std::sync::Arc::new(CountingApi::new(model()));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let api = api.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..250 {
+                    let _ = api.predict(&[0.1, 0.2]);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(api.queries(), 1000);
+    }
+}

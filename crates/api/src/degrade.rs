@@ -1,0 +1,239 @@
+//! Response-degradation wrappers: what real APIs do to their outputs.
+//!
+//! OpenAPI's exactness proof assumes the API returns real-valued softmax
+//! probabilities. Production APIs often truncate to a few decimal places or
+//! add noise (rate-limiting tarpits, differential privacy). These wrappers
+//! let the failure-injection tests and ablation benches measure how the
+//! consistency check behaves when that assumption is broken — the expected
+//! (and observed) outcome is that `Ω_{d+2}` stops being consistent at any
+//! radius and OpenAPI reports failure instead of returning a wrong answer.
+
+use crate::traits::{GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_linalg::Vector;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Rounds each probability to `decimals` places, then renormalizes.
+///
+/// Models an API that serializes probabilities with fixed precision (very
+/// common: JSON responses with 4–6 digits).
+#[derive(Debug, Clone)]
+pub struct QuantizedApi<M> {
+    inner: M,
+    scale: f64,
+}
+
+impl<M> QuantizedApi<M> {
+    /// Wraps `inner`, rounding to `decimals` decimal places.
+    ///
+    /// # Panics
+    /// Panics when `decimals > 15` (beyond f64 precision, the wrapper would
+    /// be a no-op pretending otherwise).
+    pub fn new(inner: M, decimals: u32) -> Self {
+        assert!(decimals <= 15, "quantization beyond f64 precision");
+        QuantizedApi { inner, scale: 10f64.powi(decimals as i32) }
+    }
+
+    /// Borrows the wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: PredictionApi> PredictionApi for QuantizedApi<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        let mut p = self.inner.predict(x);
+        let mut sum = 0.0;
+        for v in p.iter_mut() {
+            *v = (*v * self.scale).round() / self.scale;
+            sum += *v;
+        }
+        if sum > 0.0 {
+            p.scale(1.0 / sum);
+        } else {
+            // Every class rounded to zero: fall back to uniform, as a real
+            // service would rather than emit an all-zero distribution.
+            let c = p.len();
+            for v in p.iter_mut() {
+                *v = 1.0 / c as f64;
+            }
+        }
+        p
+    }
+}
+
+// Ground truth passes through: the *model* is unchanged, only its reported
+// probabilities degrade — exactly the situation the failure tests study.
+impl<M: GroundTruthOracle> GroundTruthOracle for QuantizedApi<M> {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        self.inner.region_id(x)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        self.inner.local_model(x)
+    }
+}
+
+/// Adds zero-mean uniform noise `±amplitude` to each probability, clamps to
+/// `[0, 1]`, and renormalizes.
+///
+/// The RNG sits behind a mutex so the wrapper stays `Sync`; determinism
+/// comes from the seed, with draws consumed in query order.
+#[derive(Debug)]
+pub struct NoisyApi<M> {
+    inner: M,
+    amplitude: f64,
+    rng: Mutex<StdRng>,
+}
+
+impl<M> NoisyApi<M> {
+    /// Wraps `inner` with noise `±amplitude`, seeded for reproducibility.
+    ///
+    /// # Panics
+    /// Panics when `amplitude` is negative or not finite.
+    pub fn new(inner: M, amplitude: f64, seed: u64) -> Self {
+        assert!(amplitude.is_finite() && amplitude >= 0.0, "bad noise amplitude");
+        NoisyApi { inner, amplitude, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+    }
+
+    /// Borrows the wrapped model.
+    pub fn inner(&self) -> &M {
+        &self.inner
+    }
+}
+
+impl<M: PredictionApi> PredictionApi for NoisyApi<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        let mut p = self.inner.predict(x);
+        if self.amplitude > 0.0 {
+            let mut rng = self.rng.lock();
+            for v in p.iter_mut() {
+                *v = (*v + rng.gen_range(-self.amplitude..=self.amplitude)).clamp(0.0, 1.0);
+            }
+        }
+        let sum: f64 = p.iter().sum();
+        if sum > 0.0 {
+            p.scale(1.0 / sum);
+        } else {
+            let c = p.len();
+            for v in p.iter_mut() {
+                *v = 1.0 / c as f64;
+            }
+        }
+        p
+    }
+}
+
+impl<M: GroundTruthOracle> GroundTruthOracle for NoisyApi<M> {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        self.inner.region_id(x)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        self.inner.local_model(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::LinearSoftmaxModel;
+    use openapi_linalg::Matrix;
+
+    fn model() -> LinearSoftmaxModel {
+        LinearSoftmaxModel::new(
+            Matrix::from_rows(&[&[1.3, -0.4], &[-0.2, 0.9]]).unwrap(),
+            Vector(vec![0.1, -0.1]),
+        )
+    }
+
+    #[test]
+    fn quantized_outputs_live_on_the_grid() {
+        let api = QuantizedApi::new(model(), 2);
+        let p = api.predict(&[0.31, 0.77]);
+        // After renormalization values may leave the exact grid, but the
+        // pre-normalization rounding means p0/p1 has at most ~2 digits of
+        // information. Verify the ratio is coarse.
+        let ratio = p[0] / p[1];
+        let exact = model().predict(&[0.31, 0.77]);
+        let exact_ratio = exact[0] / exact[1];
+        assert!((ratio - exact_ratio).abs() > 0.0, "quantization must perturb the ratio");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantized_sum_stays_one() {
+        let api = QuantizedApi::new(model(), 1);
+        for x in [[0.0, 0.0], [5.0, -3.0], [-2.0, 2.0]] {
+            let p = api.predict(&x);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_quantization_can_zero_everything_gracefully() {
+        // With 0 decimals everything rounds to 0 or 1; the winner keeps mass.
+        let api = QuantizedApi::new(model(), 0);
+        let p = api.predict(&[10.0, 0.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn excessive_decimals_panic() {
+        let _ = QuantizedApi::new(model(), 16);
+    }
+
+    #[test]
+    fn noisy_api_is_seed_deterministic() {
+        let a = NoisyApi::new(model(), 0.01, 7);
+        let b = NoisyApi::new(model(), 0.01, 7);
+        let x = [0.4, 0.6];
+        assert_eq!(a.predict(&x), b.predict(&x));
+        // Second draws also agree (stream determinism).
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+
+    #[test]
+    fn noisy_api_zero_amplitude_is_exact() {
+        let api = NoisyApi::new(model(), 0.0, 1);
+        let x = [0.4, 0.6];
+        assert_eq!(api.predict(&x), model().predict(&x));
+    }
+
+    #[test]
+    fn noisy_outputs_remain_valid_distributions() {
+        let api = NoisyApi::new(model(), 0.3, 42);
+        for i in 0..20 {
+            let x = [i as f64 * 0.1, -(i as f64) * 0.05];
+            let p = api.predict(&x);
+            assert!(p.iter().all(|v| *v >= 0.0));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn oracle_passthrough_reports_undegraded_truth() {
+        let api = QuantizedApi::new(model(), 2);
+        let lm = api.local_model(&[0.0, 0.0]);
+        assert_eq!(&lm, model().local());
+    }
+}

@@ -1,0 +1,138 @@
+//! A plain linear softmax classifier — the degenerate PLM with one region.
+//!
+//! Logistic regression *is* a piecewise linear model with `K = 1`, which
+//! makes it the sharpest possible unit-test target: OpenAPI must recover its
+//! decision features exactly on the very first iteration, from any
+//! hypercube, because every sample lies in the same (global) region.
+
+use crate::probability::softmax;
+use crate::traits::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_linalg::{Matrix, Vector};
+
+/// `y = softmax(Wᵀ·x + b)` over the whole input space.
+#[derive(Debug, Clone)]
+pub struct LinearSoftmaxModel {
+    model: LocalLinearModel,
+}
+
+impl LinearSoftmaxModel {
+    /// Creates the model from a `d × C` weight matrix and length-`C` bias.
+    ///
+    /// # Panics
+    /// Panics when shapes disagree (see [`LocalLinearModel::new`]).
+    pub fn new(weights: Matrix, bias: Vector) -> Self {
+        LinearSoftmaxModel { model: LocalLinearModel::new(weights, bias) }
+    }
+
+    /// Access to the underlying affine map.
+    pub fn local(&self) -> &LocalLinearModel {
+        &self.model
+    }
+}
+
+impl PredictionApi for LinearSoftmaxModel {
+    fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.model.num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        softmax(self.model.logits(x).as_slice())
+    }
+}
+
+impl GroundTruthOracle for LinearSoftmaxModel {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        assert_eq!(x.len(), self.dim(), "region_id: dimension mismatch");
+        RegionId::from_index(0)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        assert_eq!(x.len(), self.dim(), "local_model: dimension mismatch");
+        self.model.clone()
+    }
+}
+
+impl GradientOracle for LinearSoftmaxModel {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert_eq!(x.len(), self.dim(), "logit_gradient: dimension mismatch");
+        assert!(class < self.num_classes(), "class out of range");
+        // z_c = W_cᵀ x + b_c, so the gradient is column c of W, everywhere.
+        self.model.weights.col(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> LinearSoftmaxModel {
+        // d = 3, C = 2.
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.5], &[-2.0, 0.0]]).unwrap();
+        LinearSoftmaxModel::new(w, Vector(vec![0.25, -0.25]))
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let m = model();
+        let p = m.predict(&[0.2, -0.4, 1.0]);
+        assert_eq!(p.len(), 2);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn single_region_everywhere() {
+        let m = model();
+        assert_eq!(m.region_id(&[0.0; 3]), m.region_id(&[100.0, -50.0, 3.0]));
+    }
+
+    #[test]
+    fn local_model_is_the_global_model() {
+        let m = model();
+        let lm = m.local_model(&[1.0, 2.0, 3.0]);
+        assert_eq!(&lm, m.local());
+    }
+
+    #[test]
+    fn logit_gradient_is_weight_column() {
+        let m = model();
+        let g = m.logit_gradient(&[9.0, 9.0, 9.0], 1);
+        assert_eq!(g.as_slice(), &[-1.0, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn prob_gradient_matches_finite_differences() {
+        let m = model();
+        let x = [0.3, 0.1, -0.2];
+        let g = m.prob_gradient(&x, 0);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut xp = x;
+            xp[i] += h;
+            let mut xm = x;
+            xm[i] -= h;
+            let fd = (m.predict(&xp)[0] - m.predict(&xm)[0]) / (2.0 * h);
+            assert!((g[i] - fd).abs() < 1e-6, "coord {i}: {g:?} vs fd {fd}");
+        }
+    }
+
+    #[test]
+    fn predicted_label_tracks_logits() {
+        let m = model();
+        // Push coordinate 0 very positive: class 0 logit dominates.
+        assert_eq!(m.predict_label(&[10.0, 0.0, 0.0]), 0);
+        // Coordinate 0 very negative favours class 1.
+        assert_eq!(m.predict_label(&[-10.0, 0.0, 0.0]), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_dimension_panics() {
+        let m = model();
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+}

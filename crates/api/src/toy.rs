@@ -1,0 +1,194 @@
+//! A hand-built two-region PLM mirroring Figure 1 of the paper.
+//!
+//! Figure 1 motivates OpenAPI with an instance `B` whose neighbourhood
+//! straddles a region boundary: any fixed perturbation distance either works
+//! (instance `A`, interior) or silently fails (instance `B`, near the
+//! boundary). [`TwoRegionPlm`] realizes exactly that geometry — a single
+//! hyperplane splits the space into two regions, each with its own linear
+//! classifier — so tests can place instances at controlled distances from
+//! the boundary and observe the naive method fail while OpenAPI adapts.
+
+use crate::probability::softmax;
+use crate::traits::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_linalg::Vector;
+
+/// A PLM with exactly two locally linear regions separated by the
+/// hyperplane `n·x = t`.
+///
+/// Instances with `n·x ≥ t` fall in region 1, the rest in region 0. The two
+/// regions carry independent [`LocalLinearModel`]s; the piecewise function
+/// need not be continuous across the boundary (the interpretation problem
+/// only requires local linearity, and a discontinuity makes region-escape
+/// failures maximally visible in tests).
+#[derive(Debug, Clone)]
+pub struct TwoRegionPlm {
+    normal: Vector,
+    threshold: f64,
+    regions: [LocalLinearModel; 2],
+}
+
+impl TwoRegionPlm {
+    /// Builds the PLM.
+    ///
+    /// # Panics
+    /// Panics when shapes disagree between the normal vector and the two
+    /// local models, or the local models disagree on `C`.
+    pub fn new(normal: Vector, threshold: f64, low: LocalLinearModel, high: LocalLinearModel) -> Self {
+        assert_eq!(normal.len(), low.dim(), "normal/low dimension mismatch");
+        assert_eq!(low.dim(), high.dim(), "region dimension mismatch");
+        assert_eq!(low.num_classes(), high.num_classes(), "region class-count mismatch");
+        TwoRegionPlm { normal, threshold, regions: [low, high] }
+    }
+
+    /// Convenience: split on coordinate `axis` at `threshold` (axis-aligned
+    /// boundary, as drawn in Figure 1).
+    ///
+    /// # Panics
+    /// Panics when `axis >= low.dim()` or shapes disagree.
+    pub fn axis_split(axis: usize, threshold: f64, low: LocalLinearModel, high: LocalLinearModel) -> Self {
+        assert!(axis < low.dim(), "split axis out of range");
+        let normal = Vector::basis(low.dim(), axis);
+        Self::new(normal, threshold, low, high)
+    }
+
+    /// Index (0 or 1) of the region containing `x`.
+    pub fn region_index(&self, x: &[f64]) -> usize {
+        let side: f64 = self
+            .normal
+            .iter()
+            .zip(x.iter())
+            .map(|(n, v)| n * v)
+            .sum();
+        usize::from(side >= self.threshold)
+    }
+
+    /// Signed distance from `x` to the boundary, in units of `‖n‖`.
+    pub fn boundary_margin(&self, x: &[f64]) -> f64 {
+        let side: f64 = self
+            .normal
+            .iter()
+            .zip(x.iter())
+            .map(|(n, v)| n * v)
+            .sum();
+        (side - self.threshold) / self.normal.norm_l2().max(f64::MIN_POSITIVE)
+    }
+}
+
+impl PredictionApi for TwoRegionPlm {
+    fn dim(&self) -> usize {
+        self.regions[0].dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.regions[0].num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        let region = &self.regions[self.region_index(x)];
+        softmax(region.logits(x).as_slice())
+    }
+}
+
+impl GroundTruthOracle for TwoRegionPlm {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        assert_eq!(x.len(), self.dim(), "region_id: dimension mismatch");
+        RegionId::from_index(self.region_index(x) as u64)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        assert_eq!(x.len(), self.dim(), "local_model: dimension mismatch");
+        self.regions[self.region_index(x)].clone()
+    }
+}
+
+impl GradientOracle for TwoRegionPlm {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert!(class < self.num_classes(), "class out of range");
+        self.regions[self.region_index(x)].weights.col(class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_linalg::Matrix;
+
+    fn plm() -> TwoRegionPlm {
+        // d = 2, C = 2; boundary at x0 = 0.5.
+        let low = LocalLinearModel::new(
+            Matrix::from_rows(&[&[2.0, -2.0], &[1.0, 0.0]]).unwrap(),
+            Vector(vec![0.0, 0.0]),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_rows(&[&[-1.0, 1.0], &[0.0, 3.0]]).unwrap(),
+            Vector(vec![0.5, -0.5]),
+        );
+        TwoRegionPlm::axis_split(0, 0.5, low, high)
+    }
+
+    #[test]
+    fn region_routing() {
+        let m = plm();
+        assert_eq!(m.region_index(&[0.0, 9.9]), 0);
+        assert_eq!(m.region_index(&[0.5, -1.0]), 1); // boundary inclusive to high
+        assert_eq!(m.region_index(&[0.9, 0.0]), 1);
+    }
+
+    #[test]
+    fn region_ids_differ_across_boundary() {
+        let m = plm();
+        assert_ne!(m.region_id(&[0.0, 0.0]), m.region_id(&[1.0, 0.0]));
+        assert_eq!(m.region_id(&[0.1, 5.0]), m.region_id(&[0.2, -5.0]));
+    }
+
+    #[test]
+    fn local_models_switch_at_boundary() {
+        let m = plm();
+        let lo = m.local_model(&[0.0, 0.0]);
+        let hi = m.local_model(&[1.0, 0.0]);
+        assert_ne!(lo, hi);
+        assert_eq!(lo.weights[(0, 0)], 2.0);
+        assert_eq!(hi.weights[(0, 0)], -1.0);
+    }
+
+    #[test]
+    fn boundary_margin_is_signed_distance() {
+        let m = plm();
+        assert!((m.boundary_margin(&[0.5, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((m.boundary_margin(&[0.75, 3.0]) - 0.25).abs() < 1e-12);
+        assert!((m.boundary_margin(&[0.25, -3.0]) + 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn general_hyperplane_split() {
+        let low = LocalLinearModel::new(Matrix::zeros(2, 2), Vector(vec![1.0, 0.0]));
+        let high = LocalLinearModel::new(Matrix::zeros(2, 2), Vector(vec![0.0, 1.0]));
+        // Boundary: x + y = 1.
+        let m = TwoRegionPlm::new(Vector(vec![1.0, 1.0]), 1.0, low, high);
+        assert_eq!(m.region_index(&[0.2, 0.2]), 0);
+        assert_eq!(m.region_index(&[0.8, 0.8]), 1);
+        // Margin normalizes by ‖n‖ = √2.
+        assert!((m.boundary_margin(&[1.0, 1.0]) - 1.0 / 2f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predictions_use_the_right_region() {
+        let m = plm();
+        // In the low region, class 0 logit = 2*x0 + x1; strongly positive x0
+        // (but < 0.5) favours class 0.
+        let p_low = m.predict(&[0.49, 1.0]);
+        assert!(p_low[0] > p_low[1]);
+        // In the high region weights flip: class 1 wins for large x1.
+        let p_high = m.predict(&[0.9, 2.0]);
+        assert!(p_high[1] > p_high[0]);
+    }
+
+    #[test]
+    fn gradient_oracle_is_region_local() {
+        let m = plm();
+        let g_low = m.logit_gradient(&[0.0, 0.0], 0);
+        let g_high = m.logit_gradient(&[1.0, 0.0], 0);
+        assert_eq!(g_low.as_slice(), &[2.0, 1.0]);
+        assert_eq!(g_high.as_slice(), &[-1.0, 0.0]);
+    }
+}

@@ -1,0 +1,347 @@
+//! Capability traits separating black-box access from white-box oracles.
+
+use openapi_linalg::{Matrix, Vector};
+
+/// The prediction API of a model hidden behind a cloud service.
+///
+/// This is the *entire* capability available to the black-box interpreters
+/// (OpenAPI, the naive method, LIME, ZOO): submit an instance, receive the
+/// class-probability vector. Nothing about parameters, architecture, or
+/// training data leaks through this trait.
+///
+/// # Contract
+/// * `predict(x)` requires `x.len() == dim()` and returns a vector of
+///   `num_classes()` probabilities that are finite, non-negative, and sum to
+///   1 up to round-off. Implementations panic on a wrong input length — that
+///   is a caller bug, not an environmental condition.
+/// * Predictions are deterministic functions of the input unless the
+///   implementation explicitly documents otherwise (see
+///   [`crate::degrade::NoisyApi`]).
+pub trait PredictionApi {
+    /// Input dimensionality `d`.
+    fn dim(&self) -> usize;
+
+    /// Number of classes `C` (length of the probability output).
+    fn num_classes(&self) -> usize;
+
+    /// Predicts class probabilities for one instance.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.dim()`.
+    fn predict(&self, x: &[f64]) -> Vector;
+
+    /// Predicts many instances. The default loops over [`Self::predict`];
+    /// implementations with batch-friendly internals may override.
+    fn predict_batch(&self, xs: &[Vector]) -> Vec<Vector> {
+        xs.iter().map(|x| self.predict(x.as_slice())).collect()
+    }
+
+    /// Convenience: the predicted label (argmax probability).
+    ///
+    /// # Panics
+    /// Panics when `x.len() != self.dim()` or the model has zero classes.
+    fn predict_label(&self, x: &[f64]) -> usize {
+        self.predict(x)
+            .argmax()
+            .expect("PredictionApi must have at least one class")
+    }
+}
+
+/// Identity of a locally linear region of a PLM.
+///
+/// A ReLU network's region is its activation pattern (one bit per hidden
+/// unit); an LMT's region is its leaf. The id stores the packed pattern /
+/// leaf index in full, so equality is exact — no hash collisions can corrupt
+/// the Region Difference metric.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RegionId(pub Vec<u64>);
+
+impl RegionId {
+    /// Region id from a single index (e.g. an LMT leaf number).
+    pub fn from_index(i: u64) -> Self {
+        RegionId(vec![i])
+    }
+
+    /// Region id from a sequence of boolean activations, packed 64 per word.
+    pub fn from_bits<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let mut words = Vec::new();
+        let mut cur = 0u64;
+        let mut n = 0u32;
+        let mut total = 0u64;
+        for bit in bits {
+            if bit {
+                cur |= 1 << n;
+            }
+            n += 1;
+            total += 1;
+            if n == 64 {
+                words.push(cur);
+                cur = 0;
+                n = 0;
+            }
+        }
+        if n > 0 {
+            words.push(cur);
+        }
+        // Append the bit count so patterns of different lengths never alias
+        // (e.g. 64 zero-bits vs 65 zero-bits).
+        words.push(total);
+        RegionId(words)
+    }
+}
+
+/// The exact locally linear classifier governing one region of a PLM:
+/// `y = softmax(Wᵀ·x + b)` with `W ∈ R^{d×C}` (column `c` scores class `c`)
+/// and `b ∈ R^C`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalLinearModel {
+    /// `d × C` coefficient matrix (the paper's `W`).
+    pub weights: Matrix,
+    /// Length-`C` bias vector (the paper's `b`).
+    pub bias: Vector,
+}
+
+impl LocalLinearModel {
+    /// Validates shapes and constructs.
+    ///
+    /// # Panics
+    /// Panics when `weights.cols() != bias.len()`.
+    pub fn new(weights: Matrix, bias: Vector) -> Self {
+        assert_eq!(
+            weights.cols(),
+            bias.len(),
+            "LocalLinearModel: weights ({} cols) and bias ({}) disagree on C",
+            weights.cols(),
+            bias.len()
+        );
+        LocalLinearModel { weights, bias }
+    }
+
+    /// Input dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// Number of classes `C`.
+    pub fn num_classes(&self) -> usize {
+        self.bias.len()
+    }
+
+    /// Logits `Wᵀ·x + b`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    pub fn logits(&self, x: &[f64]) -> Vector {
+        let mut z = self
+            .weights
+            .matvec_t(x)
+            .expect("LocalLinearModel::logits: dimension mismatch");
+        z += &self.bias;
+        z
+    }
+
+    /// Pairwise decision features `D_{c,c'} = W_c − W_{c'}` (paper §IV-A).
+    ///
+    /// # Panics
+    /// Panics when either class index is out of range.
+    pub fn pairwise_decision_features(&self, c: usize, c_prime: usize) -> Vector {
+        let wc = self.weights.col(c);
+        let wcp = self.weights.col(c_prime);
+        &wc - &wcp
+    }
+
+    /// Pairwise bias difference `B_{c,c'} = b_c − b_{c'}`.
+    ///
+    /// # Panics
+    /// Panics when either class index is out of range.
+    pub fn pairwise_bias(&self, c: usize, c_prime: usize) -> f64 {
+        self.bias[c] - self.bias[c_prime]
+    }
+
+    /// The paper's Equation 1: decision features of class `c`,
+    /// `D_c = (1/(C−1)) Σ_{c'≠c} D_{c,c'}`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range or `C < 2`.
+    pub fn decision_features(&self, c: usize) -> Vector {
+        let cc = self.num_classes();
+        assert!(cc >= 2, "decision features need at least two classes");
+        assert!(c < cc, "class {c} out of range ({cc} classes)");
+        let mut acc = Vector::zeros(self.dim());
+        for c_prime in 0..cc {
+            if c_prime == c {
+                continue;
+            }
+            let d = self.pairwise_decision_features(c, c_prime);
+            acc.axpy(1.0, &d).expect("dimension invariant");
+        }
+        acc.scale(1.0 / (cc as f64 - 1.0));
+        acc
+    }
+}
+
+/// White-box ground-truth access for *evaluation only*.
+///
+/// The RD / WD / L1Dist metrics (Figures 5–7) compare interpreter output
+/// against the true region structure and local models. Interpreters must
+/// never receive this trait — the type system enforces the paper's
+/// black-box setting.
+pub trait GroundTruthOracle: PredictionApi {
+    /// Identity of the locally linear region containing `x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    fn region_id(&self, x: &[f64]) -> RegionId;
+
+    /// The exact locally linear classifier at `x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel;
+}
+
+/// White-box gradient access for the gradient-based baselines.
+///
+/// The paper grants Saliency Maps, Gradient*Input, and Integrated Gradients
+/// full parameter access; this trait is the minimal interface they need.
+pub trait GradientOracle: PredictionApi {
+    /// Gradient of the pre-softmax logit `z_c` with respect to the input.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()` or `class >= num_classes()`.
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector;
+
+    /// Gradient of the softmax probability `y_c` with respect to the input.
+    ///
+    /// Default implementation composes logit gradients through the softmax
+    /// Jacobian: `∂y_c/∂x = Σ_j y_c (δ_{cj} − y_j) ∂z_j/∂x`.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()` or `class >= num_classes()`.
+    fn prob_gradient(&self, x: &[f64], class: usize) -> Vector {
+        let y = self.predict(x);
+        let yc = y[class];
+        let mut grad = Vector::zeros(self.dim());
+        for j in 0..self.num_classes() {
+            let gz = self.logit_gradient(x, j);
+            let coef = yc * (if j == class { 1.0 } else { 0.0 } - y[j]);
+            grad.axpy(coef, &gz).expect("dimension invariant");
+        }
+        grad
+    }
+}
+
+// Blanket impls so `&M` and `Box<M>` work wherever `M` does — interpreters
+// borrow the API, metrics borrow the oracle, and neither forces ownership.
+impl<M: PredictionApi + ?Sized> PredictionApi for &M {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn num_classes(&self) -> usize {
+        (**self).num_classes()
+    }
+    fn predict(&self, x: &[f64]) -> Vector {
+        (**self).predict(x)
+    }
+}
+
+impl<M: GroundTruthOracle + ?Sized> GroundTruthOracle for &M {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        (**self).region_id(x)
+    }
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        (**self).local_model(x)
+    }
+}
+
+impl<M: GradientOracle + ?Sized> GradientOracle for &M {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        (**self).logit_gradient(x, class)
+    }
+    fn prob_gradient(&self, x: &[f64], class: usize) -> Vector {
+        (**self).prob_gradient(x, class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_id_from_bits_packs_and_distinguishes() {
+        let a = RegionId::from_bits([true, false, true]);
+        let b = RegionId::from_bits([true, false, true]);
+        let c = RegionId::from_bits([true, false, false]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.0, vec![0b101, 3]);
+    }
+
+    #[test]
+    fn region_id_lengths_do_not_alias() {
+        // 64 zeros vs 65 zeros must differ even though all bits are zero.
+        let a = RegionId::from_bits(std::iter::repeat_n(false, 64));
+        let b = RegionId::from_bits(std::iter::repeat_n(false, 65));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn region_id_crosses_word_boundary() {
+        let mut bits = vec![false; 70];
+        bits[64] = true;
+        let r = RegionId::from_bits(bits);
+        assert_eq!(r.0.len(), 3); // two data words + bit count
+        assert_eq!(r.0[1], 1);
+        assert_eq!(r.0[2], 70);
+    }
+
+    fn toy_llm() -> LocalLinearModel {
+        // d = 2, C = 3. Columns are per-class weights.
+        let w = Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[2.0, 1.0, 0.0]]).unwrap();
+        let b = Vector(vec![0.1, 0.2, 0.3]);
+        LocalLinearModel::new(w, b)
+    }
+
+    #[test]
+    fn llm_logits_affine_form() {
+        let m = toy_llm();
+        let z = m.logits(&[1.0, 1.0]);
+        // Wᵀx + b = [3, 1, -1] + [0.1, 0.2, 0.3]
+        assert!((z[0] - 3.1).abs() < 1e-12);
+        assert!((z[1] - 1.2).abs() < 1e-12);
+        assert!((z[2] + 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_decision_features_are_column_differences() {
+        let m = toy_llm();
+        let d01 = m.pairwise_decision_features(0, 1);
+        assert_eq!(d01.as_slice(), &[1.0, 1.0]);
+        assert!((m.pairwise_bias(0, 1) - (-0.1f64)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decision_features_average_over_contrasts() {
+        let m = toy_llm();
+        let d0 = m.decision_features(0);
+        // D_{0,1} = (1,1), D_{0,2} = (2,2); mean = (1.5, 1.5).
+        assert_eq!(d0.as_slice(), &[1.5, 1.5]);
+    }
+
+    #[test]
+    fn decision_features_antisymmetry_two_classes() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.0]]).unwrap();
+        let m = LocalLinearModel::new(w, Vector(vec![0.0, 0.0]));
+        let d0 = m.decision_features(0);
+        let d1 = m.decision_features(1);
+        assert_eq!(d0.as_slice(), &[2.0, 0.5]);
+        assert_eq!((&d0 + &d1).norm_linf(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on C")]
+    fn llm_shape_mismatch_panics() {
+        let w = Matrix::zeros(2, 3);
+        let _ = LocalLinearModel::new(w, Vector::zeros(2));
+    }
+}

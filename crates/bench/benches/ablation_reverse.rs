@@ -1,0 +1,44 @@
+//! Extension bench: reverse-engineering extraction, agreement validation,
+//! and boundary probing (paper §VI future work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, plnn_panel};
+use openapi_core::openapi::OpenApiConfig;
+use openapi_core::reverse::{agreement_rate, boundary_probe, ReconstructedPlm};
+use openapi_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_reverse(c: &mut Criterion) {
+    let panel = plnn_panel();
+    let x0 = panel.test.instance(0).clone();
+    let mut rng = StdRng::seed_from_u64(12);
+    let recon = ReconstructedPlm::extract(&panel.model, &x0, &OpenApiConfig::default(), &mut rng)
+        .expect("interior instance");
+
+    banner("Extension A2", "reconstruction agreement at bench scale");
+    let near = agreement_rate(&panel.model, &recon, &x0, 1e-3, 100, 1e-6, &mut rng);
+    let far = agreement_rate(&panel.model, &recon, &x0, 0.5, 100, 1e-6, &mut rng);
+    println!("agreement near = {near:.3}, wide-cube = {far:.3}");
+
+    let mut group = c.benchmark_group("ablation_reverse");
+    group.sample_size(10);
+    group.bench_function("extract_local_classifier_196d", |b| {
+        let mut rng = StdRng::seed_from_u64(13);
+        b.iter(|| {
+            ReconstructedPlm::extract(&panel.model, &x0, &OpenApiConfig::default(), &mut rng)
+        })
+    });
+    group.bench_function("agreement_rate_100_probes", |b| {
+        let mut rng = StdRng::seed_from_u64(14);
+        b.iter(|| agreement_rate(&panel.model, &recon, &x0, 1e-3, 100, 1e-6, &mut rng))
+    });
+    group.bench_function("boundary_probe_bisection", |b| {
+        let dir = Vector::basis(x0.len(), 0);
+        b.iter(|| boundary_probe(&panel.model, &recon, &x0, &dir, 2.0, 1e-4, 1e-9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_reverse);
+criterion_main!(benches);

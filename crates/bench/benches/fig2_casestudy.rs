@@ -1,0 +1,55 @@
+//! Figure 2 bench: the per-instance OpenAPI interpretation and the heatmap
+//! averaging behind the case-study images.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, lmt_panel};
+use openapi_core::{OpenApiConfig, OpenApiInterpreter};
+use openapi_linalg::Vector;
+use openapi_metrics::heatmap::{mean_vector, signed_ascii};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig2(c: &mut Criterion) {
+    let panel = lmt_panel();
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+
+    // Regenerate one class's averaged decision features and show them.
+    banner("Figure 2", "class-average decision features (LMT, class 'Boot')");
+    let class = 9; // Boot
+    let mut rng = StdRng::seed_from_u64(5);
+    let members: Vec<usize> = (0..panel.test.len())
+        .filter(|&i| panel.test.label(i) == class)
+        .take(3)
+        .collect();
+    let features: Vec<Vector> = members
+        .iter()
+        .filter_map(|&i| {
+            interpreter
+                .interpret(&panel.model, panel.test.instance(i), class, &mut rng)
+                .ok()
+                .map(|r| r.interpretation.decision_features)
+        })
+        .collect();
+    if !features.is_empty() {
+        let avg = mean_vector(&features);
+        println!("{}", signed_ascii(avg.as_slice(), 14, 14));
+    }
+
+    let x0 = panel.test.instance(members[0]).clone();
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("openapi_interpret_one_class_196d", |b| {
+        let mut rng = StdRng::seed_from_u64(7);
+        b.iter(|| interpreter.interpret(&panel.model, &x0, class, &mut rng))
+    });
+    group.bench_function("heatmap_average_and_render", |b| {
+        b.iter(|| {
+            let avg = mean_vector(&features);
+            signed_ascii(avg.as_slice(), 14, 14)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

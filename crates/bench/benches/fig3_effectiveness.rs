@@ -1,0 +1,58 @@
+//! Figure 3 bench: attribution + feature-alteration (CPP / NLCI) kernels,
+//! with the regenerated per-method checkpoint row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, plnn_panel};
+use openapi_core::Method;
+use openapi_metrics::effectiveness::{aggregate_curves, alteration_curve, EffectivenessConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig3(c: &mut Criterion) {
+    let panel = plnn_panel();
+    let eff = EffectivenessConfig { max_features: 40, ..Default::default() };
+
+    banner("Figure 3", "avg CPP at k = 40 altered features, 3 instances");
+    let mut rng = StdRng::seed_from_u64(1);
+    for method in Method::effectiveness_lineup() {
+        let mut curves = Vec::new();
+        for i in 0..3 {
+            let x0 = panel.test.instance(i);
+            let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+            if let Ok(attr) = method.attribution(&panel.model, x0, class, &mut rng) {
+                curves.push(alteration_curve(&panel.model, x0, class, &attr, &eff));
+            }
+        }
+        if !curves.is_empty() {
+            let (cpp, nlci) = aggregate_curves(&curves);
+            println!(
+                "{:<12} CPP@40 = {:.3}, NLCI@40 = {}/{}",
+                method.name(),
+                cpp.last().unwrap(),
+                nlci.last().unwrap(),
+                curves.len()
+            );
+        }
+    }
+
+    let x0 = panel.test.instance(0).clone();
+    let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+    let mut rng = StdRng::seed_from_u64(2);
+    let attribution = Method::default()
+        .attribution(&panel.model, &x0, class, &mut rng)
+        .expect("OpenAPI attribution");
+
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("alteration_curve_40_features", |b| {
+        b.iter(|| alteration_curve(&panel.model, &x0, class, &attribution, &eff))
+    });
+    group.bench_function("openapi_attribution_196d", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| Method::default().attribution(&panel.model, &x0, class, &mut rng))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 4 bench: nearest-neighbour search and interpretation-similarity
+//! kernels, with the regenerated mean-CS row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, plnn_panel};
+use openapi_core::Method;
+use openapi_data::knn::{all_nearest_neighbors, nearest_neighbor};
+use openapi_metrics::consistency::mean_similarity;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig4(c: &mut Criterion) {
+    let panel = plnn_panel();
+
+    banner("Figure 4", "mean cosine similarity to nearest neighbour, 4 instances");
+    let nns = all_nearest_neighbors(&panel.test, &panel.test, true);
+    let mut rng = StdRng::seed_from_u64(4);
+    for method in Method::effectiveness_lineup() {
+        let mut sims = Vec::new();
+        for (i, &nn) in nns.iter().enumerate().take(4) {
+            let x0 = panel.test.instance(i);
+            let x1 = panel.test.instance(nn);
+            let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+            if let (Ok(a), Ok(b)) = (
+                method.attribution(&panel.model, x0, class, &mut rng),
+                method.attribution(&panel.model, x1, class, &mut rng),
+            ) {
+                sims.push(a.cosine_similarity(&b).unwrap_or(f64::NAN));
+            }
+        }
+        println!("{:<12} mean CS = {:.4}", method.name(), mean_similarity(&sims));
+    }
+
+    let query = panel.test.instance(0).clone();
+    let mut group = c.benchmark_group("fig4");
+    group.sample_size(10);
+    group.bench_function("nearest_neighbor_196d_200n", |b| {
+        b.iter(|| nearest_neighbor(&panel.test, &query, Some(0)))
+    });
+    group.bench_function("all_nearest_neighbors_200n", |b| {
+        b.iter(|| all_nearest_neighbors(&panel.test, &panel.test, true))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

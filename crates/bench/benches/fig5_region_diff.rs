@@ -1,0 +1,58 @@
+//! Figure 5 bench: method sample-set generation and region-membership
+//! checking, with the regenerated avg-RD column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_api::GroundTruthOracle;
+use openapi_bench::{banner, plnn_panel};
+use openapi_core::Method;
+use openapi_metrics::region_diff::region_difference;
+use openapi_metrics::samples::method_samples;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig5(c: &mut Criterion) {
+    let panel = plnn_panel();
+
+    banner("Figure 5", "average Region Difference over 4 instances");
+    let mut rng = StdRng::seed_from_u64(6);
+    for method in Method::quality_lineup() {
+        let mut total = 0.0;
+        let mut n = 0;
+        for i in 0..4 {
+            let x0 = panel.test.instance(i);
+            let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+            if let Some(samples) = method_samples(&method, &panel.model, x0, class, &mut rng) {
+                total += region_difference(&panel.model, x0, &samples);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            println!("{:<12} avg RD = {:.3}", method.name(), total / n as f64);
+        }
+    }
+
+    let x0 = panel.test.instance(0).clone();
+    let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+    let mut rng = StdRng::seed_from_u64(7);
+    let samples = method_samples(
+        &Method::default(),
+        &panel.model,
+        &x0,
+        class,
+        &mut rng,
+    )
+    .expect("OpenAPI samples");
+
+    let mut group = c.benchmark_group("fig5");
+    group.sample_size(10);
+    group.bench_function("region_id_one_instance", |b| {
+        b.iter(|| panel.model.region_id(x0.as_slice()))
+    });
+    group.bench_function("region_difference_197_samples", |b| {
+        b.iter(|| region_difference(&panel.model, &x0, &samples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

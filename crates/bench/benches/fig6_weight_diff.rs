@@ -1,0 +1,49 @@
+//! Figure 6 bench: the Weight Difference kernel (per-sample ground-truth
+//! extraction and pairwise L1 accumulation), with the regenerated mean-WD
+//! column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, plnn_panel};
+use openapi_core::Method;
+use openapi_metrics::samples::method_samples;
+use openapi_metrics::weight_difference;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig6(c: &mut Criterion) {
+    let panel = plnn_panel();
+
+    banner("Figure 6", "mean Weight Difference over 3 instances");
+    let mut rng = StdRng::seed_from_u64(8);
+    for method in Method::quality_lineup() {
+        let mut total = 0.0;
+        let mut n = 0;
+        for i in 0..3 {
+            let x0 = panel.test.instance(i);
+            let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+            if let Some(samples) = method_samples(&method, &panel.model, x0, class, &mut rng) {
+                total += weight_difference(&panel.model, x0, class, &samples);
+                n += 1;
+            }
+        }
+        if n > 0 {
+            println!("{:<12} mean WD = {:.4e}", method.name(), total / n as f64);
+        }
+    }
+
+    let x0 = panel.test.instance(0).clone();
+    let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+    let mut rng = StdRng::seed_from_u64(9);
+    let samples = method_samples(&Method::default(), &panel.model, &x0, class, &mut rng)
+        .expect("OpenAPI samples");
+
+    let mut group = c.benchmark_group("fig6");
+    group.sample_size(10);
+    group.bench_function("weight_difference_197_samples", |b| {
+        b.iter(|| weight_difference(&panel.model, &x0, class, &samples))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 7 bench: end-to-end attribution of each method class (OpenAPI,
+//! LIME, ZOO, naive) with the regenerated L1Dist rows — the headline
+//! exactness experiment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_bench::{banner, lmt_panel, plnn_panel};
+use openapi_core::baselines::lime::LimeConfig;
+use openapi_core::baselines::zoo::ZooConfig;
+use openapi_core::{Method, NaiveConfig};
+use openapi_metrics::exactness::{ground_truth_features, l1_dist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig7(c: &mut Criterion) {
+    banner("Figure 7", "mean L1Dist to ground truth, 3 instances per panel");
+    for panel in [lmt_panel(), plnn_panel()] {
+        let mut rng = StdRng::seed_from_u64(10);
+        for method in Method::quality_lineup() {
+            let mut total = 0.0;
+            let mut n = 0;
+            for i in 0..3 {
+                let x0 = panel.test.instance(i);
+                let class =
+                    openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+                if let Ok(attr) = method.attribution(&panel.model, x0, class, &mut rng) {
+                    if attr.is_finite() {
+                        let truth = ground_truth_features(&panel.model, x0, class);
+                        total += l1_dist(&truth, &attr);
+                        n += 1;
+                    }
+                }
+            }
+            if n > 0 {
+                println!(
+                    "{:<22} {:<12} mean L1Dist = {:.3e}",
+                    panel.name,
+                    method.name(),
+                    total / n as f64
+                );
+            }
+        }
+    }
+
+    let panel = plnn_panel();
+    let x0 = panel.test.instance(0).clone();
+    let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    for method in [
+        Method::default(),
+        Method::LimeLinear(LimeConfig::linear(1e-4)),
+        Method::Zoo(ZooConfig::with_distance(1e-4)),
+        Method::Naive(NaiveConfig::with_edge(1e-4)),
+    ] {
+        group.bench_function(format!("attribution_{}", method.name()), |b| {
+            let mut rng = StdRng::seed_from_u64(11);
+            b.iter(|| method.attribution(&panel.model, &x0, class, &mut rng))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Table I bench: the model-training workloads behind the accuracy table,
+//! plus a printout of the regenerated table at bench scale.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use openapi_bench::{banner, bench_config};
+use openapi_data::synth::{SynthConfig, SynthStyle};
+use openapi_data::downsample;
+use openapi_lmt::{Lmt, LmtConfig, LogisticConfig};
+use openapi_nn::{train, Activation, Optimizer, Plnn, TrainConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = bench_config();
+    // Regenerate the table once so the bench output carries the artifact.
+    banner("Table I", "train/test accuracy per model family");
+    for style in [SynthStyle::FmnistLike, SynthStyle::MnistLike] {
+        let lmt = openapi_eval::panel::build_lmt_panel(&cfg, style);
+        let plnn = openapi_eval::panel::build_plnn_panel(&cfg, style);
+        println!(
+            "LMT  {:<14} train {:.3} test {:.3}",
+            style.name(),
+            lmt.train_accuracy,
+            lmt.test_accuracy
+        );
+        println!(
+            "PLNN {:<14} train {:.3} test {:.3}",
+            style.name(),
+            plnn.train_accuracy,
+            plnn.test_accuracy
+        );
+    }
+
+    // Workload: a small shared dataset (14×14, 400 instances).
+    let (train_raw, _) = SynthConfig::small(SynthStyle::MnistLike, 400, 10, 3).generate();
+    let data = downsample(&train_raw, 2);
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+
+    group.bench_function("train_plnn_196d_400n", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| {
+                let mut net = Plnn::mlp(&[196, 24, 10], Activation::ReLU, &mut rng);
+                let cfg = TrainConfig {
+                    epochs: 3,
+                    batch_size: 32,
+                    optimizer: Optimizer::adam(3e-3),
+                    weight_decay: 0.0,
+                };
+                train(&mut net, &data, &cfg, &mut rng)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("train_lmt_196d_400n", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(2),
+            |mut rng| {
+                let cfg = LmtConfig {
+                    min_leaf_instances: 150,
+                    logistic: LogisticConfig { epochs: 4, ..Default::default() },
+                    ..Default::default()
+                };
+                Lmt::fit(&data, &cfg, &mut rng)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! Every bench target needs a trained PLM panel; training inside the
+//! benchmark loop would swamp the measurement, so panels are built once per
+//! process behind `OnceLock`s at the bench-default scale (smoke profile:
+//! `d = 196`, small models — the kernels under measurement are identical to
+//! paper scale, only `d` and instance counts shrink).
+
+use openapi_data::SynthStyle;
+use openapi_eval::panel::{build_lmt_panel, build_plnn_panel};
+use openapi_eval::{ExperimentConfig, Panel, Profile};
+use std::sync::OnceLock;
+
+/// The benchmark-scale experiment configuration (smoke profile).
+pub fn bench_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+    cfg.out_dir = std::env::temp_dir().join("openapi_bench_out");
+    cfg
+}
+
+/// A trained PLNN panel on synthetic MNIST, built once.
+pub fn plnn_panel() -> &'static Panel {
+    static PANEL: OnceLock<Panel> = OnceLock::new();
+    PANEL.get_or_init(|| build_plnn_panel(&bench_config(), SynthStyle::MnistLike))
+}
+
+/// A trained LMT panel on synthetic FMNIST, built once.
+pub fn lmt_panel() -> &'static Panel {
+    static PANEL: OnceLock<Panel> = OnceLock::new();
+    PANEL.get_or_init(|| build_lmt_panel(&bench_config(), SynthStyle::FmnistLike))
+}
+
+/// Prints a one-line banner tying a bench target to its paper artifact.
+pub fn banner(artifact: &str, detail: &str) {
+    println!("\n### regenerating {artifact} at bench scale — {detail} ###");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build_and_cache() {
+        let a = plnn_panel();
+        let b = plnn_panel();
+        assert!(std::ptr::eq(a, b), "OnceLock must cache");
+        assert!(a.train_accuracy > 0.5);
+        let l = lmt_panel();
+        assert_eq!(l.model.family(), "LMT");
+    }
+}

@@ -1,0 +1,19 @@
+//! The five baselines the paper compares OpenAPI against (§V).
+//!
+//! Black-box (API access only, like OpenAPI):
+//! * [`lime`] — the paper's extended LIME fitting `ln(y_c/y_{c'})` with
+//!   ordinary linear regression (`L(h)`) or ridge regression (`R(h)`).
+//! * [`zoo`] — zeroth-order gradient estimation with symmetric difference
+//!   quotients (`Z(h)`).
+//!
+//! White-box (the paper grants these model-parameter access, expressed here
+//! as the [`openapi_api::GradientOracle`] bound):
+//! * [`gradient`] — Saliency Maps, Gradient*Input, Integrated Gradients.
+
+pub mod gradient;
+pub mod lime;
+pub mod zoo;
+
+pub use gradient::{GradientInput, IntegratedGradients, SaliencyMaps, ScoreKind};
+pub use lime::{LimeConfig, LimeInterpreter, LimeRegressor};
+pub use zoo::{ZooConfig, ZooInterpreter};

@@ -1,0 +1,138 @@
+//! Decision features and core parameters (paper §IV-A).
+
+use crate::error::InterpretError;
+use openapi_linalg::Vector;
+
+/// The recovered core parameters of one class contrast:
+/// `(D_{c,c'}, B_{c,c'})` such that `ln(y_c/y_{c'}) = D_{c,c'}ᵀx + B_{c,c'}`
+/// throughout the locally linear region.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PairwiseCoreParams {
+    /// The contrast class `c'`.
+    pub c_prime: usize,
+    /// `D_{c,c'} = W_c − W_{c'}` — the pairwise decision features.
+    pub weights: Vector,
+    /// `B_{c,c'} = b_c − b_{c'}` — the pairwise bias difference.
+    pub bias: f64,
+}
+
+/// A complete interpretation of one prediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Interpretation {
+    /// The interpreted class `c`.
+    pub class: usize,
+    /// The class decision features `D_c` (Equation 1) — the attribution
+    /// vector all experiments consume.
+    pub decision_features: Vector,
+    /// Per-contrast core parameters, when the method recovers them
+    /// (OpenAPI, the naive method, LIME, ZOO do; the gradient baselines
+    /// yield only an attribution vector and leave this empty).
+    pub pairwise: Vec<PairwiseCoreParams>,
+}
+
+/// Applies Equation 1: `D_c = (1/(C−1)) Σ_{c'≠c} D_{c,c'}`.
+///
+/// # Errors
+/// [`InterpretError::TooFewClasses`] when `pairwise` is empty, and
+/// [`InterpretError::DimensionMismatch`] when contrast vectors disagree on
+/// dimension.
+pub fn decision_features_from_pairwise(
+    pairwise: &[PairwiseCoreParams],
+) -> Result<Vector, InterpretError> {
+    let first = pairwise
+        .first()
+        .ok_or(InterpretError::TooFewClasses { num_classes: 1 })?;
+    let d = first.weights.len();
+    let mut acc = Vector::zeros(d);
+    for p in pairwise {
+        if p.weights.len() != d {
+            return Err(InterpretError::DimensionMismatch { expected: d, found: p.weights.len() });
+        }
+        acc.axpy(1.0, &p.weights)
+            .expect("length checked above");
+    }
+    acc.scale(1.0 / pairwise.len() as f64);
+    Ok(acc)
+}
+
+impl Interpretation {
+    /// Builds an interpretation from recovered pairwise core parameters.
+    ///
+    /// # Errors
+    /// Propagates [`decision_features_from_pairwise`] failures.
+    pub fn from_pairwise(
+        class: usize,
+        pairwise: Vec<PairwiseCoreParams>,
+    ) -> Result<Self, InterpretError> {
+        let decision_features = decision_features_from_pairwise(&pairwise)?;
+        Ok(Interpretation { class, decision_features, pairwise })
+    }
+
+    /// Builds an attribution-only interpretation (gradient baselines).
+    pub fn attribution_only(class: usize, decision_features: Vector) -> Self {
+        Interpretation { class, decision_features, pairwise: Vec::new() }
+    }
+
+    /// The recovered contrast against `c_prime`, if present.
+    pub fn contrast(&self, c_prime: usize) -> Option<&PairwiseCoreParams> {
+        self.pairwise.iter().find(|p| p.c_prime == c_prime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair(c_prime: usize, w: Vec<f64>, b: f64) -> PairwiseCoreParams {
+        PairwiseCoreParams { c_prime, weights: Vector(w), bias: b }
+    }
+
+    #[test]
+    fn equation_one_is_the_mean_of_contrasts() {
+        let pw = vec![
+            pair(1, vec![1.0, 2.0], 0.5),
+            pair(2, vec![3.0, -2.0], -0.5),
+        ];
+        let d = decision_features_from_pairwise(&pw).unwrap();
+        assert_eq!(d.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn single_contrast_passes_through() {
+        // Binary classification: D_c = D_{c,c'}.
+        let pw = vec![pair(1, vec![4.0, -1.0], 0.0)];
+        let d = decision_features_from_pairwise(&pw).unwrap();
+        assert_eq!(d.as_slice(), &[4.0, -1.0]);
+    }
+
+    #[test]
+    fn empty_contrasts_error() {
+        assert!(matches!(
+            decision_features_from_pairwise(&[]),
+            Err(InterpretError::TooFewClasses { .. })
+        ));
+    }
+
+    #[test]
+    fn ragged_contrasts_error() {
+        let pw = vec![pair(1, vec![1.0], 0.0), pair(2, vec![1.0, 2.0], 0.0)];
+        assert!(matches!(
+            decision_features_from_pairwise(&pw),
+            Err(InterpretError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn interpretation_constructors() {
+        let pw = vec![pair(1, vec![2.0], 0.25)];
+        let i = Interpretation::from_pairwise(0, pw).unwrap();
+        assert_eq!(i.class, 0);
+        assert_eq!(i.decision_features.as_slice(), &[2.0]);
+        assert!(i.contrast(1).is_some());
+        assert!(i.contrast(2).is_none());
+
+        let a = Interpretation::attribution_only(3, Vector(vec![1.0]));
+        assert!(a.pairwise.is_empty());
+        assert_eq!(a.class, 3);
+    }
+}

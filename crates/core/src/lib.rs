@@ -1,0 +1,39 @@
+//! The paper's contribution: **OpenAPI** — exact and consistent
+//! interpretation of piecewise linear models hidden behind APIs — plus every
+//! method it is evaluated against.
+//!
+//! # Map from paper to module
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | §IV-A decision features `D_c`, core parameters `(D_{c,c'}, B_{c,c'})` | [`decision`] |
+//! | §IV-B Equation 2 systems `Ω_{d+1}`, `Ω_{d+2}` | [`equations`] |
+//! | §IV-B the naive method (Theorem 1's failure mode included) | [`naive`] |
+//! | §IV-C Algorithm 1, OpenAPI | [`openapi`] |
+//! | hypercube sampling (Lemma 1's continuity requirement) | [`sampler`] |
+//! | §V baselines: LIME (linear/ridge), ZOO, Saliency, Gradient*Input, Integrated Gradients | [`baselines`] |
+//! | §VI future work: reverse-engineering the PLM behind the API | [`reverse`] |
+//! | extension: region-extent bracketing via consistency growth | [`region`] |
+//! | uniform method dispatch for the experiment harness | [`method`] |
+//!
+//! The type system mirrors the threat model: black-box methods take any
+//! [`openapi_api::PredictionApi`]; the gradient baselines additionally
+//! require [`openapi_api::GradientOracle`] (the paper grants them parameter
+//! access); nothing in this crate can see ground-truth regions.
+
+pub mod baselines;
+pub mod decision;
+pub mod equations;
+pub mod error;
+pub mod method;
+pub mod naive;
+pub mod openapi;
+pub mod region;
+pub mod reverse;
+pub mod sampler;
+
+pub use decision::{decision_features_from_pairwise, Interpretation, PairwiseCoreParams};
+pub use error::InterpretError;
+pub use method::Method;
+pub use naive::{NaiveConfig, NaiveInterpreter};
+pub use openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};

@@ -1,0 +1,227 @@
+//! Uniform dispatch over every interpretation method, for the experiment
+//! harness.
+//!
+//! The experiments iterate "for each method × instance × class"; [`Method`]
+//! erases the per-method configuration differences behind one `attribution`
+//! call. The bound is [`GradientOracle`] (the largest capability any method
+//! needs); black-box methods simply never call the gradient entry points —
+//! [`Method::is_black_box`] records which side of the paper's capability
+//! split each method lives on.
+
+use crate::baselines::gradient::{GradientInput, IntegratedGradients, SaliencyMaps};
+use crate::baselines::lime::{LimeConfig, LimeInterpreter};
+use crate::baselines::zoo::{ZooConfig, ZooInterpreter};
+use crate::error::InterpretError;
+use crate::naive::{NaiveConfig, NaiveInterpreter};
+use crate::openapi::{OpenApiConfig, OpenApiInterpreter};
+use openapi_api::GradientOracle;
+use openapi_linalg::Vector;
+use rand::Rng;
+
+/// Any of the paper's eight interpretation methods, with its configuration.
+#[derive(Debug, Clone)]
+pub enum Method {
+    /// OpenAPI (this paper).
+    OpenApi(OpenApiConfig),
+    /// The naive determined-system method `N(h)`.
+    Naive(NaiveConfig),
+    /// Linear-regression LIME `L(h)`.
+    LimeLinear(LimeConfig),
+    /// Ridge-regression LIME `R(h)`.
+    LimeRidge(LimeConfig),
+    /// ZOO symmetric-difference-quotient estimation `Z(h)`.
+    Zoo(ZooConfig),
+    /// Saliency Maps `S` (white-box).
+    Saliency(SaliencyMaps),
+    /// Gradient*Input `G` (white-box).
+    GradientInput(GradientInput),
+    /// Integrated Gradients `I` (white-box).
+    IntegratedGradients(IntegratedGradients),
+}
+
+impl Method {
+    /// Short display name matching the paper's figure legends
+    /// (`OA`, `N(h)`, `L(h)`, `R(h)`, `Z(h)`, `S`, `G`, `I`).
+    pub fn name(&self) -> String {
+        match self {
+            Method::OpenApi(_) => "OpenAPI".to_string(),
+            Method::Naive(c) => format!("N({:.0e})", c.edge),
+            Method::LimeLinear(c) => format!("L({:.0e})", c.perturbation_distance),
+            Method::LimeRidge(c) => format!("R({:.0e})", c.perturbation_distance),
+            Method::Zoo(c) => format!("Z({:.0e})", c.probe_distance),
+            Method::Saliency(_) => "Saliency".to_string(),
+            Method::GradientInput(_) => "Grad*Input".to_string(),
+            Method::IntegratedGradients(_) => "IntegGrad".to_string(),
+        }
+    }
+
+    /// `true` for methods that only need API access (the paper's black-box
+    /// setting); `false` for the gradient methods that see parameters.
+    pub fn is_black_box(&self) -> bool {
+        !matches!(
+            self,
+            Method::Saliency(_) | Method::GradientInput(_) | Method::IntegratedGradients(_)
+        )
+    }
+
+    /// `true` for methods that recover core parameters (and thus appear in
+    /// the WD/exactness experiments with pairwise data).
+    pub fn recovers_core_params(&self) -> bool {
+        self.is_black_box()
+    }
+
+    /// Computes the attribution vector (`D_c` or the method's analogue) for
+    /// `class` at `x0`.
+    ///
+    /// # Errors
+    /// Propagates the wrapped method's errors.
+    pub fn attribution<M: GradientOracle, R: Rng>(
+        &self,
+        model: &M,
+        x0: &Vector,
+        class: usize,
+        rng: &mut R,
+    ) -> Result<Vector, InterpretError> {
+        Ok(self.interpret(model, x0, class, rng)?.decision_features)
+    }
+
+    /// Computes the full interpretation for `class` at `x0`.
+    ///
+    /// # Errors
+    /// Propagates the wrapped method's errors.
+    pub fn interpret<M: GradientOracle, R: Rng>(
+        &self,
+        model: &M,
+        x0: &Vector,
+        class: usize,
+        rng: &mut R,
+    ) -> Result<crate::decision::Interpretation, InterpretError> {
+        match self {
+            Method::OpenApi(cfg) => OpenApiInterpreter::new(cfg.clone())
+                .interpret(model, x0, class, rng)
+                .map(|r| r.interpretation),
+            Method::Naive(cfg) => {
+                NaiveInterpreter::new(cfg.clone()).interpret(model, x0, class, rng)
+            }
+            Method::LimeLinear(cfg) | Method::LimeRidge(cfg) => {
+                LimeInterpreter::new(cfg.clone()).interpret(model, x0, class, rng)
+            }
+            Method::Zoo(cfg) => ZooInterpreter::new(cfg.clone()).interpret(model, x0, class),
+            Method::Saliency(s) => s.interpret(model, x0, class),
+            Method::GradientInput(g) => g.interpret(model, x0, class),
+            Method::IntegratedGradients(ig) => ig.interpret(model, x0, class),
+        }
+    }
+
+    /// The paper's Figure 3/4 line-up: `S`, `OA`, `I`, `G`, `L` (LIME at
+    /// its customary `h = 0.25·√d⁻¹`-style default; here `h = 1e-2`).
+    pub fn effectiveness_lineup() -> Vec<Method> {
+        vec![
+            Method::Saliency(SaliencyMaps::default()),
+            Method::OpenApi(OpenApiConfig::default()),
+            Method::IntegratedGradients(IntegratedGradients::default()),
+            Method::GradientInput(GradientInput::default()),
+            Method::LimeLinear(LimeConfig::linear(1e-2)),
+        ]
+    }
+
+    /// The paper's Figures 5–7 line-up: OpenAPI plus every `h`-swept
+    /// black-box baseline at `h ∈ {1e-8, 1e-4, 1e-2}`.
+    pub fn quality_lineup() -> Vec<Method> {
+        let hs = [1e-8, 1e-4, 1e-2];
+        let mut methods = vec![Method::OpenApi(OpenApiConfig::default())];
+        for &h in &hs {
+            methods.push(Method::LimeLinear(LimeConfig::linear(h)));
+        }
+        for &h in &hs {
+            methods.push(Method::LimeRidge(LimeConfig::ridge(h)));
+        }
+        for &h in &hs {
+            methods.push(Method::Naive(NaiveConfig::with_edge(h)));
+        }
+        for &h in &hs {
+            methods.push(Method::Zoo(ZooConfig::with_distance(h)));
+        }
+        methods
+    }
+}
+
+impl Default for Method {
+    fn default() -> Self {
+        Method::OpenApi(OpenApiConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::{GroundTruthOracle, LinearSoftmaxModel};
+    use openapi_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LinearSoftmaxModel {
+        // d = 2 features (rows), C = 3 classes (columns).
+        let w = Matrix::from_rows(&[&[1.0, -1.0, 0.3], &[-0.5, 0.5, 0.9]]).unwrap();
+        LinearSoftmaxModel::new(w, Vector(vec![0.0, 0.1, -0.1]))
+    }
+
+    #[test]
+    fn names_follow_the_paper_legends() {
+        assert_eq!(Method::default().name(), "OpenAPI");
+        assert_eq!(Method::Naive(NaiveConfig::with_edge(1e-4)).name(), "N(1e-4)");
+        assert_eq!(Method::Zoo(ZooConfig::with_distance(1e-2)).name(), "Z(1e-2)");
+        assert_eq!(Method::LimeLinear(LimeConfig::linear(1e-8)).name(), "L(1e-8)");
+        assert_eq!(Method::LimeRidge(LimeConfig::ridge(1e-8)).name(), "R(1e-8)");
+    }
+
+    #[test]
+    fn capability_split_matches_the_paper() {
+        for m in Method::quality_lineup() {
+            assert!(m.is_black_box(), "{} is black-box in the paper", m.name());
+        }
+        assert!(!Method::Saliency(SaliencyMaps::default()).is_black_box());
+        assert!(!Method::GradientInput(GradientInput::default()).is_black_box());
+        assert!(!Method::IntegratedGradients(IntegratedGradients::default()).is_black_box());
+    }
+
+    #[test]
+    fn lineups_have_expected_sizes() {
+        assert_eq!(Method::effectiveness_lineup().len(), 5);
+        // OA + 4 baselines × 3 h values.
+        assert_eq!(Method::quality_lineup().len(), 13);
+    }
+
+    #[test]
+    fn every_method_produces_an_attribution() {
+        let api = model();
+        let x0 = Vector(vec![0.4, -0.2]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut all = Method::effectiveness_lineup();
+        all.extend(Method::quality_lineup());
+        for m in all {
+            let a = m.attribution(&api, &x0, 0, &mut rng);
+            let a = a.unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
+            assert_eq!(a.len(), 2, "{}", m.name());
+            assert!(a.is_finite(), "{} produced non-finite attribution", m.name());
+        }
+    }
+
+    #[test]
+    fn exact_methods_agree_with_ground_truth_on_linear_model() {
+        let api = model();
+        let x0 = Vector(vec![0.4, -0.2]);
+        let truth = api.local_model(x0.as_slice()).decision_features(1);
+        let mut rng = StdRng::seed_from_u64(2);
+        for m in [
+            Method::default(),
+            Method::Naive(NaiveConfig::with_edge(1e-2)),
+            Method::Zoo(ZooConfig::with_distance(1e-4)),
+            Method::LimeLinear(LimeConfig::linear(1e-2)),
+        ] {
+            let a = m.attribution(&api, &x0, 1, &mut rng).unwrap();
+            let err = a.l1_distance(&truth).unwrap();
+            assert!(err < 1e-5, "{}: L1Dist {err}", m.name());
+        }
+    }
+}

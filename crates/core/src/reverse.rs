@@ -1,0 +1,286 @@
+//! Reverse engineering the PLM behind the API — the paper's stated future
+//! work (§VI), built here as an extension.
+//!
+//! Within one locally linear region, the `C − 1` core-parameter pairs that
+//! OpenAPI recovers against a reference class determine the *entire* local
+//! classifier up to the softmax's inherent shift invariance: taking the
+//! reference class's logit as 0, the reconstructed logits
+//! `ẑ_{c'} = −(D_{c,c'}ᵀx + B_{c,c'})`, `ẑ_c = 0` reproduce the API's
+//! probability outputs exactly throughout the region. That yields:
+//!
+//! * [`ReconstructedPlm`] — a drop-in [`PredictionApi`] clone of the hidden
+//!   model, valid on the region of the probed instance.
+//! * [`agreement_rate`] — validation: fraction of probe points where the
+//!   clone matches the API within tolerance.
+//! * [`boundary_probe`] — a bisection that finds the distance to the
+//!   region's boundary along a direction, using the clone as the membership
+//!   test (predictions diverge exactly when the region ends).
+
+use crate::error::InterpretError;
+use crate::openapi::{OpenApiConfig, OpenApiInterpreter};
+use crate::sampler::sample_in_hypercube;
+use openapi_api::{softmax, PredictionApi};
+use openapi_linalg::Vector;
+use rand::Rng;
+
+/// The local classifier reconstructed from one OpenAPI run, anchored at a
+/// reference class.
+#[derive(Debug, Clone)]
+pub struct ReconstructedPlm {
+    reference_class: usize,
+    /// `weights[c']` holds `D_{ref,c'}`; the reference class's slot is a
+    /// zero vector.
+    weights: Vec<Vector>,
+    /// `biases[c']` holds `B_{ref,c'}`; zero at the reference slot.
+    biases: Vec<f64>,
+    dim: usize,
+}
+
+impl ReconstructedPlm {
+    /// Reconstructs the local classifier at `x0` by running OpenAPI once
+    /// with `x0`'s predicted class as the reference.
+    ///
+    /// # Errors
+    /// Propagates OpenAPI's errors.
+    pub fn extract<M: PredictionApi, R: Rng>(
+        api: &M,
+        x0: &Vector,
+        config: &OpenApiConfig,
+        rng: &mut R,
+    ) -> Result<Self, InterpretError> {
+        let reference_class = api.predict_label(x0.as_slice());
+        let result =
+            OpenApiInterpreter::new(config.clone()).interpret(api, x0, reference_class, rng)?;
+        let c_total = api.num_classes();
+        let dim = api.dim();
+        let mut weights = vec![Vector::zeros(dim); c_total];
+        let mut biases = vec![0.0; c_total];
+        for p in &result.interpretation.pairwise {
+            weights[p.c_prime] = p.weights.clone();
+            biases[p.c_prime] = p.bias;
+        }
+        Ok(ReconstructedPlm { reference_class, weights, biases, dim })
+    }
+
+    /// The class whose logit is pinned to zero.
+    pub fn reference_class(&self) -> usize {
+        self.reference_class
+    }
+
+    /// Reconstructed logits (shift-normalized: reference class at 0).
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    pub fn logits(&self, x: &[f64]) -> Vector {
+        assert_eq!(x.len(), self.dim, "ReconstructedPlm: dimension mismatch");
+        Vector(
+            self.weights
+                .iter()
+                .zip(self.biases.iter())
+                .enumerate()
+                .map(|(c, (w, b))| {
+                    if c == self.reference_class {
+                        0.0
+                    } else {
+                        // ln(y_ref/y_c) = D·x + B  ⇒  z_c − z_ref = −(D·x + B).
+                        -(w.dot(&Vector(x.to_vec())).expect("dim checked") + b)
+                    }
+                })
+                .collect(),
+        )
+    }
+}
+
+impl PredictionApi for ReconstructedPlm {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.weights.len()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        softmax(self.logits(x).as_slice())
+    }
+}
+
+/// Fraction of `n` probe points (hypercube edge `radius` around `x0`) where
+/// the reconstruction matches the API within `tol` in max-probability
+/// distance.
+pub fn agreement_rate<M: PredictionApi, R: Rng>(
+    api: &M,
+    recon: &ReconstructedPlm,
+    x0: &Vector,
+    radius: f64,
+    n: usize,
+    tol: f64,
+    rng: &mut R,
+) -> f64 {
+    assert!(n > 0, "need at least one probe");
+    let mut agree = 0usize;
+    for _ in 0..n {
+        let p = sample_in_hypercube(x0.as_slice(), radius, rng);
+        let a = api.predict(p.as_slice());
+        let b = recon.predict(p.as_slice());
+        let gap = a
+            .iter()
+            .zip(b.iter())
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max);
+        if gap <= tol {
+            agree += 1;
+        }
+    }
+    agree as f64 / n as f64
+}
+
+/// Finds the distance to `x0`'s region boundary along `direction` by
+/// bisection, using prediction disagreement between the API and the
+/// reconstruction as the membership test.
+///
+/// Returns `None` when even `max_radius` stays inside the region (no
+/// boundary within reach). Otherwise the returned distance `t` satisfies:
+/// agreement at `t`, disagreement at `t + resolution` (up to the bisection
+/// resolution).
+///
+/// # Panics
+/// Panics on a zero direction, non-positive `max_radius`/`resolution`, or a
+/// dimension mismatch.
+pub fn boundary_probe<M: PredictionApi>(
+    api: &M,
+    recon: &ReconstructedPlm,
+    x0: &Vector,
+    direction: &Vector,
+    max_radius: f64,
+    resolution: f64,
+    tol: f64,
+) -> Option<f64> {
+    assert_eq!(direction.len(), x0.len(), "direction dimension mismatch");
+    assert!(max_radius > 0.0 && resolution > 0.0, "bad probe radii");
+    let norm = direction.norm_l2();
+    assert!(norm > 0.0, "zero probe direction");
+    let unit = direction.scaled(1.0 / norm);
+
+    let disagrees = |t: f64| {
+        let p = x0 + &unit.scaled(t);
+        let a = api.predict(p.as_slice());
+        let b = recon.predict(p.as_slice());
+        a.iter()
+            .zip(b.iter())
+            .map(|(u, v)| (u - v).abs())
+            .fold(0.0f64, f64::max)
+            > tol
+    };
+
+    if !disagrees(max_radius) {
+        return None;
+    }
+    let (mut lo, mut hi) = (0.0f64, max_radius);
+    while hi - lo > resolution {
+        let mid = 0.5 * (lo + hi);
+        if disagrees(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    Some(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::{LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm};
+    use openapi_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn linear_model() -> LinearSoftmaxModel {
+        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]])
+            .unwrap();
+        LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05]))
+    }
+
+    fn two_region_model() -> TwoRegionPlm {
+        let low = LocalLinearModel::new(
+            Matrix::from_rows(&[&[2.0, -2.0], &[1.0, 0.5]]).unwrap(),
+            Vector(vec![0.0, 0.2]),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_rows(&[&[-1.0, 1.5], &[0.0, 3.0]]).unwrap(),
+            Vector(vec![0.5, -0.5]),
+        );
+        TwoRegionPlm::axis_split(0, 0.5, low, high)
+    }
+
+    #[test]
+    fn reconstruction_reproduces_probabilities_exactly_in_region() {
+        let api = linear_model();
+        let x0 = Vector(vec![0.2, -0.1, 0.4]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let recon =
+            ReconstructedPlm::extract(&api, &x0, &OpenApiConfig::default(), &mut rng).unwrap();
+        // A single-region model: agreement everywhere, at tight tolerance.
+        let rate = agreement_rate(&api, &recon, &x0, 2.0, 200, 1e-8, &mut rng);
+        assert_eq!(rate, 1.0);
+    }
+
+    #[test]
+    fn reconstruction_is_region_local_for_multi_region_models() {
+        let api = two_region_model();
+        let x0 = Vector(vec![0.2, 0.1]); // low region, margin 0.3
+        let mut rng = StdRng::seed_from_u64(2);
+        let recon =
+            ReconstructedPlm::extract(&api, &x0, &OpenApiConfig::default(), &mut rng).unwrap();
+        // Inside the region: perfect agreement.
+        let near = agreement_rate(&api, &recon, &x0, 0.05, 100, 1e-8, &mut rng);
+        assert_eq!(near, 1.0);
+        // A cube spanning both regions: agreement breaks on the far side.
+        let far = agreement_rate(&api, &recon, &x0, 1.0, 400, 1e-8, &mut rng);
+        assert!(far < 1.0, "should disagree on the other region, rate {far}");
+        assert!(far > 0.4, "should agree on this region's share, rate {far}");
+    }
+
+    #[test]
+    fn boundary_probe_finds_the_known_boundary() {
+        let api = two_region_model();
+        let x0 = Vector(vec![0.2, 0.0]); // boundary at x0 + 0.3 along e_0
+        let mut rng = StdRng::seed_from_u64(3);
+        let recon =
+            ReconstructedPlm::extract(&api, &x0, &OpenApiConfig::default(), &mut rng).unwrap();
+        let dir = Vector(vec![1.0, 0.0]);
+        let t = boundary_probe(&api, &recon, &x0, &dir, 2.0, 1e-6, 1e-9).expect("boundary exists");
+        assert!((t - 0.3).abs() < 1e-4, "boundary at {t}, expected 0.3");
+        // Opposite direction: no boundary within 0.1.
+        let away = Vector(vec![-1.0, 0.0]);
+        assert!(boundary_probe(&api, &recon, &x0, &away, 0.1, 1e-6, 1e-9).is_none());
+    }
+
+    #[test]
+    fn reference_class_logit_is_pinned_to_zero() {
+        let api = linear_model();
+        let x0 = Vector(vec![0.5, 0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let recon =
+            ReconstructedPlm::extract(&api, &x0, &OpenApiConfig::default(), &mut rng).unwrap();
+        let z = recon.logits(&[1.0, 2.0, 3.0]);
+        assert_eq!(z[recon.reference_class()], 0.0);
+    }
+
+    #[test]
+    fn reconstructed_labels_match_api_labels_in_region() {
+        let api = linear_model();
+        let x0 = Vector(vec![0.0, 0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let recon =
+            ReconstructedPlm::extract(&api, &x0, &OpenApiConfig::default(), &mut rng).unwrap();
+        for _ in 0..100 {
+            let p = sample_in_hypercube(x0.as_slice(), 3.0, &mut rng);
+            assert_eq!(
+                api.predict_label(p.as_slice()),
+                recon.predict_label(p.as_slice())
+            );
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Hypercube perturbation sampling (the paper's neighbourhood definition).
+//!
+//! The paper defines the neighbourhood of `x` as the hypercube
+//! `{p : ∀i, |p_i − x_i| ≤ r}` with "edge length" `r` (so `r` is the
+//! half-width of the cube; we keep the paper's naming). Lemma 1 and
+//! Theorem 2 require the perturbed instances to be *independently and
+//! uniformly* sampled from this continuous set — that is exactly what
+//! [`sample_in_hypercube`] does, with no clamping to the data domain
+//! (clamping would concentrate mass on faces and break the probability-1
+//! arguments).
+
+use openapi_linalg::Vector;
+use rand::Rng;
+
+/// Draws one instance uniformly from the hypercube of edge `r` centred at
+/// `x0` (`|p_i − x0_i| ≤ r` per coordinate).
+///
+/// # Panics
+/// Panics when `r` is not finite and positive.
+pub fn sample_in_hypercube<R: Rng>(x0: &[f64], r: f64, rng: &mut R) -> Vector {
+    assert!(r.is_finite() && r > 0.0, "hypercube edge must be positive, got {r}");
+    Vector(x0.iter().map(|&c| c + rng.gen_range(-r..=r)).collect())
+}
+
+/// Draws `n` independent instances from the hypercube.
+pub fn sample_many<R: Rng>(x0: &[f64], r: f64, n: usize, rng: &mut R) -> Vec<Vector> {
+    (0..n).map(|_| sample_in_hypercube(x0, r, rng)).collect()
+}
+
+/// The ZOO probe pattern: for each axis `i`, the pair
+/// `(x0 + h·e_i, x0 − h·e_i)` used by symmetric difference quotients.
+///
+/// # Panics
+/// Panics when `h` is not finite and positive.
+pub fn axis_pairs(x0: &[f64], h: f64) -> Vec<(Vector, Vector)> {
+    assert!(h.is_finite() && h > 0.0, "probe distance must be positive, got {h}");
+    (0..x0.len())
+        .map(|i| {
+            let mut plus = x0.to_vec();
+            let mut minus = x0.to_vec();
+            plus[i] += h;
+            minus[i] -= h;
+            (Vector(plus), Vector(minus))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_the_hypercube_bound() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x0 = [0.5, -2.0, 10.0];
+        for _ in 0..200 {
+            let s = sample_in_hypercube(&x0, 0.25, &mut rng);
+            for i in 0..3 {
+                assert!((s[i] - x0[i]).abs() <= 0.25 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn samples_fill_the_cube_not_just_the_faces() {
+        // Mean distance from center along each axis should be ≈ r/2 for a
+        // uniform draw (it would be ≈ r if we clamped to faces).
+        let mut rng = StdRng::seed_from_u64(2);
+        let x0 = [0.0];
+        let r = 1.0;
+        let mean_abs: f64 = (0..2000)
+            .map(|_| sample_in_hypercube(&x0, r, &mut rng)[0].abs())
+            .sum::<f64>()
+            / 2000.0;
+        assert!((mean_abs - 0.5).abs() < 0.05, "mean |x| = {mean_abs}");
+    }
+
+    #[test]
+    fn sample_many_draws_independently() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs = sample_many(&[0.0, 0.0], 1.0, 5, &mut rng);
+        assert_eq!(xs.len(), 5);
+        for i in 0..5 {
+            for j in i + 1..5 {
+                assert_ne!(xs[i], xs[j]);
+            }
+        }
+    }
+
+    #[test]
+    fn no_clamping_outside_unit_domain() {
+        // x0 at the domain corner: samples must spill outside [0, 1].
+        let mut rng = StdRng::seed_from_u64(4);
+        let xs = sample_many(&[0.0, 1.0], 0.5, 100, &mut rng);
+        assert!(xs.iter().any(|s| s[0] < 0.0));
+        assert!(xs.iter().any(|s| s[1] > 1.0));
+    }
+
+    #[test]
+    fn axis_pairs_probe_one_coordinate_each() {
+        let pairs = axis_pairs(&[1.0, 2.0, 3.0], 0.1);
+        assert_eq!(pairs.len(), 3);
+        let (p, m) = &pairs[1];
+        assert_eq!(p.as_slice(), &[1.0, 2.1, 3.0]);
+        assert_eq!(m.as_slice(), &[1.0, 1.9, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_edge_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let _ = sample_in_hypercube(&[0.0], 0.0, &mut rng);
+    }
+}

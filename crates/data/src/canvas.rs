@@ -1,0 +1,322 @@
+//! A minimal grayscale rasterizer for the synthetic image generators.
+//!
+//! Just enough 2-D drawing to sketch recognizable digit strokes and garment
+//! silhouettes on a 28×28 grid: thick lines, filled rectangles and ellipses,
+//! and a box blur to soften edges the way real scanned/photographed images
+//! are soft.
+
+use openapi_linalg::Vector;
+
+/// A `width × height` grayscale canvas with intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Canvas {
+    /// Creates an all-black canvas.
+    pub fn new(width: usize, height: usize) -> Self {
+        Canvas { width, height, pixels: vec![0.0; width * height] }
+    }
+
+    /// Canvas width in pixels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Canvas height in pixels.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Reads pixel `(x, y)`; coordinates outside the canvas read as 0.
+    pub fn get(&self, x: i32, y: i32) -> f64 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            0.0
+        } else {
+            self.pixels[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Writes pixel `(x, y)` with saturation (max of old and new value);
+    /// out-of-bounds writes are ignored. Saturating composition means
+    /// overlapping strokes don't exceed 1.0.
+    pub fn set(&mut self, x: i32, y: i32, v: f64) {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            return;
+        }
+        let p = &mut self.pixels[y as usize * self.width + x as usize];
+        *p = p.max(v.clamp(0.0, 1.0));
+    }
+
+    /// Draws a line from `(x0, y0)` to `(x1, y1)` with the given thickness
+    /// (in pixels) and intensity, using Bresenham plus a disc brush.
+    pub fn line(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, thickness: f64, v: f64) {
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        let (mut x, mut y) = (x0, y0);
+        loop {
+            self.brush(x, y, thickness, v);
+            if x == x1 && y == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y += sy;
+            }
+        }
+    }
+
+    /// Stamps a disc of the given radius at `(cx, cy)`.
+    fn brush(&mut self, cx: i32, cy: i32, radius: f64, v: f64) {
+        let r = radius.max(0.0);
+        let ri = r.ceil() as i32;
+        for dy in -ri..=ri {
+            for dx in -ri..=ri {
+                let dist = ((dx * dx + dy * dy) as f64).sqrt();
+                if dist <= r + 0.5 {
+                    // Soft edge: fade over the last half pixel.
+                    let fade = (r + 0.5 - dist).clamp(0.0, 1.0);
+                    self.set(cx + dx, cy + dy, v * fade.max(0.35));
+                }
+            }
+        }
+    }
+
+    /// Fills the axis-aligned rectangle `[x0, x1] × [y0, y1]` (inclusive).
+    pub fn fill_rect(&mut self, x0: i32, y0: i32, x1: i32, y1: i32, v: f64) {
+        for y in y0.min(y1)..=y0.max(y1) {
+            for x in x0.min(x1)..=x0.max(x1) {
+                self.set(x, y, v);
+            }
+        }
+    }
+
+    /// Fills the ellipse centered at `(cx, cy)` with radii `(rx, ry)`.
+    pub fn fill_ellipse(&mut self, cx: f64, cy: f64, rx: f64, ry: f64, v: f64) {
+        if rx <= 0.0 || ry <= 0.0 {
+            return;
+        }
+        let x0 = (cx - rx).floor() as i32;
+        let x1 = (cx + rx).ceil() as i32;
+        let y0 = (cy - ry).floor() as i32;
+        let y1 = (cy + ry).ceil() as i32;
+        for y in y0..=y1 {
+            for x in x0..=x1 {
+                let nx = (x as f64 - cx) / rx;
+                let ny = (y as f64 - cy) / ry;
+                if nx * nx + ny * ny <= 1.0 {
+                    self.set(x, y, v);
+                }
+            }
+        }
+    }
+
+    /// Draws the outline of an ellipse with the given stroke thickness.
+    pub fn ellipse_outline(&mut self, cx: f64, cy: f64, rx: f64, ry: f64, thickness: f64, v: f64) {
+        self.arc(cx, cy, rx, ry, 0.0, 360.0, thickness, v);
+    }
+
+    /// Draws an elliptical arc from `deg0` to `deg1` (degrees; 0° points
+    /// right, 90° points *down* — screen coordinates) with the given stroke
+    /// thickness.
+    #[allow(clippy::too_many_arguments)] // center/radii/angles/stroke are the natural arc signature
+    pub fn arc(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        rx: f64,
+        ry: f64,
+        deg0: f64,
+        deg1: f64,
+        thickness: f64,
+        v: f64,
+    ) {
+        let span = (deg1 - deg0).abs().max(1.0);
+        // Dense parametric sweep so adjacent samples touch at any radius.
+        let steps = ((rx.max(ry) * span / 30.0).ceil() as usize).max(8);
+        for i in 0..=steps {
+            let deg = deg0 + (deg1 - deg0) * i as f64 / steps as f64;
+            let t = deg.to_radians();
+            let x = cx + rx * t.cos();
+            let y = cy + ry * t.sin();
+            self.brush(x.round() as i32, y.round() as i32, thickness / 2.0, v);
+        }
+    }
+
+    /// One pass of 3×3 box blur (softens hard raster edges).
+    pub fn blur(&mut self) {
+        let mut out = vec![0.0; self.pixels.len()];
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let mut acc = 0.0;
+                for dy in -1..=1 {
+                    for dx in -1..=1 {
+                        acc += self.get(x + dx, y + dy);
+                    }
+                }
+                out[y as usize * self.width + x as usize] = acc / 9.0;
+            }
+        }
+        self.pixels = out;
+    }
+
+    /// Returns the pixels translated by `(dx, dy)`, zero-filled at borders.
+    pub fn translated(&self, dx: i32, dy: i32) -> Canvas {
+        let mut out = Canvas::new(self.width, self.height);
+        for y in 0..self.height as i32 {
+            for x in 0..self.width as i32 {
+                let v = self.get(x - dx, y - dy);
+                if v > 0.0 {
+                    out.set(x, y, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Flattens to a feature vector (row-major, length `width × height`) —
+    /// the same cascading the paper applies to image pixels.
+    pub fn to_vector(&self) -> Vector {
+        Vector(self.pixels.clone())
+    }
+
+    /// Borrow the raw pixels.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Total luminance (sum of all pixels) — a quick nonemptiness check.
+    pub fn mass(&self) -> f64 {
+        self.pixels.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_canvas_is_black() {
+        let c = Canvas::new(4, 3);
+        assert_eq!(c.mass(), 0.0);
+        assert_eq!(c.to_vector().len(), 12);
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_safe() {
+        let mut c = Canvas::new(4, 4);
+        c.set(-1, 0, 1.0);
+        c.set(0, 99, 1.0);
+        assert_eq!(c.get(-5, 2), 0.0);
+        assert_eq!(c.get(2, 100), 0.0);
+        assert_eq!(c.mass(), 0.0);
+    }
+
+    #[test]
+    fn set_saturates_instead_of_accumulating() {
+        let mut c = Canvas::new(2, 2);
+        c.set(0, 0, 0.8);
+        c.set(0, 0, 0.5); // lower value must not darken
+        assert_eq!(c.get(0, 0), 0.8);
+        c.set(0, 0, 2.0); // clamped to 1.0
+        assert_eq!(c.get(0, 0), 1.0);
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut c = Canvas::new(10, 10);
+        c.line(1, 1, 8, 8, 0.0, 1.0);
+        assert!(c.get(1, 1) > 0.0);
+        assert!(c.get(8, 8) > 0.0);
+        assert!(c.get(4, 4) > 0.0 || c.get(5, 5) > 0.0);
+    }
+
+    #[test]
+    fn thick_line_is_wider_than_thin() {
+        let mut thin = Canvas::new(20, 20);
+        thin.line(2, 10, 17, 10, 0.0, 1.0);
+        let mut thick = Canvas::new(20, 20);
+        thick.line(2, 10, 17, 10, 2.0, 1.0);
+        assert!(thick.mass() > thin.mass() * 2.0);
+    }
+
+    #[test]
+    fn fill_rect_covers_expected_area() {
+        let mut c = Canvas::new(10, 10);
+        c.fill_rect(2, 3, 4, 5, 1.0);
+        // 3 × 3 pixels.
+        assert_eq!(c.mass(), 9.0);
+        assert_eq!(c.get(2, 3), 1.0);
+        assert_eq!(c.get(4, 5), 1.0);
+        assert_eq!(c.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn fill_rect_accepts_reversed_corners() {
+        let mut a = Canvas::new(8, 8);
+        a.fill_rect(5, 6, 1, 2, 0.7);
+        let mut b = Canvas::new(8, 8);
+        b.fill_rect(1, 2, 5, 6, 0.7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ellipse_contains_center_excludes_corners() {
+        let mut c = Canvas::new(20, 20);
+        c.fill_ellipse(10.0, 10.0, 5.0, 3.0, 1.0);
+        assert_eq!(c.get(10, 10), 1.0);
+        assert_eq!(c.get(10, 14), 0.0); // beyond ry
+        assert_eq!(c.get(16, 10), 0.0); // beyond rx
+        assert!(c.get(14, 10) > 0.0);
+    }
+
+    #[test]
+    fn ellipse_outline_leaves_center_empty() {
+        let mut c = Canvas::new(20, 20);
+        c.ellipse_outline(10.0, 10.0, 6.0, 6.0, 1.0, 1.0);
+        assert_eq!(c.get(10, 10), 0.0);
+        // Ring itself is drawn.
+        assert!(c.get(16, 10) > 0.0);
+    }
+
+    #[test]
+    fn blur_preserves_mass_approximately_in_interior() {
+        let mut c = Canvas::new(11, 11);
+        c.fill_rect(4, 4, 6, 6, 1.0);
+        let before = c.mass();
+        c.blur();
+        let after = c.mass();
+        // Box blur redistributes but keeps total mass for interior shapes.
+        assert!((before - after).abs() < 1e-9);
+        // Edges are now soft.
+        assert!(c.get(3, 5) > 0.0 && c.get(3, 5) < 1.0);
+    }
+
+    #[test]
+    fn translation_moves_content() {
+        let mut c = Canvas::new(10, 10);
+        c.set(5, 5, 1.0);
+        let t = c.translated(2, -1);
+        assert_eq!(t.get(7, 4), 1.0);
+        assert_eq!(t.get(5, 5), 0.0);
+    }
+
+    #[test]
+    fn translation_clips_at_borders() {
+        let mut c = Canvas::new(4, 4);
+        c.set(3, 3, 1.0);
+        let t = c.translated(1, 1); // falls off the canvas
+        assert_eq!(t.mass(), 0.0);
+    }
+}

@@ -1,0 +1,393 @@
+//! In-memory labeled dataset.
+
+use openapi_linalg::Vector;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+
+/// A labeled classification dataset: `n` instances of dimension `d` with
+/// labels in `0..num_classes`.
+///
+/// Invariants (enforced at construction):
+/// * every instance has the same dimension,
+/// * every label is `< num_classes`,
+/// * `instances.len() == labels.len()`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    instances: Vec<Vector>,
+    labels: Vec<usize>,
+    num_classes: usize,
+    dim: usize,
+}
+
+/// Errors constructing or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// `instances` and `labels` lengths differ.
+    LengthMismatch {
+        /// Number of instances provided.
+        instances: usize,
+        /// Number of labels provided.
+        labels: usize,
+    },
+    /// An instance's dimension differs from the first instance's.
+    RaggedInstances {
+        /// Index of the offending instance.
+        index: usize,
+        /// Expected dimensionality.
+        expected: usize,
+        /// Found dimensionality.
+        found: usize,
+    },
+    /// A label is out of range.
+    LabelOutOfRange {
+        /// Index of the offending label.
+        index: usize,
+        /// The label value found.
+        label: usize,
+        /// The exclusive upper bound.
+        num_classes: usize,
+    },
+    /// The dataset has no instances where at least one is required.
+    Empty,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { instances, labels } => {
+                write!(f, "{instances} instances but {labels} labels")
+            }
+            DatasetError::RaggedInstances { index, expected, found } => {
+                write!(f, "instance {index} has dimension {found}, expected {expected}")
+            }
+            DatasetError::LabelOutOfRange { index, label, num_classes } => {
+                write!(f, "label {label} at index {index} exceeds {num_classes} classes")
+            }
+            DatasetError::Empty => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Constructs a dataset, validating all invariants.
+    ///
+    /// # Errors
+    /// See [`DatasetError`].
+    pub fn new(
+        instances: Vec<Vector>,
+        labels: Vec<usize>,
+        num_classes: usize,
+    ) -> Result<Self, DatasetError> {
+        if instances.len() != labels.len() {
+            return Err(DatasetError::LengthMismatch {
+                instances: instances.len(),
+                labels: labels.len(),
+            });
+        }
+        if instances.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let dim = instances[0].len();
+        for (i, inst) in instances.iter().enumerate() {
+            if inst.len() != dim {
+                return Err(DatasetError::RaggedInstances {
+                    index: i,
+                    expected: dim,
+                    found: inst.len(),
+                });
+            }
+        }
+        for (i, &l) in labels.iter().enumerate() {
+            if l >= num_classes {
+                return Err(DatasetError::LabelOutOfRange { index: i, label: l, num_classes });
+            }
+        }
+        Ok(Dataset { instances, labels, num_classes, dim })
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// `true` when the dataset holds no instances (unreachable through
+    /// [`Dataset::new`], but kept for the `len`/`is_empty` convention).
+    pub fn is_empty(&self) -> bool {
+        self.instances.is_empty()
+    }
+
+    /// Feature dimensionality `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes `C`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Borrow instance `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn instance(&self, i: usize) -> &Vector {
+        &self.instances[i]
+    }
+
+    /// Label of instance `i`.
+    ///
+    /// # Panics
+    /// Panics when `i >= len()`.
+    pub fn label(&self, i: usize) -> usize {
+        self.labels[i]
+    }
+
+    /// All instances.
+    pub fn instances(&self) -> &[Vector] {
+        &self.instances
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Iterates `(instance, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vector, usize)> {
+        self.instances.iter().zip(self.labels.iter().copied())
+    }
+
+    /// Splits into `(front, back)` at `front_len` instances, preserving
+    /// order. Useful for deterministic train/test partitions of
+    /// already-shuffled data.
+    ///
+    /// # Panics
+    /// Panics when `front_len` is 0 or ≥ `len()` (both halves must be
+    /// non-empty to satisfy the dataset invariant).
+    pub fn split_at(mut self, front_len: usize) -> (Dataset, Dataset) {
+        assert!(
+            front_len > 0 && front_len < self.len(),
+            "split_at({front_len}) must leave both halves non-empty (len {})",
+            self.len()
+        );
+        let back_inst = self.instances.split_off(front_len);
+        let back_labels = self.labels.split_off(front_len);
+        let front = Dataset {
+            instances: self.instances,
+            labels: self.labels,
+            num_classes: self.num_classes,
+            dim: self.dim,
+        };
+        let back = Dataset {
+            instances: back_inst,
+            labels: back_labels,
+            num_classes: self.num_classes,
+            dim: self.dim,
+        };
+        (front, back)
+    }
+
+    /// Shuffles instances and labels together.
+    pub fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        self.instances = order.iter().map(|&i| self.instances[i].clone()).collect();
+        self.labels = order.iter().map(|&i| self.labels[i]).collect();
+    }
+
+    /// Draws `n` instance indices uniformly without replacement.
+    ///
+    /// # Panics
+    /// Panics when `n > len()`.
+    pub fn sample_indices<R: Rng>(&self, n: usize, rng: &mut R) -> Vec<usize> {
+        assert!(n <= self.len(), "cannot sample {n} of {}", self.len());
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        idx.shuffle(rng);
+        idx.truncate(n);
+        idx
+    }
+
+    /// Returns a new dataset containing the given indices (cloned).
+    ///
+    /// # Panics
+    /// Panics when `indices` is empty or any index is out of range.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "subset of zero indices");
+        Dataset {
+            instances: indices.iter().map(|&i| self.instances[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            num_classes: self.num_classes,
+            dim: self.dim,
+        }
+    }
+
+    /// Per-class instance counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            counts[l] += 1;
+        }
+        counts
+    }
+
+    /// The mean instance of class `c` (None when the class is empty) —
+    /// Figure 2's "averaged images".
+    pub fn class_mean(&self, c: usize) -> Option<Vector> {
+        let mut acc = Vector::zeros(self.dim);
+        let mut n = 0usize;
+        for (x, l) in self.iter() {
+            if l == c {
+                acc.axpy(1.0, x).expect("dimension invariant");
+                n += 1;
+            }
+        }
+        (n > 0).then(|| {
+            acc.scale(1.0 / n as f64);
+            acc
+        })
+    }
+
+    /// Majority label of the dataset (ties toward the lower label).
+    pub fn majority_label(&self) -> usize {
+        let counts = self.class_counts();
+        let mut best = 0;
+        for (c, &n) in counts.iter().enumerate() {
+            if n > counts[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Dataset {
+        Dataset::new(
+            vec![
+                Vector(vec![0.0, 0.0]),
+                Vector(vec![1.0, 0.0]),
+                Vector(vec![0.0, 1.0]),
+                Vector(vec![1.0, 1.0]),
+            ],
+            vec![0, 1, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let e = Dataset::new(vec![Vector::zeros(2)], vec![0, 1], 2);
+        assert!(matches!(e, Err(DatasetError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn construction_validates_dimensions() {
+        let e = Dataset::new(
+            vec![Vector::zeros(2), Vector::zeros(3)],
+            vec![0, 0],
+            1,
+        );
+        assert!(matches!(e, Err(DatasetError::RaggedInstances { index: 1, .. })));
+    }
+
+    #[test]
+    fn construction_validates_labels() {
+        let e = Dataset::new(vec![Vector::zeros(2)], vec![5], 2);
+        assert!(matches!(e, Err(DatasetError::LabelOutOfRange { label: 5, .. })));
+    }
+
+    #[test]
+    fn construction_rejects_empty() {
+        assert!(matches!(Dataset::new(vec![], vec![], 2), Err(DatasetError::Empty)));
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert_eq!(d.label(3), 1);
+        assert_eq!(d.instance(1).as_slice(), &[1.0, 0.0]);
+        assert_eq!(d.iter().count(), 4);
+    }
+
+    #[test]
+    fn split_preserves_order_and_counts() {
+        let (a, b) = tiny().split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 3);
+        assert_eq!(a.label(0), 0);
+        assert_eq!(b.label(0), 1);
+        assert_eq!(a.num_classes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn split_rejects_degenerate_front() {
+        let _ = tiny().split_at(0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut d = tiny();
+        let mut rng = StdRng::seed_from_u64(3);
+        d.shuffle(&mut rng);
+        assert_eq!(d.len(), 4);
+        let mut counts = d.class_counts();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![1, 3]);
+    }
+
+    #[test]
+    fn shuffle_keeps_instance_label_pairs() {
+        let mut d = tiny();
+        let mut rng = StdRng::seed_from_u64(11);
+        d.shuffle(&mut rng);
+        // In `tiny`, label 0 is exactly the all-zero instance.
+        for (x, l) in d.iter() {
+            let is_origin = x.as_slice() == [0.0, 0.0];
+            assert_eq!(l == 0, is_origin);
+        }
+    }
+
+    #[test]
+    fn sample_indices_without_replacement() {
+        let d = tiny();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut s = d.sample_indices(4, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn subset_clones_selected_rows() {
+        let d = tiny();
+        let s = d.subset(&[3, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.label(0), 1);
+        assert_eq!(s.instance(1).as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn class_statistics() {
+        let d = tiny();
+        assert_eq!(d.class_counts(), vec![1, 3]);
+        assert_eq!(d.majority_label(), 1);
+        let m1 = d.class_mean(1).unwrap();
+        assert!((m1[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m1[1] - 2.0 / 3.0).abs() < 1e-12);
+        // Empty class: num_classes can exceed observed labels.
+        let d2 = Dataset::new(vec![Vector::zeros(1)], vec![0], 3).unwrap();
+        assert!(d2.class_mean(2).is_none());
+    }
+}

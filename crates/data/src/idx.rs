@@ -1,0 +1,282 @@
+//! Reader/writer for the IDX file format used by MNIST and Fashion-MNIST.
+//!
+//! The synthetic generators make the real datasets unnecessary, but the
+//! format support means a user who *does* have `train-images-idx3-ubyte`
+//! etc. can reproduce the experiments on the original data with no code
+//! changes: `load_image_dataset` produces the same [`Dataset`] the
+//! generators do (pixels normalized to `[0,1]`).
+//!
+//! Format (big-endian): magic `[0, 0, type, ndim]`, then `ndim` u32 sizes,
+//! then the raw data. Only `type = 0x08` (unsigned byte) is needed here.
+
+use crate::dataset::Dataset;
+use bytes::{Buf, BufMut};
+use openapi_linalg::Vector;
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Errors reading IDX content.
+#[derive(Debug)]
+pub enum IdxError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic number or dimension header is malformed.
+    BadHeader(String),
+    /// Header promises more data than the buffer holds.
+    Truncated {
+        /// Bytes promised by the header.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// Image and label files disagree on the instance count, or labels are
+    /// out of range.
+    Inconsistent(String),
+}
+
+impl fmt::Display for IdxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxError::Io(e) => write!(f, "idx io error: {e}"),
+            IdxError::BadHeader(m) => write!(f, "idx bad header: {m}"),
+            IdxError::Truncated { expected, found } => {
+                write!(f, "idx truncated: expected {expected} bytes, found {found}")
+            }
+            IdxError::Inconsistent(m) => write!(f, "idx inconsistent: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IdxError {}
+
+impl From<io::Error> for IdxError {
+    fn from(e: io::Error) -> Self {
+        IdxError::Io(e)
+    }
+}
+
+const UBYTE_TYPE: u8 = 0x08;
+
+/// A decoded IDX tensor of unsigned bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdxTensor {
+    /// Dimension sizes, outermost first (e.g. `[n, 28, 28]` for images).
+    pub shape: Vec<usize>,
+    /// Row-major payload.
+    pub data: Vec<u8>,
+}
+
+impl IdxTensor {
+    /// Parses an IDX byte buffer.
+    ///
+    /// # Errors
+    /// [`IdxError::BadHeader`] / [`IdxError::Truncated`] on malformed input.
+    pub fn parse(mut buf: &[u8]) -> Result<Self, IdxError> {
+        if buf.len() < 4 {
+            return Err(IdxError::BadHeader("shorter than magic".into()));
+        }
+        let magic = buf.get_u32();
+        let ty = ((magic >> 8) & 0xff) as u8;
+        let ndim = (magic & 0xff) as usize;
+        if (magic >> 16) != 0 {
+            return Err(IdxError::BadHeader(format!("magic prefix nonzero: {magic:#x}")));
+        }
+        if ty != UBYTE_TYPE {
+            return Err(IdxError::BadHeader(format!("unsupported element type {ty:#x}")));
+        }
+        if ndim == 0 || ndim > 4 {
+            return Err(IdxError::BadHeader(format!("unsupported ndim {ndim}")));
+        }
+        if buf.len() < ndim * 4 {
+            return Err(IdxError::BadHeader("dimension header truncated".into()));
+        }
+        let mut shape = Vec::with_capacity(ndim);
+        let mut total = 1usize;
+        for _ in 0..ndim {
+            let s = buf.get_u32() as usize;
+            total = total.saturating_mul(s);
+            shape.push(s);
+        }
+        if buf.len() < total {
+            return Err(IdxError::Truncated { expected: total, found: buf.len() });
+        }
+        Ok(IdxTensor { shape, data: buf[..total].to_vec() })
+    }
+
+    /// Serializes back to IDX bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(4 + self.shape.len() * 4 + self.data.len());
+        out.put_u32(((UBYTE_TYPE as u32) << 8) | self.shape.len() as u32);
+        for &s in &self.shape {
+            out.put_u32(s as u32);
+        }
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Reads and parses a file.
+    ///
+    /// # Errors
+    /// I/O and parse errors per [`IdxError`].
+    pub fn read_file(path: &Path) -> Result<Self, IdxError> {
+        let bytes = fs::read(path)?;
+        Self::parse(&bytes)
+    }
+}
+
+/// Loads an image/label IDX pair into a [`Dataset`], normalizing pixels to
+/// `[0, 1]` exactly as the paper does.
+///
+/// # Errors
+/// Parse errors, plus [`IdxError::Inconsistent`] when shapes disagree or a
+/// label exceeds `num_classes`.
+pub fn load_image_dataset(
+    images: &IdxTensor,
+    labels: &IdxTensor,
+    num_classes: usize,
+) -> Result<Dataset, IdxError> {
+    if images.shape.len() != 3 {
+        return Err(IdxError::Inconsistent(format!(
+            "images must be 3-d (n, h, w); got {:?}",
+            images.shape
+        )));
+    }
+    if labels.shape.len() != 1 {
+        return Err(IdxError::Inconsistent(format!(
+            "labels must be 1-d; got {:?}",
+            labels.shape
+        )));
+    }
+    let n = images.shape[0];
+    if labels.shape[0] != n {
+        return Err(IdxError::Inconsistent(format!(
+            "{n} images but {} labels",
+            labels.shape[0]
+        )));
+    }
+    let pixels_per = images.shape[1] * images.shape[2];
+    let mut instances = Vec::with_capacity(n);
+    for i in 0..n {
+        let raw = &images.data[i * pixels_per..(i + 1) * pixels_per];
+        instances.push(Vector(raw.iter().map(|&b| b as f64 / 255.0).collect()));
+    }
+    let label_vec: Vec<usize> = labels.data.iter().map(|&b| b as usize).collect();
+    Dataset::new(instances, label_vec, num_classes)
+        .map_err(|e| IdxError::Inconsistent(e.to_string()))
+}
+
+/// Converts a [`Dataset`] of `[0,1]` images back into an IDX pair
+/// (quantizing to bytes). Useful for exporting synthetic data for external
+/// tools.
+///
+/// # Panics
+/// Panics when `dataset.dim() != height * width`.
+pub fn dataset_to_idx(dataset: &Dataset, height: usize, width: usize) -> (IdxTensor, IdxTensor) {
+    assert_eq!(dataset.dim(), height * width, "dataset dim is not h*w");
+    let mut image_data = Vec::with_capacity(dataset.len() * dataset.dim());
+    for (x, _) in dataset.iter() {
+        image_data.extend(x.iter().map(|p| (p.clamp(0.0, 1.0) * 255.0).round() as u8));
+    }
+    let images = IdxTensor { shape: vec![dataset.len(), height, width], data: image_data };
+    let labels = IdxTensor {
+        shape: vec![dataset.len()],
+        data: dataset.labels().iter().map(|&l| l as u8).collect(),
+    };
+    (images, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::{SynthConfig, SynthStyle};
+
+    fn tiny_images() -> IdxTensor {
+        // 2 images of 2×3.
+        IdxTensor {
+            shape: vec![2, 2, 3],
+            data: vec![0, 255, 128, 64, 32, 16, 255, 255, 0, 0, 1, 2],
+        }
+    }
+
+    #[test]
+    fn round_trip_parse_serialize() {
+        let t = tiny_images();
+        let bytes = t.to_bytes();
+        let parsed = IdxTensor::parse(&bytes).unwrap();
+        assert_eq!(parsed, t);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = tiny_images().to_bytes();
+        bytes[0] = 1; // nonzero prefix
+        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_wrong_type() {
+        let mut bytes = tiny_images().to_bytes();
+        bytes[2] = 0x0d; // float type, unsupported
+        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::BadHeader(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        let mut bytes = tiny_images().to_bytes();
+        bytes.truncate(bytes.len() - 4);
+        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::Truncated { .. })));
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        assert!(matches!(IdxTensor::parse(&[0, 0]), Err(IdxError::BadHeader(_))));
+    }
+
+    #[test]
+    fn loads_dataset_with_normalization() {
+        let images = tiny_images();
+        let labels = IdxTensor { shape: vec![2], data: vec![1, 0] };
+        let ds = load_image_dataset(&images, &labels, 2).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.dim(), 6);
+        assert_eq!(ds.label(0), 1);
+        assert!((ds.instance(0)[1] - 1.0).abs() < 1e-12);
+        assert!((ds.instance(0)[2] - 128.0 / 255.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_count_mismatch() {
+        let images = tiny_images();
+        let labels = IdxTensor { shape: vec![3], data: vec![0, 1, 0] };
+        assert!(matches!(
+            load_image_dataset(&images, &labels, 2),
+            Err(IdxError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn detects_label_overflow() {
+        let images = tiny_images();
+        let labels = IdxTensor { shape: vec![2], data: vec![0, 9] };
+        assert!(matches!(
+            load_image_dataset(&images, &labels, 2),
+            Err(IdxError::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn synthetic_dataset_round_trips_through_idx() {
+        let (train, _) = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 3).generate();
+        let (images, labels) = dataset_to_idx(&train, 28, 28);
+        let back = load_image_dataset(&images, &labels, 10).unwrap();
+        assert_eq!(back.len(), train.len());
+        assert_eq!(back.labels(), train.labels());
+        // Quantization to u8 loses at most 1/510 per pixel.
+        for i in 0..train.len() {
+            let d = back.instance(i).l1_distance(train.instance(i)).unwrap();
+            assert!(d <= train.dim() as f64 / 509.0, "quantization error too large: {d}");
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! Exact nearest-neighbour search.
+//!
+//! The consistency experiment (Figure 4) pairs every evaluated instance with
+//! its Euclidean nearest neighbour in the test set and compares their
+//! interpretations. Test sets here are ≤ 10k instances of dimension 784, so
+//! exact brute-force search with early abandoning is both simple and fast
+//! enough; no approximate index is warranted.
+
+use crate::dataset::Dataset;
+use openapi_linalg::Vector;
+
+/// Finds the index of the instance in `dataset` nearest to `query` in
+/// Euclidean distance, excluding `exclude` (pass `None` to consider all).
+///
+/// Returns `None` only when every candidate is excluded.
+///
+/// Uses squared distances with early abandoning: the running sum stops as
+/// soon as it exceeds the best distance so far — a large constant-factor win
+/// at `d = 784`.
+pub fn nearest_neighbor(dataset: &Dataset, query: &Vector, exclude: Option<usize>) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for i in 0..dataset.len() {
+        if Some(i) == exclude {
+            continue;
+        }
+        let cand = dataset.instance(i);
+        let bound = best.map(|(_, d)| d).unwrap_or(f64::INFINITY);
+        if let Some(d2) = bounded_sq_dist(query, cand, bound) {
+            if best.map(|(_, bd)| d2 < bd).unwrap_or(true) {
+                best = Some((i, d2));
+            }
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Squared Euclidean distance, abandoning early once it exceeds `bound`.
+/// Returns `None` when abandoned.
+fn bounded_sq_dist(a: &Vector, b: &Vector, bound: f64) -> Option<f64> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0;
+    // Check the bound every 32 coordinates: often enough to abandon early,
+    // rarely enough that the branch is amortized.
+    for chunk in a.as_slice().chunks(32).zip(b.as_slice().chunks(32)) {
+        for (x, y) in chunk.0.iter().zip(chunk.1.iter()) {
+            let d = x - y;
+            acc += d * d;
+        }
+        if acc > bound {
+            return None;
+        }
+    }
+    Some(acc)
+}
+
+/// Computes, for each instance in `queries`, the index of its nearest
+/// neighbour within `dataset`. When `queries` *is* the dataset (the Figure 4
+/// protocol), pass `self_indices = true` to exclude each instance from its
+/// own search.
+pub fn all_nearest_neighbors(dataset: &Dataset, queries: &Dataset, self_indices: bool) -> Vec<usize> {
+    (0..queries.len())
+        .map(|i| {
+            let exclude = self_indices.then_some(i);
+            nearest_neighbor(dataset, queries.instance(i), exclude)
+                .expect("dataset must contain at least one non-excluded instance")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        Dataset::new(
+            vec![
+                Vector(vec![0.0, 0.0]),
+                Vector(vec![1.0, 0.0]),
+                Vector(vec![0.0, 1.0]),
+                Vector(vec![5.0, 5.0]),
+            ],
+            vec![0, 0, 0, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_closest_point() {
+        let d = grid();
+        let q = Vector(vec![0.9, 0.1]);
+        assert_eq!(nearest_neighbor(&d, &q, None), Some(1));
+    }
+
+    #[test]
+    fn exclusion_skips_self_match() {
+        let d = grid();
+        let q = d.instance(0).clone();
+        assert_eq!(nearest_neighbor(&d, &q, None), Some(0));
+        let nn = nearest_neighbor(&d, &q, Some(0)).unwrap();
+        assert!(nn == 1 || nn == 2, "either unit vector is at distance 1");
+    }
+
+    #[test]
+    fn exclusion_of_everything_returns_none() {
+        let d = Dataset::new(vec![Vector(vec![1.0])], vec![0], 1).unwrap();
+        assert_eq!(nearest_neighbor(&d, &Vector(vec![0.0]), Some(0)), None);
+    }
+
+    #[test]
+    fn ties_resolve_to_lower_index() {
+        let d = Dataset::new(
+            vec![Vector(vec![1.0, 0.0]), Vector(vec![-1.0, 0.0])],
+            vec![0, 0],
+            1,
+        )
+        .unwrap();
+        // Exactly equidistant: strict < keeps the first.
+        assert_eq!(nearest_neighbor(&d, &Vector(vec![0.0, 0.0]), None), Some(0));
+    }
+
+    #[test]
+    fn all_pairs_protocol_matches_pointwise() {
+        let d = grid();
+        let nns = all_nearest_neighbors(&d, &d, true);
+        assert_eq!(nns.len(), d.len());
+        for (i, &nn) in nns.iter().enumerate() {
+            assert_ne!(nn, i, "self must be excluded");
+            let direct = nearest_neighbor(&d, d.instance(i), Some(i)).unwrap();
+            assert_eq!(nn, direct);
+        }
+    }
+
+    #[test]
+    fn early_abandoning_agrees_with_full_scan_high_dim() {
+        // 40 instances of dimension 100: verify the bound logic never skips
+        // the true nearest neighbour.
+        let n = 40;
+        let dim = 100;
+        let instances: Vec<Vector> = (0..n)
+            .map(|i| {
+                Vector(
+                    (0..dim)
+                        .map(|j| (((i * 7919 + j * 104729) % 1000) as f64) / 500.0 - 1.0)
+                        .collect(),
+                )
+            })
+            .collect();
+        let d = Dataset::new(instances.clone(), vec![0; n], 1).unwrap();
+        for q in 0..n {
+            let fast = nearest_neighbor(&d, &instances[q], Some(q)).unwrap();
+            // Exhaustive reference.
+            let mut best = usize::MAX;
+            let mut best_d = f64::INFINITY;
+            for (i, cand) in instances.iter().enumerate() {
+                if i == q {
+                    continue;
+                }
+                let dd = instances[q].l2_distance(cand).unwrap();
+                if dd < best_d {
+                    best_d = dd;
+                    best = i;
+                }
+            }
+            assert_eq!(fast, best, "query {q}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Dataset substrate for the OpenAPI reproduction.
+//!
+//! The paper evaluates on MNIST and Fashion-MNIST (28×28 grayscale, 10
+//! classes, 60k/10k train/test, pixels normalized to `[0, 1]`). Those files
+//! are not redistributable here, so this crate provides:
+//!
+//! * [`synth`] — deterministic synthetic generators with the same shape
+//!   (`d = 784`, `C = 10`, `[0,1]` pixels): stroke-drawn digits
+//!   ([`synth::SynthStyle::MnistLike`]) and garment silhouettes
+//!   ([`synth::SynthStyle::FmnistLike`]). OpenAPI's guarantees are
+//!   distribution-free, so these exercise identical code paths (see
+//!   `DESIGN.md` §2 for the substitution argument).
+//! * [`idx`] — a reader/writer for the original IDX file format, so the real
+//!   datasets can be dropped in when available.
+//! * [`dataset`] — the in-memory [`Dataset`] container with splits,
+//!   sampling, and per-class statistics.
+//! * [`knn`] — exact nearest-neighbour search (the consistency experiment,
+//!   Figure 4, pairs each instance with its Euclidean nearest neighbour).
+//! * [`canvas`] — the tiny rasterizer behind the synthetic generators.
+
+pub mod canvas;
+pub mod dataset;
+pub mod idx;
+pub mod knn;
+pub mod synth;
+pub mod transform;
+
+pub use canvas::Canvas;
+pub use dataset::Dataset;
+pub use knn::nearest_neighbor;
+pub use synth::{SynthConfig, SynthStyle};
+pub use transform::downsample;

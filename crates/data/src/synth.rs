@@ -1,0 +1,437 @@
+//! Synthetic 28×28 image datasets standing in for MNIST / Fashion-MNIST.
+//!
+//! The paper's claims are distribution-free — exactness needs only (a) the
+//! target being a PLM and (b) instances drawn from continuous distributions
+//! — so faithful reproduction needs datasets with the *same shape*
+//! (`d = 784`, `C = 10`, pixels in `[0,1]`) and enough class structure to
+//! train accurate PLNNs and LMTs, not the original photographs. Each class
+//! here is a programmatically drawn template (digit strokes or garment
+//! silhouettes) perturbed per instance by stroke-thickness jitter,
+//! translation, blur, intensity scaling, and dense pixel noise. The pixel
+//! noise in particular makes the instance distribution continuous, which is
+//! the assumption behind the paper's probability-1 arguments.
+
+use crate::canvas::Canvas;
+use crate::dataset::Dataset;
+use openapi_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which template family to draw.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SynthStyle {
+    /// Stroke-drawn digits 0–9 (stands in for MNIST).
+    MnistLike,
+    /// Garment silhouettes (stands in for Fashion-MNIST): T-shirt, trouser,
+    /// pullover, dress, coat, sandal, shirt, sneaker, bag, ankle boot.
+    FmnistLike,
+}
+
+impl SynthStyle {
+    /// Human-readable class names, matching the paper's figures.
+    pub fn class_names(&self) -> [&'static str; 10] {
+        match self {
+            SynthStyle::MnistLike => ["0", "1", "2", "3", "4", "5", "6", "7", "8", "9"],
+            SynthStyle::FmnistLike => [
+                "T-shirt", "Trouser", "Pullover", "Dress", "Coat", "Sandal", "Shirt",
+                "Sneaker", "Bag", "Boot",
+            ],
+        }
+    }
+
+    /// Dataset name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SynthStyle::MnistLike => "synth-MNIST",
+            SynthStyle::FmnistLike => "synth-FMNIST",
+        }
+    }
+}
+
+/// Image side length: the paper's 28×28 grid.
+pub const SIDE: usize = 28;
+/// Flattened dimensionality, `d = 784`.
+pub const DIM: usize = SIDE * SIDE;
+/// Number of classes, `C = 10`.
+pub const NUM_CLASSES: usize = 10;
+
+/// Generation parameters.
+#[derive(Debug, Clone)]
+pub struct SynthConfig {
+    /// Template family.
+    pub style: SynthStyle,
+    /// Number of training instances (classes balanced round-robin).
+    pub train_size: usize,
+    /// Number of test instances.
+    pub test_size: usize,
+    /// RNG seed; same seed ⇒ identical datasets.
+    pub seed: u64,
+    /// Uniform pixel-noise amplitude (`±noise` added to every pixel).
+    /// Must be positive for the continuous-distribution assumption.
+    pub noise: f64,
+    /// Maximum translation jitter in pixels (each axis, uniform integer in
+    /// `[-max_shift, max_shift]`).
+    pub max_shift: i32,
+    /// Per-instance intensity scaling range.
+    pub intensity: (f64, f64),
+}
+
+impl SynthConfig {
+    /// Paper-scale configuration (60k / 10k) for the given style.
+    pub fn paper_scale(style: SynthStyle) -> Self {
+        SynthConfig {
+            style,
+            train_size: 60_000,
+            test_size: 10_000,
+            seed: 42,
+            noise: 0.04,
+            max_shift: 2,
+            intensity: (0.75, 1.0),
+        }
+    }
+
+    /// A small configuration for unit tests and quick runs.
+    pub fn small(style: SynthStyle, train_size: usize, test_size: usize, seed: u64) -> Self {
+        SynthConfig {
+            style,
+            train_size,
+            test_size,
+            seed,
+            noise: 0.04,
+            max_shift: 2,
+            intensity: (0.75, 1.0),
+        }
+    }
+
+    /// Generates `(train, test)` datasets.
+    ///
+    /// Classes are assigned round-robin so both splits are balanced; all
+    /// randomness flows from `seed`.
+    ///
+    /// # Panics
+    /// Panics when either split size is zero or parameters are degenerate
+    /// (negative noise, empty intensity range).
+    pub fn generate(&self) -> (Dataset, Dataset) {
+        assert!(self.train_size > 0 && self.test_size > 0, "empty split");
+        assert!(self.noise >= 0.0, "negative noise");
+        assert!(
+            self.intensity.0 > 0.0 && self.intensity.0 <= self.intensity.1,
+            "bad intensity range"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let train = self.generate_split(self.train_size, &mut rng);
+        let test = self.generate_split(self.test_size, &mut rng);
+        (train, test)
+    }
+
+    fn generate_split(&self, n: usize, rng: &mut StdRng) -> Dataset {
+        let mut instances = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % NUM_CLASSES;
+            instances.push(self.render_instance(class, rng));
+            labels.push(class);
+        }
+        Dataset::new(instances, labels, NUM_CLASSES).expect("generator invariants")
+    }
+
+    /// Renders a single instance of `class` with all jitters applied.
+    ///
+    /// # Panics
+    /// Panics when `class >= 10`.
+    pub fn render_instance<R: Rng>(&self, class: usize, rng: &mut R) -> Vector {
+        let thickness = rng.gen_range(0.6..1.4);
+        let mut canvas = draw_template(self.style, class, thickness);
+        let dx = rng.gen_range(-self.max_shift..=self.max_shift);
+        let dy = rng.gen_range(-self.max_shift..=self.max_shift);
+        canvas = canvas.translated(dx, dy);
+        canvas.blur();
+        let alpha = rng.gen_range(self.intensity.0..=self.intensity.1);
+        let mut v = canvas.to_vector();
+        for p in v.iter_mut() {
+            let noisy = *p * alpha + rng.gen_range(-self.noise..=self.noise);
+            *p = noisy.clamp(0.0, 1.0);
+        }
+        v
+    }
+}
+
+/// Draws the noiseless template for `class` with the given stroke thickness.
+///
+/// Exposed for the Figure 2 case study (class-average reference images) and
+/// for tests that need deterministic shapes.
+///
+/// # Panics
+/// Panics when `class >= 10`.
+pub fn draw_template(style: SynthStyle, class: usize, thickness: f64) -> Canvas {
+    assert!(class < NUM_CLASSES, "class {class} out of range");
+    let mut c = Canvas::new(SIDE, SIDE);
+    match style {
+        SynthStyle::MnistLike => draw_digit(&mut c, class, thickness),
+        SynthStyle::FmnistLike => draw_garment(&mut c, class, thickness),
+    }
+    c
+}
+
+fn draw_digit(c: &mut Canvas, digit: usize, t: f64) {
+    match digit {
+        0 => {
+            c.ellipse_outline(14.0, 14.0, 5.5, 8.0, t, 1.0);
+        }
+        1 => {
+            c.line(14, 5, 14, 22, t, 1.0);
+            c.line(11, 9, 14, 5, t, 1.0);
+            c.line(11, 22, 18, 22, t, 1.0);
+        }
+        2 => {
+            c.arc(13.5, 9.5, 5.0, 4.5, -170.0, 40.0, t, 1.0);
+            c.line(17, 13, 9, 22, t, 1.0);
+            c.line(9, 22, 19, 22, t, 1.0);
+        }
+        3 => {
+            c.arc(13.0, 9.0, 5.0, 4.0, -140.0, 90.0, t, 1.0);
+            c.arc(13.0, 18.0, 5.0, 4.5, -90.0, 140.0, t, 1.0);
+        }
+        4 => {
+            c.line(16, 5, 9, 16, t, 1.0);
+            c.line(9, 16, 20, 16, t, 1.0);
+            c.line(16, 5, 16, 22, t, 1.0);
+        }
+        5 => {
+            c.line(18, 5, 10, 5, t, 1.0);
+            c.line(10, 5, 10, 12, t, 1.0);
+            c.arc(13.0, 16.5, 5.5, 5.0, -80.0, 140.0, t, 1.0);
+        }
+        6 => {
+            c.arc(14.0, 17.0, 5.0, 5.0, 0.0, 360.0, t, 1.0);
+            c.arc(16.0, 13.0, 7.0, 8.5, 160.0, 250.0, t, 1.0);
+        }
+        7 => {
+            c.line(9, 5, 19, 5, t, 1.0);
+            c.line(19, 5, 12, 22, t, 1.0);
+            c.line(11, 13, 17, 13, t, 1.0);
+        }
+        8 => {
+            c.ellipse_outline(14.0, 9.5, 4.0, 4.0, t, 1.0);
+            c.ellipse_outline(14.0, 18.0, 5.0, 4.5, t, 1.0);
+        }
+        9 => {
+            c.arc(13.5, 10.0, 5.0, 5.0, 0.0, 360.0, t, 1.0);
+            c.arc(12.0, 14.5, 7.0, 8.0, -60.0, 60.0, t, 1.0);
+        }
+        _ => unreachable!("digit checked by caller"),
+    }
+}
+
+fn draw_garment(c: &mut Canvas, class: usize, t: f64) {
+    // Intensity slightly below 1.0 so blur + intensity jitter keep texture.
+    let v = 0.95;
+    match class {
+        // T-shirt/top: boxy body, short sleeves.
+        0 => {
+            c.fill_rect(9, 8, 19, 22, v);
+            c.fill_rect(5, 8, 9, 13, v);
+            c.fill_rect(19, 8, 23, 13, v);
+            c.arc(14.0, 8.0, 3.0, 2.0, 0.0, 180.0, t, 1.0);
+        }
+        // Trouser: two legs joined at the waist.
+        1 => {
+            c.fill_rect(10, 5, 18, 9, v);
+            c.fill_rect(10, 9, 13, 23, v);
+            c.fill_rect(15, 9, 18, 23, v);
+        }
+        // Pullover: body plus long sleeves.
+        2 => {
+            c.fill_rect(9, 8, 19, 23, v);
+            c.fill_rect(4, 8, 9, 20, v);
+            c.fill_rect(19, 8, 24, 20, v);
+        }
+        // Dress: fitted top flaring into a skirt.
+        3 => {
+            c.fill_rect(11, 5, 17, 12, v);
+            for y in 12..=24 {
+                let half = 3.0 + (y - 12) as f64 * 0.45;
+                c.fill_rect(
+                    (14.0 - half).round() as i32,
+                    y,
+                    (14.0 + half).round() as i32,
+                    y,
+                    v,
+                );
+            }
+        }
+        // Coat: long body, long sleeves, open front seam drawn bright.
+        4 => {
+            c.fill_rect(8, 6, 20, 24, v);
+            c.fill_rect(4, 6, 8, 22, v);
+            c.fill_rect(20, 6, 24, 22, v);
+            c.line(14, 6, 14, 24, t * 0.5, 1.0);
+        }
+        // Sandal: thin sole with strap diagonals.
+        5 => {
+            c.fill_rect(5, 18, 23, 21, v);
+            c.line(7, 18, 13, 11, t, 1.0);
+            c.line(13, 11, 18, 18, t, 1.0);
+            c.line(10, 18, 16, 12, t, 1.0);
+        }
+        // Shirt: like the T-shirt but longer sleeves and a V collar.
+        6 => {
+            c.fill_rect(9, 8, 19, 23, v);
+            c.fill_rect(5, 8, 9, 17, v);
+            c.fill_rect(19, 8, 23, 17, v);
+            c.line(12, 8, 14, 12, t, 1.0);
+            c.line(16, 8, 14, 12, t, 1.0);
+        }
+        // Sneaker: low profile, thick sole, lace lines.
+        7 => {
+            c.fill_rect(4, 18, 24, 21, v);
+            c.fill_ellipse(13.0, 16.0, 9.0, 4.0, v);
+            c.line(10, 13, 14, 15, t * 0.7, 1.0);
+            c.line(12, 12, 16, 14, t * 0.7, 1.0);
+        }
+        // Bag: rectangular body with a handle loop.
+        8 => {
+            c.fill_rect(7, 12, 21, 23, v);
+            c.arc(14.0, 12.0, 5.0, 4.5, 180.0, 360.0, t, 1.0);
+        }
+        // Ankle boot: shaft plus foot plus sole.
+        9 => {
+            c.fill_rect(8, 6, 14, 18, v);
+            c.fill_rect(8, 15, 22, 21, v);
+            c.fill_rect(8, 20, 23, 22, v);
+        }
+        _ => unreachable!("class checked by caller"),
+    }
+}
+
+/// Renders a vector as ASCII art (for debugging and example output).
+///
+/// # Panics
+/// Panics when `v.len() != DIM`.
+pub fn ascii_art(v: &Vector) -> String {
+    assert_eq!(v.len(), DIM, "ascii_art expects a 784-dim image");
+    let ramp = [' ', '.', ':', '+', '*', '#', '@'];
+    let mut s = String::with_capacity(SIDE * (SIDE + 1));
+    for y in 0..SIDE {
+        for x in 0..SIDE {
+            let p = v[y * SIDE + x].clamp(0.0, 1.0);
+            let idx = (p * (ramp.len() - 1) as f64).round() as usize;
+            s.push(ramp[idx]);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_templates_are_nonempty_and_distinct() {
+        for style in [SynthStyle::MnistLike, SynthStyle::FmnistLike] {
+            let canvases: Vec<Canvas> =
+                (0..10).map(|c| draw_template(style, c, 1.0)).collect();
+            for (i, c) in canvases.iter().enumerate() {
+                assert!(c.mass() > 5.0, "{style:?} class {i} nearly empty");
+            }
+            for i in 0..10 {
+                for j in i + 1..10 {
+                    let vi = canvases[i].to_vector();
+                    let vj = canvases[j].to_vector();
+                    let dist = vi.l1_distance(&vj).unwrap();
+                    assert!(
+                        dist > 10.0,
+                        "{style:?} classes {i} and {j} too similar (L1 {dist})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic() {
+        let cfg = SynthConfig::small(SynthStyle::MnistLike, 20, 10, 7);
+        let (tr1, te1) = cfg.generate();
+        let (tr2, te2) = cfg.generate();
+        assert_eq!(tr1, tr2);
+        assert_eq!(te1, te2);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 1).generate().0;
+        let b = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 2).generate().0;
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn splits_have_requested_sizes_and_balanced_classes() {
+        let cfg = SynthConfig::small(SynthStyle::FmnistLike, 50, 20, 3);
+        let (train, test) = cfg.generate();
+        assert_eq!(train.len(), 50);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.dim(), DIM);
+        assert_eq!(train.num_classes(), NUM_CLASSES);
+        let counts = train.class_counts();
+        assert_eq!(counts, vec![5; 10]);
+        assert_eq!(test.class_counts(), vec![2; 10]);
+    }
+
+    #[test]
+    fn pixels_stay_in_unit_range() {
+        let cfg = SynthConfig::small(SynthStyle::FmnistLike, 30, 10, 5);
+        let (train, _) = cfg.generate();
+        for (x, _) in train.iter() {
+            assert!(x.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    #[test]
+    fn instances_of_same_class_are_similar_but_not_identical() {
+        let cfg = SynthConfig::small(SynthStyle::MnistLike, 40, 10, 9);
+        let (train, _) = cfg.generate();
+        // Instances 0 and 10 are both class 0.
+        assert_eq!(train.label(0), train.label(10));
+        let d_same = train.instance(0).l1_distance(train.instance(10)).unwrap();
+        assert!(d_same > 0.0, "noise must make instances unique");
+        // Cross-class pairs are farther on average than same-class pairs.
+        let d_cross = train.instance(0).l1_distance(train.instance(1)).unwrap();
+        assert!(d_cross > d_same * 0.5, "classes should be distinguishable");
+    }
+
+    #[test]
+    fn noise_makes_distribution_continuous() {
+        // No two generated instances should ever coincide exactly.
+        let cfg = SynthConfig::small(SynthStyle::MnistLike, 30, 10, 11);
+        let (train, _) = cfg.generate();
+        for i in 0..train.len() {
+            for j in i + 1..train.len() {
+                assert_ne!(train.instance(i), train.instance(j), "({i},{j}) identical");
+            }
+        }
+    }
+
+    #[test]
+    fn ascii_art_has_expected_shape() {
+        let v = draw_template(SynthStyle::MnistLike, 0, 1.0).to_vector();
+        let art = ascii_art(&v);
+        assert_eq!(art.lines().count(), SIDE);
+        assert!(art.lines().all(|l| l.chars().count() == SIDE));
+        assert!(art.contains('@') || art.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn template_class_bound() {
+        let _ = draw_template(SynthStyle::MnistLike, 10, 1.0);
+    }
+
+    #[test]
+    fn class_names_align_with_paper() {
+        let names = SynthStyle::FmnistLike.class_names();
+        assert_eq!(names[0], "T-shirt");
+        assert_eq!(names[9], "Boot");
+        assert_eq!(SynthStyle::MnistLike.class_names()[3], "3");
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of the data substrate: generator invariants, IDX
+//! round-trips, k-NN correctness, and pooling algebra.
+
+use openapi_data::dataset::Dataset;
+use openapi_data::idx::{dataset_to_idx, load_image_dataset, IdxTensor};
+use openapi_data::knn::nearest_neighbor;
+use openapi_data::synth::{SynthConfig, SynthStyle, DIM, NUM_CLASSES};
+use openapi_data::transform::downsample;
+use openapi_linalg::Vector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generated datasets always satisfy the shape/range contract.
+    #[test]
+    fn generated_datasets_respect_contract(
+        seed in 0u64..10_000,
+        train in 10usize..60,
+        test in 10usize..30,
+        style in prop::sample::select(vec![SynthStyle::MnistLike, SynthStyle::FmnistLike]),
+    ) {
+        let (tr, te) = SynthConfig::small(style, train, test, seed).generate();
+        prop_assert_eq!(tr.len(), train);
+        prop_assert_eq!(te.len(), test);
+        prop_assert_eq!(tr.dim(), DIM);
+        prop_assert_eq!(tr.num_classes(), NUM_CLASSES);
+        for (x, l) in tr.iter().chain(te.iter()) {
+            prop_assert!(l < NUM_CLASSES);
+            prop_assert!(x.iter().all(|p| (0.0..=1.0).contains(p)));
+        }
+    }
+
+    /// IDX round-trip keeps labels exact and pixels within quantization.
+    #[test]
+    fn idx_round_trip_is_lossless_up_to_quantization(
+        seed in 0u64..10_000,
+        n in 5usize..20,
+    ) {
+        let (tr, _) = SynthConfig::small(SynthStyle::FmnistLike, n, 5, seed).generate();
+        let (images, labels) = dataset_to_idx(&tr, 28, 28);
+        // Serialize + parse the raw bytes too.
+        let images = IdxTensor::parse(&images.to_bytes()).expect("image bytes");
+        let labels = IdxTensor::parse(&labels.to_bytes()).expect("label bytes");
+        let back = load_image_dataset(&images, &labels, NUM_CLASSES).expect("round trip");
+        prop_assert_eq!(back.labels(), tr.labels());
+        for i in 0..tr.len() {
+            let d = back.instance(i).l1_distance(tr.instance(i)).unwrap();
+            prop_assert!(d <= DIM as f64 / 509.0);
+        }
+    }
+
+    /// The nearest neighbour really is the argmin of Euclidean distance.
+    #[test]
+    fn knn_is_argmin(
+        points in prop::collection::vec(
+            prop::collection::vec(-5.0f64..5.0, 6), 2..25),
+        query in prop::collection::vec(-5.0f64..5.0, 6),
+    ) {
+        let n = points.len();
+        let ds = Dataset::new(
+            points.iter().cloned().map(Vector).collect(),
+            vec![0; n],
+            1,
+        ).expect("valid dataset");
+        let q = Vector(query);
+        let found = nearest_neighbor(&ds, &q, None).expect("non-empty");
+        let found_d = q.l2_distance(ds.instance(found)).unwrap();
+        for i in 0..n {
+            let d = q.l2_distance(ds.instance(i)).unwrap();
+            prop_assert!(found_d <= d + 1e-12, "index {} at {} beats {} at {}", i, d, found, found_d);
+        }
+    }
+
+    /// Pooling then total mass equals the original mass scaled by factor².
+    #[test]
+    fn pooling_conserves_mass(seed in 0u64..10_000) {
+        let (tr, _) = SynthConfig::small(SynthStyle::MnistLike, 10, 5, seed).generate();
+        for factor in [2usize, 4, 7, 14] {
+            let pooled = downsample(&tr, factor);
+            prop_assert_eq!(pooled.dim(), (28 / factor) * (28 / factor));
+            for i in 0..tr.len() {
+                let m0: f64 = tr.instance(i).iter().sum();
+                let m1: f64 = pooled.instance(i).iter().sum();
+                prop_assert!((m0 - m1 * (factor * factor) as f64).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Class means exist for every class in balanced splits and are valid
+    /// images.
+    #[test]
+    fn class_means_are_valid_images(seed in 0u64..10_000) {
+        let (tr, _) = SynthConfig::small(SynthStyle::FmnistLike, 30, 10, seed).generate();
+        for c in 0..NUM_CLASSES {
+            let mean = tr.class_mean(c).expect("balanced split");
+            prop_assert!(mean.iter().all(|p| (0.0..=1.0).contains(p)));
+            prop_assert!(mean.iter().sum::<f64>() > 0.0, "class {} mean is black", c);
+        }
+    }
+}

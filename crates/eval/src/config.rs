@@ -1,0 +1,162 @@
+//! Experiment configuration and scale profiles.
+
+use std::path::PathBuf;
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Profile {
+    /// Minutes-scale sanity runs used by the integration tests: reduced
+    /// dimensionality (14×14 = 196), small models, a handful of instances.
+    Smoke,
+    /// The default: full `d = 784`, mid-size models, tens of evaluation
+    /// instances. Reproduces every qualitative shape of the paper on a
+    /// laptop in minutes per figure.
+    Quick,
+    /// Paper-scale: 60k/10k datasets, the 784-256-128-100-10 PLNN, 1000
+    /// evaluation instances. Hours of CPU; identical code paths.
+    Paper,
+}
+
+impl Profile {
+    /// Parses `smoke` / `quick` / `paper`.
+    pub fn parse(s: &str) -> Option<Profile> {
+        match s {
+            "smoke" => Some(Profile::Smoke),
+            "quick" => Some(Profile::Quick),
+            "paper" => Some(Profile::Paper),
+            _ => None,
+        }
+    }
+}
+
+/// All knobs for one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Scale profile.
+    pub profile: Profile,
+    /// Master seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Where CSV/PGM outputs land.
+    pub out_dir: PathBuf,
+    /// Training-set size per dataset.
+    pub train_size: usize,
+    /// Test-set size per dataset.
+    pub test_size: usize,
+    /// Instances interpreted per panel in Figures 3–7 (paper: 1000).
+    pub eval_instances: usize,
+    /// Average-pooling factor applied to the 28×28 images (1 = full `d`).
+    pub pool_factor: usize,
+    /// Hidden-layer widths of the PLNN (input/output are data-determined).
+    pub plnn_hidden: Vec<usize>,
+    /// PLNN training epochs.
+    pub plnn_epochs: usize,
+    /// LMT minimum leaf instances (paper: 100).
+    pub lmt_min_leaf: usize,
+    /// LMT leaf-classifier epochs.
+    pub lmt_epochs: usize,
+    /// Features altered in Figure 3 (paper: 200).
+    pub alter_features: usize,
+    /// Instances per class for the Figure 2 heatmap averages.
+    pub fig2_instances: usize,
+}
+
+impl ExperimentConfig {
+    /// Builds the configuration for a profile.
+    pub fn for_profile(profile: Profile) -> Self {
+        match profile {
+            Profile::Smoke => ExperimentConfig {
+                profile,
+                seed: 42,
+                out_dir: PathBuf::from("results"),
+                train_size: 600,
+                test_size: 200,
+                eval_instances: 4,
+                pool_factor: 2, // 14×14, d = 196
+                plnn_hidden: vec![32, 16],
+                plnn_epochs: 15,
+                lmt_min_leaf: 150,
+                lmt_epochs: 8,
+                alter_features: 40,
+                fig2_instances: 3,
+            },
+            Profile::Quick => ExperimentConfig {
+                profile,
+                seed: 42,
+                out_dir: PathBuf::from("results"),
+                train_size: 3000,
+                test_size: 600,
+                eval_instances: 24,
+                pool_factor: 1, // full d = 784
+                plnn_hidden: vec![64, 32],
+                plnn_epochs: 12,
+                lmt_min_leaf: 150,
+                lmt_epochs: 12,
+                alter_features: 200,
+                fig2_instances: 8,
+            },
+            Profile::Paper => ExperimentConfig {
+                profile,
+                seed: 42,
+                out_dir: PathBuf::from("results"),
+                train_size: 60_000,
+                test_size: 10_000,
+                eval_instances: 1000,
+                pool_factor: 1,
+                plnn_hidden: vec![256, 128, 100],
+                plnn_epochs: 20,
+                lmt_min_leaf: 100,
+                lmt_epochs: 30,
+                alter_features: 200,
+                fig2_instances: 50,
+            },
+        }
+    }
+
+    /// Image side length after pooling.
+    pub fn side(&self) -> usize {
+        28 / self.pool_factor
+    }
+
+    /// Input dimensionality after pooling.
+    pub fn dim(&self) -> usize {
+        self.side() * self.side()
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        Self::for_profile(Profile::Quick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_parsing() {
+        assert_eq!(Profile::parse("smoke"), Some(Profile::Smoke));
+        assert_eq!(Profile::parse("quick"), Some(Profile::Quick));
+        assert_eq!(Profile::parse("paper"), Some(Profile::Paper));
+        assert_eq!(Profile::parse("x"), None);
+    }
+
+    #[test]
+    fn dimensions_respect_pooling() {
+        let smoke = ExperimentConfig::for_profile(Profile::Smoke);
+        assert_eq!(smoke.dim(), 196);
+        let quick = ExperimentConfig::for_profile(Profile::Quick);
+        assert_eq!(quick.dim(), 784);
+    }
+
+    #[test]
+    fn paper_profile_matches_paper_numbers() {
+        let p = ExperimentConfig::for_profile(Profile::Paper);
+        assert_eq!(p.train_size, 60_000);
+        assert_eq!(p.test_size, 10_000);
+        assert_eq!(p.eval_instances, 1000);
+        assert_eq!(p.plnn_hidden, vec![256, 128, 100]);
+        assert_eq!(p.lmt_min_leaf, 100);
+        assert_eq!(p.alter_features, 200);
+    }
+}

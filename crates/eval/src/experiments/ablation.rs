@@ -1,0 +1,265 @@
+//! Ablations of OpenAPI's design choices (DESIGN.md §3) plus
+//! failure-injection against degraded APIs.
+//!
+//! 1. **Consistency-check strategy** — square-solve-then-check (Theorem 2's
+//!    `Θ_i` construction) vs full least squares: agreement, iterations,
+//!    wall time.
+//! 2. **Residual tolerance** `rtol` — sweep; too tight rejects valid
+//!    systems (wasted iterations), too loose admits cross-region systems
+//!    (exactness loss).
+//! 3. **Hypercube shrink factor** — the paper's ½ vs gentler/harsher
+//!    schedules: iterations and query budget.
+//! 4. **Degraded APIs** — probability quantization: a deterministic
+//!    quantized API is a piecewise-constant PLM, so OpenAPI shrinks into a
+//!    quantization plateau and reports *its* exact local behaviour (zero
+//!    slopes) — honest about the API it queried, visibly far from the
+//!    hidden model; the naive method instead mixes plateaus silently.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use crate::parallel::parallel_map;
+use openapi_api::QuantizedApi;
+use openapi_core::{NaiveConfig, NaiveInterpreter, OpenApiConfig, OpenApiInterpreter};
+use openapi_linalg::solve::ConsistencyStrategy;
+use openapi_metrics::exactness::{ground_truth_features, l1_dist};
+use openapi_metrics::report::{write_csv, Table};
+use std::time::Instant;
+
+/// Runs all four ablations on the first PLNN panel (the family with
+/// nontrivial region geometry).
+///
+/// # Errors
+/// I/O errors writing CSVs.
+///
+/// # Panics
+/// Panics when no PLNN panel is supplied.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let panel = panels
+        .iter()
+        .find(|p| p.model.family() == "PLNN")
+        .expect("ablation needs a PLNN panel");
+    let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
+    let classes = predicted_classes(panel, &indices);
+    let items: Vec<(usize, usize)> =
+        indices.iter().copied().zip(classes.iter().copied()).collect();
+
+    strategy_ablation(cfg, panel, &items)?;
+    rtol_ablation(cfg, panel, &items)?;
+    shrink_ablation(cfg, panel, &items)?;
+    degraded_api_ablation(cfg, panel, &items)?;
+    Ok(())
+}
+
+struct RunStats {
+    successes: usize,
+    total: usize,
+    mean_iterations: f64,
+    mean_queries: f64,
+    mean_l1: f64,
+    elapsed_ms: f64,
+}
+
+fn run_openapi(
+    cfg: &ExperimentConfig,
+    panel: &Panel,
+    items: &[(usize, usize)],
+    oa_cfg: &OpenApiConfig,
+) -> RunStats {
+    let interpreter = OpenApiInterpreter::new(oa_cfg.clone());
+    let start = Instant::now();
+    let results: Vec<Option<(usize, usize, f64)>> =
+        parallel_map(items, cfg.seed, |_, &(idx, class), rng| {
+            let x0 = panel.test.instance(idx);
+            interpreter.interpret(&panel.model, x0, class, rng).ok().map(|r| {
+                let truth = ground_truth_features(&panel.model, x0, class);
+                (
+                    r.iterations,
+                    r.queries,
+                    l1_dist(&truth, &r.interpretation.decision_features),
+                )
+            })
+        });
+    let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
+    let ok: Vec<&(usize, usize, f64)> = results.iter().flatten().collect();
+    let n = ok.len().max(1) as f64;
+    RunStats {
+        successes: ok.len(),
+        total: items.len(),
+        mean_iterations: ok.iter().map(|r| r.0 as f64).sum::<f64>() / n,
+        mean_queries: ok.iter().map(|r| r.1 as f64).sum::<f64>() / n,
+        mean_l1: ok.iter().map(|r| r.2).sum::<f64>() / n,
+        elapsed_ms,
+    }
+}
+
+fn stats_row(label: String, s: &RunStats) -> Vec<String> {
+    vec![
+        label,
+        format!("{}/{}", s.successes, s.total),
+        format!("{:.2}", s.mean_iterations),
+        format!("{:.0}", s.mean_queries),
+        format!("{:.3e}", s.mean_l1),
+        format!("{:.0}", s.elapsed_ms),
+    ]
+}
+
+const STAT_HEADERS: [&str; 6] = ["config", "success", "iters", "queries", "mean L1", "ms"];
+
+fn strategy_ablation(
+    cfg: &ExperimentConfig,
+    panel: &Panel,
+    items: &[(usize, usize)],
+) -> std::io::Result<()> {
+    let mut table = Table::new(
+        format!("Ablation A1a — consistency strategy ({})", panel.name),
+        &STAT_HEADERS,
+    );
+    let mut rows = Vec::new();
+    for (label, strategy) in [
+        ("square-then-check", ConsistencyStrategy::SquareThenCheck),
+        ("least-squares", ConsistencyStrategy::LeastSquares),
+    ] {
+        let oa = OpenApiConfig { strategy, ..Default::default() };
+        let stats = run_openapi(cfg, panel, items, &oa);
+        let row = stats_row(label.to_string(), &stats);
+        table.push_row(row.clone());
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    write_csv(&out_path(cfg, "ablation_strategy.csv"), &STAT_HEADERS, &rows)
+}
+
+fn rtol_ablation(
+    cfg: &ExperimentConfig,
+    panel: &Panel,
+    items: &[(usize, usize)],
+) -> std::io::Result<()> {
+    let mut table = Table::new(
+        format!("Ablation A1b — residual tolerance ({})", panel.name),
+        &STAT_HEADERS,
+    );
+    let mut rows = Vec::new();
+    for rtol in [1e-3, 1e-6, 1e-9, 1e-12] {
+        let oa = OpenApiConfig { rtol, ..Default::default() };
+        let stats = run_openapi(cfg, panel, items, &oa);
+        let row = stats_row(format!("rtol={rtol:.0e}"), &stats);
+        table.push_row(row.clone());
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    write_csv(&out_path(cfg, "ablation_rtol.csv"), &STAT_HEADERS, &rows)
+}
+
+fn shrink_ablation(
+    cfg: &ExperimentConfig,
+    panel: &Panel,
+    items: &[(usize, usize)],
+) -> std::io::Result<()> {
+    let mut table = Table::new(
+        format!("Ablation A1c — hypercube shrink factor ({})", panel.name),
+        &STAT_HEADERS,
+    );
+    let mut rows = Vec::new();
+    for shrink in [0.25, 0.5, 0.75] {
+        let oa = OpenApiConfig { shrink_factor: shrink, ..Default::default() };
+        let stats = run_openapi(cfg, panel, items, &oa);
+        let row = stats_row(format!("shrink={shrink}"), &stats);
+        table.push_row(row.clone());
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    write_csv(&out_path(cfg, "ablation_shrink.csv"), &STAT_HEADERS, &rows)
+}
+
+fn degraded_api_ablation(
+    cfg: &ExperimentConfig,
+    panel: &Panel,
+    items: &[(usize, usize)],
+) -> std::io::Result<()> {
+    let mut table = Table::new(
+        format!("Ablation A1d — quantized API responses ({})", panel.name),
+        &["decimals", "OpenAPI success", "OpenAPI mean L1 (ok runs)", "naive mean L1"],
+    );
+    let mut rows = Vec::new();
+    // A modest budget suffices: OpenAPI either accepts quickly (fine
+    // quantization) or descends to a plateau within ~20 halvings.
+    let oa_cfg = OpenApiConfig { max_iterations: 20, ..Default::default() };
+    let interpreter = OpenApiInterpreter::new(oa_cfg);
+    let naive = NaiveInterpreter::new(NaiveConfig::with_edge(1e-2));
+
+    for decimals in [12u32, 6, 3] {
+        let api = QuantizedApi::new(&panel.model, decimals);
+        let results: Vec<(Option<f64>, Option<f64>)> =
+            parallel_map(items, cfg.seed, |_, &(idx, class), rng| {
+                let x0 = panel.test.instance(idx);
+                let truth = ground_truth_features(&panel.model, x0, class);
+                let oa = interpreter
+                    .interpret(&api, x0, class, rng)
+                    .ok()
+                    .map(|r| l1_dist(&truth, &r.interpretation.decision_features));
+                let nv = naive
+                    .interpret(&api, x0, class, rng)
+                    .ok()
+                    .map(|i| l1_dist(&truth, &i.decision_features));
+                (oa, nv)
+            });
+        let oa_ok: Vec<f64> = results.iter().filter_map(|(o, _)| *o).collect();
+        let nv_ok: Vec<f64> = results.iter().filter_map(|(_, n)| *n).collect();
+        let mean = |v: &[f64]| {
+            if v.is_empty() {
+                "—".to_string()
+            } else {
+                format!("{:.3e}", v.iter().sum::<f64>() / v.len() as f64)
+            }
+        };
+        let row = vec![
+            decimals.to_string(),
+            format!("{}/{}", oa_ok.len(), items.len()),
+            mean(&oa_ok),
+            mean(&nv_ok),
+        ];
+        table.push_row(row.clone());
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    println!(
+        "note: two regimes. When the quantization step is large relative to the local\n\
+         signal, OpenAPI shrinks into a quantization PLATEAU (the quantized API is a\n\
+         piecewise-constant PLM) and exactly reports its zero slopes — honest about\n\
+         the API it queried, visibly far from the hidden model. When the step is\n\
+         fine, no cube is consistent within the budget and OpenAPI REFUSES (0/n\n\
+         success). The naive method always answers, wrongly, in both regimes.\n"
+    );
+    write_csv(
+        &out_path(cfg, "ablation_degraded.csv"),
+        &["decimals", "openapi_success", "openapi_mean_l1", "naive_mean_l1"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_plnn_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn ablation_runs_end_to_end_on_smoke_panel() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 2;
+        cfg.out_dir = std::env::temp_dir().join("openapi_ablation_test");
+        let panel = build_plnn_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        for f in [
+            "ablation_strategy.csv",
+            "ablation_rtol.csv",
+            "ablation_shrink.csv",
+            "ablation_degraded.csv",
+        ] {
+            assert!(cfg.out_dir.join(f).exists(), "{f} missing");
+        }
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

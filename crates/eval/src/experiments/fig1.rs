@@ -1,0 +1,112 @@
+//! Figure 1 demo: the interior-vs-boundary geometry that motivates OpenAPI.
+//!
+//! The paper's Figure 1 contrasts instance `A` (neighbourhood inside one
+//! locally linear region — any method works) with instance `B`
+//! (neighbourhood straddling a boundary — fixed-distance methods silently
+//! fail). This experiment realizes that picture measurably: it selects test
+//! instances, estimates each one's consistent-region extent with
+//! [`openapi_core::region::estimate_region_edge`], and shows the naive
+//! method's error exploding exactly for the instances whose region is
+//! smaller than its fixed `h` — while OpenAPI stays exact on both.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use crate::parallel::parallel_map;
+use openapi_core::region::estimate_region_edge;
+use openapi_core::{NaiveConfig, NaiveInterpreter, OpenApiConfig, OpenApiInterpreter};
+use openapi_metrics::exactness::{ground_truth_features, l1_dist};
+use openapi_metrics::report::{write_csv, Table};
+
+/// Runs the demo on the first PLNN panel (the family with narrow regions).
+///
+/// # Errors
+/// I/O errors writing the CSV.
+///
+/// # Panics
+/// Panics when no PLNN panel is supplied.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let panel = panels
+        .iter()
+        .find(|p| p.model.family() == "PLNN")
+        .expect("fig1 demo needs a PLNN panel");
+    let indices = eval_indices(panel, cfg.eval_instances.min(8), cfg.seed);
+    let classes = predicted_classes(panel, &indices);
+    let items: Vec<(usize, usize)> =
+        indices.iter().copied().zip(classes.iter().copied()).collect();
+
+    let naive_h = 1e-1;
+    let naive = NaiveInterpreter::new(NaiveConfig::with_edge(naive_h));
+    let openapi = OpenApiInterpreter::new(OpenApiConfig::default());
+
+    let rows: Vec<Vec<String>> = parallel_map(&items, cfg.seed, |i, &(idx, class), rng| {
+        let x0 = panel.test.instance(idx);
+        let truth = ground_truth_features(&panel.model, x0, class);
+        let bracket =
+            estimate_region_edge(&panel.model, x0, class, &OpenApiConfig::default(), 8.0, rng)
+                .ok();
+        let region_edge = bracket
+            .as_ref()
+            .map(|b| match b.inconsistent_edge {
+                Some(u) => format!("[{:.1e}, {:.1e})", b.consistent_edge, u),
+                None => format!(">= {:.1e}", b.consistent_edge),
+            })
+            .unwrap_or_else(|| "?".to_string());
+        let naive_err = naive
+            .interpret(&panel.model, x0, class, rng)
+            .map(|i| format!("{:.2e}", l1_dist(&truth, &i.decision_features)))
+            .unwrap_or_else(|_| "fail".to_string());
+        let oa_err = openapi
+            .interpret(&panel.model, x0, class, rng)
+            .map(|r| format!("{:.2e}", l1_dist(&truth, &r.interpretation.decision_features)))
+            .unwrap_or_else(|_| "fail".to_string());
+        vec![
+            format!("#{i}"),
+            region_edge,
+            naive_err,
+            oa_err,
+        ]
+    });
+
+    let mut table = Table::new(
+        format!(
+            "Figure 1 demo — {} (naive h = {naive_h}; regions narrower than h break it)",
+            panel.name
+        ),
+        &["instance", "region edge bracket", "naive L1Dist", "OpenAPI L1Dist"],
+    );
+    for row in &rows {
+        table.push_row(row.clone());
+    }
+    println!("{}", table.render());
+    println!(
+        "reading: instances whose region bracket sits below h = {naive_h} are the\n\
+         paper's 'instance B' — the naive method mixes regions there and errs by\n\
+         orders of magnitude; OpenAPI's adaptive shrinking stays exact on all rows.\n"
+    );
+    write_csv(
+        &out_path(cfg, "fig1_boundary_demo.csv"),
+        &["instance", "region_edge_bracket", "naive_l1", "openapi_l1"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_plnn_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn demo_runs_and_reports_brackets() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 2;
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig1_test");
+        let panel = build_plnn_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("fig1_boundary_demo.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 3);
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

@@ -1,0 +1,114 @@
+//! Figure 2: class-average images and class-average OpenAPI decision
+//! features as heatmaps, for the FMNIST-style panels.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::out_path;
+use crate::panel::Panel;
+use crate::parallel::parallel_map;
+use openapi_core::{OpenApiConfig, OpenApiInterpreter};
+use openapi_data::SynthStyle;
+use openapi_linalg::Vector;
+use openapi_metrics::heatmap::{mean_vector, signed_ascii, write_heatmap_csv, write_pgm};
+
+/// The five showcased classes, matching the paper's Figure 2: boot,
+/// pullover, coat, sneaker, T-shirt.
+pub const SHOWCASE_CLASSES: [usize; 5] = [9, 2, 4, 7, 0];
+
+/// Runs the case study on every FMNIST-style panel; prints ASCII heatmaps
+/// and writes PGM + CSV per (panel, class).
+///
+/// # Errors
+/// I/O errors writing outputs.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let side = cfg.side();
+    for panel in panels.iter().filter(|p| p.style == SynthStyle::FmnistLike) {
+        println!("== Figure 2 — {} ==", panel.name);
+        for &class in &SHOWCASE_CLASSES {
+            let class_name = panel.style.class_names()[class];
+            // Class-average image over the test split.
+            let avg_image = panel
+                .test
+                .class_mean(class)
+                .expect("balanced splits contain every class");
+
+            // Instances of this class to interpret.
+            let members: Vec<usize> = (0..panel.test.len())
+                .filter(|&i| panel.test.label(i) == class)
+                .take(cfg.fig2_instances)
+                .collect();
+            let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+            let features: Vec<Option<Vector>> = parallel_map(&members, cfg.seed, |_, &idx, rng| {
+                interpreter
+                    .interpret(&panel.model, panel.test.instance(idx), class, rng)
+                    .ok()
+                    .map(|r| r.interpretation.decision_features)
+            });
+            let ok: Vec<Vector> = features.into_iter().flatten().collect();
+            if ok.is_empty() {
+                println!("  class {class_name}: OpenAPI failed on all instances (boundary-degenerate)");
+                continue;
+            }
+            let avg_features = mean_vector(&ok);
+
+            let tag = format!(
+                "fig2_{}_{}_{class_name}",
+                panel.style.name().replace('-', "_"),
+                panel.model.family().to_lowercase()
+            );
+            write_pgm(&out_path(cfg, &format!("{tag}_features.pgm")), avg_features.as_slice(), side, side)?;
+            write_heatmap_csv(&out_path(cfg, &format!("{tag}_features.csv")), avg_features.as_slice(), side)?;
+            write_pgm(&out_path(cfg, &format!("{tag}_image.pgm")), avg_image.as_slice(), side, side)?;
+
+            println!(
+                "  class {class_name} ({} instances interpreted) — decision features D_c:",
+                ok.len()
+            );
+            println!("{}", indent(&signed_ascii(avg_features.as_slice(), side, side), 4));
+        }
+    }
+    Ok(())
+}
+
+fn indent(s: &str, n: usize) -> String {
+    let pad = " ".repeat(n);
+    s.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_lmt_panel;
+
+    #[test]
+    fn produces_heatmap_files_for_fmnist_panels() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.fig2_instances = 2;
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig2_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::FmnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&cfg.out_dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            entries.iter().any(|n| n.contains("Boot") && n.ends_with("features.pgm")),
+            "{entries:?}"
+        );
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+
+    #[test]
+    fn skips_non_fmnist_panels() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig2_skip_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        assert!(!cfg.out_dir.exists() || std::fs::read_dir(&cfg.out_dir).unwrap().next().is_none());
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

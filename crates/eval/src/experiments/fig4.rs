@@ -1,0 +1,100 @@
+//! Figure 4: consistency — cosine similarity between the interpretation of
+//! each instance and that of its nearest test-set neighbour, sorted
+//! descending.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use crate::parallel::parallel_map;
+use openapi_core::Method;
+use openapi_data::knn::all_nearest_neighbors;
+use openapi_metrics::consistency::{mean_similarity, sorted_similarity_series};
+use openapi_metrics::report::{write_csv, Table};
+
+/// Runs the consistency experiment; prints mean CS per method and writes
+/// the sorted per-instance series to `fig4_consistency.csv`.
+///
+/// # Errors
+/// I/O errors writing the CSV.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let methods = Method::effectiveness_lineup();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for panel in panels {
+        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
+        let classes = predicted_classes(panel, &indices);
+        // Nearest neighbours within the sampled subset (the paper's 1000
+        // sampled instances play both roles).
+        let subset = panel.test.subset(&indices);
+        let nns = all_nearest_neighbors(&subset, &subset, true);
+
+        let mut table = Table::new(
+            format!("Figure 4 — {} (cosine similarity to nearest neighbour)", panel.name),
+            &["method", "mean CS", "median CS", "min CS"],
+        );
+        for method in &methods {
+            let items: Vec<(usize, usize, usize)> = (0..indices.len())
+                .map(|i| (indices[i], indices[nns[i]], classes[i]))
+                .collect();
+            let sims: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(a, b, class), rng| {
+                let xa = panel.test.instance(a);
+                let xb = panel.test.instance(b);
+                let fa = method.attribution(&panel.model, xa, class, rng);
+                let fb = method.attribution(&panel.model, xb, class, rng);
+                match (fa, fb) {
+                    (Ok(fa), Ok(fb)) => fa.cosine_similarity(&fb).unwrap_or(f64::NAN),
+                    _ => f64::NAN,
+                }
+            });
+            let series = sorted_similarity_series(&sims);
+            let finite: Vec<f64> = series.iter().copied().filter(|v| v.is_finite()).collect();
+            let median = if finite.is_empty() {
+                f64::NAN
+            } else {
+                finite[finite.len() / 2]
+            };
+            let min = finite.last().copied().unwrap_or(f64::NAN);
+            table.push_row(vec![
+                method.name(),
+                format!("{:.4}", mean_similarity(&sims)),
+                format!("{median:.4}"),
+                format!("{min:.4}"),
+            ]);
+            for (rank, cs) in series.iter().enumerate() {
+                csv_rows.push(vec![
+                    panel.name.clone(),
+                    method.name(),
+                    rank.to_string(),
+                    format!("{cs:.6}"),
+                ]);
+            }
+        }
+        println!("{}", table.render());
+    }
+    write_csv(
+        &out_path(cfg, "fig4_consistency.csv"),
+        &["panel", "method", "rank", "cosine_similarity"],
+        &csv_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_lmt_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn produces_sorted_series_per_method() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 3;
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig4_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("fig4_consistency.csv")).unwrap();
+        // 5 methods × 3 instances + header.
+        assert_eq!(csv.lines().count(), 16);
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

@@ -1,0 +1,91 @@
+//! Figure 6: sample quality — Weight Difference (min/mean/max error bars)
+//! of each method's sample set against the interpreted instance's true core
+//! parameters.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use crate::parallel::parallel_map;
+use openapi_core::Method;
+use openapi_linalg::Summary;
+use openapi_metrics::report::{write_csv, Table};
+use openapi_metrics::weight_difference;
+
+/// Runs the WD experiment; prints min/mean/max per method and writes
+/// `fig6_weight_diff.csv`.
+///
+/// # Errors
+/// I/O errors writing the CSV.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let methods = Method::quality_lineup();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for panel in panels {
+        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
+        let classes = predicted_classes(panel, &indices);
+        let mut table = Table::new(
+            format!("Figure 6 — {} (Weight Difference min/mean/max)", panel.name),
+            &["method", "min", "mean", "max"],
+        );
+        for method in &methods {
+            let items: Vec<(usize, usize)> =
+                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let wds: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
+                let x0 = panel.test.instance(idx);
+                match openapi_metrics::samples::method_samples(method, &panel.model, x0, class, rng)
+                {
+                    Some(samples) => weight_difference(&panel.model, x0, class, &samples),
+                    None => f64::NAN, // OpenAPI budget exhaustion: excluded
+                }
+            });
+            let summary = Summary::from_iter(wds.iter().copied());
+            table.push_row(vec![
+                method.name(),
+                fmt_opt(summary.min()),
+                fmt_opt(summary.mean()),
+                fmt_opt(summary.max()),
+            ]);
+            csv_rows.push(vec![
+                panel.name.clone(),
+                method.name(),
+                fmt_opt(summary.min()),
+                fmt_opt(summary.mean()),
+                fmt_opt(summary.max()),
+                summary.non_finite().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    write_csv(
+        &out_path(cfg, "fig6_weight_diff.csv"),
+        &["panel", "method", "min_wd", "mean_wd", "max_wd", "failures"],
+        &csv_rows,
+    )
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4e}")).unwrap_or_else(|| "—".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_plnn_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn openapi_wd_is_zero() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 3;
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig6_test");
+        let panel = build_plnn_panel(&cfg, SynthStyle::FmnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("fig6_weight_diff.csv")).unwrap();
+        let oa = csv.lines().find(|l| l.contains("OpenAPI")).unwrap();
+        // mean WD field is exactly zero.
+        let mean = oa.split(',').nth(3).unwrap();
+        assert!(mean.starts_with("0.0000e0"), "{oa}");
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

@@ -1,0 +1,102 @@
+//! Figure 7: exactness — L1 distance between each method's decision
+//! features and the ground truth, min/mean/max over instances (the paper
+//! plots these on a log scale).
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use crate::parallel::parallel_map;
+use openapi_core::Method;
+use openapi_linalg::Summary;
+use openapi_metrics::exactness::{ground_truth_features, l1_dist};
+use openapi_metrics::report::{write_csv, Table};
+
+/// Runs the exactness experiment; prints min/mean/max L1Dist per method and
+/// writes `fig7_exactness.csv`.
+///
+/// # Errors
+/// I/O errors writing the CSV.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let methods = Method::quality_lineup();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for panel in panels {
+        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
+        let classes = predicted_classes(panel, &indices);
+        let mut table = Table::new(
+            format!("Figure 7 — {} (L1Dist to ground truth, min/mean/max)", panel.name),
+            &["method", "min", "mean", "max", "failures"],
+        );
+        for method in &methods {
+            let items: Vec<(usize, usize)> =
+                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let dists: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
+                let x0 = panel.test.instance(idx);
+                match method.attribution(&panel.model, x0, class, rng) {
+                    Ok(computed) if computed.is_finite() => {
+                        let truth = ground_truth_features(&panel.model, x0, class);
+                        l1_dist(&truth, &computed)
+                    }
+                    _ => f64::NAN,
+                }
+            });
+            let summary = Summary::from_iter(dists.iter().copied());
+            table.push_row(vec![
+                method.name(),
+                fmt_opt(summary.min()),
+                fmt_opt(summary.mean()),
+                fmt_opt(summary.max()),
+                summary.non_finite().to_string(),
+            ]);
+            csv_rows.push(vec![
+                panel.name.clone(),
+                method.name(),
+                fmt_opt(summary.min()),
+                fmt_opt(summary.mean()),
+                fmt_opt(summary.max()),
+                summary.non_finite().to_string(),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    write_csv(
+        &out_path(cfg, "fig7_exactness.csv"),
+        &["panel", "method", "min_l1", "mean_l1", "max_l1", "failures"],
+        &csv_rows,
+    )
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    v.map(|x| format!("{x:.4e}")).unwrap_or_else(|| "—".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_lmt_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn openapi_l1dist_is_orders_below_worst_baseline() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 3;
+        cfg.out_dir = std::env::temp_dir().join("openapi_fig7_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("fig7_exactness.csv")).unwrap();
+        let mean_of = |tag: &str| -> f64 {
+            csv.lines()
+                .find(|l| l.contains(tag))
+                .and_then(|l| l.split(',').nth(3))
+                .and_then(|v| v.parse::<f64>().ok())
+                .unwrap_or(f64::NAN)
+        };
+        let oa = mean_of("OpenAPI");
+        let ridge = mean_of("R(1e-8)");
+        assert!(oa.is_finite());
+        assert!(oa < 1e-4, "OpenAPI must be near-exact, got {oa}");
+        assert!(ridge > oa * 100.0, "ridge LIME should be far worse: {ridge} vs {oa}");
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! One module per paper artifact; see the crate docs for the mapping.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod queries;
+pub mod reverse;
+pub mod table1;
+
+use crate::config::ExperimentConfig;
+use crate::panel::Panel;
+use openapi_api::PredictionApi;
+
+/// Convenience used by several experiments: the predicted class of each
+/// selected evaluation instance.
+pub(crate) fn predicted_classes(panel: &Panel, indices: &[usize]) -> Vec<usize> {
+    indices
+        .iter()
+        .map(|&i| panel.model.predict_label(panel.test.instance(i).as_slice()))
+        .collect()
+}
+
+/// Output-path helper: `<out_dir>/<file>` with the directory created.
+pub(crate) fn out_path(cfg: &ExperimentConfig, file: &str) -> std::path::PathBuf {
+    std::fs::create_dir_all(&cfg.out_dir).ok();
+    cfg.out_dir.join(file)
+}

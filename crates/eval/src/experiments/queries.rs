@@ -1,0 +1,94 @@
+//! Query-budget accounting: what each interpretation costs at the API.
+//!
+//! The paper notes OpenAPI's complexity `O(T · C (d+2)³)` with `T` the
+//! number of shrink iterations; this experiment measures the *billable*
+//! side of every black-box method — prediction queries per interpretation —
+//! which is what a real cloud deployment meters. Gradient methods are free
+//! at the API (they bill parameter access instead) and are omitted.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::{out_path, predicted_classes};
+use crate::panel::{eval_indices, Panel};
+use openapi_api::CountingApi;
+use openapi_core::Method;
+use openapi_linalg::Summary;
+use openapi_metrics::report::{write_csv, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the accounting on every panel; prints queries min/mean/max per
+/// method and writes `queries_budget.csv`.
+///
+/// # Errors
+/// I/O errors writing the CSV.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let methods: Vec<Method> = Method::quality_lineup()
+        .into_iter()
+        .filter(|m| m.is_black_box())
+        .collect();
+    let mut csv_rows: Vec<Vec<String>> = Vec::new();
+
+    for panel in panels {
+        let indices = eval_indices(panel, cfg.eval_instances.min(8), cfg.seed);
+        let classes = predicted_classes(panel, &indices);
+        let mut table = Table::new(
+            format!("Query budget — {} (prediction queries per interpretation)", panel.name),
+            &["method", "min", "mean", "max"],
+        );
+        for method in &methods {
+            let mut summary = Summary::new();
+            let api = CountingApi::new(&panel.model);
+            for (&idx, &class) in indices.iter().zip(classes.iter()) {
+                let mut rng = StdRng::seed_from_u64(cfg.seed ^ idx as u64);
+                api.reset();
+                let _ = method.attribution(&api, panel.test.instance(idx), class, &mut rng);
+                summary.push(api.queries() as f64);
+            }
+            let fmt = |v: Option<f64>| v.map(|x| format!("{x:.0}")).unwrap_or_default();
+            table.push_row(vec![
+                method.name(),
+                fmt(summary.min()),
+                fmt(summary.mean()),
+                fmt(summary.max()),
+            ]);
+            csv_rows.push(vec![
+                panel.name.clone(),
+                method.name(),
+                fmt(summary.min()),
+                fmt(summary.mean()),
+                fmt(summary.max()),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    write_csv(
+        &out_path(cfg, "queries_budget.csv"),
+        &["panel", "method", "min_queries", "mean_queries", "max_queries"],
+        &csv_rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_lmt_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn query_counts_match_method_formulas() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 2;
+        cfg.out_dir = std::env::temp_dir().join("openapi_queries_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("queries_budget.csv")).unwrap();
+        // ZOO costs exactly 2d + 1 = 393 queries at d = 196.
+        let zoo = csv.lines().find(|l| l.contains("Z(1e-4)")).unwrap();
+        assert!(zoo.contains("393"), "{zoo}");
+        // The naive method costs exactly d + 1 = 197.
+        let naive = csv.lines().find(|l| l.contains("N(1e-4)")).unwrap();
+        assert!(naive.contains("197"), "{naive}");
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

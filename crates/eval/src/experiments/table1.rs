@@ -1,0 +1,54 @@
+//! Table I: training and testing accuracies of all target models.
+
+use crate::config::ExperimentConfig;
+use crate::experiments::out_path;
+use crate::panel::Panel;
+use openapi_metrics::report::{write_csv, Table};
+
+/// Prints Table I and writes `table1_accuracy.csv`.
+///
+/// # Errors
+/// I/O errors writing the CSV.
+pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
+    let mut table = Table::new(
+        "Table I — training and testing accuracies",
+        &["model", "dataset", "train", "test"],
+    );
+    let mut rows = Vec::new();
+    for p in panels {
+        let row = vec![
+            p.model.family().to_string(),
+            p.style.name().to_string(),
+            format!("{:.3}", p.train_accuracy),
+            format!("{:.3}", p.test_accuracy),
+        ];
+        table.push_row(row.clone());
+        rows.push(row);
+    }
+    println!("{}", table.render());
+    write_csv(
+        &out_path(cfg, "table1_accuracy.csv"),
+        &["model", "dataset", "train_accuracy", "test_accuracy"],
+        &rows,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+    use crate::panel::build_lmt_panel;
+    use openapi_data::SynthStyle;
+
+    #[test]
+    fn writes_csv_with_one_row_per_panel() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.out_dir = std::env::temp_dir().join("openapi_table1_test");
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        run(&cfg, &[panel]).unwrap();
+        let csv = std::fs::read_to_string(cfg.out_dir.join("table1_accuracy.csv")).unwrap();
+        assert_eq!(csv.lines().count(), 2);
+        assert!(csv.starts_with("model,dataset"));
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+    }
+}

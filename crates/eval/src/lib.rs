@@ -1,0 +1,28 @@
+//! Experiment harness: regenerates every table and figure of the paper.
+//!
+//! The `openapi-exp` binary dispatches to one module per artifact:
+//!
+//! | Command | Paper artifact | Module |
+//! |---|---|---|
+//! | `table1` | Table I (model accuracies) | [`experiments::table1`] |
+//! | `fig2` | Figure 2 (decision-feature heatmaps) | [`experiments::fig2`] |
+//! | `fig3` | Figure 3 (CPP / NLCI effectiveness) | [`experiments::fig3`] |
+//! | `fig4` | Figure 4 (cosine-similarity consistency) | [`experiments::fig4`] |
+//! | `fig5` | Figure 5 (Region Difference) | [`experiments::fig5`] |
+//! | `fig6` | Figure 6 (Weight Difference) | [`experiments::fig6`] |
+//! | `fig7` | Figure 7 (L1Dist exactness) | [`experiments::fig7`] |
+//! | `ablation` | §IV-C design choices (solver, tolerance, shrink, degraded APIs) | [`experiments::ablation`] |
+//! | `reverse` | §VI future work (reverse engineering) | [`experiments::reverse`] |
+//!
+//! Every experiment prints the series/rows the paper reports and writes CSV
+//! into the output directory. Scale profiles (`smoke` / `quick` / `paper`)
+//! trade instance counts and model sizes for runtime; the *shape* of every
+//! result is profile-independent.
+
+pub mod config;
+pub mod experiments;
+pub mod panel;
+pub mod parallel;
+
+pub use config::{ExperimentConfig, Profile};
+pub use panel::{build_panels, Panel, PanelModel};

@@ -1,0 +1,125 @@
+//! `openapi-exp` — regenerate any table/figure of the paper.
+//!
+//! ```text
+//! openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] [--out DIR]
+//!
+//! experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7 ablation reverse all
+//! ```
+
+use openapi_eval::experiments;
+use openapi_eval::{build_panels, ExperimentConfig, Profile};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] [--out DIR]
+experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(exp) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+
+    let mut profile = Profile::Quick;
+    let mut seed: Option<u64> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--profile" => {
+                let Some(p) = args.get(i + 1).and_then(|v| Profile::parse(v)) else {
+                    eprintln!("bad --profile value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                profile = p;
+                i += 2;
+            }
+            "--seed" => {
+                let Some(s) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("bad --seed value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                seed = Some(s);
+                i += 2;
+            }
+            "--out" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("bad --out value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument {other}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut cfg = ExperimentConfig::for_profile(profile);
+    if let Some(s) = seed {
+        cfg.seed = s;
+    }
+    if let Some(dir) = out {
+        cfg.out_dir = dir;
+    }
+
+    println!(
+        "openapi-exp: experiment={exp} profile={profile:?} seed={} d={} out={}",
+        cfg.seed,
+        cfg.dim(),
+        cfg.out_dir.display()
+    );
+    println!("building panels (train={}, test={})…", cfg.train_size, cfg.test_size);
+    let t0 = std::time::Instant::now();
+    let panels = build_panels(&cfg);
+    for p in &panels {
+        println!(
+            "  {}: train acc {:.3}, test acc {:.3}",
+            p.name, p.train_accuracy, p.test_accuracy
+        );
+    }
+    println!("panels ready in {:.1}s\n", t0.elapsed().as_secs_f64());
+
+    let result = match exp.as_str() {
+        "table1" => experiments::table1::run(&cfg, &panels),
+        "fig1" => experiments::fig1::run(&cfg, &panels),
+        "fig2" => experiments::fig2::run(&cfg, &panels),
+        "fig3" => experiments::fig3::run(&cfg, &panels),
+        "fig4" => experiments::fig4::run(&cfg, &panels),
+        "fig5" => experiments::fig5::run(&cfg, &panels),
+        "fig6" => experiments::fig6::run(&cfg, &panels),
+        "fig7" => experiments::fig7::run(&cfg, &panels),
+        "queries" => experiments::queries::run(&cfg, &panels),
+        "ablation" => experiments::ablation::run(&cfg, &panels),
+        "reverse" => experiments::reverse::run(&cfg, &panels),
+        "all" => experiments::table1::run(&cfg, &panels)
+            .and_then(|_| experiments::fig2::run(&cfg, &panels))
+            .and_then(|_| experiments::fig3::run(&cfg, &panels))
+            .and_then(|_| experiments::fig4::run(&cfg, &panels))
+            .and_then(|_| experiments::fig5::run(&cfg, &panels))
+            .and_then(|_| experiments::fig6::run(&cfg, &panels))
+            .and_then(|_| experiments::fig7::run(&cfg, &panels))
+            .and_then(|_| experiments::fig1::run(&cfg, &panels))
+            .and_then(|_| experiments::queries::run(&cfg, &panels))
+            .and_then(|_| experiments::ablation::run(&cfg, &panels))
+            .and_then(|_| experiments::reverse::run(&cfg, &panels)),
+        other => {
+            eprintln!("unknown experiment {other}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match result {
+        Ok(()) => {
+            println!("done in {:.1}s total", t0.elapsed().as_secs_f64());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiment failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

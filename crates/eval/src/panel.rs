@@ -1,0 +1,262 @@
+//! Panel setup: the four dataset × model combinations of the evaluation.
+//!
+//! The paper evaluates on {FMNIST, MNIST} × {LMT, PLNN}. A [`Panel`] holds
+//! one trained combination plus its data; [`build_panels`] constructs all
+//! four deterministically from the experiment seed.
+
+use crate::config::ExperimentConfig;
+use openapi_api::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_data::synth::{SynthConfig, SynthStyle};
+use openapi_data::{downsample, Dataset};
+use openapi_lmt::{Lmt, LmtConfig, LogisticConfig};
+use openapi_nn::{train, Activation, Plnn, TrainConfig};
+use openapi_linalg::Vector;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A trained PLM of either family, with uniform oracle access.
+#[derive(Debug, Clone)]
+pub enum PanelModel {
+    /// Piecewise linear neural network.
+    Plnn(Plnn),
+    /// Logistic model tree.
+    Lmt(Lmt),
+}
+
+impl PanelModel {
+    /// Family name as used in the paper's tables.
+    pub fn family(&self) -> &'static str {
+        match self {
+            PanelModel::Plnn(_) => "PLNN",
+            PanelModel::Lmt(_) => "LMT",
+        }
+    }
+}
+
+impl PredictionApi for PanelModel {
+    fn dim(&self) -> usize {
+        match self {
+            PanelModel::Plnn(m) => m.dim(),
+            PanelModel::Lmt(m) => m.dim(),
+        }
+    }
+
+    fn num_classes(&self) -> usize {
+        match self {
+            PanelModel::Plnn(m) => m.num_classes(),
+            PanelModel::Lmt(m) => m.num_classes(),
+        }
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        match self {
+            PanelModel::Plnn(m) => m.predict(x),
+            PanelModel::Lmt(m) => m.predict(x),
+        }
+    }
+}
+
+impl GroundTruthOracle for PanelModel {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        match self {
+            PanelModel::Plnn(m) => m.region_id(x),
+            PanelModel::Lmt(m) => m.region_id(x),
+        }
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        match self {
+            PanelModel::Plnn(m) => m.local_model(x),
+            PanelModel::Lmt(m) => m.local_model(x),
+        }
+    }
+}
+
+impl GradientOracle for PanelModel {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        match self {
+            PanelModel::Plnn(m) => m.logit_gradient(x, class),
+            PanelModel::Lmt(m) => m.logit_gradient(x, class),
+        }
+    }
+}
+
+/// One dataset × model evaluation panel.
+#[derive(Debug, Clone)]
+pub struct Panel {
+    /// e.g. "synth-FMNIST (PLNN)".
+    pub name: String,
+    /// Template family of the dataset.
+    pub style: SynthStyle,
+    /// Training split.
+    pub train: Dataset,
+    /// Test split (experiments draw their instances from here).
+    pub test: Dataset,
+    /// The trained PLM.
+    pub model: PanelModel,
+    /// Training accuracy (for Table I).
+    pub train_accuracy: f64,
+    /// Test accuracy (for Table I).
+    pub test_accuracy: f64,
+}
+
+fn model_accuracy(model: &PanelModel, data: &Dataset) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(x, l)| model.predict_label(x.as_slice()) == *l)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Generates one dataset pair at the configured scale (pooled if the
+/// profile asks for reduced dimensionality).
+pub fn build_dataset(cfg: &ExperimentConfig, style: SynthStyle) -> (Dataset, Dataset) {
+    let synth = SynthConfig::small(style, cfg.train_size, cfg.test_size, cfg.seed ^ style_tag(style));
+    let (train, test) = synth.generate();
+    if cfg.pool_factor > 1 {
+        (downsample(&train, cfg.pool_factor), downsample(&test, cfg.pool_factor))
+    } else {
+        (train, test)
+    }
+}
+
+fn style_tag(style: SynthStyle) -> u64 {
+    match style {
+        SynthStyle::MnistLike => 0x6d6e, // "mn"
+        SynthStyle::FmnistLike => 0x666d, // "fm"
+    }
+}
+
+/// Trains a PLNN panel on `style`'s data.
+pub fn build_plnn_panel(cfg: &ExperimentConfig, style: SynthStyle) -> Panel {
+    let (train_set, test_set) = build_dataset(cfg, style);
+    let mut dims = vec![train_set.dim()];
+    dims.extend_from_slice(&cfg.plnn_hidden);
+    dims.push(train_set.num_classes());
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x504c4e4e); // "PLNN"
+    let mut net = Plnn::mlp(&dims, Activation::ReLU, &mut rng);
+    let train_cfg = TrainConfig {
+        epochs: cfg.plnn_epochs,
+        batch_size: 32,
+        optimizer: openapi_nn::Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    let _ = train(&mut net, &train_set, &train_cfg, &mut rng);
+    let model = PanelModel::Plnn(net);
+    let train_accuracy = model_accuracy(&model, &train_set);
+    let test_accuracy = model_accuracy(&model, &test_set);
+    Panel {
+        name: format!("{} (PLNN)", style.name()),
+        style,
+        train: train_set,
+        test: test_set,
+        model,
+        train_accuracy,
+        test_accuracy,
+    }
+}
+
+/// Trains an LMT panel on `style`'s data.
+pub fn build_lmt_panel(cfg: &ExperimentConfig, style: SynthStyle) -> Panel {
+    let (train_set, test_set) = build_dataset(cfg, style);
+    let lmt_cfg = LmtConfig {
+        min_leaf_instances: cfg.lmt_min_leaf,
+        logistic: LogisticConfig { epochs: cfg.lmt_epochs, ..Default::default() },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4c4d54); // "LMT"
+    let tree = Lmt::fit(&train_set, &lmt_cfg, &mut rng);
+    let model = PanelModel::Lmt(tree);
+    let train_accuracy = model_accuracy(&model, &train_set);
+    let test_accuracy = model_accuracy(&model, &test_set);
+    Panel {
+        name: format!("{} (LMT)", style.name()),
+        style,
+        train: train_set,
+        test: test_set,
+        model,
+        train_accuracy,
+        test_accuracy,
+    }
+}
+
+/// Builds all four evaluation panels, in the paper's order:
+/// FMNIST-LMT, FMNIST-PLNN, MNIST-LMT, MNIST-PLNN.
+pub fn build_panels(cfg: &ExperimentConfig) -> Vec<Panel> {
+    let mut panels = Vec::with_capacity(4);
+    for style in [SynthStyle::FmnistLike, SynthStyle::MnistLike] {
+        panels.push(build_lmt_panel(cfg, style));
+        panels.push(build_plnn_panel(cfg, style));
+    }
+    panels
+}
+
+/// Deterministically selects `n` evaluation-instance indices from a panel's
+/// test set (the paper samples 1000 uniformly).
+pub fn eval_indices(panel: &Panel, n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xe7a1);
+    panel.test.sample_indices(n.min(panel.test.len()), &mut rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Profile;
+
+    fn smoke_cfg() -> ExperimentConfig {
+        ExperimentConfig::for_profile(Profile::Smoke)
+    }
+
+    #[test]
+    fn plnn_panel_trains_to_reasonable_accuracy() {
+        let p = build_plnn_panel(&smoke_cfg(), SynthStyle::MnistLike);
+        assert!(p.train_accuracy > 0.8, "train acc {}", p.train_accuracy);
+        assert!(p.test_accuracy > 0.7, "test acc {}", p.test_accuracy);
+        assert_eq!(p.model.dim(), 196);
+        assert_eq!(p.model.family(), "PLNN");
+    }
+
+    #[test]
+    fn lmt_panel_trains_to_reasonable_accuracy() {
+        let p = build_lmt_panel(&smoke_cfg(), SynthStyle::FmnistLike);
+        assert!(p.train_accuracy > 0.8, "train acc {}", p.train_accuracy);
+        assert!(p.test_accuracy > 0.7, "test acc {}", p.test_accuracy);
+        assert_eq!(p.model.family(), "LMT");
+    }
+
+    #[test]
+    fn panel_building_is_deterministic() {
+        let cfg = smoke_cfg();
+        let a = build_plnn_panel(&cfg, SynthStyle::MnistLike);
+        let b = build_plnn_panel(&cfg, SynthStyle::MnistLike);
+        assert_eq!(a.train_accuracy, b.train_accuracy);
+        assert_eq!(a.test_accuracy, b.test_accuracy);
+    }
+
+    #[test]
+    fn oracle_delegation_is_consistent() {
+        let p = build_plnn_panel(&smoke_cfg(), SynthStyle::MnistLike);
+        let x0 = p.test.instance(0);
+        let lm = p.model.local_model(x0.as_slice());
+        // Local model logits must reproduce the model's prediction.
+        let via = openapi_api::softmax(lm.logits(x0.as_slice()).as_slice());
+        let direct = p.model.predict(x0.as_slice());
+        for c in 0..10 {
+            assert!((via[c] - direct[c]).abs() < 1e-10);
+        }
+        // Region ids are self-consistent.
+        assert_eq!(p.model.region_id(x0.as_slice()), p.model.region_id(x0.as_slice()));
+    }
+
+    #[test]
+    fn eval_indices_are_deterministic_and_bounded() {
+        let p = build_lmt_panel(&smoke_cfg(), SynthStyle::MnistLike);
+        let a = eval_indices(&p, 10, 1);
+        let b = eval_indices(&p, 10, 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 10);
+        assert!(a.iter().all(|&i| i < p.test.len()));
+        let c = eval_indices(&p, 10_000, 1);
+        assert_eq!(c.len(), p.test.len());
+    }
+}

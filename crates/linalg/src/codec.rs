@@ -1,0 +1,194 @@
+//! Little-endian binary codec for vectors and matrices.
+//!
+//! The model-persistence formats of `openapi-nn` and `openapi-lmt` are
+//! built on these primitives: length-prefixed, fixed-width little-endian
+//! floats, with decode-side validation that never panics on malformed
+//! input. (The workspace's approved dependency set has `serde` but no
+//! serde *format* crate, so persistence is hand-rolled — which also keeps
+//! the on-disk layout explicit and stable.)
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use bytes::{Buf, BufMut};
+use std::fmt;
+
+/// Decoding failures (encoding is infallible).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes than the header/payload requires.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed by the next read.
+        needed: usize,
+        /// Bytes remaining.
+        remaining: usize,
+    },
+    /// A length or dimension field is implausible (overflow guard).
+    BadLength {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { what, needed, remaining } => {
+                write!(f, "decoding {what}: need {needed} bytes, {remaining} remain")
+            }
+            CodecError::BadLength { what, value } => {
+                write!(f, "decoding {what}: implausible length {value}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Upper bound on any single encoded dimension (1 Gi entries) — a decode
+/// of corrupted data must fail fast instead of attempting a huge
+/// allocation.
+const MAX_LEN: u64 = 1 << 30;
+
+fn check_remaining(buf: &impl Buf, what: &'static str, needed: usize) -> Result<(), CodecError> {
+    if buf.remaining() < needed {
+        Err(CodecError::Truncated { what, needed, remaining: buf.remaining() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Reads a length-prefix written by [`put_len`].
+pub fn get_len(buf: &mut impl Buf, what: &'static str) -> Result<usize, CodecError> {
+    check_remaining(buf, what, 8)?;
+    let v = buf.get_u64_le();
+    if v > MAX_LEN {
+        return Err(CodecError::BadLength { what, value: v });
+    }
+    Ok(v as usize)
+}
+
+/// Writes a `usize` as a little-endian u64 prefix.
+pub fn put_len(buf: &mut impl BufMut, v: usize) {
+    buf.put_u64_le(v as u64);
+}
+
+/// Writes a vector: length prefix then entries as `f64` little-endian.
+pub fn put_vector(buf: &mut impl BufMut, v: &Vector) {
+    put_len(buf, v.len());
+    for x in v.iter() {
+        buf.put_f64_le(*x);
+    }
+}
+
+/// Reads a vector written by [`put_vector`].
+pub fn get_vector(buf: &mut impl Buf, what: &'static str) -> Result<Vector, CodecError> {
+    let n = get_len(buf, what)?;
+    check_remaining(buf, what, n * 8)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(buf.get_f64_le());
+    }
+    Ok(Vector(out))
+}
+
+/// Writes a matrix: rows, cols prefixes then row-major `f64` entries.
+pub fn put_matrix(buf: &mut impl BufMut, m: &Matrix) {
+    put_len(buf, m.rows());
+    put_len(buf, m.cols());
+    for x in m.as_slice() {
+        buf.put_f64_le(*x);
+    }
+}
+
+/// Reads a matrix written by [`put_matrix`].
+pub fn get_matrix(buf: &mut impl Buf, what: &'static str) -> Result<Matrix, CodecError> {
+    let rows = get_len(buf, what)?;
+    let cols = get_len(buf, what)?;
+    let total = rows.checked_mul(cols).ok_or(CodecError::BadLength {
+        what,
+        value: u64::MAX,
+    })?;
+    if total as u64 > MAX_LEN {
+        return Err(CodecError::BadLength { what, value: total as u64 });
+    }
+    check_remaining(buf, what, total * 8)?;
+    let mut data = Vec::with_capacity(total);
+    for _ in 0..total {
+        data.push(buf.get_f64_le());
+    }
+    Ok(Matrix::from_vec(rows, cols, data).expect("sizes read together"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_round_trip() {
+        let v = Vector(vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE]);
+        let mut buf = Vec::new();
+        put_vector(&mut buf, &v);
+        let mut slice = buf.as_slice();
+        let back = get_vector(&mut slice, "v").unwrap();
+        assert_eq!(v, back);
+        assert!(slice.is_empty(), "decoder must consume exactly");
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-4.0, 5.5, 6.0]]).unwrap();
+        let mut buf = Vec::new();
+        put_matrix(&mut buf, &m);
+        let back = get_matrix(&mut buf.as_slice(), "m").unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn truncated_payload_is_detected() {
+        let v = Vector(vec![1.0, 2.0, 3.0]);
+        let mut buf = Vec::new();
+        put_vector(&mut buf, &v);
+        buf.truncate(buf.len() - 4);
+        let err = get_vector(&mut buf.as_slice(), "v").unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn truncated_header_is_detected() {
+        let buf = [0u8; 3];
+        let err = get_len(&mut buf.as_slice(), "len").unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { .. }));
+    }
+
+    #[test]
+    fn implausible_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = get_len(&mut buf.as_slice(), "len").unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { .. }));
+    }
+
+    #[test]
+    fn matrix_dimension_overflow_is_rejected() {
+        let mut buf = Vec::new();
+        put_len(&mut buf, (1usize << 29) + 1);
+        put_len(&mut buf, 1usize << 29);
+        let err = get_matrix(&mut buf.as_slice(), "m").unwrap_err();
+        assert!(matches!(err, CodecError::BadLength { .. }));
+    }
+
+    #[test]
+    fn empty_containers_round_trip() {
+        let mut buf = Vec::new();
+        put_vector(&mut buf, &Vector::zeros(0));
+        put_matrix(&mut buf, &Matrix::zeros(0, 5));
+        let mut slice = buf.as_slice();
+        assert_eq!(get_vector(&mut slice, "v").unwrap().len(), 0);
+        let m = get_matrix(&mut slice, "m").unwrap();
+        assert_eq!((m.rows(), m.cols()), (0, 5));
+    }
+}

@@ -1,0 +1,101 @@
+//! Error type shared by all linear-algebra routines.
+
+use std::fmt;
+
+/// Errors produced by factorizations and solvers.
+///
+/// These are *numerical* conditions a caller is expected to handle (OpenAPI,
+/// for instance, resamples its perturbed instances when a system turns out
+/// singular), so they carry enough context to act on programmatically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible (e.g. `A·x` with `A.cols() != x.len()`).
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions observed, formatted by the operation.
+        expected: usize,
+        /// Dimensions observed, formatted by the operation.
+        found: usize,
+    },
+    /// A square system has no unique solution: a pivot fell below tolerance.
+    Singular {
+        /// Index of the pivot column where elimination broke down.
+        pivot: usize,
+        /// Magnitude of the offending pivot.
+        magnitude: f64,
+    },
+    /// A least-squares problem has numerically deficient column rank.
+    RankDeficient {
+        /// Estimated numerical rank.
+        rank: usize,
+        /// Number of columns (full rank would equal this).
+        cols: usize,
+    },
+    /// An operation that requires a non-empty container received an empty one.
+    Empty {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+    /// Input contained NaN or infinity where finite values are required.
+    NonFinite {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, expected, found } => {
+                write!(f, "{op}: dimension mismatch (expected {expected}, found {found})")
+            }
+            LinalgError::Singular { pivot, magnitude } => {
+                write!(f, "matrix is numerically singular at pivot {pivot} (|pivot| = {magnitude:.3e})")
+            }
+            LinalgError::RankDeficient { rank, cols } => {
+                write!(f, "least-squares matrix is rank deficient (rank {rank} of {cols} columns)")
+            }
+            LinalgError::Empty { op } => write!(f, "{op}: empty input"),
+            LinalgError::NonFinite { op } => write!(f, "{op}: non-finite value in input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = LinalgError::DimensionMismatch { op: "matvec", expected: 3, found: 4 };
+        assert!(e.to_string().contains("matvec"));
+        assert!(e.to_string().contains('3'));
+
+        let e = LinalgError::Singular { pivot: 2, magnitude: 1e-18 };
+        assert!(e.to_string().contains("pivot 2"));
+
+        let e = LinalgError::RankDeficient { rank: 2, cols: 5 };
+        assert!(e.to_string().contains("rank 2"));
+
+        let e = LinalgError::Empty { op: "mean" };
+        assert!(e.to_string().contains("mean"));
+
+        let e = LinalgError::NonFinite { op: "dot" };
+        assert!(e.to_string().contains("dot"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            LinalgError::Empty { op: "x" },
+            LinalgError::Empty { op: "x" }
+        );
+        assert_ne!(
+            LinalgError::Empty { op: "x" },
+            LinalgError::NonFinite { op: "x" }
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Dense linear algebra substrate for the OpenAPI reproduction.
+//!
+//! The OpenAPI method (Cong et al., ICDE 2020) reduces model interpretation to
+//! solving small-to-medium dense linear systems: a determined `(d+1)×(d+1)`
+//! system for the naive method and an overdetermined `(d+2)×(d+1)` system for
+//! OpenAPI itself, where `d` is the input dimensionality (784 for the paper's
+//! image workloads). This crate provides everything those solvers need,
+//! hand-rolled and dependency-free:
+//!
+//! * [`Vector`] and [`Matrix`] — dense `f64` containers with the usual
+//!   arithmetic, norms, and similarity measures.
+//! * [`LuFactor`] — LU factorization with partial pivoting for square solves
+//!   and determinants (the fast path of OpenAPI's consistency check).
+//! * [`QrFactor`] — Householder QR for least-squares solves and numerical
+//!   rank (the robust path of the consistency check, and the fitting engine
+//!   behind the LIME baselines).
+//! * [`solve`] — high-level entry points with residual diagnostics, used by
+//!   `openapi-core` to decide whether an overdetermined system is consistent.
+//!
+//! All routines are deterministic and allocate only what they return; hot
+//! paths (factor/solve) reuse caller-provided buffers where it matters.
+
+pub mod cholesky;
+pub mod codec;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod ridge;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::CholeskyFactor;
+pub use error::LinalgError;
+pub use lu::LuFactor;
+pub use matrix::Matrix;
+pub use qr::QrFactor;
+pub use ridge::ridge_regression;
+pub use solve::{lstsq, solve_square, ConsistencyReport, SolveDiagnostics};
+pub use stats::Summary;
+pub use vector::Vector;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

@@ -1,0 +1,157 @@
+//! Ridge (Tikhonov-regularized) regression.
+//!
+//! The paper's `Ridge Regression LIME` baseline fits
+//! `min ‖A·x − b‖² + λ‖x‖²` over perturbed instances. Section V-D shows this
+//! regularization is exactly what destroys exactness: with tiny perturbation
+//! distances the penalty dominates and the fit collapses toward a constant
+//! predictor. We implement it faithfully so the benchmark reproduces that
+//! failure mode.
+
+use crate::error::LinalgError;
+use crate::lu::LuFactor;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Solves the ridge regression problem `min ‖A·x − b‖² + λ‖x'‖²`.
+///
+/// `A` is `m × n` (any `m`, including `m < n` — the penalty makes the normal
+/// equations nonsingular for `λ > 0`). When `penalize_intercept` is `false`
+/// the *first* column of `A` is treated as the intercept column and excluded
+/// from the penalty, matching the equation layout used throughout this
+/// workspace (`[1 | x]`-style design matrices, bias first).
+///
+/// # Errors
+/// * [`LinalgError::DimensionMismatch`] when `b.len() != A.rows()`.
+/// * [`LinalgError::NonFinite`] for NaN/inf inputs or negative `λ`.
+/// * [`LinalgError::Singular`] when `λ = 0` and `AᵀA` is singular.
+pub fn ridge_regression(
+    a: &Matrix,
+    b: &[f64],
+    lambda: f64,
+    penalize_intercept: bool,
+) -> Result<Vector> {
+    if b.len() != a.rows() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "ridge_regression",
+            expected: a.rows(),
+            found: b.len(),
+        });
+    }
+    if !a.is_finite() || b.iter().any(|v| !v.is_finite()) || !lambda.is_finite() || lambda < 0.0 {
+        return Err(LinalgError::NonFinite { op: "ridge_regression" });
+    }
+    let n = a.cols();
+    // Normal equations: (AᵀA + λ·P) x = Aᵀ b, with P the penalty selector.
+    let mut ata = gram(a);
+    for i in 0..n {
+        if i == 0 && !penalize_intercept {
+            continue;
+        }
+        ata[(i, i)] += lambda;
+    }
+    let atb = a.matvec_t(b)?;
+    let f = LuFactor::new(&ata)?;
+    f.solve(atb.as_slice())
+}
+
+/// Computes the Gram matrix `AᵀA` exploiting symmetry.
+fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let mut g = Matrix::zeros(n, n);
+    for r in 0..a.rows() {
+        let row = a.row(r);
+        for i in 0..n {
+            let ri = row[i];
+            if ri == 0.0 {
+                continue;
+            }
+            for j in i..n {
+                g[(i, j)] += ri * row[j];
+            }
+        }
+    }
+    for i in 0..n {
+        for j in 0..i {
+            g[(i, j)] = g[(j, i)];
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qr::QrFactor;
+
+    #[test]
+    fn lambda_zero_matches_least_squares() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+            &[1.0, 3.0],
+        ])
+        .unwrap();
+        let b = [1.0, 3.0, 5.0, 7.0];
+        let ridge = ridge_regression(&a, &b, 0.0, true).unwrap();
+        let (ls, _) = QrFactor::new(&a).unwrap().solve_lstsq(&b).unwrap();
+        for i in 0..2 {
+            assert!((ridge[i] - ls[i]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn large_lambda_shrinks_slope_toward_zero() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            &[1.0, 2.0],
+        ])
+        .unwrap();
+        let b = [0.0, 2.0, 4.0]; // true slope 2
+        let small = ridge_regression(&a, &b, 1e-6, false).unwrap();
+        let large = ridge_regression(&a, &b, 1e6, false).unwrap();
+        assert!((small[1] - 2.0).abs() < 1e-3);
+        assert!(large[1].abs() < 1e-3, "slope must collapse under huge λ");
+        // With the intercept unpenalized, it absorbs the mean response.
+        assert!((large[0] - 2.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn penalized_intercept_also_shrinks() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0]]).unwrap();
+        let b = [5.0, 5.0];
+        let x = ridge_regression(&a, &b, 1e9, true).unwrap();
+        assert!(x[0].abs() < 1e-3);
+        assert!(x[1].abs() < 1e-3);
+    }
+
+    #[test]
+    fn underdetermined_is_fine_with_positive_lambda() {
+        // 1 equation, 2 unknowns: λ > 0 regularizes to a unique solution.
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]).unwrap();
+        let b = [5.0];
+        let x = ridge_regression(&a, &b, 0.5, true).unwrap();
+        assert!(x.is_finite());
+        // Minimum-norm-flavored solution keeps the ratio of coefficients at
+        // the ratio of the design entries (1:2) for a single row.
+        assert!((x[1] / x[0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let a = Matrix::identity(2);
+        assert!(ridge_regression(&a, &[1.0], 0.1, true).is_err());
+        assert!(ridge_regression(&a, &[1.0, f64::NAN], 0.1, true).is_err());
+        assert!(ridge_regression(&a, &[1.0, 1.0], -0.1, true).is_err());
+    }
+
+    #[test]
+    fn gram_matrix_is_symmetric_and_correct() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]).unwrap();
+        let g = gram(&a);
+        let explicit = a.transpose().matmul(&a).unwrap();
+        assert_eq!(g, explicit);
+    }
+}

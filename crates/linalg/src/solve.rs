@@ -1,0 +1,252 @@
+//! High-level solving entry points with residual diagnostics.
+//!
+//! `openapi-core` never touches factorizations directly; it asks this module
+//! "solve this square system" or "is this overdetermined system consistent,
+//! and if so what is its solution?". The diagnostics returned here feed the
+//! interpreter's iteration log (how close to singular the sampling geometry
+//! was, what the residuals looked like), which the ablation experiments
+//! analyze.
+
+use crate::error::LinalgError;
+use crate::lu::LuFactor;
+use crate::matrix::Matrix;
+use crate::qr::QrFactor;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Numerical diagnostics attached to a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveDiagnostics {
+    /// Residual `‖A·x̂ − b‖∞` over the equations used for the solve.
+    pub residual_inf: f64,
+    /// A cheap conditioning indicator (ratio of extreme pivot magnitudes for
+    /// LU; 0 when unavailable). Large values flag nearly-degenerate sampling.
+    pub condition_hint: f64,
+}
+
+/// Solves a square system `A·x = b` via LU with partial pivoting, returning
+/// the solution together with diagnostics.
+///
+/// # Errors
+/// Propagates the factorization errors of [`LuFactor::new`] and the shape
+/// errors of [`LuFactor::solve`].
+pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<(Vector, SolveDiagnostics)> {
+    let f = LuFactor::new(a)?;
+    let x = f.solve(b)?;
+    let ax = a.matvec(x.as_slice())?;
+    let residual_inf = ax
+        .iter()
+        .zip(b.iter())
+        .map(|(p, q)| (p - q).abs())
+        .fold(0.0f64, f64::max);
+    Ok((
+        x,
+        SolveDiagnostics { residual_inf, condition_hint: f.diagonal_condition() },
+    ))
+}
+
+/// Solves `min ‖A·x − b‖₂` via Householder QR.
+///
+/// Returns the minimizer and the residual 2-norm.
+///
+/// # Errors
+/// Propagates [`QrFactor::new`] / [`QrFactor::solve_lstsq`] errors.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Result<(Vector, f64)> {
+    QrFactor::new(a)?.solve_lstsq(b)
+}
+
+/// Verdict of a consistency check on an overdetermined system, as needed by
+/// OpenAPI's Theorem 2: "if `Ω_{d+2}` has at least one solution, the solution
+/// is unique and exact with probability 1".
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    /// The candidate solution (present even when inconsistent, for
+    /// diagnostics — it is the square-subsystem or least-squares solution).
+    pub solution: Vector,
+    /// Residual magnitude that was compared against the threshold.
+    pub residual: f64,
+    /// The threshold actually used (after scaling).
+    pub threshold: f64,
+    /// `true` when the system is numerically consistent.
+    pub consistent: bool,
+}
+
+/// Strategy for deciding whether an overdetermined system has a solution.
+///
+/// Both appear in the paper's construction: Theorem 2 argues through the
+/// square subsystems `Θ_i` (— the `SquareThenCheck` strategy), while "`Ω` has
+/// at least one solution" is literally a least-squares residual test
+/// (`LeastSquares`). They agree in exact arithmetic; the ablation bench
+/// compares their speed and floating-point robustness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConsistencyStrategy {
+    /// LU-solve the first `n` equations, then test the residuals of the
+    /// remaining rows. `O(n³/3)` — the fast path.
+    SquareThenCheck,
+    /// QR on the full system; consistency is a small least-squares residual.
+    /// ~4× the flops, but immune to an ill-conditioned leading block.
+    LeastSquares,
+}
+
+/// Checks whether the overdetermined system `A·x = b` (`rows > cols`) is
+/// consistent, within a relative tolerance.
+///
+/// The residual is compared against `rtol · max(1, ‖b‖∞)`: the right-hand
+/// sides here are log-probability ratios, typically `O(1)`–`O(10)`, and the
+/// `max(1, ·)` floor keeps the test meaningful when predictions are nearly
+/// uniform (tiny `‖b‖`).
+///
+/// # Errors
+/// * [`LinalgError::DimensionMismatch`] when `rows <= cols` or `b` mismatched.
+/// * Factorization errors ([`LinalgError::Singular`] /
+///   [`LinalgError::RankDeficient`]) when the sampling geometry degenerates —
+///   callers treat these as "resample", per Lemma 1 this happens with
+///   probability 0 for continuous samplers.
+pub fn check_consistency(
+    a: &Matrix,
+    b: &[f64],
+    rtol: f64,
+    strategy: ConsistencyStrategy,
+) -> Result<ConsistencyReport> {
+    let (m, n) = (a.rows(), a.cols());
+    if m <= n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "check_consistency (rows > cols required)",
+            expected: n + 1,
+            found: m,
+        });
+    }
+    if b.len() != m {
+        return Err(LinalgError::DimensionMismatch {
+            op: "check_consistency (rhs length)",
+            expected: m,
+            found: b.len(),
+        });
+    }
+    let bscale = b.iter().fold(0.0f64, |s, v| s.max(v.abs())).max(1.0);
+    let threshold = rtol * bscale;
+
+    match strategy {
+        #[allow(clippy::needless_range_loop)] // triangular row sweep reads clearest indexed
+        ConsistencyStrategy::SquareThenCheck => {
+            // Solve the leading n×n block.
+            let head = Matrix::from_fn(n, n, |r, c| a[(r, c)]);
+            let f = LuFactor::new(&head)?;
+            let x = f.solve(&b[..n])?;
+            // Residuals of the held-out equations decide consistency
+            // (Theorem 2's Θ construction: any solution of Ω solves every Θ).
+            let mut worst = 0.0f64;
+            for r in n..m {
+                let pred: f64 = a.row(r).iter().zip(x.iter()).map(|(p, q)| p * q).sum();
+                worst = worst.max((pred - b[r]).abs());
+            }
+            Ok(ConsistencyReport {
+                solution: x,
+                residual: worst,
+                threshold,
+                consistent: worst <= threshold,
+            })
+        }
+        ConsistencyStrategy::LeastSquares => {
+            let (x, res2) = QrFactor::new(a)?.solve_lstsq(b)?;
+            Ok(ConsistencyReport {
+                solution: x,
+                residual: res2,
+                threshold,
+                consistent: res2 <= threshold,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consistent_system() -> (Matrix, Vec<f64>) {
+        // Underlying truth: x = (2, -1, 0.5); rows are random-ish probes.
+        let probes: [[f64; 3]; 5] = [
+            [1.0, 0.0, 0.0],
+            [0.3, 0.7, -0.2],
+            [0.0, 1.0, 1.0],
+            [2.0, -1.0, 0.5],
+            [-0.4, 0.1, 0.9],
+        ];
+        let truth = [2.0, -1.0, 0.5];
+        let a = Matrix::from_rows(&probes.iter().map(|r| r.as_slice()).collect::<Vec<_>>())
+            .unwrap();
+        let b = probes
+            .iter()
+            .map(|p| p.iter().zip(truth.iter()).map(|(u, v)| u * v).sum())
+            .collect();
+        (a, b)
+    }
+
+    #[test]
+    fn consistent_system_passes_both_strategies() {
+        let (a, b) = consistent_system();
+        for strat in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+            let rep = check_consistency(&a, &b, 1e-9, strat).unwrap();
+            assert!(rep.consistent, "{strat:?} must accept a consistent system");
+            assert!((rep.solution[0] - 2.0).abs() < 1e-9);
+            assert!((rep.solution[1] + 1.0).abs() < 1e-9);
+            assert!((rep.solution[2] - 0.5).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn perturbed_rhs_fails_both_strategies() {
+        let (a, mut b) = consistent_system();
+        b[4] += 0.05; // one equation from a "different region"
+        for strat in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+            let rep = check_consistency(&a, &b, 1e-9, strat).unwrap();
+            assert!(!rep.consistent, "{strat:?} must reject an inconsistent system");
+            assert!(rep.residual > rep.threshold);
+        }
+    }
+
+    #[test]
+    fn tolerance_scales_with_rhs_magnitude() {
+        let (a, b) = consistent_system();
+        let big: Vec<f64> = b.iter().map(|v| v * 1e6).collect();
+        let rep = check_consistency(&a, &big, 1e-9, ConsistencyStrategy::LeastSquares).unwrap();
+        // Threshold grows with ‖b‖∞ so legitimate round-off still passes.
+        assert!(rep.threshold >= 1e-9 * 1e5);
+        assert!(rep.consistent);
+    }
+
+    #[test]
+    fn shape_validation() {
+        let a = Matrix::identity(3); // square: not overdetermined
+        assert!(check_consistency(&a, &[1.0; 3], 1e-9, ConsistencyStrategy::LeastSquares).is_err());
+        let a = Matrix::zeros(4, 2);
+        assert!(check_consistency(&a, &[1.0; 3], 1e-9, ConsistencyStrategy::LeastSquares).is_err());
+    }
+
+    #[test]
+    fn solve_square_reports_diagnostics() {
+        let a = Matrix::from_rows(&[&[3.0, 0.0], &[0.0, 1.0]]).unwrap();
+        let (x, diag) = solve_square(&a, &[6.0, 2.0]).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 2.0]);
+        assert!(diag.residual_inf < 1e-12);
+        assert!((diag.condition_hint - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_smoke() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
+        let (x, res) = lstsq(&a, &[2.0, 3.0, 4.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] - 1.0).abs() < 1e-10);
+        assert!(res < 1e-10);
+    }
+
+    #[test]
+    fn degenerate_geometry_surfaces_as_error_not_panic() {
+        // Duplicate sample rows make the leading block singular.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
+        let b = [1.0, 1.0, 2.0];
+        let r = check_consistency(&a, &b, 1e-9, ConsistencyStrategy::SquareThenCheck);
+        assert!(matches!(r, Err(LinalgError::Singular { .. })));
+    }
+}

@@ -1,0 +1,183 @@
+//! Summary statistics used by the experiment reports.
+//!
+//! Figures 6 and 7 of the paper report the minimum / mean / maximum of a
+//! metric over all testing instances (drawn as error bars). [`Summary`] is
+//! that triple plus count and standard deviation, accumulated in one pass.
+
+use serde::{Deserialize, Serialize};
+
+/// One-pass min/mean/max/std accumulator over `f64` observations.
+///
+/// Non-finite observations are counted separately and excluded from the
+/// moments — interpretation baselines *do* produce NaN/inf under softmax
+/// saturation (paper §V-D), and the reports must say how often rather than
+/// poison every aggregate.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    count: usize,
+    non_finite: usize,
+    min: f64,
+    max: f64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Default for Summary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Summary {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Summary {
+            count: 0,
+            non_finite: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            sum: 0.0,
+            sum_sq: 0.0,
+        }
+    }
+
+    /// Accumulates one observation.
+    pub fn push(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.non_finite += 1;
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.sum += v;
+        self.sum_sq += v * v;
+    }
+
+    /// Builds a summary from an iterator of observations.
+    #[allow(clippy::should_implement_trait)] // deliberate inherent constructor name
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = Summary::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Number of finite observations.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Number of rejected non-finite observations.
+    pub fn non_finite(&self) -> usize {
+        self.non_finite
+    }
+
+    /// Minimum (None when empty).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum (None when empty).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (None when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.sum / self.count as f64)
+    }
+
+    /// Population standard deviation (None when empty).
+    ///
+    /// Uses `max(0, E[x²] − E[x]²)` to guard against tiny negative values
+    /// from cancellation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.mean().map(|m| {
+            let var = (self.sum_sq / self.count as f64 - m * m).max(0.0);
+            var.sqrt()
+        })
+    }
+
+    /// Merges another accumulator into this one (for sharded evaluation).
+    pub fn merge(&mut self, other: &Summary) {
+        self.count += other.count;
+        self.non_finite += other.non_finite;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Formats as `min/mean/max` with the given precision, the layout used in
+    /// the experiment tables.
+    pub fn display_triple(&self, precision: usize) -> String {
+        match (self.min(), self.mean(), self.max()) {
+            (Some(lo), Some(mid), Some(hi)) => {
+                format!("{lo:.precision$e} / {mid:.precision$e} / {hi:.precision$e}")
+            }
+            _ => "— / — / —".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_has_no_moments() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.min().is_none());
+        assert!(s.mean().is_none());
+        assert!(s.std_dev().is_none());
+        assert_eq!(s.display_triple(2), "— / — / —");
+    }
+
+    #[test]
+    fn known_moments() {
+        let s = Summary::from_iter([1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.mean(), Some(2.5));
+        let sd = s.std_dev().unwrap();
+        assert!((sd - 1.118033988749895).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_finite_observations_are_counted_not_mixed() {
+        let s = Summary::from_iter([1.0, f64::NAN, 3.0, f64::INFINITY]);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.non_finite(), 2);
+        assert_eq!(s.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn merge_equals_bulk() {
+        let mut a = Summary::from_iter([1.0, 5.0]);
+        let b = Summary::from_iter([2.0, 8.0, f64::NAN]);
+        a.merge(&b);
+        let bulk = Summary::from_iter([1.0, 5.0, 2.0, 8.0, f64::NAN]);
+        assert_eq!(a, bulk);
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Summary::from_iter([1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Summary::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn display_triple_renders_scientific() {
+        let s = Summary::from_iter([0.001, 0.01]);
+        let out = s.display_triple(1);
+        assert!(out.contains("e-3") || out.contains("e-03"), "{out}");
+    }
+}

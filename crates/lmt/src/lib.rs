@@ -1,0 +1,23 @@
+//! Logistic Model Trees — the second PLM family the paper interprets.
+//!
+//! Following the paper's experimental setup (§V, citing Landwehr et al.):
+//! a decision tree whose pivot features are selected by the C4.5 gain-ratio
+//! criterion, with a **sparse multinomial logistic regression** classifier at
+//! every leaf, and two stopping rules — a node is not split further when it
+//! holds fewer than `min_leaf_instances` training instances (paper: 100) or
+//! its leaf classifier already exceeds `accuracy_stop` accuracy (paper: 99%).
+//!
+//! Every leaf *is* a locally linear region: the cell of the axis-aligned
+//! split hyperplanes routed to that leaf, classified by the leaf's
+//! `softmax(Wᵀx + b)`. Ground truth for the interpretation experiments is
+//! therefore read directly off the leaf (`GroundTruthOracle`), exactly as
+//! the paper extracts it.
+
+pub mod logistic;
+pub mod persist;
+pub mod split;
+pub mod tree;
+
+pub use logistic::{LogisticConfig, LogisticRegression};
+pub use split::{best_split, entropy, SplitCandidate};
+pub use tree::{Lmt, LmtConfig};

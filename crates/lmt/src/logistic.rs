@@ -1,0 +1,262 @@
+//! Sparse multinomial logistic regression — the leaf classifier of an LMT.
+
+use openapi_api::{softmax, LocalLinearModel, PredictionApi};
+use openapi_data::Dataset;
+use openapi_linalg::{Matrix, Vector};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Training hyperparameters for the leaf classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticConfig {
+    /// Number of passes over the node's data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// L1 penalty weight; applied as a proximal soft-threshold after each
+    /// step, producing the *sparse* classifiers the paper trains (`> 0`
+    /// zeroes out irrelevant pixels, visible in Figure 2's LMT heatmaps).
+    pub l1: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        LogisticConfig { epochs: 30, batch_size: 64, lr: 0.5, l1: 1e-4 }
+    }
+}
+
+/// Multinomial logistic regression `y = softmax(Wᵀx + b)` with
+/// `W ∈ R^{d×C}` — the same orientation as [`LocalLinearModel`], so leaf
+/// extraction is a clone, not a transform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Matrix,
+    bias: Vector,
+}
+
+impl LogisticRegression {
+    /// A zero-initialized model (predicts uniform probabilities).
+    pub fn zeros(dim: usize, num_classes: usize) -> Self {
+        LogisticRegression { weights: Matrix::zeros(dim, num_classes), bias: Vector::zeros(num_classes) }
+    }
+
+    /// Reassembles a model from its parts (persistence, testing).
+    ///
+    /// # Panics
+    /// Panics when `weights.cols() != bias.len()`.
+    pub fn from_parts(weights: Matrix, bias: Vector) -> Self {
+        assert_eq!(
+            weights.cols(),
+            bias.len(),
+            "LogisticRegression: weights cols {} != bias len {}",
+            weights.cols(),
+            bias.len()
+        );
+        LogisticRegression { weights, bias }
+    }
+
+    /// Trains on `data` with mini-batch SGD and an L1 proximal step.
+    /// Batch order comes from `rng`; a fixed seed reproduces the model.
+    pub fn fit<R: Rng>(data: &Dataset, cfg: &LogisticConfig, rng: &mut R) -> Self {
+        let mut model = Self::zeros(data.dim(), data.num_classes());
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        let c = data.num_classes();
+        for _ in 0..cfg.epochs {
+            indices.shuffle(rng);
+            for batch in indices.chunks(cfg.batch_size.min(data.len())) {
+                // Accumulate the batch gradient.
+                let mut gw = Matrix::zeros(data.dim(), c);
+                let mut gb = Vector::zeros(c);
+                for &i in batch {
+                    let x = data.instance(i);
+                    let label = data.label(i);
+                    let mut err = model.predict(x.as_slice());
+                    err[label] -= 1.0;
+                    // gw += x ⊗ errᵀ (d × C rank-1), gb += err.
+                    for (r, &xv) in x.iter().enumerate() {
+                        if xv != 0.0 {
+                            for (g, &e) in gw.row_mut(r).iter_mut().zip(err.iter()) {
+                                *g += xv * e;
+                            }
+                        }
+                    }
+                    gb.axpy(1.0, &err).expect("class count invariant");
+                }
+                let scale = cfg.lr / batch.len() as f64;
+                for (w, &g) in model.weights.as_mut_slice().iter_mut().zip(gw.as_slice()) {
+                    *w -= scale * g;
+                }
+                for (b, &g) in model.bias.iter_mut().zip(gb.iter()) {
+                    *b -= scale * g;
+                }
+                // Proximal L1: soft-threshold the weights (not the bias).
+                if cfg.l1 > 0.0 {
+                    let tau = scale * cfg.l1 * batch.len() as f64;
+                    for w in model.weights.as_mut_slice() {
+                        *w = soft_threshold(*w, tau);
+                    }
+                }
+            }
+        }
+        model
+    }
+
+    /// Fraction of zero weights — how sparse the L1 penalty made the model.
+    pub fn sparsity(&self) -> f64 {
+        let zeros = self.weights.as_slice().iter().filter(|w| **w == 0.0).count();
+        zeros as f64 / self.weights.as_slice().len() as f64
+    }
+
+    /// Fraction of `data` classified correctly.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(x, l)| self.predict_label(x.as_slice()) == *l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// The affine map as a [`LocalLinearModel`] (the ground truth the
+    /// interpretation experiments compare against).
+    pub fn to_local_model(&self) -> LocalLinearModel {
+        LocalLinearModel::new(self.weights.clone(), self.bias.clone())
+    }
+
+    /// Borrow the `d × C` weight matrix.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Borrow the bias vector.
+    pub fn bias(&self) -> &Vector {
+        &self.bias
+    }
+}
+
+impl PredictionApi for LogisticRegression {
+    fn dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.weights.cols()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        let mut z = self
+            .weights
+            .matvec_t(x)
+            .expect("LogisticRegression::predict: dimension mismatch");
+        z += &self.bias;
+        softmax(z.as_slice())
+    }
+}
+
+#[inline]
+fn soft_threshold(w: f64, tau: f64) -> f64 {
+    if w > tau {
+        w - tau
+    } else if w < -tau {
+        w + tau
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 3;
+            let center = [(0.0, 0.0), (3.0, 0.0), (0.0, 3.0)][class];
+            xs.push(Vector(vec![
+                center.0 + rng.gen_range(-0.5..0.5),
+                center.1 + rng.gen_range(-0.5..0.5),
+            ]));
+            ys.push(class);
+        }
+        Dataset::new(xs, ys, 3).unwrap()
+    }
+
+    #[test]
+    fn zero_model_is_uniform() {
+        let m = LogisticRegression::zeros(4, 5);
+        let p = m.predict(&[1.0, -2.0, 0.5, 3.0]);
+        for i in 0..5 {
+            assert!((p[i] - 0.2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fits_separable_three_class_data() {
+        let data = separable(300, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LogisticRegression::fit(&data, &LogisticConfig::default(), &mut rng);
+        assert!(m.accuracy(&data) > 0.95, "accuracy {}", m.accuracy(&data));
+    }
+
+    #[test]
+    fn l1_penalty_produces_sparser_weights() {
+        // Add two pure-noise features; L1 should zero them out more often.
+        let base = separable(200, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let noisy: Vec<Vector> = base
+            .instances()
+            .iter()
+            .map(|x| {
+                let mut v = x.clone().into_inner();
+                v.push(rng.gen_range(-1.0..1.0));
+                v.push(rng.gen_range(-1.0..1.0));
+                Vector(v)
+            })
+            .collect();
+        let data = Dataset::new(noisy, base.labels().to_vec(), 3).unwrap();
+
+        let dense_cfg = LogisticConfig { l1: 0.0, ..Default::default() };
+        let sparse_cfg = LogisticConfig { l1: 5e-3, ..Default::default() };
+        let mut r1 = StdRng::seed_from_u64(5);
+        let mut r2 = StdRng::seed_from_u64(5);
+        let dense = LogisticRegression::fit(&data, &dense_cfg, &mut r1);
+        let sparse = LogisticRegression::fit(&data, &sparse_cfg, &mut r2);
+        assert!(sparse.sparsity() > dense.sparsity());
+        assert!(sparse.accuracy(&data) > 0.9, "sparse model must stay accurate");
+    }
+
+    #[test]
+    fn fit_is_deterministic_per_seed() {
+        let data = separable(100, 6);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(7);
+            LogisticRegression::fit(&data, &LogisticConfig::default(), &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn soft_threshold_behaviour() {
+        assert_eq!(soft_threshold(3.0, 1.0), 2.0);
+        assert_eq!(soft_threshold(-3.0, 1.0), -2.0);
+        assert_eq!(soft_threshold(0.5, 1.0), 0.0);
+        assert_eq!(soft_threshold(-0.5, 1.0), 0.0);
+    }
+
+    #[test]
+    fn local_model_round_trips_predictions() {
+        let data = separable(150, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let m = LogisticRegression::fit(&data, &LogisticConfig::default(), &mut rng);
+        let lm = m.to_local_model();
+        let x = [1.5, 0.5];
+        let via_lm = softmax(lm.logits(&x).as_slice());
+        assert_eq!(m.predict(&x), via_lm);
+    }
+}

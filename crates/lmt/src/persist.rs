@@ -1,0 +1,330 @@
+//! Binary persistence for trained Logistic Model Trees.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  b"OALM"        4 bytes
+//! version u16           currently 1
+//! dim u64, num_classes u64, num_leaves u64, depth u64
+//! tree, encoded pre-order:
+//!   tag u8              0 = internal, 1 = leaf
+//!   internal: feature u64, threshold f64, left subtree, right subtree
+//!   leaf:     id u64, support u64, weights (matrix), bias (vector)
+//! ```
+//!
+//! Decoding validates everything and additionally cross-checks the header
+//! counts (leaves, dimensions, class counts) against the decoded tree — a
+//! corrupted file cannot produce a structurally inconsistent `Lmt`.
+
+use crate::logistic::LogisticRegression;
+use crate::tree::{Lmt, Node};
+use bytes::{Buf, BufMut};
+use openapi_linalg::codec::{self, CodecError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OALM";
+const VERSION: u16 = 1;
+/// Sanity cap on recursion while decoding untrusted bytes.
+const MAX_DECODE_DEPTH: usize = 64;
+
+/// Errors loading a persisted tree.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic/version/tag/structure mismatch or truncation.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist io error: {e}"),
+            PersistError::Format(m) => write!(f, "persist format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Format(e.to_string())
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        return Err(PersistError::Format(format!(
+            "truncated while reading {what}: need {n}, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+fn encode_node(buf: &mut Vec<u8>, node: &Node) {
+    match node {
+        Node::Internal { feature, threshold, left, right } => {
+            buf.put_u8(0);
+            codec::put_len(buf, *feature);
+            buf.put_f64_le(*threshold);
+            encode_node(buf, left);
+            encode_node(buf, right);
+        }
+        Node::Leaf { id, model, support } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*id);
+            codec::put_len(buf, *support);
+            codec::put_matrix(buf, model.weights());
+            codec::put_vector(buf, model.bias());
+        }
+    }
+}
+
+struct DecodeStats {
+    leaves: u64,
+    max_depth: usize,
+}
+
+fn decode_node(
+    buf: &mut &[u8],
+    dim: usize,
+    num_classes: usize,
+    depth: usize,
+    stats: &mut DecodeStats,
+) -> Result<Node, PersistError> {
+    if depth > MAX_DECODE_DEPTH {
+        return Err(PersistError::Format("tree deeper than decode cap".into()));
+    }
+    need(buf, 1, "node tag")?;
+    match buf.get_u8() {
+        0 => {
+            let feature = codec::get_len(buf, "split feature")?;
+            if feature >= dim {
+                return Err(PersistError::Format(format!(
+                    "split feature {feature} out of range (dim {dim})"
+                )));
+            }
+            need(buf, 8, "split threshold")?;
+            let threshold = buf.get_f64_le();
+            if !threshold.is_finite() {
+                return Err(PersistError::Format("non-finite split threshold".into()));
+            }
+            let left = decode_node(buf, dim, num_classes, depth + 1, stats)?;
+            let right = decode_node(buf, dim, num_classes, depth + 1, stats)?;
+            Ok(Node::internal(feature, threshold, left, right))
+        }
+        1 => {
+            need(buf, 8, "leaf id")?;
+            let id = buf.get_u64_le();
+            let support = codec::get_len(buf, "leaf support")?;
+            let weights = codec::get_matrix(buf, "leaf weights")?;
+            let bias = codec::get_vector(buf, "leaf bias")?;
+            if weights.rows() != dim || weights.cols() != num_classes || bias.len() != num_classes {
+                return Err(PersistError::Format(format!(
+                    "leaf {id}: shape {}x{} / bias {} contradicts header {}x{}",
+                    weights.rows(),
+                    weights.cols(),
+                    bias.len(),
+                    dim,
+                    num_classes
+                )));
+            }
+            stats.leaves += 1;
+            stats.max_depth = stats.max_depth.max(depth);
+            Ok(Node::leaf(id, LogisticRegression::from_parts(weights, bias), support))
+        }
+        t => Err(PersistError::Format(format!("unknown node tag {t}"))),
+    }
+}
+
+impl Lmt {
+    /// Serializes the tree to its binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        codec::put_len(&mut buf, self.dim);
+        codec::put_len(&mut buf, self.num_classes);
+        buf.put_u64_le(self.num_leaves);
+        codec::put_len(&mut buf, self.depth);
+        encode_node(&mut buf, &self.root);
+        buf
+    }
+
+    /// Deserializes a tree written by [`Lmt::to_bytes`].
+    ///
+    /// # Errors
+    /// [`PersistError::Format`] on any malformed input.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, PersistError> {
+        let buf = &mut data;
+        need(buf, 4, "magic")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        }
+        need(buf, 2, "version")?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let dim = codec::get_len(buf, "dim")?;
+        let num_classes = codec::get_len(buf, "num_classes")?;
+        need(buf, 8, "num_leaves")?;
+        let num_leaves = buf.get_u64_le();
+        let depth = codec::get_len(buf, "depth")?;
+        let mut stats = DecodeStats { leaves: 0, max_depth: 0 };
+        let root = decode_node(buf, dim, num_classes, 0, &mut stats)?;
+        if !data.is_empty() {
+            return Err(PersistError::Format(format!(
+                "{} trailing bytes after tree",
+                data.len()
+            )));
+        }
+        if stats.leaves != num_leaves || stats.max_depth != depth {
+            return Err(PersistError::Format(format!(
+                "header says {num_leaves} leaves depth {depth}, tree has {} leaves depth {}",
+                stats.leaves, stats.max_depth
+            )));
+        }
+        Ok(Lmt { root, dim, num_classes, num_leaves, depth })
+    }
+
+    /// Writes the tree to a file.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a tree from a file.
+    ///
+    /// # Errors
+    /// I/O and format errors.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let data = fs::read(path)?;
+        Self::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LmtConfig, LogisticConfig};
+    use openapi_api::{GroundTruthOracle, PredictionApi};
+    use openapi_data::Dataset;
+    use openapi_linalg::Vector;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn quadrants(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let qx = rng.gen_range(0..2);
+            let qy = rng.gen_range(0..2);
+            xs.push(Vector(vec![
+                qx as f64 + rng.gen_range(0.0..0.4),
+                qy as f64 + rng.gen_range(0.0..0.4),
+            ]));
+            ys.push(qx ^ qy);
+        }
+        Dataset::new(xs, ys, 2).unwrap()
+    }
+
+    fn sample_tree() -> Lmt {
+        let data = quadrants(300, 1);
+        let cfg = LmtConfig {
+            min_leaf_instances: 30,
+            logistic: LogisticConfig { epochs: 20, l1: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        Lmt::fit(&data, &cfg, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_preserves_structure_and_behaviour() {
+        let tree = sample_tree();
+        assert!(tree.num_leaves() >= 2, "fixture should have splits");
+        let back = Lmt::from_bytes(&tree.to_bytes()).unwrap();
+        assert_eq!(back.num_leaves(), tree.num_leaves());
+        assert_eq!(back.depth(), tree.depth());
+        assert_eq!(back.dim(), tree.dim());
+        // Identical predictions and regions everywhere we probe.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let x = [rng.gen_range(-0.5..2.0), rng.gen_range(-0.5..2.0)];
+            assert_eq!(tree.predict(&x), back.predict(&x));
+            assert_eq!(tree.region_id(&x), back.region_id(&x));
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        let mut bytes = sample_tree().to_bytes();
+        bytes[0] = b'Z';
+        assert!(Lmt::from_bytes(&bytes).is_err());
+        let mut bytes = sample_tree().to_bytes();
+        bytes[4] = 9;
+        assert!(Lmt::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        let bytes = sample_tree().to_bytes();
+        for cut in [0, 4, 6, 14, 30, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Lmt::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn header_tree_mismatch_detected() {
+        let tree = sample_tree();
+        let mut bytes = tree.to_bytes();
+        // Corrupt the leaf count field (offset 4+2+8+8 = 22).
+        bytes[22] ^= 0xff;
+        assert!(matches!(
+            Lmt::from_bytes(&bytes),
+            Err(PersistError::Format(m)) if m.contains("leaves")
+        ));
+    }
+
+    #[test]
+    fn split_feature_out_of_range_detected() {
+        let tree = sample_tree();
+        let mut bytes = tree.to_bytes();
+        // First node is internal (tag at offset 38); its feature u64 starts
+        // at 39. Overwrite with an absurd feature index.
+        if bytes[38] == 0 {
+            bytes[39..47].copy_from_slice(&1000u64.to_le_bytes());
+            assert!(Lmt::from_bytes(&bytes).is_err());
+        }
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("openapi_lmt_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.oalm");
+        let tree = sample_tree();
+        tree.save(&path).unwrap();
+        let back = Lmt::load(&path).unwrap();
+        assert_eq!(back.num_leaves(), tree.num_leaves());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

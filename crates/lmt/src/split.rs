@@ -1,0 +1,244 @@
+//! C4.5 split selection: information gain ratio over candidate thresholds.
+
+use openapi_data::Dataset;
+
+/// A candidate binary split `x[feature] <= threshold` with its quality.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitCandidate {
+    /// Pivot feature index.
+    pub feature: usize,
+    /// Split threshold (left: `<=`, right: `>`).
+    pub threshold: f64,
+    /// C4.5 gain ratio of the split.
+    pub gain_ratio: f64,
+    /// Plain information gain (diagnostic).
+    pub info_gain: f64,
+    /// Instances routed left.
+    pub left_count: usize,
+    /// Instances routed right.
+    pub right_count: usize,
+}
+
+/// Shannon entropy (bits) of a class-count histogram.
+pub fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let n = total as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Finds the best C4.5 split of `data` restricted to the node rows
+/// `indices`.
+///
+/// For each feature, up to `max_thresholds` candidate thresholds are taken
+/// at evenly spaced quantiles of the node's values (midpoints between
+/// adjacent distinct values, the classic C4.5 choice, subsampled for speed —
+/// exact when the node has few distinct values). Quality is the gain ratio
+/// `IG / SplitInfo`; candidates that fail to actually partition the node or
+/// have near-zero split info are discarded.
+///
+/// Returns `None` when the node is pure or no feature separates it.
+///
+/// # Panics
+/// Panics when `indices` is empty or any index is out of range.
+pub fn best_split(data: &Dataset, indices: &[usize], max_thresholds: usize) -> Option<SplitCandidate> {
+    assert!(!indices.is_empty(), "best_split on empty node");
+    let num_classes = data.num_classes();
+
+    // Parent entropy.
+    let mut parent_counts = vec![0usize; num_classes];
+    for &i in indices {
+        parent_counts[data.label(i)] += 1;
+    }
+    let parent_entropy = entropy(&parent_counts);
+    if parent_entropy == 0.0 {
+        return None; // pure node
+    }
+
+    let n = indices.len();
+    let mut best: Option<SplitCandidate> = None;
+    let mut values: Vec<f64> = Vec::with_capacity(n);
+
+    for feature in 0..data.dim() {
+        values.clear();
+        values.extend(indices.iter().map(|&i| data.instance(i)[feature]));
+        let mut sorted = values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
+        sorted.dedup();
+        if sorted.len() < 2 {
+            continue; // constant feature at this node
+        }
+        // Candidate thresholds: midpoints between adjacent distinct values,
+        // subsampled to at most `max_thresholds` evenly spaced picks.
+        let gaps = sorted.len() - 1;
+        let take = gaps.min(max_thresholds.max(1));
+        for t in 0..take {
+            // Evenly spaced gap index (covers all gaps when take == gaps).
+            let gap = if take == gaps { t } else { (t * gaps) / take + gaps / (2 * take) };
+            let threshold = 0.5 * (sorted[gap] + sorted[gap + 1]);
+
+            let mut left = vec![0usize; num_classes];
+            let mut right = vec![0usize; num_classes];
+            for (&v, &i) in values.iter().zip(indices.iter()) {
+                if v <= threshold {
+                    left[data.label(i)] += 1;
+                } else {
+                    right[data.label(i)] += 1;
+                }
+            }
+            let ln: usize = left.iter().sum();
+            let rn: usize = right.iter().sum();
+            if ln == 0 || rn == 0 {
+                continue;
+            }
+            let (lp, rp) = (ln as f64 / n as f64, rn as f64 / n as f64);
+            let info_gain = parent_entropy - lp * entropy(&left) - rp * entropy(&right);
+            let split_info = -(lp * lp.log2() + rp * rp.log2());
+            if split_info < 1e-12 {
+                continue;
+            }
+            let gain_ratio = info_gain / split_info;
+            let better = match &best {
+                None => true,
+                Some(b) => gain_ratio > b.gain_ratio,
+            };
+            if better {
+                best = Some(SplitCandidate {
+                    feature,
+                    threshold,
+                    gain_ratio,
+                    info_gain,
+                    left_count: ln,
+                    right_count: rn,
+                });
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_linalg::Vector;
+
+    #[test]
+    fn entropy_known_values() {
+        assert_eq!(entropy(&[4, 0]), 0.0);
+        assert!((entropy(&[2, 2]) - 1.0).abs() < 1e-12);
+        assert!((entropy(&[1, 1, 1, 1]) - 2.0).abs() < 1e-12);
+        assert_eq!(entropy(&[]), 0.0);
+        assert_eq!(entropy(&[0, 0]), 0.0);
+    }
+
+    fn axis_separable() -> Dataset {
+        // Class is determined by x0 <= 0.5; x1 is noise.
+        Dataset::new(
+            vec![
+                Vector(vec![0.1, 0.9]),
+                Vector(vec![0.2, 0.1]),
+                Vector(vec![0.3, 0.5]),
+                Vector(vec![0.7, 0.8]),
+                Vector(vec![0.8, 0.2]),
+                Vector(vec![0.9, 0.6]),
+            ],
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_the_separating_feature_and_threshold() {
+        let d = axis_separable();
+        let idx: Vec<usize> = (0..d.len()).collect();
+        let s = best_split(&d, &idx, 16).expect("split must exist");
+        assert_eq!(s.feature, 0);
+        assert!(s.threshold > 0.3 && s.threshold < 0.7, "threshold {}", s.threshold);
+        assert_eq!(s.left_count, 3);
+        assert_eq!(s.right_count, 3);
+        // Perfect split: IG equals parent entropy (1 bit), split info 1 bit.
+        assert!((s.info_gain - 1.0).abs() < 1e-9);
+        assert!((s.gain_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pure_node_has_no_split() {
+        let d = Dataset::new(
+            vec![Vector(vec![0.0]), Vector(vec![1.0])],
+            vec![0, 0],
+            2,
+        )
+        .unwrap();
+        assert!(best_split(&d, &[0, 1], 8).is_none());
+    }
+
+    #[test]
+    fn constant_features_have_no_split() {
+        let d = Dataset::new(
+            vec![Vector(vec![0.5]), Vector(vec![0.5])],
+            vec![0, 1],
+            2,
+        )
+        .unwrap();
+        assert!(best_split(&d, &[0, 1], 8).is_none());
+    }
+
+    #[test]
+    fn split_respects_node_indices() {
+        let d = axis_separable();
+        // Restrict to a pure subset: no split.
+        assert!(best_split(&d, &[0, 1, 2], 8).is_none());
+        // Mixed subset still splits.
+        assert!(best_split(&d, &[0, 5], 8).is_some());
+    }
+
+    #[test]
+    fn threshold_subsampling_still_finds_good_split() {
+        // Many distinct values; cap thresholds at 2 candidates per feature.
+        let n = 50;
+        let xs: Vec<Vector> = (0..n)
+            .map(|i| Vector(vec![i as f64 / n as f64]))
+            .collect();
+        let ys: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
+        let d = Dataset::new(xs, ys, 2).unwrap();
+        let idx: Vec<usize> = (0..n).collect();
+        let s = best_split(&d, &idx, 2).expect("split");
+        // With 2 quantile candidates the threshold lands near 1/4 and 3/4;
+        // gain is positive but not perfect.
+        assert!(s.info_gain > 0.2);
+        // With generous candidates it finds the exact midpoint.
+        let s_full = best_split(&d, &idx, 64).expect("split");
+        assert!((s_full.threshold - 0.49).abs() < 0.03, "{}", s_full.threshold);
+        assert!(s_full.gain_ratio >= s.gain_ratio);
+    }
+
+    #[test]
+    fn gain_ratio_penalizes_lopsided_splits() {
+        // Feature 0 peels off one instance (high IG per instance but poor
+        // ratio); feature 1 splits evenly with the same purity.
+        let d = Dataset::new(
+            vec![
+                Vector(vec![0.0, 0.0]),
+                Vector(vec![1.0, 0.0]),
+                Vector(vec![1.0, 1.0]),
+                Vector(vec![1.0, 1.0]),
+            ],
+            vec![0, 0, 1, 1],
+            2,
+        )
+        .unwrap();
+        let idx: Vec<usize> = (0..4).collect();
+        let s = best_split(&d, &idx, 8).expect("split");
+        assert_eq!(s.feature, 1, "even split should win on gain ratio");
+    }
+}

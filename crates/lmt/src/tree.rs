@@ -1,0 +1,400 @@
+//! The Logistic Model Tree: C4.5 structure with logistic-regression leaves.
+
+use crate::logistic::{LogisticConfig, LogisticRegression};
+use crate::split::best_split;
+use openapi_api::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_data::Dataset;
+use openapi_linalg::Vector;
+use rand::Rng;
+
+/// Tree construction hyperparameters (defaults follow the paper's §V).
+#[derive(Debug, Clone)]
+pub struct LmtConfig {
+    /// Do not split nodes with fewer instances than this (paper: 100).
+    pub min_leaf_instances: usize,
+    /// Do not split nodes whose leaf classifier already exceeds this
+    /// training accuracy (paper: 0.99).
+    pub accuracy_stop: f64,
+    /// Hard depth cap as a safety net against degenerate splits.
+    pub max_depth: usize,
+    /// Candidate thresholds evaluated per feature during split search.
+    pub max_thresholds: usize,
+    /// Leaf classifier training configuration.
+    pub logistic: LogisticConfig,
+}
+
+impl Default for LmtConfig {
+    fn default() -> Self {
+        LmtConfig {
+            min_leaf_instances: 100,
+            accuracy_stop: 0.99,
+            max_depth: 12,
+            max_thresholds: 8,
+            logistic: LogisticConfig::default(),
+        }
+    }
+}
+
+/// A node of the tree.
+#[derive(Debug, Clone)]
+pub(crate) enum Node {
+    Internal {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+    Leaf {
+        /// Dense leaf index — the region id.
+        id: u64,
+        model: LogisticRegression,
+        /// Training instances that landed here (diagnostic).
+        support: usize,
+    },
+}
+
+impl Node {
+    pub(crate) fn internal(feature: usize, threshold: f64, left: Node, right: Node) -> Node {
+        Node::Internal { feature, threshold, left: Box::new(left), right: Box::new(right) }
+    }
+
+    pub(crate) fn leaf(id: u64, model: LogisticRegression, support: usize) -> Node {
+        Node::Leaf { id, model, support }
+    }
+}
+
+/// A trained Logistic Model Tree.
+///
+/// Implements the full oracle stack: predictions route to a leaf classifier
+/// ([`PredictionApi`]); the leaf index is the region identity and the leaf
+/// classifier the exact local model ([`GroundTruthOracle`]); logit gradients
+/// are leaf weight columns ([`GradientOracle`]).
+#[derive(Debug, Clone)]
+pub struct Lmt {
+    pub(crate) root: Node,
+    pub(crate) dim: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) num_leaves: u64,
+    pub(crate) depth: usize,
+}
+
+impl Lmt {
+    /// Trains an LMT on `data`.
+    ///
+    /// The recursion trains a logistic classifier at each node first, then
+    /// applies the stopping rules (instance count, accuracy, depth, split
+    /// availability); surviving nodes split on the best C4.5 gain-ratio
+    /// pivot and recurse. All randomness (classifier batch order) flows from
+    /// `rng`.
+    ///
+    /// # Panics
+    /// Panics when `cfg` is degenerate (`min_leaf_instances == 0`).
+    pub fn fit<R: Rng>(data: &Dataset, cfg: &LmtConfig, rng: &mut R) -> Self {
+        assert!(cfg.min_leaf_instances > 0, "min_leaf_instances must be positive");
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut next_leaf = 0u64;
+        let mut max_depth_seen = 0usize;
+        let root = build(data, indices, cfg, rng, 0, &mut next_leaf, &mut max_depth_seen);
+        Lmt {
+            root,
+            dim: data.dim(),
+            num_classes: data.num_classes(),
+            num_leaves: next_leaf,
+            depth: max_depth_seen,
+        }
+    }
+
+    /// Number of leaves (= locally linear regions).
+    pub fn num_leaves(&self) -> u64 {
+        self.num_leaves
+    }
+
+    /// Maximum leaf depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Fraction of `data` classified correctly.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let correct = data
+            .iter()
+            .filter(|(x, l)| self.predict_label(x.as_slice()) == *l)
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// Routes `x` to its leaf.
+    fn leaf(&self, x: &[f64]) -> (&LogisticRegression, u64) {
+        assert_eq!(x.len(), self.dim, "Lmt: input dimension mismatch");
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Internal { feature, threshold, left, right } => {
+                    node = if x[*feature] <= *threshold { left } else { right };
+                }
+                Node::Leaf { id, model, .. } => return (model, *id),
+            }
+        }
+    }
+
+    /// Iterates `(leaf_id, support, sparsity)` diagnostics over all leaves.
+    pub fn leaf_stats(&self) -> Vec<(u64, usize, f64)> {
+        let mut out = Vec::new();
+        collect_stats(&self.root, &mut out);
+        out
+    }
+}
+
+fn collect_stats(node: &Node, out: &mut Vec<(u64, usize, f64)>) {
+    match node {
+        Node::Internal { left, right, .. } => {
+            collect_stats(left, out);
+            collect_stats(right, out);
+        }
+        Node::Leaf { id, model, support } => out.push((*id, *support, model.sparsity())),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build<R: Rng>(
+    data: &Dataset,
+    indices: Vec<usize>,
+    cfg: &LmtConfig,
+    rng: &mut R,
+    depth: usize,
+    next_leaf: &mut u64,
+    max_depth_seen: &mut usize,
+) -> Node {
+    let node_data = data.subset(&indices);
+    let model = LogisticRegression::fit(&node_data, &cfg.logistic, rng);
+
+    let stop = indices.len() < cfg.min_leaf_instances
+        || model.accuracy(&node_data) > cfg.accuracy_stop
+        || depth >= cfg.max_depth;
+
+    if !stop {
+        if let Some(split) = best_split(data, &indices, cfg.max_thresholds) {
+            let (mut li, mut ri) = (Vec::new(), Vec::new());
+            for &i in &indices {
+                if data.instance(i)[split.feature] <= split.threshold {
+                    li.push(i);
+                } else {
+                    ri.push(i);
+                }
+            }
+            // best_split guarantees both sides are non-empty.
+            let left = build(data, li, cfg, rng, depth + 1, next_leaf, max_depth_seen);
+            let right = build(data, ri, cfg, rng, depth + 1, next_leaf, max_depth_seen);
+            return Node::Internal {
+                feature: split.feature,
+                threshold: split.threshold,
+                left: Box::new(left),
+                right: Box::new(right),
+            };
+        }
+    }
+
+    *max_depth_seen = (*max_depth_seen).max(depth);
+    let id = *next_leaf;
+    *next_leaf += 1;
+    Node::Leaf { id, model, support: indices.len() }
+}
+
+impl PredictionApi for Lmt {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        self.leaf(x).0.predict(x)
+    }
+}
+
+impl GroundTruthOracle for Lmt {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        RegionId::from_index(self.leaf(x).1)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        self.leaf(x).0.to_local_model()
+    }
+}
+
+impl GradientOracle for Lmt {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert!(class < self.num_classes, "class out of range");
+        self.leaf(x).0.weights().col(class)
+    }
+
+    fn prob_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert!(class < self.num_classes, "class out of range");
+        // One leaf lookup serves every class (the default trait impl would
+        // route the tree C times).
+        let (model, _) = self.leaf(x);
+        let probs = model.predict(x);
+        let yc = probs[class];
+        let mut grad = Vector::zeros(self.dim);
+        for j in 0..self.num_classes {
+            let coef = yc * (if j == class { 1.0 } else { 0.0 } - probs[j]);
+            if coef != 0.0 {
+                grad.axpy(coef, &model.weights().col(j)).expect("dimension invariant");
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Four Gaussian blobs in the unit square corners; class = quadrant
+    /// parity (an XOR layout that a single logistic model cannot fit but a
+    /// depth-1..2 tree with logistic leaves can).
+    fn quadrants(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let qx = rng.gen_range(0..2);
+            let qy = rng.gen_range(0..2);
+            xs.push(Vector(vec![
+                qx as f64 * 0.9 + rng.gen_range(0.0..0.35),
+                qy as f64 * 0.9 + rng.gen_range(0.0..0.35),
+            ]));
+            ys.push(qx ^ qy);
+        }
+        Dataset::new(xs, ys, 2).unwrap()
+    }
+
+    fn small_cfg() -> LmtConfig {
+        LmtConfig {
+            min_leaf_instances: 20,
+            accuracy_stop: 0.99,
+            max_depth: 6,
+            max_thresholds: 16,
+            logistic: LogisticConfig { epochs: 40, batch_size: 32, lr: 0.5, l1: 0.0 },
+        }
+    }
+
+    #[test]
+    fn lmt_beats_single_logistic_on_xor_layout() {
+        let data = quadrants(400, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let single = LogisticRegression::fit(&data, &small_cfg().logistic, &mut rng);
+        let mut rng2 = StdRng::seed_from_u64(2);
+        let tree = Lmt::fit(&data, &small_cfg(), &mut rng2);
+        let (a_single, a_tree) = (single.accuracy(&data), tree.accuracy(&data));
+        assert!(a_tree > 0.95, "tree accuracy {a_tree}");
+        assert!(a_tree > a_single + 0.2, "tree {a_tree} vs logistic {a_single}");
+        assert!(tree.num_leaves() >= 2, "XOR layout needs at least one split");
+    }
+
+    #[test]
+    fn pure_easy_data_yields_single_leaf() {
+        // Linearly separable data: the root classifier exceeds 99% accuracy
+        // and the accuracy stopping rule fires before any split.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        for i in 0..200 {
+            let c = i % 2;
+            xs.push(Vector(vec![c as f64 * 4.0 + rng.gen_range(-0.5..0.5)]));
+            ys.push(c);
+        }
+        let data = Dataset::new(xs, ys, 2).unwrap();
+        let tree = Lmt::fit(&data, &small_cfg(), &mut rng);
+        assert_eq!(tree.num_leaves(), 1);
+        assert_eq!(tree.depth(), 0);
+        assert!(tree.accuracy(&data) > 0.99);
+    }
+
+    #[test]
+    fn min_instances_rule_limits_growth() {
+        let data = quadrants(60, 4);
+        let mut cfg = small_cfg();
+        cfg.min_leaf_instances = 1000; // always stop
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = Lmt::fit(&data, &cfg, &mut rng);
+        assert_eq!(tree.num_leaves(), 1);
+    }
+
+    #[test]
+    fn region_ids_are_consistent_with_routing() {
+        let data = quadrants(400, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let tree = Lmt::fit(&data, &small_cfg(), &mut rng);
+        assert!(tree.num_leaves() >= 2);
+        // Two instances in the same leaf share a region id and local model.
+        let a = [0.1, 0.1];
+        let b = [0.12, 0.14];
+        if tree.region_id(&a) == tree.region_id(&b) {
+            assert_eq!(tree.local_model(&a), tree.local_model(&b));
+        }
+        // Predictions agree with the extracted local model everywhere.
+        for x in [[0.1, 0.1], [0.95, 0.2], [0.2, 1.0], [1.1, 1.1]] {
+            let lm = tree.local_model(&x);
+            let direct = tree.predict(&x);
+            let via = openapi_api::softmax(lm.logits(&x).as_slice());
+            for c in 0..2 {
+                assert!((direct[c] - via[c]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_oracle_matches_leaf_weights() {
+        let data = quadrants(300, 8);
+        let mut rng = StdRng::seed_from_u64(9);
+        let tree = Lmt::fit(&data, &small_cfg(), &mut rng);
+        let x = [0.2, 0.9];
+        let g = tree.logit_gradient(&x, 1);
+        let lm = tree.local_model(&x);
+        assert_eq!(g, lm.weights.col(1));
+    }
+
+    #[test]
+    fn leaf_stats_cover_all_training_instances() {
+        let data = quadrants(250, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let tree = Lmt::fit(&data, &small_cfg(), &mut rng);
+        let stats = tree.leaf_stats();
+        assert_eq!(stats.len() as u64, tree.num_leaves());
+        let support: usize = stats.iter().map(|(_, s, _)| s).sum();
+        assert_eq!(support, data.len());
+        // Leaf ids are dense 0..n.
+        let mut ids: Vec<u64> = stats.iter().map(|(id, _, _)| *id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..tree.num_leaves()).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn depth_cap_is_respected() {
+        let data = quadrants(500, 12);
+        let mut cfg = small_cfg();
+        cfg.max_depth = 1;
+        cfg.accuracy_stop = 1.1; // never stop on accuracy
+        cfg.min_leaf_instances = 2;
+        let mut rng = StdRng::seed_from_u64(13);
+        let tree = Lmt::fit(&data, &cfg, &mut rng);
+        assert!(tree.depth() <= 1);
+        assert!(tree.num_leaves() <= 2);
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = quadrants(150, 14);
+        let run = || {
+            let mut rng = StdRng::seed_from_u64(15);
+            let t = Lmt::fit(&data, &small_cfg(), &mut rng);
+            (t.num_leaves(), t.accuracy(&data))
+        };
+        assert_eq!(run(), run());
+    }
+}

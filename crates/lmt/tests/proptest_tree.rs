@@ -1,0 +1,121 @@
+//! Property-based tests of the LMT substrate: split math, tree routing,
+//! and the leaf-equals-region oracle contract.
+
+use openapi_api::{GroundTruthOracle, PredictionApi};
+use openapi_data::Dataset;
+use openapi_linalg::Vector;
+use openapi_lmt::{best_split, entropy, Lmt, LmtConfig, LogisticConfig};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds a dataset from proptest-generated points/labels (2-D, 2 classes).
+fn dataset_from(points: Vec<(f64, f64)>, labels: Vec<bool>) -> Dataset {
+    let xs: Vec<Vector> = points.iter().map(|&(a, b)| Vector(vec![a, b])).collect();
+    let ys: Vec<usize> = labels.iter().map(|&b| usize::from(b)).collect();
+    Dataset::new(xs, ys, 2).expect("generated dataset is valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Entropy is bounded by log2(#classes) and zero exactly for pure
+    /// histograms.
+    #[test]
+    fn entropy_bounds(counts in prop::collection::vec(0usize..50, 2..6)) {
+        let h = entropy(&counts);
+        let classes = counts.iter().filter(|&&c| c > 0).count();
+        prop_assert!(h >= 0.0);
+        if classes <= 1 {
+            prop_assert_eq!(h, 0.0);
+        } else {
+            prop_assert!(h <= (classes as f64).log2() + 1e-12);
+        }
+    }
+
+    /// Any split returned by best_split actually partitions the node and
+    /// has positive information gain.
+    #[test]
+    fn returned_splits_are_genuine(
+        points in prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 8..40),
+        labels in prop::collection::vec(any::<bool>(), 8..40),
+    ) {
+        let n = points.len().min(labels.len());
+        let data = dataset_from(points[..n].to_vec(), labels[..n].to_vec());
+        let idx: Vec<usize> = (0..n).collect();
+        if let Some(s) = best_split(&data, &idx, 16) {
+            prop_assert!(s.left_count > 0 && s.right_count > 0);
+            prop_assert_eq!(s.left_count + s.right_count, n);
+            prop_assert!(s.info_gain > 0.0);
+            prop_assert!(s.gain_ratio > 0.0);
+            // Verify the counts by re-partitioning.
+            let left = idx.iter().filter(|&&i| data.instance(i)[s.feature] <= s.threshold).count();
+            prop_assert_eq!(left, s.left_count);
+        }
+    }
+
+    /// Routing invariant: the region id reported for x is stable and two
+    /// calls with the same x see the same leaf model.
+    #[test]
+    fn routing_is_deterministic(
+        seed in 0u64..1000,
+        probe in prop::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // A small XOR-ish training set forcing at least one split.
+        let mut pts = Vec::new();
+        let mut lbs = Vec::new();
+        for i in 0..120 {
+            let qx = (i / 2) % 2;
+            let qy = i % 2;
+            pts.push((
+                qx as f64 + (i as f64 * 0.013) % 0.4,
+                qy as f64 + (i as f64 * 0.029) % 0.4,
+            ));
+            lbs.push((qx ^ qy) == 1);
+        }
+        let data = dataset_from(pts, lbs);
+        let cfg = LmtConfig {
+            min_leaf_instances: 20,
+            logistic: LogisticConfig { epochs: 5, ..Default::default() },
+            ..Default::default()
+        };
+        let tree = Lmt::fit(&data, &cfg, &mut rng);
+        let a = tree.region_id(&probe);
+        let b = tree.region_id(&probe);
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(tree.local_model(&probe), tree.local_model(&probe));
+        // Prediction equals leaf-local-model prediction.
+        let lm = tree.local_model(&probe);
+        let via = openapi_api::softmax(lm.logits(&probe).as_slice());
+        let direct = tree.predict(&probe);
+        for c in 0..2 {
+            prop_assert!((via[c] - direct[c]).abs() < 1e-12);
+        }
+    }
+
+    /// Persistence round-trips arbitrary trees with identical behaviour.
+    #[test]
+    fn persisted_trees_predict_identically(
+        seed in 0u64..1000,
+        probe in prop::collection::vec(-2.0f64..2.0, 2),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        let mut lbs = Vec::new();
+        for i in 0..100 {
+            pts.push(((i as f64 * 0.017) % 2.0 - 1.0, (i as f64 * 0.031) % 2.0 - 1.0));
+            lbs.push(i % 3 == 0);
+        }
+        let data = dataset_from(pts, lbs);
+        let cfg = LmtConfig {
+            min_leaf_instances: 25,
+            logistic: LogisticConfig { epochs: 4, ..Default::default() },
+            ..Default::default()
+        };
+        let tree = Lmt::fit(&data, &cfg, &mut rng);
+        let back = Lmt::from_bytes(&tree.to_bytes()).expect("round trip");
+        prop_assert_eq!(tree.predict(&probe), back.predict(&probe));
+        prop_assert_eq!(tree.region_id(&probe), back.region_id(&probe));
+    }
+}

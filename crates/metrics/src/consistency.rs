@@ -1,0 +1,84 @@
+//! Interpretation consistency (paper §V-B, Fig. 4): cosine similarity
+//! between the interpretations of an instance and its nearest neighbour.
+
+use openapi_linalg::Vector;
+
+/// Cosine similarity between two attribution vectors (zero-norm vectors
+/// score 0, see [`Vector::cosine_similarity`]).
+///
+/// # Panics
+/// Panics on a dimension mismatch.
+pub fn interpretation_similarity(a: &Vector, b: &Vector) -> f64 {
+    a.cosine_similarity(b)
+        .expect("attribution vectors must share dimensionality")
+}
+
+/// The paper's Figure 4 series: per-instance cosine similarities sorted in
+/// descending order.
+pub fn sorted_similarity_series(similarities: &[f64]) -> Vec<f64> {
+    use std::cmp::Ordering;
+    let mut s: Vec<f64> = similarities.to_vec();
+    // NaN (from non-finite attributions) sorts to the end, displayed last.
+    s.sort_by(|a, b| match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.partial_cmp(a).expect("both finite-or-inf"),
+    });
+    s
+}
+
+/// Mean of the finite similarities (summary statistic printed in reports).
+pub fn mean_similarity(similarities: &[f64]) -> f64 {
+    let finite: Vec<f64> = similarities.iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return f64::NAN;
+    }
+    finite.iter().sum::<f64>() / finite.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_interpretations_score_one() {
+        let a = Vector(vec![1.0, -2.0, 3.0]);
+        assert!((interpretation_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_interpretations_score_one() {
+        // Consistency is directional: magnitude differences don't matter.
+        let a = Vector(vec![1.0, -2.0, 3.0]);
+        let b = a.scaled(0.01);
+        assert!((interpretation_similarity(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_interpretations_score_minus_one() {
+        let a = Vector(vec![1.0, 0.0]);
+        let b = Vector(vec![-1.0, 0.0]);
+        assert!((interpretation_similarity(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_is_sorted_descending() {
+        let s = sorted_similarity_series(&[0.5, 0.9, -0.1, 0.7]);
+        assert_eq!(s, vec![0.9, 0.7, 0.5, -0.1]);
+    }
+
+    #[test]
+    fn nan_sorts_last() {
+        let s = sorted_similarity_series(&[0.5, f64::NAN, 0.7]);
+        assert_eq!(s[0], 0.7);
+        assert_eq!(s[1], 0.5);
+        assert!(s[2].is_nan());
+    }
+
+    #[test]
+    fn mean_skips_non_finite() {
+        assert!((mean_similarity(&[1.0, 0.0, f64::NAN]) - 0.5).abs() < 1e-12);
+        assert!(mean_similarity(&[]).is_nan());
+    }
+}

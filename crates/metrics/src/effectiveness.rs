@@ -1,0 +1,223 @@
+//! Effectiveness via feature alteration: CPP and NLCI (paper §V-A, Fig. 3).
+//!
+//! Protocol (from Ancona et al., adopted by the paper): rank features by
+//! the absolute weight the interpretation assigns them; alter them one at a
+//! time in that order — a positively-weighted feature is set to 0 (removing
+//! support), a negatively-weighted one to 1 (adding opposition); after each
+//! alteration query the model and record
+//!
+//! * **CPP** — the absolute change of the probability of the interpreted
+//!   class, and
+//! * **label changed** — whether the argmax label moved (aggregated over
+//!   instances, this is **NLCI**).
+//!
+//! A better interpretation ranks truly decision-relevant features first, so
+//! its curves rise faster.
+
+use openapi_api::PredictionApi;
+use openapi_linalg::Vector;
+
+/// Alteration-experiment parameters.
+#[derive(Debug, Clone)]
+pub struct EffectivenessConfig {
+    /// How many features to alter (paper: 200).
+    pub max_features: usize,
+    /// Value substituted for positively-weighted features (paper: 0).
+    pub positive_replacement: f64,
+    /// Value substituted for negatively-weighted features (paper: 1).
+    pub negative_replacement: f64,
+}
+
+impl Default for EffectivenessConfig {
+    fn default() -> Self {
+        EffectivenessConfig {
+            max_features: 200,
+            positive_replacement: 0.0,
+            negative_replacement: 1.0,
+        }
+    }
+}
+
+/// Per-instance alteration results.
+#[derive(Debug, Clone)]
+pub struct AlterationCurve {
+    /// `cpp[k]` = |Δ probability of the interpreted class| after altering
+    /// the top `k + 1` features.
+    pub cpp: Vec<f64>,
+    /// `label_changed[k]` = the argmax label differs from the original
+    /// after altering the top `k + 1` features.
+    pub label_changed: Vec<bool>,
+}
+
+/// Runs the alteration protocol for one instance and one attribution.
+///
+/// # Panics
+/// Panics when `attribution.len() != x0.len()` or dimensions disagree with
+/// the API.
+pub fn alteration_curve<M: PredictionApi>(
+    api: &M,
+    x0: &Vector,
+    class: usize,
+    attribution: &Vector,
+    cfg: &EffectivenessConfig,
+) -> AlterationCurve {
+    assert_eq!(x0.len(), attribution.len(), "attribution/instance dimension mismatch");
+    assert_eq!(x0.len(), api.dim(), "instance/API dimension mismatch");
+    assert!(class < api.num_classes(), "class out of range");
+
+    let p0 = api.predict(x0.as_slice());
+    let base_prob = p0[class];
+    let base_label = p0.argmax().expect("non-empty prediction");
+
+    // Rank features by |weight| descending; ties by index for determinism.
+    let mut order: Vec<usize> = (0..attribution.len()).collect();
+    order.sort_by(|&a, &b| {
+        attribution[b]
+            .abs()
+            .partial_cmp(&attribution[a].abs())
+            .expect("finite attribution weights")
+            .then(a.cmp(&b))
+    });
+
+    let k = cfg.max_features.min(x0.len());
+    let mut altered = x0.clone();
+    let mut cpp = Vec::with_capacity(k);
+    let mut label_changed = Vec::with_capacity(k);
+    for &feat in order.iter().take(k) {
+        altered[feat] = if attribution[feat] >= 0.0 {
+            cfg.positive_replacement
+        } else {
+            cfg.negative_replacement
+        };
+        let p = api.predict(altered.as_slice());
+        cpp.push((p[class] - base_prob).abs());
+        label_changed.push(p.argmax().expect("non-empty prediction") != base_label);
+    }
+    AlterationCurve { cpp, label_changed }
+}
+
+/// Aggregates per-instance curves into the paper's plotted series:
+/// average CPP per k, and NLCI (count of label-changed instances) per k.
+///
+/// Curves shorter than the longest are treated as carrying their final
+/// value forward (only happens when `d < max_features`).
+///
+/// # Panics
+/// Panics when `curves` is empty.
+pub fn aggregate_curves(curves: &[AlterationCurve]) -> (Vec<f64>, Vec<usize>) {
+    assert!(!curves.is_empty(), "no curves to aggregate");
+    let len = curves.iter().map(|c| c.cpp.len()).max().expect("non-empty");
+    let n = curves.len() as f64;
+    let mut avg_cpp = vec![0.0; len];
+    let mut nlci = vec![0usize; len];
+    for c in curves {
+        for k in 0..len {
+            let idx = k.min(c.cpp.len() - 1);
+            avg_cpp[k] += c.cpp[idx] / n;
+            nlci[k] += usize::from(c.label_changed[idx]);
+        }
+    }
+    (avg_cpp, nlci)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::LinearSoftmaxModel;
+    use openapi_linalg::Matrix;
+
+    /// Binary model where feature 0 strongly supports class 0 and feature 1
+    /// weakly opposes it; features 2, 3 are irrelevant.
+    fn model() -> LinearSoftmaxModel {
+        let w = Matrix::from_rows(&[
+            &[4.0, -4.0],
+            &[-1.0, 1.0],
+            &[0.0, 0.0],
+            &[0.0, 0.0],
+        ])
+        .unwrap();
+        LinearSoftmaxModel::new(w, Vector(vec![0.0, 0.0]))
+    }
+
+    #[test]
+    fn good_attribution_drops_confidence_fast() {
+        let api = model();
+        let x0 = Vector(vec![1.0, 0.0, 0.5, 0.5]);
+        // The true decision features for class 0: (8, -2, 0, 0).
+        let good = Vector(vec![8.0, -2.0, 0.0, 0.0]);
+        let curve = alteration_curve(&api, &x0, 0, &good, &EffectivenessConfig::default());
+        // Altering feature 0 (1.0 -> 0.0) kills the class-0 logit margin.
+        assert!(curve.cpp[0] > 0.3, "first alteration must matter: {}", curve.cpp[0]);
+        assert!(curve.label_changed[1], "after two alterations the label flips");
+    }
+
+    #[test]
+    fn bad_attribution_wastes_alterations() {
+        let api = model();
+        let x0 = Vector(vec![1.0, 0.0, 0.5, 0.5]);
+        // Ranks the irrelevant features first.
+        let bad = Vector(vec![0.1, 0.0, 9.0, 8.0]);
+        let good = Vector(vec![8.0, -2.0, 0.0, 0.0]);
+        let cfg = EffectivenessConfig { max_features: 2, ..Default::default() };
+        let curve_bad = alteration_curve(&api, &x0, 0, &bad, &cfg);
+        let curve_good = alteration_curve(&api, &x0, 0, &good, &cfg);
+        assert!(
+            curve_good.cpp[1] > curve_bad.cpp[1] + 0.2,
+            "good {} vs bad {}",
+            curve_good.cpp[1],
+            curve_bad.cpp[1]
+        );
+    }
+
+    #[test]
+    fn positive_and_negative_replacements_differ() {
+        let api = model();
+        let x0 = Vector(vec![0.5, 0.5, 0.0, 0.0]);
+        let attr = Vector(vec![8.0, -2.0, 0.0, 0.0]);
+        let cfg = EffectivenessConfig::default();
+        let curve = alteration_curve(&api, &x0, 0, &attr, &cfg);
+        // After both relevant features are altered: x = (0, 1, …) — feature
+        // 0 zeroed (positive weight), feature 1 set to 1 (negative weight).
+        // Class-0 logit = -1, class-1 logit = +1 ⇒ label flipped.
+        assert!(curve.label_changed[1]);
+    }
+
+    #[test]
+    fn curve_length_is_capped_by_dimension() {
+        let api = model();
+        let x0 = Vector(vec![1.0, 0.0, 0.0, 0.0]);
+        let attr = Vector(vec![1.0, 0.5, 0.2, 0.1]);
+        let cfg = EffectivenessConfig { max_features: 100, ..Default::default() };
+        let curve = alteration_curve(&api, &x0, 0, &attr, &cfg);
+        assert_eq!(curve.cpp.len(), 4);
+    }
+
+    #[test]
+    fn aggregation_averages_and_counts() {
+        let a = AlterationCurve { cpp: vec![0.2, 0.4], label_changed: vec![false, true] };
+        let b = AlterationCurve { cpp: vec![0.0, 0.2], label_changed: vec![false, false] };
+        let (avg, nlci) = aggregate_curves(&[a, b]);
+        assert!((avg[0] - 0.1).abs() < 1e-12 && (avg[1] - 0.3).abs() < 1e-12, "{avg:?}");
+        assert_eq!(nlci, vec![0, 1]);
+    }
+
+    #[test]
+    fn aggregation_pads_short_curves_with_final_value() {
+        let a = AlterationCurve { cpp: vec![0.5], label_changed: vec![true] };
+        let b = AlterationCurve { cpp: vec![0.1, 0.3], label_changed: vec![false, true] };
+        let (avg, nlci) = aggregate_curves(&[a, b]);
+        assert_eq!(avg.len(), 2);
+        assert!((avg[1] - 0.4).abs() < 1e-12); // (0.5 carried + 0.3)/2
+        assert_eq!(nlci[1], 2);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let api = model();
+        let x0 = Vector(vec![1.0, 1.0, 1.0, 1.0]);
+        let attr = Vector(vec![1.0, 1.0, 1.0, 1.0]); // all tied
+        let c1 = alteration_curve(&api, &x0, 0, &attr, &EffectivenessConfig::default());
+        let c2 = alteration_curve(&api, &x0, 0, &attr, &EffectivenessConfig::default());
+        assert_eq!(c1.cpp, c2.cpp);
+    }
+}

@@ -1,0 +1,111 @@
+//! Exactness (paper §V-D, Fig. 7): L1 distance between a method's decision
+//! features and the ground truth.
+
+use openapi_api::GroundTruthOracle;
+use openapi_linalg::{Summary, Vector};
+
+/// `L1Dist = ‖D_c^truth − D_c^method‖₁`.
+///
+/// # Panics
+/// Panics on a dimension mismatch.
+pub fn l1_dist(truth: &Vector, computed: &Vector) -> f64 {
+    truth
+        .l1_distance(computed)
+        .expect("attribution vectors must share dimensionality")
+}
+
+/// Ground-truth decision features for `x0` and `class`, read from the
+/// oracle (leaf classifier for LMTs, OpenBox map for PLNNs).
+///
+/// # Panics
+/// Panics when the class is out of range or dimensions disagree.
+pub fn ground_truth_features<M: GroundTruthOracle>(
+    model: &M,
+    x0: &Vector,
+    class: usize,
+) -> Vector {
+    model.local_model(x0.as_slice()).decision_features(class)
+}
+
+/// Accumulates L1Dist observations for one method into the paper's
+/// min/mean/max error-bar summary.
+#[derive(Debug, Clone, Default)]
+pub struct ExactnessAccumulator {
+    summary: Summary,
+}
+
+impl ExactnessAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one instance's L1Dist against ground truth.
+    pub fn record<M: GroundTruthOracle>(
+        &mut self,
+        model: &M,
+        x0: &Vector,
+        class: usize,
+        computed: &Vector,
+    ) {
+        let truth = ground_truth_features(model, x0, class);
+        self.summary.push(l1_dist(&truth, computed));
+    }
+
+    /// Records a failure (method returned an error / non-finite output).
+    pub fn record_failure(&mut self) {
+        self.summary.push(f64::NAN);
+    }
+
+    /// The accumulated summary.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::LinearSoftmaxModel;
+    use openapi_linalg::Matrix;
+
+    fn model() -> LinearSoftmaxModel {
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[2.0, 0.0]]).unwrap();
+        LinearSoftmaxModel::new(w, Vector::zeros(2))
+    }
+
+    #[test]
+    fn l1_dist_basics() {
+        let a = Vector(vec![1.0, 2.0]);
+        let b = Vector(vec![0.0, 4.0]);
+        assert_eq!(l1_dist(&a, &b), 3.0);
+        assert_eq!(l1_dist(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ground_truth_matches_local_model() {
+        let m = model();
+        let x0 = Vector(vec![0.3, 0.3]);
+        let gt = ground_truth_features(&m, &x0, 0);
+        // D_0 = W_0 − W_1 = (2, 2).
+        assert_eq!(gt.as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn accumulator_tracks_min_mean_max_and_failures() {
+        let m = model();
+        let x0 = Vector(vec![0.0, 0.0]);
+        let truth = ground_truth_features(&m, &x0, 0);
+        let mut acc = ExactnessAccumulator::new();
+        acc.record(&m, &x0, 0, &truth); // exact: 0
+        let off = &truth + &Vector(vec![1.0, 0.0]);
+        acc.record(&m, &x0, 0, &off); // distance 1
+        acc.record_failure();
+        let s = acc.summary();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.non_finite(), 1);
+        assert_eq!(s.min(), Some(0.0));
+        assert_eq!(s.max(), Some(1.0));
+        assert_eq!(s.mean(), Some(0.5));
+    }
+}

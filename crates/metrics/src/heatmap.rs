@@ -1,0 +1,159 @@
+//! Heatmap rendering of decision features (paper §V-A, Fig. 2).
+//!
+//! The paper shows `D_c` as red/blue heatmaps over the 28×28 pixel grid. A
+//! terminal-first reproduction renders (a) PGM images with a diverging
+//! mapping (0 → mid-gray, positive → white, negative → black) and (b) CSV
+//! dumps for external plotting.
+
+use openapi_linalg::Vector;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Mean of a set of equal-length vectors (the "averaged decision features"
+/// of Figure 2).
+///
+/// # Panics
+/// Panics when `vectors` is empty or lengths disagree.
+pub fn mean_vector(vectors: &[Vector]) -> Vector {
+    assert!(!vectors.is_empty(), "mean of zero vectors");
+    let d = vectors[0].len();
+    let mut acc = Vector::zeros(d);
+    for v in vectors {
+        acc.axpy(1.0, v).expect("vectors must share dimensionality");
+    }
+    acc.scale(1.0 / vectors.len() as f64);
+    acc
+}
+
+/// Renders signed values as a P2 (ASCII) PGM image with a symmetric
+/// diverging mapping: `-max|v| → 0`, `0 → 127`, `+max|v| → 254`.
+///
+/// # Panics
+/// Panics when `values.len() != width * height` or the grid is empty.
+pub fn signed_pgm(values: &[f64], width: usize, height: usize) -> String {
+    assert!(width > 0 && height > 0, "empty heatmap grid");
+    assert_eq!(values.len(), width * height, "values/grid mismatch");
+    let scale = values
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::new();
+    writeln!(out, "P2\n{width} {height}\n254").expect("string writes cannot fail");
+    for row in values.chunks(width) {
+        let line: Vec<String> = row
+            .iter()
+            .map(|v| {
+                let gray = ((v / scale) * 127.0 + 127.0).round().clamp(0.0, 254.0) as u32;
+                gray.to_string()
+            })
+            .collect();
+        writeln!(out, "{}", line.join(" ")).expect("string writes cannot fail");
+    }
+    out
+}
+
+/// Renders signed values as terminal ASCII art: `#`/`+` for positive
+/// weights (supporting the class), `-`/`=` for negative (opposing), space
+/// for near-zero.
+///
+/// # Panics
+/// Panics when `values.len() != width * height`.
+pub fn signed_ascii(values: &[f64], width: usize, height: usize) -> String {
+    assert_eq!(values.len(), width * height, "values/grid mismatch");
+    let scale = values
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
+    let mut out = String::with_capacity(height * (width + 1));
+    for row in values.chunks(width) {
+        for v in row {
+            let t = v / scale;
+            out.push(match t {
+                t if t > 0.5 => '#',
+                t if t > 0.1 => '+',
+                t if t < -0.5 => '=',
+                t if t < -0.1 => '-',
+                _ => ' ',
+            });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a PGM heatmap to disk.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn write_pgm(path: &Path, values: &[f64], width: usize, height: usize) -> io::Result<()> {
+    fs::write(path, signed_pgm(values, width, height))
+}
+
+/// Writes values as a one-column-per-pixel CSV row file: `row,col,value`.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn write_heatmap_csv(path: &Path, values: &[f64], width: usize) -> io::Result<()> {
+    let mut out = String::from("row,col,value\n");
+    for (i, v) in values.iter().enumerate() {
+        writeln!(out, "{},{},{v:.12e}", i / width, i % width).expect("string writes cannot fail");
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_vector_averages() {
+        let m = mean_vector(&[Vector(vec![1.0, 3.0]), Vector(vec![3.0, 5.0])]);
+        assert_eq!(m.as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn pgm_header_and_midpoint() {
+        let pgm = signed_pgm(&[-1.0, 0.0, 1.0, 0.5], 2, 2);
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2"));
+        assert_eq!(lines.next(), Some("254"));
+        assert_eq!(lines.next(), Some("0 127"));
+        assert_eq!(lines.next(), Some("254 191"));
+    }
+
+    #[test]
+    fn pgm_of_zeros_is_all_midgray() {
+        let pgm = signed_pgm(&[0.0; 4], 2, 2);
+        assert!(pgm.lines().skip(3).all(|l| l == "127 127"));
+    }
+
+    #[test]
+    fn ascii_uses_sign_channels() {
+        let art = signed_ascii(&[1.0, -1.0, 0.2, 0.0], 2, 2);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows[0], "#=");
+        assert_eq!(rows[1], "+ ");
+    }
+
+    #[test]
+    fn csv_round_trip_values() {
+        let dir = std::env::temp_dir().join("openapi_heatmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.csv");
+        write_heatmap_csv(&path, &[0.25, -0.5], 2).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("row,col,value\n"));
+        assert!(content.contains("0,0,2.5"));
+        assert!(content.contains("0,1,-5"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn shape_mismatch_panics() {
+        let _ = signed_pgm(&[1.0; 3], 2, 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! The paper's evaluation metrics (§V) and report writers.
+//!
+//! | Paper | Module | Used by |
+//! |---|---|---|
+//! | CPP / NLCI feature-alteration effectiveness (Fig. 3) | [`effectiveness`] | `exp-fig3` |
+//! | Cosine-similarity consistency vs nearest neighbour (Fig. 4) | [`consistency`] | `exp-fig4` |
+//! | Region Difference over a method's sample set (Fig. 5) | [`region_diff`] | `exp-fig5` |
+//! | Weight Difference of core parameters (Fig. 6) | [`weight_diff`] | `exp-fig6` |
+//! | L1Dist exactness against ground truth (Fig. 7) | [`exactness`] | `exp-fig7` |
+//! | Heatmap dumps of decision features (Fig. 2) | [`heatmap`] | `exp-fig2` |
+//! | Sample-set reconstruction per method | [`samples`] | Figs. 5–6 |
+//! | CSV / fixed-width table output | [`report`] | all binaries |
+//!
+//! Ground-truth-dependent metrics (RD, WD, L1Dist) take a
+//! [`openapi_api::GroundTruthOracle`]; interpreters themselves never see it.
+
+pub mod consistency;
+pub mod effectiveness;
+pub mod exactness;
+pub mod heatmap;
+pub mod region_diff;
+pub mod report;
+pub mod samples;
+pub mod weight_diff;
+
+pub use effectiveness::{AlterationCurve, EffectivenessConfig};
+pub use exactness::l1_dist;
+pub use region_diff::region_difference;
+pub use weight_diff::weight_difference;

@@ -1,0 +1,77 @@
+//! Region Difference (paper §V-C, Fig. 5): did a method's perturbed
+//! instances stay inside the interpreted instance's locally linear region?
+
+use openapi_api::GroundTruthOracle;
+use openapi_linalg::Vector;
+
+/// RD for one instance and one sample set: 0 when *every* sample shares
+/// `x0`'s region, 1 otherwise (the paper's all-or-nothing definition).
+///
+/// # Panics
+/// Panics when `samples` is empty (an empty sample set has no quality to
+/// measure) or dimensions disagree with the oracle.
+pub fn region_difference<M: GroundTruthOracle>(model: &M, x0: &Vector, samples: &[Vector]) -> f64 {
+    assert!(!samples.is_empty(), "region difference of an empty sample set");
+    let home = model.region_id(x0.as_slice());
+    let all_same = samples
+        .iter()
+        .all(|s| model.region_id(s.as_slice()) == home);
+    if all_same {
+        0.0
+    } else {
+        1.0
+    }
+}
+
+/// Finer-grained diagnostic: the *fraction* of samples that escaped the
+/// region (not in the paper, but useful for understanding RD transitions).
+///
+/// # Panics
+/// As [`region_difference`].
+pub fn escape_fraction<M: GroundTruthOracle>(model: &M, x0: &Vector, samples: &[Vector]) -> f64 {
+    assert!(!samples.is_empty(), "escape fraction of an empty sample set");
+    let home = model.region_id(x0.as_slice());
+    let escaped = samples
+        .iter()
+        .filter(|s| model.region_id(s.as_slice()) != home)
+        .count();
+    escaped as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::{LocalLinearModel, TwoRegionPlm};
+    use openapi_linalg::Matrix;
+
+    fn plm() -> TwoRegionPlm {
+        let low = LocalLinearModel::new(Matrix::zeros(2, 2), Vector(vec![1.0, 0.0]));
+        let high = LocalLinearModel::new(Matrix::zeros(2, 2), Vector(vec![0.0, 1.0]));
+        TwoRegionPlm::axis_split(0, 0.5, low, high)
+    }
+
+    #[test]
+    fn rd_zero_when_all_samples_stay_home() {
+        let m = plm();
+        let x0 = Vector(vec![0.2, 0.0]);
+        let samples = vec![Vector(vec![0.1, 0.3]), Vector(vec![0.3, -0.2])];
+        assert_eq!(region_difference(&m, &x0, &samples), 0.0);
+        assert_eq!(escape_fraction(&m, &x0, &samples), 0.0);
+    }
+
+    #[test]
+    fn rd_one_when_any_sample_escapes() {
+        let m = plm();
+        let x0 = Vector(vec![0.2, 0.0]);
+        let samples = vec![Vector(vec![0.1, 0.3]), Vector(vec![0.9, 0.0])];
+        assert_eq!(region_difference(&m, &x0, &samples), 1.0);
+        assert_eq!(escape_fraction(&m, &x0, &samples), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_sample_set_panics() {
+        let m = plm();
+        let _ = region_difference(&m, &Vector(vec![0.0, 0.0]), &[]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Report output: fixed-width terminal tables and CSV files.
+//!
+//! Every experiment binary prints the same rows/series the paper reports
+//! (via [`Table`]) and writes machine-readable CSV next to it (via
+//! [`write_csv`]) so the figures can be re-plotted externally.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple fixed-width table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells, long rows are
+    /// rejected.
+    ///
+    /// # Panics
+    /// Panics when the row has more cells than there are headers.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells, table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        let mut row = cells;
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row.iter()) {
+                *w = (*w).max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        writeln!(out, "== {} ==", self.title).expect("string writes cannot fail");
+        let line = |cells: &[String], widths: &[usize]| {
+            let mut s = String::new();
+            for (cell, w) in cells.iter().zip(widths.iter()) {
+                let _ = write!(s, "{cell:<w$}  ");
+            }
+            s.trim_end().to_string()
+        };
+        writeln!(out, "{}", line(&self.headers, &widths)).expect("string writes cannot fail");
+        let rule: usize = widths.iter().sum::<usize>() + widths.len().saturating_sub(1) * 2;
+        writeln!(out, "{}", "-".repeat(rule)).expect("string writes cannot fail");
+        for row in &self.rows {
+            writeln!(out, "{}", line(row, &widths)).expect("string writes cannot fail");
+        }
+        out
+    }
+
+    /// CSV serialization of the table body (headers + rows).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        writeln!(out, "{}", csv_row(&self.headers)).expect("string writes cannot fail");
+        for row in &self.rows {
+            writeln!(out, "{}", csv_row(row)).expect("string writes cannot fail");
+        }
+        out
+    }
+}
+
+fn csv_row(cells: &[String]) -> String {
+    cells
+        .iter()
+        .map(|c| {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.clone()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Writes headers and rows to a CSV file, creating parent directories.
+///
+/// # Errors
+/// I/O errors from the filesystem.
+pub fn write_csv(path: &Path, headers: &[&str], rows: &[Vec<String>]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{}",
+        csv_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    )
+    .expect("string writes cannot fail");
+    for row in rows {
+        writeln!(out, "{}", csv_row(row)).expect("string writes cannot fail");
+    }
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("demo", &["method", "value"]);
+        t.push_row(vec!["OpenAPI".into(), "0.0".into()]);
+        t.push_row(vec!["L(1e-2)".into(), "123.456".into()]);
+        let r = t.render();
+        assert!(r.contains("== demo =="));
+        let lines: Vec<&str> = r.lines().collect();
+        // Header and rows start the second column at the same offset.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find("0.0").unwrap(), col);
+        assert_eq!(lines[4].find("123.456").unwrap(), col);
+    }
+
+    #[test]
+    fn pads_short_rows() {
+        let mut t = Table::new("x", &["a", "b", "c"]);
+        t.push_row(vec!["1".into()]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn rejects_overlong_rows() {
+        let mut t = Table::new("x", &["a"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_escapes_special_cells() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["has,comma".into(), "has\"quote".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"has,comma\""));
+        assert!(csv.contains("\"has\"\"quote\""));
+    }
+
+    #[test]
+    fn write_csv_creates_directories() {
+        let dir = std::env::temp_dir().join("openapi_report_test/nested");
+        let path = dir.join("out.csv");
+        write_csv(&path, &["k", "v"], &[vec!["1".into(), "2".into()]]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "k,v\n1,2\n");
+        std::fs::remove_dir_all(dir.parent().unwrap()).ok();
+    }
+}

@@ -1,0 +1,134 @@
+//! Reconstruction of each method's perturbation sample set, for the
+//! sample-quality experiments (Figures 5 and 6).
+//!
+//! The paper measures "the quality of the set of sampled instances" that
+//! each method bases its interpretation on. The fixed-`h` baselines sample
+//! once from a known distribution, so their sets are regenerated here
+//! directly; OpenAPI's set is whatever its *accepted* iteration sampled,
+//! which the interpreter reports in
+//! [`openapi_core::openapi::OpenApiResult::samples`]. Gradient methods do
+//! not sample, so they yield `None`.
+
+use openapi_api::PredictionApi;
+use openapi_core::openapi::OpenApiInterpreter;
+use openapi_core::sampler::{axis_pairs, sample_many};
+use openapi_core::Method;
+use openapi_linalg::Vector;
+use rand::Rng;
+
+/// Produces the perturbed-instance set the given method would use to
+/// interpret `class` at `x0`, or `None` for non-sampling (gradient) methods
+/// and for OpenAPI runs that exhausted their budget.
+pub fn method_samples<M: PredictionApi, R: Rng>(
+    method: &Method,
+    api: &M,
+    x0: &Vector,
+    class: usize,
+    rng: &mut R,
+) -> Option<Vec<Vector>> {
+    let d = api.dim();
+    match method {
+        Method::OpenApi(cfg) => OpenApiInterpreter::new(cfg.clone())
+            .interpret(api, x0, class, rng)
+            .ok()
+            .map(|r| r.samples),
+        Method::Naive(cfg) => Some(sample_many(x0.as_slice(), cfg.edge, d, rng)),
+        Method::LimeLinear(cfg) | Method::LimeRidge(cfg) => Some(sample_many(
+            x0.as_slice(),
+            cfg.perturbation_distance,
+            cfg.resolved_samples(d),
+            rng,
+        )),
+        Method::Zoo(cfg) => Some(
+            axis_pairs(x0.as_slice(), cfg.probe_distance)
+                .into_iter()
+                .flat_map(|(p, m)| [p, m])
+                .collect(),
+        ),
+        Method::Saliency(_) | Method::GradientInput(_) | Method::IntegratedGradients(_) => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::LinearSoftmaxModel;
+    use openapi_core::baselines::gradient::SaliencyMaps;
+    use openapi_core::baselines::lime::LimeConfig;
+    use openapi_core::baselines::zoo::ZooConfig;
+    use openapi_core::{NaiveConfig, OpenApiConfig};
+    use openapi_linalg::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> LinearSoftmaxModel {
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.25], &[0.0, 0.9]]).unwrap();
+        LinearSoftmaxModel::new(w, Vector::zeros(2))
+    }
+
+    #[test]
+    fn sample_counts_match_each_method() {
+        let api = model();
+        let x0 = Vector(vec![0.1, 0.2, 0.3]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = 3;
+
+        let oa = method_samples(&Method::OpenApi(OpenApiConfig::default()), &api, &x0, 0, &mut rng)
+            .unwrap();
+        assert_eq!(oa.len(), d + 1);
+
+        let n = method_samples(&Method::Naive(NaiveConfig::with_edge(0.1)), &api, &x0, 0, &mut rng)
+            .unwrap();
+        assert_eq!(n.len(), d);
+
+        let l = method_samples(
+            &Method::LimeLinear(LimeConfig::linear(0.1)),
+            &api,
+            &x0,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(l.len(), 2 * (d + 1));
+
+        let z = method_samples(
+            &Method::Zoo(ZooConfig::with_distance(0.1)),
+            &api,
+            &x0,
+            0,
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(z.len(), 2 * d);
+    }
+
+    #[test]
+    fn gradient_methods_have_no_samples() {
+        let api = model();
+        let x0 = Vector(vec![0.1, 0.2, 0.3]);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(method_samples(
+            &Method::Saliency(SaliencyMaps::default()),
+            &api,
+            &x0,
+            0,
+            &mut rng
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fixed_h_samples_respect_their_distance() {
+        let api = model();
+        let x0 = Vector(vec![0.5, 0.5, 0.5]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = 1e-3;
+        let s = method_samples(&Method::Naive(NaiveConfig::with_edge(h)), &api, &x0, 0, &mut rng)
+            .unwrap();
+        for x in &s {
+            for i in 0..3 {
+                assert!((x[i] - x0[i]).abs() <= h + 1e-15);
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Weight Difference (paper §V-C, Fig. 6): how far the sampled instances'
+//! true core parameters drift from the interpreted instance's.
+//!
+//! ```text
+//! WD = Σ_{c'} Σ_{i} ‖D⁰_{c,c'} − Dⁱ_{c,c'}‖₁ / ((C−1)·|S|)
+//! ```
+//!
+//! where `D⁰` comes from `x0`'s region and `Dⁱ` from sample `i`'s region —
+//! both read from the ground-truth oracle. WD is 0 exactly when every
+//! sample shares `x0`'s locally linear classifier, and otherwise measures
+//! how *wrong* the equations built from those samples are.
+
+use openapi_api::GroundTruthOracle;
+use openapi_linalg::Vector;
+
+/// Computes WD for one instance, class, and sample set.
+///
+/// # Panics
+/// Panics when `samples` is empty, the class is out of range, or dimensions
+/// disagree with the oracle.
+pub fn weight_difference<M: GroundTruthOracle>(
+    model: &M,
+    x0: &Vector,
+    class: usize,
+    samples: &[Vector],
+) -> f64 {
+    assert!(!samples.is_empty(), "weight difference of an empty sample set");
+    let c_total = model.num_classes();
+    assert!(class < c_total, "class out of range");
+    assert!(c_total >= 2, "need at least two classes");
+
+    let home = model.local_model(x0.as_slice());
+    let mut total = 0.0;
+    for s in samples {
+        let other = model.local_model(s.as_slice());
+        for c_prime in (0..c_total).filter(|&cp| cp != class) {
+            let d0 = home.pairwise_decision_features(class, c_prime);
+            let di = other.pairwise_decision_features(class, c_prime);
+            total += d0.l1_distance(&di).expect("models share dimensionality");
+        }
+    }
+    total / ((c_total - 1) as f64 * samples.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::{LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm};
+    use openapi_linalg::Matrix;
+
+    #[test]
+    fn wd_zero_on_single_region_models() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0, 0.5], &[0.2, 0.4, -0.6]]).unwrap();
+        let m = LinearSoftmaxModel::new(w, Vector::zeros(3));
+        let x0 = Vector(vec![0.0, 0.0]);
+        let samples = vec![Vector(vec![5.0, -3.0]), Vector(vec![-2.0, 2.0])];
+        assert_eq!(weight_difference(&m, &x0, 0, &samples), 0.0);
+    }
+
+    #[test]
+    fn wd_measures_cross_region_drift() {
+        // Low region: W columns differ by (3, 0); high region: by (-1, 0).
+        let low = LocalLinearModel::new(
+            Matrix::from_rows(&[&[2.0, -1.0], &[0.0, 0.0]]).unwrap(),
+            Vector::zeros(2),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.0]]).unwrap(),
+            Vector::zeros(2),
+        );
+        let m = TwoRegionPlm::axis_split(0, 0.5, low, high);
+        let x0 = Vector(vec![0.0, 0.0]); // low region: D_{0,1} = (3, 0)
+        // One sample home, one escaped: escaped contributes
+        // ‖(3,0) − (−1,0)‖₁ = 4; average over 2 samples (C−1 = 1): 2.
+        let samples = vec![Vector(vec![0.1, 0.0]), Vector(vec![0.9, 0.0])];
+        let wd = weight_difference(&m, &x0, 0, &samples);
+        assert!((wd - 2.0).abs() < 1e-12, "wd = {wd}");
+    }
+
+    #[test]
+    fn wd_is_symmetric_in_class_pairing_for_two_classes() {
+        let low = LocalLinearModel::new(
+            Matrix::from_rows(&[&[2.0, -1.0], &[0.5, 0.0]]).unwrap(),
+            Vector::zeros(2),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 0.5]]).unwrap(),
+            Vector::zeros(2),
+        );
+        let m = TwoRegionPlm::axis_split(0, 0.5, low, high);
+        let x0 = Vector(vec![0.0, 0.0]);
+        let samples = vec![Vector(vec![0.9, 0.0])];
+        // D_{0,1} = −D_{1,0} ⇒ identical L1 distances.
+        let a = weight_difference(&m, &x0, 0, &samples);
+        let b = weight_difference(&m, &x0, 1, &samples);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_samples_panic() {
+        let w = Matrix::zeros(2, 2);
+        let m = LinearSoftmaxModel::new(w, Vector::zeros(2));
+        let _ = weight_difference(&m, &Vector(vec![0.0, 0.0]), 0, &[]);
+    }
+}

@@ -1,0 +1,130 @@
+//! Piecewise linear elementwise activations (the "ReLU family").
+
+/// An elementwise, piecewise linear activation function.
+///
+/// Only piecewise linear activations are admitted — that restriction is what
+/// makes the whole network a PLM and the OpenBox extraction exact. Smooth
+/// activations (sigmoid, tanh) are intentionally unrepresentable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Activation {
+    /// `max(0, x)` — the paper's default hidden activation.
+    ReLU,
+    /// `x` if `x > 0` else `alpha·x` — PReLU/LeakyReLU family member.
+    LeakyReLU(f64),
+    /// The identity — used by output layers (logits feed softmax).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        match *self {
+            Activation::ReLU => x.max(0.0),
+            Activation::LeakyReLU(alpha) => {
+                if x > 0.0 {
+                    x
+                } else {
+                    alpha * x
+                }
+            }
+            Activation::Identity => x,
+        }
+    }
+
+    /// The local slope at `x` — the diagonal entry of the activation's mask
+    /// matrix in the OpenBox composition, and the backprop derivative.
+    ///
+    /// At the non-differentiable kink (`x = 0`) the inactive-side slope is
+    /// returned; inputs sit exactly on a kink with probability 0.
+    #[inline]
+    pub fn slope(&self, x: f64) -> f64 {
+        match *self {
+            Activation::ReLU => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyReLU(alpha) => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    alpha
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Whether the unit counts as "active" for the activation pattern
+    /// (region identity). Identity units have no kink and contribute no
+    /// pattern bit.
+    #[inline]
+    pub fn is_active(&self, x: f64) -> bool {
+        x > 0.0
+    }
+
+    /// `true` when this activation contributes a bit to the region pattern.
+    #[inline]
+    pub fn has_kink(&self) -> bool {
+        !matches!(self, Activation::Identity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_values_and_slopes() {
+        let a = Activation::ReLU;
+        assert_eq!(a.apply(3.0), 3.0);
+        assert_eq!(a.apply(-2.0), 0.0);
+        assert_eq!(a.slope(3.0), 1.0);
+        assert_eq!(a.slope(-2.0), 0.0);
+        assert_eq!(a.slope(0.0), 0.0);
+    }
+
+    #[test]
+    fn leaky_relu_values_and_slopes() {
+        let a = Activation::LeakyReLU(0.1);
+        assert_eq!(a.apply(5.0), 5.0);
+        assert!((a.apply(-5.0) + 0.5).abs() < 1e-12);
+        assert_eq!(a.slope(5.0), 1.0);
+        assert_eq!(a.slope(-5.0), 0.1);
+    }
+
+    #[test]
+    fn identity_is_linear_everywhere() {
+        let a = Activation::Identity;
+        assert_eq!(a.apply(-7.0), -7.0);
+        assert_eq!(a.slope(123.0), 1.0);
+        assert!(!a.has_kink());
+    }
+
+    #[test]
+    fn activation_consistency_apply_equals_slope_times_x() {
+        // For these homogeneous activations, apply(x) == slope(x) * x
+        // everywhere (the defining property of a piecewise linear function
+        // through the origin).
+        for a in [Activation::ReLU, Activation::LeakyReLU(0.2), Activation::Identity] {
+            for x in [-3.0, -0.5, 0.0, 0.5, 3.0] {
+                assert!(
+                    (a.apply(x) - a.slope(x) * x).abs() < 1e-12,
+                    "{a:?} at {x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_bits() {
+        assert!(Activation::ReLU.has_kink());
+        assert!(Activation::LeakyReLU(0.01).has_kink());
+        assert!(Activation::ReLU.is_active(0.1));
+        assert!(!Activation::ReLU.is_active(-0.1));
+        assert!(!Activation::ReLU.is_active(0.0));
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic weight initialization.
+
+use openapi_linalg::{Matrix, Vector};
+use rand::Rng;
+
+/// He (Kaiming) initialization for ReLU-family layers: entries drawn from a
+/// uniform distribution with variance `2 / fan_in`.
+///
+/// Uniform rather than Gaussian keeps the implementation dependency-light
+/// (no Box–Muller needed) with the same variance scaling that makes deep
+/// ReLU stacks trainable.
+pub fn he_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    // Var(U(-a, a)) = a²/3 = 2/fan_in  ⇒  a = sqrt(6 / fan_in).
+    let a = (6.0 / cols as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Xavier/Glorot initialization for linear output layers:
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Matrix {
+    let a = (6.0 / (rows + cols) as f64).sqrt();
+    Matrix::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+}
+
+/// Zero bias vector (the standard choice for both layer kinds).
+pub fn zero_bias(n: usize) -> Vector {
+    Vector::zeros(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn he_bounds_and_determinism() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = he_uniform(16, 64, &mut rng);
+        let bound = (6.0f64 / 64.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() < bound));
+
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let m2 = he_uniform(16, 64, &mut rng2);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn he_variance_is_near_two_over_fanin() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fan_in = 256;
+        let m = he_uniform(64, fan_in, &mut rng);
+        let n = (64 * fan_in) as f64;
+        let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
+        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let target = 2.0 / fan_in as f64;
+        assert!((var - target).abs() < target * 0.15, "var {var} vs {target}");
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = xavier_uniform(10, 30, &mut rng);
+        let bound = (6.0f64 / 40.0).sqrt();
+        assert!(m.as_slice().iter().all(|v| v.abs() < bound));
+    }
+
+    #[test]
+    fn zero_bias_is_zero() {
+        assert_eq!(zero_bias(4).as_slice(), &[0.0; 4]);
+    }
+}

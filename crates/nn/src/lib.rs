@@ -1,0 +1,38 @@
+//! Piecewise linear neural networks (PLNNs) — one of the two PLM families
+//! the paper interprets.
+//!
+//! A feed-forward network whose nonlinearities are all piecewise linear
+//! (ReLU family, MaxOut) computes a piecewise linear function of its input:
+//! within the set of inputs sharing one *activation pattern*, every masked
+//! layer is affine and their composition is a single affine map
+//! `z = Wᵀx + b`. This crate provides:
+//!
+//! * [`network::Plnn`] — the model: dense ReLU/LeakyReLU layers and MaxOut
+//!   layers, a linear output layer, and stable softmax predictions
+//!   (implements `PredictionApi`).
+//! * [`mod@train`] — from-scratch mini-batch training: softmax cross-entropy,
+//!   backprop, SGD-with-momentum and Adam.
+//! * [`openbox`] — the OpenBox construction the paper uses as its PLNN
+//!   ground-truth oracle [Chu et al., KDD 2018]: extract the activation
+//!   pattern (→ `RegionId`) and the exact per-region `(W, b)`
+//!   (→ `LocalLinearModel`), which also yields exact input gradients
+//!   (implements `GroundTruthOracle` + `GradientOracle`).
+//! * [`init`] — deterministic He/Xavier initialization.
+//!
+//! The paper's architecture (784-256-128-100-10, ReLU) is
+//! [`network::Plnn::paper_architecture`]; tests use smaller nets.
+
+pub mod activation;
+pub mod init;
+pub mod layer;
+pub mod maxout;
+pub mod network;
+pub mod openbox;
+pub mod persist;
+pub mod train;
+
+pub use activation::Activation;
+pub use layer::DenseLayer;
+pub use maxout::MaxOutLayer;
+pub use network::{Layer, Plnn};
+pub use train::{train, Optimizer, TrainConfig, TrainReport};

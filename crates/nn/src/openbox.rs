@@ -1,0 +1,357 @@
+//! OpenBox extraction: the exact locally linear classifier of a PLNN.
+//!
+//! Within the set of inputs that share one *activation pattern* (the on/off
+//! state of every ReLU unit and the winning piece of every MaxOut unit),
+//! each layer is affine, so the whole network collapses to a single affine
+//! map `logits = A·x + c`. Composing the masked layers yields `A` and `c`
+//! exactly — this is the construction of Chu et al. (KDD 2018) that the
+//! paper uses as its PLNN ground-truth oracle, and it also gives exact input
+//! gradients (`∂z_c/∂x` is row `c` of `A`).
+//!
+//! The composition runs in `O(Σ_l n_l · n_{l-1} · d)` time — polynomial, as
+//! the paper notes — and is implemented with one running `(A, c)` pair
+//! updated layer by layer.
+
+use crate::network::{ForwardTrace, Layer, LayerTrace, Plnn};
+use openapi_api::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
+use openapi_linalg::{Matrix, Vector};
+
+impl Plnn {
+    /// The activation pattern of `x`, packed into a [`RegionId`].
+    ///
+    /// For dense PWL layers each unit contributes one bit (`pre > 0`); for
+    /// MaxOut layers each unit contributes its winning piece index encoded
+    /// in `ceil(log2 k)` bits. Identity-activation layers contribute
+    /// nothing (they have no kink).
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    pub fn activation_pattern(&self, x: &[f64]) -> RegionId {
+        let trace = self.forward_trace(x);
+        let mut bits: Vec<bool> = Vec::new();
+        for (layer, lt) in self.layers().iter().zip(trace.layers.iter()) {
+            match (layer, lt) {
+                (Layer::Dense(dense), LayerTrace::Dense { pre }) => {
+                    if dense.activation.has_kink() {
+                        bits.extend(pre.iter().map(|&a| dense.activation.is_active(a)));
+                    }
+                }
+                (Layer::MaxOut(mo), LayerTrace::MaxOut { selection }) => {
+                    let width = usize::BITS - (mo.num_pieces() - 1).leading_zeros();
+                    for &k in selection {
+                        for bit in 0..width {
+                            bits.push((k >> bit) & 1 == 1);
+                        }
+                    }
+                }
+                _ => unreachable!("trace aligned with layers"),
+            }
+        }
+        RegionId::from_bits(bits)
+    }
+
+    /// The exact affine map `logits = A·x + c` valid on `x`'s region,
+    /// returned as a [`LocalLinearModel`] (`W = Aᵀ ∈ R^{d×C}`, `b = c`).
+    ///
+    /// # Panics
+    /// Panics when `x.len() != dim()`.
+    pub fn local_linear_map(&self, x: &[f64]) -> LocalLinearModel {
+        let trace = self.forward_trace(x);
+        let (a, c) = self.compose_affine(&trace);
+        LocalLinearModel::new(a.transpose(), c)
+    }
+
+    /// Composes the masked affine layers along `trace` into `(A, c)` with
+    /// `A ∈ R^{C×d}`.
+    fn compose_affine(&self, trace: &ForwardTrace) -> (Matrix, Vector) {
+        let d = self.dim();
+        // Running map: z_l = A·x + c, starting from the identity.
+        let mut a = Matrix::identity(d);
+        let mut c = Vector::zeros(d);
+        for (layer, lt) in self.layers().iter().zip(trace.layers.iter()) {
+            match (layer, lt) {
+                (Layer::Dense(dense), LayerTrace::Dense { pre }) => {
+                    // Masked affine: z = M(W·prev + b) with M = diag(slope).
+                    let mut new_a = dense
+                        .weights
+                        .matmul(&a)
+                        .expect("layer dims chain");
+                    let mut new_c = dense
+                        .weights
+                        .matvec(c.as_slice())
+                        .expect("layer dims chain");
+                    new_c += &dense.bias;
+                    for (j, &p) in pre.iter().enumerate() {
+                        let slope = dense.activation.slope(p);
+                        if slope != 1.0 {
+                            for v in new_a.row_mut(j) {
+                                *v *= slope;
+                            }
+                            new_c[j] *= slope;
+                        }
+                    }
+                    a = new_a;
+                    c = new_c;
+                }
+                (Layer::MaxOut(mo), LayerTrace::MaxOut { selection }) => {
+                    // Each unit j uses row j of its winning piece.
+                    let out_dim = mo.output_dim();
+                    let mut new_a = Matrix::zeros(out_dim, d);
+                    let mut new_c = Vector::zeros(out_dim);
+                    for (j, &k) in selection.iter().enumerate() {
+                        let wrow = mo.pieces[k].row(j);
+                        // new_a[j, :] = wrow · a ; new_c[j] = wrow · c + b_k[j]
+                        for (col, out_v) in new_a.row_mut(j).iter_mut().enumerate() {
+                            let mut s = 0.0;
+                            for (i, &w) in wrow.iter().enumerate() {
+                                s += w * a[(i, col)];
+                            }
+                            *out_v = s;
+                        }
+                        let mut s = mo.biases[k][j];
+                        for (i, &w) in wrow.iter().enumerate() {
+                            s += w * c[i];
+                        }
+                        new_c[j] = s;
+                    }
+                    a = new_a;
+                    c = new_c;
+                }
+                _ => unreachable!("trace aligned with layers"),
+            }
+        }
+        (a, c)
+    }
+}
+
+impl GroundTruthOracle for Plnn {
+    fn region_id(&self, x: &[f64]) -> RegionId {
+        self.activation_pattern(x)
+    }
+
+    fn local_model(&self, x: &[f64]) -> LocalLinearModel {
+        self.local_linear_map(x)
+    }
+}
+
+impl GradientOracle for Plnn {
+    fn logit_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert!(class < self.num_classes(), "class out of range");
+        // Exact: column `class` of W = row `class` of A.
+        self.local_linear_map(x).weights.col(class)
+    }
+
+    fn prob_gradient(&self, x: &[f64], class: usize) -> Vector {
+        assert!(class < self.num_classes(), "class out of range");
+        // One OpenBox composition serves every class: the default trait
+        // implementation would re-extract the local map per logit, a C-fold
+        // waste for deep nets.
+        let lm = self.local_linear_map(x);
+        let probs = openapi_api::softmax(lm.logits(x).as_slice());
+        let yc = probs[class];
+        let mut grad = Vector::zeros(self.dim());
+        for j in 0..self.num_classes() {
+            let coef = yc * (if j == class { 1.0 } else { 0.0 } - probs[j]);
+            if coef != 0.0 {
+                grad.axpy(coef, &lm.weights.col(j)).expect("dimension invariant");
+            }
+        }
+        grad
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::layer::DenseLayer;
+    use crate::maxout::MaxOutLayer;
+    use crate::network::Layer;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_net(seed: u64, dims: &[usize], act: Activation) -> Plnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Plnn::mlp(dims, act, &mut rng)
+    }
+
+    fn random_point(rng: &mut StdRng, d: usize) -> Vec<f64> {
+        (0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()
+    }
+
+    #[test]
+    fn local_map_reproduces_logits_at_the_point() {
+        let net = random_net(1, &[5, 8, 6, 3], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let x = random_point(&mut rng, 5);
+            let lm = net.local_linear_map(&x);
+            let direct = net.logits(&x);
+            let via_map = lm.logits(&x);
+            for c in 0..3 {
+                assert!(
+                    (direct[c] - via_map[c]).abs() < 1e-10,
+                    "class {c}: {} vs {}",
+                    direct[c],
+                    via_map[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn local_map_is_valid_across_the_whole_region() {
+        let net = random_net(3, &[4, 10, 3], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = random_point(&mut rng, 4);
+        let lm = net.local_linear_map(&x);
+        let region = net.activation_pattern(&x);
+        // Probe nearby points; wherever the pattern matches, the SAME affine
+        // map must reproduce the logits (that is the definition of the
+        // locally linear region).
+        let mut same_region_checked = 0;
+        for _ in 0..200 {
+            let probe: Vec<f64> = x
+                .iter()
+                .map(|v| v + rng.gen_range(-0.05..0.05))
+                .collect();
+            if net.activation_pattern(&probe) == region {
+                same_region_checked += 1;
+                let direct = net.logits(&probe);
+                let via_map = lm.logits(&probe);
+                for c in 0..3 {
+                    assert!((direct[c] - via_map[c]).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(same_region_checked > 10, "test needs same-region probes");
+    }
+
+    #[test]
+    fn different_regions_have_different_patterns_and_maps() {
+        let net = random_net(5, &[3, 12, 8, 2], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(6);
+        // Find two points with different patterns (overwhelmingly likely).
+        let a = random_point(&mut rng, 3);
+        let mut b = random_point(&mut rng, 3);
+        let mut guard = 0;
+        while net.activation_pattern(&b) == net.activation_pattern(&a) {
+            b = random_point(&mut rng, 3);
+            guard += 1;
+            assert!(guard < 100, "could not find distinct regions");
+        }
+        let la = net.local_linear_map(&a);
+        let lb = net.local_linear_map(&b);
+        assert_ne!(la, lb, "distinct patterns should give distinct maps");
+    }
+
+    #[test]
+    fn logit_gradient_matches_finite_differences() {
+        let net = random_net(7, &[4, 9, 3], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(8);
+        let x = random_point(&mut rng, 4);
+        let h = 1e-7;
+        for c in 0..3 {
+            let g = net.logit_gradient(&x, c);
+            for i in 0..4 {
+                let mut xp = x.clone();
+                xp[i] += h;
+                let mut xm = x.clone();
+                xm[i] -= h;
+                let fd = (net.logits(&xp)[c] - net.logits(&xm)[c]) / (2.0 * h);
+                assert!((g[i] - fd).abs() < 1e-5, "class {c} coord {i}: {} vs {fd}", g[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn prob_gradient_matches_finite_differences() {
+        let net = random_net(9, &[3, 7, 3], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = random_point(&mut rng, 3);
+        let h = 1e-7;
+        for c in 0..3 {
+            let g = net.prob_gradient(&x, c);
+            for i in 0..3 {
+                let mut xp = x.clone();
+                xp[i] += h;
+                let mut xm = x.clone();
+                xm[i] -= h;
+                let fd = (net.predict(&xp)[c] - net.predict(&xm)[c]) / (2.0 * h);
+                assert!((g[i] - fd).abs() < 1e-5, "class {c} coord {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn leaky_relu_region_map_is_exact() {
+        let net = random_net(11, &[4, 8, 2], Activation::LeakyReLU(0.1));
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..10 {
+            let x = random_point(&mut rng, 4);
+            let lm = net.local_linear_map(&x);
+            let direct = net.logits(&x);
+            let via = lm.logits(&x);
+            for c in 0..2 {
+                assert!((direct[c] - via[c]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn maxout_region_map_is_exact() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let pieces = 3;
+        let mo = MaxOutLayer::new(
+            (0..pieces)
+                .map(|_| Matrix::from_fn(5, 4, |_, _| rng.gen_range(-1.0..1.0)))
+                .collect(),
+            (0..pieces)
+                .map(|_| Vector((0..5).map(|_| rng.gen_range(-0.5..0.5)).collect()))
+                .collect(),
+        );
+        let out = DenseLayer::new(
+            Matrix::from_fn(2, 5, |_, _| rng.gen_range(-1.0..1.0)),
+            Vector::zeros(2),
+            Activation::Identity,
+        );
+        let net = Plnn::new(vec![Layer::MaxOut(mo), Layer::Dense(out)]);
+        for _ in 0..20 {
+            let x = random_point(&mut rng, 4);
+            let lm = net.local_linear_map(&x);
+            let direct = net.logits(&x);
+            let via = lm.logits(&x);
+            for c in 0..2 {
+                assert!((direct[c] - via[c]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn pattern_bit_budget_counts_only_kinked_units() {
+        let net = random_net(14, &[3, 6, 4, 2], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(15);
+        let x = random_point(&mut rng, 3);
+        let id = net.activation_pattern(&x);
+        // 6 + 4 = 10 kink bits (output layer is Identity): packed into one
+        // word plus the length word.
+        assert_eq!(id.0.len(), 2);
+        assert_eq!(id.0[1], 10);
+    }
+
+    #[test]
+    fn decision_features_from_ground_truth_are_region_constant() {
+        let net = random_net(16, &[4, 10, 3], Activation::ReLU);
+        let mut rng = StdRng::seed_from_u64(17);
+        let x = random_point(&mut rng, 4);
+        let region = net.activation_pattern(&x);
+        let d0 = net.local_linear_map(&x).decision_features(0);
+        for _ in 0..100 {
+            let probe: Vec<f64> = x.iter().map(|v| v + rng.gen_range(-0.02..0.02)).collect();
+            if net.activation_pattern(&probe) == region {
+                let d0p = net.local_linear_map(&probe).decision_features(0);
+                assert!(d0.l1_distance(&d0p).unwrap() < 1e-12, "Dc must be constant per region");
+            }
+        }
+    }
+}

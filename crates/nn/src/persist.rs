@@ -1,0 +1,342 @@
+//! Binary persistence for trained PLNNs.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic  b"OANN"         4 bytes
+//! version u16            currently 1
+//! layer_count u64
+//! per layer:
+//!   tag u8               0 = dense, 1 = maxout
+//!   dense:  act u8 (0 relu, 1 leaky, 2 identity) [+ f64 alpha if leaky]
+//!           weights (matrix), bias (vector)
+//!   maxout: piece_count u64, then each piece's weights, then each bias
+//! ```
+//!
+//! Decoding validates magic, version, tags, and every dimension (via the
+//! `linalg::codec` guards) and then re-runs the [`Plnn::new`] structural
+//! checks, so a corrupted file can never produce an inconsistent network.
+
+use crate::activation::Activation;
+use crate::layer::DenseLayer;
+use crate::maxout::MaxOutLayer;
+use crate::network::{Layer, Plnn};
+use bytes::{Buf, BufMut};
+use openapi_linalg::codec::{self, CodecError};
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"OANN";
+const VERSION: u16 = 1;
+
+/// Errors loading a persisted network.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Magic/version/tag mismatch or truncation.
+    Format(String),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "persist io error: {e}"),
+            PersistError::Format(m) => write!(f, "persist format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<CodecError> for PersistError {
+    fn from(e: CodecError) -> Self {
+        PersistError::Format(e.to_string())
+    }
+}
+
+fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), PersistError> {
+    if buf.remaining() < n {
+        return Err(PersistError::Format(format!(
+            "truncated while reading {what}: need {n}, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(())
+}
+
+impl Plnn {
+    /// Serializes the network to its binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(64 + self.param_count() * 8);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        codec::put_len(&mut buf, self.layers().len());
+        for layer in self.layers() {
+            match layer {
+                Layer::Dense(l) => {
+                    buf.put_u8(0);
+                    match l.activation {
+                        Activation::ReLU => buf.put_u8(0),
+                        Activation::LeakyReLU(alpha) => {
+                            buf.put_u8(1);
+                            buf.put_f64_le(alpha);
+                        }
+                        Activation::Identity => buf.put_u8(2),
+                    }
+                    codec::put_matrix(&mut buf, &l.weights);
+                    codec::put_vector(&mut buf, &l.bias);
+                }
+                Layer::MaxOut(l) => {
+                    buf.put_u8(1);
+                    codec::put_len(&mut buf, l.pieces.len());
+                    for p in &l.pieces {
+                        codec::put_matrix(&mut buf, p);
+                    }
+                    for b in &l.biases {
+                        codec::put_vector(&mut buf, b);
+                    }
+                }
+            }
+        }
+        buf
+    }
+
+    /// Deserializes a network written by [`Plnn::to_bytes`].
+    ///
+    /// # Errors
+    /// [`PersistError::Format`] on any malformed input.
+    pub fn from_bytes(mut data: &[u8]) -> Result<Self, PersistError> {
+        let buf = &mut data;
+        need(buf, 4, "magic")?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PersistError::Format(format!("bad magic {magic:?}")));
+        }
+        need(buf, 2, "version")?;
+        let version = buf.get_u16_le();
+        if version != VERSION {
+            return Err(PersistError::Format(format!("unsupported version {version}")));
+        }
+        let layer_count = codec::get_len(buf, "layer count")?;
+        let mut layers = Vec::with_capacity(layer_count);
+        for i in 0..layer_count {
+            need(buf, 1, "layer tag")?;
+            match buf.get_u8() {
+                0 => {
+                    need(buf, 1, "activation tag")?;
+                    let activation = match buf.get_u8() {
+                        0 => Activation::ReLU,
+                        1 => {
+                            need(buf, 8, "leaky alpha")?;
+                            Activation::LeakyReLU(buf.get_f64_le())
+                        }
+                        2 => Activation::Identity,
+                        t => {
+                            return Err(PersistError::Format(format!(
+                                "layer {i}: unknown activation tag {t}"
+                            )))
+                        }
+                    };
+                    let weights = codec::get_matrix(buf, "dense weights")?;
+                    let bias = codec::get_vector(buf, "dense bias")?;
+                    if weights.rows() != bias.len() {
+                        return Err(PersistError::Format(format!(
+                            "layer {i}: weights rows {} != bias {}",
+                            weights.rows(),
+                            bias.len()
+                        )));
+                    }
+                    layers.push(Layer::Dense(DenseLayer::new(weights, bias, activation)));
+                }
+                1 => {
+                    let piece_count = codec::get_len(buf, "maxout piece count")?;
+                    if piece_count < 2 {
+                        return Err(PersistError::Format(format!(
+                            "layer {i}: maxout needs >= 2 pieces, got {piece_count}"
+                        )));
+                    }
+                    let mut pieces = Vec::with_capacity(piece_count);
+                    for _ in 0..piece_count {
+                        pieces.push(codec::get_matrix(buf, "maxout piece")?);
+                    }
+                    let mut biases = Vec::with_capacity(piece_count);
+                    for _ in 0..piece_count {
+                        biases.push(codec::get_vector(buf, "maxout bias")?);
+                    }
+                    let (r, cc) = (pieces[0].rows(), pieces[0].cols());
+                    let consistent = pieces.iter().all(|p| p.rows() == r && p.cols() == cc)
+                        && biases.iter().all(|b| b.len() == r);
+                    if !consistent {
+                        return Err(PersistError::Format(format!(
+                            "layer {i}: inconsistent maxout piece shapes"
+                        )));
+                    }
+                    layers.push(Layer::MaxOut(MaxOutLayer::new(pieces, biases)));
+                }
+                t => return Err(PersistError::Format(format!("layer {i}: unknown tag {t}"))),
+            }
+        }
+        if !data.is_empty() {
+            return Err(PersistError::Format(format!(
+                "{} trailing bytes after network",
+                data.len()
+            )));
+        }
+        // Re-validate the structural invariants (dimension chaining, linear
+        // output layer) before handing to the panicking constructor.
+        if layers.is_empty() {
+            return Err(PersistError::Format("zero layers".into()));
+        }
+        for w in layers.windows(2) {
+            if w[0].output_dim() != w[1].input_dim() {
+                return Err(PersistError::Format(format!(
+                    "layer dimensions do not chain: {} -> {}",
+                    w[0].output_dim(),
+                    w[1].input_dim()
+                )));
+            }
+        }
+        match layers.last().expect("non-empty") {
+            Layer::Dense(d) if d.activation == Activation::Identity => {}
+            _ => return Err(PersistError::Format("final layer must be linear dense".into())),
+        }
+        Ok(Plnn::new(layers))
+    }
+
+    /// Writes the network to a file.
+    ///
+    /// # Errors
+    /// I/O errors.
+    pub fn save(&self, path: &Path) -> Result<(), PersistError> {
+        fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a network from a file.
+    ///
+    /// # Errors
+    /// I/O and format errors.
+    pub fn load(path: &Path) -> Result<Self, PersistError> {
+        let data = fs::read(path)?;
+        Self::from_bytes(&data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::PredictionApi;
+    use openapi_linalg::{Matrix, Vector};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_net() -> Plnn {
+        let mut rng = StdRng::seed_from_u64(3);
+        Plnn::mlp(&[5, 7, 4], Activation::ReLU, &mut rng)
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = sample_net();
+        let back = Plnn::from_bytes(&net.to_bytes()).unwrap();
+        assert_eq!(net, back);
+        // And behaviour, not just structure.
+        let x = [0.1, -0.4, 0.9, 0.0, 0.3];
+        assert_eq!(net.predict(&x), back.predict(&x));
+    }
+
+    #[test]
+    fn leaky_and_maxout_layers_round_trip() {
+        let mo = MaxOutLayer::new(
+            vec![
+                Matrix::from_rows(&[&[1.0, 0.5], &[0.0, -1.0]]).unwrap(),
+                Matrix::from_rows(&[&[-1.0, 0.25], &[2.0, 0.0]]).unwrap(),
+            ],
+            vec![Vector(vec![0.1, 0.2]), Vector(vec![-0.1, 0.0])],
+        );
+        let hidden = DenseLayer::new(
+            Matrix::from_rows(&[&[0.5, -0.5], &[1.0, 1.0], &[0.0, 2.0]]).unwrap(),
+            Vector::zeros(3),
+            Activation::LeakyReLU(0.07),
+        );
+        let out = DenseLayer::new(
+            Matrix::from_rows(&[&[1.0, 0.0, -1.0], &[0.0, 1.0, 1.0]]).unwrap(),
+            Vector(vec![0.5, -0.5]),
+            Activation::Identity,
+        );
+        let net = Plnn::new(vec![
+            Layer::MaxOut(mo),
+            Layer::Dense(hidden),
+            Layer::Dense(out),
+        ]);
+        let back = Plnn::from_bytes(&net.to_bytes()).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample_net().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(
+            Plnn::from_bytes(&bytes),
+            Err(PersistError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut bytes = sample_net().to_bytes();
+        bytes[4] = 0xff;
+        assert!(Plnn::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let bytes = sample_net().to_bytes();
+        // Chop at a few representative offsets; none may panic.
+        for cut in [3usize, 5, 10, 20, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                Plnn::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = sample_net().to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            Plnn::from_bytes(&bytes),
+            Err(PersistError::Format(m)) if m.contains("trailing")
+        ));
+    }
+
+    #[test]
+    fn save_and_load_file() {
+        let dir = std::env::temp_dir().join("openapi_nn_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("net.oann");
+        let net = sample_net();
+        net.save(&path).unwrap();
+        let back = Plnn::load(&path).unwrap();
+        assert_eq!(net, back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = Plnn::load(Path::new("/nonexistent/openapi/net.oann"));
+        assert!(matches!(r, Err(PersistError::Io(_))));
+    }
+}

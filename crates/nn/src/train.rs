@@ -1,0 +1,610 @@
+//! From-scratch mini-batch training: softmax cross-entropy, backprop,
+//! SGD-with-momentum and Adam.
+//!
+//! The paper trains its PLNN with "standard back-propagation"; this module
+//! is that substrate. It is deliberately a plain, single-threaded
+//! implementation — the repository's correctness-critical surface is the
+//! interpretation layer, and the trainer only needs to produce accurate
+//! PLMs deterministically from a seed.
+
+use crate::activation::Activation;
+use crate::network::{Layer, LayerTrace, Plnn};
+use openapi_api::{softmax, PredictionApi};
+use openapi_data::Dataset;
+use openapi_linalg::{Matrix, Vector};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Gradient-descent flavour.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Optimizer {
+    /// Stochastic gradient descent with classical momentum.
+    Sgd {
+        /// Learning rate.
+        lr: f64,
+        /// Momentum coefficient in `[0, 1)`.
+        momentum: f64,
+    },
+    /// Adam (Kingma & Ba) with bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f64,
+        /// First-moment decay (typically 0.9).
+        beta1: f64,
+        /// Second-moment decay (typically 0.999).
+        beta2: f64,
+        /// Numerical floor (typically 1e-8).
+        eps: f64,
+    },
+}
+
+impl Optimizer {
+    /// Adam with the standard hyperparameters and the given learning rate.
+    pub fn adam(lr: f64) -> Self {
+        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+    }
+
+    /// Plain SGD with momentum 0.9.
+    pub fn sgd(lr: f64) -> Self {
+        Optimizer::Sgd { lr, momentum: 0.9 }
+    }
+}
+
+/// Training hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Number of full passes over the training data.
+    pub epochs: usize,
+    /// Mini-batch size (clamped to the dataset size).
+    pub batch_size: usize,
+    /// Update rule.
+    pub optimizer: Optimizer,
+    /// L2 weight decay applied to weight matrices (not biases); 0 disables.
+    pub weight_decay: f64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            optimizer: Optimizer::adam(1e-3),
+            weight_decay: 0.0,
+        }
+    }
+}
+
+/// What [`train`] reports back.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean cross-entropy per epoch.
+    pub epoch_losses: Vec<f64>,
+    /// Accuracy on the training set after the final epoch.
+    pub final_train_accuracy: f64,
+}
+
+/// Per-layer gradient accumulator, shape-matched to the layer stack.
+#[derive(Debug, Clone)]
+enum LayerGrad {
+    Dense { dw: Matrix, db: Vector },
+    MaxOut { dws: Vec<Matrix>, dbs: Vec<Vector> },
+}
+
+impl LayerGrad {
+    fn zeros_like(layer: &Layer) -> Self {
+        match layer {
+            Layer::Dense(l) => LayerGrad::Dense {
+                dw: Matrix::zeros(l.weights.rows(), l.weights.cols()),
+                db: Vector::zeros(l.bias.len()),
+            },
+            Layer::MaxOut(l) => LayerGrad::MaxOut {
+                dws: l.pieces.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect(),
+                dbs: l.biases.iter().map(|b| Vector::zeros(b.len())).collect(),
+            },
+        }
+    }
+
+    fn reset(&mut self) {
+        match self {
+            LayerGrad::Dense { dw, db } => {
+                dw.as_mut_slice().fill(0.0);
+                db.as_mut_slice().fill(0.0);
+            }
+            LayerGrad::MaxOut { dws, dbs } => {
+                for m in dws {
+                    m.as_mut_slice().fill(0.0);
+                }
+                for v in dbs {
+                    v.as_mut_slice().fill(0.0);
+                }
+            }
+        }
+    }
+}
+
+/// Cross-entropy of a probability vector against an integer label, with the
+/// probability clamped away from zero so the loss stays finite.
+pub fn cross_entropy(probs: &Vector, label: usize) -> f64 {
+    -probs[label].max(1e-300).ln()
+}
+
+/// Fraction of instances whose argmax prediction matches the label.
+pub fn accuracy<M: PredictionApi>(model: &M, data: &Dataset) -> f64 {
+    let correct = data
+        .iter()
+        .filter(|(x, l)| model.predict_label(x.as_slice()) == *l)
+        .count();
+    correct as f64 / data.len() as f64
+}
+
+/// Backprop for one example; accumulates into `grads`, returns the loss.
+fn backprop_one(net: &Plnn, x: &Vector, label: usize, grads: &mut [LayerGrad]) -> f64 {
+    let trace = net.forward_trace(x.as_slice());
+    let probs = softmax(trace.logits.as_slice());
+    let loss = cross_entropy(&probs, label);
+
+    // dL/d(logits) for softmax + cross-entropy.
+    let mut g = probs;
+    g[label] -= 1.0;
+
+    for (idx, layer) in net.layers().iter().enumerate().rev() {
+        let input = &trace.inputs[idx];
+        match (layer, &trace.layers[idx], &mut grads[idx]) {
+            (Layer::Dense(dense), LayerTrace::Dense { pre }, LayerGrad::Dense { dw, db }) => {
+                // delta = g ⊙ act'(pre)
+                let mut delta = g;
+                if dense.activation != Activation::Identity {
+                    for (d, &p) in delta.iter_mut().zip(pre.iter()) {
+                        *d *= dense.activation.slope(p);
+                    }
+                }
+                // Rank-1 accumulate: dW += delta ⊗ inputᵀ, db += delta.
+                for (r, &dr) in delta.iter().enumerate() {
+                    if dr != 0.0 {
+                        for (w, &xi) in dw.row_mut(r).iter_mut().zip(input.iter()) {
+                            *w += dr * xi;
+                        }
+                    }
+                }
+                db.axpy(1.0, &delta).expect("shape invariant");
+                // Propagate: g = Wᵀ delta.
+                g = dense
+                    .weights
+                    .matvec_t(delta.as_slice())
+                    .expect("shape invariant");
+            }
+            (Layer::MaxOut(mo), LayerTrace::MaxOut { selection }, LayerGrad::MaxOut { dws, dbs }) => {
+                let mut g_in = Vector::zeros(mo.input_dim());
+                for (j, (&k, &gj)) in selection.iter().zip(g.iter()).enumerate() {
+                    if gj == 0.0 {
+                        continue;
+                    }
+                    for (w, &xi) in dws[k].row_mut(j).iter_mut().zip(input.iter()) {
+                        *w += gj * xi;
+                    }
+                    dbs[k][j] += gj;
+                    for (gi, &w) in g_in.iter_mut().zip(mo.pieces[k].row(j).iter()) {
+                        *gi += gj * w;
+                    }
+                }
+                g = g_in;
+            }
+            _ => unreachable!("trace/grads aligned with layers"),
+        }
+    }
+    loss
+}
+
+/// Optimizer state: one flat buffer pair (first/second moment or velocity)
+/// per parameter tensor, in layer order.
+struct OptState {
+    first: Vec<Vec<f64>>,
+    second: Vec<Vec<f64>>,
+    step: u64,
+}
+
+impl OptState {
+    fn new(net: &Plnn) -> Self {
+        let mut sizes = Vec::new();
+        for layer in net.layers() {
+            match layer {
+                Layer::Dense(l) => {
+                    sizes.push(l.weights.rows() * l.weights.cols());
+                    sizes.push(l.bias.len());
+                }
+                Layer::MaxOut(l) => {
+                    for p in &l.pieces {
+                        sizes.push(p.rows() * p.cols());
+                    }
+                    for b in &l.biases {
+                        sizes.push(b.len());
+                    }
+                }
+            }
+        }
+        OptState {
+            first: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            second: sizes.iter().map(|&s| vec![0.0; s]).collect(),
+            step: 0,
+        }
+    }
+}
+
+/// Applies one optimizer step to a single parameter tensor.
+#[allow(clippy::too_many_arguments)]
+fn update_tensor(
+    opt: &Optimizer,
+    params: &mut [f64],
+    grads: &[f64],
+    m1: &mut [f64],
+    m2: &mut [f64],
+    scale: f64,
+    weight_decay: f64,
+    step: u64,
+) {
+    match *opt {
+        Optimizer::Sgd { lr, momentum } => {
+            for i in 0..params.len() {
+                let g = grads[i] * scale + weight_decay * params[i];
+                m1[i] = momentum * m1[i] - lr * g;
+                params[i] += m1[i];
+            }
+        }
+        Optimizer::Adam { lr, beta1, beta2, eps } => {
+            let bc1 = 1.0 - beta1.powi(step as i32);
+            let bc2 = 1.0 - beta2.powi(step as i32);
+            for i in 0..params.len() {
+                let g = grads[i] * scale + weight_decay * params[i];
+                m1[i] = beta1 * m1[i] + (1.0 - beta1) * g;
+                m2[i] = beta2 * m2[i] + (1.0 - beta2) * g * g;
+                let mhat = m1[i] / bc1;
+                let vhat = m2[i] / bc2;
+                params[i] -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+/// Applies the accumulated batch gradients to the network.
+fn apply_update(
+    net: &mut Plnn,
+    grads: &[LayerGrad],
+    state: &mut OptState,
+    opt: &Optimizer,
+    batch_len: usize,
+    weight_decay: f64,
+) {
+    state.step += 1;
+    let scale = 1.0 / batch_len as f64;
+    let mut t = 0usize;
+    for (layer, grad) in net.layers_mut().iter_mut().zip(grads.iter()) {
+        match (layer, grad) {
+            (Layer::Dense(l), LayerGrad::Dense { dw, db }) => {
+                let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
+                update_tensor(opt, l.weights.as_mut_slice(), dw.as_slice(), m1, m2, scale, weight_decay, state.step);
+                t += 1;
+                let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
+                update_tensor(opt, l.bias.as_mut_slice(), db.as_slice(), m1, m2, scale, 0.0, state.step);
+                t += 1;
+            }
+            (Layer::MaxOut(l), LayerGrad::MaxOut { dws, dbs }) => {
+                for (p, dp) in l.pieces.iter_mut().zip(dws.iter()) {
+                    let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
+                    update_tensor(opt, p.as_mut_slice(), dp.as_slice(), m1, m2, scale, weight_decay, state.step);
+                    t += 1;
+                }
+                for (b, db) in l.biases.iter_mut().zip(dbs.iter()) {
+                    let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
+                    update_tensor(opt, b.as_mut_slice(), db.as_slice(), m1, m2, scale, 0.0, state.step);
+                    t += 1;
+                }
+            }
+            _ => unreachable!("grads aligned with layers"),
+        }
+    }
+}
+
+/// Trains `net` in place on `data`; all randomness (batch order) comes from
+/// `rng`, so a fixed seed reproduces the trained model bit-for-bit.
+///
+/// # Panics
+/// Panics when `data.dim() != net.dim()`, `data.num_classes() >
+/// net.num_classes()`, or `cfg.batch_size == 0` / `cfg.epochs == 0`.
+pub fn train<R: Rng>(net: &mut Plnn, data: &Dataset, cfg: &TrainConfig, rng: &mut R) -> TrainReport {
+    assert_eq!(data.dim(), net.dim(), "data/network dimension mismatch");
+    assert!(
+        data.num_classes() <= net.num_classes(),
+        "network has fewer outputs than classes"
+    );
+    assert!(cfg.batch_size > 0 && cfg.epochs > 0, "degenerate train config");
+
+    let mut grads: Vec<LayerGrad> = net.layers().iter().map(LayerGrad::zeros_like).collect();
+    let mut state = OptState::new(net);
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut epoch_losses = Vec::with_capacity(cfg.epochs);
+
+    for _ in 0..cfg.epochs {
+        indices.shuffle(rng);
+        let mut epoch_loss = 0.0;
+        for batch in indices.chunks(cfg.batch_size.min(data.len())) {
+            for g in &mut grads {
+                g.reset();
+            }
+            for &i in batch {
+                epoch_loss += backprop_one(net, data.instance(i), data.label(i), &mut grads);
+            }
+            apply_update(net, &grads, &mut state, &cfg.optimizer, batch.len(), cfg.weight_decay);
+        }
+        epoch_losses.push(epoch_loss / data.len() as f64);
+    }
+
+    let final_train_accuracy = accuracy(net, data);
+    TrainReport { epoch_losses, final_train_accuracy }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::DenseLayer;
+    use crate::maxout::MaxOutLayer;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two well-separated Gaussian-ish blobs in 2-D.
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let cx = if class == 0 { -1.0 } else { 1.0 };
+            xs.push(Vector(vec![
+                cx + rng.gen_range(-0.3..0.3),
+                cx + rng.gen_range(-0.3..0.3),
+            ]));
+            ys.push(class);
+        }
+        Dataset::new(xs, ys, 2).unwrap()
+    }
+
+    /// XOR-ish dataset that a linear model cannot fit.
+    fn xor(n: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let a = rng.gen_range(-1.0..1.0f64);
+            let b = rng.gen_range(-1.0..1.0f64);
+            xs.push(Vector(vec![a, b]));
+            ys.push(usize::from(a * b > 0.0));
+        }
+        Dataset::new(xs, ys, 2).unwrap()
+    }
+
+    #[test]
+    fn cross_entropy_basics() {
+        let p = Vector(vec![0.5, 0.5]);
+        assert!((cross_entropy(&p, 0) - 0.5f64.recip().ln()).abs() < 1e-12);
+        let certain = Vector(vec![1.0, 0.0]);
+        assert_eq!(cross_entropy(&certain, 0), 0.0);
+        assert!(cross_entropy(&certain, 1).is_finite());
+    }
+
+    #[test]
+    fn backprop_matches_finite_difference_gradients() {
+        // Numerical check of the full gradient on a tiny network.
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Plnn::mlp(&[3, 4, 2], Activation::ReLU, &mut rng);
+        let x = Vector(vec![0.3, -0.5, 0.8]);
+        let label = 1;
+
+        let mut grads: Vec<LayerGrad> = net.layers().iter().map(LayerGrad::zeros_like).collect();
+        let _ = backprop_one(&net, &x, label, &mut grads);
+
+        let loss_of = |n: &Plnn| {
+            let p = softmax(n.logits(x.as_slice()).as_slice());
+            cross_entropy(&p, label)
+        };
+        let h = 1e-6;
+        // Check a handful of weight coordinates in each layer.
+        for (li, grad) in grads.iter().enumerate() {
+            if let LayerGrad::Dense { dw, db } = grad {
+                for (r, c) in [(0usize, 0usize), (1, 2.min(dw.cols() - 1))] {
+                    let mut plus = net.clone();
+                    let mut minus = net.clone();
+                    if let Layer::Dense(l) = &mut plus.layers_mut()[li] {
+                        l.weights[(r, c)] += h;
+                    }
+                    if let Layer::Dense(l) = &mut minus.layers_mut()[li] {
+                        l.weights[(r, c)] -= h;
+                    }
+                    let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
+                    assert!(
+                        (dw[(r, c)] - fd).abs() < 1e-5,
+                        "layer {li} w({r},{c}): {} vs fd {fd}",
+                        dw[(r, c)]
+                    );
+                }
+                // One bias coordinate.
+                let mut plus = net.clone();
+                let mut minus = net.clone();
+                if let Layer::Dense(l) = &mut plus.layers_mut()[li] {
+                    l.bias[0] += h;
+                }
+                if let Layer::Dense(l) = &mut minus.layers_mut()[li] {
+                    l.bias[0] -= h;
+                }
+                let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
+                assert!((db[0] - fd).abs() < 1e-5, "layer {li} b(0)");
+            }
+        }
+    }
+
+    #[test]
+    fn maxout_backprop_matches_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let mo = MaxOutLayer::new(
+            vec![
+                Matrix::from_fn(3, 2, |_, _| rng.gen_range(-1.0..1.0)),
+                Matrix::from_fn(3, 2, |_, _| rng.gen_range(-1.0..1.0)),
+            ],
+            vec![
+                Vector((0..3).map(|_| rng.gen_range(-0.2..0.2)).collect()),
+                Vector((0..3).map(|_| rng.gen_range(-0.2..0.2)).collect()),
+            ],
+        );
+        let out = DenseLayer::new(
+            Matrix::from_fn(2, 3, |_, _| rng.gen_range(-1.0..1.0)),
+            Vector::zeros(2),
+            Activation::Identity,
+        );
+        let net = Plnn::new(vec![Layer::MaxOut(mo), Layer::Dense(out)]);
+        let x = Vector(vec![0.4, -0.7]);
+        let label = 0;
+        let mut grads: Vec<LayerGrad> = net.layers().iter().map(LayerGrad::zeros_like).collect();
+        let _ = backprop_one(&net, &x, label, &mut grads);
+
+        let loss_of = |n: &Plnn| {
+            let p = softmax(n.logits(x.as_slice()).as_slice());
+            cross_entropy(&p, label)
+        };
+        let h = 1e-6;
+        if let LayerGrad::MaxOut { dws, dbs } = &grads[0] {
+            for k in 0..2 {
+                for (r, c) in [(0usize, 0usize), (2, 1)] {
+                    let mut plus = net.clone();
+                    let mut minus = net.clone();
+                    if let Layer::MaxOut(l) = &mut plus.layers_mut()[0] {
+                        l.pieces[k][(r, c)] += h;
+                    }
+                    if let Layer::MaxOut(l) = &mut minus.layers_mut()[0] {
+                        l.pieces[k][(r, c)] -= h;
+                    }
+                    let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
+                    assert!(
+                        (dws[k][(r, c)] - fd).abs() < 1e-5,
+                        "piece {k} w({r},{c}): {} vs {fd}",
+                        dws[k][(r, c)]
+                    );
+                }
+                let mut plus = net.clone();
+                let mut minus = net.clone();
+                if let Layer::MaxOut(l) = &mut plus.layers_mut()[0] {
+                    l.biases[k][1] += h;
+                }
+                if let Layer::MaxOut(l) = &mut minus.layers_mut()[0] {
+                    l.biases[k][1] -= h;
+                }
+                let fd = (loss_of(&plus) - loss_of(&minus)) / (2.0 * h);
+                assert!((dbs[k][1] - fd).abs() < 1e-5, "piece {k} bias");
+            }
+        } else {
+            panic!("expected maxout grads");
+        }
+    }
+
+    #[test]
+    fn training_separates_blobs_with_sgd() {
+        let data = blobs(200, 1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = Plnn::mlp(&[2, 8, 2], Activation::ReLU, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            optimizer: Optimizer::sgd(0.05),
+            weight_decay: 0.0,
+        };
+        let report = train(&mut net, &data, &cfg, &mut rng);
+        assert!(
+            report.final_train_accuracy > 0.95,
+            "accuracy {}",
+            report.final_train_accuracy
+        );
+        // Loss should broadly decrease.
+        assert!(report.epoch_losses.last().unwrap() < &report.epoch_losses[0]);
+    }
+
+    #[test]
+    fn training_solves_xor_with_adam() {
+        let data = xor(400, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut net = Plnn::mlp(&[2, 16, 8, 2], Activation::ReLU, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 60,
+            batch_size: 32,
+            optimizer: Optimizer::adam(5e-3),
+            weight_decay: 0.0,
+        };
+        let report = train(&mut net, &data, &cfg, &mut rng);
+        assert!(
+            report.final_train_accuracy > 0.9,
+            "XOR accuracy {} (nonlinear task needs hidden units)",
+            report.final_train_accuracy
+        );
+    }
+
+    #[test]
+    fn training_is_deterministic_per_seed() {
+        let data = blobs(60, 5);
+        let make = || {
+            let mut rng = StdRng::seed_from_u64(6);
+            let mut net = Plnn::mlp(&[2, 6, 2], Activation::ReLU, &mut rng);
+            let cfg = TrainConfig { epochs: 5, ..Default::default() };
+            let _ = train(&mut net, &data, &cfg, &mut rng);
+            net
+        };
+        assert_eq!(make(), make());
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        let data = blobs(100, 7);
+        let mut rng = StdRng::seed_from_u64(8);
+        let net0 = Plnn::mlp(&[2, 8, 2], Activation::ReLU, &mut rng);
+        let run = |wd: f64, net: &Plnn| {
+            let mut n = net.clone();
+            let mut r = StdRng::seed_from_u64(9);
+            let cfg = TrainConfig {
+                epochs: 20,
+                batch_size: 20,
+                optimizer: Optimizer::sgd(0.05),
+                weight_decay: wd,
+            };
+            let _ = train(&mut n, &data, &cfg, &mut r);
+            let mut norm = 0.0;
+            for l in n.layers() {
+                if let Layer::Dense(d) = l {
+                    norm += d.weights.norm_frobenius().powi(2);
+                }
+            }
+            norm.sqrt()
+        };
+        let free = run(0.0, &net0);
+        let decayed = run(0.05, &net0);
+        assert!(decayed < free, "decay {decayed} vs free {free}");
+    }
+
+    #[test]
+    fn accuracy_of_perfect_and_useless_models() {
+        let data = blobs(50, 10);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Plnn::mlp(&[2, 8, 2], Activation::ReLU, &mut rng);
+        let cfg = TrainConfig {
+            epochs: 40,
+            batch_size: 10,
+            optimizer: Optimizer::adam(1e-2),
+            weight_decay: 0.0,
+        };
+        let _ = train(&mut net, &data, &cfg, &mut rng);
+        assert!(accuracy(&net, &data) > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn train_validates_dimensions() {
+        let data = blobs(10, 12);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut net = Plnn::mlp(&[3, 4, 2], Activation::ReLU, &mut rng);
+        let _ = train(&mut net, &data, &TrainConfig::default(), &mut rng);
+    }
+}

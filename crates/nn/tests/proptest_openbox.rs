@@ -1,0 +1,111 @@
+//! Property-based tests of the OpenBox extraction — the ground-truth oracle
+//! every exactness claim in the reproduction rests on.
+
+use openapi_api::{GradientOracle, PredictionApi};
+use openapi_nn::{Activation, Plnn};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn net_from_seed(seed: u64, dims: &[usize], act: Activation) -> Plnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Plnn::mlp(dims, act, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The composed affine map reproduces the network's logits exactly at
+    /// the extraction point, for random nets and inputs.
+    #[test]
+    fn local_map_matches_network_at_point(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-2.0f64..2.0, 6),
+    ) {
+        let net = net_from_seed(seed, &[6, 9, 5, 3], Activation::ReLU);
+        let lm = net.local_linear_map(&x);
+        let direct = net.logits(&x);
+        let via = lm.logits(&x);
+        for c in 0..3 {
+            prop_assert!((direct[c] - via[c]).abs() < 1e-9,
+                "class {}: {} vs {}", c, direct[c], via[c]);
+        }
+    }
+
+    /// Same activation pattern ⇒ same affine map; the map is a function of
+    /// the region, not the point.
+    #[test]
+    fn map_depends_only_on_pattern(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-1.0f64..1.0, 4),
+        eps in prop::collection::vec(-1e-4f64..1e-4, 4),
+    ) {
+        let net = net_from_seed(seed, &[4, 8, 2], Activation::ReLU);
+        let y: Vec<f64> = x.iter().zip(eps.iter()).map(|(a, b)| a + b).collect();
+        if net.activation_pattern(&x) == net.activation_pattern(&y) {
+            let ma = net.local_linear_map(&x);
+            let mb = net.local_linear_map(&y);
+            prop_assert_eq!(ma, mb);
+        }
+    }
+
+    /// Logit gradients from OpenBox equal central finite differences (when
+    /// the probe stays inside the region; the tiny step makes crossings
+    /// measure-zero rare, and we skip them via pattern checks).
+    #[test]
+    fn logit_gradient_matches_finite_difference(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-1.5f64..1.5, 5),
+        coord in 0usize..5,
+        class in 0usize..3,
+    ) {
+        let net = net_from_seed(seed, &[5, 7, 3], Activation::ReLU);
+        let h = 1e-6;
+        let mut xp = x.clone();
+        xp[coord] += h;
+        let mut xm = x.clone();
+        xm[coord] -= h;
+        // Only compare when the whole stencil shares x's region.
+        prop_assume!(net.activation_pattern(&xp) == net.activation_pattern(&x));
+        prop_assume!(net.activation_pattern(&xm) == net.activation_pattern(&x));
+        let g = net.logit_gradient(&x, class);
+        let fd = (net.logits(&xp)[class] - net.logits(&xm)[class]) / (2.0 * h);
+        prop_assert!((g[coord] - fd).abs() < 1e-5, "{} vs {}", g[coord], fd);
+    }
+
+    /// LeakyReLU networks have NO zero-gradient regions: the local map's
+    /// weight matrix never vanishes (unlike ReLU's dead zones).
+    #[test]
+    fn leaky_relu_maps_are_never_all_zero(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let net = net_from_seed(seed, &[4, 6, 2], Activation::LeakyReLU(0.1));
+        let lm = net.local_linear_map(&x);
+        prop_assert!(lm.weights.norm_max() > 0.0);
+    }
+
+    /// Persistence round-trips arbitrary trained-shape networks bit-exactly.
+    #[test]
+    fn persisted_networks_predict_identically(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-1.0f64..1.0, 5),
+    ) {
+        let net = net_from_seed(seed, &[5, 6, 4, 3], Activation::ReLU);
+        let back = Plnn::from_bytes(&net.to_bytes()).expect("round trip");
+        prop_assert_eq!(net.predict(&x), back.predict(&x));
+        prop_assert_eq!(net.activation_pattern(&x), back.activation_pattern(&x));
+    }
+
+    /// Softmax outputs are valid probability vectors for any finite input.
+    #[test]
+    fn predictions_are_distributions(
+        seed in 0u64..10_000,
+        x in prop::collection::vec(-50.0f64..50.0, 4),
+    ) {
+        let net = net_from_seed(seed, &[4, 5, 3], Activation::ReLU);
+        let p = net.predict(&x);
+        prop_assert!(p.iter().all(|v| *v >= 0.0 && v.is_finite()));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,74 @@
+//! Head-to-head: every interpretation method on the same prediction.
+//!
+//! Reproduces the flavour of the paper's Figures 5–7 on a single instance:
+//! OpenAPI against LIME (linear/ridge), ZOO, and the naive method across
+//! perturbation distances, plus the white-box gradient methods — each
+//! scored by L1 distance to the exact ground-truth decision features. Run:
+//!
+//! ```text
+//! cargo run --release --example compare_methods
+//! ```
+
+use openapi_repro::api::{GroundTruthOracle, LocalLinearModel, TwoRegionPlm};
+use openapi_repro::core::Method;
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A PLM with two regions split at x0 = 0.5, like the paper's Figure 1.
+    // The interpreted instance sits only 0.003 from the boundary, so any
+    // method probing farther than that silently mixes two linear regimes.
+    // LocalLinearModel wants W ∈ R^{d×C}; here d = 2 features, C = 2.
+    let low = LocalLinearModel::new(
+        Matrix::from_rows(&[&[3.0, -1.0], &[0.5, 2.0]]).expect("static shape"),
+        Vector(vec![0.0, 0.1]),
+    );
+    let high = LocalLinearModel::new(
+        Matrix::from_rows(&[&[-2.0, 1.0], &[0.0, 3.0]]).expect("static shape"),
+        Vector(vec![0.5, -0.5]),
+    );
+    let model = TwoRegionPlm::axis_split(0, 0.5, low, high);
+    let x0 = Vector(vec![0.497, 0.2]);
+    let class = 0usize;
+    let truth = model.local_model(x0.as_slice()).decision_features(class);
+    println!(
+        "instance {:?}, boundary margin {:.3}",
+        x0.as_slice(),
+        model.boundary_margin(x0.as_slice())
+    );
+    println!("ground-truth D_{class} = {:?}\n", truth.as_slice());
+
+    let mut methods = Method::quality_lineup();
+    methods.extend(
+        Method::effectiveness_lineup()
+            .into_iter()
+            .filter(|m| !m.is_black_box()),
+    );
+
+    println!("{:<12} {:>12}  verdict", "method", "L1Dist");
+    println!("{}", "-".repeat(44));
+    for method in methods {
+        let mut rng = StdRng::seed_from_u64(99);
+        match method.attribution(&model, &x0, class, &mut rng) {
+            Ok(attr) => {
+                let err = truth.l1_distance(&attr).unwrap();
+                let verdict = if err < 1e-6 {
+                    "exact"
+                } else if err < 1e-2 {
+                    "close"
+                } else {
+                    "WRONG"
+                };
+                println!("{:<12} {:>12.3e}  {verdict}", method.name(), err);
+            }
+            Err(e) => println!("{:<12} {:>12}  failed: {e}", method.name(), "—"),
+        }
+    }
+    println!(
+        "\nreading: OpenAPI adapts its hypercube inside the 0.003-wide margin and stays\n\
+         exact; fixed-h methods are exact only when h happens to be small enough; the\n\
+         gradient methods answer a different question (attribution, not core\n\
+         parameters) and are scored on the same scale for reference."
+    );
+}

@@ -1,0 +1,99 @@
+//! Consistency: why region-constant interpretations matter.
+//!
+//! Gradient*Input and Integrated Gradients hand *different* explanations to
+//! two inputs classified by the very same locally linear classifier; OpenAPI
+//! (and any method recovering the true decision features) gives them the
+//! identical explanation. This example measures that on a trained network,
+//! mirroring the paper's Figure 4. Run with:
+//!
+//! ```text
+//! cargo run --release --example consistency_probe
+//! ```
+
+use openapi_repro::core::baselines::gradient::{GradientInput, IntegratedGradients, SaliencyMaps};
+use openapi_repro::data::synth::{SynthConfig, SynthStyle};
+use openapi_repro::data::{downsample, nearest_neighbor};
+use openapi_repro::nn::{train, Activation, Optimizer, Plnn, TrainConfig};
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Train a small PLNN on 14×14 synthetic digits.
+    let (train_set, test_set) = {
+        let (tr, te) = SynthConfig::small(SynthStyle::MnistLike, 800, 120, 21).generate();
+        (downsample(&tr, 2), downsample(&te, 2))
+    };
+    let mut rng = StdRng::seed_from_u64(22);
+    let mut net = Plnn::mlp(&[196, 32, 16, 10], Activation::ReLU, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 12,
+        batch_size: 32,
+        optimizer: Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    let _ = train(&mut net, &train_set, &cfg, &mut rng);
+
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+    let gi = GradientInput::default();
+    let ig = IntegratedGradients::default();
+    let sal = SaliencyMaps::default();
+
+    println!("cosine similarity between the interpretations of each test instance");
+    println!("and its nearest neighbour (higher = more consistent):\n");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10}",
+        "instance", "OpenAPI", "Grad*Inp", "IntegGrad", "Saliency"
+    );
+
+    let mut sums = [0.0f64; 4];
+    let mut count = 0;
+    for i in 0..10 {
+        let x0 = test_set.instance(i);
+        let nn_idx = nearest_neighbor(&test_set, x0, Some(i)).expect("non-trivial test set");
+        let x1 = test_set.instance(nn_idx);
+        let class = net.predict_label(x0.as_slice());
+
+        let cs = |a: &Vector, b: &Vector| a.cosine_similarity(b).unwrap();
+        let oa = match (
+            interpreter.interpret(&net, x0, class, &mut rng),
+            interpreter.interpret(&net, x1, class, &mut rng),
+        ) {
+            (Ok(a), Ok(b)) => cs(
+                &a.interpretation.decision_features,
+                &b.interpretation.decision_features,
+            ),
+            _ => f64::NAN,
+        };
+        let g = cs(
+            &gi.interpret(&net, x0, class).unwrap().decision_features,
+            &gi.interpret(&net, x1, class).unwrap().decision_features,
+        );
+        let igv = cs(
+            &ig.interpret(&net, x0, class).unwrap().decision_features,
+            &ig.interpret(&net, x1, class).unwrap().decision_features,
+        );
+        let s = cs(
+            &sal.interpret(&net, x0, class).unwrap().decision_features,
+            &sal.interpret(&net, x1, class).unwrap().decision_features,
+        );
+        println!("{i:<10} {oa:>10.4} {g:>10.4} {igv:>10.4} {s:>10.4}");
+        for (acc, v) in sums.iter_mut().zip([oa, g, igv, s]) {
+            if v.is_finite() {
+                *acc += v;
+            }
+        }
+        count += 1;
+    }
+    println!("{}", "-".repeat(54));
+    print!("{:<10}", "mean");
+    for acc in sums {
+        print!(" {:>10.4}", acc / count as f64);
+    }
+    println!();
+    println!(
+        "\nOpenAPI's scores are 1.0 exactly whenever the neighbour shares the\n\
+         instance's locally linear region; gradient attributions vary with the\n\
+         input even inside one region."
+    );
+}

@@ -1,0 +1,76 @@
+//! Audit a cloud image classifier you can only query.
+//!
+//! The scenario the paper's introduction motivates: a vendor exposes a
+//! 10-class garment classifier over an API. We train that "vendor model"
+//! (a PLNN on synthetic Fashion-MNIST-like data), then play the auditor:
+//! query-only access, per-query accounting, and a need to know *which
+//! pixels* the model actually bases a given decision on. Run with:
+//!
+//! ```text
+//! cargo run --release --example hidden_model_audit
+//! ```
+
+use openapi_repro::api::CountingApi;
+use openapi_repro::data::synth::{ascii_art, SynthConfig, SynthStyle};
+use openapi_repro::metrics::heatmap::signed_ascii;
+use openapi_repro::nn::{train, Activation, Optimizer, Plnn, TrainConfig};
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // ---- vendor side (hidden from the auditor) -------------------------
+    let (train_set, test_set) =
+        SynthConfig::small(SynthStyle::FmnistLike, 1500, 100, 11).generate();
+    let mut rng = StdRng::seed_from_u64(12);
+    let mut vendor_model = Plnn::mlp(&[784, 48, 24, 10], Activation::ReLU, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        optimizer: Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    let report = train(&mut vendor_model, &train_set, &cfg, &mut rng);
+    println!(
+        "vendor model trained: {:.1}% training accuracy ({} parameters)\n",
+        report.final_train_accuracy * 100.0,
+        vendor_model.param_count()
+    );
+
+    // ---- auditor side ---------------------------------------------------
+    let api = CountingApi::new(&vendor_model);
+    let class_names = SynthStyle::FmnistLike.class_names();
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+
+    // Audit three predictions.
+    for idx in [0usize, 3, 7] {
+        let x0 = test_set.instance(idx);
+        let label = test_set.label(idx);
+        let predicted = api.predict_label(x0.as_slice());
+        println!(
+            "--- instance {idx}: true class {}, API predicts {} ---",
+            class_names[label], class_names[predicted]
+        );
+        println!("input image:");
+        println!("{}", ascii_art(x0));
+
+        let before = api.queries();
+        match interpreter.interpret(&api, x0, predicted, &mut rng) {
+            Ok(result) => {
+                println!(
+                    "decision features for '{}' (exact; {} queries, {} iteration(s)):",
+                    class_names[predicted],
+                    api.queries() - before,
+                    result.iterations
+                );
+                println!(
+                    "{}",
+                    signed_ascii(result.interpretation.decision_features.as_slice(), 28, 28)
+                );
+                println!("('#'/'+' pixels support the predicted class, '='/'-' oppose it)\n");
+            }
+            Err(e) => println!("interpretation failed: {e}\n"),
+        }
+    }
+    println!("total audit cost: {} prediction queries", api.queries());
+}

@@ -1,0 +1,96 @@
+//! Train once, persist, and audit later — the model-registry workflow.
+//!
+//! A realistic deployment splits the lifecycle: a training job produces a
+//! model artifact; a serving job loads it behind an API; an audit job
+//! interprets its predictions. This example walks all three stages using
+//! the workspace's binary model formats (`OANN` for networks, `OALM` for
+//! logistic model trees). Run with:
+//!
+//! ```text
+//! cargo run --release --example model_registry
+//! ```
+
+use openapi_repro::data::synth::{SynthConfig, SynthStyle};
+use openapi_repro::data::downsample;
+use openapi_repro::lmt::{Lmt, LmtConfig, LogisticConfig};
+use openapi_repro::nn::{train, Activation, Optimizer, Plnn, TrainConfig};
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let registry = std::env::temp_dir().join("openapi_model_registry");
+    std::fs::create_dir_all(&registry).expect("create registry dir");
+
+    // ---- stage 1: the training job -------------------------------------
+    let (train_set, test_set) = {
+        let (tr, te) = SynthConfig::small(SynthStyle::MnistLike, 800, 50, 41).generate();
+        (downsample(&tr, 2), downsample(&te, 2))
+    };
+    let mut rng = StdRng::seed_from_u64(42);
+
+    let mut net = Plnn::mlp(&[train_set.dim(), 32, 16, 10], Activation::ReLU, &mut rng);
+    let nn_cfg = TrainConfig {
+        epochs: 10,
+        batch_size: 32,
+        optimizer: Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    let nn_report = train(&mut net, &train_set, &nn_cfg, &mut rng);
+
+    let lmt_cfg = LmtConfig {
+        min_leaf_instances: 150,
+        logistic: LogisticConfig { epochs: 10, ..Default::default() },
+        ..Default::default()
+    };
+    let tree = Lmt::fit(&train_set, &lmt_cfg, &mut rng);
+
+    let net_path = registry.join("digit_classifier.oann");
+    let tree_path = registry.join("digit_classifier.oalm");
+    net.save(&net_path).expect("persist network");
+    tree.save(&tree_path).expect("persist tree");
+    println!(
+        "training job done: PLNN acc {:.3} -> {} ({} bytes); LMT {} leaves -> {} ({} bytes)\n",
+        nn_report.final_train_accuracy,
+        net_path.display(),
+        std::fs::metadata(&net_path).unwrap().len(),
+        tree.num_leaves(),
+        tree_path.display(),
+        std::fs::metadata(&tree_path).unwrap().len(),
+    );
+    drop(net);
+    drop(tree);
+
+    // ---- stage 2: the serving job loads the artifacts -------------------
+    let served_net = Plnn::load(&net_path).expect("load network artifact");
+    let served_tree = Lmt::load(&tree_path).expect("load tree artifact");
+
+    // ---- stage 3: the audit job interprets served predictions ----------
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+    for (name, api) in [
+        ("PLNN", &served_net as &dyn PredictionApi),
+        ("LMT", &served_tree as &dyn PredictionApi),
+    ] {
+        let x0 = test_set.instance(0);
+        let class = api.predict_label(x0.as_slice());
+        match interpreter.interpret(&api, x0, class, &mut rng) {
+            Ok(result) => {
+                let top: Vec<usize> = {
+                    let d = &result.interpretation.decision_features;
+                    let mut idx: Vec<usize> = (0..d.len()).collect();
+                    idx.sort_by(|&a, &b| d[b].abs().partial_cmp(&d[a].abs()).unwrap());
+                    idx.into_iter().take(5).collect()
+                };
+                println!(
+                    "{name}: predicted class {class}; top-5 decision pixels {top:?} \
+                     ({} queries, {} iterations)",
+                    result.queries, result.iterations
+                );
+            }
+            Err(e) => println!("{name}: interpretation failed: {e}"),
+        }
+    }
+
+    std::fs::remove_dir_all(&registry).ok();
+    println!("\nregistry cleaned up.");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: interpret a model you can only query.
+//!
+//! Builds a small ReLU network (a piecewise linear model), hides it behind
+//! the prediction-API boundary, and asks OpenAPI *why* the model classifies
+//! one instance the way it does. Run with:
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use openapi_repro::api::CountingApi;
+use openapi_repro::nn::{Activation, Plnn};
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. Somebody else's model: a 6-input, 3-class ReLU network. In the real
+    //    setting you would not have this object — only its HTTP endpoint.
+    let mut rng = StdRng::seed_from_u64(7);
+    let hidden_model = Plnn::mlp(&[6, 12, 8, 3], Activation::ReLU, &mut rng);
+
+    // 2. The API boundary: all we can do is submit instances and read
+    //    probabilities (the counter shows what the audit costs).
+    let api = CountingApi::new(&hidden_model);
+
+    // 3. An instance whose prediction we want explained.
+    let x0 = Vector(vec![0.8, -0.3, 0.5, 0.1, -0.6, 0.9]);
+    let probs = api.predict(x0.as_slice());
+    let class = api.predict_label(x0.as_slice());
+    println!("prediction: class {class} with probabilities {probs:?}\n");
+
+    // 4. OpenAPI: exact decision features from queries alone.
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+    let result = interpreter
+        .interpret(&api, &x0, class, &mut rng)
+        .expect("interior instances are interpretable with probability 1");
+
+    println!("decision features D_{class} (exact, recovered via {} queries,", result.queries);
+    println!("{} sampling iteration(s), final hypercube edge {:.3e}):\n", result.iterations, result.final_edge);
+    for (i, w) in result.interpretation.decision_features.iter().enumerate() {
+        let direction = if *w > 0.0 { "supports" } else { "opposes " };
+        println!("  feature {i}: {w:+.4}  ({direction} class {class})");
+    }
+
+    // 5. Verify the claim of exactness against the white-box ground truth
+    //    (possible here because we own the model; a real auditor could not).
+    let truth = hidden_model
+        .local_linear_map(x0.as_slice())
+        .decision_features(class);
+    let err = result
+        .interpretation
+        .decision_features
+        .l1_distance(&truth)
+        .unwrap();
+    println!("\nL1 distance to the ground-truth decision features: {err:.3e}");
+    assert!(err < 1e-6, "OpenAPI should be exact");
+    println!("=> exact to solver precision.");
+}

@@ -1,0 +1,30 @@
+//! Facade crate for the OpenAPI reproduction workspace.
+//!
+//! Re-exports every member crate under a stable, discoverable namespace so
+//! that downstream users (and the `examples/` and `tests/` in this package)
+//! can depend on a single crate:
+//!
+//! ```
+//! use openapi_repro::prelude::*;
+//! ```
+//!
+//! See the workspace `README.md` for the project overview, `DESIGN.md` for
+//! the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
+//! record of every table and figure.
+
+pub use openapi_api as api;
+pub use openapi_core as core;
+pub use openapi_data as data;
+pub use openapi_linalg as linalg;
+pub use openapi_lmt as lmt;
+pub use openapi_metrics as metrics;
+pub use openapi_nn as nn;
+
+/// The most commonly used items across the workspace, in one import.
+pub mod prelude {
+    pub use openapi_api::{GradientOracle, GroundTruthOracle, PredictionApi};
+    pub use openapi_core::decision::{Interpretation, PairwiseCoreParams};
+    pub use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};
+    pub use openapi_core::Method;
+    pub use openapi_linalg::{Matrix, Vector};
+}

@@ -1,0 +1,94 @@
+//! End-to-end coverage of the MaxOut PLM family (the paper's introduction
+//! places MaxOut networks in scope alongside the ReLU family): train one,
+//! hide it behind the API, and verify OpenAPI's exactness and the OpenBox
+//! oracle on it.
+
+use openapi_repro::nn::{train, Plnn, TrainConfig};
+use openapi_repro::prelude::*;
+use openapi_repro::data::synth::{SynthConfig, SynthStyle};
+use openapi_repro::data::{downsample, Dataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn data() -> (Dataset, Dataset) {
+    let (tr, te) = SynthConfig::small(SynthStyle::MnistLike, 400, 30, 31).generate();
+    (downsample(&tr, 2), downsample(&te, 2))
+}
+
+#[test]
+fn maxout_network_trains_and_is_exactly_interpretable() {
+    let (train_set, test_set) = data();
+    let mut rng = StdRng::seed_from_u64(32);
+    let mut net = Plnn::maxout_mlp(&[train_set.dim(), 16, 10], 2, &mut rng);
+    let cfg = TrainConfig {
+        epochs: 8,
+        batch_size: 32,
+        optimizer: openapi_repro::nn::Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    let report = train(&mut net, &train_set, &cfg, &mut rng);
+    assert!(
+        report.final_train_accuracy > 0.8,
+        "MaxOut net should train: {}",
+        report.final_train_accuracy
+    );
+
+    // OpenAPI against the trained MaxOut network: exact decision features.
+    let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+    let mut checked = 0;
+    for i in 0..5 {
+        let x0 = test_set.instance(i);
+        let class = net.predict_label(x0.as_slice());
+        let Ok(result) = interpreter.interpret(&net, x0, class, &mut rng) else {
+            continue;
+        };
+        let truth = net.local_linear_map(x0.as_slice()).decision_features(class);
+        let err = result
+            .interpretation
+            .decision_features
+            .l1_distance(&truth)
+            .unwrap();
+        assert!(err < 1e-6, "instance {i}: L1Dist {err}");
+        checked += 1;
+    }
+    assert!(checked >= 4, "only {checked}/5 interpreted");
+}
+
+#[test]
+fn maxout_network_persists_and_round_trips() {
+    let (train_set, _) = data();
+    let mut rng = StdRng::seed_from_u64(33);
+    let mut net = Plnn::maxout_mlp(&[train_set.dim(), 12, 10], 3, &mut rng);
+    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let _ = train(&mut net, &train_set, &cfg, &mut rng);
+    let back = Plnn::from_bytes(&net.to_bytes()).expect("round trip");
+    assert_eq!(net, back);
+    let x = train_set.instance(0);
+    assert_eq!(net.predict(x.as_slice()), back.predict(x.as_slice()));
+    assert_eq!(
+        net.activation_pattern(x.as_slice()),
+        back.activation_pattern(x.as_slice())
+    );
+}
+
+#[test]
+fn maxout_regions_behave_like_relu_regions_for_metrics() {
+    let (train_set, test_set) = data();
+    let mut rng = StdRng::seed_from_u64(34);
+    let mut net = Plnn::maxout_mlp(&[train_set.dim(), 10, 10], 2, &mut rng);
+    let cfg = TrainConfig { epochs: 3, ..Default::default() };
+    let _ = train(&mut net, &train_set, &cfg, &mut rng);
+
+    // Region ids partition the test set; same-region instances share maps.
+    let x0 = test_set.instance(0);
+    let id0 = net.activation_pattern(x0.as_slice());
+    for j in 1..test_set.len() {
+        let xj = test_set.instance(j);
+        if net.activation_pattern(xj.as_slice()) == id0 {
+            assert_eq!(
+                net.local_linear_map(x0.as_slice()),
+                net.local_linear_map(xj.as_slice())
+            );
+        }
+    }
+}
