@@ -23,7 +23,10 @@ pub struct CountingApi<M> {
 impl<M> CountingApi<M> {
     /// Wraps a model, starting the counter at zero.
     pub fn new(inner: M) -> Self {
-        CountingApi { inner, queries: AtomicU64::new(0) }
+        CountingApi {
+            inner,
+            queries: AtomicU64::new(0),
+        }
     }
 
     /// Number of `predict` calls so far.
@@ -109,7 +112,11 @@ mod tests {
     #[test]
     fn batch_prediction_counts_per_instance() {
         let api = CountingApi::new(model());
-        let xs = vec![Vector(vec![0.0, 0.0]), Vector(vec![1.0, 1.0]), Vector(vec![2.0, 0.5])];
+        let xs = vec![
+            Vector(vec![0.0, 0.0]),
+            Vector(vec![1.0, 1.0]),
+            Vector(vec![2.0, 0.5]),
+        ];
         let _ = api.predict_batch(&xs);
         assert_eq!(api.queries(), 3);
     }

@@ -32,7 +32,10 @@ impl<M> QuantizedApi<M> {
     /// be a no-op pretending otherwise).
     pub fn new(inner: M, decimals: u32) -> Self {
         assert!(decimals <= 15, "quantization beyond f64 precision");
-        QuantizedApi { inner, scale: 10f64.powi(decimals as i32) }
+        QuantizedApi {
+            inner,
+            scale: 10f64.powi(decimals as i32),
+        }
     }
 
     /// Borrows the wrapped model.
@@ -101,8 +104,15 @@ impl<M> NoisyApi<M> {
     /// # Panics
     /// Panics when `amplitude` is negative or not finite.
     pub fn new(inner: M, amplitude: f64, seed: u64) -> Self {
-        assert!(amplitude.is_finite() && amplitude >= 0.0, "bad noise amplitude");
-        NoisyApi { inner, amplitude, rng: Mutex::new(StdRng::seed_from_u64(seed)) }
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "bad noise amplitude"
+        );
+        NoisyApi {
+            inner,
+            amplitude,
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
     }
 
     /// Borrows the wrapped model.
@@ -174,7 +184,10 @@ mod tests {
         let ratio = p[0] / p[1];
         let exact = model().predict(&[0.31, 0.77]);
         let exact_ratio = exact[0] / exact[1];
-        assert!((ratio - exact_ratio).abs() > 0.0, "quantization must perturb the ratio");
+        assert!(
+            (ratio - exact_ratio).abs() > 0.0,
+            "quantization must perturb the ratio"
+        );
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
     }
 

@@ -21,7 +21,9 @@ impl LinearSoftmaxModel {
     /// # Panics
     /// Panics when shapes disagree (see [`LocalLinearModel::new`]).
     pub fn new(weights: Matrix, bias: Vector) -> Self {
-        LinearSoftmaxModel { model: LocalLinearModel::new(weights, bias) }
+        LinearSoftmaxModel {
+            model: LocalLinearModel::new(weights, bias),
+        }
     }
 
     /// Access to the underlying affine map.

@@ -33,11 +33,24 @@ impl TwoRegionPlm {
     /// # Panics
     /// Panics when shapes disagree between the normal vector and the two
     /// local models, or the local models disagree on `C`.
-    pub fn new(normal: Vector, threshold: f64, low: LocalLinearModel, high: LocalLinearModel) -> Self {
+    pub fn new(
+        normal: Vector,
+        threshold: f64,
+        low: LocalLinearModel,
+        high: LocalLinearModel,
+    ) -> Self {
         assert_eq!(normal.len(), low.dim(), "normal/low dimension mismatch");
         assert_eq!(low.dim(), high.dim(), "region dimension mismatch");
-        assert_eq!(low.num_classes(), high.num_classes(), "region class-count mismatch");
-        TwoRegionPlm { normal, threshold, regions: [low, high] }
+        assert_eq!(
+            low.num_classes(),
+            high.num_classes(),
+            "region class-count mismatch"
+        );
+        TwoRegionPlm {
+            normal,
+            threshold,
+            regions: [low, high],
+        }
     }
 
     /// Convenience: split on coordinate `axis` at `threshold` (axis-aligned
@@ -45,7 +58,12 @@ impl TwoRegionPlm {
     ///
     /// # Panics
     /// Panics when `axis >= low.dim()` or shapes disagree.
-    pub fn axis_split(axis: usize, threshold: f64, low: LocalLinearModel, high: LocalLinearModel) -> Self {
+    pub fn axis_split(
+        axis: usize,
+        threshold: f64,
+        low: LocalLinearModel,
+        high: LocalLinearModel,
+    ) -> Self {
         assert!(axis < low.dim(), "split axis out of range");
         let normal = Vector::basis(low.dim(), axis);
         Self::new(normal, threshold, low, high)
@@ -53,23 +71,13 @@ impl TwoRegionPlm {
 
     /// Index (0 or 1) of the region containing `x`.
     pub fn region_index(&self, x: &[f64]) -> usize {
-        let side: f64 = self
-            .normal
-            .iter()
-            .zip(x.iter())
-            .map(|(n, v)| n * v)
-            .sum();
+        let side: f64 = self.normal.iter().zip(x.iter()).map(|(n, v)| n * v).sum();
         usize::from(side >= self.threshold)
     }
 
     /// Signed distance from `x` to the boundary, in units of `‖n‖`.
     pub fn boundary_margin(&self, x: &[f64]) -> f64 {
-        let side: f64 = self
-            .normal
-            .iter()
-            .zip(x.iter())
-            .map(|(n, v)| n * v)
-            .sum();
+        let side: f64 = self.normal.iter().zip(x.iter()).map(|(n, v)| n * v).sum();
         (side - self.threshold) / self.normal.norm_l2().max(f64::MIN_POSITIVE)
     }
 }

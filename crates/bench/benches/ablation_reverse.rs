@@ -25,9 +25,7 @@ fn bench_reverse(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("extract_local_classifier_196d", |b| {
         let mut rng = StdRng::seed_from_u64(13);
-        b.iter(|| {
-            ReconstructedPlm::extract(&panel.model, &x0, &OpenApiConfig::default(), &mut rng)
-        })
+        b.iter(|| ReconstructedPlm::extract(&panel.model, &x0, &OpenApiConfig::default(), &mut rng))
     });
     group.bench_function("agreement_rate_100_probes", |b| {
         let mut rng = StdRng::seed_from_u64(14);

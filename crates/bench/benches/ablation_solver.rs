@@ -2,9 +2,9 @@
 //! sizes — the core `O((d+2)³)` kernel of Algorithm 1.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openapi_api::LinearSoftmaxModel;
 use openapi_core::equations::{ConsistencySolver, EquationSystem, Probe};
 use openapi_core::sampler::sample_many;
-use openapi_api::LinearSoftmaxModel;
 use openapi_linalg::solve::ConsistencyStrategy;
 use openapi_linalg::{Matrix, Vector};
 use rand::rngs::StdRng;

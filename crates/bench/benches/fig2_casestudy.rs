@@ -14,7 +14,10 @@ fn bench_fig2(c: &mut Criterion) {
     let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
 
     // Regenerate one class's averaged decision features and show them.
-    banner("Figure 2", "class-average decision features (LMT, class 'Boot')");
+    banner(
+        "Figure 2",
+        "class-average decision features (LMT, class 'Boot')",
+    );
     let class = 9; // Boot
     let mut rng = StdRng::seed_from_u64(5);
     let members: Vec<usize> = (0..panel.test.len())

@@ -10,9 +10,15 @@ use rand::SeedableRng;
 
 fn bench_fig3(c: &mut Criterion) {
     let panel = plnn_panel();
-    let eff = EffectivenessConfig { max_features: 40, ..Default::default() };
+    let eff = EffectivenessConfig {
+        max_features: 40,
+        ..Default::default()
+    };
 
-    banner("Figure 3", "avg CPP at k = 40 altered features, 3 instances");
+    banner(
+        "Figure 3",
+        "avg CPP at k = 40 altered features, 3 instances",
+    );
     let mut rng = StdRng::seed_from_u64(1);
     for method in Method::effectiveness_lineup() {
         let mut curves = Vec::new();

@@ -12,7 +12,10 @@ use rand::SeedableRng;
 fn bench_fig4(c: &mut Criterion) {
     let panel = plnn_panel();
 
-    banner("Figure 4", "mean cosine similarity to nearest neighbour, 4 instances");
+    banner(
+        "Figure 4",
+        "mean cosine similarity to nearest neighbour, 4 instances",
+    );
     let nns = all_nearest_neighbors(&panel.test, &panel.test, true);
     let mut rng = StdRng::seed_from_u64(4);
     for method in Method::effectiveness_lineup() {
@@ -28,7 +31,11 @@ fn bench_fig4(c: &mut Criterion) {
                 sims.push(a.cosine_similarity(&b).unwrap_or(f64::NAN));
             }
         }
-        println!("{:<12} mean CS = {:.4}", method.name(), mean_similarity(&sims));
+        println!(
+            "{:<12} mean CS = {:.4}",
+            method.name(),
+            mean_similarity(&sims)
+        );
     }
 
     let query = panel.test.instance(0).clone();

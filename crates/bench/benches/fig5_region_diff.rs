@@ -34,14 +34,8 @@ fn bench_fig5(c: &mut Criterion) {
     let x0 = panel.test.instance(0).clone();
     let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
     let mut rng = StdRng::seed_from_u64(7);
-    let samples = method_samples(
-        &Method::default(),
-        &panel.model,
-        &x0,
-        class,
-        &mut rng,
-    )
-    .expect("OpenAPI samples");
+    let samples = method_samples(&Method::default(), &panel.model, &x0, class, &mut rng)
+        .expect("OpenAPI samples");
 
     let mut group = c.benchmark_group("fig5");
     group.sample_size(10);

@@ -12,7 +12,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn bench_fig7(c: &mut Criterion) {
-    banner("Figure 7", "mean L1Dist to ground truth, 3 instances per panel");
+    banner(
+        "Figure 7",
+        "mean L1Dist to ground truth, 3 instances per panel",
+    );
     for panel in [lmt_panel(), plnn_panel()] {
         let mut rng = StdRng::seed_from_u64(10);
         for method in Method::quality_lineup() {
@@ -20,8 +23,7 @@ fn bench_fig7(c: &mut Criterion) {
             let mut n = 0;
             for i in 0..3 {
                 let x0 = panel.test.instance(i);
-                let class =
-                    openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
+                let class = openapi_api::PredictionApi::predict_label(&panel.model, x0.as_slice());
                 if let Ok(attr) = method.attribution(&panel.model, x0, class, &mut rng) {
                     if attr.is_finite() {
                         let truth = ground_truth_features(&panel.model, x0, class);

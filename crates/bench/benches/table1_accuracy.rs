@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use openapi_bench::{banner, bench_config};
-use openapi_data::synth::{SynthConfig, SynthStyle};
 use openapi_data::downsample;
+use openapi_data::synth::{SynthConfig, SynthStyle};
 use openapi_lmt::{Lmt, LmtConfig, LogisticConfig};
 use openapi_nn::{train, Activation, Optimizer, Plnn, TrainConfig};
 use rand::rngs::StdRng;
@@ -61,7 +61,10 @@ fn bench_table1(c: &mut Criterion) {
             |mut rng| {
                 let cfg = LmtConfig {
                     min_leaf_instances: 150,
-                    logistic: LogisticConfig { epochs: 4, ..Default::default() },
+                    logistic: LogisticConfig {
+                        epochs: 4,
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 Lmt::fit(&data, &cfg, &mut rng)

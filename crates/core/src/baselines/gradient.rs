@@ -30,16 +30,18 @@ impl ScoreKind {
     }
 }
 
-fn validate<M: GradientOracle>(
-    model: &M,
-    x0: &Vector,
-    class: usize,
-) -> Result<(), InterpretError> {
+fn validate<M: GradientOracle>(model: &M, x0: &Vector, class: usize) -> Result<(), InterpretError> {
     if x0.len() != model.dim() {
-        return Err(InterpretError::DimensionMismatch { expected: model.dim(), found: x0.len() });
+        return Err(InterpretError::DimensionMismatch {
+            expected: model.dim(),
+            found: x0.len(),
+        });
     }
     if class >= model.num_classes() {
-        return Err(InterpretError::ClassOutOfRange { class, num_classes: model.num_classes() });
+        return Err(InterpretError::ClassOutOfRange {
+            class,
+            num_classes: model.num_classes(),
+        });
     }
     Ok(())
 }
@@ -111,7 +113,11 @@ pub struct IntegratedGradients {
 
 impl Default for IntegratedGradients {
     fn default() -> Self {
-        IntegratedGradients { score: ScoreKind::Probability, steps: 50, baseline: None }
+        IntegratedGradients {
+            score: ScoreKind::Probability,
+            steps: 50,
+            baseline: None,
+        }
     }
 }
 
@@ -128,7 +134,10 @@ impl IntegratedGradients {
         class: usize,
     ) -> Result<Interpretation, InterpretError> {
         validate(model, x0, class)?;
-        assert!(self.steps > 0, "IntegratedGradients needs at least one step");
+        assert!(
+            self.steps > 0,
+            "IntegratedGradients needs at least one step"
+        );
         let baseline = match &self.baseline {
             Some(b) => {
                 if b.len() != x0.len() {
@@ -148,7 +157,9 @@ impl IntegratedGradients {
             let alpha = (k as f64 + 0.5) / self.steps as f64;
             let point = &baseline + &delta.scaled(alpha);
             let g = self.score.gradient(model, point.as_slice(), class);
-            avg_grad.axpy(1.0 / self.steps as f64, &g).expect("dimension invariant");
+            avg_grad
+                .axpy(1.0 / self.steps as f64, &g)
+                .expect("dimension invariant");
         }
         let attribution = delta.hadamard(&avg_grad).expect("dimension invariant");
         Ok(Interpretation::attribution_only(class, attribution))
@@ -179,9 +190,11 @@ mod tests {
     fn saliency_logit_kind_is_abs_weight_column() {
         let api = model();
         let x0 = Vector(vec![0.3, 0.4]);
-        let s = SaliencyMaps { score: ScoreKind::Logit }
-            .interpret(&api, &x0, 0)
-            .unwrap();
+        let s = SaliencyMaps {
+            score: ScoreKind::Logit,
+        }
+        .interpret(&api, &x0, 0)
+        .unwrap();
         // Column 0 of W is (1, -1); saliency is its absolute value.
         assert_eq!(s.decision_features.as_slice(), &[1.0, 1.0]);
     }
@@ -190,9 +203,11 @@ mod tests {
     fn gradient_input_is_gradient_times_input() {
         let api = model();
         let x0 = Vector(vec![2.0, -1.0]);
-        let gi = GradientInput { score: ScoreKind::Logit }
-            .interpret(&api, &x0, 0)
-            .unwrap();
+        let gi = GradientInput {
+            score: ScoreKind::Logit,
+        }
+        .interpret(&api, &x0, 0)
+        .unwrap();
         // Gradient (1, -1) times input (2, -1) elementwise.
         assert_eq!(gi.decision_features.as_slice(), &[2.0, 1.0]);
     }
@@ -203,12 +218,19 @@ mod tests {
         // Riemann-sum accuracy.
         let api = model();
         let x0 = Vector(vec![1.2, -0.7]);
-        let ig = IntegratedGradients { steps: 400, ..Default::default() };
+        let ig = IntegratedGradients {
+            steps: 400,
+            ..Default::default()
+        };
         let a = ig.interpret(&api, &x0, 0).unwrap();
         let total: f64 = a.decision_features.iter().sum();
         let fx = api.predict(x0.as_slice())[0];
         let f0 = api.predict(&[0.0, 0.0])[0];
-        assert!((total - (fx - f0)).abs() < 1e-4, "completeness gap {}", total - (fx - f0));
+        assert!(
+            (total - (fx - f0)).abs() < 1e-4,
+            "completeness gap {}",
+            total - (fx - f0)
+        );
     }
 
     #[test]

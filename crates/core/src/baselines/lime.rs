@@ -48,7 +48,11 @@ pub struct LimeConfig {
 impl LimeConfig {
     /// Linear-regression LIME at perturbation distance `h`.
     pub fn linear(h: f64) -> Self {
-        LimeConfig { perturbation_distance: h, num_samples: 0, regressor: LimeRegressor::Linear }
+        LimeConfig {
+            perturbation_distance: h,
+            num_samples: 0,
+            regressor: LimeRegressor::Linear,
+        }
     }
 
     /// Ridge-regression LIME at perturbation distance `h` with the classic
@@ -91,7 +95,10 @@ impl LimeInterpreter {
             "perturbation distance must be positive"
         );
         if let LimeRegressor::Ridge { lambda } = config.regressor {
-            assert!(lambda.is_finite() && lambda >= 0.0, "ridge lambda must be non-negative");
+            assert!(
+                lambda.is_finite() && lambda >= 0.0,
+                "ridge lambda must be non-negative"
+            );
         }
         LimeInterpreter { config }
     }
@@ -112,13 +119,21 @@ impl LimeInterpreter {
         let d = api.dim();
         let c_total = api.num_classes();
         if x0.len() != d {
-            return Err(InterpretError::DimensionMismatch { expected: d, found: x0.len() });
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: x0.len(),
+            });
         }
         if c_total < 2 {
-            return Err(InterpretError::TooFewClasses { num_classes: c_total });
+            return Err(InterpretError::TooFewClasses {
+                num_classes: c_total,
+            });
         }
         if class >= c_total {
-            return Err(InterpretError::ClassOutOfRange { class, num_classes: c_total });
+            return Err(InterpretError::ClassOutOfRange {
+                class,
+                num_classes: c_total,
+            });
         }
 
         let n = self.config.resolved_samples(d);
@@ -178,8 +193,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]])
-            .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]]).unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05]))
     }
 
@@ -220,13 +235,19 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let i_big = ridge_big.interpret(&api, &x0, 0, &mut rng).unwrap();
         let cs = i_big.decision_features.cosine_similarity(&truth).unwrap();
-        assert!(cs > 0.9, "large-h ridge direction should be usable, cs {cs}");
+        assert!(
+            cs > 0.9,
+            "large-h ridge direction should be usable, cs {cs}"
+        );
     }
 
     #[test]
     fn auto_sample_count_is_twice_overdetermined() {
         assert_eq!(LimeConfig::linear(0.1).resolved_samples(10), 22);
-        let explicit = LimeConfig { num_samples: 99, ..LimeConfig::linear(0.1) };
+        let explicit = LimeConfig {
+            num_samples: 99,
+            ..LimeConfig::linear(0.1)
+        };
         assert_eq!(explicit.resolved_samples(10), 99);
     }
 

@@ -64,13 +64,21 @@ impl ZooInterpreter {
         let d = api.dim();
         let c_total = api.num_classes();
         if x0.len() != d {
-            return Err(InterpretError::DimensionMismatch { expected: d, found: x0.len() });
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: x0.len(),
+            });
         }
         if c_total < 2 {
-            return Err(InterpretError::TooFewClasses { num_classes: c_total });
+            return Err(InterpretError::TooFewClasses {
+                num_classes: c_total,
+            });
         }
         if class >= c_total {
-            return Err(InterpretError::ClassOutOfRange { class, num_classes: c_total });
+            return Err(InterpretError::ClassOutOfRange {
+                class,
+                num_classes: c_total,
+            });
         }
 
         let h = self.config.probe_distance;
@@ -91,11 +99,12 @@ impl ZooInterpreter {
                 grad[i] = (lp - lm) / (2.0 * h);
             }
             let center_ratio = log_ratio(center.as_slice(), class, c_prime);
-            let bias = center_ratio
-                - grad
-                    .dot(x0)
-                    .expect("grad and x0 share dimensionality");
-            pairwise.push(PairwiseCoreParams { c_prime, weights: grad, bias });
+            let bias = center_ratio - grad.dot(x0).expect("grad and x0 share dimensionality");
+            pairwise.push(PairwiseCoreParams {
+                c_prime,
+                weights: grad,
+                bias,
+            });
         }
         Interpretation::from_pairwise(class, pairwise)
     }
@@ -104,12 +113,14 @@ impl ZooInterpreter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openapi_api::{CountingApi, GroundTruthOracle, LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm};
+    use openapi_api::{
+        CountingApi, GroundTruthOracle, LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm,
+    };
     use openapi_linalg::Matrix;
 
     fn model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]])
-            .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]]).unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05]))
     }
 

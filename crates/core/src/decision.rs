@@ -46,10 +46,12 @@ pub fn decision_features_from_pairwise(
     let mut acc = Vector::zeros(d);
     for p in pairwise {
         if p.weights.len() != d {
-            return Err(InterpretError::DimensionMismatch { expected: d, found: p.weights.len() });
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: p.weights.len(),
+            });
         }
-        acc.axpy(1.0, &p.weights)
-            .expect("length checked above");
+        acc.axpy(1.0, &p.weights).expect("length checked above");
     }
     acc.scale(1.0 / pairwise.len() as f64);
     Ok(acc)
@@ -65,12 +67,20 @@ impl Interpretation {
         pairwise: Vec<PairwiseCoreParams>,
     ) -> Result<Self, InterpretError> {
         let decision_features = decision_features_from_pairwise(&pairwise)?;
-        Ok(Interpretation { class, decision_features, pairwise })
+        Ok(Interpretation {
+            class,
+            decision_features,
+            pairwise,
+        })
     }
 
     /// Builds an attribution-only interpretation (gradient baselines).
     pub fn attribution_only(class: usize, decision_features: Vector) -> Self {
-        Interpretation { class, decision_features, pairwise: Vec::new() }
+        Interpretation {
+            class,
+            decision_features,
+            pairwise: Vec::new(),
+        }
     }
 
     /// The recovered contrast against `c_prime`, if present.
@@ -84,15 +94,16 @@ mod tests {
     use super::*;
 
     fn pair(c_prime: usize, w: Vec<f64>, b: f64) -> PairwiseCoreParams {
-        PairwiseCoreParams { c_prime, weights: Vector(w), bias: b }
+        PairwiseCoreParams {
+            c_prime,
+            weights: Vector(w),
+            bias: b,
+        }
     }
 
     #[test]
     fn equation_one_is_the_mean_of_contrasts() {
-        let pw = vec![
-            pair(1, vec![1.0, 2.0], 0.5),
-            pair(2, vec![3.0, -2.0], -0.5),
-        ];
+        let pw = vec![pair(1, vec![1.0, 2.0], 0.5), pair(2, vec![3.0, -2.0], -0.5)];
         let d = decision_features_from_pairwise(&pw).unwrap();
         assert_eq!(d.as_slice(), &[2.0, 0.0]);
     }

@@ -107,7 +107,11 @@ impl EquationSystem {
 fn unpack(solution: Vector, c_prime: usize) -> PairwiseCoreParams {
     let bias = solution[0];
     let weights = Vector(solution.as_slice()[1..].to_vec());
-    PairwiseCoreParams { c_prime, weights, bias }
+    PairwiseCoreParams {
+        c_prime,
+        weights,
+        bias,
+    }
 }
 
 /// Verdict for one contrast from [`ConsistencySolver::check`].
@@ -164,7 +168,13 @@ impl ConsistencySolver {
             }
             ConsistencyStrategy::LeastSquares => (None, Some(QrFactor::new(&coeffs)?)),
         };
-        Ok(ConsistencySolver { strategy, rtol, coeffs, lu, qr })
+        Ok(ConsistencySolver {
+            strategy,
+            rtol,
+            coeffs,
+            lu,
+            qr,
+        })
     }
 
     /// Checks one contrast's right-hand side for consistency.
@@ -251,12 +261,8 @@ mod tests {
     /// d = 3, C = 3 linear model: the whole space is one region, so every
     /// probe set yields consistent systems with the exact core parameters.
     fn model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[
-            &[1.0, -0.5, 0.25],
-            &[0.0, 2.0, -1.0],
-            &[-1.5, 0.5, 0.75],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.25], &[0.0, 2.0, -1.0], &[-1.5, 0.5, 0.75]])
+            .unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.3]))
     }
 
@@ -312,11 +318,18 @@ mod tests {
         // d + 2 = 5 probes: overdetermined.
         let sys = EquationSystem::new(probes_for(&api, 5, 4));
         let truth = api.local();
-        for strategy in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+        for strategy in [
+            ConsistencyStrategy::SquareThenCheck,
+            ConsistencyStrategy::LeastSquares,
+        ] {
             let solver = ConsistencySolver::new(&sys, strategy, 1e-7).unwrap();
             for c_prime in [1usize, 2] {
                 let v = solver.check(&sys.rhs(0, c_prime), c_prime).unwrap();
-                assert!(v.consistent, "{strategy:?} contrast {c_prime}: residual {}", v.residual);
+                assert!(
+                    v.consistent,
+                    "{strategy:?} contrast {c_prime}: residual {}",
+                    v.residual
+                );
                 let want = truth.pairwise_decision_features(0, c_prime);
                 assert!(v.params.weights.l1_distance(&want).unwrap() < 1e-7);
             }
@@ -332,7 +345,10 @@ mod tests {
         let last = probes.last_mut().unwrap();
         last.probs = Vector(vec![0.80, 0.15, 0.05]);
         let sys = EquationSystem::new(probes);
-        for strategy in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+        for strategy in [
+            ConsistencyStrategy::SquareThenCheck,
+            ConsistencyStrategy::LeastSquares,
+        ] {
             let solver = ConsistencySolver::new(&sys, strategy, 1e-7).unwrap();
             let v = solver.check(&sys.rhs(0, 1), 1).unwrap();
             assert!(!v.consistent, "{strategy:?} must flag the corrupted probe");

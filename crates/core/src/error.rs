@@ -92,14 +92,20 @@ mod tests {
         assert!(s.contains("100"));
         assert!(s.contains('3') && s.contains('7'));
 
-        assert!(InterpretError::ClassOutOfRange { class: 5, num_classes: 3 }
-            .to_string()
-            .contains("5"));
+        assert!(InterpretError::ClassOutOfRange {
+            class: 5,
+            num_classes: 3
+        }
+        .to_string()
+        .contains("5"));
     }
 
     #[test]
     fn linalg_errors_convert_and_chain() {
-        let src = LinalgError::Singular { pivot: 1, magnitude: 0.0 };
+        let src = LinalgError::Singular {
+            pivot: 1,
+            magnitude: 0.0,
+        };
         let e: InterpretError = src.clone().into();
         assert_eq!(e, InterpretError::Numerical(src));
         assert!(std::error::Error::source(&e).is_some());

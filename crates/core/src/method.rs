@@ -169,9 +169,18 @@ mod tests {
     #[test]
     fn names_follow_the_paper_legends() {
         assert_eq!(Method::default().name(), "OpenAPI");
-        assert_eq!(Method::Naive(NaiveConfig::with_edge(1e-4)).name(), "N(1e-4)");
-        assert_eq!(Method::Zoo(ZooConfig::with_distance(1e-2)).name(), "Z(1e-2)");
-        assert_eq!(Method::LimeLinear(LimeConfig::linear(1e-8)).name(), "L(1e-8)");
+        assert_eq!(
+            Method::Naive(NaiveConfig::with_edge(1e-4)).name(),
+            "N(1e-4)"
+        );
+        assert_eq!(
+            Method::Zoo(ZooConfig::with_distance(1e-2)).name(),
+            "Z(1e-2)"
+        );
+        assert_eq!(
+            Method::LimeLinear(LimeConfig::linear(1e-8)).name(),
+            "L(1e-8)"
+        );
         assert_eq!(Method::LimeRidge(LimeConfig::ridge(1e-8)).name(), "R(1e-8)");
     }
 
@@ -203,7 +212,11 @@ mod tests {
             let a = m.attribution(&api, &x0, 0, &mut rng);
             let a = a.unwrap_or_else(|e| panic!("{} failed: {e}", m.name()));
             assert_eq!(a.len(), 2, "{}", m.name());
-            assert!(a.is_finite(), "{} produced non-finite attribution", m.name());
+            assert!(
+                a.is_finite(),
+                "{} produced non-finite attribution",
+                m.name()
+            );
         }
     }
 

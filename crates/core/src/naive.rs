@@ -30,7 +30,10 @@ pub struct NaiveConfig {
 impl NaiveConfig {
     /// Naive method at perturbation distance `h`.
     pub fn with_edge(edge: f64) -> Self {
-        NaiveConfig { edge, max_attempts: 3 }
+        NaiveConfig {
+            edge,
+            max_attempts: 3,
+        }
     }
 }
 
@@ -46,7 +49,10 @@ impl NaiveInterpreter {
     /// # Panics
     /// Panics when `edge` is not positive/finite or `max_attempts == 0`.
     pub fn new(config: NaiveConfig) -> Self {
-        assert!(config.edge.is_finite() && config.edge > 0.0, "edge must be positive");
+        assert!(
+            config.edge.is_finite() && config.edge > 0.0,
+            "edge must be positive"
+        );
         assert!(config.max_attempts > 0, "need at least one attempt");
         NaiveInterpreter { config }
     }
@@ -67,13 +73,21 @@ impl NaiveInterpreter {
         let d = api.dim();
         let c_total = api.num_classes();
         if x0.len() != d {
-            return Err(InterpretError::DimensionMismatch { expected: d, found: x0.len() });
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: x0.len(),
+            });
         }
         if c_total < 2 {
-            return Err(InterpretError::TooFewClasses { num_classes: c_total });
+            return Err(InterpretError::TooFewClasses {
+                num_classes: c_total,
+            });
         }
         if class >= c_total {
-            return Err(InterpretError::ClassOutOfRange { class, num_classes: c_total });
+            return Err(InterpretError::ClassOutOfRange {
+                class,
+                num_classes: c_total,
+            });
         }
 
         let x0_probe = Probe::query(api, x0.clone());
@@ -115,8 +129,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn linear_model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]])
-            .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]]).unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05]))
     }
 
@@ -165,7 +179,10 @@ mod tests {
                 wrong += 1;
             }
         }
-        assert!(wrong >= 6, "naive should usually be wrong here, was wrong {wrong}/12");
+        assert!(
+            wrong >= 6,
+            "naive should usually be wrong here, was wrong {wrong}/12"
+        );
 
         // …while a small-enough fixed h stays inside the region and is exact
         // on every run (the h-sensitivity the paper's Figures 5-7 chart).
@@ -174,7 +191,10 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let i_small = naive_small.interpret(&api, &x0, 0, &mut rng).unwrap();
             let err_small = i_small.decision_features.l1_distance(&truth).unwrap();
-            assert!(err_small < 1e-4, "seed {seed}: small h should be exact, got {err_small}");
+            assert!(
+                err_small < 1e-4,
+                "seed {seed}: small h should be exact, got {err_small}"
+            );
         }
     }
 

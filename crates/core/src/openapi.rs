@@ -117,13 +117,21 @@ impl OpenApiInterpreter {
         let d = api.dim();
         let c_total = api.num_classes();
         if x0.len() != d {
-            return Err(InterpretError::DimensionMismatch { expected: d, found: x0.len() });
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: x0.len(),
+            });
         }
         if c_total < 2 {
-            return Err(InterpretError::TooFewClasses { num_classes: c_total });
+            return Err(InterpretError::TooFewClasses {
+                num_classes: c_total,
+            });
         }
         if class >= c_total {
-            return Err(InterpretError::ClassOutOfRange { class, num_classes: c_total });
+            return Err(InterpretError::ClassOutOfRange {
+                class,
+                num_classes: c_total,
+            });
         }
 
         let x0_probe = Probe::query(api, x0.clone());
@@ -290,7 +298,11 @@ mod tests {
             let res = interp.interpret(&api, &x0, class, &mut rng).unwrap();
             assert_eq!(res.iterations, 1, "single region: first cube works");
             let truth = api.local().decision_features(class);
-            let err = res.interpretation.decision_features.l1_distance(&truth).unwrap();
+            let err = res
+                .interpretation
+                .decision_features
+                .l1_distance(&truth)
+                .unwrap();
             assert!(err < 1e-7, "class {class}: L1Dist {err}");
             // Pairwise biases too.
             for p in &res.interpretation.pairwise {
@@ -327,7 +339,11 @@ mod tests {
         for seed in 0..10 {
             let mut rng = StdRng::seed_from_u64(seed);
             let res = interp.interpret(&api, &x0, 0, &mut rng).unwrap();
-            let err = res.interpretation.decision_features.l1_distance(&truth).unwrap();
+            let err = res
+                .interpretation
+                .decision_features
+                .l1_distance(&truth)
+                .unwrap();
             assert!(err < 1e-7, "seed {seed}: L1Dist {err}");
             assert_eq!(res.log.len(), res.iterations);
             if res.iterations > 1 {
@@ -339,7 +355,10 @@ mod tests {
                     .all(|l| l.consistent_contrasts < l.required_contrasts));
             }
         }
-        assert!(shrank >= 5, "expected shrinking on most runs, saw {shrank}/10");
+        assert!(
+            shrank >= 5,
+            "expected shrinking on most runs, saw {shrank}/10"
+        );
     }
 
     #[test]
@@ -353,14 +372,27 @@ mod tests {
         let d_hi = interp.interpret(&api, &hi, 0, &mut rng).unwrap();
         let t_lo = api.local_model(lo.as_slice()).decision_features(0);
         let t_hi = api.local_model(hi.as_slice()).decision_features(0);
-        assert!(d_lo.interpretation.decision_features.l1_distance(&t_lo).unwrap() < 1e-7);
-        assert!(d_hi.interpretation.decision_features.l1_distance(&t_hi).unwrap() < 1e-7);
-        assert!(d_lo
-            .interpretation
-            .decision_features
-            .l1_distance(&d_hi.interpretation.decision_features)
-            .unwrap()
-            > 0.5);
+        assert!(
+            d_lo.interpretation
+                .decision_features
+                .l1_distance(&t_lo)
+                .unwrap()
+                < 1e-7
+        );
+        assert!(
+            d_hi.interpretation
+                .decision_features
+                .l1_distance(&t_hi)
+                .unwrap()
+                < 1e-7
+        );
+        assert!(
+            d_lo.interpretation
+                .decision_features
+                .l1_distance(&d_hi.interpretation.decision_features)
+                .unwrap()
+                > 0.5
+        );
     }
 
     #[test]
@@ -420,7 +452,10 @@ mod tests {
         // A tiny iteration budget with a point essentially on the boundary.
         let api = two_region_model();
         let x0 = Vector(vec![0.5, 0.0]); // exactly on the boundary
-        let cfg = OpenApiConfig { max_iterations: 3, ..Default::default() };
+        let cfg = OpenApiConfig {
+            max_iterations: 3,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(7);
         let res = OpenApiInterpreter::new(cfg).interpret(&api, &x0, 0, &mut rng);
         // On the boundary the region routing puts x0 in the 'high' region,
@@ -434,7 +469,13 @@ mod tests {
                 // If it succeeded, the cube shrank enough that all samples
                 // landed on the high side; verify exactness then.
                 let truth = api.local_model(x0.as_slice()).decision_features(0);
-                assert!(r.interpretation.decision_features.l1_distance(&truth).unwrap() < 1e-7);
+                assert!(
+                    r.interpretation
+                        .decision_features
+                        .l1_distance(&truth)
+                        .unwrap()
+                        < 1e-7
+                );
             }
             Err(e) => panic!("unexpected error {e}"),
         }

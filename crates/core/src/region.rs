@@ -57,7 +57,10 @@ pub fn estimate_region_edge<M: PredictionApi, R: Rng>(
     max_edge: f64,
     rng: &mut R,
 ) -> Result<EdgeBracket, InterpretError> {
-    assert!(max_edge.is_finite() && max_edge > 0.0, "max_edge must be positive");
+    assert!(
+        max_edge.is_finite() && max_edge > 0.0,
+        "max_edge must be positive"
+    );
     let interpreter = OpenApiInterpreter::new(config.clone());
     let base = interpreter.interpret(api, x0, class, rng)?;
     let mut queries = base.queries;
@@ -97,7 +100,11 @@ pub fn estimate_region_edge<M: PredictionApi, R: Rng>(
         consistent_edge = edge;
         edge *= 2.0;
     }
-    Ok(EdgeBracket { consistent_edge, inconsistent_edge: None, queries })
+    Ok(EdgeBracket {
+        consistent_edge,
+        inconsistent_edge: None,
+        queries,
+    })
 }
 
 #[cfg(test)]
@@ -119,10 +126,16 @@ mod tests {
         let x0 = Vector(vec![0.3, 0.3]);
         let mut rng = StdRng::seed_from_u64(1);
         let bracket =
-            estimate_region_edge(&api, &x0, 0, &OpenApiConfig::default(), 64.0, &mut rng)
-                .unwrap();
-        assert_eq!(bracket.inconsistent_edge, None, "one region: never inconsistent");
-        assert!(bracket.consistent_edge >= 64.0, "edge {}", bracket.consistent_edge);
+            estimate_region_edge(&api, &x0, 0, &OpenApiConfig::default(), 64.0, &mut rng).unwrap();
+        assert_eq!(
+            bracket.inconsistent_edge, None,
+            "one region: never inconsistent"
+        );
+        assert!(
+            bracket.consistent_edge >= 64.0,
+            "edge {}",
+            bracket.consistent_edge
+        );
     }
 
     #[test]
@@ -140,11 +153,13 @@ mod tests {
         let x0 = Vector(vec![0.1, 0.0]);
         let mut rng = StdRng::seed_from_u64(2);
         let bracket =
-            estimate_region_edge(&api, &x0, 0, &OpenApiConfig::default(), 256.0, &mut rng)
-                .unwrap();
+            estimate_region_edge(&api, &x0, 0, &OpenApiConfig::default(), 256.0, &mut rng).unwrap();
         let upper = bracket.inconsistent_edge.expect("boundary must be found");
         // The inconsistent edge is sound: a crossing cube must be > margin.
-        assert!(upper > 0.4, "inconsistent edge {upper} below the true margin");
+        assert!(
+            upper > 0.4,
+            "inconsistent edge {upper} below the true margin"
+        );
         assert!(bracket.consistent_edge < upper);
         assert!(bracket.queries > 0);
     }
@@ -157,7 +172,10 @@ mod tests {
         // x0 exactly on the boundary with a tiny iteration budget: the
         // initial interpretation may fail — the error must surface.
         let x0 = Vector(vec![0.5, 0.0]);
-        let cfg = OpenApiConfig { max_iterations: 2, ..Default::default() };
+        let cfg = OpenApiConfig {
+            max_iterations: 2,
+            ..Default::default()
+        };
         let mut rng = StdRng::seed_from_u64(3);
         let r = estimate_region_edge(&api, &x0, 0, &cfg, 4.0, &mut rng);
         // Either budget-exhausted (expected) or a success whose growth then

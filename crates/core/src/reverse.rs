@@ -59,7 +59,12 @@ impl ReconstructedPlm {
             weights[p.c_prime] = p.weights.clone();
             biases[p.c_prime] = p.bias;
         }
-        Ok(ReconstructedPlm { reference_class, weights, biases, dim })
+        Ok(ReconstructedPlm {
+            reference_class,
+            weights,
+            biases,
+            dim,
+        })
     }
 
     /// The class whose logit is pinned to zero.
@@ -197,8 +202,8 @@ mod tests {
     use rand::SeedableRng;
 
     fn linear_model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]])
-            .unwrap();
+        let w =
+            Matrix::from_rows(&[&[1.0, -0.5, 0.3], &[0.0, 2.0, -0.7], &[-1.5, 0.5, 0.2]]).unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05]))
     }
 

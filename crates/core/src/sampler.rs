@@ -18,7 +18,10 @@ use rand::Rng;
 /// # Panics
 /// Panics when `r` is not finite and positive.
 pub fn sample_in_hypercube<R: Rng>(x0: &[f64], r: f64, rng: &mut R) -> Vector {
-    assert!(r.is_finite() && r > 0.0, "hypercube edge must be positive, got {r}");
+    assert!(
+        r.is_finite() && r > 0.0,
+        "hypercube edge must be positive, got {r}"
+    );
     Vector(x0.iter().map(|&c| c + rng.gen_range(-r..=r)).collect())
 }
 
@@ -33,7 +36,10 @@ pub fn sample_many<R: Rng>(x0: &[f64], r: f64, n: usize, rng: &mut R) -> Vec<Vec
 /// # Panics
 /// Panics when `h` is not finite and positive.
 pub fn axis_pairs(x0: &[f64], h: f64) -> Vec<(Vector, Vector)> {
-    assert!(h.is_finite() && h > 0.0, "probe distance must be positive, got {h}");
+    assert!(
+        h.is_finite() && h > 0.0,
+        "probe distance must be positive, got {h}"
+    );
     (0..x0.len())
         .map(|i| {
             let mut plus = x0.to_vec();

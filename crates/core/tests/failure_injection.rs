@@ -6,9 +6,7 @@
 //! converges to an honest interpretation of the degraded API itself
 //! (deterministic quantization plateaus); the naive method errs silently.
 
-use openapi_api::{
-    GroundTruthOracle, LinearSoftmaxModel, NoisyApi, QuantizedApi,
-};
+use openapi_api::{GroundTruthOracle, LinearSoftmaxModel, NoisyApi, QuantizedApi};
 use openapi_core::{
     InterpretError, NaiveConfig, NaiveInterpreter, OpenApiConfig, OpenApiInterpreter,
 };
@@ -42,7 +40,10 @@ fn openapi_interprets_the_quantization_plateau_exactly() {
     // model. (You interpret the API you can reach; quantization changes
     // what that is. The iteration log records the shrink-to-plateau path.)
     let api = QuantizedApi::new(model(), 3);
-    let cfg = OpenApiConfig { max_iterations: 20, ..Default::default() };
+    let cfg = OpenApiConfig {
+        max_iterations: 20,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(1);
     let r = OpenApiInterpreter::new(cfg)
         .interpret(&api, &x0(), 0, &mut rng)
@@ -67,7 +68,10 @@ fn openapi_tolerates_fine_quantization_within_loosened_tolerance() {
     // loosened above that, OpenAPI accepts and the recovered features are
     // accurate to the quantization level.
     let api = QuantizedApi::new(model(), 12);
-    let cfg = OpenApiConfig { rtol: 1e-6, ..Default::default() };
+    let cfg = OpenApiConfig {
+        rtol: 1e-6,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(2);
     let r = OpenApiInterpreter::new(cfg)
         .interpret(&api, &x0(), 0, &mut rng)
@@ -78,7 +82,10 @@ fn openapi_tolerates_fine_quantization_within_loosened_tolerance() {
         .decision_features
         .l1_distance(&truth)
         .unwrap();
-    assert!(err < 1e-3, "error {err} should track the quantization scale");
+    assert!(
+        err < 1e-3,
+        "error {err} should track the quantization scale"
+    );
 }
 
 #[test]
@@ -99,7 +106,10 @@ fn naive_method_answers_wrongly_on_quantized_api_without_complaint() {
 #[test]
 fn openapi_refuses_on_noisy_api() {
     let api = NoisyApi::new(model(), 1e-3, 7);
-    let cfg = OpenApiConfig { max_iterations: 10, ..Default::default() };
+    let cfg = OpenApiConfig {
+        max_iterations: 10,
+        ..Default::default()
+    };
     let mut rng = StdRng::seed_from_u64(4);
     let r = OpenApiInterpreter::new(cfg).interpret(&api, &x0(), 0, &mut rng);
     assert!(matches!(r, Err(InterpretError::BudgetExhausted { .. })));
@@ -134,7 +144,10 @@ fn saturated_softmax_still_interpretable_with_clamped_log_ratios() {
     let api = LinearSoftmaxModel::new(w, Vector(vec![0.0, 0.0]));
     let x = Vector(vec![1.0, 1.0, 1.0]);
     let mut rng = StdRng::seed_from_u64(6);
-    let cfg = OpenApiConfig { max_iterations: 10, ..Default::default() };
+    let cfg = OpenApiConfig {
+        max_iterations: 10,
+        ..Default::default()
+    };
     match OpenApiInterpreter::new(cfg).interpret(&api, &x, 0, &mut rng) {
         Ok(r) => assert!(r.interpretation.decision_features.is_finite()),
         Err(InterpretError::BudgetExhausted { .. }) => {} // acceptable: saturation detected

@@ -1,11 +1,17 @@
 fn main() {
-    use openapi_data::synth::{draw_template, ascii_art, SynthStyle};
+    use openapi_data::synth::{ascii_art, draw_template, SynthStyle};
     for c in [0usize, 2, 3, 6, 9] {
         println!("--- digit {c} ---");
-        println!("{}", ascii_art(&draw_template(SynthStyle::MnistLike, c, 1.0).to_vector()));
+        println!(
+            "{}",
+            ascii_art(&draw_template(SynthStyle::MnistLike, c, 1.0).to_vector())
+        );
     }
     for c in [0usize, 5, 8] {
         println!("--- garment {c} ---");
-        println!("{}", ascii_art(&draw_template(SynthStyle::FmnistLike, c, 1.0).to_vector()));
+        println!(
+            "{}",
+            ascii_art(&draw_template(SynthStyle::FmnistLike, c, 1.0).to_vector())
+        );
     }
 }

@@ -18,7 +18,11 @@ pub struct Canvas {
 impl Canvas {
     /// Creates an all-black canvas.
     pub fn new(width: usize, height: usize) -> Self {
-        Canvas { width, height, pixels: vec![0.0; width * height] }
+        Canvas {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
     }
 
     /// Canvas width in pixels.

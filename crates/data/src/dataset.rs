@@ -58,11 +58,25 @@ impl fmt::Display for DatasetError {
             DatasetError::LengthMismatch { instances, labels } => {
                 write!(f, "{instances} instances but {labels} labels")
             }
-            DatasetError::RaggedInstances { index, expected, found } => {
-                write!(f, "instance {index} has dimension {found}, expected {expected}")
+            DatasetError::RaggedInstances {
+                index,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "instance {index} has dimension {found}, expected {expected}"
+                )
             }
-            DatasetError::LabelOutOfRange { index, label, num_classes } => {
-                write!(f, "label {label} at index {index} exceeds {num_classes} classes")
+            DatasetError::LabelOutOfRange {
+                index,
+                label,
+                num_classes,
+            } => {
+                write!(
+                    f,
+                    "label {label} at index {index} exceeds {num_classes} classes"
+                )
             }
             DatasetError::Empty => write!(f, "dataset is empty"),
         }
@@ -102,10 +116,19 @@ impl Dataset {
         }
         for (i, &l) in labels.iter().enumerate() {
             if l >= num_classes {
-                return Err(DatasetError::LabelOutOfRange { index: i, label: l, num_classes });
+                return Err(DatasetError::LabelOutOfRange {
+                    index: i,
+                    label: l,
+                    num_classes,
+                });
             }
         }
-        Ok(Dataset { instances, labels, num_classes, dim })
+        Ok(Dataset {
+            instances,
+            labels,
+            num_classes,
+            dim,
+        })
     }
 
     /// Number of instances.
@@ -291,23 +314,28 @@ mod tests {
 
     #[test]
     fn construction_validates_dimensions() {
-        let e = Dataset::new(
-            vec![Vector::zeros(2), Vector::zeros(3)],
-            vec![0, 0],
-            1,
-        );
-        assert!(matches!(e, Err(DatasetError::RaggedInstances { index: 1, .. })));
+        let e = Dataset::new(vec![Vector::zeros(2), Vector::zeros(3)], vec![0, 0], 1);
+        assert!(matches!(
+            e,
+            Err(DatasetError::RaggedInstances { index: 1, .. })
+        ));
     }
 
     #[test]
     fn construction_validates_labels() {
         let e = Dataset::new(vec![Vector::zeros(2)], vec![5], 2);
-        assert!(matches!(e, Err(DatasetError::LabelOutOfRange { label: 5, .. })));
+        assert!(matches!(
+            e,
+            Err(DatasetError::LabelOutOfRange { label: 5, .. })
+        ));
     }
 
     #[test]
     fn construction_rejects_empty() {
-        assert!(matches!(Dataset::new(vec![], vec![], 2), Err(DatasetError::Empty)));
+        assert!(matches!(
+            Dataset::new(vec![], vec![], 2),
+            Err(DatasetError::Empty)
+        ));
     }
 
     #[test]

@@ -81,10 +81,14 @@ impl IdxTensor {
         let ty = ((magic >> 8) & 0xff) as u8;
         let ndim = (magic & 0xff) as usize;
         if (magic >> 16) != 0 {
-            return Err(IdxError::BadHeader(format!("magic prefix nonzero: {magic:#x}")));
+            return Err(IdxError::BadHeader(format!(
+                "magic prefix nonzero: {magic:#x}"
+            )));
         }
         if ty != UBYTE_TYPE {
-            return Err(IdxError::BadHeader(format!("unsupported element type {ty:#x}")));
+            return Err(IdxError::BadHeader(format!(
+                "unsupported element type {ty:#x}"
+            )));
         }
         if ndim == 0 || ndim > 4 {
             return Err(IdxError::BadHeader(format!("unsupported ndim {ndim}")));
@@ -100,9 +104,15 @@ impl IdxTensor {
             shape.push(s);
         }
         if buf.len() < total {
-            return Err(IdxError::Truncated { expected: total, found: buf.len() });
+            return Err(IdxError::Truncated {
+                expected: total,
+                found: buf.len(),
+            });
         }
-        Ok(IdxTensor { shape, data: buf[..total].to_vec() })
+        Ok(IdxTensor {
+            shape,
+            data: buf[..total].to_vec(),
+        })
     }
 
     /// Serializes back to IDX bytes.
@@ -179,7 +189,10 @@ pub fn dataset_to_idx(dataset: &Dataset, height: usize, width: usize) -> (IdxTen
     for (x, _) in dataset.iter() {
         image_data.extend(x.iter().map(|p| (p.clamp(0.0, 1.0) * 255.0).round() as u8));
     }
-    let images = IdxTensor { shape: vec![dataset.len(), height, width], data: image_data };
+    let images = IdxTensor {
+        shape: vec![dataset.len(), height, width],
+        data: image_data,
+    };
     let labels = IdxTensor {
         shape: vec![dataset.len()],
         data: dataset.labels().iter().map(|&l| l as u8).collect(),
@@ -212,32 +225,47 @@ mod tests {
     fn rejects_bad_magic() {
         let mut bytes = tiny_images().to_bytes();
         bytes[0] = 1; // nonzero prefix
-        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::BadHeader(_))));
+        assert!(matches!(
+            IdxTensor::parse(&bytes),
+            Err(IdxError::BadHeader(_))
+        ));
     }
 
     #[test]
     fn rejects_wrong_type() {
         let mut bytes = tiny_images().to_bytes();
         bytes[2] = 0x0d; // float type, unsupported
-        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::BadHeader(_))));
+        assert!(matches!(
+            IdxTensor::parse(&bytes),
+            Err(IdxError::BadHeader(_))
+        ));
     }
 
     #[test]
     fn rejects_truncated_payload() {
         let mut bytes = tiny_images().to_bytes();
         bytes.truncate(bytes.len() - 4);
-        assert!(matches!(IdxTensor::parse(&bytes), Err(IdxError::Truncated { .. })));
+        assert!(matches!(
+            IdxTensor::parse(&bytes),
+            Err(IdxError::Truncated { .. })
+        ));
     }
 
     #[test]
     fn rejects_short_header() {
-        assert!(matches!(IdxTensor::parse(&[0, 0]), Err(IdxError::BadHeader(_))));
+        assert!(matches!(
+            IdxTensor::parse(&[0, 0]),
+            Err(IdxError::BadHeader(_))
+        ));
     }
 
     #[test]
     fn loads_dataset_with_normalization() {
         let images = tiny_images();
-        let labels = IdxTensor { shape: vec![2], data: vec![1, 0] };
+        let labels = IdxTensor {
+            shape: vec![2],
+            data: vec![1, 0],
+        };
         let ds = load_image_dataset(&images, &labels, 2).unwrap();
         assert_eq!(ds.len(), 2);
         assert_eq!(ds.dim(), 6);
@@ -249,7 +277,10 @@ mod tests {
     #[test]
     fn detects_count_mismatch() {
         let images = tiny_images();
-        let labels = IdxTensor { shape: vec![3], data: vec![0, 1, 0] };
+        let labels = IdxTensor {
+            shape: vec![3],
+            data: vec![0, 1, 0],
+        };
         assert!(matches!(
             load_image_dataset(&images, &labels, 2),
             Err(IdxError::Inconsistent(_))
@@ -259,7 +290,10 @@ mod tests {
     #[test]
     fn detects_label_overflow() {
         let images = tiny_images();
-        let labels = IdxTensor { shape: vec![2], data: vec![0, 9] };
+        let labels = IdxTensor {
+            shape: vec![2],
+            data: vec![0, 9],
+        };
         assert!(matches!(
             load_image_dataset(&images, &labels, 2),
             Err(IdxError::Inconsistent(_))
@@ -276,7 +310,10 @@ mod tests {
         // Quantization to u8 loses at most 1/510 per pixel.
         for i in 0..train.len() {
             let d = back.instance(i).l1_distance(train.instance(i)).unwrap();
-            assert!(d <= train.dim() as f64 / 509.0, "quantization error too large: {d}");
+            assert!(
+                d <= train.dim() as f64 / 509.0,
+                "quantization error too large: {d}"
+            );
         }
     }
 }

@@ -17,7 +17,11 @@ use openapi_linalg::Vector;
 /// Uses squared distances with early abandoning: the running sum stops as
 /// soon as it exceeds the best distance so far — a large constant-factor win
 /// at `d = 784`.
-pub fn nearest_neighbor(dataset: &Dataset, query: &Vector, exclude: Option<usize>) -> Option<usize> {
+pub fn nearest_neighbor(
+    dataset: &Dataset,
+    query: &Vector,
+    exclude: Option<usize>,
+) -> Option<usize> {
     let mut best: Option<(usize, f64)> = None;
     for i in 0..dataset.len() {
         if Some(i) == exclude {
@@ -57,7 +61,11 @@ fn bounded_sq_dist(a: &Vector, b: &Vector, bound: f64) -> Option<f64> {
 /// neighbour within `dataset`. When `queries` *is* the dataset (the Figure 4
 /// protocol), pass `self_indices = true` to exclude each instance from its
 /// own search.
-pub fn all_nearest_neighbors(dataset: &Dataset, queries: &Dataset, self_indices: bool) -> Vec<usize> {
+pub fn all_nearest_neighbors(
+    dataset: &Dataset,
+    queries: &Dataset,
+    self_indices: bool,
+) -> Vec<usize> {
     (0..queries.len())
         .map(|i| {
             let exclude = self_indices.then_some(i);

@@ -33,8 +33,8 @@ impl SynthStyle {
         match self {
             SynthStyle::MnistLike => ["0", "1", "2", "3", "4", "5", "6", "7", "8", "9"],
             SynthStyle::FmnistLike => [
-                "T-shirt", "Trouser", "Pullover", "Dress", "Coat", "Sandal", "Shirt",
-                "Sneaker", "Bag", "Boot",
+                "T-shirt", "Trouser", "Pullover", "Dress", "Coat", "Sandal", "Shirt", "Sneaker",
+                "Bag", "Boot",
             ],
         }
     }
@@ -330,8 +330,7 @@ mod tests {
     #[test]
     fn all_templates_are_nonempty_and_distinct() {
         for style in [SynthStyle::MnistLike, SynthStyle::FmnistLike] {
-            let canvases: Vec<Canvas> =
-                (0..10).map(|c| draw_template(style, c, 1.0)).collect();
+            let canvases: Vec<Canvas> = (0..10).map(|c| draw_template(style, c, 1.0)).collect();
             for (i, c) in canvases.iter().enumerate() {
                 assert!(c.mass() > 5.0, "{style:?} class {i} nearly empty");
             }
@@ -360,8 +359,12 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 1).generate().0;
-        let b = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 2).generate().0;
+        let a = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 1)
+            .generate()
+            .0;
+        let b = SynthConfig::small(SynthStyle::MnistLike, 10, 10, 2)
+            .generate()
+            .0;
         assert_ne!(a, b);
     }
 

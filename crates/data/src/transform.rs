@@ -17,8 +17,16 @@ use openapi_linalg::Vector;
 pub fn downsample(dataset: &Dataset, factor: usize) -> Dataset {
     assert!(factor > 0, "zero pooling factor");
     let side = (dataset.dim() as f64).sqrt().round() as usize;
-    assert_eq!(side * side, dataset.dim(), "instances are not square images");
-    assert_eq!(side % factor, 0, "side {side} not divisible by factor {factor}");
+    assert_eq!(
+        side * side,
+        dataset.dim(),
+        "instances are not square images"
+    );
+    assert_eq!(
+        side % factor,
+        0,
+        "side {side} not divisible by factor {factor}"
+    );
     let out_side = side / factor;
     let norm = (factor * factor) as f64;
 

@@ -75,7 +75,9 @@ impl ExperimentConfig {
                 plnn_hidden: vec![32, 16],
                 plnn_epochs: 15,
                 lmt_min_leaf: 150,
-                lmt_epochs: 8,
+                // 8 epochs leaves the leaf classifiers under-trained on some
+                // seeds (train accuracy dips to ~0.75); 16 is robustly ≥0.95.
+                lmt_epochs: 16,
                 alter_features: 40,
                 fig2_instances: 3,
             },

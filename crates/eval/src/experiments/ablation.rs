@@ -41,8 +41,11 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         .expect("ablation needs a PLNN panel");
     let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
     let classes = predicted_classes(panel, &indices);
-    let items: Vec<(usize, usize)> =
-        indices.iter().copied().zip(classes.iter().copied()).collect();
+    let items: Vec<(usize, usize)> = indices
+        .iter()
+        .copied()
+        .zip(classes.iter().copied())
+        .collect();
 
     strategy_ablation(cfg, panel, &items)?;
     rtol_ablation(cfg, panel, &items)?;
@@ -71,14 +74,17 @@ fn run_openapi(
     let results: Vec<Option<(usize, usize, f64)>> =
         parallel_map(items, cfg.seed, |_, &(idx, class), rng| {
             let x0 = panel.test.instance(idx);
-            interpreter.interpret(&panel.model, x0, class, rng).ok().map(|r| {
-                let truth = ground_truth_features(&panel.model, x0, class);
-                (
-                    r.iterations,
-                    r.queries,
-                    l1_dist(&truth, &r.interpretation.decision_features),
-                )
-            })
+            interpreter
+                .interpret(&panel.model, x0, class, rng)
+                .ok()
+                .map(|r| {
+                    let truth = ground_truth_features(&panel.model, x0, class);
+                    (
+                        r.iterations,
+                        r.queries,
+                        l1_dist(&truth, &r.interpretation.decision_features),
+                    )
+                })
         });
     let elapsed_ms = start.elapsed().as_secs_f64() * 1e3;
     let ok: Vec<&(usize, usize, f64)> = results.iter().flatten().collect();
@@ -120,14 +126,21 @@ fn strategy_ablation(
         ("square-then-check", ConsistencyStrategy::SquareThenCheck),
         ("least-squares", ConsistencyStrategy::LeastSquares),
     ] {
-        let oa = OpenApiConfig { strategy, ..Default::default() };
+        let oa = OpenApiConfig {
+            strategy,
+            ..Default::default()
+        };
         let stats = run_openapi(cfg, panel, items, &oa);
         let row = stats_row(label.to_string(), &stats);
         table.push_row(row.clone());
         rows.push(row);
     }
     println!("{}", table.render());
-    write_csv(&out_path(cfg, "ablation_strategy.csv"), &STAT_HEADERS, &rows)
+    write_csv(
+        &out_path(cfg, "ablation_strategy.csv"),
+        &STAT_HEADERS,
+        &rows,
+    )
 }
 
 fn rtol_ablation(
@@ -141,7 +154,10 @@ fn rtol_ablation(
     );
     let mut rows = Vec::new();
     for rtol in [1e-3, 1e-6, 1e-9, 1e-12] {
-        let oa = OpenApiConfig { rtol, ..Default::default() };
+        let oa = OpenApiConfig {
+            rtol,
+            ..Default::default()
+        };
         let stats = run_openapi(cfg, panel, items, &oa);
         let row = stats_row(format!("rtol={rtol:.0e}"), &stats);
         table.push_row(row.clone());
@@ -162,7 +178,10 @@ fn shrink_ablation(
     );
     let mut rows = Vec::new();
     for shrink in [0.25, 0.5, 0.75] {
-        let oa = OpenApiConfig { shrink_factor: shrink, ..Default::default() };
+        let oa = OpenApiConfig {
+            shrink_factor: shrink,
+            ..Default::default()
+        };
         let stats = run_openapi(cfg, panel, items, &oa);
         let row = stats_row(format!("shrink={shrink}"), &stats);
         table.push_row(row.clone());
@@ -179,12 +198,20 @@ fn degraded_api_ablation(
 ) -> std::io::Result<()> {
     let mut table = Table::new(
         format!("Ablation A1d — quantized API responses ({})", panel.name),
-        &["decimals", "OpenAPI success", "OpenAPI mean L1 (ok runs)", "naive mean L1"],
+        &[
+            "decimals",
+            "OpenAPI success",
+            "OpenAPI mean L1 (ok runs)",
+            "naive mean L1",
+        ],
     );
     let mut rows = Vec::new();
     // A modest budget suffices: OpenAPI either accepts quickly (fine
     // quantization) or descends to a plateau within ~20 halvings.
-    let oa_cfg = OpenApiConfig { max_iterations: 20, ..Default::default() };
+    let oa_cfg = OpenApiConfig {
+        max_iterations: 20,
+        ..Default::default()
+    };
     let interpreter = OpenApiInterpreter::new(oa_cfg);
     let naive = NaiveInterpreter::new(NaiveConfig::with_edge(1e-2));
 
@@ -233,7 +260,12 @@ fn degraded_api_ablation(
     );
     write_csv(
         &out_path(cfg, "ablation_degraded.csv"),
-        &["decimals", "openapi_success", "openapi_mean_l1", "naive_mean_l1"],
+        &[
+            "decimals",
+            "openapi_success",
+            "openapi_mean_l1",
+            "naive_mean_l1",
+        ],
         &rows,
     )
 }

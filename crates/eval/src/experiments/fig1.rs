@@ -32,8 +32,11 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         .expect("fig1 demo needs a PLNN panel");
     let indices = eval_indices(panel, cfg.eval_instances.min(8), cfg.seed);
     let classes = predicted_classes(panel, &indices);
-    let items: Vec<(usize, usize)> =
-        indices.iter().copied().zip(classes.iter().copied()).collect();
+    let items: Vec<(usize, usize)> = indices
+        .iter()
+        .copied()
+        .zip(classes.iter().copied())
+        .collect();
 
     let naive_h = 1e-1;
     let naive = NaiveInterpreter::new(NaiveConfig::with_edge(naive_h));
@@ -43,8 +46,7 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let x0 = panel.test.instance(idx);
         let truth = ground_truth_features(&panel.model, x0, class);
         let bracket =
-            estimate_region_edge(&panel.model, x0, class, &OpenApiConfig::default(), 8.0, rng)
-                .ok();
+            estimate_region_edge(&panel.model, x0, class, &OpenApiConfig::default(), 8.0, rng).ok();
         let region_edge = bracket
             .as_ref()
             .map(|b| match b.inconsistent_edge {
@@ -58,14 +60,14 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             .unwrap_or_else(|_| "fail".to_string());
         let oa_err = openapi
             .interpret(&panel.model, x0, class, rng)
-            .map(|r| format!("{:.2e}", l1_dist(&truth, &r.interpretation.decision_features)))
+            .map(|r| {
+                format!(
+                    "{:.2e}",
+                    l1_dist(&truth, &r.interpretation.decision_features)
+                )
+            })
             .unwrap_or_else(|_| "fail".to_string());
-        vec![
-            format!("#{i}"),
-            region_edge,
-            naive_err,
-            oa_err,
-        ]
+        vec![format!("#{i}"), region_edge, naive_err, oa_err]
     });
 
     let mut table = Table::new(
@@ -73,7 +75,12 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             "Figure 1 demo — {} (naive h = {naive_h}; regions narrower than h break it)",
             panel.name
         ),
-        &["instance", "region edge bracket", "naive L1Dist", "OpenAPI L1Dist"],
+        &[
+            "instance",
+            "region edge bracket",
+            "naive L1Dist",
+            "OpenAPI L1Dist",
+        ],
     );
     for row in &rows {
         table.push_row(row.clone());

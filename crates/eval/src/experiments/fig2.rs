@@ -45,7 +45,9 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             });
             let ok: Vec<Vector> = features.into_iter().flatten().collect();
             if ok.is_empty() {
-                println!("  class {class_name}: OpenAPI failed on all instances (boundary-degenerate)");
+                println!(
+                    "  class {class_name}: OpenAPI failed on all instances (boundary-degenerate)"
+                );
                 continue;
             }
             let avg_features = mean_vector(&ok);
@@ -55,15 +57,32 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
                 panel.style.name().replace('-', "_"),
                 panel.model.family().to_lowercase()
             );
-            write_pgm(&out_path(cfg, &format!("{tag}_features.pgm")), avg_features.as_slice(), side, side)?;
-            write_heatmap_csv(&out_path(cfg, &format!("{tag}_features.csv")), avg_features.as_slice(), side)?;
-            write_pgm(&out_path(cfg, &format!("{tag}_image.pgm")), avg_image.as_slice(), side, side)?;
+            write_pgm(
+                &out_path(cfg, &format!("{tag}_features.pgm")),
+                avg_features.as_slice(),
+                side,
+                side,
+            )?;
+            write_heatmap_csv(
+                &out_path(cfg, &format!("{tag}_features.csv")),
+                avg_features.as_slice(),
+                side,
+            )?;
+            write_pgm(
+                &out_path(cfg, &format!("{tag}_image.pgm")),
+                avg_image.as_slice(),
+                side,
+                side,
+            )?;
 
             println!(
                 "  class {class_name} ({} instances interpreted) — decision features D_c:",
                 ok.len()
             );
-            println!("{}", indent(&signed_ascii(avg_features.as_slice(), side, side), 4));
+            println!(
+                "{}",
+                indent(&signed_ascii(avg_features.as_slice(), side, side), 4)
+            );
         }
     }
     Ok(())
@@ -96,7 +115,9 @@ mod tests {
             .map(|e| e.file_name().to_string_lossy().to_string())
             .collect();
         assert!(
-            entries.iter().any(|n| n.contains("Boot") && n.ends_with("features.pgm")),
+            entries
+                .iter()
+                .any(|n| n.contains("Boot") && n.ends_with("features.pgm")),
             "{entries:?}"
         );
         std::fs::remove_dir_all(&cfg.out_dir).ok();

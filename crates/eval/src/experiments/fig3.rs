@@ -16,27 +16,43 @@ use openapi_metrics::report::{write_csv, Table};
 /// I/O errors writing the CSV.
 pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let methods = Method::effectiveness_lineup();
-    let eff_cfg = EffectivenessConfig { max_features: cfg.alter_features, ..Default::default() };
+    let eff_cfg = EffectivenessConfig {
+        max_features: cfg.alter_features,
+        ..Default::default()
+    };
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for panel in panels {
         let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
         let classes = predicted_classes(panel, &indices);
         let mut table = Table::new(
-            format!("Figure 3 — {} (avg CPP / NLCI of {} instances)", panel.name, indices.len()),
+            format!(
+                "Figure 3 — {} (avg CPP / NLCI of {} instances)",
+                panel.name,
+                indices.len()
+            ),
             &["method", "k=25%", "k=50%", "k=75%", "k=100%", "NLCI@100%"],
         );
 
         for method in &methods {
-            let items: Vec<(usize, usize)> =
-                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let items: Vec<(usize, usize)> = indices
+                .iter()
+                .copied()
+                .zip(classes.iter().copied())
+                .collect();
             let curves: Vec<_> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
                 let x0 = panel.test.instance(idx);
                 let attribution = method.attribution(&panel.model, x0, class, rng).ok()?;
                 if !attribution.is_finite() {
                     return None;
                 }
-                Some(alteration_curve(&panel.model, x0, class, &attribution, &eff_cfg))
+                Some(alteration_curve(
+                    &panel.model,
+                    x0,
+                    class,
+                    &attribution,
+                    &eff_cfg,
+                ))
             })
             .into_iter()
             .flatten()

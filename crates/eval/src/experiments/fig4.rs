@@ -29,7 +29,10 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let nns = all_nearest_neighbors(&subset, &subset, true);
 
         let mut table = Table::new(
-            format!("Figure 4 — {} (cosine similarity to nearest neighbour)", panel.name),
+            format!(
+                "Figure 4 — {} (cosine similarity to nearest neighbour)",
+                panel.name
+            ),
             &["method", "mean CS", "median CS", "min CS"],
         );
         for method in &methods {

@@ -22,12 +22,19 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
         let classes = predicted_classes(panel, &indices);
         let mut table = Table::new(
-            format!("Figure 5 — {} (average Region Difference, {} instances)", panel.name, indices.len()),
+            format!(
+                "Figure 5 — {} (average Region Difference, {} instances)",
+                panel.name,
+                indices.len()
+            ),
             &["method", "avg RD"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize)> =
-                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let items: Vec<(usize, usize)> = indices
+                .iter()
+                .copied()
+                .zip(classes.iter().copied())
+                .collect();
             let rds: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
                 let x0 = panel.test.instance(idx);
                 match openapi_metrics::samples::method_samples(method, &panel.model, x0, class, rng)

@@ -28,8 +28,11 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             &["method", "min", "mean", "max"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize)> =
-                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let items: Vec<(usize, usize)> = indices
+                .iter()
+                .copied()
+                .zip(classes.iter().copied())
+                .collect();
             let wds: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
                 let x0 = panel.test.instance(idx);
                 match openapi_metrics::samples::method_samples(method, &panel.model, x0, class, rng)
@@ -64,7 +67,8 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.4e}")).unwrap_or_else(|| "—".to_string())
+    v.map(|x| format!("{x:.4e}"))
+        .unwrap_or_else(|| "—".to_string())
 }
 
 #[cfg(test)]

@@ -24,12 +24,18 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
         let classes = predicted_classes(panel, &indices);
         let mut table = Table::new(
-            format!("Figure 7 — {} (L1Dist to ground truth, min/mean/max)", panel.name),
+            format!(
+                "Figure 7 — {} (L1Dist to ground truth, min/mean/max)",
+                panel.name
+            ),
             &["method", "min", "mean", "max", "failures"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize)> =
-                indices.iter().copied().zip(classes.iter().copied()).collect();
+            let items: Vec<(usize, usize)> = indices
+                .iter()
+                .copied()
+                .zip(classes.iter().copied())
+                .collect();
             let dists: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
                 let x0 = panel.test.instance(idx);
                 match method.attribution(&panel.model, x0, class, rng) {
@@ -67,7 +73,8 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
 }
 
 fn fmt_opt(v: Option<f64>) -> String {
-    v.map(|x| format!("{x:.4e}")).unwrap_or_else(|| "—".to_string())
+    v.map(|x| format!("{x:.4e}"))
+        .unwrap_or_else(|| "—".to_string())
 }
 
 #[cfg(test)]
@@ -96,7 +103,10 @@ mod tests {
         let ridge = mean_of("R(1e-8)");
         assert!(oa.is_finite());
         assert!(oa < 1e-4, "OpenAPI must be near-exact, got {oa}");
-        assert!(ridge > oa * 100.0, "ridge LIME should be far worse: {ridge} vs {oa}");
+        assert!(
+            ridge > oa * 100.0,
+            "ridge LIME should be far worse: {ridge} vs {oa}"
+        );
         std::fs::remove_dir_all(&cfg.out_dir).ok();
     }
 }

@@ -32,7 +32,10 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let indices = eval_indices(panel, cfg.eval_instances.min(8), cfg.seed);
         let classes = predicted_classes(panel, &indices);
         let mut table = Table::new(
-            format!("Query budget — {} (prediction queries per interpretation)", panel.name),
+            format!(
+                "Query budget — {} (prediction queries per interpretation)",
+                panel.name
+            ),
             &["method", "min", "mean", "max"],
         );
         for method in &methods {
@@ -63,7 +66,13 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     }
     write_csv(
         &out_path(cfg, "queries_budget.csv"),
-        &["panel", "method", "min_queries", "mean_queries", "max_queries"],
+        &[
+            "panel",
+            "method",
+            "min_queries",
+            "mean_queries",
+            "max_queries",
+        ],
         &csv_rows,
     )
 }

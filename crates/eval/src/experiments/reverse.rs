@@ -20,7 +20,14 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
     let mut table = Table::new(
         "Extension A2 — reverse engineering the local classifier",
-        &["panel", "reconstructed", "agree(r=1e-3)", "agree(r=0.5)", "boundaries found", "median dist"],
+        &[
+            "panel",
+            "reconstructed",
+            "agree(r=1e-3)",
+            "agree(r=0.5)",
+            "boundaries found",
+            "median dist",
+        ],
     );
 
     for panel in panels {
@@ -71,7 +78,14 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     );
     write_csv(
         &out_path(cfg, "reverse_engineering.csv"),
-        &["panel", "reconstructed", "agree_near", "agree_far", "boundaries_found", "median_boundary_dist"],
+        &[
+            "panel",
+            "reconstructed",
+            "agree_near",
+            "agree_far",
+            "boundaries_found",
+            "median_boundary_dist",
+        ],
         &csv_rows,
     )
 }
@@ -83,8 +97,17 @@ pub fn reconstruct_once(panel: &Panel, instance: usize, seed: u64) -> Option<f64
     use rand::SeedableRng;
     let mut rng = StdRng::seed_from_u64(seed);
     let x0: &Vector = panel.test.instance(instance);
-    let recon = ReconstructedPlm::extract(&panel.model, x0, &OpenApiConfig::default(), &mut rng).ok()?;
-    Some(agreement_rate(&panel.model, &recon, x0, 1e-3, 40, 1e-6, &mut rng))
+    let recon =
+        ReconstructedPlm::extract(&panel.model, x0, &OpenApiConfig::default(), &mut rng).ok()?;
+    Some(agreement_rate(
+        &panel.model,
+        &recon,
+        x0,
+        1e-3,
+        40,
+        1e-6,
+        &mut rng,
+    ))
 }
 
 #[cfg(test)]

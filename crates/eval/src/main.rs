@@ -11,7 +11,8 @@ use openapi_eval::{build_panels, ExperimentConfig, Profile};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] [--out DIR]
+const USAGE: &str =
+    "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] [--out DIR]
 experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all";
 
 fn main() -> ExitCode {
@@ -72,7 +73,10 @@ fn main() -> ExitCode {
         cfg.dim(),
         cfg.out_dir.display()
     );
-    println!("building panels (train={}, test={})…", cfg.train_size, cfg.test_size);
+    println!(
+        "building panels (train={}, test={})…",
+        cfg.train_size, cfg.test_size
+    );
     let t0 = std::time::Instant::now();
     let panels = build_panels(&cfg);
     for p in &panels {

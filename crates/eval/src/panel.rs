@@ -8,9 +8,9 @@ use crate::config::ExperimentConfig;
 use openapi_api::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
 use openapi_data::synth::{SynthConfig, SynthStyle};
 use openapi_data::{downsample, Dataset};
+use openapi_linalg::Vector;
 use openapi_lmt::{Lmt, LmtConfig, LogisticConfig};
 use openapi_nn::{train, Activation, Plnn, TrainConfig};
-use openapi_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -111,10 +111,18 @@ fn model_accuracy(model: &PanelModel, data: &Dataset) -> f64 {
 /// Generates one dataset pair at the configured scale (pooled if the
 /// profile asks for reduced dimensionality).
 pub fn build_dataset(cfg: &ExperimentConfig, style: SynthStyle) -> (Dataset, Dataset) {
-    let synth = SynthConfig::small(style, cfg.train_size, cfg.test_size, cfg.seed ^ style_tag(style));
+    let synth = SynthConfig::small(
+        style,
+        cfg.train_size,
+        cfg.test_size,
+        cfg.seed ^ style_tag(style),
+    );
     let (train, test) = synth.generate();
     if cfg.pool_factor > 1 {
-        (downsample(&train, cfg.pool_factor), downsample(&test, cfg.pool_factor))
+        (
+            downsample(&train, cfg.pool_factor),
+            downsample(&test, cfg.pool_factor),
+        )
     } else {
         (train, test)
     }
@@ -122,7 +130,7 @@ pub fn build_dataset(cfg: &ExperimentConfig, style: SynthStyle) -> (Dataset, Dat
 
 fn style_tag(style: SynthStyle) -> u64 {
     match style {
-        SynthStyle::MnistLike => 0x6d6e, // "mn"
+        SynthStyle::MnistLike => 0x6d6e,  // "mn"
         SynthStyle::FmnistLike => 0x666d, // "fm"
     }
 }
@@ -161,7 +169,10 @@ pub fn build_lmt_panel(cfg: &ExperimentConfig, style: SynthStyle) -> Panel {
     let (train_set, test_set) = build_dataset(cfg, style);
     let lmt_cfg = LmtConfig {
         min_leaf_instances: cfg.lmt_min_leaf,
-        logistic: LogisticConfig { epochs: cfg.lmt_epochs, ..Default::default() },
+        logistic: LogisticConfig {
+            epochs: cfg.lmt_epochs,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4c4d54); // "LMT"
@@ -245,7 +256,10 @@ mod tests {
             assert!((via[c] - direct[c]).abs() < 1e-10);
         }
         // Region ids are self-consistent.
-        assert_eq!(p.model.region_id(x0.as_slice()), p.model.region_id(x0.as_slice()));
+        assert_eq!(
+            p.model.region_id(x0.as_slice()),
+            p.model.region_id(x0.as_slice())
+        );
     }
 
     #[test]

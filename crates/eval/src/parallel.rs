@@ -21,8 +21,19 @@ where
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
-        .min(8)
-        .min(items.len().max(1));
+        .min(8);
+    parallel_map_with_threads(items, seed, threads, f)
+}
+
+/// [`parallel_map`] with an explicit worker count, so the determinism
+/// contract (output independent of parallelism) is directly testable.
+pub fn parallel_map_with_threads<T, U, F>(items: &[T], seed: u64, threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T, &mut StdRng) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
 
     if threads <= 1 || items.len() <= 1 {
         return items
@@ -88,9 +99,7 @@ mod tests {
         let run = || parallel_map(&items, 99, |_, _, rng| rng.gen::<u64>());
         assert_eq!(run(), run());
         // And equals the sequential result (single item at a time).
-        let seq: Vec<u64> = (0..64)
-            .map(|i| item_rng(99, i).gen::<u64>())
-            .collect();
+        let seq: Vec<u64> = (0..64).map(|i| item_rng(99, i).gen::<u64>()).collect();
         assert_eq!(run(), seq);
     }
 
@@ -102,6 +111,29 @@ mod tests {
         uniq.sort_unstable();
         uniq.dedup();
         assert_eq!(uniq.len(), vals.len());
+    }
+
+    /// The doc-comment contract: for a fixed seed, results are identical at
+    /// any thread count (each item's RNG derives from the seed and index,
+    /// never from which worker ran it).
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<usize> = (0..97).collect();
+        let run = |threads: usize| {
+            parallel_map_with_threads(&items, 1234, threads, |i, &item, rng| {
+                (i, item * 3, rng.gen::<u64>(), rng.gen_range(-1.0f64..1.0))
+            })
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(one, two, "1-thread vs 2-thread results differ");
+        assert_eq!(one, eight, "1-thread vs 8-thread results differ");
+        // And the auto-sized entry point agrees with all of them.
+        let auto = parallel_map(&items, 1234, |i, &item, rng| {
+            (i, item * 3, rng.gen::<u64>(), rng.gen_range(-1.0f64..1.0))
+        });
+        assert_eq!(one, auto, "auto-threaded result differs");
     }
 
     #[test]

@@ -38,7 +38,9 @@ impl CholeskyFactor {
             });
         }
         if !a.is_finite() {
-            return Err(LinalgError::NonFinite { op: "CholeskyFactor::new" });
+            return Err(LinalgError::NonFinite {
+                op: "CholeskyFactor::new",
+            });
         }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
@@ -50,7 +52,10 @@ impl CholeskyFactor {
                 }
                 if i == j {
                     if s <= 0.0 {
-                        return Err(LinalgError::Singular { pivot: i, magnitude: s });
+                        return Err(LinalgError::Singular {
+                            pivot: i,
+                            magnitude: s,
+                        });
                     }
                     l[(i, j)] = s.sqrt();
                 } else {

@@ -36,8 +36,15 @@ pub enum CodecError {
 impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CodecError::Truncated { what, needed, remaining } => {
-                write!(f, "decoding {what}: need {needed} bytes, {remaining} remain")
+            CodecError::Truncated {
+                what,
+                needed,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "decoding {what}: need {needed} bytes, {remaining} remain"
+                )
             }
             CodecError::BadLength { what, value } => {
                 write!(f, "decoding {what}: implausible length {value}")
@@ -55,7 +62,11 @@ const MAX_LEN: u64 = 1 << 30;
 
 fn check_remaining(buf: &impl Buf, what: &'static str, needed: usize) -> Result<(), CodecError> {
     if buf.remaining() < needed {
-        Err(CodecError::Truncated { what, needed, remaining: buf.remaining() })
+        Err(CodecError::Truncated {
+            what,
+            needed,
+            remaining: buf.remaining(),
+        })
     } else {
         Ok(())
     }
@@ -113,7 +124,10 @@ pub fn get_matrix(buf: &mut impl Buf, what: &'static str) -> Result<Matrix, Code
         value: u64::MAX,
     })?;
     if total as u64 > MAX_LEN {
-        return Err(CodecError::BadLength { what, value: total as u64 });
+        return Err(CodecError::BadLength {
+            what,
+            value: total as u64,
+        });
     }
     check_remaining(buf, what, total * 8)?;
     let mut data = Vec::with_capacity(total);

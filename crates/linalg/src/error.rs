@@ -47,14 +47,27 @@ pub enum LinalgError {
 impl fmt::Display for LinalgError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LinalgError::DimensionMismatch { op, expected, found } => {
-                write!(f, "{op}: dimension mismatch (expected {expected}, found {found})")
+            LinalgError::DimensionMismatch {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "{op}: dimension mismatch (expected {expected}, found {found})"
+                )
             }
             LinalgError::Singular { pivot, magnitude } => {
-                write!(f, "matrix is numerically singular at pivot {pivot} (|pivot| = {magnitude:.3e})")
+                write!(
+                    f,
+                    "matrix is numerically singular at pivot {pivot} (|pivot| = {magnitude:.3e})"
+                )
             }
             LinalgError::RankDeficient { rank, cols } => {
-                write!(f, "least-squares matrix is rank deficient (rank {rank} of {cols} columns)")
+                write!(
+                    f,
+                    "least-squares matrix is rank deficient (rank {rank} of {cols} columns)"
+                )
             }
             LinalgError::Empty { op } => write!(f, "{op}: empty input"),
             LinalgError::NonFinite { op } => write!(f, "{op}: non-finite value in input"),
@@ -70,11 +83,18 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = LinalgError::DimensionMismatch { op: "matvec", expected: 3, found: 4 };
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            expected: 3,
+            found: 4,
+        };
         assert!(e.to_string().contains("matvec"));
         assert!(e.to_string().contains('3'));
 
-        let e = LinalgError::Singular { pivot: 2, magnitude: 1e-18 };
+        let e = LinalgError::Singular {
+            pivot: 2,
+            magnitude: 1e-18,
+        };
         assert!(e.to_string().contains("pivot 2"));
 
         let e = LinalgError::RankDeficient { rank: 2, cols: 5 };

@@ -54,7 +54,9 @@ impl LuFactor {
             });
         }
         if !a.is_finite() {
-            return Err(LinalgError::NonFinite { op: "LuFactor::new" });
+            return Err(LinalgError::NonFinite {
+                op: "LuFactor::new",
+            });
         }
         let n = a.rows();
         let mut packed = a.clone();
@@ -76,7 +78,10 @@ impl LuFactor {
                 }
             }
             if pivot_mag <= tol {
-                return Err(LinalgError::Singular { pivot: k, magnitude: pivot_mag });
+                return Err(LinalgError::Singular {
+                    pivot: k,
+                    magnitude: pivot_mag,
+                });
             }
             if pivot_row != k {
                 packed.swap_rows(pivot_row, k);
@@ -95,7 +100,11 @@ impl LuFactor {
                 }
             }
         }
-        Ok(LuFactor { packed, perm, perm_sign })
+        Ok(LuFactor {
+            packed,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Dimension of the factored matrix.

@@ -23,7 +23,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -56,7 +60,9 @@ impl Matrix {
     /// [`LinalgError::Empty`] when `rows` is empty, or
     /// [`LinalgError::DimensionMismatch`] for ragged input.
     pub fn from_rows(rows: &[&[f64]]) -> Result<Self> {
-        let first = rows.first().ok_or(LinalgError::Empty { op: "Matrix::from_rows" })?;
+        let first = rows.first().ok_or(LinalgError::Empty {
+            op: "Matrix::from_rows",
+        })?;
         let cols = first.len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for row in rows {
@@ -69,7 +75,11 @@ impl Matrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(Matrix { rows: rows.len(), cols, data })
+        Ok(Matrix {
+            rows: rows.len(),
+            cols,
+            data,
+        })
     }
 
     /// Builds a matrix by evaluating `f(row, col)` at every position.
@@ -287,7 +297,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(a, b)| f(*a, *b))
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Multiplies every entry by `alpha`, in place.

@@ -46,7 +46,9 @@ impl QrFactor {
             });
         }
         if !a.is_finite() {
-            return Err(LinalgError::NonFinite { op: "QrFactor::new" });
+            return Err(LinalgError::NonFinite {
+                op: "QrFactor::new",
+            });
         }
         let mut packed = a.clone();
         let mut betas = vec![0.0; n];
@@ -108,7 +110,12 @@ impl QrFactor {
             }
             packed[(k, k)] = alpha;
         }
-        Ok(QrFactor { packed, betas, rows: m, cols: n })
+        Ok(QrFactor {
+            packed,
+            betas,
+            rows: m,
+            cols: n,
+        })
     }
 
     /// Applies `Qᵀ` to a right-hand side, in place.
@@ -220,13 +227,7 @@ mod tests {
     #[test]
     fn overdetermined_consistent_system() {
         // Rows are (x_i, 1) and rhs = 2*x_i + 3: consistent despite being 4x2.
-        let a = Matrix::from_rows(&[
-            &[0.0, 1.0],
-            &[1.0, 1.0],
-            &[2.0, 1.0],
-            &[5.0, 1.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 1.0], &[2.0, 1.0], &[5.0, 1.0]]).unwrap();
         let b = [3.0, 5.0, 7.0, 13.0];
         let (x, res) = QrFactor::new(&a).unwrap().solve_lstsq(&b).unwrap();
         assert!((x[0] - 2.0).abs() < 1e-12);
@@ -248,13 +249,7 @@ mod tests {
 
     #[test]
     fn residual_matches_explicit_computation() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, -1.0],
-            &[0.5, 0.5],
-            &[2.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, -1.0], &[0.5, 0.5], &[2.0, 2.0]]).unwrap();
         let b = [1.0, 2.0, 3.0, 4.0];
         let (x, res) = QrFactor::new(&a).unwrap().solve_lstsq(&b).unwrap();
         let ax = a.matvec(x.as_slice()).unwrap();
@@ -305,12 +300,7 @@ mod tests {
 
     #[test]
     fn r_factor_is_upper_triangular_and_reproduces_norms() {
-        let a = Matrix::from_rows(&[
-            &[3.0, 1.0],
-            &[4.0, 2.0],
-            &[0.0, 5.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[3.0, 1.0], &[4.0, 2.0], &[0.0, 5.0]]).unwrap();
         let qr = QrFactor::new(&a).unwrap();
         let r = qr.r();
         assert_eq!(r.rows(), 2);
@@ -340,7 +330,10 @@ mod tests {
         });
         let x_true: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).cos()).collect();
         let b = a.matvec(&x_true).unwrap();
-        let (x, res) = QrFactor::new(&a).unwrap().solve_lstsq(b.as_slice()).unwrap();
+        let (x, res) = QrFactor::new(&a)
+            .unwrap()
+            .solve_lstsq(b.as_slice())
+            .unwrap();
         assert!(res < 1e-8, "constructed-consistent system residual {res}");
         for i in 0..n {
             assert!((x[i] - x_true[i]).abs() < 1e-8);

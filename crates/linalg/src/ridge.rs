@@ -39,7 +39,9 @@ pub fn ridge_regression(
         });
     }
     if !a.is_finite() || b.iter().any(|v| !v.is_finite()) || !lambda.is_finite() || lambda < 0.0 {
-        return Err(LinalgError::NonFinite { op: "ridge_regression" });
+        return Err(LinalgError::NonFinite {
+            op: "ridge_regression",
+        });
     }
     let n = a.cols();
     // Normal equations: (AᵀA + λ·P) x = Aᵀ b, with P the penalty selector.
@@ -86,13 +88,7 @@ mod tests {
 
     #[test]
     fn lambda_zero_matches_least_squares() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-            &[1.0, 3.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0], &[1.0, 3.0]]).unwrap();
         let b = [1.0, 3.0, 5.0, 7.0];
         let ridge = ridge_regression(&a, &b, 0.0, true).unwrap();
         let (ls, _) = QrFactor::new(&a).unwrap().solve_lstsq(&b).unwrap();
@@ -103,12 +99,7 @@ mod tests {
 
     #[test]
     fn large_lambda_shrinks_slope_toward_zero() {
-        let a = Matrix::from_rows(&[
-            &[1.0, 0.0],
-            &[1.0, 1.0],
-            &[1.0, 2.0],
-        ])
-        .unwrap();
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[1.0, 1.0], &[1.0, 2.0]]).unwrap();
         let b = [0.0, 2.0, 4.0]; // true slope 2
         let small = ridge_regression(&a, &b, 1e-6, false).unwrap();
         let large = ridge_regression(&a, &b, 1e6, false).unwrap();

@@ -41,7 +41,10 @@ pub fn solve_square(a: &Matrix, b: &[f64]) -> Result<(Vector, SolveDiagnostics)>
         .fold(0.0f64, f64::max);
     Ok((
         x,
-        SolveDiagnostics { residual_inf, condition_hint: f.diagonal_condition() },
+        SolveDiagnostics {
+            residual_inf,
+            condition_hint: f.diagonal_condition(),
+        },
     ))
 }
 
@@ -173,8 +176,8 @@ mod tests {
             [-0.4, 0.1, 0.9],
         ];
         let truth = [2.0, -1.0, 0.5];
-        let a = Matrix::from_rows(&probes.iter().map(|r| r.as_slice()).collect::<Vec<_>>())
-            .unwrap();
+        let a =
+            Matrix::from_rows(&probes.iter().map(|r| r.as_slice()).collect::<Vec<_>>()).unwrap();
         let b = probes
             .iter()
             .map(|p| p.iter().zip(truth.iter()).map(|(u, v)| u * v).sum())
@@ -185,7 +188,10 @@ mod tests {
     #[test]
     fn consistent_system_passes_both_strategies() {
         let (a, b) = consistent_system();
-        for strat in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+        for strat in [
+            ConsistencyStrategy::SquareThenCheck,
+            ConsistencyStrategy::LeastSquares,
+        ] {
             let rep = check_consistency(&a, &b, 1e-9, strat).unwrap();
             assert!(rep.consistent, "{strat:?} must accept a consistent system");
             assert!((rep.solution[0] - 2.0).abs() < 1e-9);
@@ -198,9 +204,15 @@ mod tests {
     fn perturbed_rhs_fails_both_strategies() {
         let (a, mut b) = consistent_system();
         b[4] += 0.05; // one equation from a "different region"
-        for strat in [ConsistencyStrategy::SquareThenCheck, ConsistencyStrategy::LeastSquares] {
+        for strat in [
+            ConsistencyStrategy::SquareThenCheck,
+            ConsistencyStrategy::LeastSquares,
+        ] {
             let rep = check_consistency(&a, &b, 1e-9, strat).unwrap();
-            assert!(!rep.consistent, "{strat:?} must reject an inconsistent system");
+            assert!(
+                !rep.consistent,
+                "{strat:?} must reject an inconsistent system"
+            );
             assert!(rep.residual > rep.threshold);
         }
     }

@@ -208,7 +208,9 @@ impl Vector {
     /// [`LinalgError::Empty`] for an empty vector.
     pub fn argmax(&self) -> Result<usize> {
         if self.is_empty() {
-            return Err(LinalgError::Empty { op: "Vector::argmax" });
+            return Err(LinalgError::Empty {
+                op: "Vector::argmax",
+            });
         }
         let mut best = 0;
         for (i, v) in self.0.iter().enumerate().skip(1) {
@@ -243,7 +245,11 @@ impl Vector {
             });
         }
         Ok(Vector(
-            self.0.iter().zip(other.0.iter()).map(|(a, b)| a * b).collect(),
+            self.0
+                .iter()
+                .zip(other.0.iter())
+                .map(|(a, b)| a * b)
+                .collect(),
         ))
     }
 
@@ -317,7 +323,13 @@ impl Add<&Vector> for &Vector {
     type Output = Vector;
     fn add(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "Vector add: length mismatch");
-        Vector(self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a + b).collect())
+        Vector(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        )
     }
 }
 
@@ -325,7 +337,13 @@ impl Sub<&Vector> for &Vector {
     type Output = Vector;
     fn sub(self, rhs: &Vector) -> Vector {
         assert_eq!(self.len(), rhs.len(), "Vector sub: length mismatch");
-        Vector(self.0.iter().zip(rhs.0.iter()).map(|(a, b)| a - b).collect())
+        Vector(
+            self.0
+                .iter()
+                .zip(rhs.0.iter())
+                .map(|(a, b)| a - b)
+                .collect(),
+        )
     }
 }
 

@@ -23,7 +23,12 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        LogisticConfig { epochs: 30, batch_size: 64, lr: 0.5, l1: 1e-4 }
+        LogisticConfig {
+            epochs: 30,
+            batch_size: 64,
+            lr: 0.5,
+            l1: 1e-4,
+        }
     }
 }
 
@@ -39,7 +44,10 @@ pub struct LogisticRegression {
 impl LogisticRegression {
     /// A zero-initialized model (predicts uniform probabilities).
     pub fn zeros(dim: usize, num_classes: usize) -> Self {
-        LogisticRegression { weights: Matrix::zeros(dim, num_classes), bias: Vector::zeros(num_classes) }
+        LogisticRegression {
+            weights: Matrix::zeros(dim, num_classes),
+            bias: Vector::zeros(num_classes),
+        }
     }
 
     /// Reassembles a model from its parts (persistence, testing).
@@ -105,7 +113,12 @@ impl LogisticRegression {
 
     /// Fraction of zero weights — how sparse the L1 penalty made the model.
     pub fn sparsity(&self) -> f64 {
-        let zeros = self.weights.as_slice().iter().filter(|w| **w == 0.0).count();
+        let zeros = self
+            .weights
+            .as_slice()
+            .iter()
+            .filter(|w| **w == 0.0)
+            .count();
         zeros as f64 / self.weights.as_slice().len() as f64
     }
 
@@ -221,14 +234,23 @@ mod tests {
             .collect();
         let data = Dataset::new(noisy, base.labels().to_vec(), 3).unwrap();
 
-        let dense_cfg = LogisticConfig { l1: 0.0, ..Default::default() };
-        let sparse_cfg = LogisticConfig { l1: 5e-3, ..Default::default() };
+        let dense_cfg = LogisticConfig {
+            l1: 0.0,
+            ..Default::default()
+        };
+        let sparse_cfg = LogisticConfig {
+            l1: 5e-3,
+            ..Default::default()
+        };
         let mut r1 = StdRng::seed_from_u64(5);
         let mut r2 = StdRng::seed_from_u64(5);
         let dense = LogisticRegression::fit(&data, &dense_cfg, &mut r1);
         let sparse = LogisticRegression::fit(&data, &sparse_cfg, &mut r2);
         assert!(sparse.sparsity() > dense.sparsity());
-        assert!(sparse.accuracy(&data) > 0.9, "sparse model must stay accurate");
+        assert!(
+            sparse.accuracy(&data) > 0.9,
+            "sparse model must stay accurate"
+        );
     }
 
     #[test]

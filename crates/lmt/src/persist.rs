@@ -74,7 +74,12 @@ fn need(buf: &impl Buf, n: usize, what: &str) -> Result<(), PersistError> {
 
 fn encode_node(buf: &mut Vec<u8>, node: &Node) {
     match node {
-        Node::Internal { feature, threshold, left, right } => {
+        Node::Internal {
+            feature,
+            threshold,
+            left,
+            right,
+        } => {
             buf.put_u8(0);
             codec::put_len(buf, *feature);
             buf.put_f64_le(*threshold);
@@ -142,7 +147,11 @@ fn decode_node(
             }
             stats.leaves += 1;
             stats.max_depth = stats.max_depth.max(depth);
-            Ok(Node::leaf(id, LogisticRegression::from_parts(weights, bias), support))
+            Ok(Node::leaf(
+                id,
+                LogisticRegression::from_parts(weights, bias),
+                support,
+            ))
         }
         t => Err(PersistError::Format(format!("unknown node tag {t}"))),
     }
@@ -177,14 +186,19 @@ impl Lmt {
         need(buf, 2, "version")?;
         let version = buf.get_u16_le();
         if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let dim = codec::get_len(buf, "dim")?;
         let num_classes = codec::get_len(buf, "num_classes")?;
         need(buf, 8, "num_leaves")?;
         let num_leaves = buf.get_u64_le();
         let depth = codec::get_len(buf, "depth")?;
-        let mut stats = DecodeStats { leaves: 0, max_depth: 0 };
+        let mut stats = DecodeStats {
+            leaves: 0,
+            max_depth: 0,
+        };
         let root = decode_node(buf, dim, num_classes, 0, &mut stats)?;
         if !data.is_empty() {
             return Err(PersistError::Format(format!(
@@ -198,7 +212,13 @@ impl Lmt {
                 stats.leaves, stats.max_depth
             )));
         }
-        Ok(Lmt { root, dim, num_classes, num_leaves, depth })
+        Ok(Lmt {
+            root,
+            dim,
+            num_classes,
+            num_leaves,
+            depth,
+        })
     }
 
     /// Writes the tree to a file.
@@ -235,8 +255,8 @@ mod tests {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..n {
-            let qx = rng.gen_range(0..2);
-            let qy = rng.gen_range(0..2);
+            let qx: usize = rng.gen_range(0..2);
+            let qy: usize = rng.gen_range(0..2);
             xs.push(Vector(vec![
                 qx as f64 + rng.gen_range(0.0..0.4),
                 qy as f64 + rng.gen_range(0.0..0.4),
@@ -250,7 +270,11 @@ mod tests {
         let data = quadrants(300, 1);
         let cfg = LmtConfig {
             min_leaf_instances: 30,
-            logistic: LogisticConfig { epochs: 20, l1: 0.0, ..Default::default() },
+            logistic: LogisticConfig {
+                epochs: 20,
+                l1: 0.0,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let mut rng = StdRng::seed_from_u64(2);

@@ -50,7 +50,11 @@ pub fn entropy(counts: &[usize]) -> f64 {
 ///
 /// # Panics
 /// Panics when `indices` is empty or any index is out of range.
-pub fn best_split(data: &Dataset, indices: &[usize], max_thresholds: usize) -> Option<SplitCandidate> {
+pub fn best_split(
+    data: &Dataset,
+    indices: &[usize],
+    max_thresholds: usize,
+) -> Option<SplitCandidate> {
     assert!(!indices.is_empty(), "best_split on empty node");
     let num_classes = data.num_classes();
 
@@ -83,7 +87,11 @@ pub fn best_split(data: &Dataset, indices: &[usize], max_thresholds: usize) -> O
         let take = gaps.min(max_thresholds.max(1));
         for t in 0..take {
             // Evenly spaced gap index (covers all gaps when take == gaps).
-            let gap = if take == gaps { t } else { (t * gaps) / take + gaps / (2 * take) };
+            let gap = if take == gaps {
+                t
+            } else {
+                (t * gaps) / take + gaps / (2 * take)
+            };
             let threshold = 0.5 * (sorted[gap] + sorted[gap + 1]);
 
             let mut left = vec![0usize; num_classes];
@@ -163,7 +171,11 @@ mod tests {
         let idx: Vec<usize> = (0..d.len()).collect();
         let s = best_split(&d, &idx, 16).expect("split must exist");
         assert_eq!(s.feature, 0);
-        assert!(s.threshold > 0.3 && s.threshold < 0.7, "threshold {}", s.threshold);
+        assert!(
+            s.threshold > 0.3 && s.threshold < 0.7,
+            "threshold {}",
+            s.threshold
+        );
         assert_eq!(s.left_count, 3);
         assert_eq!(s.right_count, 3);
         // Perfect split: IG equals parent entropy (1 bit), split info 1 bit.
@@ -173,23 +185,13 @@ mod tests {
 
     #[test]
     fn pure_node_has_no_split() {
-        let d = Dataset::new(
-            vec![Vector(vec![0.0]), Vector(vec![1.0])],
-            vec![0, 0],
-            2,
-        )
-        .unwrap();
+        let d = Dataset::new(vec![Vector(vec![0.0]), Vector(vec![1.0])], vec![0, 0], 2).unwrap();
         assert!(best_split(&d, &[0, 1], 8).is_none());
     }
 
     #[test]
     fn constant_features_have_no_split() {
-        let d = Dataset::new(
-            vec![Vector(vec![0.5]), Vector(vec![0.5])],
-            vec![0, 1],
-            2,
-        )
-        .unwrap();
+        let d = Dataset::new(vec![Vector(vec![0.5]), Vector(vec![0.5])], vec![0, 1], 2).unwrap();
         assert!(best_split(&d, &[0, 1], 8).is_none());
     }
 
@@ -206,9 +208,7 @@ mod tests {
     fn threshold_subsampling_still_finds_good_split() {
         // Many distinct values; cap thresholds at 2 candidates per feature.
         let n = 50;
-        let xs: Vec<Vector> = (0..n)
-            .map(|i| Vector(vec![i as f64 / n as f64]))
-            .collect();
+        let xs: Vec<Vector> = (0..n).map(|i| Vector(vec![i as f64 / n as f64])).collect();
         let ys: Vec<usize> = (0..n).map(|i| usize::from(i >= n / 2)).collect();
         let d = Dataset::new(xs, ys, 2).unwrap();
         let idx: Vec<usize> = (0..n).collect();
@@ -218,7 +218,11 @@ mod tests {
         assert!(s.info_gain > 0.2);
         // With generous candidates it finds the exact midpoint.
         let s_full = best_split(&d, &idx, 64).expect("split");
-        assert!((s_full.threshold - 0.49).abs() < 0.03, "{}", s_full.threshold);
+        assert!(
+            (s_full.threshold - 0.49).abs() < 0.03,
+            "{}",
+            s_full.threshold
+        );
         assert!(s_full.gain_ratio >= s.gain_ratio);
     }
 

@@ -55,7 +55,12 @@ pub(crate) enum Node {
 
 impl Node {
     pub(crate) fn internal(feature: usize, threshold: f64, left: Node, right: Node) -> Node {
-        Node::Internal { feature, threshold, left: Box::new(left), right: Box::new(right) }
+        Node::Internal {
+            feature,
+            threshold,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
     }
 
     pub(crate) fn leaf(id: u64, model: LogisticRegression, support: usize) -> Node {
@@ -90,11 +95,22 @@ impl Lmt {
     /// # Panics
     /// Panics when `cfg` is degenerate (`min_leaf_instances == 0`).
     pub fn fit<R: Rng>(data: &Dataset, cfg: &LmtConfig, rng: &mut R) -> Self {
-        assert!(cfg.min_leaf_instances > 0, "min_leaf_instances must be positive");
+        assert!(
+            cfg.min_leaf_instances > 0,
+            "min_leaf_instances must be positive"
+        );
         let indices: Vec<usize> = (0..data.len()).collect();
         let mut next_leaf = 0u64;
         let mut max_depth_seen = 0usize;
-        let root = build(data, indices, cfg, rng, 0, &mut next_leaf, &mut max_depth_seen);
+        let root = build(
+            data,
+            indices,
+            cfg,
+            rng,
+            0,
+            &mut next_leaf,
+            &mut max_depth_seen,
+        );
         Lmt {
             root,
             dim: data.dim(),
@@ -129,8 +145,17 @@ impl Lmt {
         let mut node = &self.root;
         loop {
             match node {
-                Node::Internal { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                Node::Internal {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
                 Node::Leaf { id, model, .. } => return (model, *id),
             }
@@ -197,7 +222,11 @@ fn build<R: Rng>(
     *max_depth_seen = (*max_depth_seen).max(depth);
     let id = *next_leaf;
     *next_leaf += 1;
-    Node::Leaf { id, model, support: indices.len() }
+    Node::Leaf {
+        id,
+        model,
+        support: indices.len(),
+    }
 }
 
 impl PredictionApi for Lmt {
@@ -241,7 +270,8 @@ impl GradientOracle for Lmt {
         for j in 0..self.num_classes {
             let coef = yc * (if j == class { 1.0 } else { 0.0 } - probs[j]);
             if coef != 0.0 {
-                grad.axpy(coef, &model.weights().col(j)).expect("dimension invariant");
+                grad.axpy(coef, &model.weights().col(j))
+                    .expect("dimension invariant");
             }
         }
         grad
@@ -262,8 +292,8 @@ mod tests {
         let mut xs = Vec::new();
         let mut ys = Vec::new();
         for _ in 0..n {
-            let qx = rng.gen_range(0..2);
-            let qy = rng.gen_range(0..2);
+            let qx: usize = rng.gen_range(0..2);
+            let qy: usize = rng.gen_range(0..2);
             xs.push(Vector(vec![
                 qx as f64 * 0.9 + rng.gen_range(0.0..0.35),
                 qy as f64 * 0.9 + rng.gen_range(0.0..0.35),
@@ -279,7 +309,12 @@ mod tests {
             accuracy_stop: 0.99,
             max_depth: 6,
             max_thresholds: 16,
-            logistic: LogisticConfig { epochs: 40, batch_size: 32, lr: 0.5, l1: 0.0 },
+            logistic: LogisticConfig {
+                epochs: 40,
+                batch_size: 32,
+                lr: 0.5,
+                l1: 0.0,
+            },
         }
     }
 
@@ -292,8 +327,14 @@ mod tests {
         let tree = Lmt::fit(&data, &small_cfg(), &mut rng2);
         let (a_single, a_tree) = (single.accuracy(&data), tree.accuracy(&data));
         assert!(a_tree > 0.95, "tree accuracy {a_tree}");
-        assert!(a_tree > a_single + 0.2, "tree {a_tree} vs logistic {a_single}");
-        assert!(tree.num_leaves() >= 2, "XOR layout needs at least one split");
+        assert!(
+            a_tree > a_single + 0.2,
+            "tree {a_tree} vs logistic {a_single}"
+        );
+        assert!(
+            tree.num_leaves() >= 2,
+            "XOR layout needs at least one split"
+        );
     }
 
     #[test]

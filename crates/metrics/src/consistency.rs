@@ -30,7 +30,11 @@ pub fn sorted_similarity_series(similarities: &[f64]) -> Vec<f64> {
 
 /// Mean of the finite similarities (summary statistic printed in reports).
 pub fn mean_similarity(similarities: &[f64]) -> f64 {
-    let finite: Vec<f64> = similarities.iter().copied().filter(|v| v.is_finite()).collect();
+    let finite: Vec<f64> = similarities
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
     if finite.is_empty() {
         return f64::NAN;
     }

@@ -61,7 +61,11 @@ pub fn alteration_curve<M: PredictionApi>(
     attribution: &Vector,
     cfg: &EffectivenessConfig,
 ) -> AlterationCurve {
-    assert_eq!(x0.len(), attribution.len(), "attribution/instance dimension mismatch");
+    assert_eq!(
+        x0.len(),
+        attribution.len(),
+        "attribution/instance dimension mismatch"
+    );
     assert_eq!(x0.len(), api.dim(), "instance/API dimension mismatch");
     assert!(class < api.num_classes(), "class out of range");
 
@@ -129,13 +133,7 @@ mod tests {
     /// Binary model where feature 0 strongly supports class 0 and feature 1
     /// weakly opposes it; features 2, 3 are irrelevant.
     fn model() -> LinearSoftmaxModel {
-        let w = Matrix::from_rows(&[
-            &[4.0, -4.0],
-            &[-1.0, 1.0],
-            &[0.0, 0.0],
-            &[0.0, 0.0],
-        ])
-        .unwrap();
+        let w = Matrix::from_rows(&[&[4.0, -4.0], &[-1.0, 1.0], &[0.0, 0.0], &[0.0, 0.0]]).unwrap();
         LinearSoftmaxModel::new(w, Vector(vec![0.0, 0.0]))
     }
 
@@ -147,8 +145,15 @@ mod tests {
         let good = Vector(vec![8.0, -2.0, 0.0, 0.0]);
         let curve = alteration_curve(&api, &x0, 0, &good, &EffectivenessConfig::default());
         // Altering feature 0 (1.0 -> 0.0) kills the class-0 logit margin.
-        assert!(curve.cpp[0] > 0.3, "first alteration must matter: {}", curve.cpp[0]);
-        assert!(curve.label_changed[1], "after two alterations the label flips");
+        assert!(
+            curve.cpp[0] > 0.3,
+            "first alteration must matter: {}",
+            curve.cpp[0]
+        );
+        assert!(
+            curve.label_changed[1],
+            "after two alterations the label flips"
+        );
     }
 
     #[test]
@@ -158,7 +163,10 @@ mod tests {
         // Ranks the irrelevant features first.
         let bad = Vector(vec![0.1, 0.0, 9.0, 8.0]);
         let good = Vector(vec![8.0, -2.0, 0.0, 0.0]);
-        let cfg = EffectivenessConfig { max_features: 2, ..Default::default() };
+        let cfg = EffectivenessConfig {
+            max_features: 2,
+            ..Default::default()
+        };
         let curve_bad = alteration_curve(&api, &x0, 0, &bad, &cfg);
         let curve_good = alteration_curve(&api, &x0, 0, &good, &cfg);
         assert!(
@@ -187,24 +195,42 @@ mod tests {
         let api = model();
         let x0 = Vector(vec![1.0, 0.0, 0.0, 0.0]);
         let attr = Vector(vec![1.0, 0.5, 0.2, 0.1]);
-        let cfg = EffectivenessConfig { max_features: 100, ..Default::default() };
+        let cfg = EffectivenessConfig {
+            max_features: 100,
+            ..Default::default()
+        };
         let curve = alteration_curve(&api, &x0, 0, &attr, &cfg);
         assert_eq!(curve.cpp.len(), 4);
     }
 
     #[test]
     fn aggregation_averages_and_counts() {
-        let a = AlterationCurve { cpp: vec![0.2, 0.4], label_changed: vec![false, true] };
-        let b = AlterationCurve { cpp: vec![0.0, 0.2], label_changed: vec![false, false] };
+        let a = AlterationCurve {
+            cpp: vec![0.2, 0.4],
+            label_changed: vec![false, true],
+        };
+        let b = AlterationCurve {
+            cpp: vec![0.0, 0.2],
+            label_changed: vec![false, false],
+        };
         let (avg, nlci) = aggregate_curves(&[a, b]);
-        assert!((avg[0] - 0.1).abs() < 1e-12 && (avg[1] - 0.3).abs() < 1e-12, "{avg:?}");
+        assert!(
+            (avg[0] - 0.1).abs() < 1e-12 && (avg[1] - 0.3).abs() < 1e-12,
+            "{avg:?}"
+        );
         assert_eq!(nlci, vec![0, 1]);
     }
 
     #[test]
     fn aggregation_pads_short_curves_with_final_value() {
-        let a = AlterationCurve { cpp: vec![0.5], label_changed: vec![true] };
-        let b = AlterationCurve { cpp: vec![0.1, 0.3], label_changed: vec![false, true] };
+        let a = AlterationCurve {
+            cpp: vec![0.5],
+            label_changed: vec![true],
+        };
+        let b = AlterationCurve {
+            cpp: vec![0.1, 0.3],
+            label_changed: vec![false, true],
+        };
         let (avg, nlci) = aggregate_curves(&[a, b]);
         assert_eq!(avg.len(), 2);
         assert!((avg[1] - 0.4).abs() < 1e-12); // (0.5 carried + 0.3)/2

@@ -19,11 +19,7 @@ pub fn l1_dist(truth: &Vector, computed: &Vector) -> f64 {
 ///
 /// # Panics
 /// Panics when the class is out of range or dimensions disagree.
-pub fn ground_truth_features<M: GroundTruthOracle>(
-    model: &M,
-    x0: &Vector,
-    class: usize,
-) -> Vector {
+pub fn ground_truth_features<M: GroundTruthOracle>(model: &M, x0: &Vector, class: usize) -> Vector {
     model.local_model(x0.as_slice()).decision_features(class)
 }
 

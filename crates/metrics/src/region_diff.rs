@@ -11,7 +11,10 @@ use openapi_linalg::Vector;
 /// Panics when `samples` is empty (an empty sample set has no quality to
 /// measure) or dimensions disagree with the oracle.
 pub fn region_difference<M: GroundTruthOracle>(model: &M, x0: &Vector, samples: &[Vector]) -> f64 {
-    assert!(!samples.is_empty(), "region difference of an empty sample set");
+    assert!(
+        !samples.is_empty(),
+        "region difference of an empty sample set"
+    );
     let home = model.region_id(x0.as_slice());
     let all_same = samples
         .iter()
@@ -29,7 +32,10 @@ pub fn region_difference<M: GroundTruthOracle>(model: &M, x0: &Vector, samples: 
 /// # Panics
 /// As [`region_difference`].
 pub fn escape_fraction<M: GroundTruthOracle>(model: &M, x0: &Vector, samples: &[Vector]) -> f64 {
-    assert!(!samples.is_empty(), "escape fraction of an empty sample set");
+    assert!(
+        !samples.is_empty(),
+        "escape fraction of an empty sample set"
+    );
     let home = model.region_id(x0.as_slice());
     let escaped = samples
         .iter()

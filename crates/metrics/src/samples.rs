@@ -73,12 +73,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let d = 3;
 
-        let oa = method_samples(&Method::OpenApi(OpenApiConfig::default()), &api, &x0, 0, &mut rng)
-            .unwrap();
+        let oa = method_samples(
+            &Method::OpenApi(OpenApiConfig::default()),
+            &api,
+            &x0,
+            0,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(oa.len(), d + 1);
 
-        let n = method_samples(&Method::Naive(NaiveConfig::with_edge(0.1)), &api, &x0, 0, &mut rng)
-            .unwrap();
+        let n = method_samples(
+            &Method::Naive(NaiveConfig::with_edge(0.1)),
+            &api,
+            &x0,
+            0,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(n.len(), d);
 
         let l = method_samples(
@@ -123,8 +135,14 @@ mod tests {
         let x0 = Vector(vec![0.5, 0.5, 0.5]);
         let mut rng = StdRng::seed_from_u64(3);
         let h = 1e-3;
-        let s = method_samples(&Method::Naive(NaiveConfig::with_edge(h)), &api, &x0, 0, &mut rng)
-            .unwrap();
+        let s = method_samples(
+            &Method::Naive(NaiveConfig::with_edge(h)),
+            &api,
+            &x0,
+            0,
+            &mut rng,
+        )
+        .unwrap();
         for x in &s {
             for i in 0..3 {
                 assert!((x[i] - x0[i]).abs() <= h + 1e-15);

@@ -24,7 +24,10 @@ pub fn weight_difference<M: GroundTruthOracle>(
     class: usize,
     samples: &[Vector],
 ) -> f64 {
-    assert!(!samples.is_empty(), "weight difference of an empty sample set");
+    assert!(
+        !samples.is_empty(),
+        "weight difference of an empty sample set"
+    );
     let c_total = model.num_classes();
     assert!(class < c_total, "class out of range");
     assert!(c_total >= 2, "need at least two classes");
@@ -70,8 +73,8 @@ mod tests {
         );
         let m = TwoRegionPlm::axis_split(0, 0.5, low, high);
         let x0 = Vector(vec![0.0, 0.0]); // low region: D_{0,1} = (3, 0)
-        // One sample home, one escaped: escaped contributes
-        // ‖(3,0) − (−1,0)‖₁ = 4; average over 2 samples (C−1 = 1): 2.
+                                         // One sample home, one escaped: escaped contributes
+                                         // ‖(3,0) − (−1,0)‖₁ = 4; average over 2 samples (C−1 = 1): 2.
         let samples = vec![Vector(vec![0.1, 0.0]), Vector(vec![0.9, 0.0])];
         let wd = weight_difference(&m, &x0, 0, &samples);
         assert!((wd - 2.0).abs() < 1e-12, "wd = {wd}");

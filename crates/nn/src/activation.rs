@@ -109,12 +109,13 @@ mod tests {
         // For these homogeneous activations, apply(x) == slope(x) * x
         // everywhere (the defining property of a piecewise linear function
         // through the origin).
-        for a in [Activation::ReLU, Activation::LeakyReLU(0.2), Activation::Identity] {
+        for a in [
+            Activation::ReLU,
+            Activation::LeakyReLU(0.2),
+            Activation::Identity,
+        ] {
             for x in [-3.0, -0.5, 0.0, 0.5, 3.0] {
-                assert!(
-                    (a.apply(x) - a.slope(x) * x).abs() < 1e-12,
-                    "{a:?} at {x}"
-                );
+                assert!((a.apply(x) - a.slope(x) * x).abs() < 1e-12, "{a:?} at {x}");
             }
         }
     }

@@ -52,9 +52,17 @@ mod tests {
         let m = he_uniform(64, fan_in, &mut rng);
         let n = (64 * fan_in) as f64;
         let mean: f64 = m.as_slice().iter().sum::<f64>() / n;
-        let var: f64 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / n;
         let target = 2.0 / fan_in as f64;
-        assert!((var - target).abs() < target * 0.15, "var {var} vs {target}");
+        assert!(
+            (var - target).abs() < target * 0.15,
+            "var {var} vs {target}"
+        );
     }
 
     #[test]

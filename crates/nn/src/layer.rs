@@ -32,7 +32,11 @@ impl DenseLayer {
             weights.rows(),
             bias.len()
         );
-        DenseLayer { weights, bias, activation }
+        DenseLayer {
+            weights,
+            bias,
+            activation,
+        }
     }
 
     /// Input dimensionality.

@@ -118,7 +118,10 @@ impl Plnn {
     /// # Panics
     /// Panics when `dims.len() < 2` or any width is zero.
     pub fn mlp<R: Rng>(dims: &[usize], activation: Activation, rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "mlp needs at least input and output widths"
+        );
         assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
@@ -129,8 +132,16 @@ impl Plnn {
             } else {
                 init::he_uniform(out, inp, rng)
             };
-            let act = if last { Activation::Identity } else { activation };
-            layers.push(Layer::Dense(DenseLayer::new(weights, init::zero_bias(out), act)));
+            let act = if last {
+                Activation::Identity
+            } else {
+                activation
+            };
+            layers.push(Layer::Dense(DenseLayer::new(
+                weights,
+                init::zero_bias(out),
+                act,
+            )));
         }
         Plnn::new(layers)
     }
@@ -148,7 +159,10 @@ impl Plnn {
     /// # Panics
     /// Panics when `dims.len() < 2`, any width is zero, or `pieces < 2`.
     pub fn maxout_mlp<R: Rng>(dims: &[usize], pieces: usize, rng: &mut R) -> Self {
-        assert!(dims.len() >= 2, "maxout_mlp needs at least input and output widths");
+        assert!(
+            dims.len() >= 2,
+            "maxout_mlp needs at least input and output widths"
+        );
         assert!(dims.iter().all(|&d| d > 0), "zero-width layer");
         assert!(pieces >= 2, "MaxOut needs at least 2 pieces");
         let mut layers = Vec::with_capacity(dims.len() - 1);
@@ -161,7 +175,9 @@ impl Plnn {
                     Activation::Identity,
                 )));
             } else {
-                let ws = (0..pieces).map(|_| init::he_uniform(out, inp, rng)).collect();
+                let ws = (0..pieces)
+                    .map(|_| init::he_uniform(out, inp, rng))
+                    .collect();
                 let bs = (0..pieces).map(|_| init::zero_bias(out)).collect();
                 layers.push(Layer::MaxOut(MaxOutLayer::new(ws, bs)));
             }
@@ -222,7 +238,11 @@ impl Plnn {
                 }
             };
         }
-        ForwardTrace { inputs, layers: traces, logits: cur }
+        ForwardTrace {
+            inputs,
+            layers: traces,
+            logits: cur,
+        }
     }
 }
 

@@ -72,10 +72,7 @@ impl Plnn {
             match (layer, lt) {
                 (Layer::Dense(dense), LayerTrace::Dense { pre }) => {
                     // Masked affine: z = M(W·prev + b) with M = diag(slope).
-                    let mut new_a = dense
-                        .weights
-                        .matmul(&a)
-                        .expect("layer dims chain");
+                    let mut new_a = dense.weights.matmul(&a).expect("layer dims chain");
                     let mut new_c = dense
                         .weights
                         .matvec(c.as_slice())
@@ -153,7 +150,8 @@ impl GradientOracle for Plnn {
         for j in 0..self.num_classes() {
             let coef = yc * (if j == class { 1.0 } else { 0.0 } - probs[j]);
             if coef != 0.0 {
-                grad.axpy(coef, &lm.weights.col(j)).expect("dimension invariant");
+                grad.axpy(coef, &lm.weights.col(j))
+                    .expect("dimension invariant");
             }
         }
         grad
@@ -211,10 +209,7 @@ mod tests {
         // locally linear region).
         let mut same_region_checked = 0;
         for _ in 0..200 {
-            let probe: Vec<f64> = x
-                .iter()
-                .map(|v| v + rng.gen_range(-0.05..0.05))
-                .collect();
+            let probe: Vec<f64> = x.iter().map(|v| v + rng.gen_range(-0.05..0.05)).collect();
             if net.activation_pattern(&probe) == region {
                 same_region_checked += 1;
                 let direct = net.logits(&probe);
@@ -259,7 +254,11 @@ mod tests {
                 let mut xm = x.clone();
                 xm[i] -= h;
                 let fd = (net.logits(&xp)[c] - net.logits(&xm)[c]) / (2.0 * h);
-                assert!((g[i] - fd).abs() < 1e-5, "class {c} coord {i}: {} vs {fd}", g[i]);
+                assert!(
+                    (g[i] - fd).abs() < 1e-5,
+                    "class {c} coord {i}: {} vs {fd}",
+                    g[i]
+                );
             }
         }
     }
@@ -350,7 +349,10 @@ mod tests {
             let probe: Vec<f64> = x.iter().map(|v| v + rng.gen_range(-0.02..0.02)).collect();
             if net.activation_pattern(&probe) == region {
                 let d0p = net.local_linear_map(&probe).decision_features(0);
-                assert!(d0.l1_distance(&d0p).unwrap() < 1e-12, "Dc must be constant per region");
+                assert!(
+                    d0.l1_distance(&d0p).unwrap() < 1e-12,
+                    "Dc must be constant per region"
+                );
             }
         }
     }

@@ -125,7 +125,9 @@ impl Plnn {
         need(buf, 2, "version")?;
         let version = buf.get_u16_le();
         if version != VERSION {
-            return Err(PersistError::Format(format!("unsupported version {version}")));
+            return Err(PersistError::Format(format!(
+                "unsupported version {version}"
+            )));
         }
         let layer_count = codec::get_len(buf, "layer count")?;
         let mut layers = Vec::with_capacity(layer_count);
@@ -208,7 +210,11 @@ impl Plnn {
         }
         match layers.last().expect("non-empty") {
             Layer::Dense(d) if d.activation == Activation::Identity => {}
-            _ => return Err(PersistError::Format("final layer must be linear dense".into())),
+            _ => {
+                return Err(PersistError::Format(
+                    "final layer must be linear dense".into(),
+                ))
+            }
         }
         Ok(Plnn::new(layers))
     }

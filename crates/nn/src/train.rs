@@ -41,7 +41,12 @@ pub enum Optimizer {
 impl Optimizer {
     /// Adam with the standard hyperparameters and the given learning rate.
     pub fn adam(lr: f64) -> Self {
-        Optimizer::Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8 }
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
     }
 
     /// Plain SGD with momentum 0.9.
@@ -98,7 +103,11 @@ impl LayerGrad {
                 db: Vector::zeros(l.bias.len()),
             },
             Layer::MaxOut(l) => LayerGrad::MaxOut {
-                dws: l.pieces.iter().map(|p| Matrix::zeros(p.rows(), p.cols())).collect(),
+                dws: l
+                    .pieces
+                    .iter()
+                    .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                    .collect(),
                 dbs: l.biases.iter().map(|b| Vector::zeros(b.len())).collect(),
             },
         }
@@ -173,7 +182,11 @@ fn backprop_one(net: &Plnn, x: &Vector, label: usize, grads: &mut [LayerGrad]) -
                     .matvec_t(delta.as_slice())
                     .expect("shape invariant");
             }
-            (Layer::MaxOut(mo), LayerTrace::MaxOut { selection }, LayerGrad::MaxOut { dws, dbs }) => {
+            (
+                Layer::MaxOut(mo),
+                LayerTrace::MaxOut { selection },
+                LayerGrad::MaxOut { dws, dbs },
+            ) => {
                 let mut g_in = Vector::zeros(mo.input_dim());
                 for (j, (&k, &gj)) in selection.iter().zip(g.iter()).enumerate() {
                     if gj == 0.0 {
@@ -250,7 +263,12 @@ fn update_tensor(
                 params[i] += m1[i];
             }
         }
-        Optimizer::Adam { lr, beta1, beta2, eps } => {
+        Optimizer::Adam {
+            lr,
+            beta1,
+            beta2,
+            eps,
+        } => {
             let bc1 = 1.0 - beta1.powi(step as i32);
             let bc2 = 1.0 - beta2.powi(step as i32);
             for i in 0..params.len() {
@@ -281,21 +299,57 @@ fn apply_update(
         match (layer, grad) {
             (Layer::Dense(l), LayerGrad::Dense { dw, db }) => {
                 let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
-                update_tensor(opt, l.weights.as_mut_slice(), dw.as_slice(), m1, m2, scale, weight_decay, state.step);
+                update_tensor(
+                    opt,
+                    l.weights.as_mut_slice(),
+                    dw.as_slice(),
+                    m1,
+                    m2,
+                    scale,
+                    weight_decay,
+                    state.step,
+                );
                 t += 1;
                 let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
-                update_tensor(opt, l.bias.as_mut_slice(), db.as_slice(), m1, m2, scale, 0.0, state.step);
+                update_tensor(
+                    opt,
+                    l.bias.as_mut_slice(),
+                    db.as_slice(),
+                    m1,
+                    m2,
+                    scale,
+                    0.0,
+                    state.step,
+                );
                 t += 1;
             }
             (Layer::MaxOut(l), LayerGrad::MaxOut { dws, dbs }) => {
                 for (p, dp) in l.pieces.iter_mut().zip(dws.iter()) {
                     let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
-                    update_tensor(opt, p.as_mut_slice(), dp.as_slice(), m1, m2, scale, weight_decay, state.step);
+                    update_tensor(
+                        opt,
+                        p.as_mut_slice(),
+                        dp.as_slice(),
+                        m1,
+                        m2,
+                        scale,
+                        weight_decay,
+                        state.step,
+                    );
                     t += 1;
                 }
                 for (b, db) in l.biases.iter_mut().zip(dbs.iter()) {
                     let (m1, m2) = (&mut state.first[t], &mut state.second[t]);
-                    update_tensor(opt, b.as_mut_slice(), db.as_slice(), m1, m2, scale, 0.0, state.step);
+                    update_tensor(
+                        opt,
+                        b.as_mut_slice(),
+                        db.as_slice(),
+                        m1,
+                        m2,
+                        scale,
+                        0.0,
+                        state.step,
+                    );
                     t += 1;
                 }
             }
@@ -310,13 +364,21 @@ fn apply_update(
 /// # Panics
 /// Panics when `data.dim() != net.dim()`, `data.num_classes() >
 /// net.num_classes()`, or `cfg.batch_size == 0` / `cfg.epochs == 0`.
-pub fn train<R: Rng>(net: &mut Plnn, data: &Dataset, cfg: &TrainConfig, rng: &mut R) -> TrainReport {
+pub fn train<R: Rng>(
+    net: &mut Plnn,
+    data: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut R,
+) -> TrainReport {
     assert_eq!(data.dim(), net.dim(), "data/network dimension mismatch");
     assert!(
         data.num_classes() <= net.num_classes(),
         "network has fewer outputs than classes"
     );
-    assert!(cfg.batch_size > 0 && cfg.epochs > 0, "degenerate train config");
+    assert!(
+        cfg.batch_size > 0 && cfg.epochs > 0,
+        "degenerate train config"
+    );
 
     let mut grads: Vec<LayerGrad> = net.layers().iter().map(LayerGrad::zeros_like).collect();
     let mut state = OptState::new(net);
@@ -333,13 +395,23 @@ pub fn train<R: Rng>(net: &mut Plnn, data: &Dataset, cfg: &TrainConfig, rng: &mu
             for &i in batch {
                 epoch_loss += backprop_one(net, data.instance(i), data.label(i), &mut grads);
             }
-            apply_update(net, &grads, &mut state, &cfg.optimizer, batch.len(), cfg.weight_decay);
+            apply_update(
+                net,
+                &grads,
+                &mut state,
+                &cfg.optimizer,
+                batch.len(),
+                cfg.weight_decay,
+            );
         }
         epoch_losses.push(epoch_loss / data.len() as f64);
     }
 
     let final_train_accuracy = accuracy(net, data);
-    TrainReport { epoch_losses, final_train_accuracy }
+    TrainReport {
+        epoch_losses,
+        final_train_accuracy,
+    }
 }
 
 #[cfg(test)]
@@ -549,7 +621,10 @@ mod tests {
         let make = || {
             let mut rng = StdRng::seed_from_u64(6);
             let mut net = Plnn::mlp(&[2, 6, 2], Activation::ReLU, &mut rng);
-            let cfg = TrainConfig { epochs: 5, ..Default::default() };
+            let cfg = TrainConfig {
+                epochs: 5,
+                ..Default::default()
+            };
             let _ = train(&mut net, &data, &cfg, &mut rng);
             net
         };

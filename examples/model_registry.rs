@@ -10,8 +10,8 @@
 //! cargo run --release --example model_registry
 //! ```
 
-use openapi_repro::data::synth::{SynthConfig, SynthStyle};
 use openapi_repro::data::downsample;
+use openapi_repro::data::synth::{SynthConfig, SynthStyle};
 use openapi_repro::lmt::{Lmt, LmtConfig, LogisticConfig};
 use openapi_repro::nn::{train, Activation, Optimizer, Plnn, TrainConfig};
 use openapi_repro::prelude::*;
@@ -40,7 +40,10 @@ fn main() {
 
     let lmt_cfg = LmtConfig {
         min_leaf_instances: 150,
-        logistic: LogisticConfig { epochs: 10, ..Default::default() },
+        logistic: LogisticConfig {
+            epochs: 10,
+            ..Default::default()
+        },
         ..Default::default()
     };
     let tree = Lmt::fit(&train_set, &lmt_cfg, &mut rng);

@@ -36,8 +36,14 @@ fn main() {
         .interpret(&api, &x0, class, &mut rng)
         .expect("interior instances are interpretable with probability 1");
 
-    println!("decision features D_{class} (exact, recovered via {} queries,", result.queries);
-    println!("{} sampling iteration(s), final hypercube edge {:.3e}):\n", result.iterations, result.final_edge);
+    println!(
+        "decision features D_{class} (exact, recovered via {} queries,",
+        result.queries
+    );
+    println!(
+        "{} sampling iteration(s), final hypercube edge {:.3e}):\n",
+        result.iterations, result.final_edge
+    );
     for (i, w) in result.interpretation.decision_features.iter().enumerate() {
         let direction = if *w > 0.0 { "supports" } else { "opposes " };
         println!("  feature {i}: {w:+.4}  ({direction} class {class})");

@@ -18,21 +18,13 @@ use rand::SeedableRng;
 fn main() {
     // The hidden service: a two-region PLM (3 features, 3 classes).
     let low = LocalLinearModel::new(
-        Matrix::from_rows(&[
-            &[1.0, -0.5, 0.2],
-            &[0.3, 1.5, -0.8],
-            &[-0.7, 0.4, 1.1],
-        ])
-        .expect("static shape"),
+        Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.3, 1.5, -0.8], &[-0.7, 0.4, 1.1]])
+            .expect("static shape"),
         Vector(vec![0.1, 0.0, -0.1]),
     );
     let high = LocalLinearModel::new(
-        Matrix::from_rows(&[
-            &[-1.2, 0.8, 0.4],
-            &[0.9, -0.3, 0.6],
-            &[0.2, 0.7, -1.0],
-        ])
-        .expect("static shape"),
+        Matrix::from_rows(&[&[-1.2, 0.8, 0.4], &[0.9, -0.3, 0.6], &[0.2, 0.7, -1.0]])
+            .expect("static shape"),
         Vector(vec![-0.2, 0.3, 0.0]),
     );
     let hidden = TwoRegionPlm::axis_split(0, 1.0, low, high);
@@ -48,10 +40,16 @@ fn main() {
 
     // 1. The clone reproduces the API inside the region…
     let near = agreement_rate(&api, &recon, &x0, 0.05, 300, 1e-9, &mut rng);
-    println!("agreement with the API in a ±0.05 cube:  {:.1}%", near * 100.0);
+    println!(
+        "agreement with the API in a ±0.05 cube:  {:.1}%",
+        near * 100.0
+    );
     // …but not beyond it.
     let far = agreement_rate(&api, &recon, &x0, 1.5, 300, 1e-9, &mut rng);
-    println!("agreement with the API in a ±1.50 cube:  {:.1}%", far * 100.0);
+    println!(
+        "agreement with the API in a ±1.50 cube:  {:.1}%",
+        far * 100.0
+    );
 
     // 2. Probe where the region actually ends, in both directions along x₀.
     println!("\nboundary probing along ±e₀ (true boundary at distance 0.6):");
@@ -66,8 +64,7 @@ fn main() {
     let mut agree = 0;
     let total = 200;
     for _ in 0..total {
-        let probe =
-            openapi_repro::core::sampler::sample_in_hypercube(x0.as_slice(), 0.3, &mut rng);
+        let probe = openapi_repro::core::sampler::sample_in_hypercube(x0.as_slice(), 0.3, &mut rng);
         if api.predict_label(probe.as_slice()) == recon.predict_label(probe.as_slice()) {
             agree += 1;
         }

@@ -17,8 +17,7 @@ use rand::SeedableRng;
 
 /// Small but realistic image data: 14×14 (d = 196), 10 classes.
 fn small_image_data(train_n: usize, test_n: usize, seed: u64) -> (Dataset, Dataset) {
-    let (train, test) =
-        SynthConfig::small(SynthStyle::MnistLike, train_n, test_n, seed).generate();
+    let (train, test) = SynthConfig::small(SynthStyle::MnistLike, train_n, test_n, seed).generate();
     (downsample(&train, 2), downsample(&test, 2))
 }
 
@@ -39,7 +38,10 @@ fn trained_lmt(train_set: &Dataset, seed: u64) -> Lmt {
     let mut rng = StdRng::seed_from_u64(seed);
     let cfg = LmtConfig {
         min_leaf_instances: 100,
-        logistic: LogisticConfig { epochs: 10, ..Default::default() },
+        logistic: LogisticConfig {
+            epochs: 10,
+            ..Default::default()
+        },
         ..Default::default()
     };
     Lmt::fit(train_set, &cfg, &mut rng)
@@ -74,7 +76,10 @@ fn openapi_is_exact_on_a_trained_plnn_behind_an_api() {
         checked += 1;
     }
     assert!(checked >= 4, "too many failures: {checked}/5 interpreted");
-    assert!(api.queries() > 0, "interpretation must have queried the API");
+    assert!(
+        api.queries() > 0,
+        "interpretation must have queried the API"
+    );
 }
 
 #[test]
@@ -156,8 +161,12 @@ fn naive_method_fails_where_openapi_adapts() {
             naive_worst = naive_worst.max(ni.decision_features.l1_distance(&truth).unwrap());
         }
         if let Ok(oa) = openapi.interpret(&net, x0, class, &mut rng) {
-            openapi_worst =
-                openapi_worst.max(oa.interpretation.decision_features.l1_distance(&truth).unwrap());
+            openapi_worst = openapi_worst.max(
+                oa.interpretation
+                    .decision_features
+                    .l1_distance(&truth)
+                    .unwrap(),
+            );
         }
     }
     assert!(
@@ -193,7 +202,10 @@ fn black_box_methods_only_need_the_api_surface() {
     let _ = zoo.interpret(&api, x0, class);
     let _ = naive.interpret(&api, x0, class, &mut rng);
     let _ = oa.interpret(&api, x0, class, &mut rng);
-    assert!(api.queries() > queries_before, "all methods consume queries");
+    assert!(
+        api.queries() > queries_before,
+        "all methods consume queries"
+    );
 }
 
 #[test]

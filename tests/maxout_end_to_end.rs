@@ -3,10 +3,10 @@
 //! hide it behind the API, and verify OpenAPI's exactness and the OpenBox
 //! oracle on it.
 
-use openapi_repro::nn::{train, Plnn, TrainConfig};
-use openapi_repro::prelude::*;
 use openapi_repro::data::synth::{SynthConfig, SynthStyle};
 use openapi_repro::data::{downsample, Dataset};
+use openapi_repro::nn::{train, Plnn, TrainConfig};
+use openapi_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -59,7 +59,10 @@ fn maxout_network_persists_and_round_trips() {
     let (train_set, _) = data();
     let mut rng = StdRng::seed_from_u64(33);
     let mut net = Plnn::maxout_mlp(&[train_set.dim(), 12, 10], 3, &mut rng);
-    let cfg = TrainConfig { epochs: 2, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 2,
+        ..Default::default()
+    };
     let _ = train(&mut net, &train_set, &cfg, &mut rng);
     let back = Plnn::from_bytes(&net.to_bytes()).expect("round trip");
     assert_eq!(net, back);
@@ -76,7 +79,10 @@ fn maxout_regions_behave_like_relu_regions_for_metrics() {
     let (train_set, test_set) = data();
     let mut rng = StdRng::seed_from_u64(34);
     let mut net = Plnn::maxout_mlp(&[train_set.dim(), 10, 10], 2, &mut rng);
-    let cfg = TrainConfig { epochs: 3, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 3,
+        ..Default::default()
+    };
     let _ = train(&mut net, &train_set, &cfg, &mut rng);
 
     // Region ids partition the test set; same-region instances share maps.

@@ -1,0 +1,300 @@
+//! Offline stand-in for the subset of Criterion.rs this workspace uses.
+//!
+//! Provides `criterion_group!`/`criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `Bencher::{iter, iter_batched}`, `BenchmarkId`, and
+//! `BatchSize`, with wall-clock timing and a plain-text report instead of
+//! Criterion's statistical machinery. Each benchmark warms up briefly, then
+//! times batches until either `sample_size` samples or a time budget is
+//! reached, and prints the per-iteration mean and min. Good enough to keep
+//! the paper's Figures 2–7 / Table 1 harness runnable and comparable
+//! run-over-run; swap in real Criterion for publication-grade statistics.
+
+use std::time::{Duration, Instant};
+
+/// Upper bound on wall-clock time spent measuring one benchmark function.
+const TIME_BUDGET: Duration = Duration::from_millis(500);
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost; only a hint here.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A benchmark identifier `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything accepted where Criterion takes a benchmark name.
+pub struct IntoBenchmarkId(String);
+
+impl From<&str> for IntoBenchmarkId {
+    fn from(s: &str) -> Self {
+        IntoBenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for IntoBenchmarkId {
+    fn from(s: String) -> Self {
+        IntoBenchmarkId(s)
+    }
+}
+
+impl From<&String> for IntoBenchmarkId {
+    fn from(s: &String) -> Self {
+        IntoBenchmarkId(s.clone())
+    }
+}
+
+impl From<BenchmarkId> for IntoBenchmarkId {
+    fn from(id: BenchmarkId) -> Self {
+        IntoBenchmarkId(id.id)
+    }
+}
+
+/// Timing state handed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_size: usize,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_size,
+        }
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and batch sizing: aim for samples of ≥ ~100µs each.
+        let warm = Instant::now();
+        black_box(routine());
+        let once = warm.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_micros(100).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let budget_start = Instant::now();
+        while self.samples.len() < self.sample_size && budget_start.elapsed() < TIME_BUDGET {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Setup runs outside the timed section, once per measured call.
+        let budget_start = Instant::now();
+        self.iters_per_sample = 1;
+        while self.samples.len() < self.sample_size && budget_start.elapsed() < TIME_BUDGET {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("bench {id:<40} (no samples)");
+            return;
+        }
+        let per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+        println!(
+            "bench {id:<40} mean {:>12} min {:>12} ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_ns(min),
+            self.samples.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named cluster of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<IntoBenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<IntoBenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        b.report(&full);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point; one per bench binary.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<IntoBenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = id.into().0;
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        b.report(&full);
+        self
+    }
+
+    /// Mirror of Criterion's CLI handling; accepts and ignores the args
+    /// cargo-bench forwards (`--bench`, filters) so harness=false targets run.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("stub");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_function(BenchmarkId::new("sum_n", 100), |b| {
+            b.iter_batched(
+                || (0..100u64).collect::<Vec<_>>(),
+                |v| v.iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_reports() {
+        benches();
+    }
+}

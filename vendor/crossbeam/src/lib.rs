@@ -1,0 +1,73 @@
+//! Offline stand-in for `crossbeam::scope`, implemented on top of
+//! `std::thread::scope` (stable since 1.63, so the std version now covers
+//! what the workspace needed crossbeam for). The API mirrors
+//! `crossbeam::thread::scope`: the closure receives a `&Scope`, spawned
+//! closures receive a `&Scope` argument too, and the call returns a
+//! `Result` (`Err` when a child thread panicked is approximated by
+//! propagating the panic, which the one call site in this workspace treats
+//! as fatal anyway).
+
+use std::any::Any;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        self.inner.spawn(move || f(&Scope { inner }))
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, scoped threads can be spawned;
+/// joins them all before returning.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod thread {
+    pub use super::{scope, Scope};
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data: Vec<u64> = (0..100).collect();
+        let sum = AtomicUsize::new(0);
+        super::scope(|s| {
+            for chunk in data.chunks(25) {
+                s.spawn(|_| {
+                    let part: u64 = chunk.iter().sum();
+                    sum.fetch_add(part as usize, Ordering::Relaxed);
+                });
+            }
+        })
+        .expect("no panics");
+        assert_eq!(sum.into_inner(), (0..100).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let hits = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .expect("no panics");
+        assert_eq!(hits.into_inner(), 1);
+    }
+}

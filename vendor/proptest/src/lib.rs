@@ -1,0 +1,536 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Implements the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assert_ne!`/`prop_assume!`, range and collection strategies,
+//! `prop::sample::select`, `any::<bool>()`, and `.prop_map`. Case inputs are
+//! sampled from a deterministic RNG keyed by (module path, test name, case
+//! index), so failures reproduce exactly across runs and machines. Unlike
+//! real proptest there is no shrinking: a failing case reports its inputs'
+//! case index instead of a minimized counterexample.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of values for one `proptest!` argument.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map {
+                source: self,
+                map: f,
+            }
+        }
+
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                source: self,
+                keep: f,
+                whence,
+            }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) source: S,
+        pub(crate) map: F,
+    }
+
+    impl<S, F, O> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`]; resamples until the
+    /// predicate accepts (bounded, then panics, since this stub cannot
+    /// reject whole cases from inside a strategy).
+    pub struct Filter<S, F> {
+        source: S,
+        keep: F,
+        whence: &'static str,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> S::Value {
+            for _ in 0..1024 {
+                let v = self.source.sample(rng);
+                if (self.keep)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter({}) rejected 1024 consecutive samples",
+                self.whence
+            );
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_strategy_for_tuple {
+        ($($s:ident.$idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_strategy_for_tuple!(A.0);
+    impl_strategy_for_tuple!(A.0, B.1);
+    impl_strategy_for_tuple!(A.0, B.1, C.2);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4);
+    impl_strategy_for_tuple!(A.0, B.1, C.2, D.3, E.4, F.5);
+
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        T: Clone,
+        std::ops::Range<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        T: Clone,
+        std::ops::RangeInclusive<T>: rand::SampleRange<T>,
+    {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Number of elements a collection strategy may produce.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+
+    /// Strategy drawing uniformly from a fixed list of values.
+    pub struct Select<T: Clone>(Vec<T>);
+
+    pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+        assert!(
+            !values.is_empty(),
+            "prop::sample::select requires a non-empty list"
+        );
+        Select(values)
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut StdRng) -> T {
+            self.0
+                .choose(rng)
+                .expect("non-empty by construction")
+                .clone()
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        type Strategy: Strategy<Value = Self>;
+
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    pub fn any<A: Arbitrary>() -> A::Strategy {
+        A::arbitrary()
+    }
+
+    pub struct BoolStrategy;
+
+    impl Strategy for BoolStrategy {
+        type Value = bool;
+
+        fn sample(&self, rng: &mut StdRng) -> bool {
+            rng.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for bool {
+        type Strategy = BoolStrategy;
+
+        fn arbitrary() -> BoolStrategy {
+            BoolStrategy
+        }
+    }
+
+    macro_rules! impl_arbitrary_full_range_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+
+                fn arbitrary() -> FullRange<$t> {
+                    FullRange(std::marker::PhantomData)
+                }
+            }
+        )*};
+    }
+
+    /// Full-width integer strategy backing `any::<uN/iN>()`.
+    pub struct FullRange<T>(std::marker::PhantomData<T>);
+
+    macro_rules! impl_full_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for FullRange<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen::<$t>()
+                }
+            }
+        )*};
+    }
+
+    impl_full_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+    impl_arbitrary_full_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-`proptest!` block configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        /// Upper bound on assume-rejected samples before the test errors.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Outcome of one generated case's body.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed: skip this case, draw another.
+        Reject,
+        /// `prop_assert*!` failed: the property does not hold.
+        Fail(String),
+    }
+
+    /// Deterministic RNG for one case: keyed by test identity and case
+    /// index so reruns sample identical inputs (there is no shrinking).
+    pub fn case_rng(module: &str, test: &str, case_index: u32) -> StdRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for byte in module
+            .as_bytes()
+            .iter()
+            .chain(b"::")
+            .chain(test.as_bytes())
+            .chain(&case_index.to_le_bytes())
+        {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        StdRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a zero-argument test running `config.cases` sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut passed: u32 = 0;
+                let mut drawn: u32 = 0;
+                while passed < config.cases {
+                    if drawn > config.cases + config.max_global_rejects {
+                        panic!(
+                            "proptest '{}': gave up after {} samples ({} passed); \
+                             prop_assume! rejects nearly everything",
+                            stringify!($name), drawn, passed
+                        );
+                    }
+                    let mut case_rng =
+                        $crate::test_runner::case_rng(module_path!(), stringify!($name), drawn);
+                    drawn += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&{ $strategy }, &mut case_rng);
+                    )+
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => passed += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest '{}' failed at case {}: {}",
+                                stringify!($name),
+                                drawn - 1,
+                                msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),+) $body)*
+        }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not the
+/// process) so the harness can report the offending inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Discards the current case when the precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..2.0, n in 0usize..5) {
+            prop_assert!((-2.0..2.0).contains(&x));
+            prop_assert!(n < 5);
+        }
+
+        #[test]
+        fn vec_strategy_respects_size_range(
+            v in prop::collection::vec(any::<bool>(), 3..9),
+        ) {
+            prop_assert!((3..9).contains(&v.len()));
+        }
+
+        #[test]
+        fn fixed_size_vec_and_map(
+            v in prop::collection::vec(0u64..100, 4).prop_map(|v| v.len()),
+        ) {
+            prop_assert_eq!(v, 4);
+        }
+
+        #[test]
+        fn select_draws_from_list(x in prop::sample::select(vec![1u8, 3, 5])) {
+            prop_assert!(x == 1 || x == 3 || x == 5);
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0u64..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::strategy::Strategy;
+        let s = crate::collection::vec(-1.0f64..1.0, 8);
+        let mut r1 = crate::test_runner::case_rng("m", "t", 7);
+        let mut r2 = crate::test_runner::case_rng("m", "t", 7);
+        assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+}

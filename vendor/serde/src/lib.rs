@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` derive surface this workspace touches.
+//!
+//! Only `derive(Serialize, Deserialize)` and the corresponding trait names
+//! are used (on report/summary structs); no serializer is ever driven, since
+//! the workspace's persistence layer is the hand-rolled binary codec in
+//! `openapi_linalg::codec`. The traits are therefore markers and the derives
+//! are no-ops, preserving source compatibility with real serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Mirror of serde's `de` module for code that names the traits fully.
+pub mod de {
+    pub use super::Deserialize;
+}
+
+pub mod ser {
+    pub use super::Serialize;
+}

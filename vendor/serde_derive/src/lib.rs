@@ -1,0 +1,19 @@
+//! No-op derive macros backing the offline `serde` stand-in.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on a handful of report
+//! structs but never serializes through serde (persistence is hand-rolled —
+//! see `openapi_linalg::codec`). Emitting an empty token stream keeps those
+//! derives compiling without pulling `syn`/`quote`, which are unavailable
+//! offline. Swapping the real serde back in requires no source changes.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
