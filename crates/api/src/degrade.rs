@@ -14,18 +14,26 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Rounds each probability to `decimals` places, then renormalizes.
+/// Rounds each probability to `decimals` places.
 ///
 /// Models an API that serializes probabilities with fixed precision (very
-/// common: JSON responses with 4–6 digits).
+/// common: JSON responses with 4–6 digits). A real service rounds each value
+/// independently at serialization time and does **not** re-sum them to 1, so
+/// by default this wrapper returns the raw rounded values — the reported
+/// distribution may sum to slightly more or less than 1, exactly as the JSON
+/// a client sees would. [`QuantizedApi::renormalized`] opts into the
+/// re-summing variant for studying that (milder, less realistic)
+/// degradation instead.
 #[derive(Debug, Clone)]
 pub struct QuantizedApi<M> {
     inner: M,
     scale: f64,
+    renormalize: bool,
 }
 
 impl<M> QuantizedApi<M> {
-    /// Wraps `inner`, rounding to `decimals` decimal places.
+    /// Wraps `inner`, rounding to `decimals` decimal places. Rounded values
+    /// are served as-is (no renormalization).
     ///
     /// # Panics
     /// Panics when `decimals > 15` (beyond f64 precision, the wrapper would
@@ -35,6 +43,21 @@ impl<M> QuantizedApi<M> {
         QuantizedApi {
             inner,
             scale: 10f64.powi(decimals as i32),
+            renormalize: false,
+        }
+    }
+
+    /// Like [`QuantizedApi::new`], but rescales the rounded values to sum
+    /// to 1 (uniform when every class rounds to zero). This partially undoes
+    /// the fixed-precision degradation — use it only to model services that
+    /// explicitly re-normalize after rounding.
+    ///
+    /// # Panics
+    /// Panics when `decimals > 15`.
+    pub fn renormalized(inner: M, decimals: u32) -> Self {
+        QuantizedApi {
+            renormalize: true,
+            ..Self::new(inner, decimals)
         }
     }
 
@@ -60,17 +83,31 @@ impl<M: PredictionApi> PredictionApi for QuantizedApi<M> {
             *v = (*v * self.scale).round() / self.scale;
             sum += *v;
         }
-        if sum > 0.0 {
-            p.scale(1.0 / sum);
-        } else {
-            // Every class rounded to zero: fall back to uniform, as a real
-            // service would rather than emit an all-zero distribution.
-            let c = p.len();
-            for v in p.iter_mut() {
-                *v = 1.0 / c as f64;
+        if self.renormalize {
+            if sum > 0.0 {
+                p.scale(1.0 / sum);
+            } else {
+                // Every class rounded to zero: fall back to uniform, as a
+                // renormalizing service would rather than divide by zero.
+                let c = p.len();
+                for v in p.iter_mut() {
+                    *v = 1.0 / c as f64;
+                }
             }
         }
         p
+    }
+
+    /// The predicted label, computed from the *full-precision* scores.
+    ///
+    /// A service rounds probabilities at serialization time but derives its
+    /// label from the underlying scores, so the label never depends on how
+    /// rounding broke a tie. This also makes tie-breaking well defined:
+    /// rounding can map distinct probabilities onto the same grid value
+    /// (e.g. `0.5004` and `0.4996` both to `0.500`), and an argmax over the
+    /// rounded vector would silently resolve such ties by class order.
+    fn predict_label(&self, x: &[f64]) -> usize {
+        self.inner.predict_label(x)
     }
 }
 
@@ -176,24 +213,38 @@ mod tests {
 
     #[test]
     fn quantized_outputs_live_on_the_grid() {
+        // Raw mode serves the rounded values untouched: every output sits
+        // exactly on the 10⁻² grid, and the sum need not be exactly 1 — the
+        // fixed-precision degradation a JSON response actually exhibits.
         let api = QuantizedApi::new(model(), 2);
         let p = api.predict(&[0.31, 0.77]);
-        // After renormalization values may leave the exact grid, but the
-        // pre-normalization rounding means p0/p1 has at most ~2 digits of
-        // information. Verify the ratio is coarse.
-        let ratio = p[0] / p[1];
+        for v in p.iter() {
+            assert_eq!((v * 100.0).round() / 100.0, *v, "off-grid value {v}");
+        }
         let exact = model().predict(&[0.31, 0.77]);
-        let exact_ratio = exact[0] / exact[1];
         assert!(
-            (ratio - exact_ratio).abs() > 0.0,
+            (p[0] / p[1] - exact[0] / exact[1]).abs() > 0.0,
             "quantization must perturb the ratio"
         );
-        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        // Rounding errors stay within half a grid step per class.
+        assert!((p.iter().sum::<f64>() - 1.0).abs() <= 0.01);
     }
 
     #[test]
-    fn quantized_sum_stays_one() {
-        let api = QuantizedApi::new(model(), 1);
+    fn raw_rounding_does_not_renormalize() {
+        // A uniform 3-class prediction rounds to (0.3, 0.3, 0.3) at one
+        // decimal: the served sum is 0.9, exactly as the serialized JSON
+        // would read — raw mode must NOT re-sum it to 1.
+        let uniform = LinearSoftmaxModel::new(Matrix::zeros(2, 3), Vector::zeros(3));
+        let api = QuantizedApi::new(uniform, 1);
+        let p = api.predict(&[0.4, -1.7]);
+        assert_eq!(p.as_slice(), &[0.3, 0.3, 0.3]);
+        assert!((p.iter().sum::<f64>() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn renormalized_variant_sums_to_one() {
+        let api = QuantizedApi::renormalized(model(), 1);
         for x in [[0.0, 0.0], [5.0, -3.0], [-2.0, 2.0]] {
             let p = api.predict(&x);
             assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
@@ -201,12 +252,32 @@ mod tests {
     }
 
     #[test]
-    fn heavy_quantization_can_zero_everything_gracefully() {
-        // With 0 decimals everything rounds to 0 or 1; the winner keeps mass.
-        let api = QuantizedApi::new(model(), 0);
-        let p = api.predict(&[10.0, 0.0]);
-        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    fn heavy_quantization_stays_finite_in_both_modes() {
+        // With 0 decimals everything rounds to 0 or 1.
+        let raw = QuantizedApi::new(model(), 0);
+        let p = raw.predict(&[10.0, 0.0]);
         assert!(p.is_finite());
+        assert!(p.iter().all(|v| *v == 0.0 || *v == 1.0));
+        let renorm = QuantizedApi::renormalized(model(), 0);
+        let q = renorm.predict(&[10.0, 0.0]);
+        assert!(q.is_finite());
+        assert!((q.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predict_label_uses_full_precision_scores_on_rounding_ties() {
+        // A model whose probabilities at x straddle 0.5 by less than half a
+        // 10⁻¹ grid step: both classes round to 0.5 (an exact tie), but the
+        // true scores order class 1 first. The label must follow the scores.
+        let w = Matrix::from_rows(&[&[1.0, 1.0]]).unwrap();
+        let tie_model = LinearSoftmaxModel::new(w, Vector(vec![0.0, 0.02]));
+        let x = [0.3];
+        let api = QuantizedApi::new(tie_model, 1);
+        let p = api.predict(&x);
+        assert_eq!(p[0], p[1], "rounding must create an exact tie");
+        assert_eq!(api.predict_label(&x), 1, "label follows the true scores");
+        // An argmax over the tied rounded vector would have said 0.
+        assert_eq!(p.argmax().unwrap(), 0);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! | §V baselines: LIME (linear/ridge), ZOO, Saliency, Gradient*Input, Integrated Gradients | [`baselines`] |
 //! | §VI future work: reverse-engineering the PLM behind the API | [`reverse`] |
 //! | extension: region-extent bracketing via consistency growth | [`region`] |
+//! | extension: Theorem-2 region cache / batch interpretation | [`batch`] |
 //! | uniform method dispatch for the experiment harness | [`method`] |
 //!
 //! The type system mirrors the threat model: black-box methods take any
@@ -22,6 +23,7 @@
 //! access); nothing in this crate can see ground-truth regions.
 
 pub mod baselines;
+pub mod batch;
 pub mod decision;
 pub mod equations;
 pub mod error;
@@ -32,7 +34,11 @@ pub mod region;
 pub mod reverse;
 pub mod sampler;
 
-pub use decision::{decision_features_from_pairwise, Interpretation, PairwiseCoreParams};
+pub use batch::{BatchConfig, BatchInterpreter, BatchItem, BatchOutcome, BatchStats};
+pub use decision::{
+    decision_features_from_pairwise, region_fingerprint, Interpretation, PairwiseCoreParams,
+    RegionFingerprint,
+};
 pub use error::InterpretError;
 pub use method::Method;
 pub use naive::{NaiveConfig, NaiveInterpreter};

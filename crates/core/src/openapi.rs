@@ -52,11 +52,17 @@ impl Default for OpenApiConfig {
 pub struct IterationLog {
     /// Hypercube edge used this iteration.
     pub edge: f64,
-    /// Contrasts whose systems were consistent.
+    /// Contrasts whose systems were consistent. Contrasts are checked in
+    /// ascending `c'` order and the iteration aborts at the first
+    /// inconsistent one, so on a failed iteration this counts the
+    /// consistent prefix actually checked.
     pub consistent_contrasts: usize,
     /// Total contrasts required (`C − 1`).
     pub required_contrasts: usize,
-    /// Worst residual over contrasts (∞ when factorization failed).
+    /// Worst residual over the checked contrasts (∞ when factorization
+    /// failed). On a failed iteration the last checked contrast is the
+    /// inconsistent one that doomed it; contrasts after it are never
+    /// solved, so their residuals cannot dilute this figure.
     pub worst_residual: f64,
     /// Whether the sampled geometry degenerated (singular/rank-deficient).
     pub degenerate: bool,
@@ -78,6 +84,23 @@ pub struct OpenApiResult {
     /// The `d + 1` sampled instances of the successful iteration (the set
     /// whose quality the paper's RD/WD experiments measure).
     pub samples: Vec<Vector>,
+}
+
+/// Shared argument validation: a usable class needs `C ≥ 2` and
+/// `class < C`. Also used by the batch layer's up-front rejection.
+pub(crate) fn validate_class(c_total: usize, class: usize) -> Result<(), InterpretError> {
+    if c_total < 2 {
+        return Err(InterpretError::TooFewClasses {
+            num_classes: c_total,
+        });
+    }
+    if class >= c_total {
+        return Err(InterpretError::ClassOutOfRange {
+            class,
+            num_classes: c_total,
+        });
+    }
+    Ok(())
 }
 
 /// The OpenAPI interpreter.
@@ -114,27 +137,46 @@ impl OpenApiInterpreter {
         class: usize,
         rng: &mut R,
     ) -> Result<OpenApiResult, InterpretError> {
-        let d = api.dim();
-        let c_total = api.num_classes();
-        if x0.len() != d {
+        if x0.len() != api.dim() {
             return Err(InterpretError::DimensionMismatch {
-                expected: d,
+                expected: api.dim(),
                 found: x0.len(),
             });
         }
-        if c_total < 2 {
-            return Err(InterpretError::TooFewClasses {
-                num_classes: c_total,
-            });
-        }
-        if class >= c_total {
-            return Err(InterpretError::ClassOutOfRange {
-                class,
-                num_classes: c_total,
-            });
-        }
-
+        // Validate the class BEFORE the x0 probe: a metered API must not be
+        // billed for a call that was doomed by its arguments.
+        validate_class(api.num_classes(), class)?;
         let x0_probe = Probe::query(api, x0.clone());
+        self.interpret_with_probe(api, x0_probe, class, rng)
+    }
+
+    /// Runs Algorithm 1 starting from an already-queried probe of `x0` —
+    /// the batch layer pays one membership probe per instance and reuses it
+    /// here on a cache miss, so no instance is ever queried twice.
+    ///
+    /// `x0_probe` must come from this `api`; [`OpenApiResult::queries`]
+    /// includes the probe, exactly as if [`OpenApiInterpreter::interpret`]
+    /// had issued it.
+    ///
+    /// # Errors
+    /// As [`OpenApiInterpreter::interpret`].
+    pub fn interpret_with_probe<M: PredictionApi, R: Rng>(
+        &self,
+        api: &M,
+        x0_probe: Probe,
+        class: usize,
+        rng: &mut R,
+    ) -> Result<OpenApiResult, InterpretError> {
+        let d = api.dim();
+        let c_total = api.num_classes();
+        if x0_probe.x.len() != d {
+            return Err(InterpretError::DimensionMismatch {
+                expected: d,
+                found: x0_probe.x.len(),
+            });
+        }
+        validate_class(c_total, class)?;
+        let x0 = x0_probe.x.clone();
         let mut queries = 1usize;
         let mut edge = self.config.initial_edge;
         let mut log = Vec::new();
@@ -238,6 +280,17 @@ impl OpenApiInterpreter {
                     if verdict.consistent {
                         consistent += 1;
                         pairwise.push(verdict.params);
+                    } else {
+                        // Algorithm 1 needs ALL contrasts consistent; one
+                        // failure dooms the iteration, so skip the solver
+                        // work for the remaining contrasts and resample.
+                        return Err(IterationLog {
+                            edge: 0.0,
+                            consistent_contrasts: consistent,
+                            required_contrasts: required,
+                            worst_residual,
+                            degenerate: false,
+                        });
                     }
                 }
                 Err(LinalgError::RankDeficient { .. }) | Err(_) => {
@@ -251,17 +304,9 @@ impl OpenApiInterpreter {
                 }
             }
         }
-        if consistent == required {
-            Ok((pairwise, worst_residual))
-        } else {
-            Err(IterationLog {
-                edge: 0.0,
-                consistent_contrasts: consistent,
-                required_contrasts: required,
-                worst_residual,
-                degenerate: false,
-            })
-        }
+        // Every contrast was checked and none triggered the early exit.
+        debug_assert_eq!(consistent, required);
+        Ok((pairwise, worst_residual))
     }
 }
 
@@ -482,6 +527,62 @@ mod tests {
     }
 
     #[test]
+    fn inconsistent_contrast_aborts_the_iteration_early() {
+        // Build a probe set that is consistent for contrast (0, 2) but
+        // corrupted for (0, 1): the first failing contrast must abort the
+        // sweep, so the later (consistent) contrast is never counted.
+        let api = linear_model();
+        let x0 = Vector(vec![0.1, 0.2, -0.1, 0.3]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut probes = vec![Probe::query(&api, x0.clone())];
+        for x in crate::sampler::sample_many(x0.as_slice(), 0.5, api.dim() + 1, &mut rng) {
+            probes.push(Probe::query(&api, x));
+        }
+        // Double class 1's probability on the last probe only: log-ratios
+        // involving class 1 shift by ln 2 on that equation, others are
+        // untouched.
+        probes.last_mut().unwrap().probs[1] *= 2.0;
+        let system = EquationSystem::new(probes);
+        let interp = OpenApiInterpreter::default();
+        let log = interp
+            .try_all_contrasts(&system, 0, api.num_classes())
+            .expect_err("contrast (0,1) is corrupted");
+        assert!(!log.degenerate);
+        assert_eq!(log.required_contrasts, 3);
+        // Early exit at the FIRST contrast (c' = 1): the consistent
+        // contrasts (0,2) and (0,3) after it must not be counted or solved.
+        assert_eq!(log.consistent_contrasts, 0);
+        assert!(log.worst_residual.is_finite());
+        // Sanity: without the corruption every contrast is consistent.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut clean = vec![Probe::query(&api, x0.clone())];
+        for x in crate::sampler::sample_many(x0.as_slice(), 0.5, api.dim() + 1, &mut rng) {
+            clean.push(Probe::query(&api, x));
+        }
+        let clean_system = EquationSystem::new(clean);
+        assert!(interp
+            .try_all_contrasts(&clean_system, 0, api.num_classes())
+            .is_ok());
+    }
+
+    #[test]
+    fn interpret_with_probe_matches_interpret_bit_for_bit() {
+        let api = two_region_model();
+        let x0 = Vector(vec![0.3, -0.2]);
+        let interp = OpenApiInterpreter::default();
+        let mut rng_a = StdRng::seed_from_u64(12);
+        let a = interp.interpret(&api, &x0, 0, &mut rng_a).unwrap();
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let probe = Probe::query(&api, x0.clone());
+        let b = interp
+            .interpret_with_probe(&api, probe, 0, &mut rng_b)
+            .unwrap();
+        assert_eq!(a.interpretation, b.interpretation);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
     fn argument_validation() {
         let api = linear_model();
         let interp = OpenApiInterpreter::default();
@@ -496,6 +597,18 @@ mod tests {
             interp.interpret(&api, &x0, 9, &mut rng),
             Err(InterpretError::ClassOutOfRange { .. })
         ));
+    }
+
+    #[test]
+    fn invalid_arguments_cost_zero_queries() {
+        // A metered API must not be billed for calls doomed by their
+        // arguments: validation runs before the x0 probe.
+        let api = CountingApi::new(linear_model());
+        let interp = OpenApiInterpreter::default();
+        let mut rng = StdRng::seed_from_u64(10);
+        let _ = interp.interpret(&api, &Vector(vec![0.0; 2]), 0, &mut rng);
+        let _ = interp.interpret(&api, &Vector(vec![0.0; 4]), 9, &mut rng);
+        assert_eq!(api.queries(), 0);
     }
 
     #[test]

@@ -2,9 +2,9 @@
 //! features, for methods S, OA, I, G, L on every panel.
 
 use crate::config::ExperimentConfig;
-use crate::experiments::{out_path, predicted_classes};
-use crate::panel::{eval_indices, Panel};
-use crate::parallel::parallel_map;
+use crate::driver::BatchDriver;
+use crate::experiments::out_path;
+use crate::panel::Panel;
 use openapi_core::Method;
 use openapi_metrics::effectiveness::{aggregate_curves, alteration_curve, EffectivenessConfig};
 use openapi_metrics::report::{write_csv, Table};
@@ -23,40 +23,34 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for panel in panels {
-        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
-        let classes = predicted_classes(panel, &indices);
+        let driver = BatchDriver::new(panel, cfg);
         let mut table = Table::new(
             format!(
                 "Figure 3 — {} (avg CPP / NLCI of {} instances)",
                 panel.name,
-                indices.len()
+                driver.len()
             ),
             &["method", "k=25%", "k=50%", "k=75%", "k=100%", "NLCI@100%"],
         );
 
         for method in &methods {
-            let items: Vec<(usize, usize)> = indices
-                .iter()
-                .copied()
-                .zip(classes.iter().copied())
+            let curves: Vec<_> = driver
+                .run(|item, x0, rng| {
+                    let attribution = method.attribution(&panel.model, x0, item.class, rng).ok()?;
+                    if !attribution.is_finite() {
+                        return None;
+                    }
+                    Some(alteration_curve(
+                        &panel.model,
+                        x0,
+                        item.class,
+                        &attribution,
+                        &eff_cfg,
+                    ))
+                })
+                .into_iter()
+                .flatten()
                 .collect();
-            let curves: Vec<_> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
-                let x0 = panel.test.instance(idx);
-                let attribution = method.attribution(&panel.model, x0, class, rng).ok()?;
-                if !attribution.is_finite() {
-                    return None;
-                }
-                Some(alteration_curve(
-                    &panel.model,
-                    x0,
-                    class,
-                    &attribution,
-                    &eff_cfg,
-                ))
-            })
-            .into_iter()
-            .flatten()
-            .collect();
             if curves.is_empty() {
                 table.push_row(vec![method.name(), "(all failed)".to_string()]);
                 continue;

@@ -3,9 +3,9 @@
 //! descending.
 
 use crate::config::ExperimentConfig;
-use crate::experiments::{out_path, predicted_classes};
-use crate::panel::{eval_indices, Panel};
-use crate::parallel::parallel_map;
+use crate::driver::BatchDriver;
+use crate::experiments::out_path;
+use crate::panel::Panel;
 use openapi_core::Method;
 use openapi_data::knn::all_nearest_neighbors;
 use openapi_metrics::consistency::{mean_similarity, sorted_similarity_series};
@@ -21,11 +21,11 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for panel in panels {
-        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
-        let classes = predicted_classes(panel, &indices);
+        let driver = BatchDriver::new(panel, cfg);
+        let indices = driver.indices();
         // Nearest neighbours within the sampled subset (the paper's 1000
         // sampled instances play both roles).
-        let subset = panel.test.subset(&indices);
+        let subset = panel.test.subset(indices);
         let nns = all_nearest_neighbors(&subset, &subset, true);
 
         let mut table = Table::new(
@@ -36,10 +36,13 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             &["method", "mean CS", "median CS", "min CS"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize, usize)> = (0..indices.len())
-                .map(|i| (indices[i], indices[nns[i]], classes[i]))
+            let items: Vec<(usize, usize, usize)> = driver
+                .items()
+                .iter()
+                .enumerate()
+                .map(|(i, item)| (item.index, indices[nns[i]], item.class))
                 .collect();
-            let sims: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(a, b, class), rng| {
+            let sims: Vec<f64> = driver.run_items(&items, |_, &(a, b, class), rng| {
                 let xa = panel.test.instance(a);
                 let xb = panel.test.instance(b);
                 let fa = method.attribution(&panel.model, xa, class, rng);

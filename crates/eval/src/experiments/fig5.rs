@@ -2,9 +2,9 @@
 //! perturbed-instance set, OpenAPI versus the `h`-swept baselines.
 
 use crate::config::ExperimentConfig;
-use crate::experiments::{out_path, predicted_classes};
-use crate::panel::{eval_indices, Panel};
-use crate::parallel::parallel_map;
+use crate::driver::BatchDriver;
+use crate::experiments::out_path;
+use crate::panel::Panel;
 use openapi_core::Method;
 use openapi_metrics::region_diff::region_difference;
 use openapi_metrics::report::{write_csv, Table};
@@ -19,26 +19,24 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for panel in panels {
-        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
-        let classes = predicted_classes(panel, &indices);
+        let driver = BatchDriver::new(panel, cfg);
         let mut table = Table::new(
             format!(
                 "Figure 5 — {} (average Region Difference, {} instances)",
                 panel.name,
-                indices.len()
+                driver.len()
             ),
             &["method", "avg RD"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize)> = indices
-                .iter()
-                .copied()
-                .zip(classes.iter().copied())
-                .collect();
-            let rds: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
-                let x0 = panel.test.instance(idx);
-                match openapi_metrics::samples::method_samples(method, &panel.model, x0, class, rng)
-                {
+            let rds: Vec<f64> = driver.run(|item, x0, rng| {
+                match openapi_metrics::samples::method_samples(
+                    method,
+                    &panel.model,
+                    x0,
+                    item.class,
+                    rng,
+                ) {
                     Some(samples) => region_difference(&panel.model, x0, &samples),
                     // OpenAPI budget exhaustion: score conservatively as 1.
                     None => 1.0,

@@ -3,9 +3,9 @@
 //! plots these on a log scale).
 
 use crate::config::ExperimentConfig;
-use crate::experiments::{out_path, predicted_classes};
-use crate::panel::{eval_indices, Panel};
-use crate::parallel::parallel_map;
+use crate::driver::BatchDriver;
+use crate::experiments::out_path;
+use crate::panel::Panel;
 use openapi_core::Method;
 use openapi_linalg::Summary;
 use openapi_metrics::exactness::{ground_truth_features, l1_dist};
@@ -21,8 +21,7 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     let mut csv_rows: Vec<Vec<String>> = Vec::new();
 
     for panel in panels {
-        let indices = eval_indices(panel, cfg.eval_instances, cfg.seed);
-        let classes = predicted_classes(panel, &indices);
+        let driver = BatchDriver::new(panel, cfg);
         let mut table = Table::new(
             format!(
                 "Figure 7 — {} (L1Dist to ground truth, min/mean/max)",
@@ -31,16 +30,10 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             &["method", "min", "mean", "max", "failures"],
         );
         for method in &methods {
-            let items: Vec<(usize, usize)> = indices
-                .iter()
-                .copied()
-                .zip(classes.iter().copied())
-                .collect();
-            let dists: Vec<f64> = parallel_map(&items, cfg.seed, |_, &(idx, class), rng| {
-                let x0 = panel.test.instance(idx);
-                match method.attribution(&panel.model, x0, class, rng) {
+            let dists: Vec<f64> = driver.run(|item, x0, rng| {
+                match method.attribution(&panel.model, x0, item.class, rng) {
                     Ok(computed) if computed.is_finite() => {
-                        let truth = ground_truth_features(&panel.model, x0, class);
+                        let truth = ground_truth_features(&panel.model, x0, item.class);
                         l1_dist(&truth, &computed)
                     }
                     _ => f64::NAN,

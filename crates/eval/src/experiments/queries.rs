@@ -7,9 +7,11 @@
 //! at the API (they bill parameter access instead) and are omitted.
 
 use crate::config::ExperimentConfig;
+use crate::driver::BatchDriver;
 use crate::experiments::{out_path, predicted_classes};
 use crate::panel::{eval_indices, Panel};
 use openapi_api::CountingApi;
+use openapi_core::batch::{BatchConfig, BatchInterpreter};
 use openapi_core::Method;
 use openapi_linalg::Summary;
 use openapi_metrics::report::{write_csv, Table};
@@ -63,6 +65,19 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
             ]);
         }
         println!("{}", table.render());
+
+        // The region-deduplicating batch layer on the same instances: one
+        // membership probe per cache hit instead of a full Algorithm 1 run.
+        let mut batch_cfg = cfg.clone();
+        batch_cfg.eval_instances = cfg.eval_instances.min(8);
+        let driver = BatchDriver::new(panel, &batch_cfg);
+        let mut batch = BatchInterpreter::new(BatchConfig::default());
+        let (_, stats) = driver.run_deduped(&panel.model, &mut batch);
+        println!(
+            "OpenAPI batched over the same {} instances: {} hits / {} misses \
+             across {} regions, {} queries total ({} failures)\n",
+            stats.instances, stats.hits, stats.misses, stats.regions, stats.queries, stats.failures
+        );
     }
     write_csv(
         &out_path(cfg, "queries_budget.csv"),

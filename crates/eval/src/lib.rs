@@ -20,9 +20,11 @@
 //! result is profile-independent.
 
 pub mod config;
+pub mod driver;
 pub mod experiments;
 pub mod panel;
 pub mod parallel;
 
 pub use config::{ExperimentConfig, Profile};
+pub use driver::{BatchDriver, EvalItem};
 pub use panel::{build_panels, Panel, PanelModel};

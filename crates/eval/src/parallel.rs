@@ -73,9 +73,29 @@ where
         .collect()
 }
 
-/// Derives the per-item RNG: stable under thread-count changes.
-fn item_rng(seed: u64, index: usize) -> StdRng {
-    StdRng::seed_from_u64(seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15))
+/// Derives the per-item RNG: stable under thread-count changes. Public so
+/// sequential drivers (e.g. the region-deduplicating batch path, whose cache
+/// is stateful) can reproduce exactly the streams `parallel_map` would hand
+/// their items.
+///
+/// The seed and index are combined through a full SplitMix64 finalizer
+/// rather than a bare `seed ^ index·φ` mix: under the bare mix, index 0
+/// contributes nothing (`0·φ = 0`) and item 0's stream collides with any
+/// direct `StdRng::seed_from_u64(seed)` use of the master seed elsewhere in
+/// an experiment. The finalizer keys every `(seed, index)` pair — including
+/// index 0 — to an unrelated stream.
+pub fn item_rng(seed: u64, index: usize) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(
+        seed ^ splitmix64((index as u64).wrapping_add(0x9E3779B97F4A7C15)),
+    ))
+}
+
+/// The SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective avalanche
+/// mix, so distinct inputs keep distinct outputs.
+fn splitmix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -101,6 +121,21 @@ mod tests {
         // And equals the sequential result (single item at a time).
         let seq: Vec<u64> = (0..64).map(|i| item_rng(99, i).gen::<u64>()).collect();
         assert_eq!(run(), seq);
+    }
+
+    /// Regression: the old `seed ^ index·φ` mix degenerated at index 0
+    /// (`0·φ = 0`), so item 0's stream equaled `StdRng::seed_from_u64(seed)`
+    /// — colliding with any direct master-seed RNG in the same experiment.
+    #[test]
+    fn item_zero_does_not_collide_with_the_master_seed_stream() {
+        for seed in [0u64, 1, 42, 1234, u64::MAX] {
+            let from_item: u64 = item_rng(seed, 0).gen();
+            let from_master: u64 = StdRng::seed_from_u64(seed).gen();
+            assert_ne!(
+                from_item, from_master,
+                "seed {seed}: item 0 must have its own stream"
+            );
+        }
     }
 
     #[test]

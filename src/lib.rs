@@ -23,7 +23,8 @@ pub use openapi_nn as nn;
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {
     pub use openapi_api::{GradientOracle, GroundTruthOracle, PredictionApi};
-    pub use openapi_core::decision::{Interpretation, PairwiseCoreParams};
+    pub use openapi_core::batch::{BatchConfig, BatchInterpreter, BatchOutcome, BatchStats};
+    pub use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
     pub use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};
     pub use openapi_core::Method;
     pub use openapi_linalg::{Matrix, Vector};

@@ -1,0 +1,114 @@
+//! Integration coverage of the region-deduplicating batch layer through the
+//! facade: Theorem 2's consistency property as an executable contract —
+//! cache hits are bit-identical to cold runs and cost (almost) no queries.
+
+use openapi_repro::api::{CountingApi, LocalLinearModel, TwoRegionPlm};
+use openapi_repro::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const DIM: usize = 8;
+
+fn two_region_plm() -> TwoRegionPlm {
+    // d = 8, C = 3: wide enough that Algorithm 1's per-instance cost
+    // (≥ d + 2 queries) towers over the batch layer's 1-query hits.
+    let low = LocalLinearModel::new(
+        Matrix::from_fn(DIM, 3, |r, c| ((r * 5 + c * 3) % 11) as f64 * 0.2 - 1.0),
+        Vector(vec![0.1, -0.3, 0.2]),
+    );
+    let high = LocalLinearModel::new(
+        Matrix::from_fn(DIM, 3, |r, c| ((r * 7 + c * 2) % 13) as f64 * 0.15 - 0.9),
+        Vector(vec![-0.2, 0.4, 0.0]),
+    );
+    TwoRegionPlm::axis_split(1, 0.25, low, high)
+}
+
+/// Instances alternating between both regions of the PLM.
+fn workload(n: usize) -> Vec<Vector> {
+    (0..n)
+        .map(|i| {
+            let mut x: Vec<f64> = (0..DIM)
+                .map(|j| ((i * DIM + j) as f64 * 0.61).cos() * 0.4)
+                .collect();
+            x[1] = if i % 2 == 0 { -0.6 } else { 1.1 };
+            Vector(x)
+        })
+        .collect()
+}
+
+#[test]
+fn cache_hits_are_bit_identical_to_the_region_cold_run() {
+    let plm = two_region_plm();
+    let instances = workload(16);
+    // Cold per-instance baseline on the two region representatives.
+    let cold_a = OpenApiInterpreter::default()
+        .interpret(&plm, &instances[0], 2, &mut StdRng::seed_from_u64(7))
+        .unwrap();
+    let mut batch = BatchInterpreter::new(BatchConfig::default());
+    let out = batch.interpret_batch(&plm, &instances, 2, &mut StdRng::seed_from_u64(7));
+    assert_eq!(out.stats.failures, 0);
+    assert_eq!(out.stats.misses, 2, "one solve per region");
+    assert_eq!(out.stats.hits, 14);
+    // Every even-indexed instance shares region 0's interpretation — the
+    // batch serves instance 0's cold result, bit for bit.
+    let first = out.results[0].as_ref().unwrap();
+    assert_eq!(first.interpretation, cold_a.interpretation);
+    for (i, r) in out.results.iter().enumerate() {
+        let item = r.as_ref().unwrap();
+        assert_eq!(item.cache_hit, i >= 2, "only the first two instances miss");
+        if i % 2 == 0 {
+            assert_eq!(item.interpretation, cold_a.interpretation);
+        }
+        // All answers are exact w.r.t. the ground-truth oracle.
+        let truth = plm
+            .local_model(instances[i].as_slice())
+            .decision_features(2);
+        let err = item
+            .interpretation
+            .decision_features
+            .l1_distance(&truth)
+            .unwrap();
+        assert!(err < 1e-7, "instance {i}: L1Dist {err}");
+    }
+}
+
+#[test]
+fn oracle_keyed_cache_hits_issue_zero_api_queries() {
+    let api = CountingApi::new(two_region_plm());
+    let instances = workload(10);
+    let mut batch = BatchInterpreter::new(BatchConfig::default());
+    let mut rng = StdRng::seed_from_u64(9);
+    let warm = batch.interpret_batch_oracle(&api, &instances, 0, &mut rng);
+    assert_eq!(warm.stats.misses, 2);
+    let spent_warming = api.queries();
+    assert!(spent_warming > 0);
+    let hot = batch.interpret_batch_oracle(&api, &instances, 0, &mut rng);
+    assert_eq!(hot.stats.hits, instances.len());
+    assert_eq!(api.queries(), spent_warming, "hits must issue zero queries");
+}
+
+#[test]
+fn black_box_batching_cuts_queries_at_least_five_fold() {
+    let plm = two_region_plm();
+    let instances = workload(40);
+    // Per-instance baseline.
+    let counted = CountingApi::new(&plm);
+    let interpreter = OpenApiInterpreter::default();
+    let mut rng = StdRng::seed_from_u64(11);
+    for x in &instances {
+        interpreter.interpret(&counted, x, 0, &mut rng).unwrap();
+    }
+    let solo = counted.queries();
+    // Batched.
+    let counted_batch = CountingApi::new(&plm);
+    let mut batch = BatchInterpreter::new(BatchConfig::default());
+    let mut rng = StdRng::seed_from_u64(11);
+    let out = batch.interpret_batch(&counted_batch, &instances, 0, &mut rng);
+    assert_eq!(out.stats.failures, 0);
+    assert_eq!(out.stats.queries as u64, counted_batch.queries());
+    assert!(
+        counted_batch.queries() * 5 <= solo,
+        "expected ≥5× fewer queries: {} vs {solo}",
+        counted_batch.queries()
+    );
+}
