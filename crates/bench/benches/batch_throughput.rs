@@ -8,39 +8,17 @@
 //! than the per-instance loop; the criterion group then times both paths.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use openapi_api::{CountingApi, GroundTruthOracle};
-use openapi_bench::{banner, plnn_panel};
+use openapi_api::CountingApi;
+use openapi_bench::{banner, hot_region_workload, plnn_panel};
 use openapi_core::batch::{BatchConfig, BatchInterpreter};
 use openapi_core::OpenApiInterpreter;
 use openapi_linalg::Vector;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
 
 const WORKLOAD: usize = 100;
 const MAX_REGIONS: usize = 5;
 const CLASS: usize = 0;
-
-/// 100 test instances cycled round-robin over the panel's 5 most populous
-/// regions (deterministic: ties broken by first test index).
-fn clustered_workload() -> Vec<Vector> {
-    let panel = plnn_panel();
-    let mut by_region: HashMap<_, Vec<usize>> = HashMap::new();
-    for i in 0..panel.test.len() {
-        let id = panel.model.region_id(panel.test.instance(i).as_slice());
-        by_region.entry(id).or_default().push(i);
-    }
-    let mut groups: Vec<Vec<usize>> = by_region.into_values().collect();
-    groups.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
-    groups.truncate(MAX_REGIONS);
-    (0..WORKLOAD)
-        .map(|k| {
-            let group = &groups[k % groups.len()];
-            panel.test.instance(group[(k / groups.len()) % group.len()])
-        })
-        .cloned()
-        .collect()
-}
 
 fn per_instance_queries(instances: &[Vector]) -> u64 {
     let api = CountingApi::new(&plnn_panel().model);
@@ -65,7 +43,7 @@ fn batched_queries(instances: &[Vector], oracle: bool) -> (u64, usize, usize) {
 }
 
 fn bench_batch_throughput(c: &mut Criterion) {
-    let instances = clustered_workload();
+    let instances = hot_region_workload(WORKLOAD, MAX_REGIONS);
     banner(
         "batch throughput",
         &format!("{WORKLOAD} instances from ≤{MAX_REGIONS} regions, d = 196"),

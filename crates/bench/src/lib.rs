@@ -6,9 +6,12 @@
 //! `d = 196`, small models — the kernels under measurement are identical to
 //! paper scale, only `d` and instance counts shrink).
 
+use openapi_api::GroundTruthOracle;
 use openapi_data::SynthStyle;
 use openapi_eval::panel::{build_lmt_panel, build_plnn_panel};
 use openapi_eval::{ExperimentConfig, Panel, Profile};
+use openapi_linalg::Vector;
+use std::collections::HashMap;
 use std::sync::OnceLock;
 
 /// The benchmark-scale experiment configuration (smoke profile).
@@ -33,6 +36,30 @@ pub fn lmt_panel() -> &'static Panel {
 /// Prints a one-line banner tying a bench target to its paper artifact.
 pub fn banner(artifact: &str, detail: &str) {
     println!("\n### regenerating {artifact} at bench scale — {detail} ###");
+}
+
+/// `workload` test instances of the PLNN panel cycled round-robin over its
+/// `max_regions` most populous regions (deterministic: ties broken by first
+/// test index) — the shape real traffic has: many users, few hot regions.
+/// Shared by the `batch_throughput` and `service_throughput` benches so
+/// their numbers compare like for like.
+pub fn hot_region_workload(workload: usize, max_regions: usize) -> Vec<Vector> {
+    let panel = plnn_panel();
+    let mut by_region: HashMap<_, Vec<usize>> = HashMap::new();
+    for i in 0..panel.test.len() {
+        let id = panel.model.region_id(panel.test.instance(i).as_slice());
+        by_region.entry(id).or_default().push(i);
+    }
+    let mut groups: Vec<Vec<usize>> = by_region.into_values().collect();
+    groups.sort_by_key(|g| (std::cmp::Reverse(g.len()), g[0]));
+    groups.truncate(max_regions.max(1));
+    (0..workload)
+        .map(|k| {
+            let group = &groups[k % groups.len()];
+            panel.test.instance(group[(k / groups.len()) % group.len()])
+        })
+        .cloned()
+        .collect()
 }
 
 #[cfg(test)]

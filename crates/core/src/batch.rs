@@ -36,10 +36,12 @@
 //! colocated with its model could reach. The oracle variant exists for
 //! evaluation and tests; the black-box variant is the deployable one.
 //!
-//! The cache is keyed exactly the way a future sharded serving tier would
-//! partition: by `(class, region)`. [`BatchStats`] exposes the hit/miss/query
-//! accounting a capacity planner needs.
+//! The cache itself lives in [`crate::cache::RegionCache`] — the sharded
+//! concurrent tier in `openapi-serve` wraps the same structure, so both
+//! share one membership-probe code path. [`BatchStats`] exposes the
+//! hit/miss/query accounting a capacity planner needs.
 
+use crate::cache::{RegionCache, RegionCacheConfig};
 use crate::decision::{Interpretation, RegionFingerprint};
 use crate::equations::Probe;
 use crate::error::InterpretError;
@@ -47,7 +49,6 @@ use crate::openapi::{OpenApiConfig, OpenApiInterpreter};
 use openapi_api::{GroundTruthOracle, PredictionApi, RegionId};
 use openapi_linalg::Vector;
 use rand::Rng;
-use std::collections::HashMap;
 
 /// Batch-layer hyperparameters.
 #[derive(Debug, Clone)]
@@ -99,13 +100,15 @@ pub struct BatchStats {
 
 impl BatchStats {
     /// Folds one batch into the lifetime totals; `regions` is overwritten by
-    /// the caller with the full cache size.
+    /// the caller with the full cache size. Additions saturate: a long-lived
+    /// interpreter's lifetime counters must clamp at the type maximum, not
+    /// wrap (or panic in debug builds) once traffic crosses it.
     fn absorb(&mut self, other: &BatchStats) {
-        self.instances += other.instances;
-        self.hits += other.hits;
-        self.misses += other.misses;
-        self.failures += other.failures;
-        self.queries += other.queries;
+        self.instances = self.instances.saturating_add(other.instances);
+        self.hits = self.hits.saturating_add(other.hits);
+        self.misses = self.misses.saturating_add(other.misses);
+        self.failures = self.failures.saturating_add(other.failures);
+        self.queries = self.queries.saturating_add(other.queries);
     }
 }
 
@@ -142,42 +145,44 @@ impl BatchOutcome {
     }
 }
 
-/// One cached region: its canonical key and the interpretation every member
-/// instance shares.
-#[derive(Debug, Clone)]
-struct RegionEntry {
-    fingerprint: RegionFingerprint,
-    interpretation: Interpretation,
-}
-
 /// The region-deduplicating batch interpreter (see the module docs).
+///
+/// A thin adapter over [`RegionCache`]: this type owns the *batch* concerns
+/// (per-instance probing, query accounting, statistics), while membership
+/// lookup, fingerprint merging, and the collision fallback live in the
+/// cache — the same code path the sharded concurrent cache in
+/// `openapi-serve` builds on.
 ///
 /// The cache persists across [`BatchInterpreter::interpret_batch`] calls, so
 /// a long-lived instance keeps getting cheaper as traffic covers more of the
 /// model's region structure. [`BatchInterpreter::clear_cache`] resets it.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct BatchInterpreter {
     config: BatchConfig,
     interpreter: OpenApiInterpreter,
-    /// Cached regions in insertion order; membership scans walk this.
-    entries: Vec<RegionEntry>,
-    /// `(class, fingerprint) → entries index` — merges duplicate solves.
-    by_fingerprint: HashMap<(usize, RegionFingerprint), usize>,
-    /// `(class, oracle region id) → entries index` — oracle fast path only.
-    by_region_id: HashMap<(usize, RegionId), usize>,
+    cache: RegionCache,
     lifetime: BatchStats,
+}
+
+impl Default for BatchInterpreter {
+    fn default() -> Self {
+        BatchInterpreter::new(BatchConfig::default())
+    }
 }
 
 impl BatchInterpreter {
     /// Creates a batch interpreter with the given configuration.
     pub fn new(config: BatchConfig) -> Self {
         let interpreter = OpenApiInterpreter::new(config.openapi.clone());
+        let cache = RegionCache::new(RegionCacheConfig {
+            membership_rtol: config.membership_rtol,
+            fingerprint_digits: config.fingerprint_digits,
+            capacity: None,
+        });
         BatchInterpreter {
             config,
             interpreter,
-            entries: Vec::new(),
-            by_fingerprint: HashMap::new(),
-            by_region_id: HashMap::new(),
+            cache,
             lifetime: BatchStats::default(),
         }
     }
@@ -187,9 +192,14 @@ impl BatchInterpreter {
         &self.config
     }
 
+    /// Borrow the underlying region cache.
+    pub fn cache(&self) -> &RegionCache {
+        &self.cache
+    }
+
     /// Number of distinct regions currently cached (all classes).
     pub fn cached_regions(&self) -> usize {
-        self.entries.len()
+        self.cache.len()
     }
 
     /// Cumulative statistics over every batch this interpreter has served.
@@ -197,11 +207,13 @@ impl BatchInterpreter {
         self.lifetime
     }
 
-    /// Drops every cached region (statistics are kept).
+    /// Drops every cached region. The lifetime counters are kept, but
+    /// `regions` — a gauge of the *current* cache, not a counter — is reset
+    /// to zero so the lifetime view never reports entries that no longer
+    /// exist.
     pub fn clear_cache(&mut self) {
-        self.entries.clear();
-        self.by_fingerprint.clear();
-        self.by_region_id.clear();
+        self.cache.clear();
+        self.lifetime.regions = 0;
     }
 
     /// Interprets `instances` for `class` against a black-box API,
@@ -277,7 +289,7 @@ impl BatchInterpreter {
         let mut stats = new_stats(instances);
         stats.failures = instances;
         self.lifetime.absorb(&stats);
-        self.lifetime.regions = self.entries.len();
+        self.lifetime.regions = self.cache.len();
         Some(BatchOutcome {
             results: (0..instances).map(|_| Err(error.clone())).collect(),
             stats,
@@ -302,20 +314,11 @@ impl BatchInterpreter {
         }
         let probe = Probe::query(api, x.clone());
         stats.queries += 1;
-        let rtol = self.config.membership_rtol;
-        if let Some(entry) = self
-            .entries
-            .iter()
-            .filter(|e| e.interpretation.class == class)
-            .find(|e| {
-                e.interpretation
-                    .explains_probe(x, probe.probs.as_slice(), rtol)
-            })
-        {
+        if let Some(hit) = self.cache.lookup_probe(x, probe.probs.as_slice(), class) {
             stats.hits += 1;
             return Ok(BatchItem {
-                interpretation: entry.interpretation.clone(),
-                fingerprint: entry.fingerprint,
+                interpretation: hit.interpretation,
+                fingerprint: hit.fingerprint,
                 cache_hit: true,
                 queries: 1,
             });
@@ -330,7 +333,7 @@ impl BatchInterpreter {
         // query); it was tallied above, so only the sampling rounds add here.
         stats.queries += solved.queries - 1;
         stats.misses += 1;
-        Ok(self.admit(class, solved.interpretation, None, solved.queries))
+        Ok(self.admit(solved.interpretation, None, solved.queries))
     }
 
     /// Oracle path: region id decides membership; hits cost zero queries.
@@ -349,12 +352,11 @@ impl BatchInterpreter {
             });
         }
         let region = api.region_id(x.as_slice());
-        if let Some(&index) = self.by_region_id.get(&(class, region.clone())) {
-            let entry = &self.entries[index];
+        if let Some(hit) = self.cache.lookup_region(class, &region) {
             stats.hits += 1;
             return Ok(BatchItem {
-                interpretation: entry.interpretation.clone(),
-                fingerprint: entry.fingerprint,
+                interpretation: hit.interpretation,
+                fingerprint: hit.fingerprint,
                 cache_hit: true,
                 queries: 0,
             });
@@ -367,59 +369,22 @@ impl BatchInterpreter {
             })?;
         stats.queries += solved.queries;
         stats.misses += 1;
-        Ok(self.admit(class, solved.interpretation, Some(region), solved.queries))
+        Ok(self.admit(solved.interpretation, Some(region), solved.queries))
     }
 
-    /// Admits a freshly solved region into the cache, merging with an
-    /// existing entry when the canonical fingerprint already exists AND the
-    /// recovered parameters actually agree (so equal-region solves stay
-    /// bit-identical, while a fingerprint collision between genuinely
-    /// different regions — quantization landing both in one grid cell, or a
-    /// 64-bit hash collision — falls back to a separate entry instead of
-    /// silently serving the wrong region's parameters). Builds the miss's
-    /// [`BatchItem`] from the entry that ends up cached.
+    /// Admits a freshly solved region into the cache (see
+    /// [`RegionCache::insert`] for the merge/collision semantics) and builds
+    /// the miss's [`BatchItem`] from the entry that ends up cached.
     fn admit(
         &mut self,
-        class: usize,
         interpretation: Interpretation,
         region: Option<RegionId>,
         queries: usize,
     ) -> BatchItem {
-        let fingerprint = interpretation.fingerprint(self.config.fingerprint_digits);
-        let tol = self.config.membership_rtol;
-        let index = match self.by_fingerprint.get(&(class, fingerprint)) {
-            Some(&i)
-                if interpretations_agree(&self.entries[i].interpretation, &interpretation, tol) =>
-            {
-                i
-            }
-            Some(_) => {
-                // Collision: cache the new region un-indexed (the membership
-                // scan over `entries` still serves it; only the fingerprint
-                // shortcut is unavailable for it).
-                self.entries.push(RegionEntry {
-                    fingerprint,
-                    interpretation,
-                });
-                self.entries.len() - 1
-            }
-            None => {
-                self.entries.push(RegionEntry {
-                    fingerprint,
-                    interpretation,
-                });
-                let i = self.entries.len() - 1;
-                self.by_fingerprint.insert((class, fingerprint), i);
-                i
-            }
-        };
-        if let Some(region) = region {
-            self.by_region_id.insert((class, region), index);
-        }
-        let entry = &self.entries[index];
+        let cached = self.cache.insert(interpretation, region);
         BatchItem {
-            interpretation: entry.interpretation.clone(),
-            fingerprint: entry.fingerprint,
+            interpretation: cached.interpretation,
+            fingerprint: cached.fingerprint,
             cache_hit: false,
             queries,
         }
@@ -427,33 +392,10 @@ impl BatchInterpreter {
 
     /// Finalizes a batch's stats and folds them into the lifetime totals.
     fn finish(&mut self, class: usize, stats: &mut BatchStats) {
-        stats.regions = self
-            .entries
-            .iter()
-            .filter(|e| e.interpretation.class == class)
-            .count();
+        stats.regions = self.cache.class_len(class);
         self.lifetime.absorb(stats);
-        self.lifetime.regions = self.entries.len();
+        self.lifetime.regions = self.cache.len();
     }
-}
-
-/// Whether two interpretations recovered the same region's parameters, up
-/// to solver round-off: same class, same contrast order, and every weight
-/// and bias within `tol` (relative). Used to distinguish "same region,
-/// independently re-solved" (merge) from a fingerprint collision (keep
-/// both).
-fn interpretations_agree(a: &Interpretation, b: &Interpretation, tol: f64) -> bool {
-    a.class == b.class
-        && a.pairwise.len() == b.pairwise.len()
-        && a.pairwise.iter().zip(&b.pairwise).all(|(p, q)| {
-            p.c_prime == q.c_prime
-                && (p.bias - q.bias).abs() <= tol * p.bias.abs().max(1.0)
-                && p.weights.len() == q.weights.len()
-                && p.weights
-                    .iter()
-                    .zip(q.weights.iter())
-                    .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(1.0))
-        })
 }
 
 fn new_stats(instances: usize) -> BatchStats {
@@ -466,8 +408,9 @@ fn new_stats(instances: usize) -> BatchStats {
 /// Query cost of a failed interpretation, reconstructed from the error (a
 /// failed run returns no [`crate::openapi::OpenApiResult`] to read it from).
 /// Budget exhaustion spends `d + 1` sampling queries per iteration; argument
-/// validation spends none.
-fn queries_consumed(error: &InterpretError, d: usize) -> usize {
+/// validation spends none. Public so other accounting layers (the
+/// `openapi-serve` service) charge failures identically.
+pub fn queries_consumed(error: &InterpretError, d: usize) -> usize {
     match error {
         InterpretError::BudgetExhausted { iterations, .. } => iterations * (d + 1),
         _ => 0,
@@ -612,6 +555,55 @@ mod tests {
         assert!(second.cache_hit);
         assert_eq!(first.interpretation, cold.interpretation);
         assert_eq!(second.interpretation, cold.interpretation);
+    }
+
+    #[test]
+    fn lifetime_stats_survive_clear_cache_and_report_an_empty_cache() {
+        // Regression: `clear_cache` used to leave `lifetime.regions` stale,
+        // reporting entries that no longer existed until the next batch.
+        let api = two_region_model();
+        let mut batch = BatchInterpreter::default();
+        let mut rng = StdRng::seed_from_u64(20);
+        let first = batch.interpret_batch(&api, &clustered_instances(6), 0, &mut rng);
+        assert_eq!(first.stats.misses, 2);
+        let before = batch.lifetime_stats();
+        assert_eq!(before.regions, 2);
+        batch.clear_cache();
+        let after = batch.lifetime_stats();
+        // Counters survive; the cache gauge reflects the (now empty) cache.
+        assert_eq!(after.instances, before.instances);
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.queries, before.queries);
+        assert_eq!(after.regions, 0, "cleared cache must report zero regions");
+    }
+
+    #[test]
+    fn lifetime_accounting_saturates_instead_of_overflowing() {
+        // Regression: `absorb` used plain `+`, which panics in debug builds
+        // (and wraps in release) once a lifetime counter nears the maximum.
+        let mut lifetime = BatchStats {
+            instances: usize::MAX - 1,
+            hits: usize::MAX,
+            misses: 3,
+            failures: usize::MAX - 2,
+            queries: usize::MAX,
+            regions: 0,
+        };
+        let batch = BatchStats {
+            instances: 5,
+            hits: 5,
+            misses: 5,
+            failures: 5,
+            queries: usize::MAX,
+            regions: 7,
+        };
+        lifetime.absorb(&batch);
+        assert_eq!(lifetime.instances, usize::MAX);
+        assert_eq!(lifetime.hits, usize::MAX);
+        assert_eq!(lifetime.misses, 8);
+        assert_eq!(lifetime.failures, usize::MAX);
+        assert_eq!(lifetime.queries, usize::MAX);
     }
 
     #[test]

@@ -1,0 +1,433 @@
+//! The region cache: Theorem 2 turned into a lookup structure.
+//!
+//! Every instance of a locally linear region recovers the **identical**
+//! core parameters (Theorem 2), so interpretation results are cacheable per
+//! *region*, not per instance. [`RegionCache`] owns the membership-probe
+//! lookup, the canonical-fingerprint merge, and the collision fallback that
+//! [`crate::batch::BatchInterpreter`] introduced — extracted here so the
+//! single-threaded batch layer and the sharded concurrent cache in
+//! `openapi-serve` share exactly one membership code path.
+//!
+//! Two lookup modes, both sound by Theorem 2:
+//!
+//! * [`RegionCache::lookup_probe`] — black-box: a cached region's parameters
+//!   either explain the probed prediction at every contrast
+//!   ([`Interpretation::explains_probe`]), in which case the probe lies in
+//!   that region and the cached interpretation is *its* interpretation, or
+//!   they don't and the scan moves on.
+//! * [`RegionCache::lookup_region`] — white-box oracle fast path keyed on
+//!   [`RegionId`], for evaluation and tests (zero queries per hit).
+//!
+//! An optional capacity bound turns the cache into a CLOCK (second-chance)
+//! eviction structure: lookups mark entries referenced through an atomic
+//! flag (no `&mut` required, so shared readers stay cheap), and inserts
+//! past capacity sweep the clock hand for an unreferenced victim. The
+//! unbounded configuration — the batch layer's — never evicts and preserves
+//! strict insertion order, keeping pre-extraction behavior bit-identical.
+
+use crate::decision::{Interpretation, RegionFingerprint};
+use openapi_api::RegionId;
+use openapi_linalg::Vector;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Configuration of a [`RegionCache`].
+#[derive(Debug, Clone)]
+pub struct RegionCacheConfig {
+    /// Relative tolerance of the membership test (see
+    /// [`crate::batch::BatchConfig::membership_rtol`]).
+    pub membership_rtol: f64,
+    /// Decimal places used to canonicalize recovered core parameters into a
+    /// [`RegionFingerprint`].
+    pub fingerprint_digits: u32,
+    /// Maximum cached regions; `None` (the batch layer's setting) never
+    /// evicts. A bound of 0 is clamped to 1.
+    pub capacity: Option<usize>,
+}
+
+impl Default for RegionCacheConfig {
+    fn default() -> Self {
+        RegionCacheConfig {
+            membership_rtol: crate::openapi::OpenApiConfig::default().rtol,
+            fingerprint_digits: 6,
+            capacity: None,
+        }
+    }
+}
+
+/// A served cache entry: the canonical interpretation of one region.
+#[derive(Debug, Clone)]
+pub struct CachedRegion {
+    /// Canonical key of the region.
+    pub fingerprint: RegionFingerprint,
+    /// The interpretation every member instance of the region shares.
+    pub interpretation: Interpretation,
+}
+
+/// One cached region plus its CLOCK reference flag.
+#[derive(Debug)]
+struct Slot {
+    fingerprint: RegionFingerprint,
+    interpretation: Interpretation,
+    /// Second-chance bit: set by lookups (under `&self`), cleared by the
+    /// sweeping clock hand. Relaxed ordering suffices — the flag is a usage
+    /// hint, not a synchronization point.
+    referenced: AtomicBool,
+}
+
+/// The region cache (see the module docs).
+#[derive(Debug, Default)]
+pub struct RegionCache {
+    config: RegionCacheConfig,
+    /// Cached regions in insertion order (until eviction reorders via
+    /// `swap_remove`); membership scans walk this.
+    entries: Vec<Slot>,
+    /// `(class, fingerprint) → entries index` — merges duplicate solves.
+    by_fingerprint: HashMap<(usize, RegionFingerprint), usize>,
+    /// `(class, oracle region id) → entries index` — oracle fast path only.
+    by_region_id: HashMap<(usize, RegionId), usize>,
+    /// CLOCK hand: next eviction candidate.
+    hand: usize,
+    evictions: u64,
+}
+
+impl RegionCache {
+    /// Creates a cache with the given configuration.
+    pub fn new(config: RegionCacheConfig) -> Self {
+        RegionCache {
+            config,
+            ..RegionCache::default()
+        }
+    }
+
+    /// Borrow the configuration.
+    pub fn config(&self) -> &RegionCacheConfig {
+        &self.config
+    }
+
+    /// Number of distinct regions currently cached (all classes).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Entries cached for one class.
+    pub fn class_len(&self, class: usize) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.interpretation.class == class)
+            .count()
+    }
+
+    /// Regions evicted over the cache's lifetime (0 when unbounded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Drops every cached region (the eviction count is kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.by_fingerprint.clear();
+        self.by_region_id.clear();
+        self.hand = 0;
+    }
+
+    /// Iterates the cached regions (for snapshots); order is the current
+    /// scan order.
+    pub fn iter(&self) -> impl Iterator<Item = CachedRegion> + '_ {
+        self.entries.iter().map(|e| CachedRegion {
+            fingerprint: e.fingerprint,
+            interpretation: e.interpretation.clone(),
+        })
+    }
+
+    /// Black-box membership lookup: the first cached region of `class`
+    /// whose core parameters explain the prediction `probs` observed at
+    /// `x` (Theorem 2 — see [`Interpretation::explains_probe`]).
+    pub fn lookup_probe(&self, x: &Vector, probs: &[f64], class: usize) -> Option<CachedRegion> {
+        let rtol = self.config.membership_rtol;
+        self.entries
+            .iter()
+            .filter(|e| e.interpretation.class == class)
+            .find(|e| e.interpretation.explains_probe(x, probs, rtol))
+            .map(|e| {
+                e.referenced.store(true, Ordering::Relaxed);
+                CachedRegion {
+                    fingerprint: e.fingerprint,
+                    interpretation: e.interpretation.clone(),
+                }
+            })
+    }
+
+    /// Oracle fast-path lookup keyed on [`RegionId`].
+    pub fn lookup_region(&self, class: usize, region: &RegionId) -> Option<CachedRegion> {
+        let &index = self.by_region_id.get(&(class, region.clone()))?;
+        let e = &self.entries[index];
+        e.referenced.store(true, Ordering::Relaxed);
+        Some(CachedRegion {
+            fingerprint: e.fingerprint,
+            interpretation: e.interpretation.clone(),
+        })
+    }
+
+    /// Admits a freshly solved region, merging with an existing entry when
+    /// the canonical fingerprint already exists AND the recovered parameters
+    /// actually agree (so equal-region solves stay bit-identical, while a
+    /// fingerprint collision between genuinely different regions —
+    /// quantization landing both in one grid cell, or a 64-bit hash
+    /// collision — falls back to a separate entry instead of silently
+    /// serving the wrong region's parameters). Returns the entry that ends
+    /// up cached, which is what every caller must serve.
+    pub fn insert(
+        &mut self,
+        interpretation: Interpretation,
+        region: Option<RegionId>,
+    ) -> CachedRegion {
+        let class = interpretation.class;
+        let fingerprint = interpretation.fingerprint(self.config.fingerprint_digits);
+        let tol = self.config.membership_rtol;
+        let index = match self.by_fingerprint.get(&(class, fingerprint)) {
+            Some(&i)
+                if interpretations_agree(&self.entries[i].interpretation, &interpretation, tol) =>
+            {
+                i
+            }
+            Some(_) => {
+                // Collision: cache the new region un-indexed (the membership
+                // scan over `entries` still serves it; only the fingerprint
+                // shortcut is unavailable for it).
+                self.push_slot(fingerprint, interpretation)
+            }
+            None => {
+                let i = self.push_slot(fingerprint, interpretation);
+                self.by_fingerprint.insert((class, fingerprint), i);
+                i
+            }
+        };
+        if let Some(region) = region {
+            self.by_region_id.insert((class, region), index);
+        }
+        let entry = &self.entries[index];
+        CachedRegion {
+            fingerprint: entry.fingerprint,
+            interpretation: entry.interpretation.clone(),
+        }
+    }
+
+    /// Pushes a new slot, evicting first when at capacity. The fresh entry
+    /// starts referenced so it survives at least one full clock sweep.
+    fn push_slot(
+        &mut self,
+        fingerprint: RegionFingerprint,
+        interpretation: Interpretation,
+    ) -> usize {
+        if let Some(capacity) = self.config.capacity {
+            let capacity = capacity.max(1);
+            while self.entries.len() >= capacity {
+                self.evict_one();
+            }
+        }
+        self.entries.push(Slot {
+            fingerprint,
+            interpretation,
+            referenced: AtomicBool::new(true),
+        });
+        self.entries.len() - 1
+    }
+
+    /// CLOCK sweep: clears reference bits until an unreferenced victim is
+    /// found, then removes it. Terminates within two passes — the first
+    /// sweep clears every bit it crosses.
+    fn evict_one(&mut self) {
+        debug_assert!(!self.entries.is_empty());
+        loop {
+            if self.hand >= self.entries.len() {
+                self.hand = 0;
+            }
+            if self.entries[self.hand]
+                .referenced
+                .swap(false, Ordering::Relaxed)
+            {
+                self.hand += 1;
+            } else {
+                let victim = self.hand;
+                self.remove_slot(victim);
+                return;
+            }
+        }
+    }
+
+    /// Removes the slot at `index` via `swap_remove`, repairing both index
+    /// maps: entries pointing at the victim vanish, entries pointing at the
+    /// moved last slot are redirected.
+    fn remove_slot(&mut self, index: usize) {
+        let last = self.entries.len() - 1;
+        self.entries.swap_remove(index);
+        self.evictions += 1;
+        self.by_fingerprint.retain(|_, v| {
+            if *v == index {
+                return false;
+            }
+            if *v == last {
+                *v = index;
+            }
+            true
+        });
+        self.by_region_id.retain(|_, v| {
+            if *v == index {
+                return false;
+            }
+            if *v == last {
+                *v = index;
+            }
+            true
+        });
+    }
+}
+
+/// Whether two interpretations recovered the same region's parameters, up
+/// to solver round-off: same class, same contrast order, and every weight
+/// and bias within `tol` (relative). Used to distinguish "same region,
+/// independently re-solved" (merge) from a fingerprint collision (keep
+/// both).
+pub(crate) fn interpretations_agree(a: &Interpretation, b: &Interpretation, tol: f64) -> bool {
+    a.class == b.class
+        && a.pairwise.len() == b.pairwise.len()
+        && a.pairwise.iter().zip(&b.pairwise).all(|(p, q)| {
+            p.c_prime == q.c_prime
+                && (p.bias - q.bias).abs() <= tol * p.bias.abs().max(1.0)
+                && p.weights.len() == q.weights.len()
+                && p.weights
+                    .iter()
+                    .zip(q.weights.iter())
+                    .all(|(x, y)| (x - y).abs() <= tol * x.abs().max(1.0))
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::PairwiseCoreParams;
+
+    /// A synthetic one-contrast interpretation whose single weight encodes
+    /// a distinct region identity.
+    fn interp(class: usize, w: f64) -> Interpretation {
+        Interpretation::from_pairwise(
+            class,
+            vec![PairwiseCoreParams {
+                c_prime: class + 1,
+                weights: Vector(vec![w]),
+                bias: 0.0,
+            }],
+        )
+        .unwrap()
+    }
+
+    fn bounded(capacity: usize) -> RegionCache {
+        RegionCache::new(RegionCacheConfig {
+            capacity: Some(capacity),
+            ..RegionCacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts_and_preserves_order() {
+        let mut cache = RegionCache::default();
+        for i in 0..100 {
+            cache.insert(interp(0, i as f64), None);
+        }
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.evictions(), 0);
+        let firsts: Vec<f64> = cache
+            .iter()
+            .map(|r| r.interpretation.pairwise[0].weights[0])
+            .collect();
+        assert_eq!(firsts, (0..100).map(|i| i as f64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_bound_is_enforced_by_clock_eviction() {
+        let mut cache = bounded(4);
+        for i in 0..20 {
+            cache.insert(interp(0, i as f64), Some(RegionId::from_index(i)));
+            assert!(cache.len() <= 4, "capacity bound violated at insert {i}");
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions(), 16);
+    }
+
+    #[test]
+    fn recently_looked_up_entries_survive_the_sweep() {
+        let mut cache = bounded(3);
+        for i in 0..3 {
+            cache.insert(interp(0, i as f64), Some(RegionId::from_index(i)));
+        }
+        // Sweep once so every slot's initial reference bit is cleared.
+        cache.insert(interp(0, 100.0), Some(RegionId::from_index(100)));
+        // Touch region 100; the next insert must evict something else.
+        assert!(cache.lookup_region(0, &RegionId::from_index(100)).is_some());
+        cache.insert(interp(0, 101.0), Some(RegionId::from_index(101)));
+        assert!(
+            cache.lookup_region(0, &RegionId::from_index(100)).is_some(),
+            "referenced entry must get a second chance"
+        );
+    }
+
+    #[test]
+    fn eviction_repairs_the_index_maps() {
+        let mut cache = bounded(2);
+        cache.insert(interp(0, 1.0), Some(RegionId::from_index(1)));
+        cache.insert(interp(0, 2.0), Some(RegionId::from_index(2)));
+        // Force evictions and verify every surviving oracle key still
+        // resolves to the entry carrying its own parameters.
+        for i in 3..40 {
+            cache.insert(interp(0, i as f64), Some(RegionId::from_index(i)));
+            for j in 1..=i {
+                if let Some(hit) = cache.lookup_region(0, &RegionId::from_index(j)) {
+                    assert_eq!(
+                        hit.interpretation.pairwise[0].weights[0], j as f64,
+                        "oracle key {j} resolved to the wrong entry"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_solves_merge_to_the_first_entry() {
+        let mut cache = RegionCache::default();
+        let a = cache.insert(interp(0, 5.0), None);
+        let b = cache.insert(interp(0, 5.0), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.interpretation, b.interpretation);
+    }
+
+    #[test]
+    fn classes_are_disjoint() {
+        let mut cache = RegionCache::default();
+        cache.insert(interp(0, 1.0), None);
+        cache.insert(interp(1, 1.0), None);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.class_len(0), 1);
+        assert_eq!(cache.class_len(1), 1);
+    }
+
+    #[test]
+    fn clear_empties_but_keeps_eviction_count() {
+        let mut cache = bounded(2);
+        for i in 0..5 {
+            cache.insert(interp(0, i as f64), None);
+        }
+        let evicted = cache.evictions();
+        assert!(evicted > 0);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.evictions(), evicted);
+        assert!(cache.lookup_region(0, &RegionId::from_index(0)).is_none());
+    }
+}

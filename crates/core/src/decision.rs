@@ -26,11 +26,21 @@ impl PairwiseCoreParams {
     /// linear region; a probe that violates this identity for any contrast
     /// therefore lies in a *different* region (with probability 1).
     ///
-    /// # Panics
-    /// Panics when `x`'s dimension disagrees with the recovered weights or
-    /// either class index is out of range of `probs`.
+    /// Shape mismatches — `x`'s dimension disagreeing with the recovered
+    /// weights, or a class index out of range of `probs` — return `false`
+    /// rather than panicking: parameters recovered from a *different model*
+    /// cannot explain this probe, and membership scans must be able to say
+    /// so safely (a region cache warm-started from a stale or mismatched
+    /// snapshot must degrade to misses, never take the serving thread
+    /// down — see `openapi-serve`'s snapshot module).
     pub fn explains(&self, x: &Vector, probs: &[f64], class: usize, rtol: f64) -> bool {
-        let predicted = self.weights.dot(x).expect("explains: dimension mismatch") + self.bias;
+        if class >= probs.len() || self.c_prime >= probs.len() {
+            return false;
+        }
+        let Ok(dot) = self.weights.dot(x) else {
+            return false;
+        };
+        let predicted = dot + self.bias;
         let observed = log_ratio(probs, class, self.c_prime);
         (predicted - observed).abs() <= rtol * observed.abs().max(1.0)
     }
@@ -161,8 +171,9 @@ impl Interpretation {
     /// adjacent region, whose behaviour at `x` differs by less than the
     /// tolerance (PLMs are continuous across boundaries).
     ///
-    /// # Panics
-    /// Panics on dimension mismatch between `x` and the recovered weights.
+    /// Shape mismatches between the recovered parameters and `(x, probs)`
+    /// — parameters from a different model — answer `false` rather than
+    /// panicking (see [`PairwiseCoreParams::explains`]).
     pub fn explains_probe(&self, x: &Vector, probs: &[f64], rtol: f64) -> bool {
         !self.pairwise.is_empty()
             && self
@@ -276,5 +287,26 @@ mod tests {
         // Attribution-only interpretations never claim membership.
         let a = Interpretation::attribution_only(0, Vector(vec![1.0, -1.0]));
         assert!(!a.explains_probe(&x, &probs, 1e-9));
+    }
+
+    #[test]
+    fn mismatched_shapes_answer_false_instead_of_panicking() {
+        // Regression: parameters recovered from a different model (wrong
+        // dimensionality, or contrast classes the probed model does not
+        // have) must fail membership safely — a cache warm-started from a
+        // mismatched snapshot degrades to misses, never panics a scan.
+        let p = pair(4, vec![1.0, -1.0], 0.5); // c' = 4: not in a 2-class probe
+        let x = Vector(vec![0.3, 0.1]);
+        let probs = [0.6, 0.4];
+        assert!(!p.explains(&x, &probs, 0, 1e-6));
+        let i = Interpretation::from_pairwise(0, vec![p]).unwrap();
+        assert!(!i.explains_probe(&x, &probs, 1e-6));
+        // Wrong dimensionality (weights are 2-dim, x is 3-dim).
+        let wide = Vector(vec![0.1, 0.2, 0.3]);
+        let q = pair(1, vec![1.0, -1.0], 0.0);
+        assert!(!q.explains(&wide, &probs, 0, 1e-6));
+        // Interpreted class out of the probe's range.
+        let r = Interpretation::from_pairwise(5, vec![pair(1, vec![1.0, -1.0], 0.0)]).unwrap();
+        assert!(!r.explains_probe(&x, &probs, 1e-6));
     }
 }

@@ -14,7 +14,8 @@
 //! | §V baselines: LIME (linear/ridge), ZOO, Saliency, Gradient*Input, Integrated Gradients | [`baselines`] |
 //! | §VI future work: reverse-engineering the PLM behind the API | [`reverse`] |
 //! | extension: region-extent bracketing via consistency growth | [`region`] |
-//! | extension: Theorem-2 region cache / batch interpretation | [`batch`] |
+//! | extension: Theorem-2 region cache (shared by batch + serving tiers) | [`cache`] |
+//! | extension: region-deduplicating batch interpretation | [`batch`] |
 //! | uniform method dispatch for the experiment harness | [`method`] |
 //!
 //! The type system mirrors the threat model: black-box methods take any
@@ -24,6 +25,7 @@
 
 pub mod baselines;
 pub mod batch;
+pub mod cache;
 pub mod decision;
 pub mod equations;
 pub mod error;
@@ -32,9 +34,11 @@ pub mod naive;
 pub mod openapi;
 pub mod region;
 pub mod reverse;
+pub mod rng;
 pub mod sampler;
 
 pub use batch::{BatchConfig, BatchInterpreter, BatchItem, BatchOutcome, BatchStats};
+pub use cache::{CachedRegion, RegionCache, RegionCacheConfig};
 pub use decision::{
     decision_features_from_pairwise, region_fingerprint, Interpretation, PairwiseCoreParams,
     RegionFingerprint,

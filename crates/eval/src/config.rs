@@ -58,6 +58,11 @@ pub struct ExperimentConfig {
     pub alter_features: usize,
     /// Instances per class for the Figure 2 heatmap averages.
     pub fig2_instances: usize,
+    /// Opt-in concurrent-service path of the `queries` experiment: when
+    /// nonzero, the experiment additionally drives an `openapi-serve`
+    /// `InterpretationService` with this many client threads and reports
+    /// its stats (0 = off, the default for every profile).
+    pub service_clients: usize,
 }
 
 impl ExperimentConfig {
@@ -80,6 +85,7 @@ impl ExperimentConfig {
                 lmt_epochs: 16,
                 alter_features: 40,
                 fig2_instances: 3,
+                service_clients: 0,
             },
             Profile::Quick => ExperimentConfig {
                 profile,
@@ -95,6 +101,7 @@ impl ExperimentConfig {
                 lmt_epochs: 12,
                 alter_features: 200,
                 fig2_instances: 8,
+                service_clients: 0,
             },
             Profile::Paper => ExperimentConfig {
                 profile,
@@ -110,6 +117,7 @@ impl ExperimentConfig {
                 lmt_epochs: 30,
                 alter_features: 200,
                 fig2_instances: 50,
+                service_clients: 0,
             },
         }
     }

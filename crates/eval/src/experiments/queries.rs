@@ -15,6 +15,7 @@ use openapi_core::batch::{BatchConfig, BatchInterpreter};
 use openapi_core::Method;
 use openapi_linalg::Summary;
 use openapi_metrics::report::{write_csv, Table};
+use openapi_serve::{InterpretationService, ServiceConfig, StatsSnapshot};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -78,6 +79,16 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
              across {} regions, {} queries total ({} failures)\n",
             stats.instances, stats.hits, stats.misses, stats.regions, stats.queries, stats.failures
         );
+
+        // Opt-in concurrent path: the same work items through a shared
+        // `openapi-serve` service hammered by `service_clients` threads.
+        if cfg.service_clients > 0 {
+            let service_stats = run_service(cfg, &driver);
+            println!(
+                "OpenAPI served concurrently ({} client threads):\n{service_stats}\n",
+                cfg.service_clients
+            );
+        }
     }
     write_csv(
         &out_path(cfg, "queries_budget.csv"),
@@ -92,12 +103,67 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
     )
 }
 
+/// The opt-in concurrent-service path: every client thread submits the
+/// driver's full work-item list to one shared [`InterpretationService`]
+/// (mirroring many users asking about the same traffic), waits for all
+/// tickets, and the aggregate statistics are returned for reporting. The
+/// shared cache + coalescing mean the whole fleet pays for each region's
+/// Algorithm-1 solve at most once.
+fn run_service(cfg: &ExperimentConfig, driver: &BatchDriver<'_>) -> StatsSnapshot {
+    let api = CountingApi::new(driver.panel().model.clone());
+    let service = InterpretationService::new(
+        api,
+        ServiceConfig {
+            workers: cfg.service_clients,
+            seed: cfg.seed,
+            ..ServiceConfig::default()
+        },
+    );
+    std::thread::scope(|scope| {
+        for _ in 0..cfg.service_clients {
+            let service = &service;
+            scope.spawn(move || {
+                let tickets: Vec<_> = driver
+                    .items()
+                    .iter()
+                    .map(|item| service.submit_instance(driver.instance(*item).clone(), item.class))
+                    .collect();
+                for ticket in tickets {
+                    // Failures are tolerated here (they are counted in the
+                    // stats); the experiment reports, not asserts.
+                    let _ = ticket.wait();
+                }
+            });
+        }
+    });
+    service.stats()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::Profile;
     use crate::panel::build_lmt_panel;
     use openapi_data::SynthStyle;
+
+    #[test]
+    fn service_path_shares_solves_across_clients() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 3;
+        cfg.service_clients = 3;
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        let driver = BatchDriver::new(&panel, &cfg);
+        let stats = run_service(&cfg, &driver);
+        // 3 clients × 3 items each, every request accounted for exactly once.
+        assert_eq!(stats.requests, 9);
+        assert_eq!(
+            stats.hits + stats.misses + stats.coalesced_served + stats.failures,
+            stats.requests
+        );
+        // The fleet shares the cache: at most one solve per distinct item,
+        // never one per client.
+        assert!(stats.misses <= 3, "misses {}", stats.misses);
+    }
 
     #[test]
     fn query_counts_match_method_formulas() {

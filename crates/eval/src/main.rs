@@ -11,9 +11,11 @@ use openapi_eval::{build_panels, ExperimentConfig, Profile};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] [--out DIR]
-experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all";
+const USAGE: &str = "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] \
+[--out DIR] [--service-clients N]
+experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all
+--service-clients N additionally drives the queries experiment through a shared
+openapi-serve InterpretationService with N client threads (default 0 = off)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -25,6 +27,7 @@ fn main() -> ExitCode {
     let mut profile = Profile::Quick;
     let mut seed: Option<u64> = None;
     let mut out: Option<PathBuf> = None;
+    let mut service_clients: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +55,14 @@ fn main() -> ExitCode {
                 out = Some(PathBuf::from(dir));
                 i += 2;
             }
+            "--service-clients" => {
+                let Some(n) = args.get(i + 1).and_then(|v| v.parse().ok()) else {
+                    eprintln!("bad --service-clients value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                service_clients = Some(n);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -65,6 +76,9 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = out {
         cfg.out_dir = dir;
+    }
+    if let Some(n) = service_clients {
+        cfg.service_clients = n;
     }
 
     println!(

@@ -7,7 +7,6 @@
 //! sharing a stream — results are identical at any thread count.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Applies `f(index, item, rng)` to every item, in parallel, returning
 /// outputs in input order. Each invocation gets its own RNG derived from
@@ -76,32 +75,17 @@ where
 /// Derives the per-item RNG: stable under thread-count changes. Public so
 /// sequential drivers (e.g. the region-deduplicating batch path, whose cache
 /// is stateful) can reproduce exactly the streams `parallel_map` would hand
-/// their items.
-///
-/// The seed and index are combined through a full SplitMix64 finalizer
-/// rather than a bare `seed ^ index·φ` mix: under the bare mix, index 0
-/// contributes nothing (`0·φ = 0`) and item 0's stream collides with any
-/// direct `StdRng::seed_from_u64(seed)` use of the master seed elsewhere in
-/// an experiment. The finalizer keys every `(seed, index)` pair — including
-/// index 0 — to an unrelated stream.
+/// their items. Delegates to [`openapi_core::rng::derived_rng`] — the one
+/// implementation every tier (this harness, the `openapi-serve` request
+/// workers) shares, so their streams can never drift apart.
 pub fn item_rng(seed: u64, index: usize) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(
-        seed ^ splitmix64((index as u64).wrapping_add(0x9E3779B97F4A7C15)),
-    ))
-}
-
-/// The SplitMix64 finalizer (Steele, Lea & Flood 2014): a bijective avalanche
-/// mix, so distinct inputs keep distinct outputs.
-fn splitmix64(mut z: u64) -> u64 {
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
-    z ^ (z >> 31)
+    openapi_core::rng::derived_rng(seed, index as u64)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn preserves_order_and_values() {

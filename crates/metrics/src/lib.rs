@@ -10,6 +10,7 @@
 //! | Heatmap dumps of decision features (Fig. 2) | [`heatmap`] | `exp-fig2` |
 //! | Sample-set reconstruction per method | [`samples`] | Figs. 5–6 |
 //! | CSV / fixed-width table output | [`report`] | all binaries |
+//! | Lock-free latency histogram (p50/p99) | [`histogram`] | `openapi-serve` |
 //!
 //! Ground-truth-dependent metrics (RD, WD, L1Dist) take a
 //! [`openapi_api::GroundTruthOracle`]; interpreters themselves never see it.
@@ -18,6 +19,7 @@ pub mod consistency;
 pub mod effectiveness;
 pub mod exactness;
 pub mod heatmap;
+pub mod histogram;
 pub mod region_diff;
 pub mod report;
 pub mod samples;
@@ -25,5 +27,6 @@ pub mod weight_diff;
 
 pub use effectiveness::{AlterationCurve, EffectivenessConfig};
 pub use exactness::l1_dist;
+pub use histogram::LatencyHistogram;
 pub use region_diff::region_difference;
 pub use weight_diff::weight_difference;

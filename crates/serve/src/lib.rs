@@ -1,0 +1,86 @@
+//! `openapi-serve` — a concurrent interpretation service over the paper's
+//! Theorem-2 region cache.
+//!
+//! The OpenAPI method (Algorithm 1) makes exact black-box interpretation
+//! cheap enough to run behind a live prediction API, and Theorem 2 makes
+//! the expensive part per-*region*, not per-instance: every instance inside
+//! one locally linear region recovers the identical core parameters. The
+//! single-threaded [`openapi_core::BatchInterpreter`] already exploits that
+//! with a region cache; this crate scales the same insight to many client
+//! threads:
+//!
+//! * [`SharedRegionCache`] — N shards of [`openapi_core::RegionCache`]
+//!   keyed by [`openapi_core::RegionFingerprint`], each behind a
+//!   `parking_lot::RwLock`, with a capacity bound and CLOCK eviction so
+//!   memory stays flat under millions of distinct regions. Snapshot /
+//!   restore ([`CacheSnapshot`]) lets a service warm-start from a prior
+//!   run's solved regions.
+//! * [`InterpretationService`] — a worker pool (crossbeam channels) that
+//!   accepts [`InterpretRequest`]s and returns [`Ticket`] handles the
+//!   caller can block on ([`Ticket::wait`]) or poll ([`Ticket::poll`]).
+//! * [`ServiceStats`] — atomic hit/miss/coalesce/eviction/query counters
+//!   plus a fixed-bucket latency histogram
+//!   ([`openapi_metrics::LatencyHistogram`]) for p50/p99.
+//!
+//! # Request coalescing preserves exactness
+//!
+//! Concurrent requests that resolve to the same region wait on one
+//! in-flight Algorithm-1 solve instead of each paying the full query
+//! budget. This does **not** weaken the paper's exactness guarantee, for
+//! the same reason the cache itself doesn't:
+//!
+//! 1. Every request pays one membership probe (its own prediction at `x`).
+//! 2. A waiter is served the leader's interpretation **only if** that
+//!    interpretation explains the waiter's probe at every class contrast
+//!    ([`openapi_core::decision::Interpretation::explains_probe`]) — the
+//!    identical test a cache hit passes.
+//! 3. By Theorem 2, core parameters hold throughout a locally linear
+//!    region, and an instance whose observed prediction satisfies
+//!    `D_{c,c'}ᵀx + B_{c,c'} = ln(y_c/y_{c'})` for every contrast lies in
+//!    the solved region (with probability 1, at the configured tolerance).
+//!    All waiters that pass the test are therefore in the *same region* as
+//!    the leader, and the leader's exact answer is *their* exact answer —
+//!    bit-identical, which is the paper's consistency property.
+//!
+//! A waiter whose probe is *not* explained (it was merely queued behind a
+//! different region's solve) is requeued and solved on its own — coalescing
+//! can only save queries, never change an answer.
+//!
+//! A region's identity is unknowable before its solve (knowing it would
+//! require the very parameters being solved for), so the in-flight registry
+//! keys on the only thing a miss *does* know: its class. The deliberate
+//! cost is that distinct-region misses of one class serialize behind one
+//! leader during cold start — bounded at one extra queue round-trip per
+//! foreign region, and irrelevant once the hot regions are cached (hits
+//! dominate steady-state traffic, and hits never touch the registry).
+//!
+//! # Request lifecycle
+//!
+//! ```text
+//! submit(x, c) ──► queue ──► worker: probe x (1 query)
+//!                              │
+//!                              ├─ shard lookup ──► hit ──► reply (cached, exact)
+//!                              │
+//!                              ├─ solve in flight for class c?
+//!                              │    └─ yes ──► park as waiter (coalesce)
+//!                              │
+//!                              └─ no ──► lead Algorithm-1 solve
+//!                                         ├─ insert region into shard (may evict)
+//!                                         ├─ reply to leader
+//!                                         └─ for each waiter:
+//!                                              explains_probe? ──► reply (coalesced)
+//!                                              else ──► requeue
+//! ```
+
+mod service;
+mod shared_cache;
+mod snapshot;
+mod stats;
+
+pub use service::{
+    InterpretRequest, InterpretationService, ServeError, ServeOutcome, Served, ServiceConfig,
+    Ticket,
+};
+pub use shared_cache::{SharedCacheConfig, SharedRegionCache};
+pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError};
+pub use stats::{ServiceStats, StatsSnapshot};

@@ -1,0 +1,918 @@
+//! The concurrent interpretation service (see the crate docs for the
+//! request lifecycle and the exactness argument for coalescing).
+
+use crate::shared_cache::{SharedCacheConfig, SharedRegionCache};
+use crate::snapshot::CacheSnapshot;
+use crate::stats::{ServiceStats, StatsSnapshot};
+use crossbeam::channel::{self, Receiver, Sender};
+use openapi_api::PredictionApi;
+use openapi_core::batch::queries_consumed;
+use openapi_core::decision::{Interpretation, RegionFingerprint};
+use openapi_core::equations::Probe;
+use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
+use openapi_core::InterpretError;
+use openapi_linalg::Vector;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads (clamped to ≥ 1).
+    pub workers: usize,
+    /// Shared-cache sharding and capacity.
+    pub cache: SharedCacheConfig,
+    /// Configuration of the per-region Algorithm-1 solves.
+    pub openapi: OpenApiConfig,
+    /// Master seed; each request's sampling RNG derives from
+    /// `(seed, request id)`, so a fixed submission order replays exactly.
+    pub seed: u64,
+    /// Whether concurrent same-class misses coalesce onto one in-flight
+    /// solve (`true` by default; disable to benchmark the difference).
+    pub coalesce: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            cache: SharedCacheConfig::default(),
+            openapi: OpenApiConfig::default(),
+            seed: 42,
+            coalesce: true,
+        }
+    }
+}
+
+/// One unit of work for the service.
+#[derive(Debug, Clone)]
+pub struct InterpretRequest {
+    /// The instance whose prediction to interpret.
+    pub instance: Vector,
+    /// The class to interpret it for.
+    pub class: usize,
+    /// Drop-dead time: a request past its deadline completes with
+    /// [`ServeError::DeadlineExceeded`] instead of occupying a worker.
+    pub deadline: Option<Instant>,
+}
+
+impl InterpretRequest {
+    /// A request with no deadline.
+    pub fn new(instance: Vector, class: usize) -> Self {
+        InterpretRequest {
+            instance,
+            class,
+            deadline: None,
+        }
+    }
+
+    /// Sets a deadline `budget` from now.
+    pub fn with_timeout(mut self, budget: Duration) -> Self {
+        self.deadline = Some(Instant::now() + budget);
+        self
+    }
+}
+
+/// How a request was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeOutcome {
+    /// Served from the shared cache (1 probe query).
+    CacheHit,
+    /// This request led the Algorithm-1 solve for its region.
+    Solved,
+    /// Served from another request's in-flight solve (1 probe query).
+    Coalesced,
+}
+
+/// A completed interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Served {
+    /// The region's exact interpretation (bit-identical across every
+    /// request resolved to the same region — the paper's consistency
+    /// property).
+    pub interpretation: Interpretation,
+    /// Canonical key of the serving region.
+    pub fingerprint: RegionFingerprint,
+    /// How the request was satisfied.
+    pub outcome: ServeOutcome,
+    /// Prediction queries spent on behalf of this request.
+    pub queries: usize,
+    /// End-to-end latency (submit → completion).
+    pub latency: Duration,
+}
+
+/// Why a request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The underlying interpretation failed (bad arguments, budget
+    /// exhaustion, …).
+    Interpret(InterpretError),
+    /// The request's deadline passed before it completed.
+    DeadlineExceeded,
+    /// The service shut down before the request completed.
+    ServiceStopped,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Interpret(e) => write!(f, "interpretation failed: {e}"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ServiceStopped => write!(f, "service stopped"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The caller's handle to an in-flight request: block on
+/// [`Ticket::wait`] or poll with [`Ticket::poll`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Served, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    /// [`ServeError`] as completed by the service, or
+    /// [`ServeError::ServiceStopped`] if the service dropped the request.
+    pub fn wait(self) -> Result<Served, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ServiceStopped))
+    }
+
+    /// Blocks up to `timeout`; `None` when the request is still running.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<Served, ServeError>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => Some(result),
+            Err(mpsc::RecvTimeoutError::Timeout) => None,
+            Err(mpsc::RecvTimeoutError::Disconnected) => Some(Err(ServeError::ServiceStopped)),
+        }
+    }
+
+    /// Non-blocking check; `None` while the request is still running.
+    pub fn poll(&self) -> Option<Result<Served, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ServiceStopped)),
+        }
+    }
+}
+
+/// A queued request inside the service. `probs` caches the membership
+/// probe so a requeued request never queries the API twice.
+struct Job {
+    x: Vector,
+    class: usize,
+    deadline: Option<Instant>,
+    probs: Option<Vector>,
+    queries_spent: usize,
+    submitted: Instant,
+    id: u64,
+    reply: mpsc::Sender<Result<Served, ServeError>>,
+}
+
+enum Msg {
+    Job(Job),
+    Shutdown,
+}
+
+/// State shared between the service handle and its workers.
+struct Inner<M> {
+    api: M,
+    cache: SharedRegionCache,
+    stats: ServiceStats,
+    interpreter: OpenApiInterpreter,
+    config: ServiceConfig,
+    /// Per-class in-flight solve registry: the key's presence means a
+    /// leader is solving; the value collects waiters to serve (or requeue)
+    /// when it finishes.
+    inflight: Mutex<HashMap<usize, Vec<Job>>>,
+    /// Bumped after every successful solve's cache insert (and before its
+    /// registry-key removal). Lets the miss path skip the duplicate-solve
+    /// recheck — a cache scan — while holding the `inflight` mutex unless a
+    /// solve actually completed since it last read the cache.
+    solve_generation: AtomicU64,
+}
+
+/// The concurrent interpretation service (see the crate docs).
+///
+/// Dropping the service joins its workers; requests still queued at that
+/// point complete with [`ServeError::ServiceStopped`].
+pub struct InterpretationService<M: PredictionApi + Send + Sync + 'static> {
+    inner: Arc<Inner<M>>,
+    tx: Sender<Msg>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
+    /// Spawns the worker pool over `api`.
+    pub fn new(api: M, config: ServiceConfig) -> Self {
+        let mut config = config;
+        config.workers = config.workers.max(1);
+        let cache = SharedRegionCache::new(config.cache.clone());
+        let interpreter = OpenApiInterpreter::new(config.openapi.clone());
+        let inner = Arc::new(Inner {
+            api,
+            cache,
+            stats: ServiceStats::default(),
+            interpreter,
+            config,
+            inflight: Mutex::new(HashMap::new()),
+            solve_generation: AtomicU64::new(0),
+        });
+        let (tx, rx) = channel::unbounded::<Msg>();
+        let workers = (0..inner.config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let rx: Receiver<Msg> = rx.clone();
+                let tx = tx.clone();
+                std::thread::spawn(move || worker_loop(&inner, &rx, &tx))
+            })
+            .collect();
+        InterpretationService {
+            inner,
+            tx,
+            workers,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Borrow the (clamped) configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// Borrow the shared region cache (e.g. to snapshot it).
+    pub fn cache(&self) -> &SharedRegionCache {
+        &self.inner.cache
+    }
+
+    /// Borrow the wrapped prediction API.
+    pub fn api(&self) -> &M {
+        &self.inner.api
+    }
+
+    /// Submits a request; returns immediately with a [`Ticket`].
+    pub fn submit(&self, request: InterpretRequest) -> Ticket {
+        let (reply, rx) = mpsc::channel();
+        ServiceStats::add(&self.inner.stats.requests, 1);
+        let job = Job {
+            x: request.instance,
+            class: request.class,
+            deadline: request.deadline,
+            probs: None,
+            queries_spent: 0,
+            submitted: Instant::now(),
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            reply,
+        };
+        if let Err(channel::SendError(Msg::Job(job))) = self.tx.send(Msg::Job(job)) {
+            // Workers are gone (shutdown raced the submit): fail the ticket
+            // immediately — through `finish`, so the failure is counted and
+            // the stats ledger stays consistent.
+            finish(self.inner.as_ref(), job, Err(ServeError::ServiceStopped));
+        }
+        Ticket { rx }
+    }
+
+    /// Convenience: submit an instance/class pair with no deadline.
+    pub fn submit_instance(&self, instance: Vector, class: usize) -> Ticket {
+        self.submit(InterpretRequest::new(instance, class))
+    }
+
+    /// A point-in-time statistics snapshot (counters + cache gauges +
+    /// latency quantiles).
+    pub fn stats(&self) -> StatsSnapshot {
+        self.inner
+            .stats
+            .snapshot(self.inner.cache.evictions(), self.inner.cache.len())
+    }
+
+    /// Snapshot of the solved regions, for [`CacheSnapshot::to_bytes`] /
+    /// warm-starting another service.
+    pub fn snapshot_cache(&self) -> CacheSnapshot {
+        self.inner.cache.snapshot()
+    }
+
+    /// Warm-starts the cache from a prior run's snapshot; returns the
+    /// number of entries admitted.
+    pub fn restore_cache(&self, snapshot: &CacheSnapshot) -> usize {
+        self.inner.cache.restore(snapshot)
+    }
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> Drop for InterpretationService<M> {
+    fn drop(&mut self) {
+        for _ in &self.workers {
+            // Workers still draining jobs will see the sentinel eventually;
+            // send errors mean they are already gone.
+            let _ = self.tx.send(Msg::Shutdown);
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> fmt::Debug for InterpretationService<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InterpretationService")
+            .field("config", &self.inner.config)
+            .field("cached_regions", &self.inner.cache.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn worker_loop<M: PredictionApi>(inner: &Inner<M>, rx: &Receiver<Msg>, tx: &Sender<Msg>) {
+    while let Ok(Msg::Job(job)) = rx.recv() {
+        // A panicking `predict` (e.g. a remote-API wrapper) must not take
+        // the worker — or, via leaked coalescing leadership, a whole class
+        // — down with it. The panicking job's reply sender is dropped here,
+        // so its ticket resolves as `ServiceStopped`; `LeaderGuard` inside
+        // `handle_job` releases any leadership it held.
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| handle_job(inner, tx, job)));
+        if outcome.is_err() {
+            ServiceStats::add(&inner.stats.failures, 1);
+        }
+    }
+}
+
+/// Unwind protection for coalescing leadership: if the leader panics
+/// between electing itself and settling its waiters, dropping the guard
+/// releases the in-flight entry and requeues the parked waiters so healthy
+/// workers recover them — without it, every future request for the class
+/// would park behind a dead leader forever.
+struct LeaderGuard<'a, M: PredictionApi> {
+    inner: &'a Inner<M>,
+    tx: &'a Sender<Msg>,
+    class: usize,
+    armed: bool,
+}
+
+impl<'a, M: PredictionApi> LeaderGuard<'a, M> {
+    fn new(inner: &'a Inner<M>, tx: &'a Sender<Msg>, class: usize) -> Self {
+        LeaderGuard {
+            inner,
+            tx,
+            class,
+            armed: true,
+        }
+    }
+
+    /// The normal path: disarms the guard and hands back the waiters that
+    /// parked during the solve.
+    fn release(mut self) -> Vec<Job> {
+        self.armed = false;
+        self.inner
+            .inflight
+            .lock()
+            .remove(&self.class)
+            .expect("leader owns the in-flight entry")
+    }
+}
+
+impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        // Unwinding: release leadership and requeue the waiters. A send
+        // failure means shutdown; dropping the job resolves its ticket as
+        // `ServiceStopped`.
+        if let Some(waiters) = self.inner.inflight.lock().remove(&self.class) {
+            for waiter in waiters {
+                let _ = self.tx.send(Msg::Job(waiter));
+            }
+        }
+    }
+}
+
+/// Completes a job: records latency + outcome counters, sends the reply.
+fn finish(inner: &Inner<impl PredictionApi>, job: Job, result: Result<Served, ServeError>) {
+    if result.is_err() {
+        ServiceStats::add(&inner.stats.failures, 1);
+        if matches!(result, Err(ServeError::DeadlineExceeded)) {
+            ServiceStats::add(&inner.stats.deadline_expired, 1);
+        }
+    }
+    inner.stats.record_latency(job.submitted.elapsed());
+    let _ = job.reply.send(result);
+}
+
+fn expired(job: &Job) -> bool {
+    job.deadline.is_some_and(|d| Instant::now() > d)
+}
+
+fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job) {
+    if expired(&job) {
+        return finish(inner, job, Err(ServeError::DeadlineExceeded));
+    }
+    // Argument validation mirrors `OpenApiInterpreter::interpret`: doomed
+    // requests must not be billed a single query.
+    let (d, c_total) = (inner.api.dim(), inner.api.num_classes());
+    if job.x.len() != d {
+        let e = InterpretError::DimensionMismatch {
+            expected: d,
+            found: job.x.len(),
+        };
+        return finish(inner, job, Err(ServeError::Interpret(e)));
+    }
+    if c_total < 2 {
+        let e = InterpretError::TooFewClasses {
+            num_classes: c_total,
+        };
+        return finish(inner, job, Err(ServeError::Interpret(e)));
+    }
+    if job.class >= c_total {
+        let e = InterpretError::ClassOutOfRange {
+            class: job.class,
+            num_classes: c_total,
+        };
+        return finish(inner, job, Err(ServeError::Interpret(e)));
+    }
+
+    // The membership probe: one query, reused as Algorithm 1's x⁰ equation
+    // on a miss and carried along on a requeue — never paid twice.
+    let probs = match job.probs.take() {
+        Some(probs) => probs,
+        None => {
+            ServiceStats::add(&inner.stats.queries, 1);
+            job.queries_spent += 1;
+            inner.api.predict(job.x.as_slice())
+        }
+    };
+
+    let generation = inner.solve_generation.load(Ordering::Relaxed);
+    if let Some(hit) = inner
+        .cache
+        .lookup_probe(&job.x, probs.as_slice(), job.class)
+    {
+        ServiceStats::add(&inner.stats.hits, 1);
+        let served = Served {
+            interpretation: hit.interpretation,
+            fingerprint: hit.fingerprint,
+            outcome: ServeOutcome::CacheHit,
+            queries: job.queries_spent,
+            latency: job.submitted.elapsed(),
+        };
+        return finish(inner, job, Ok(served));
+    }
+
+    if inner.config.coalesce {
+        let mut inflight = inner.inflight.lock();
+        if let Some(waiters) = inflight.get_mut(&job.class) {
+            // A leader is solving this class: park and let its result
+            // decide (serve if it explains our probe, requeue otherwise).
+            ServiceStats::add(&inner.stats.coalesced_waits, 1);
+            job.probs = Some(probs);
+            waiters.push(job);
+            return;
+        }
+        inflight.insert(job.class, Vec::new());
+        // Lock released here; newcomers for this class now park above.
+    }
+    let leadership = inner
+        .config
+        .coalesce
+        .then(|| LeaderGuard::new(inner, tx, job.class));
+
+    // Double-checked lookup before solving: a leader that finished between
+    // our cache miss and our election has already inserted its region
+    // (insert happens-before the generation bump, which happens-before the
+    // registry removal our election observed), so re-reading the cache
+    // prevents a duplicate solve of a just-solved region. The recheck runs
+    // OUTSIDE the registry mutex — leadership already excludes same-class
+    // leaders, so the scan serializes nobody — and only in the rare race,
+    // when the generation says a solve completed since our lookup began.
+    let recheck = (leadership.is_some()
+        && inner.solve_generation.load(Ordering::Relaxed) != generation)
+        .then(|| {
+            inner
+                .cache
+                .lookup_probe(&job.x, probs.as_slice(), job.class)
+        })
+        .flatten();
+
+    let (solved, outcome) = match recheck {
+        Some(hit) => {
+            ServiceStats::add(&inner.stats.hits, 1);
+            (
+                Ok((hit.interpretation, hit.fingerprint)),
+                ServeOutcome::CacheHit,
+            )
+        }
+        None => (lead_solve(inner, &mut job, probs), ServeOutcome::Solved),
+    };
+
+    if let Some(guard) = leadership {
+        let waiters = guard.release();
+        settle_waiters(inner, tx, solved.as_ref(), waiters);
+    }
+
+    let result = match solved {
+        Ok((interpretation, fingerprint)) => Ok(Served {
+            interpretation,
+            fingerprint,
+            outcome,
+            queries: job.queries_spent,
+            latency: job.submitted.elapsed(),
+        }),
+        Err(e) => Err(ServeError::Interpret(e)),
+    };
+    finish(inner, job, result);
+}
+
+/// Runs Algorithm 1 from the already-paid probe and admits the result into
+/// the shared cache. Returns the *cached* entry (canonical under
+/// fingerprint merging), so every caller serves identical bits.
+fn lead_solve<M: PredictionApi>(
+    inner: &Inner<M>,
+    job: &mut Job,
+    probs: Vector,
+) -> Result<(Interpretation, RegionFingerprint), InterpretError> {
+    let probe = Probe {
+        x: job.x.clone(),
+        probs,
+    };
+    let mut rng = request_rng(inner.config.seed, job.id);
+    match inner
+        .interpreter
+        .interpret_with_probe(&inner.api, probe, job.class, &mut rng)
+    {
+        Ok(res) => {
+            // `res.queries` counts the probe; it was already tallied.
+            ServiceStats::add(&inner.stats.queries, (res.queries - 1) as u64);
+            ServiceStats::add(&inner.stats.misses, 1);
+            job.queries_spent += res.queries - 1;
+            let cached = inner.cache.insert(res.interpretation);
+            // After the insert, before the leader releases its registry
+            // key: anyone who later observes the key absent also observes
+            // this bump (the registry mutex orders both), and rechecks.
+            inner.solve_generation.fetch_add(1, Ordering::Relaxed);
+            Ok((cached.interpretation, cached.fingerprint))
+        }
+        Err(e) => {
+            ServiceStats::add(
+                &inner.stats.queries,
+                queries_consumed(&e, inner.api.dim()) as u64,
+            );
+            Err(e)
+        }
+    }
+}
+
+/// Settles the requests that parked behind a leader's solve: waiters whose
+/// probe the solved region explains are in that region (Theorem 2) and are
+/// served its exact interpretation; everyone else — other regions queued
+/// behind this solve, or waiters of a failed solve — goes back on the
+/// queue, probe in hand, to hit the cache or lead their own solve.
+fn settle_waiters<M: PredictionApi>(
+    inner: &Inner<M>,
+    tx: &Sender<Msg>,
+    solved: Result<&(Interpretation, RegionFingerprint), &InterpretError>,
+    waiters: Vec<Job>,
+) {
+    let rtol = inner.config.cache.membership_rtol;
+    for waiter in waiters {
+        if expired(&waiter) {
+            finish(inner, waiter, Err(ServeError::DeadlineExceeded));
+            continue;
+        }
+        let same_region = match solved {
+            Ok((interpretation, _)) => {
+                let probs = waiter.probs.as_ref().expect("waiters carry their probe");
+                interpretation.explains_probe(&waiter.x, probs.as_slice(), rtol)
+            }
+            Err(_) => false,
+        };
+        if same_region {
+            let (interpretation, fingerprint) = solved.expect("checked above");
+            ServiceStats::add(&inner.stats.coalesced_served, 1);
+            let served = Served {
+                interpretation: interpretation.clone(),
+                fingerprint: *fingerprint,
+                outcome: ServeOutcome::Coalesced,
+                queries: waiter.queries_spent,
+                latency: waiter.submitted.elapsed(),
+            };
+            finish(inner, waiter, Ok(served));
+        } else if let Err(channel::SendError(Msg::Job(waiter))) = tx.send(Msg::Job(waiter)) {
+            finish(inner, waiter, Err(ServeError::ServiceStopped));
+        }
+    }
+}
+
+/// Derives a request's sampling RNG from `(seed, request id)` via
+/// [`openapi_core::rng::derived_rng`] — the same derivation the eval
+/// harness's `item_rng` uses, so request 0 never collides with direct uses
+/// of the master seed and any fixed submission order replays
+/// bit-identically.
+fn request_rng(seed: u64, id: u64) -> StdRng {
+    openapi_core::rng::derived_rng(seed, id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_api::{CountingApi, LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm};
+    use openapi_linalg::Matrix;
+
+    fn two_region_model() -> TwoRegionPlm {
+        let low = LocalLinearModel::new(
+            Matrix::from_rows(&[&[2.0, -2.0], &[1.0, 0.5]]).unwrap(),
+            Vector(vec![0.0, 0.2]),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_rows(&[&[-1.0, 1.5], &[0.0, 3.0]]).unwrap(),
+            Vector(vec![0.5, -0.5]),
+        );
+        TwoRegionPlm::axis_split(0, 0.5, low, high)
+    }
+
+    fn service(workers: usize) -> InterpretationService<CountingApi<TwoRegionPlm>> {
+        InterpretationService::new(
+            CountingApi::new(two_region_model()),
+            ServiceConfig {
+                workers,
+                ..ServiceConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_exact_interpretations_and_counts_outcomes() {
+        let svc = service(2);
+        let instances: Vec<Vector> = (0..12)
+            .map(|i| {
+                let side = if i % 2 == 0 { 0.2 } else { 0.8 };
+                Vector(vec![side, (i as f64 * 0.37).sin() * 0.4])
+            })
+            .collect();
+        let tickets: Vec<Ticket> = instances
+            .iter()
+            .map(|x| svc.submit_instance(x.clone(), 0))
+            .collect();
+        let model = two_region_model();
+        for (x, t) in instances.iter().zip(tickets) {
+            let served = t.wait().expect("interior instances interpret");
+            // Exactness: the served parameters are the region's ground truth.
+            use openapi_api::GroundTruthOracle;
+            let truth = model.local_model(x.as_slice()).decision_features(0);
+            let err = served
+                .interpretation
+                .decision_features
+                .l1_distance(&truth)
+                .unwrap();
+            assert!(err < 1e-7, "L1Dist {err}");
+            // Every serve verified membership against this request's probe.
+            assert!(served.queries >= 1);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 12);
+        assert_eq!(
+            stats.hits + stats.misses + stats.coalesced_served + stats.failures,
+            12
+        );
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.cached_regions, 2);
+        // The metered API agrees with the stats ledger.
+        assert_eq!(stats.queries, svc.api().queries());
+    }
+
+    #[test]
+    fn invalid_requests_fail_without_queries() {
+        let svc = service(1);
+        let bad_dim = svc.submit_instance(Vector(vec![0.0; 5]), 0).wait();
+        assert!(matches!(
+            bad_dim,
+            Err(ServeError::Interpret(
+                InterpretError::DimensionMismatch { .. }
+            ))
+        ));
+        let bad_class = svc.submit_instance(Vector(vec![0.1, 0.2]), 9).wait();
+        assert!(matches!(
+            bad_class,
+            Err(ServeError::Interpret(
+                InterpretError::ClassOutOfRange { .. }
+            ))
+        ));
+        assert_eq!(svc.api().queries(), 0);
+        let stats = svc.stats();
+        assert_eq!(stats.failures, 2);
+    }
+
+    #[test]
+    fn expired_deadlines_are_rejected() {
+        let svc = service(1);
+        let req = InterpretRequest {
+            instance: Vector(vec![0.2, 0.1]),
+            class: 0,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        };
+        assert!(matches!(
+            svc.submit(req).wait(),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        assert_eq!(svc.stats().deadline_expired, 1);
+    }
+
+    #[test]
+    fn tickets_can_be_polled() {
+        let svc = service(1);
+        let ticket = svc.submit_instance(Vector(vec![0.2, 0.1]), 0);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let result = loop {
+            if let Some(r) = ticket.poll() {
+                break r;
+            }
+            assert!(Instant::now() < deadline, "request never completed");
+            std::thread::yield_now();
+        };
+        assert!(result.is_ok());
+    }
+
+    #[test]
+    fn coalescing_shares_one_solve_across_a_burst() {
+        // Single-region model: every request resolves to the same region,
+        // so a burst must produce exactly one miss and zero failures, and
+        // hits + coalesced make up the rest.
+        let w = Matrix::from_fn(8, 3, |r, c| ((r * 3 + c) % 7) as f64 * 0.1 - 0.3);
+        let api = CountingApi::new(LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05])));
+        let svc = InterpretationService::new(
+            api,
+            ServiceConfig {
+                workers: 4,
+                ..ServiceConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..64)
+            .map(|i| {
+                let x = Vector((0..8).map(|j| ((i * 8 + j) as f64 * 0.11).cos()).collect());
+                svc.submit_instance(x, 1)
+            })
+            .collect();
+        let mut outcomes = Vec::new();
+        for t in tickets {
+            outcomes.push(t.wait().expect("single region must interpret").outcome);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.misses, 1, "one region, one solve");
+        assert_eq!(stats.failures, 0);
+        assert_eq!(stats.hits + stats.coalesced_served, 63);
+        assert_eq!(
+            outcomes
+                .iter()
+                .filter(|o| **o == ServeOutcome::Solved)
+                .count(),
+            1
+        );
+        // All 64 answers are bit-identical (consistency).
+        // (Checked via stats here; tests/service_concurrency.rs does the
+        // full bitwise comparison across threads.)
+    }
+
+    #[test]
+    fn panicking_solve_does_not_wedge_the_class_or_the_worker() {
+        /// Panics on exactly the `panic_on`-th prediction — timed so the
+        /// first request's probe succeeds (call 1) and its Algorithm-1
+        /// sampling (calls 2–4) dies mid-solve, i.e. while the request
+        /// holds coalescing leadership for its class.
+        struct PanicOnCall<M> {
+            inner: M,
+            calls: AtomicU64,
+            panic_on: u64,
+        }
+
+        impl<M: PredictionApi> PredictionApi for PanicOnCall<M> {
+            fn dim(&self) -> usize {
+                self.inner.dim()
+            }
+
+            fn num_classes(&self) -> usize {
+                self.inner.num_classes()
+            }
+
+            fn predict(&self, x: &[f64]) -> Vector {
+                let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+                assert!(n != self.panic_on, "injected mid-solve panic");
+                self.inner.predict(x)
+            }
+        }
+
+        let svc = InterpretationService::new(
+            PanicOnCall {
+                inner: two_region_model(),
+                calls: AtomicU64::new(0),
+                panic_on: 3,
+            },
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let x = Vector(vec![0.2, 0.1]);
+        let poisoned = svc.submit_instance(x.clone(), 0);
+        let recovered = svc.submit_instance(x.clone(), 0);
+        let hit = svc.submit_instance(x, 0);
+        // The poisoned request dies with the worker's unwind; its ticket
+        // resolves (as stopped), it never hangs.
+        assert!(poisoned.wait().is_err());
+        // Leadership was released: the follow-up request for the same class
+        // completes (a wedged registry would park it forever).
+        let recovered = recovered
+            .wait_timeout(Duration::from_secs(60))
+            .expect("class must recover after a panicked leader")
+            .expect("clean re-solve");
+        assert_eq!(recovered.outcome, ServeOutcome::Solved);
+        assert_eq!(hit.wait().unwrap().outcome, ServeOutcome::CacheHit);
+        // The panicked request is accounted as a failure.
+        assert!(svc.stats().failures >= 1);
+    }
+
+    #[test]
+    fn replays_are_deterministic_for_a_fixed_submission_order() {
+        let run = || {
+            let svc = service(1);
+            let xs = [Vector(vec![0.2, 0.4]), Vector(vec![0.7, -0.1])];
+            xs.iter()
+                .map(|x| {
+                    svc.submit_instance(x.clone(), 0)
+                        .wait()
+                        .unwrap()
+                        .interpretation
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mismatched_snapshot_degrades_to_misses_not_poisoned_lookups() {
+        // Regression: an entry recovered from a DIFFERENT model (contrast
+        // class 4 in a 2-class service) lands in the cache via restore; it
+        // must simply never pass membership — requests for its class still
+        // solve and succeed, rather than every lookup panicking on the
+        // foreign entry and killing the class.
+        use crate::snapshot::SnapshotEntry;
+        use openapi_core::decision::PairwiseCoreParams;
+
+        let foreign = Interpretation::from_pairwise(
+            0,
+            vec![PairwiseCoreParams {
+                c_prime: 4, // out of range for TwoRegionPlm's 2 classes
+                weights: Vector(vec![1.0, -1.0]),
+                bias: 0.5,
+            }],
+        )
+        .unwrap();
+        let snapshot = CacheSnapshot {
+            entries: vec![SnapshotEntry {
+                fingerprint: foreign.fingerprint(6),
+                interpretation: foreign,
+            }],
+        };
+        let svc = service(2);
+        assert_eq!(svc.restore_cache(&snapshot), 1);
+        let served = svc
+            .submit_instance(Vector(vec![0.2, 0.1]), 0)
+            .wait()
+            .expect("foreign cache entry must not poison the class");
+        assert_eq!(served.outcome, ServeOutcome::Solved);
+        assert_eq!(svc.stats().failures, 0);
+    }
+
+    #[test]
+    fn warm_start_from_snapshot_skips_the_solves() {
+        let svc = service(2);
+        let xs: Vec<Vector> = vec![Vector(vec![0.2, 0.3]), Vector(vec![0.8, -0.2])];
+        for x in &xs {
+            svc.submit_instance(x.clone(), 0).wait().unwrap();
+        }
+        let snapshot = svc.snapshot_cache();
+        assert_eq!(snapshot.entries.len(), 2);
+        let bytes = snapshot.to_bytes();
+
+        // A brand-new service restored from the bytes serves both regions
+        // from cache: zero solves, one probe per request.
+        let restored = CacheSnapshot::from_bytes(&bytes).unwrap();
+        let svc2 = service(2);
+        assert_eq!(svc2.restore_cache(&restored), 2);
+        for x in &xs {
+            let served = svc2.submit_instance(x.clone(), 0).wait().unwrap();
+            assert_eq!(served.outcome, ServeOutcome::CacheHit);
+            assert_eq!(served.queries, 1);
+        }
+        assert_eq!(svc2.stats().misses, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The sharded, thread-safe region cache.
+//!
+//! [`SharedRegionCache`] spreads one [`RegionCache`] per shard behind a
+//! `parking_lot::RwLock`. Inserts route by [`RegionFingerprint`] (shard =
+//! `fingerprint mod N`), so write contention is diluted N ways; lookups
+//! cannot know a probe's fingerprint before solving (that would require the
+//! very parameters being looked up), so they scan the shards under read
+//! locks — many concurrent readers proceed in parallel, and the membership
+//! test per entry is a handful of dot products.
+//!
+//! Each shard carries `⌈capacity / N⌉` entries at most, evicted CLOCK-wise
+//! (see [`RegionCache`]), so the whole cache stays within its configured
+//! bound no matter how many distinct regions traffic touches.
+
+use crate::snapshot::{CacheSnapshot, SnapshotEntry};
+use openapi_core::cache::{CachedRegion, RegionCache, RegionCacheConfig};
+use openapi_core::decision::Interpretation;
+use openapi_linalg::Vector;
+use parking_lot::RwLock;
+
+/// Configuration of a [`SharedRegionCache`].
+#[derive(Debug, Clone)]
+pub struct SharedCacheConfig {
+    /// Number of shards (clamped to ≥ 1). More shards → less write
+    /// contention; lookups scan all of them, so keep it moderate.
+    pub shards: usize,
+    /// Total capacity bound across all shards (clamped to ≥ `shards`).
+    pub capacity: usize,
+    /// Membership-test tolerance (see
+    /// [`openapi_core::batch::BatchConfig::membership_rtol`]).
+    pub membership_rtol: f64,
+    /// Fingerprint canonicalization digits.
+    pub fingerprint_digits: u32,
+}
+
+impl Default for SharedCacheConfig {
+    fn default() -> Self {
+        let base = RegionCacheConfig::default();
+        SharedCacheConfig {
+            shards: 8,
+            capacity: 4096,
+            membership_rtol: base.membership_rtol,
+            fingerprint_digits: base.fingerprint_digits,
+        }
+    }
+}
+
+/// The sharded concurrent region cache (see the module docs).
+#[derive(Debug)]
+pub struct SharedRegionCache {
+    shards: Vec<RwLock<RegionCache>>,
+    config: SharedCacheConfig,
+}
+
+impl SharedRegionCache {
+    /// Creates an empty cache with the given sharding and capacity.
+    pub fn new(config: SharedCacheConfig) -> Self {
+        let mut config = config;
+        config.shards = config.shards.max(1);
+        config.capacity = config.capacity.max(config.shards);
+        let per_shard = config.capacity.div_ceil(config.shards);
+        let shards = (0..config.shards)
+            .map(|_| {
+                RwLock::new(RegionCache::new(RegionCacheConfig {
+                    membership_rtol: config.membership_rtol,
+                    fingerprint_digits: config.fingerprint_digits,
+                    capacity: Some(per_shard),
+                }))
+            })
+            .collect();
+        SharedRegionCache { shards, config }
+    }
+
+    /// Borrow the (clamped) configuration.
+    pub fn config(&self) -> &SharedCacheConfig {
+        &self.config
+    }
+
+    /// Total capacity bound (per-shard bound × shard count; ≥ the
+    /// configured capacity because per-shard capacity rounds up).
+    pub fn capacity(&self) -> usize {
+        self.config.capacity.div_ceil(self.config.shards) * self.config.shards
+    }
+
+    /// Regions currently cached across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no regions are cached.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+
+    /// Regions evicted across all shards since construction.
+    pub fn evictions(&self) -> u64 {
+        self.shards.iter().map(|s| s.read().evictions()).sum()
+    }
+
+    /// Drops every cached region.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+    }
+
+    /// Black-box membership lookup across the shards (read locks only).
+    /// Returns the first cached region of `class` whose core parameters
+    /// explain the prediction `probs` observed at `x`.
+    pub fn lookup_probe(&self, x: &Vector, probs: &[f64], class: usize) -> Option<CachedRegion> {
+        self.shards
+            .iter()
+            .find_map(|shard| shard.read().lookup_probe(x, probs, class))
+    }
+
+    /// Admits a freshly solved region into its fingerprint's shard,
+    /// returning the entry that ends up cached (the canonical one if an
+    /// agreeing entry already existed — see
+    /// [`RegionCache::insert`]).
+    pub fn insert(&self, interpretation: Interpretation) -> CachedRegion {
+        let fingerprint = interpretation.fingerprint(self.config.fingerprint_digits);
+        let shard = (fingerprint.0 % self.shards.len() as u64) as usize;
+        self.shards[shard].write().insert(interpretation, None)
+    }
+
+    /// A point-in-time copy of every cached region, for persistence or
+    /// warm-starting another service (see [`CacheSnapshot`]). Shards are
+    /// locked one at a time, so the snapshot is per-shard consistent but
+    /// not globally atomic — fine for its purpose (each entry is
+    /// independently exact).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let entries = self
+            .shards
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .read()
+                    .iter()
+                    .map(|r| SnapshotEntry {
+                        fingerprint: r.fingerprint,
+                        interpretation: r.interpretation,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        CacheSnapshot { entries }
+    }
+
+    /// Warm-starts the cache from a snapshot: every entry is re-admitted
+    /// through the normal insert path (fingerprints are recomputed at this
+    /// cache's `fingerprint_digits`). Returns the number of entries
+    /// *replayed* — duplicates merge and the capacity bound still evicts,
+    /// so [`SharedRegionCache::len`] afterwards may be smaller.
+    pub fn restore(&self, snapshot: &CacheSnapshot) -> usize {
+        for entry in &snapshot.entries {
+            self.insert(entry.interpretation.clone());
+        }
+        snapshot.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_core::decision::PairwiseCoreParams;
+
+    fn interp(class: usize, w: f64) -> Interpretation {
+        Interpretation::from_pairwise(
+            class,
+            vec![PairwiseCoreParams {
+                c_prime: class + 1,
+                weights: Vector(vec![w, -w]),
+                bias: 0.25 * w,
+            }],
+        )
+        .unwrap()
+    }
+
+    /// A probe consistent with `interp(class, w)` at `x`: builds the
+    /// two-class probability vector whose log-ratio matches `D·x + B`.
+    fn consistent_probs(i: &Interpretation, x: &Vector) -> Vec<f64> {
+        let p = &i.pairwise[0];
+        let target = p.weights.dot(x).unwrap() + p.bias;
+        let r = target.exp();
+        let denom = 1.0 + r;
+        let mut probs = vec![0.0; p.c_prime + 1];
+        probs[i.class] = r / denom;
+        probs[p.c_prime] = 1.0 / denom;
+        probs
+    }
+
+    #[test]
+    fn insert_then_lookup_roundtrips_through_the_shards() {
+        let cache = SharedRegionCache::new(SharedCacheConfig::default());
+        let x = Vector(vec![0.3, -0.8]);
+        for w in 1..=16 {
+            cache.insert(interp(0, w as f64));
+        }
+        assert_eq!(cache.len(), 16);
+        let target = interp(0, 7.0);
+        let probs = consistent_probs(&target, &x);
+        let hit = cache.lookup_probe(&x, &probs, 0).expect("region 7 cached");
+        assert_eq!(hit.interpretation, target);
+        // A probe no cached region explains misses every shard.
+        assert!(cache.lookup_probe(&x, &[0.31, 0.69], 0).is_none());
+    }
+
+    #[test]
+    fn duplicate_inserts_merge_to_one_entry() {
+        let cache = SharedRegionCache::new(SharedCacheConfig::default());
+        let a = cache.insert(interp(1, 3.0));
+        let b = cache.insert(interp(1, 3.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.interpretation, b.interpretation);
+    }
+
+    #[test]
+    fn capacity_bound_holds_across_shards() {
+        let cache = SharedRegionCache::new(SharedCacheConfig {
+            shards: 4,
+            capacity: 16,
+            ..SharedCacheConfig::default()
+        });
+        for w in 0..200 {
+            cache.insert(interp(0, w as f64 + 0.5));
+        }
+        assert!(cache.len() <= cache.capacity());
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn degenerate_configs_are_clamped() {
+        let cache = SharedRegionCache::new(SharedCacheConfig {
+            shards: 0,
+            capacity: 0,
+            ..SharedCacheConfig::default()
+        });
+        cache.insert(interp(0, 1.0));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.config().shards, 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_stay_consistent() {
+        let cache = SharedRegionCache::new(SharedCacheConfig {
+            shards: 4,
+            capacity: 64,
+            ..SharedCacheConfig::default()
+        });
+        let x = Vector(vec![0.1, 0.9]);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cache = &cache;
+                s.spawn(move || {
+                    for w in 0..50 {
+                        cache.insert(interp(0, (t * 50 + w) as f64 + 0.25));
+                    }
+                });
+            }
+            for _ in 0..4 {
+                let cache = &cache;
+                let x = &x;
+                s.spawn(move || {
+                    for w in 0..200 {
+                        let target = interp(0, w as f64 + 0.25);
+                        let probs = consistent_probs(&target, x);
+                        // Any hit must return exactly the queried region's
+                        // parameters (never another region's).
+                        if let Some(hit) = cache.lookup_probe(x, &probs, 0) {
+                            assert_eq!(hit.interpretation, target);
+                        }
+                    }
+                });
+            }
+        });
+        assert!(cache.len() <= cache.capacity());
+    }
+}

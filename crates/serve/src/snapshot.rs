@@ -1,0 +1,248 @@
+//! Cache snapshot/restore: persistence for the shared region cache.
+//!
+//! A service that restarts (deploy, crash, scale-out) would otherwise pay
+//! the full Algorithm-1 query budget again for every region its traffic
+//! touches. [`CacheSnapshot`] captures the solved regions — each entry is a
+//! recovered, *exact* set of core parameters, so replaying them into a
+//! fresh cache is sound: membership lookups re-verify every serve against
+//! the live API's predictions, so even a snapshot from a *different* model
+//! can never produce a wrong answer (its entries would simply never pass
+//! the membership test and would age out of the bounded cache).
+//!
+//! The wire format follows the workspace convention (see
+//! [`openapi_linalg::codec`]): length-prefixed little-endian, hand-rolled
+//! because the approved dependency set carries serde's *traits* but no
+//! serde format crate. The `serde` derives on the snapshot types keep them
+//! source-compatible with a real serde format should one land.
+
+use bytes::{Buf, BufMut};
+use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
+use openapi_core::InterpretError;
+use openapi_linalg::codec::{self, CodecError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Format magic + version: bumped on any layout change.
+const MAGIC: u64 = 0x4F41_534E_4150_0001; // "OASNAP" v1
+
+/// One persisted region: its canonical key and full interpretation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotEntry {
+    /// Fingerprint at snapshot time (recomputed on restore; stored so
+    /// offline tooling can key entries without re-hashing).
+    pub fingerprint: RegionFingerprint,
+    /// The region's exact interpretation.
+    pub interpretation: Interpretation,
+}
+
+/// A point-in-time copy of a region cache (see the module docs).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct CacheSnapshot {
+    /// The persisted regions, in shard-scan order.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+/// Why decoding a snapshot failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The byte stream is not a snapshot (wrong magic/version).
+    BadMagic {
+        /// The value found where the magic was expected.
+        found: u64,
+    },
+    /// Truncated or implausible binary payload.
+    Codec(CodecError),
+    /// An entry decoded structurally but is not a valid interpretation
+    /// (e.g. empty contrast list or ragged dimensions).
+    BadEntry(InterpretError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a cache snapshot (magic {found:#018x})")
+            }
+            SnapshotError::Codec(e) => write!(f, "snapshot payload: {e}"),
+            SnapshotError::BadEntry(e) => write!(f, "snapshot entry invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<CodecError> for SnapshotError {
+    fn from(e: CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl CacheSnapshot {
+    /// Serializes the snapshot to bytes (infallible).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        buf.put_u64_le(MAGIC);
+        codec::put_len(&mut buf, self.entries.len());
+        for entry in &self.entries {
+            buf.put_u64_le(entry.fingerprint.0);
+            codec::put_len(&mut buf, entry.interpretation.class);
+            codec::put_len(&mut buf, entry.interpretation.pairwise.len());
+            for p in &entry.interpretation.pairwise {
+                codec::put_len(&mut buf, p.c_prime);
+                buf.put_f64_le(p.bias);
+                codec::put_vector(&mut buf, &p.weights);
+            }
+        }
+        buf
+    }
+
+    /// Decodes a snapshot written by [`CacheSnapshot::to_bytes`]. Decision
+    /// features are recomputed from the persisted pairwise parameters
+    /// (Equation 1 is deterministic, so the result is bit-identical to the
+    /// original).
+    ///
+    /// # Errors
+    /// [`SnapshotError`] on wrong magic, truncation, or invalid entries;
+    /// never panics on malformed input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let buf = &mut bytes;
+        if buf.remaining() < 8 {
+            return Err(CodecError::Truncated {
+                what: "snapshot magic",
+                needed: 8,
+                remaining: buf.remaining(),
+            }
+            .into());
+        }
+        let magic = buf.get_u64_le();
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let n = codec::get_len(buf, "snapshot entries")?;
+        let mut entries = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            if buf.remaining() < 8 {
+                return Err(CodecError::Truncated {
+                    what: "entry fingerprint",
+                    needed: 8,
+                    remaining: buf.remaining(),
+                }
+                .into());
+            }
+            let fingerprint = RegionFingerprint(buf.get_u64_le());
+            let class = codec::get_len(buf, "entry class")?;
+            let contrasts = codec::get_len(buf, "entry contrasts")?;
+            let mut pairwise = Vec::with_capacity(contrasts.min(1 << 16));
+            for _ in 0..contrasts {
+                let c_prime = codec::get_len(buf, "contrast class")?;
+                if buf.remaining() < 8 {
+                    return Err(CodecError::Truncated {
+                        what: "contrast bias",
+                        needed: 8,
+                        remaining: buf.remaining(),
+                    }
+                    .into());
+                }
+                let bias = buf.get_f64_le();
+                let weights = codec::get_vector(buf, "contrast weights")?;
+                pairwise.push(PairwiseCoreParams {
+                    c_prime,
+                    weights,
+                    bias,
+                });
+            }
+            let interpretation =
+                Interpretation::from_pairwise(class, pairwise).map_err(SnapshotError::BadEntry)?;
+            entries.push(SnapshotEntry {
+                fingerprint,
+                interpretation,
+            });
+        }
+        Ok(CacheSnapshot { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_linalg::Vector;
+
+    fn entry(class: usize, weights: Vec<f64>, bias: f64) -> SnapshotEntry {
+        let interpretation = Interpretation::from_pairwise(
+            class,
+            vec![PairwiseCoreParams {
+                c_prime: class + 1,
+                weights: Vector(weights),
+                bias,
+            }],
+        )
+        .unwrap();
+        SnapshotEntry {
+            fingerprint: interpretation.fingerprint(6),
+            interpretation,
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let snap = CacheSnapshot {
+            entries: vec![
+                entry(0, vec![1.5, -2.25, 1e-300], 0.125),
+                entry(3, vec![f64::MIN_POSITIVE, 0.0], -7.5),
+            ],
+        };
+        let bytes = snap.to_bytes();
+        let back = CacheSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(snap, back);
+        // Fingerprints recompute identically from the decoded parameters.
+        for e in &back.entries {
+            assert_eq!(e.fingerprint, e.interpretation.fingerprint(6));
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = CacheSnapshot::default();
+        assert_eq!(CacheSnapshot::from_bytes(&snap.to_bytes()).unwrap(), snap);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked_on() {
+        assert!(matches!(
+            CacheSnapshot::from_bytes(&[1, 2, 3]),
+            Err(SnapshotError::Codec(CodecError::Truncated { .. }))
+        ));
+        let mut wrong_magic = vec![0u8; 16];
+        wrong_magic[0] = 0xAB;
+        assert!(matches!(
+            CacheSnapshot::from_bytes(&wrong_magic),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+        // Valid header, truncated body.
+        let snap = CacheSnapshot {
+            entries: vec![entry(0, vec![1.0, 2.0], 0.5)],
+        };
+        let mut bytes = snap.to_bytes();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(
+            CacheSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Codec(CodecError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn structurally_valid_but_empty_entry_is_rejected() {
+        // An entry with zero contrasts decodes but cannot form an
+        // interpretation (Equation 1 needs at least one contrast).
+        let mut buf = Vec::new();
+        buf.put_u64_le(super::MAGIC);
+        codec::put_len(&mut buf, 1); // one entry
+        buf.put_u64_le(42); // fingerprint
+        codec::put_len(&mut buf, 0); // class
+        codec::put_len(&mut buf, 0); // zero contrasts
+        assert!(matches!(
+            CacheSnapshot::from_bytes(&buf),
+            Err(SnapshotError::BadEntry(_))
+        ));
+    }
+}

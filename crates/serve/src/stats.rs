@@ -1,0 +1,154 @@
+//! Atomic service statistics: the numbers a capacity planner needs.
+
+use openapi_metrics::LatencyHistogram;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Lock-free counters every worker thread records into, plus the request
+/// latency histogram. All counters are monotone over the service lifetime.
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Requests submitted.
+    pub(crate) requests: AtomicU64,
+    /// Requests served from the shared cache (1 probe query each).
+    pub(crate) hits: AtomicU64,
+    /// Requests that led an Algorithm-1 solve.
+    pub(crate) misses: AtomicU64,
+    /// Times a request parked behind an in-flight solve of its class.
+    pub(crate) coalesced_waits: AtomicU64,
+    /// Requests served from a leader's solve without solving themselves.
+    pub(crate) coalesced_served: AtomicU64,
+    /// Requests that completed with an error (including expired deadlines).
+    pub(crate) failures: AtomicU64,
+    /// Requests rejected because their deadline passed before completion.
+    pub(crate) deadline_expired: AtomicU64,
+    /// Prediction queries issued to the API on behalf of all requests.
+    pub(crate) queries: AtomicU64,
+    /// End-to-end request latency (submit → reply).
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ServiceStats {
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency.record(latency);
+    }
+
+    /// A point-in-time copy of the counters. `evictions` and
+    /// `cached_regions` describe the cache, which the service owns — it
+    /// fills them in (see `InterpretationService::stats`).
+    pub(crate) fn snapshot(&self, evictions: u64, cached_regions: usize) -> StatsSnapshot {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        StatsSnapshot {
+            requests: load(&self.requests),
+            hits: load(&self.hits),
+            misses: load(&self.misses),
+            coalesced_waits: load(&self.coalesced_waits),
+            coalesced_served: load(&self.coalesced_served),
+            failures: load(&self.failures),
+            deadline_expired: load(&self.deadline_expired),
+            queries: load(&self.queries),
+            evictions,
+            cached_regions,
+            p50_latency: self.latency.p50(),
+            p99_latency: self.latency.p99(),
+        }
+    }
+}
+
+/// A point-in-time view of [`ServiceStats`] plus the cache gauges.
+///
+/// Once every submitted ticket has resolved and the service is still
+/// running, `requests = hits + misses + coalesced_served + failures` —
+/// each request the service completed ends in exactly one of those
+/// outcomes. The exception is shutdown: requests still queued when the
+/// workers exit resolve as `ServeError::ServiceStopped` through their
+/// dropped reply channels, outside any worker's accounting, so after a
+/// shutdown race `requests` can exceed the outcome buckets' sum.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatsSnapshot {
+    /// Requests submitted.
+    pub requests: u64,
+    /// Requests served from the shared cache.
+    pub hits: u64,
+    /// Requests that led an Algorithm-1 solve.
+    pub misses: u64,
+    /// Times a request parked behind an in-flight solve (events, not
+    /// outcomes: one request can wait more than once).
+    pub coalesced_waits: u64,
+    /// Requests served from a leader's solve (outcome bucket).
+    pub coalesced_served: u64,
+    /// Requests that completed with an error.
+    pub failures: u64,
+    /// Of the failures, how many were expired deadlines.
+    pub deadline_expired: u64,
+    /// Prediction queries issued to the API.
+    pub queries: u64,
+    /// Regions evicted from the bounded cache.
+    pub evictions: u64,
+    /// Regions currently cached.
+    pub cached_regions: usize,
+    /// Median request latency (`None` before any request completed).
+    pub p50_latency: Option<Duration>,
+    /// 99th-percentile request latency.
+    pub p99_latency: Option<Duration>,
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "requests {:>8}   hits {:>8}   misses {:>6}   coalesced {:>6} (waits {})",
+            self.requests, self.hits, self.misses, self.coalesced_served, self.coalesced_waits
+        )?;
+        writeln!(
+            f,
+            "queries  {:>8}   failures {:>4} (deadline {})   regions {:>5} (evicted {})",
+            self.queries, self.failures, self.deadline_expired, self.cached_regions, self.evictions
+        )?;
+        let show = |d: Option<Duration>| match d {
+            Some(d) => format!("{:.3} ms", d.as_secs_f64() * 1e3),
+            None => "n/a".to_string(),
+        };
+        write!(
+            f,
+            "latency  p50 ≤ {}   p99 ≤ {}",
+            show(self.p50_latency),
+            show(self.p99_latency)
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reads_what_was_recorded() {
+        let stats = ServiceStats::default();
+        ServiceStats::add(&stats.requests, 10);
+        ServiceStats::add(&stats.hits, 6);
+        ServiceStats::add(&stats.misses, 2);
+        ServiceStats::add(&stats.coalesced_served, 1);
+        ServiceStats::add(&stats.failures, 1);
+        ServiceStats::add(&stats.queries, 42);
+        stats.record_latency(Duration::from_micros(100));
+        let snap = stats.snapshot(3, 7);
+        assert_eq!(snap.requests, 10);
+        assert_eq!(
+            snap.hits + snap.misses + snap.coalesced_served + snap.failures,
+            10
+        );
+        assert_eq!(snap.queries, 42);
+        assert_eq!(snap.evictions, 3);
+        assert_eq!(snap.cached_regions, 7);
+        assert!(snap.p50_latency.is_some());
+        // Display renders without panicking and mentions the key counters.
+        let text = snap.to_string();
+        assert!(text.contains("requests") && text.contains("p99"));
+    }
+}

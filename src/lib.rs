@@ -19,13 +19,19 @@ pub use openapi_linalg as linalg;
 pub use openapi_lmt as lmt;
 pub use openapi_metrics as metrics;
 pub use openapi_nn as nn;
+pub use openapi_serve as serve;
 
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {
     pub use openapi_api::{GradientOracle, GroundTruthOracle, PredictionApi};
     pub use openapi_core::batch::{BatchConfig, BatchInterpreter, BatchOutcome, BatchStats};
+    pub use openapi_core::cache::{RegionCache, RegionCacheConfig};
     pub use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
     pub use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};
     pub use openapi_core::Method;
     pub use openapi_linalg::{Matrix, Vector};
+    pub use openapi_serve::{
+        InterpretRequest, InterpretationService, ServeOutcome, ServiceConfig, SharedCacheConfig,
+        SharedRegionCache, Ticket,
+    };
 }

@@ -2,26 +2,13 @@
 //! facade: Theorem 2's consistency property as an executable contract —
 //! cache hits are bit-identical to cold runs and cost (almost) no queries.
 
-use openapi_repro::api::{CountingApi, LocalLinearModel, TwoRegionPlm};
+use openapi_repro::api::CountingApi;
 use openapi_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-const DIM: usize = 8;
-
-fn two_region_plm() -> TwoRegionPlm {
-    // d = 8, C = 3: wide enough that Algorithm 1's per-instance cost
-    // (≥ d + 2 queries) towers over the batch layer's 1-query hits.
-    let low = LocalLinearModel::new(
-        Matrix::from_fn(DIM, 3, |r, c| ((r * 5 + c * 3) % 11) as f64 * 0.2 - 1.0),
-        Vector(vec![0.1, -0.3, 0.2]),
-    );
-    let high = LocalLinearModel::new(
-        Matrix::from_fn(DIM, 3, |r, c| ((r * 7 + c * 2) % 13) as f64 * 0.15 - 0.9),
-        Vector(vec![-0.2, 0.4, 0.0]),
-    );
-    TwoRegionPlm::axis_split(1, 0.25, low, high)
-}
+mod common;
+use common::{two_region_plm, DIM};
 
 /// Instances alternating between both regions of the PLM.
 fn workload(n: usize) -> Vec<Vector> {

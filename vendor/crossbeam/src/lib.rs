@@ -1,11 +1,18 @@
-//! Offline stand-in for `crossbeam::scope`, implemented on top of
-//! `std::thread::scope` (stable since 1.63, so the std version now covers
-//! what the workspace needed crossbeam for). The API mirrors
-//! `crossbeam::thread::scope`: the closure receives a `&Scope`, spawned
-//! closures receive a `&Scope` argument too, and the call returns a
-//! `Result` (`Err` when a child thread panicked is approximated by
-//! propagating the panic, which the one call site in this workspace treats
-//! as fatal anyway).
+//! Offline stand-in for the subset of `crossbeam` this workspace uses.
+//!
+//! * [`scope`] mirrors `crossbeam::thread::scope`, implemented on top of
+//!   `std::thread::scope` (stable since 1.63): the closure receives a
+//!   `&Scope`, spawned closures receive a `&Scope` argument too, and the
+//!   call returns a `Result` (`Err` when a child thread panicked is
+//!   approximated by propagating the panic, which the call sites in this
+//!   workspace treat as fatal anyway).
+//! * [`channel`] mirrors `crossbeam::channel`'s MPMC channels on top of
+//!   `std::sync::mpsc`: senders clone natively, and the single std
+//!   receiver is shared behind an `Arc<Mutex<_>>` so multiple consumers
+//!   (the `openapi-serve` worker pool) can take turns blocking on it —
+//!   dequeues serialize on the mutex, which is the standard std-mpsc
+//!   worker-pool pattern and adequate for this workspace's coarse-grained
+//!   jobs.
 
 use std::any::Any;
 
@@ -37,6 +44,132 @@ pub mod thread {
     pub use super::{scope, Scope};
 }
 
+pub mod channel {
+    //! Multi-producer multi-consumer channels (see the crate docs).
+
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    enum Tx<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// The sending half: clonable, usable from any thread.
+    pub struct Sender<T> {
+        inner: Tx<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking on a full bounded channel.
+        ///
+        /// # Errors
+        /// [`SendError`] when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.inner {
+                Tx::Unbounded(s) => s.send(value),
+                Tx::Bounded(s) => s.send(value),
+            }
+        }
+    }
+
+    /// The receiving half: clonable — clones share one queue, so each
+    /// message is delivered to exactly one receiver.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, mpsc::Receiver<T>> {
+            // A panicking holder leaves no partial state in the receiver;
+            // ignore poison like parking_lot would.
+            self.inner
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        /// Blocks until a message arrives.
+        ///
+        /// # Errors
+        /// [`RecvError`] when the channel is empty and every sender has
+        /// been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.lock().recv()
+        }
+
+        /// Non-blocking receive.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] / [`TryRecvError::Disconnected`] as std.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.lock().try_recv()
+        }
+
+        /// Blocks up to `timeout` for a message.
+        ///
+        /// # Errors
+        /// [`RecvTimeoutError`] on timeout or disconnection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.lock().recv_timeout(timeout)
+        }
+    }
+
+    /// Creates a channel of unbounded capacity.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender {
+                inner: Tx::Unbounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+
+    /// Creates a channel that blocks senders beyond `capacity` queued
+    /// messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (
+            Sender {
+                inner: Tx::Bounded(tx),
+            },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
@@ -55,6 +188,50 @@ mod tests {
         })
         .expect("no panics");
         assert_eq!(sum.into_inner(), (0..100).sum::<u64>() as usize);
+    }
+
+    #[test]
+    fn channel_is_multi_producer_multi_consumer() {
+        let (tx, rx) = super::channel::unbounded::<usize>();
+        let consumed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let rx = rx.clone();
+                let consumed = &consumed;
+                s.spawn(move || {
+                    while let Ok(v) = rx.recv() {
+                        consumed.fetch_add(v, Ordering::Relaxed);
+                    }
+                });
+            }
+            for t in 0..2 {
+                let tx = tx.clone();
+                s.spawn(move || {
+                    for v in 0..50 {
+                        tx.send(v + t * 50).expect("receivers alive");
+                    }
+                });
+            }
+            drop(tx); // close the channel so consumers exit
+        });
+        assert_eq!(consumed.into_inner(), (0..100).sum::<usize>());
+    }
+
+    #[test]
+    fn bounded_channel_delivers_in_order_single_consumer() {
+        let (tx, rx) = super::channel::bounded::<u32>(2);
+        let producer = std::thread::spawn(move || {
+            for v in 0..10 {
+                tx.send(v).unwrap();
+            }
+        });
+        let got: Vec<u32> = (0..10).map(|_| rx.recv().unwrap()).collect();
+        producer.join().unwrap();
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert!(matches!(
+            rx.try_recv(),
+            Err(super::channel::TryRecvError::Disconnected)
+        ));
     }
 
     #[test]

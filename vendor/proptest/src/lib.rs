@@ -40,6 +40,18 @@ pub mod strategy {
                 whence,
             }
         }
+
+        fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            O: Strategy,
+            F: Fn(Self::Value) -> O,
+        {
+            FlatMap {
+                source: self,
+                map: f,
+            }
+        }
     }
 
     /// Strategy returned by [`Strategy::prop_map`].
@@ -57,6 +69,28 @@ pub mod strategy {
 
         fn sample(&self, rng: &mut StdRng) -> O {
             (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`]: the sampled value
+    /// of the source parameterizes a second strategy, sampled from the same
+    /// per-case RNG stream (dependent generation, e.g. "a length, then that
+    /// many rows").
+    pub struct FlatMap<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S, F, O> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        O: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O::Value;
+
+        fn sample(&self, rng: &mut StdRng) -> O::Value {
+            (self.map)(self.source.sample(rng)).sample(rng)
         }
     }
 
