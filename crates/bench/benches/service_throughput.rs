@@ -18,14 +18,15 @@
 //!    thread) on the same instance set.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use openapi_api::CountingApi;
+use openapi_api::{CountingApi, PredictionApi};
 use openapi_bench::{banner, hot_region_workload, plnn_panel};
 use openapi_core::batch::{BatchConfig, BatchInterpreter};
 use openapi_linalg::Vector;
 use openapi_serve::{InterpretationService, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 const WORKLOAD: usize = 100;
 const MAX_REGIONS: usize = 5;
@@ -92,12 +93,103 @@ fn batch_cold_run(instances: &[Vector]) -> f64 {
     elapsed
 }
 
+/// A latency-bearing API wrapper tracking how many predictions are in
+/// flight simultaneously — the direct evidence that distinct-region cold
+/// solves of one class run in parallel rather than serializing.
+struct ConcurrencyProbe<M> {
+    inner: M,
+    round_trip: Duration,
+    in_flight: AtomicU64,
+    peak: AtomicU64,
+    calls: AtomicU64,
+}
+
+impl<M: PredictionApi> ConcurrencyProbe<M> {
+    fn new(inner: M, round_trip: Duration) -> Self {
+        ConcurrencyProbe {
+            inner,
+            round_trip,
+            in_flight: AtomicU64::new(0),
+            peak: AtomicU64::new(0),
+            calls: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<M: PredictionApi> PredictionApi for ConcurrencyProbe<M> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict(&self, x: &[f64]) -> Vector {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        std::thread::sleep(self.round_trip);
+        let out = self.inner.predict(x);
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+        out
+    }
+}
+
+/// ROADMAP item: distinct-region cold misses of one class must no longer
+/// serialize behind a single coalescing leader. Five distinct-region
+/// instances of one class hit a fresh service over a 500 µs round-trip
+/// API; with the default leader pool (4 per class) the solves overlap, so
+/// (a) at least two predictions are observed in flight at once and (b)
+/// the wall clock lands well under the fully-serialized floor of
+/// `calls × round_trip`.
+fn assert_cold_misses_parallelize(instances: &[Vector]) {
+    let round_trip = Duration::from_micros(500);
+    let distinct: Vec<Vector> = instances[..MAX_REGIONS].to_vec();
+    let service = InterpretationService::new(
+        ConcurrencyProbe::new(&plnn_panel().model, round_trip),
+        ServiceConfig {
+            workers: MAX_REGIONS,
+            seed: 1,
+            ..ServiceConfig::default()
+        },
+    );
+    let start = Instant::now();
+    let tickets: Vec<_> = distinct
+        .iter()
+        .map(|x| service.submit_instance(x.clone(), CLASS))
+        .collect();
+    for t in tickets {
+        t.wait().expect("interior instances interpret");
+    }
+    let elapsed = start.elapsed();
+    let api = service.api();
+    let calls = api.calls.load(Ordering::Relaxed);
+    let peak = api.peak.load(Ordering::Relaxed);
+    let serial_floor = round_trip * calls as u32;
+    println!(
+        "cold-start parallelism: {} distinct regions, {} calls, peak {} in flight, \
+         {elapsed:.2?} vs {serial_floor:.2?} serialized",
+        MAX_REGIONS, calls, peak
+    );
+    assert!(
+        peak >= 2,
+        "distinct-region cold solves of one class must overlap (peak {peak})"
+    );
+    assert!(
+        elapsed < serial_floor.mul_f64(0.75),
+        "cold start must beat the serialized floor: {elapsed:.2?} vs {serial_floor:.2?}"
+    );
+    assert_eq!(service.stats().failures, 0);
+}
+
 fn bench_service_throughput(c: &mut Criterion) {
     let instances = hot_region_workload(WORKLOAD, MAX_REGIONS);
     banner(
         "service throughput",
         &format!("{CLIENTS} clients × {WORKLOAD} instances over ≤{MAX_REGIONS} regions, d = 196"),
     );
+    assert_cold_misses_parallelize(&instances);
 
     let independent = independent_queries(&instances);
     let (shared, service_secs) = service_run(&instances);

@@ -49,6 +49,7 @@ use crate::openapi::{OpenApiConfig, OpenApiInterpreter};
 use openapi_api::{GroundTruthOracle, PredictionApi, RegionId};
 use openapi_linalg::Vector;
 use rand::Rng;
+use std::sync::Arc;
 
 /// Batch-layer hyperparameters.
 #[derive(Debug, Clone)]
@@ -115,8 +116,10 @@ impl BatchStats {
 /// One instance's result within a batch.
 #[derive(Debug, Clone)]
 pub struct BatchItem {
-    /// The interpretation — bit-identical across every instance of a region.
-    pub interpretation: Interpretation,
+    /// The interpretation — bit-identical across every instance of a region
+    /// (shared out of the cache slot; a hit clones an [`Arc`], not the
+    /// parameter payload).
+    pub interpretation: Arc<Interpretation>,
     /// Canonical key of the region that produced it.
     pub fingerprint: RegionFingerprint,
     /// Whether the result came from cache.
@@ -141,7 +144,7 @@ impl BatchOutcome {
         self.results
             .iter()
             .filter_map(|r| r.as_ref().ok())
-            .map(|item| &item.interpretation)
+            .map(|item| item.interpretation.as_ref())
     }
 }
 
@@ -381,7 +384,7 @@ impl BatchInterpreter {
         region: Option<RegionId>,
         queries: usize,
     ) -> BatchItem {
-        let cached = self.cache.insert(interpretation, region);
+        let cached = self.cache.insert(Arc::new(interpretation), region);
         BatchItem {
             interpretation: cached.interpretation,
             fingerprint: cached.fingerprint,
@@ -553,8 +556,8 @@ mod tests {
         let second = out.results[1].as_ref().unwrap();
         assert!(!first.cache_hit);
         assert!(second.cache_hit);
-        assert_eq!(first.interpretation, cold.interpretation);
-        assert_eq!(second.interpretation, cold.interpretation);
+        assert_eq!(*first.interpretation, cold.interpretation);
+        assert_eq!(*second.interpretation, cold.interpretation);
     }
 
     #[test]

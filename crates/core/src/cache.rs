@@ -30,6 +30,7 @@ use openapi_api::RegionId;
 use openapi_linalg::Vector;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Configuration of a [`RegionCache`].
 #[derive(Debug, Clone)]
@@ -56,19 +57,24 @@ impl Default for RegionCacheConfig {
 }
 
 /// A served cache entry: the canonical interpretation of one region.
+///
+/// The interpretation is shared, not owned: a hit clones an [`Arc`] (one
+/// reference-count bump), never the multi-KB parameter payload — at
+/// `d = 196` a deep clone used to cost several KB of allocation per hit,
+/// which is exactly the traffic a hot cache serves most.
 #[derive(Debug, Clone)]
 pub struct CachedRegion {
     /// Canonical key of the region.
     pub fingerprint: RegionFingerprint,
     /// The interpretation every member instance of the region shares.
-    pub interpretation: Interpretation,
+    pub interpretation: Arc<Interpretation>,
 }
 
 /// One cached region plus its CLOCK reference flag.
 #[derive(Debug)]
 struct Slot {
     fingerprint: RegionFingerprint,
-    interpretation: Interpretation,
+    interpretation: Arc<Interpretation>,
     /// Second-chance bit: set by lookups (under `&self`), cleared by the
     /// sweeping clock hand. Relaxed ordering suffices — the flag is a usage
     /// hint, not a synchronization point.
@@ -137,11 +143,12 @@ impl RegionCache {
     }
 
     /// Iterates the cached regions (for snapshots); order is the current
-    /// scan order.
+    /// scan order. Entries are `Arc` clones — no parameter payload is
+    /// copied.
     pub fn iter(&self) -> impl Iterator<Item = CachedRegion> + '_ {
         self.entries.iter().map(|e| CachedRegion {
             fingerprint: e.fingerprint,
-            interpretation: e.interpretation.clone(),
+            interpretation: Arc::clone(&e.interpretation),
         })
     }
 
@@ -158,7 +165,7 @@ impl RegionCache {
                 e.referenced.store(true, Ordering::Relaxed);
                 CachedRegion {
                     fingerprint: e.fingerprint,
-                    interpretation: e.interpretation.clone(),
+                    interpretation: Arc::clone(&e.interpretation),
                 }
             })
     }
@@ -170,7 +177,7 @@ impl RegionCache {
         e.referenced.store(true, Ordering::Relaxed);
         Some(CachedRegion {
             fingerprint: e.fingerprint,
-            interpretation: e.interpretation.clone(),
+            interpretation: Arc::clone(&e.interpretation),
         })
     }
 
@@ -182,9 +189,13 @@ impl RegionCache {
     /// collision — falls back to a separate entry instead of silently
     /// serving the wrong region's parameters). Returns the entry that ends
     /// up cached, which is what every caller must serve.
+    ///
+    /// Takes the interpretation as an [`Arc`] so an entry recovered from a
+    /// durable store (or another cache tier) is admitted without copying
+    /// its parameters; freshly solved regions wrap once at the call site.
     pub fn insert(
         &mut self,
-        interpretation: Interpretation,
+        interpretation: Arc<Interpretation>,
         region: Option<RegionId>,
     ) -> CachedRegion {
         let class = interpretation.class;
@@ -214,7 +225,7 @@ impl RegionCache {
         let entry = &self.entries[index];
         CachedRegion {
             fingerprint: entry.fingerprint,
-            interpretation: entry.interpretation.clone(),
+            interpretation: Arc::clone(&entry.interpretation),
         }
     }
 
@@ -223,7 +234,7 @@ impl RegionCache {
     fn push_slot(
         &mut self,
         fingerprint: RegionFingerprint,
-        interpretation: Interpretation,
+        interpretation: Arc<Interpretation>,
     ) -> usize {
         if let Some(capacity) = self.config.capacity {
             let capacity = capacity.max(1);
@@ -293,8 +304,9 @@ impl RegionCache {
 /// to solver round-off: same class, same contrast order, and every weight
 /// and bias within `tol` (relative). Used to distinguish "same region,
 /// independently re-solved" (merge) from a fingerprint collision (keep
-/// both).
-pub(crate) fn interpretations_agree(a: &Interpretation, b: &Interpretation, tol: f64) -> bool {
+/// both). Public so other region-keyed tiers (the durable store in
+/// `openapi-store`) apply the identical merge criterion.
+pub fn interpretations_agree(a: &Interpretation, b: &Interpretation, tol: f64) -> bool {
     a.class == b.class
         && a.pairwise.len() == b.pairwise.len()
         && a.pairwise.iter().zip(&b.pairwise).all(|(p, q)| {
@@ -315,16 +327,18 @@ mod tests {
 
     /// A synthetic one-contrast interpretation whose single weight encodes
     /// a distinct region identity.
-    fn interp(class: usize, w: f64) -> Interpretation {
-        Interpretation::from_pairwise(
-            class,
-            vec![PairwiseCoreParams {
-                c_prime: class + 1,
-                weights: Vector(vec![w]),
-                bias: 0.0,
-            }],
+    fn interp(class: usize, w: f64) -> Arc<Interpretation> {
+        Arc::new(
+            Interpretation::from_pairwise(
+                class,
+                vec![PairwiseCoreParams {
+                    c_prime: class + 1,
+                    weights: Vector(vec![w]),
+                    bias: 0.0,
+                }],
+            )
+            .unwrap(),
         )
-        .unwrap()
     }
 
     fn bounded(capacity: usize) -> RegionCache {

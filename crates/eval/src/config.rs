@@ -63,6 +63,12 @@ pub struct ExperimentConfig {
     /// `InterpretationService` with this many client threads and reports
     /// its stats (0 = off, the default for every profile).
     pub service_clients: usize,
+    /// Optional durable region store for the concurrent-service path of
+    /// the `queries` experiment: when set, the service opens an
+    /// `openapi-store` `RegionStore` under this directory, so repeated
+    /// runs re-serve previously solved regions (store hits are reported
+    /// in the printed stats). `None` = in-memory only, the default.
+    pub service_store_dir: Option<PathBuf>,
 }
 
 impl ExperimentConfig {
@@ -86,6 +92,7 @@ impl ExperimentConfig {
                 alter_features: 40,
                 fig2_instances: 3,
                 service_clients: 0,
+                service_store_dir: None,
             },
             Profile::Quick => ExperimentConfig {
                 profile,
@@ -102,6 +109,7 @@ impl ExperimentConfig {
                 alter_features: 200,
                 fig2_instances: 8,
                 service_clients: 0,
+                service_store_dir: None,
             },
             Profile::Paper => ExperimentConfig {
                 profile,
@@ -118,6 +126,7 @@ impl ExperimentConfig {
                 alter_features: 200,
                 fig2_instances: 50,
                 service_clients: 0,
+                service_store_dir: None,
             },
         }
     }

@@ -12,10 +12,13 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] \
-[--out DIR] [--service-clients N]
+[--out DIR] [--service-clients N] [--service-store-dir DIR]
 experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all
 --service-clients N additionally drives the queries experiment through a shared
-openapi-serve InterpretationService with N client threads (default 0 = off)";
+openapi-serve InterpretationService with N client threads (default 0 = off);
+--service-store-dir DIR backs that service with a durable openapi-store region
+store under DIR, so repeated runs re-serve solved regions (store hits are
+reported in the printed stats)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +31,7 @@ fn main() -> ExitCode {
     let mut seed: Option<u64> = None;
     let mut out: Option<PathBuf> = None;
     let mut service_clients: Option<usize> = None;
+    let mut service_store_dir: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -63,6 +67,14 @@ fn main() -> ExitCode {
                 service_clients = Some(n);
                 i += 2;
             }
+            "--service-store-dir" => {
+                let Some(dir) = args.get(i + 1) else {
+                    eprintln!("bad --service-store-dir value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                service_store_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -79,6 +91,9 @@ fn main() -> ExitCode {
     }
     if let Some(n) = service_clients {
         cfg.service_clients = n;
+    }
+    if let Some(dir) = service_store_dir {
+        cfg.service_store_dir = Some(dir);
     }
 
     println!(

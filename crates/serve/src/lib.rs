@@ -12,15 +12,24 @@
 //! * [`SharedRegionCache`] — N shards of [`openapi_core::RegionCache`]
 //!   keyed by [`openapi_core::RegionFingerprint`], each behind a
 //!   `parking_lot::RwLock`, with a capacity bound and CLOCK eviction so
-//!   memory stays flat under millions of distinct regions. Snapshot /
-//!   restore ([`CacheSnapshot`]) lets a service warm-start from a prior
-//!   run's solved regions.
+//!   memory stays flat under millions of distinct regions. Slots hold
+//!   `Arc<Interpretation>`, so a hit is a reference-count bump, never a
+//!   multi-KB parameter copy. Snapshot / restore ([`CacheSnapshot`]) lets
+//!   a service warm-start from a prior run's solved regions.
 //! * [`InterpretationService`] — a worker pool (crossbeam channels) that
 //!   accepts [`InterpretRequest`]s and returns [`Ticket`] handles the
 //!   caller can block on ([`Ticket::wait`]) or poll ([`Ticket::poll`]).
-//! * [`ServiceStats`] — atomic hit/miss/coalesce/eviction/query counters
-//!   plus a fixed-bucket latency histogram
-//!   ([`openapi_metrics::LatencyHistogram`]) for p50/p99.
+//!   Opened over a directory ([`InterpretationService::open`]), it gains a
+//!   durable L2 — [`openapi_store::RegionStore`] — behind the cache:
+//!   misses consult the store before electing an Algorithm-1 leader
+//!   ([`ServeOutcome::StoreHit`]), solves append to the store's
+//!   write-ahead log asynchronously, and a restart against the same
+//!   directory re-serves every previously solved region without a single
+//!   additional solve.
+//! * [`ServiceStats`] — atomic hit/store-hit/miss/coalesce/eviction/query
+//!   counters plus a fixed-bucket latency histogram
+//!   ([`openapi_metrics::LatencyHistogram`]) for p50/p99, with the
+//!   store's own counters embedded when one is attached.
 //!
 //! # Request coalescing preserves exactness
 //!
@@ -48,11 +57,15 @@
 //!
 //! A region's identity is unknowable before its solve (knowing it would
 //! require the very parameters being solved for), so the in-flight registry
-//! keys on the only thing a miss *does* know: its class. The deliberate
-//! cost is that distinct-region misses of one class serialize behind one
-//! leader during cold start — bounded at one extra queue round-trip per
-//! foreign region, and irrelevant once the hot regions are cached (hits
-//! dominate steady-state traffic, and hits never touch the registry).
+//! keys on the only thing a miss *does* know: its class. Up to
+//! [`ServiceConfig::max_leaders_per_class`] solves of one class run
+//! concurrently, so distinct-region cold misses parallelize instead of
+//! serializing behind a single leader; the deliberate cost is that racing
+//! leaders occasionally solve the *same* region twice — the duplicates
+//! merge at insert (identical bits, one entry), so only query spend is
+//! affected, never an answer. Past the leader limit, misses park as
+//! waiters; once the hot regions are cached the registry is idle (hits
+//! dominate steady-state traffic and never touch it).
 //!
 //! # Request lifecycle
 //!
@@ -61,11 +74,15 @@
 //!                              │
 //!                              ├─ shard lookup ──► hit ──► reply (cached, exact)
 //!                              │
-//!                              ├─ solve in flight for class c?
+//!                              ├─ durable store lookup (if attached)
+//!                              │    └─ hit ──► promote to cache ──► reply (store, exact)
+//!                              │
+//!                              ├─ class at its leader limit?
 //!                              │    └─ yes ──► park as waiter (coalesce)
 //!                              │
-//!                              └─ no ──► lead Algorithm-1 solve
+//!                              └─ no ──► lead Algorithm-1 solve (≤ N per class)
 //!                                         ├─ insert region into shard (may evict)
+//!                                         ├─ append region to store WAL (async fsync)
 //!                                         ├─ reply to leader
 //!                                         └─ for each waiter:
 //!                                              explains_probe? ──► reply (coalesced)

@@ -12,10 +12,12 @@ use openapi_core::equations::Probe;
 use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
 use openapi_core::InterpretError;
 use openapi_linalg::Vector;
+use openapi_store::{RegionStore, StoreConfig, StoreError};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -33,9 +35,19 @@ pub struct ServiceConfig {
     /// Master seed; each request's sampling RNG derives from
     /// `(seed, request id)`, so a fixed submission order replays exactly.
     pub seed: u64,
-    /// Whether concurrent same-class misses coalesce onto one in-flight
-    /// solve (`true` by default; disable to benchmark the difference).
+    /// Whether concurrent same-class misses coalesce onto in-flight
+    /// solves (`true` by default; disable to benchmark the difference).
     pub coalesce: bool,
+    /// How many Algorithm-1 solves of one class may run concurrently
+    /// before further misses park as waiters (clamped to ≥ 1; default 4).
+    /// A class's region identity is unknowable before its solve, so
+    /// during cold start distinct-region misses of one class would
+    /// serialize behind a single leader; allowing several leaders
+    /// parallelizes the cold start at the cost of occasionally solving
+    /// the *same* region twice — duplicates merge at
+    /// [`openapi_core::cache::RegionCache::insert`], so consistency is
+    /// unaffected, only query spend. Set to 1 for strictly minimal spend.
+    pub max_leaders_per_class: usize,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +58,7 @@ impl Default for ServiceConfig {
             openapi: OpenApiConfig::default(),
             seed: 42,
             coalesce: true,
+            max_leaders_per_class: 4,
         }
     }
 }
@@ -82,8 +95,11 @@ impl InterpretRequest {
 /// How a request was satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeOutcome {
-    /// Served from the shared cache (1 probe query).
+    /// Served from the shared in-memory cache (1 probe query).
     CacheHit,
+    /// Served from the durable region store (1 probe query; the region
+    /// was solved in a previous run and promoted back into the cache).
+    StoreHit,
     /// This request led the Algorithm-1 solve for its region.
     Solved,
     /// Served from another request's in-flight solve (1 probe query).
@@ -95,8 +111,9 @@ pub enum ServeOutcome {
 pub struct Served {
     /// The region's exact interpretation (bit-identical across every
     /// request resolved to the same region — the paper's consistency
-    /// property).
-    pub interpretation: Interpretation,
+    /// property). Shared out of the cache slot: a hit hands out an `Arc`,
+    /// never a multi-KB parameter copy.
+    pub interpretation: Arc<Interpretation>,
     /// Canonical key of the serving region.
     pub fingerprint: RegionFingerprint,
     /// How the request was satisfied.
@@ -185,28 +202,40 @@ enum Msg {
     Shutdown,
 }
 
+/// Per-class coalescing state: how many leaders are currently solving,
+/// and the requests parked behind them.
+#[derive(Default)]
+struct ClassInflight {
+    leaders: usize,
+    waiters: Vec<Job>,
+}
+
 /// State shared between the service handle and its workers.
 struct Inner<M> {
     api: M,
     cache: SharedRegionCache,
+    store: Option<RegionStore>,
     stats: ServiceStats,
     interpreter: OpenApiInterpreter,
     config: ServiceConfig,
-    /// Per-class in-flight solve registry: the key's presence means a
-    /// leader is solving; the value collects waiters to serve (or requeue)
-    /// when it finishes.
-    inflight: Mutex<HashMap<usize, Vec<Job>>>,
+    /// Per-class in-flight solve registry: up to
+    /// [`ServiceConfig::max_leaders_per_class`] leaders solve
+    /// concurrently; requests beyond that park as waiters and are settled
+    /// (or requeued) by whichever leader finishes next.
+    inflight: Mutex<HashMap<usize, ClassInflight>>,
     /// Bumped after every successful solve's cache insert (and before its
-    /// registry-key removal). Lets the miss path skip the duplicate-solve
-    /// recheck — a cache scan — while holding the `inflight` mutex unless a
-    /// solve actually completed since it last read the cache.
+    /// registry bookkeeping). Lets the miss path skip the duplicate-solve
+    /// recheck — a cache scan — unless a solve actually completed since it
+    /// last read the cache.
     solve_generation: AtomicU64,
 }
 
 /// The concurrent interpretation service (see the crate docs).
 ///
 /// Dropping the service joins its workers; requests still queued at that
-/// point complete with [`ServeError::ServiceStopped`].
+/// point complete with [`ServeError::ServiceStopped`]. A service with a
+/// durable store flushes it on drop too (the store's own destructor);
+/// use [`InterpretationService::close`] to *observe* flush errors.
 pub struct InterpretationService<M: PredictionApi + Send + Sync + 'static> {
     inner: Arc<Inner<M>>,
     tx: Sender<Msg>,
@@ -215,15 +244,47 @@ pub struct InterpretationService<M: PredictionApi + Send + Sync + 'static> {
 }
 
 impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
-    /// Spawns the worker pool over `api`.
+    /// Spawns the worker pool over `api`, with no durable tier.
     pub fn new(api: M, config: ServiceConfig) -> Self {
+        Self::build(api, config, None)
+    }
+
+    /// Spawns the worker pool over `api` with `store` as the L2 behind
+    /// the shared cache: cache misses consult the store before electing
+    /// an Algorithm-1 leader, and every solved region is appended to the
+    /// store's WAL asynchronously.
+    pub fn with_store(api: M, config: ServiceConfig, store: RegionStore) -> Self {
+        Self::build(api, config, Some(store))
+    }
+
+    /// Convenience: opens (or creates) a [`RegionStore`] under `dir` —
+    /// recovering every previously solved region — and builds the service
+    /// on top of it. The store's membership tolerance is aligned with the
+    /// cache's.
+    ///
+    /// # Errors
+    /// [`StoreError`] from [`RegionStore::open`].
+    pub fn open(api: M, config: ServiceConfig, dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let store = RegionStore::open(
+            dir,
+            StoreConfig {
+                membership_rtol: config.cache.membership_rtol,
+                ..StoreConfig::default()
+            },
+        )?;
+        Ok(Self::with_store(api, config, store))
+    }
+
+    fn build(api: M, config: ServiceConfig, store: Option<RegionStore>) -> Self {
         let mut config = config;
         config.workers = config.workers.max(1);
+        config.max_leaders_per_class = config.max_leaders_per_class.max(1);
         let cache = SharedRegionCache::new(config.cache.clone());
         let interpreter = OpenApiInterpreter::new(config.openapi.clone());
         let inner = Arc::new(Inner {
             api,
             cache,
+            store,
             stats: ServiceStats::default(),
             interpreter,
             config,
@@ -255,6 +316,11 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     /// Borrow the shared region cache (e.g. to snapshot it).
     pub fn cache(&self) -> &SharedRegionCache {
         &self.inner.cache
+    }
+
+    /// Borrow the durable store, when the service has one.
+    pub fn store(&self) -> Option<&RegionStore> {
+        self.inner.store.as_ref()
     }
 
     /// Borrow the wrapped prediction API.
@@ -291,11 +357,14 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     }
 
     /// A point-in-time statistics snapshot (counters + cache gauges +
-    /// latency quantiles).
+    /// latency quantiles + the store's counters when one is attached).
     pub fn stats(&self) -> StatsSnapshot {
-        self.inner
+        let mut snapshot = self
+            .inner
             .stats
-            .snapshot(self.inner.cache.evictions(), self.inner.cache.len())
+            .snapshot(self.inner.cache.evictions(), self.inner.cache.len());
+        snapshot.store = self.inner.store.as_ref().map(RegionStore::stats);
+        snapshot
     }
 
     /// Snapshot of the solved regions, for [`CacheSnapshot::to_bytes`] /
@@ -309,10 +378,27 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     pub fn restore_cache(&self, snapshot: &CacheSnapshot) -> usize {
         self.inner.cache.restore(snapshot)
     }
-}
 
-impl<M: PredictionApi + Send + Sync + 'static> Drop for InterpretationService<M> {
-    fn drop(&mut self) {
+    /// Graceful shutdown: drains and joins the workers, then closes the
+    /// durable store (final WAL flush + fsync), surfacing any I/O error.
+    /// Dropping the service instead does the same shutdown but can only
+    /// swallow store errors.
+    ///
+    /// # Errors
+    /// [`StoreError`] when the store's final flush fails.
+    pub fn close(mut self) -> Result<(), StoreError> {
+        self.shutdown_workers();
+        // Workers are joined, so this handle owns the last `Arc` and can
+        // take the store out for a fallible close. (If a caller somehow
+        // kept another clone alive, fall back to the store's own drop —
+        // still flushed, just not observable.)
+        match Arc::get_mut(&mut self.inner).and_then(|inner| inner.store.take()) {
+            Some(store) => store.close(),
+            None => Ok(()),
+        }
+    }
+
+    fn shutdown_workers(&mut self) {
         for _ in &self.workers {
             // Workers still draining jobs will see the sentinel eventually;
             // send errors mean they are already gone.
@@ -324,11 +410,21 @@ impl<M: PredictionApi + Send + Sync + 'static> Drop for InterpretationService<M>
     }
 }
 
+impl<M: PredictionApi + Send + Sync + 'static> Drop for InterpretationService<M> {
+    fn drop(&mut self) {
+        self.shutdown_workers();
+    }
+}
+
 impl<M: PredictionApi + Send + Sync + 'static> fmt::Debug for InterpretationService<M> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("InterpretationService")
             .field("config", &self.inner.config)
             .field("cached_regions", &self.inner.cache.len())
+            .field(
+                "stored_regions",
+                &self.inner.store.as_ref().map(RegionStore::len),
+            )
             .finish_non_exhaustive()
     }
 }
@@ -348,11 +444,11 @@ fn worker_loop<M: PredictionApi>(inner: &Inner<M>, rx: &Receiver<Msg>, tx: &Send
     }
 }
 
-/// Unwind protection for coalescing leadership: if the leader panics
+/// Unwind protection for coalescing leadership: if a leader panics
 /// between electing itself and settling its waiters, dropping the guard
-/// releases the in-flight entry and requeues the parked waiters so healthy
-/// workers recover them — without it, every future request for the class
-/// would park behind a dead leader forever.
+/// steps its slot down and requeues the parked waiters so healthy workers
+/// recover them — without it, a class at its leader limit would park every
+/// future request behind dead leaders forever.
 struct LeaderGuard<'a, M: PredictionApi> {
     inner: &'a Inner<M>,
     tx: &'a Sender<Msg>,
@@ -370,16 +466,28 @@ impl<'a, M: PredictionApi> LeaderGuard<'a, M> {
         }
     }
 
-    /// The normal path: disarms the guard and hands back the waiters that
-    /// parked during the solve.
+    /// The normal path: disarms the guard, steps this leader down, and
+    /// hands back the waiters that parked during the solve.
     fn release(mut self) -> Vec<Job> {
         self.armed = false;
-        self.inner
-            .inflight
-            .lock()
-            .remove(&self.class)
-            .expect("leader owns the in-flight entry")
+        step_down(self.inner, self.class)
     }
+}
+
+/// Decrements `class`'s leader count and drains its parked waiters (the
+/// finishing leader settles them); the registry entry is removed once the
+/// last leader steps down.
+fn step_down<M: PredictionApi>(inner: &Inner<M>, class: usize) -> Vec<Job> {
+    let mut inflight = inner.inflight.lock();
+    let entry = inflight
+        .get_mut(&class)
+        .expect("a leader owns an in-flight slot");
+    entry.leaders -= 1;
+    let waiters = std::mem::take(&mut entry.waiters);
+    if entry.leaders == 0 {
+        inflight.remove(&class);
+    }
+    waiters
 }
 
 impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
@@ -387,13 +495,11 @@ impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
         if !self.armed {
             return;
         }
-        // Unwinding: release leadership and requeue the waiters. A send
-        // failure means shutdown; dropping the job resolves its ticket as
+        // Unwinding: step down and requeue the waiters. A send failure
+        // means shutdown; dropping the job resolves its ticket as
         // `ServiceStopped`.
-        if let Some(waiters) = self.inner.inflight.lock().remove(&self.class) {
-            for waiter in waiters {
-                let _ = self.tx.send(Msg::Job(waiter));
-            }
+        for waiter in step_down(self.inner, self.class) {
+            let _ = self.tx.send(Msg::Job(waiter));
         }
     }
 }
@@ -469,32 +575,55 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
         return finish(inner, job, Ok(served));
     }
 
-    if inner.config.coalesce {
+    // L2: the durable store. A region solved in any previous run (or by a
+    // sibling process sharing the directory) is promoted back into the
+    // cache and served for the price of the probe — no leader election,
+    // no Algorithm-1 queries. The membership test just passed against
+    // *this* request's live probe, so the serve is as exact as any hit.
+    if let Some(store) = &inner.store {
+        if let Some(stored) = store.lookup_probe(&job.x, probs.as_slice(), job.class) {
+            ServiceStats::add(&inner.stats.store_hits, 1);
+            let cached = inner.cache.insert(stored.interpretation);
+            let served = Served {
+                interpretation: cached.interpretation,
+                fingerprint: cached.fingerprint,
+                outcome: ServeOutcome::StoreHit,
+                queries: job.queries_spent,
+                latency: job.submitted.elapsed(),
+            };
+            return finish(inner, job, Ok(served));
+        }
+    }
+
+    let leadership = if inner.config.coalesce {
         let mut inflight = inner.inflight.lock();
-        if let Some(waiters) = inflight.get_mut(&job.class) {
-            // A leader is solving this class: park and let its result
-            // decide (serve if it explains our probe, requeue otherwise).
+        let entry = inflight.entry(job.class).or_default();
+        if entry.leaders >= inner.config.max_leaders_per_class {
+            // The class is at its concurrent-solve limit: park and let a
+            // finishing leader's result decide (serve if it explains our
+            // probe, requeue otherwise).
             ServiceStats::add(&inner.stats.coalesced_waits, 1);
             job.probs = Some(probs);
-            waiters.push(job);
+            entry.waiters.push(job);
             return;
         }
-        inflight.insert(job.class, Vec::new());
-        // Lock released here; newcomers for this class now park above.
-    }
-    let leadership = inner
-        .config
-        .coalesce
-        .then(|| LeaderGuard::new(inner, tx, job.class));
+        entry.leaders += 1;
+        // Guard constructed before the lock drops: from here on, a panic
+        // anywhere in the solve steps this leader down via `Drop`.
+        Some(LeaderGuard::new(inner, tx, job.class))
+    } else {
+        None
+    };
 
     // Double-checked lookup before solving: a leader that finished between
     // our cache miss and our election has already inserted its region
     // (insert happens-before the generation bump, which happens-before the
-    // registry removal our election observed), so re-reading the cache
+    // registry bookkeeping our election observed), so re-reading the cache
     // prevents a duplicate solve of a just-solved region. The recheck runs
-    // OUTSIDE the registry mutex — leadership already excludes same-class
-    // leaders, so the scan serializes nobody — and only in the rare race,
-    // when the generation says a solve completed since our lookup began.
+    // OUTSIDE the registry mutex — leadership slots already bound
+    // same-class concurrency, so the scan serializes nobody — and only in
+    // the rare race, when the generation says a solve completed since our
+    // lookup began.
     let recheck = (leadership.is_some()
         && inner.solve_generation.load(Ordering::Relaxed) != generation)
         .then(|| {
@@ -533,14 +662,15 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
     finish(inner, job, result);
 }
 
-/// Runs Algorithm 1 from the already-paid probe and admits the result into
-/// the shared cache. Returns the *cached* entry (canonical under
-/// fingerprint merging), so every caller serves identical bits.
+/// Runs Algorithm 1 from the already-paid probe, admits the result into
+/// the shared cache, and queues the durable-store append. Returns the
+/// *cached* entry (canonical under fingerprint merging), so every caller
+/// serves identical bits.
 fn lead_solve<M: PredictionApi>(
     inner: &Inner<M>,
     job: &mut Job,
     probs: Vector,
-) -> Result<(Interpretation, RegionFingerprint), InterpretError> {
+) -> Result<(Arc<Interpretation>, RegionFingerprint), InterpretError> {
     let probe = Probe {
         x: job.x.clone(),
         probs,
@@ -555,10 +685,16 @@ fn lead_solve<M: PredictionApi>(
             ServiceStats::add(&inner.stats.queries, (res.queries - 1) as u64);
             ServiceStats::add(&inner.stats.misses, 1);
             job.queries_spent += res.queries - 1;
-            let cached = inner.cache.insert(res.interpretation);
-            // After the insert, before the leader releases its registry
-            // key: anyone who later observes the key absent also observes
-            // this bump (the registry mutex orders both), and rechecks.
+            let cached = inner.cache.insert(Arc::new(res.interpretation));
+            if let Some(store) = &inner.store {
+                // Asynchronous append: deduped against the store's index,
+                // written + fsynced by its flusher thread. The solve path
+                // never waits on the disk.
+                store.append(cached.fingerprint, Arc::clone(&cached.interpretation));
+            }
+            // After the insert, before the leader steps down: anyone who
+            // later observes a free leader slot also observes this bump
+            // (the registry mutex orders both), and rechecks.
             inner.solve_generation.fetch_add(1, Ordering::Relaxed);
             Ok((cached.interpretation, cached.fingerprint))
         }
@@ -576,11 +712,12 @@ fn lead_solve<M: PredictionApi>(
 /// probe the solved region explains are in that region (Theorem 2) and are
 /// served its exact interpretation; everyone else — other regions queued
 /// behind this solve, or waiters of a failed solve — goes back on the
-/// queue, probe in hand, to hit the cache or lead their own solve.
+/// queue, probe in hand, to hit the cache or lead (or park behind) a solve
+/// of their own.
 fn settle_waiters<M: PredictionApi>(
     inner: &Inner<M>,
     tx: &Sender<Msg>,
-    solved: Result<&(Interpretation, RegionFingerprint), &InterpretError>,
+    solved: Result<&(Arc<Interpretation>, RegionFingerprint), &InterpretError>,
     waiters: Vec<Job>,
 ) {
     let rtol = inner.config.cache.membership_rtol;
@@ -600,7 +737,7 @@ fn settle_waiters<M: PredictionApi>(
             let (interpretation, fingerprint) = solved.expect("checked above");
             ServiceStats::add(&inner.stats.coalesced_served, 1);
             let served = Served {
-                interpretation: interpretation.clone(),
+                interpretation: Arc::clone(interpretation),
                 fingerprint: *fingerprint,
                 outcome: ServeOutcome::Coalesced,
                 queries: waiter.queries_spent,
@@ -627,6 +764,7 @@ mod tests {
     use super::*;
     use openapi_api::{CountingApi, LinearSoftmaxModel, LocalLinearModel, TwoRegionPlm};
     use openapi_linalg::Matrix;
+    use std::path::PathBuf;
 
     fn two_region_model() -> TwoRegionPlm {
         let low = LocalLinearModel::new(
@@ -648,6 +786,18 @@ mod tests {
                 ..ServiceConfig::default()
             },
         )
+    }
+
+    /// A unique temp directory per call; each test removes its own.
+    fn temp_store_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "openapi_serve_{tag}_{}_{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
     }
 
     #[test]
@@ -681,10 +831,12 @@ mod tests {
         let stats = svc.stats();
         assert_eq!(stats.requests, 12);
         assert_eq!(
-            stats.hits + stats.misses + stats.coalesced_served + stats.failures,
+            stats.hits + stats.store_hits + stats.misses + stats.coalesced_served + stats.failures,
             12
         );
         assert_eq!(stats.failures, 0);
+        assert_eq!(stats.store_hits, 0, "no store attached");
+        assert!(stats.store.is_none());
         assert_eq!(stats.cached_regions, 2);
         // The metered API agrees with the stats ledger.
         assert_eq!(stats.queries, svc.api().queries());
@@ -744,15 +896,19 @@ mod tests {
 
     #[test]
     fn coalescing_shares_one_solve_across_a_burst() {
-        // Single-region model: every request resolves to the same region,
-        // so a burst must produce exactly one miss and zero failures, and
-        // hits + coalesced make up the rest.
+        // Single-region model: every request resolves to the same region.
+        // With the leader limit pinned to 1, a burst must produce exactly
+        // one miss and zero failures, and hits + coalesced make up the
+        // rest. (At the default limit of 4 leaders, up to `workers` racing
+        // cold requests may each solve the one region — duplicates merge,
+        // but the query spend is what this test pins down.)
         let w = Matrix::from_fn(8, 3, |r, c| ((r * 3 + c) % 7) as f64 * 0.1 - 0.3);
         let api = CountingApi::new(LinearSoftmaxModel::new(w, Vector(vec![0.1, -0.2, 0.05])));
         let svc = InterpretationService::new(
             api,
             ServiceConfig {
                 workers: 4,
+                max_leaders_per_class: 1,
                 ..ServiceConfig::default()
             },
         );
@@ -782,12 +938,120 @@ mod tests {
         // full bitwise comparison across threads.)
     }
 
+    /// Sleeps on exactly one designated prediction call (1-indexed), long
+    /// enough for the test to race other requests past it.
+    struct SlowCall<M> {
+        inner: M,
+        calls: AtomicU64,
+        slow_call: u64,
+        sleep: Duration,
+    }
+
+    impl<M: PredictionApi> SlowCall<M> {
+        fn new(inner: M, slow_call: u64, sleep: Duration) -> Self {
+            SlowCall {
+                inner,
+                calls: AtomicU64::new(0),
+                slow_call,
+                sleep,
+            }
+        }
+    }
+
+    impl<M: PredictionApi> PredictionApi for SlowCall<M> {
+        fn dim(&self) -> usize {
+            self.inner.dim()
+        }
+
+        fn num_classes(&self) -> usize {
+            self.inner.num_classes()
+        }
+
+        fn predict(&self, x: &[f64]) -> Vector {
+            let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+            if n == self.slow_call {
+                std::thread::sleep(self.sleep);
+            }
+            self.inner.predict(x)
+        }
+    }
+
+    /// Builds the slow-first-solve scenario shared by the two leader-limit
+    /// tests: request A's Algorithm-1 solve stalls on its first sampling
+    /// query (call 2; its probe was call 1), then request B — a *different
+    /// region* of the same class — arrives. Returns `(ticket_a, ticket_b)`
+    /// with B's submitted only after A is provably mid-solve.
+    fn slow_first_solve(svc: &InterpretationService<SlowCall<TwoRegionPlm>>) -> (Ticket, Ticket) {
+        let a = svc.submit_instance(Vector(vec![0.2, 0.1]), 0); // low region
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while svc.api().calls.load(Ordering::Relaxed) < 2 {
+            assert!(Instant::now() < deadline, "request A never began solving");
+            std::thread::yield_now();
+        }
+        let b = svc.submit_instance(Vector(vec![0.8, -0.2]), 0); // high region
+        (a, b)
+    }
+
+    #[test]
+    fn second_leader_overtakes_a_slow_first_solve() {
+        // ROADMAP item: distinct-region cold misses of one class must no
+        // longer serialize. With 2 leader slots, request B elects itself
+        // while A's solve is still sleeping and completes long before A.
+        let svc = InterpretationService::new(
+            SlowCall::new(two_region_model(), 2, Duration::from_millis(400)),
+            ServiceConfig {
+                workers: 2,
+                max_leaders_per_class: 2,
+                ..ServiceConfig::default()
+            },
+        );
+        let (a, b) = slow_first_solve(&svc);
+        let served_b = b.wait().expect("B solves independently");
+        assert_eq!(served_b.outcome, ServeOutcome::Solved);
+        assert!(
+            a.poll().is_none(),
+            "B finished while A was still mid-solve — no serialization"
+        );
+        assert_eq!(a.wait().expect("A completes").outcome, ServeOutcome::Solved);
+        assert_eq!(svc.stats().coalesced_waits, 0, "B never parked");
+    }
+
+    #[test]
+    fn single_leader_limit_still_serializes_distinct_regions() {
+        // The mirror: with the limit at 1 (the pre-leader-pool behavior),
+        // B parks behind A's in-flight solve and can only complete after
+        // A settles it — so by the time B resolves, A must be done.
+        let svc = InterpretationService::new(
+            SlowCall::new(two_region_model(), 2, Duration::from_millis(400)),
+            ServiceConfig {
+                workers: 2,
+                max_leaders_per_class: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let (a, b) = slow_first_solve(&svc);
+        let served_b = b.wait().expect("B eventually solves");
+        assert_eq!(served_b.outcome, ServeOutcome::Solved);
+        assert!(svc.stats().coalesced_waits >= 1, "B must have parked");
+        // B was submitted just as A's 400 ms sleep began and could only be
+        // requeued after A's solve settled, so its end-to-end latency must
+        // carry most of that sleep — the serialization the leader pool
+        // removes. (The overtake test's B finishes in microseconds.)
+        assert!(
+            served_b.latency >= Duration::from_millis(200),
+            "with one leader slot, B must have waited out A's solve \
+             (latency {:?})",
+            served_b.latency
+        );
+        assert_eq!(a.wait().expect("A completes").outcome, ServeOutcome::Solved);
+    }
+
     #[test]
     fn panicking_solve_does_not_wedge_the_class_or_the_worker() {
         /// Panics on exactly the `panic_on`-th prediction — timed so the
         /// first request's probe succeeds (call 1) and its Algorithm-1
         /// sampling (calls 2–4) dies mid-solve, i.e. while the request
-        /// holds coalescing leadership for its class.
+        /// holds a coalescing leader slot for its class.
         struct PanicOnCall<M> {
             inner: M,
             calls: AtomicU64,
@@ -818,6 +1082,9 @@ mod tests {
             },
             ServiceConfig {
                 workers: 1,
+                // One leader slot, so a leaked slot would wedge the class —
+                // the strictest config for this regression.
+                max_leaders_per_class: 1,
                 ..ServiceConfig::default()
             },
         );
@@ -879,7 +1146,7 @@ mod tests {
         let snapshot = CacheSnapshot {
             entries: vec![SnapshotEntry {
                 fingerprint: foreign.fingerprint(6),
-                interpretation: foreign,
+                interpretation: Arc::new(foreign),
             }],
         };
         let svc = service(2);
@@ -914,5 +1181,97 @@ mod tests {
             assert_eq!(served.queries, 1);
         }
         assert_eq!(svc2.stats().misses, 0);
+    }
+
+    #[test]
+    fn restarting_against_a_store_reserves_without_solving() {
+        // The acceptance scenario in miniature: run traffic, close, reopen
+        // the same directory — zero additional Algorithm-1 solves.
+        let dir = temp_store_dir("restart");
+        let xs = [Vector(vec![0.2, 0.3]), Vector(vec![0.8, -0.2])];
+        let svc = InterpretationService::open(
+            CountingApi::new(two_region_model()),
+            ServiceConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        for x in &xs {
+            let served = svc.submit_instance(x.clone(), 0).wait().unwrap();
+            assert_eq!(served.outcome, ServeOutcome::Solved);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.store.as_ref().unwrap().appends, 2);
+        svc.close().unwrap();
+
+        let svc = InterpretationService::open(
+            CountingApi::new(two_region_model()),
+            ServiceConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        assert_eq!(svc.store().unwrap().len(), 2, "regions recovered");
+        // First touch of each region: store hit, promoted to the cache.
+        for x in &xs {
+            let served = svc.submit_instance(x.clone(), 0).wait().unwrap();
+            assert_eq!(served.outcome, ServeOutcome::StoreHit);
+            assert_eq!(served.queries, 1, "one membership probe, no solve");
+        }
+        // Second touch: plain cache hits (the store is consulted only on
+        // cache misses).
+        for x in &xs {
+            let served = svc.submit_instance(x.clone(), 0).wait().unwrap();
+            assert_eq!(served.outcome, ServeOutcome::CacheHit);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.misses, 0, "zero Algorithm-1 solves after restart");
+        assert_eq!(stats.store_hits, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(
+            stats.hits + stats.store_hits + stats.misses + stats.coalesced_served + stats.failures,
+            4
+        );
+        assert_eq!(stats.queries, 4, "restart cost: one probe per request");
+        let store_stats = stats.store.as_ref().unwrap();
+        assert_eq!(store_stats.hits, 2);
+        assert_eq!(store_stats.duplicate_appends, 0);
+        svc.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_from_a_different_model_degrades_to_solves() {
+        // Mirror of the mismatched-snapshot test against the store tier: a
+        // directory written by a DIFFERENT model must never poison serves —
+        // membership re-verification guards every store hit.
+        let dir = temp_store_dir("foreign");
+        let foreign_model = LinearSoftmaxModel::new(
+            Matrix::from_fn(2, 5, |r, c| (r * 5 + c) as f64 * 0.2 - 0.4),
+            Vector(vec![0.1, -0.1, 0.3, 0.0, -0.2]),
+        );
+        let svc =
+            InterpretationService::open(foreign_model, ServiceConfig::default(), &dir).unwrap();
+        svc.submit_instance(Vector(vec![0.4, -0.6]), 0)
+            .wait()
+            .unwrap();
+        svc.close().unwrap();
+
+        // Same directory, different model behind the API.
+        let svc = InterpretationService::open(
+            CountingApi::new(two_region_model()),
+            ServiceConfig::default(),
+            &dir,
+        )
+        .unwrap();
+        assert!(!svc.store().unwrap().is_empty(), "foreign records loaded");
+        let served = svc
+            .submit_instance(Vector(vec![0.2, 0.1]), 0)
+            .wait()
+            .expect("foreign store entries must not poison the class");
+        assert_eq!(served.outcome, ServeOutcome::Solved);
+        assert_eq!(svc.stats().store_hits, 0, "foreign entries never pass");
+        assert_eq!(svc.stats().failures, 0);
+        svc.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

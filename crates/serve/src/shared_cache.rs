@@ -17,6 +17,7 @@ use openapi_core::cache::{CachedRegion, RegionCache, RegionCacheConfig};
 use openapi_core::decision::Interpretation;
 use openapi_linalg::Vector;
 use parking_lot::RwLock;
+use std::sync::Arc;
 
 /// Configuration of a [`SharedRegionCache`].
 #[derive(Debug, Clone)]
@@ -113,18 +114,20 @@ impl SharedRegionCache {
             .find_map(|shard| shard.read().lookup_probe(x, probs, class))
     }
 
-    /// Admits a freshly solved region into its fingerprint's shard,
-    /// returning the entry that ends up cached (the canonical one if an
-    /// agreeing entry already existed — see
-    /// [`RegionCache::insert`]).
-    pub fn insert(&self, interpretation: Interpretation) -> CachedRegion {
+    /// Admits a freshly solved (or store-recovered) region into its
+    /// fingerprint's shard, returning the entry that ends up cached (the
+    /// canonical one if an agreeing entry already existed — see
+    /// [`RegionCache::insert`]). Takes an [`Arc`] so admission from
+    /// another tier never copies the parameter payload.
+    pub fn insert(&self, interpretation: Arc<Interpretation>) -> CachedRegion {
         let fingerprint = interpretation.fingerprint(self.config.fingerprint_digits);
         let shard = (fingerprint.0 % self.shards.len() as u64) as usize;
         self.shards[shard].write().insert(interpretation, None)
     }
 
     /// A point-in-time copy of every cached region, for persistence or
-    /// warm-starting another service (see [`CacheSnapshot`]). Shards are
+    /// warm-starting another service (see [`CacheSnapshot`]). Entries are
+    /// `Arc` shares of the live slots — no payload copies. Shards are
     /// locked one at a time, so the snapshot is per-shard consistent but
     /// not globally atomic — fine for its purpose (each entry is
     /// independently exact).
@@ -153,7 +156,7 @@ impl SharedRegionCache {
     /// so [`SharedRegionCache::len`] afterwards may be smaller.
     pub fn restore(&self, snapshot: &CacheSnapshot) -> usize {
         for entry in &snapshot.entries {
-            self.insert(entry.interpretation.clone());
+            self.insert(Arc::clone(&entry.interpretation));
         }
         snapshot.entries.len()
     }
@@ -164,16 +167,18 @@ mod tests {
     use super::*;
     use openapi_core::decision::PairwiseCoreParams;
 
-    fn interp(class: usize, w: f64) -> Interpretation {
-        Interpretation::from_pairwise(
-            class,
-            vec![PairwiseCoreParams {
-                c_prime: class + 1,
-                weights: Vector(vec![w, -w]),
-                bias: 0.25 * w,
-            }],
+    fn interp(class: usize, w: f64) -> Arc<Interpretation> {
+        Arc::new(
+            Interpretation::from_pairwise(
+                class,
+                vec![PairwiseCoreParams {
+                    c_prime: class + 1,
+                    weights: Vector(vec![w, -w]),
+                    bias: 0.25 * w,
+                }],
+            )
+            .unwrap(),
         )
-        .unwrap()
     }
 
     /// A probe consistent with `interp(class, w)` at `x`: builds the

@@ -1,4 +1,5 @@
-//! Cache snapshot/restore: persistence for the shared region cache.
+//! Cache snapshot/restore: one-shot persistence for the shared region
+//! cache.
 //!
 //! A service that restarts (deploy, crash, scale-out) would otherwise pay
 //! the full Algorithm-1 query budget again for every region its traffic
@@ -9,21 +10,30 @@
 //! can never produce a wrong answer (its entries would simply never pass
 //! the membership test and would age out of the bounded cache).
 //!
-//! The wire format follows the workspace convention (see
-//! [`openapi_linalg::codec`]): length-prefixed little-endian, hand-rolled
-//! because the approved dependency set carries serde's *traits* but no
-//! serde format crate. The `serde` derives on the snapshot types keep them
-//! source-compatible with a real serde format should one land.
+//! The wire format is a thin wrapper over the workspace's single record
+//! codec ([`openapi_store::record`]): a magic/version header, an entry
+//! count, then one CRC-framed `(fingerprint, Interpretation)` record per
+//! entry — byte-compatible with the frames in the durable store's WAL and
+//! segments, so there is exactly one framing/checksum implementation to
+//! audit. (For *continuously* durable regions, prefer the store itself:
+//! [`openapi_store::RegionStore`]. Snapshots remain for one-shot
+//! copies — shipping a warm cache to another host, test fixtures.)
+//!
+//! The `serde` derives on the snapshot types keep them source-compatible
+//! with a real serde format should one land in the dependency set.
 
 use bytes::{Buf, BufMut};
-use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
+use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_core::InterpretError;
 use openapi_linalg::codec::{self, CodecError};
+use openapi_store::record::{self, RecordError};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
-/// Format magic + version: bumped on any layout change.
-const MAGIC: u64 = 0x4F41_534E_4150_0001; // "OASNAP" v1
+/// Format magic + version: v2 moved entries into CRC-framed store records
+/// (v1 was unframed). Bumped on any layout change.
+const MAGIC: u64 = 0x4F41_534E_4150_0002; // "OASNAP" v2
 
 /// One persisted region: its canonical key and full interpretation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -31,8 +41,9 @@ pub struct SnapshotEntry {
     /// Fingerprint at snapshot time (recomputed on restore; stored so
     /// offline tooling can key entries without re-hashing).
     pub fingerprint: RegionFingerprint,
-    /// The region's exact interpretation.
-    pub interpretation: Interpretation,
+    /// The region's exact interpretation (shared, not copied, on both the
+    /// snapshot and the restore path).
+    pub interpretation: Arc<Interpretation>,
 }
 
 /// A point-in-time copy of a region cache (see the module docs).
@@ -52,6 +63,14 @@ pub enum SnapshotError {
     },
     /// Truncated or implausible binary payload.
     Codec(CodecError),
+    /// An entry's payload bytes fail their CRC — the snapshot was
+    /// corrupted in place.
+    Corrupt {
+        /// CRC stored in the entry's frame.
+        stored: u64,
+        /// CRC computed over the bytes read.
+        computed: u64,
+    },
     /// An entry decoded structurally but is not a valid interpretation
     /// (e.g. empty contrast list or ragged dimensions).
     BadEntry(InterpretError),
@@ -64,6 +83,10 @@ impl fmt::Display for SnapshotError {
                 write!(f, "not a cache snapshot (magic {found:#018x})")
             }
             SnapshotError::Codec(e) => write!(f, "snapshot payload: {e}"),
+            SnapshotError::Corrupt { stored, computed } => write!(
+                f,
+                "snapshot entry corrupt: stored CRC {stored:#018x}, computed {computed:#018x}"
+            ),
             SnapshotError::BadEntry(e) => write!(f, "snapshot entry invalid: {e}"),
         }
     }
@@ -77,6 +100,18 @@ impl From<CodecError> for SnapshotError {
     }
 }
 
+impl From<RecordError> for SnapshotError {
+    fn from(e: RecordError) -> Self {
+        match e {
+            RecordError::Codec(c) => SnapshotError::Codec(c),
+            RecordError::Checksum { stored, computed } => {
+                SnapshotError::Corrupt { stored, computed }
+            }
+            RecordError::BadEntry(e) => SnapshotError::BadEntry(e),
+        }
+    }
+}
+
 impl CacheSnapshot {
     /// Serializes the snapshot to bytes (infallible).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -84,14 +119,7 @@ impl CacheSnapshot {
         buf.put_u64_le(MAGIC);
         codec::put_len(&mut buf, self.entries.len());
         for entry in &self.entries {
-            buf.put_u64_le(entry.fingerprint.0);
-            codec::put_len(&mut buf, entry.interpretation.class);
-            codec::put_len(&mut buf, entry.interpretation.pairwise.len());
-            for p in &entry.interpretation.pairwise {
-                codec::put_len(&mut buf, p.c_prime);
-                buf.put_f64_le(p.bias);
-                codec::put_vector(&mut buf, &p.weights);
-            }
+            record::put_record(&mut buf, entry.fingerprint, &entry.interpretation);
         }
         buf
     }
@@ -102,8 +130,8 @@ impl CacheSnapshot {
     /// original).
     ///
     /// # Errors
-    /// [`SnapshotError`] on wrong magic, truncation, or invalid entries;
-    /// never panics on malformed input.
+    /// [`SnapshotError`] on wrong magic, truncation, per-entry CRC
+    /// failure, or invalid entries; never panics on malformed input.
     pub fn from_bytes(mut bytes: &[u8]) -> Result<Self, SnapshotError> {
         let buf = &mut bytes;
         if buf.remaining() < 8 {
@@ -121,41 +149,10 @@ impl CacheSnapshot {
         let n = codec::get_len(buf, "snapshot entries")?;
         let mut entries = Vec::with_capacity(n.min(1 << 16));
         for _ in 0..n {
-            if buf.remaining() < 8 {
-                return Err(CodecError::Truncated {
-                    what: "entry fingerprint",
-                    needed: 8,
-                    remaining: buf.remaining(),
-                }
-                .into());
-            }
-            let fingerprint = RegionFingerprint(buf.get_u64_le());
-            let class = codec::get_len(buf, "entry class")?;
-            let contrasts = codec::get_len(buf, "entry contrasts")?;
-            let mut pairwise = Vec::with_capacity(contrasts.min(1 << 16));
-            for _ in 0..contrasts {
-                let c_prime = codec::get_len(buf, "contrast class")?;
-                if buf.remaining() < 8 {
-                    return Err(CodecError::Truncated {
-                        what: "contrast bias",
-                        needed: 8,
-                        remaining: buf.remaining(),
-                    }
-                    .into());
-                }
-                let bias = buf.get_f64_le();
-                let weights = codec::get_vector(buf, "contrast weights")?;
-                pairwise.push(PairwiseCoreParams {
-                    c_prime,
-                    weights,
-                    bias,
-                });
-            }
-            let interpretation =
-                Interpretation::from_pairwise(class, pairwise).map_err(SnapshotError::BadEntry)?;
+            let stored = record::get_record(buf)?;
             entries.push(SnapshotEntry {
-                fingerprint,
-                interpretation,
+                fingerprint: stored.fingerprint,
+                interpretation: stored.interpretation,
             });
         }
         Ok(CacheSnapshot { entries })
@@ -165,6 +162,7 @@ impl CacheSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use openapi_core::decision::PairwiseCoreParams;
     use openapi_linalg::Vector;
 
     fn entry(class: usize, weights: Vec<f64>, bias: f64) -> SnapshotEntry {
@@ -179,7 +177,7 @@ mod tests {
         .unwrap();
         SnapshotEntry {
             fingerprint: interpretation.fingerprint(6),
-            interpretation,
+            interpretation: Arc::new(interpretation),
         }
     }
 
@@ -231,15 +229,33 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_entry_bytes_fail_their_crc() {
+        let snap = CacheSnapshot {
+            entries: vec![entry(0, vec![1.0, 2.0], 0.5)],
+        };
+        let mut bytes = snap.to_bytes();
+        // Flip one bit inside the entry payload (past magic + count + the
+        // 12-byte frame header).
+        let flip_at = 8 + 8 + 12 + 4;
+        bytes[flip_at] ^= 0x01;
+        assert!(matches!(
+            CacheSnapshot::from_bytes(&bytes),
+            Err(SnapshotError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
     fn structurally_valid_but_empty_entry_is_rejected() {
-        // An entry with zero contrasts decodes but cannot form an
-        // interpretation (Equation 1 needs at least one contrast).
+        // An entry with zero contrasts frames and checksums fine but
+        // cannot form an interpretation (Equation 1 needs ≥ 1 contrast).
+        let mut payload = Vec::new();
+        payload.put_u64_le(42); // fingerprint
+        codec::put_len(&mut payload, 0); // class
+        codec::put_len(&mut payload, 0); // zero contrasts
         let mut buf = Vec::new();
         buf.put_u64_le(super::MAGIC);
         codec::put_len(&mut buf, 1); // one entry
-        buf.put_u64_le(42); // fingerprint
-        codec::put_len(&mut buf, 0); // class
-        codec::put_len(&mut buf, 0); // zero contrasts
+        record::put_frame(&mut buf, &payload);
         assert!(matches!(
             CacheSnapshot::from_bytes(&buf),
             Err(SnapshotError::BadEntry(_))

@@ -1,6 +1,7 @@
 //! Atomic service statistics: the numbers a capacity planner needs.
 
 use openapi_metrics::LatencyHistogram;
+use openapi_store::StoreStatsSnapshot;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -13,6 +14,9 @@ pub struct ServiceStats {
     pub(crate) requests: AtomicU64,
     /// Requests served from the shared cache (1 probe query each).
     pub(crate) hits: AtomicU64,
+    /// Requests served from the durable region store (1 probe query each;
+    /// the region is promoted back into the cache).
+    pub(crate) store_hits: AtomicU64,
     /// Requests that led an Algorithm-1 solve.
     pub(crate) misses: AtomicU64,
     /// Times a request parked behind an in-flight solve of its class.
@@ -46,6 +50,7 @@ impl ServiceStats {
         StatsSnapshot {
             requests: load(&self.requests),
             hits: load(&self.hits),
+            store_hits: load(&self.store_hits),
             misses: load(&self.misses),
             coalesced_waits: load(&self.coalesced_waits),
             coalesced_served: load(&self.coalesced_served),
@@ -56,17 +61,19 @@ impl ServiceStats {
             cached_regions,
             p50_latency: self.latency.p50(),
             p99_latency: self.latency.p99(),
+            store: None,
         }
     }
 }
 
-/// A point-in-time view of [`ServiceStats`] plus the cache gauges.
+/// A point-in-time view of [`ServiceStats`] plus the cache gauges (and
+/// the durable store's counters, when the service has one).
 ///
 /// Once every submitted ticket has resolved and the service is still
-/// running, `requests = hits + misses + coalesced_served + failures` —
-/// each request the service completed ends in exactly one of those
-/// outcomes. The exception is shutdown: requests still queued when the
-/// workers exit resolve as `ServeError::ServiceStopped` through their
+/// running, `requests = hits + store_hits + misses + coalesced_served +
+/// failures` — each request the service completed ends in exactly one of
+/// those outcomes. The exception is shutdown: requests still queued when
+/// the workers exit resolve as `ServeError::ServiceStopped` through their
 /// dropped reply channels, outside any worker's accounting, so after a
 /// shutdown race `requests` can exceed the outcome buckets' sum.
 #[derive(Debug, Clone, PartialEq)]
@@ -75,6 +82,8 @@ pub struct StatsSnapshot {
     pub requests: u64,
     /// Requests served from the shared cache.
     pub hits: u64,
+    /// Requests served from the durable region store (outcome bucket).
+    pub store_hits: u64,
     /// Requests that led an Algorithm-1 solve.
     pub misses: u64,
     /// Times a request parked behind an in-flight solve (events, not
@@ -96,14 +105,22 @@ pub struct StatsSnapshot {
     pub p50_latency: Option<Duration>,
     /// 99th-percentile request latency.
     pub p99_latency: Option<Duration>,
+    /// The durable store's own counters (`None` when the service runs
+    /// without a store).
+    pub store: Option<StoreStatsSnapshot>,
 }
 
 impl fmt::Display for StatsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "requests {:>8}   hits {:>8}   misses {:>6}   coalesced {:>6} (waits {})",
-            self.requests, self.hits, self.misses, self.coalesced_served, self.coalesced_waits
+            "requests {:>8}   hits {:>8} (+{} store)   misses {:>6}   coalesced {:>6} (waits {})",
+            self.requests,
+            self.hits,
+            self.store_hits,
+            self.misses,
+            self.coalesced_served,
+            self.coalesced_waits
         )?;
         writeln!(
             f,
@@ -119,7 +136,11 @@ impl fmt::Display for StatsSnapshot {
             "latency  p50 ≤ {}   p99 ≤ {}",
             show(self.p50_latency),
             show(self.p99_latency)
-        )
+        )?;
+        if let Some(store) = &self.store {
+            write!(f, "\n{store}")?;
+        }
+        Ok(())
     }
 }
 
@@ -131,7 +152,8 @@ mod tests {
     fn snapshot_reads_what_was_recorded() {
         let stats = ServiceStats::default();
         ServiceStats::add(&stats.requests, 10);
-        ServiceStats::add(&stats.hits, 6);
+        ServiceStats::add(&stats.hits, 5);
+        ServiceStats::add(&stats.store_hits, 1);
         ServiceStats::add(&stats.misses, 2);
         ServiceStats::add(&stats.coalesced_served, 1);
         ServiceStats::add(&stats.failures, 1);
@@ -140,9 +162,10 @@ mod tests {
         let snap = stats.snapshot(3, 7);
         assert_eq!(snap.requests, 10);
         assert_eq!(
-            snap.hits + snap.misses + snap.coalesced_served + snap.failures,
+            snap.hits + snap.store_hits + snap.misses + snap.coalesced_served + snap.failures,
             10
         );
+        assert!(snap.store.is_none(), "the service fills the store view in");
         assert_eq!(snap.queries, 42);
         assert_eq!(snap.evictions, 3);
         assert_eq!(snap.cached_regions, 7);

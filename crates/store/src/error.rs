@@ -1,0 +1,64 @@
+//! Store-level error type.
+
+use crate::record::RecordError;
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Why a store operation failed.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure (open, write, fsync, rename, remove).
+    Io(io::Error),
+    /// A file carries the wrong magic — it is not (this version of) a WAL
+    /// or segment. The store refuses to touch it rather than destroy
+    /// whatever it actually is.
+    BadMagic {
+        /// The offending file.
+        path: PathBuf,
+        /// The value found where the magic was expected.
+        found: u64,
+    },
+    /// A record failed to decode where corruption is not tolerated (e.g.
+    /// inside an explicit integrity check, as opposed to tail replay,
+    /// which clips torn records silently).
+    Record(RecordError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O: {e}"),
+            StoreError::BadMagic { path, found } => {
+                write!(
+                    f,
+                    "{} is not a store file (magic {found:#018x})",
+                    path.display()
+                )
+            }
+            StoreError::Record(e) => write!(f, "store record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Record(e) => Some(e),
+            StoreError::BadMagic { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<RecordError> for StoreError {
+    fn from(e: RecordError) -> Self {
+        StoreError::Record(e)
+    }
+}

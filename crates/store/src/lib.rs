@@ -1,0 +1,124 @@
+//! `openapi-store` — a durable, log-structured persistence tier for
+//! recovered locally linear regions.
+//!
+//! Theorem 2 of the paper makes each region's interpretation *exact and
+//! permanent*: once Algorithm 1 has solved a region, the recovered core
+//! parameters never change and never need re-querying. That makes the set
+//! of solved regions the most valuable asset the system owns — every
+//! record is `1 + T·(d+1)` prediction queries that never have to be paid
+//! again. This crate keeps that asset on disk, so a restarted service
+//! warm-starts from its own history instead of re-billing the API.
+//!
+//! # On-disk layout
+//!
+//! A store directory holds one active write-ahead log and any number of
+//! sealed segments:
+//!
+//! ```text
+//! store-dir/
+//! ├── wal.log          append-only: magic + framed records, in arrival order
+//! ├── seg-000001.seg   sealed: magic + framed, deduplicated records
+//! └── seg-000002.seg   (younger segments supersede nothing: records are
+//!                       immutable facts, recovery dedupes)
+//! ```
+//!
+//! Every record on every surface uses one codec ([`record`]): a
+//! `(fingerprint, Interpretation)` payload inside a `len + CRC-64/XZ`
+//! frame. The cache snapshot format in `openapi-serve` wraps the same
+//! frames, so the workspace has exactly one persistence framing to audit.
+//!
+//! # Durability protocol
+//!
+//! * **Append** ([`RegionStore::append`]): dedup against the in-memory
+//!   index (already-stored regions cost no I/O), then hand the encoded
+//!   frame to a dedicated flusher thread. The flusher batches whatever has
+//!   accumulated (up to [`StoreConfig::flush_batch`] records), writes once,
+//!   and `fsync`s once — many inserts per sync under load, one sync per
+//!   insert when idle. [`RegionStore::flush`] is the explicit barrier.
+//! * **Recovery** ([`RegionStore::open`]): replay segments in sequence
+//!   order, then the WAL's longest valid record prefix. A torn tail —
+//!   a crash mid-write — fails its frame's CRC, gets clipped (the file is
+//!   truncated back to the valid prefix), and costs at most the records
+//!   of the final unsynced batch, never a wrong record.
+//! * **Compaction** ([`RegionStore::compact`]): fold everything into one
+//!   fresh segment (tmp-write, fsync, atomic rename), *then* empty the WAL
+//!   and drop the older segments. Every record is durable in at least one
+//!   file at every instant; a crash anywhere leaves duplicates at worst,
+//!   which recovery's dedup folds.
+//!
+//! # Exactness is never delegated to the disk
+//!
+//! A lookup ([`RegionStore::lookup_probe`]) only returns a stored region
+//! whose parameters *explain the caller's own probe* at every contrast —
+//! the identical Theorem-2 membership test the in-memory cache applies.
+//! Bytes can rot, directories can be swapped, a store can come from a
+//! different model entirely: a record either proves itself against the
+//! live API's prediction or it is ignored. The CRC framing exists to keep
+//! recovery honest (and cheap); correctness never rests on it.
+
+mod error;
+pub mod record;
+mod segment;
+mod stats;
+mod store;
+mod wal;
+
+pub use error::StoreError;
+pub use record::{RecordError, StoredRegion};
+pub use segment::{read_segment, segment_name, SegmentRecovery, SEGMENT_MAGIC};
+pub use stats::{StoreStats, StoreStatsSnapshot};
+pub use store::{RegionStore, StoreConfig};
+pub use wal::{Wal, WalRecovery, WAL_MAGIC};
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::record::StoredRegion;
+    use openapi_core::decision::{Interpretation, PairwiseCoreParams};
+    use openapi_linalg::Vector;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// A unique, created temp directory per call — concurrent tests never
+    /// share one, and each test removes its own at the end.
+    pub fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "openapi_store_{tag}_{}_{}",
+            std::process::id(),
+            NEXT.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// A synthetic one-contrast region whose weights encode its identity.
+    pub fn region(class: usize, weights: &[f64], bias: f64) -> StoredRegion {
+        let interpretation = Interpretation::from_pairwise(
+            class,
+            vec![PairwiseCoreParams {
+                c_prime: class + 1,
+                weights: Vector(weights.to_vec()),
+                bias,
+            }],
+        )
+        .unwrap();
+        StoredRegion {
+            fingerprint: interpretation.fingerprint(6),
+            interpretation: Arc::new(interpretation),
+        }
+    }
+
+    /// A probability vector consistent with `i` at `x`: the probe its
+    /// region's membership test accepts.
+    pub fn consistent_probs(i: &Interpretation, x: &Vector) -> Vec<f64> {
+        let p = &i.pairwise[0];
+        let target = p.weights.dot(x).unwrap() + p.bias;
+        let r = target.exp();
+        let denom = 1.0 + r;
+        let mut probs = vec![0.0; p.c_prime + 1];
+        probs[i.class] = r / denom;
+        probs[p.c_prime] = 1.0 / denom;
+        probs
+    }
+}

@@ -1,0 +1,363 @@
+//! The one record codec every persistence surface shares.
+//!
+//! A *record* is one `(fingerprint, Interpretation)` pair. On every durable
+//! surface — the write-ahead log, sealed segments, and the cache snapshot in
+//! `openapi-serve` — a record travels inside a *frame*:
+//!
+//! ```text
+//! ┌────────────┬────────────┬─────────────────────┐
+//! │ len: u32LE │ crc: u64LE │ payload (len bytes) │
+//! └────────────┴────────────┴─────────────────────┘
+//! ```
+//!
+//! `crc` is CRC-64/XZ over the payload, so a torn write (length header
+//! present, payload short), a truncated tail, or in-place corruption is
+//! detected before a single byte of the payload is trusted. The payload
+//! itself follows the workspace codec conventions
+//! ([`openapi_linalg::codec`]): length-prefixed little-endian fields —
+//! fingerprint, class, contrast count, then per contrast `(c', bias,
+//! weights)`.
+//!
+//! Decoding validates at three altitudes, in order: frame (length
+//! plausible, bytes present), checksum (payload uncorrupted), and entry
+//! ([`Interpretation::from_pairwise`] — non-empty contrasts, consistent
+//! dimensions). Malformed input of any kind yields a [`RecordError`],
+//! never a panic.
+
+use bytes::{Buf, BufMut};
+use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
+use openapi_core::InterpretError;
+use openapi_linalg::codec::{self, CodecError};
+use std::fmt;
+use std::sync::Arc;
+
+/// Frame header bytes: u32 payload length + u64 CRC.
+pub const FRAME_HEADER: usize = 12;
+
+/// Upper bound on a single frame's payload — corrupted length fields must
+/// fail fast instead of attempting a huge allocation (a real record at
+/// `d = 784`, 100 classes is well under 1 MiB).
+pub const MAX_PAYLOAD: u32 = 1 << 28;
+
+/// One decoded record: the region's canonical key and its interpretation,
+/// already shared so cache admission never copies the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRegion {
+    /// Canonical key of the region (as persisted; lookups re-verify
+    /// membership against the parameters, so a stale key costs nothing).
+    pub fingerprint: RegionFingerprint,
+    /// The region's exact interpretation.
+    pub interpretation: Arc<Interpretation>,
+}
+
+/// Why decoding a frame or record failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RecordError {
+    /// Truncated or implausible binary payload.
+    Codec(CodecError),
+    /// The payload bytes do not hash to the stored checksum.
+    Checksum {
+        /// CRC stored in the frame header.
+        stored: u64,
+        /// CRC computed over the payload actually read.
+        computed: u64,
+    },
+    /// The payload decoded structurally but is not a valid interpretation
+    /// (empty contrast list, ragged dimensions).
+    BadEntry(InterpretError),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::Codec(e) => write!(f, "record frame: {e}"),
+            RecordError::Checksum { stored, computed } => write!(
+                f,
+                "record checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            RecordError::BadEntry(e) => write!(f, "record entry invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<CodecError> for RecordError {
+    fn from(e: CodecError) -> Self {
+        RecordError::Codec(e)
+    }
+}
+
+/// CRC-64/XZ lookup table, built at compile time.
+const CRC64_TABLE: [u64; 256] = {
+    // Reflected ECMA-182 polynomial.
+    const POLY: u64 = 0xC96C_5795_D787_0F42;
+    let mut table = [0u64; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u64;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 == 1 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-64/XZ of `bytes` (init and final XOR all-ones).
+pub fn crc64(bytes: &[u8]) -> u64 {
+    let mut crc = !0u64;
+    for &b in bytes {
+        crc = CRC64_TABLE[((crc ^ u64::from(b)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Frames an opaque payload: length, CRC, bytes. The inverse of
+/// [`get_frame`].
+pub fn put_frame(buf: &mut Vec<u8>, payload: &[u8]) {
+    debug_assert!(payload.len() <= MAX_PAYLOAD as usize);
+    buf.put_u32_le(payload.len() as u32);
+    buf.put_u64_le(crc64(payload));
+    buf.extend_from_slice(payload);
+}
+
+/// Reads one frame, returning the payload slice after verifying length
+/// plausibility, byte availability, and the checksum.
+///
+/// # Errors
+/// [`RecordError::Codec`] on truncation or an implausible length,
+/// [`RecordError::Checksum`] when the payload fails verification.
+pub fn get_frame<'a>(buf: &mut &'a [u8]) -> Result<&'a [u8], RecordError> {
+    if buf.remaining() < FRAME_HEADER {
+        return Err(CodecError::Truncated {
+            what: "record frame header",
+            needed: FRAME_HEADER,
+            remaining: buf.remaining(),
+        }
+        .into());
+    }
+    let len = buf.get_u32_le();
+    if len > MAX_PAYLOAD {
+        return Err(CodecError::BadLength {
+            what: "record frame payload",
+            value: u64::from(len),
+        }
+        .into());
+    }
+    let stored = buf.get_u64_le();
+    let len = len as usize;
+    if buf.remaining() < len {
+        return Err(CodecError::Truncated {
+            what: "record frame payload",
+            needed: len,
+            remaining: buf.remaining(),
+        }
+        .into());
+    }
+    let (payload, rest) = buf.split_at(len);
+    let computed = crc64(payload);
+    if computed != stored {
+        return Err(RecordError::Checksum { stored, computed });
+    }
+    *buf = rest;
+    Ok(payload)
+}
+
+/// Encodes one record payload (no frame): fingerprint, class, contrasts.
+fn put_payload(buf: &mut Vec<u8>, fingerprint: RegionFingerprint, i: &Interpretation) {
+    buf.put_u64_le(fingerprint.0);
+    codec::put_len(buf, i.class);
+    codec::put_len(buf, i.pairwise.len());
+    for p in &i.pairwise {
+        codec::put_len(buf, p.c_prime);
+        buf.put_f64_le(p.bias);
+        codec::put_vector(buf, &p.weights);
+    }
+}
+
+/// Decodes a record payload written by [`put_payload`]. Decision features
+/// are recomputed from the persisted pairwise parameters (Equation 1 is
+/// deterministic, so the result is bit-identical to the original).
+fn get_payload(mut payload: &[u8]) -> Result<StoredRegion, RecordError> {
+    let buf = &mut payload;
+    if buf.remaining() < 8 {
+        return Err(CodecError::Truncated {
+            what: "record fingerprint",
+            needed: 8,
+            remaining: buf.remaining(),
+        }
+        .into());
+    }
+    let fingerprint = RegionFingerprint(buf.get_u64_le());
+    let class = codec::get_len(buf, "record class")?;
+    let contrasts = codec::get_len(buf, "record contrasts")?;
+    let mut pairwise = Vec::with_capacity(contrasts.min(1 << 16));
+    for _ in 0..contrasts {
+        let c_prime = codec::get_len(buf, "contrast class")?;
+        if buf.remaining() < 8 {
+            return Err(CodecError::Truncated {
+                what: "contrast bias",
+                needed: 8,
+                remaining: buf.remaining(),
+            }
+            .into());
+        }
+        let bias = buf.get_f64_le();
+        let weights = codec::get_vector(buf, "contrast weights")?;
+        pairwise.push(PairwiseCoreParams {
+            c_prime,
+            weights,
+            bias,
+        });
+    }
+    let interpretation =
+        Interpretation::from_pairwise(class, pairwise).map_err(RecordError::BadEntry)?;
+    Ok(StoredRegion {
+        fingerprint,
+        interpretation: Arc::new(interpretation),
+    })
+}
+
+/// Appends one framed record to `buf`.
+pub fn put_record(buf: &mut Vec<u8>, fingerprint: RegionFingerprint, i: &Interpretation) {
+    let mut payload = Vec::with_capacity(64 + 8 * i.decision_features.len() * i.pairwise.len());
+    put_payload(&mut payload, fingerprint, i);
+    put_frame(buf, &payload);
+}
+
+/// Encodes one framed record into a fresh buffer.
+pub fn encode_record(fingerprint: RegionFingerprint, i: &Interpretation) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_record(&mut buf, fingerprint, i);
+    buf
+}
+
+/// Reads one framed record, advancing `buf` past it.
+///
+/// # Errors
+/// [`RecordError`] on a bad frame, checksum mismatch, or invalid entry;
+/// `buf` is only advanced on success, so prefix replays can stop exactly
+/// at the last valid record.
+pub fn get_record(buf: &mut &[u8]) -> Result<StoredRegion, RecordError> {
+    let mut probe = *buf;
+    let payload = get_frame(&mut probe)?;
+    let record = get_payload(payload)?;
+    *buf = probe;
+    Ok(record)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_linalg::Vector;
+
+    fn region(class: usize, weights: Vec<f64>, bias: f64) -> StoredRegion {
+        let interpretation = Interpretation::from_pairwise(
+            class,
+            vec![PairwiseCoreParams {
+                c_prime: class + 1,
+                weights: Vector(weights),
+                bias,
+            }],
+        )
+        .unwrap();
+        StoredRegion {
+            fingerprint: interpretation.fingerprint(6),
+            interpretation: Arc::new(interpretation),
+        }
+    }
+
+    #[test]
+    fn crc64_matches_the_xz_check_value() {
+        // The CRC-64/XZ specification check: crc("123456789").
+        assert_eq!(crc64(b"123456789"), 0x995D_C9BB_DF19_39FA);
+        assert_eq!(crc64(b""), 0);
+    }
+
+    #[test]
+    fn records_round_trip_bit_exactly() {
+        for r in [
+            region(0, vec![1.5, -2.25, 1e-300], 0.125),
+            region(3, vec![f64::MIN_POSITIVE, 0.0], -7.5),
+        ] {
+            let bytes = encode_record(r.fingerprint, &r.interpretation);
+            let mut slice = bytes.as_slice();
+            let back = get_record(&mut slice).unwrap();
+            assert_eq!(back, r);
+            assert!(slice.is_empty(), "decoder must consume exactly");
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let r = region(1, vec![0.5, -0.25], 0.75);
+        let clean = encode_record(r.fingerprint, &r.interpretation);
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            let mut slice = bytes.as_slice();
+            match get_record(&mut slice) {
+                // A flip in the length field may masquerade as truncation
+                // or an implausible length; anywhere else the CRC fires.
+                Err(_) => {}
+                Ok(back) => {
+                    // The only undetectable flips would be CRC collisions;
+                    // a single-bit flip never collides in CRC-64.
+                    panic!("flip at byte {i} decoded as {back:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let r = region(2, vec![1.0, 2.0, 3.0], -0.5);
+        let clean = encode_record(r.fingerprint, &r.interpretation);
+        for keep in 0..clean.len() {
+            let mut slice = &clean[..keep];
+            let before = slice;
+            let err = get_record(&mut slice).expect_err("truncated record must fail");
+            assert!(matches!(
+                err,
+                RecordError::Codec(CodecError::Truncated { .. }) | RecordError::Checksum { .. }
+            ));
+            // The cursor must not advance on failure.
+            assert_eq!(slice.len(), before.len());
+        }
+    }
+
+    #[test]
+    fn implausible_frame_length_is_rejected_before_allocation() {
+        let mut buf = Vec::new();
+        buf.put_u32_le(u32::MAX);
+        buf.put_u64_le(0);
+        buf.extend_from_slice(&[0u8; 32]);
+        assert!(matches!(
+            get_frame(&mut buf.as_slice()),
+            Err(RecordError::Codec(CodecError::BadLength { .. }))
+        ));
+    }
+
+    #[test]
+    fn structurally_valid_but_empty_entry_is_rejected() {
+        // Zero contrasts frame+CRC fine but cannot form an interpretation.
+        let mut payload = Vec::new();
+        payload.put_u64_le(42); // fingerprint
+        codec::put_len(&mut payload, 0); // class
+        codec::put_len(&mut payload, 0); // zero contrasts
+        let mut buf = Vec::new();
+        put_frame(&mut buf, &payload);
+        assert!(matches!(
+            get_record(&mut buf.as_slice()),
+            Err(RecordError::BadEntry(_))
+        ));
+    }
+}

@@ -1,0 +1,209 @@
+//! Sealed, immutable segment files.
+//!
+//! Compaction folds the WAL (plus any earlier segments) into one
+//! deduplicated segment: an 8-byte magic header followed by framed records
+//! (the same codec as the WAL — see [`crate::record`]). Segments are
+//! written to a `.tmp` name, fsynced, then atomically renamed into place,
+//! so a crash mid-compaction leaves either no new segment or a complete
+//! one — and since the WAL is only truncated *after* the rename lands,
+//! every record is durable in at least one file at every instant.
+//!
+//! Reads still tolerate a torn tail (stop at the first bad frame) for
+//! defence in depth; with the tmp-rename protocol that path should never
+//! trigger in practice.
+
+use crate::error::StoreError;
+use crate::record::{self, StoredRegion};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Segment file magic + version ("OASEG" v1); bumped on any layout change.
+pub const SEGMENT_MAGIC: u64 = 0x4F41_5345_4700_0001;
+
+/// File-name prefix/suffix of sealed segments.
+const PREFIX: &str = "seg-";
+const SUFFIX: &str = ".seg";
+
+/// The segment file name for sequence number `id`.
+pub fn segment_name(id: u64) -> String {
+    format!("{PREFIX}{id:06}{SUFFIX}")
+}
+
+/// Parses a segment sequence number out of a file name.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    name.strip_prefix(PREFIX)?
+        .strip_suffix(SUFFIX)?
+        .parse()
+        .ok()
+}
+
+/// Lists the sealed segments under `dir` in ascending sequence order, and
+/// deletes any `.tmp` leftovers from an interrupted compaction.
+///
+/// # Errors
+/// [`StoreError::Io`] from directory enumeration.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+    let mut segments = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.ends_with(".tmp") {
+            // An interrupted compaction's partial write: its records are
+            // still in the WAL/old segments, so the file is pure garbage.
+            std::fs::remove_file(entry.path()).ok();
+            continue;
+        }
+        if let Some(id) = parse_segment_name(name) {
+            segments.push((id, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(id, _)| *id);
+    Ok(segments)
+}
+
+/// What reading one segment recovered.
+#[derive(Debug, Default)]
+pub struct SegmentRecovery {
+    /// The records of the longest valid prefix, in write order.
+    pub records: Vec<StoredRegion>,
+    /// Bytes clipped off the tail (0 for a healthy sealed segment).
+    pub discarded_bytes: u64,
+}
+
+/// Reads a sealed segment, tolerating a torn tail.
+///
+/// # Errors
+/// [`StoreError::Io`] on filesystem failures; [`StoreError::BadMagic`]
+/// when the file is not a segment.
+pub fn read_segment(path: &Path) -> Result<SegmentRecovery, StoreError> {
+    let bytes = std::fs::read(path)?;
+    if bytes.len() < 8 {
+        return Ok(SegmentRecovery {
+            records: Vec::new(),
+            discarded_bytes: bytes.len() as u64,
+        });
+    }
+    let magic = u64::from_le_bytes(bytes[..8].try_into().expect("8 bytes checked"));
+    if magic != SEGMENT_MAGIC {
+        return Err(StoreError::BadMagic {
+            path: path.to_path_buf(),
+            found: magic,
+        });
+    }
+    let mut recovery = SegmentRecovery::default();
+    let mut cursor = &bytes[8..];
+    while !cursor.is_empty() {
+        match record::get_record(&mut cursor) {
+            Ok(r) => recovery.records.push(r),
+            Err(_) => {
+                recovery.discarded_bytes = cursor.len() as u64;
+                break;
+            }
+        }
+    }
+    Ok(recovery)
+}
+
+/// Writes a sealed segment atomically: `.tmp` + fsync + rename + dir
+/// fsync. Returns the final path.
+///
+/// # Errors
+/// [`StoreError::Io`] from any write/fsync/rename step.
+pub fn write_segment(dir: &Path, id: u64, records: &[StoredRegion]) -> Result<PathBuf, StoreError> {
+    let final_path = dir.join(segment_name(id));
+    let tmp_path = dir.join(format!("{}.tmp", segment_name(id)));
+    let mut buf = Vec::with_capacity(8 + records.len() * 128);
+    buf.extend_from_slice(&SEGMENT_MAGIC.to_le_bytes());
+    for r in records {
+        record::put_record(&mut buf, r.fingerprint, &r.interpretation);
+    }
+    let mut file = File::create(&tmp_path)?;
+    file.write_all(&buf)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir);
+    Ok(final_path)
+}
+
+/// Best-effort directory fsync: makes creates/renames/removes durable on
+/// filesystems that require it; silently a no-op where directories cannot
+/// be opened for sync.
+pub(crate) fn sync_dir(dir: &Path) {
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{region, temp_dir};
+
+    #[test]
+    fn names_round_trip() {
+        assert_eq!(segment_name(7), "seg-000007.seg");
+        assert_eq!(parse_segment_name("seg-000007.seg"), Some(7));
+        assert_eq!(parse_segment_name("seg-1000000.seg"), Some(1_000_000));
+        assert_eq!(parse_segment_name("wal.log"), None);
+        assert_eq!(parse_segment_name("seg-xyz.seg"), None);
+    }
+
+    #[test]
+    fn segments_round_trip_and_list_in_order() {
+        let dir = temp_dir("seg_roundtrip");
+        let a = vec![region(0, &[1.0], 0.0), region(1, &[2.0], 0.5)];
+        let b = vec![region(2, &[3.0], -1.0)];
+        write_segment(&dir, 2, &b).unwrap();
+        write_segment(&dir, 1, &a).unwrap();
+        let listed = list_segments(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert_eq!(read_segment(&listed[0].1).unwrap().records, a);
+        assert_eq!(read_segment(&listed[1].1).unwrap().records, b);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tmp_leftovers_are_swept_on_listing() {
+        let dir = temp_dir("seg_tmp");
+        write_segment(&dir, 1, &[region(0, &[1.0], 0.0)]).unwrap();
+        let stray = dir.join("seg-000009.seg.tmp");
+        std::fs::write(&stray, b"partial compaction output").unwrap();
+        let listed = list_segments(&dir).unwrap();
+        assert_eq!(listed.len(), 1);
+        assert!(!stray.exists(), "tmp leftovers must be deleted");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_segment_tail_is_tolerated() {
+        let dir = temp_dir("seg_torn");
+        let records = vec![region(0, &[1.0], 0.0), region(0, &[2.0], 0.0)];
+        let path = write_segment(&dir, 1, &records).unwrap();
+        let full = std::fs::metadata(&path).unwrap().len();
+        let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        file.set_len(full - 3).unwrap();
+        drop(file);
+        let rec = read_segment(&path).unwrap();
+        assert_eq!(rec.records, records[..1]);
+        assert!(rec.discarded_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn foreign_segment_is_refused() {
+        let dir = temp_dir("seg_foreign");
+        let path = dir.join(segment_name(3));
+        std::fs::write(&path, b"not a segment, promise").unwrap();
+        assert!(matches!(
+            read_segment(&path),
+            Err(StoreError::BadMagic { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

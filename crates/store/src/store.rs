@@ -1,0 +1,647 @@
+//! [`RegionStore`]: the durable region tier (see the crate docs for the
+//! on-disk layout and durability protocol).
+
+use crate::error::StoreError;
+use crate::record::{self, StoredRegion};
+use crate::segment::{self, sync_dir};
+use crate::stats::{StoreStats, StoreStatsSnapshot};
+use crate::wal::Wal;
+use openapi_core::cache::interpretations_agree;
+use openapi_core::decision::{Interpretation, RegionFingerprint};
+use openapi_linalg::Vector;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+/// Store tuning knobs.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Relative tolerance of the membership test (and of the merge test
+    /// that dedupes re-solves of an already-stored region). Keep aligned
+    /// with the cache tier's `membership_rtol`.
+    pub membership_rtol: f64,
+    /// Maximum records the flusher writes per `fsync` batch (clamped ≥ 1).
+    /// Larger batches amortize the sync under bursty inserts at the cost
+    /// of a longer unsynced window.
+    pub flush_batch: usize,
+    /// Auto-compact at open when the recovered WAL is at least this many
+    /// bytes (`u64::MAX` disables; compaction is always available
+    /// explicitly via [`RegionStore::compact`]).
+    pub compact_wal_bytes: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            membership_rtol: openapi_core::cache::RegionCacheConfig::default().membership_rtol,
+            flush_batch: 64,
+            compact_wal_bytes: 8 << 20,
+        }
+    }
+}
+
+/// The deduplicated in-memory image of everything durable: recovery fills
+/// it, appends extend it, lookups scan it. Mirrors the region cache's
+/// collision discipline — a fingerprint collision between genuinely
+/// different regions keeps both records (the second un-indexed), so the
+/// store can never conflate two regions.
+#[derive(Debug, Default)]
+struct Index {
+    records: Vec<StoredRegion>,
+    /// `(class, fingerprint) → records index` for the first (canonical)
+    /// record of each key.
+    by_key: HashMap<(usize, u64), usize>,
+    /// `class → records indices`: membership scans (and the collision
+    /// dedup scan) only ever touch one class's bucket, so a store holding
+    /// many classes never pays for the others on a lookup.
+    by_class: HashMap<usize, Vec<usize>>,
+}
+
+impl Index {
+    /// Admits a record; `true` means it was new (and must be persisted).
+    fn admit(&mut self, record: StoredRegion, rtol: f64) -> bool {
+        let class = record.interpretation.class;
+        let key = (class, record.fingerprint.0);
+        match self.by_key.get(&key) {
+            Some(&i)
+                if interpretations_agree(
+                    &self.records[i].interpretation,
+                    &record.interpretation,
+                    rtol,
+                ) =>
+            {
+                false
+            }
+            Some(_) => {
+                // Fingerprint collision: store the new region un-indexed —
+                // unless an agreeing record is already present (the same
+                // merge criterion as the indexed path, so a round-off
+                // re-solve of a collided region never appends a duplicate).
+                if self
+                    .class_records(class)
+                    .any(|r| interpretations_agree(&r.interpretation, &record.interpretation, rtol))
+                {
+                    false
+                } else {
+                    self.push(record);
+                    true
+                }
+            }
+            None => {
+                self.by_key.insert(key, self.records.len());
+                self.push(record);
+                true
+            }
+        }
+    }
+
+    fn push(&mut self, record: StoredRegion) {
+        self.by_class
+            .entry(record.interpretation.class)
+            .or_default()
+            .push(self.records.len());
+        self.records.push(record);
+    }
+
+    /// The records of one class, in admission order.
+    fn class_records(&self, class: usize) -> impl Iterator<Item = &StoredRegion> {
+        self.by_class
+            .get(&class)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.records[i])
+    }
+}
+
+/// Work for the flusher thread. Channel order is durability order.
+enum FlushMsg {
+    /// One pre-encoded record frame to append.
+    Append(Vec<u8>),
+    /// Flush + fsync everything received so far, then ack.
+    Barrier(mpsc::Sender<Result<(), String>>),
+    /// Drain, final fsync, exit.
+    Shutdown,
+}
+
+/// State shared between the store handle and its flusher thread.
+#[derive(Debug)]
+struct Shared {
+    dir: PathBuf,
+    config: StoreConfig,
+    wal: Mutex<Wal>,
+    index: RwLock<Index>,
+    stats: StoreStats,
+    /// Sealed segments currently on disk (gauge).
+    segments: AtomicU64,
+    /// Current WAL length in bytes (gauge), mirrored out of [`Wal::len`]
+    /// after every append/reset so [`RegionStore::stats`] never has to
+    /// queue behind the flusher's fsync or a running compaction.
+    wal_bytes: AtomicU64,
+    /// First WAL write/sync failure, sticky: once set, the flusher stops
+    /// writing (records stay served from memory) and every later barrier —
+    /// including the one inside [`RegionStore::close`] — reports it, so an
+    /// accepted-but-lost append can never be silently acknowledged.
+    wal_error: Mutex<Option<String>>,
+}
+
+/// The durable log-structured region store (see the crate docs).
+///
+/// Thread-safe: lookups take a read lock, appends a short write lock plus
+/// a channel send; all file I/O happens on the flusher thread (except
+/// compaction, which the calling thread runs under the WAL lock).
+/// Dropping the store drains and joins the flusher — every accepted
+/// append is written and fsynced before the destructor returns, unless
+/// the WAL has failed, in which case writing stopped at the first error.
+/// Use [`RegionStore::close`] to observe that error: it is sticky, so it
+/// reaches the final barrier even when the failing batch carried none.
+#[derive(Debug)]
+pub struct RegionStore {
+    shared: Arc<Shared>,
+    tx: mpsc::Sender<FlushMsg>,
+    flusher: Option<JoinHandle<()>>,
+}
+
+impl RegionStore {
+    /// Opens (or creates) a store under `dir`: replays sealed segments in
+    /// sequence order, then the WAL's longest valid prefix (truncating any
+    /// torn tail), deduplicates into the in-memory index, and starts the
+    /// flusher. Auto-compacts when the recovered WAL exceeds
+    /// [`StoreConfig::compact_wal_bytes`].
+    ///
+    /// # Errors
+    /// [`StoreError`] on filesystem failures or foreign files in the
+    /// directory (wrong magic — never clobbered).
+    pub fn open(dir: impl AsRef<Path>, config: StoreConfig) -> Result<Self, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        let mut config = config;
+        config.flush_batch = config.flush_batch.max(1);
+        std::fs::create_dir_all(&dir)?;
+
+        let stats = StoreStats::default();
+        let mut index = Index::default();
+        let segments = segment::list_segments(&dir)?;
+        for (_, path) in &segments {
+            let recovered = segment::read_segment(path)?;
+            StoreStats::add(
+                &stats.recovered_segment_records,
+                recovered.records.len() as u64,
+            );
+            StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
+            for r in recovered.records {
+                index.admit(r, config.membership_rtol);
+            }
+        }
+        let (wal, recovered) = Wal::open(&dir.join("wal.log"))?;
+        StoreStats::add(&stats.recovered_wal_records, recovered.records.len() as u64);
+        StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
+        for r in recovered.records {
+            index.admit(r, config.membership_rtol);
+        }
+
+        let wal_bytes = wal.len();
+        let compact_now = wal_bytes >= config.compact_wal_bytes;
+        let shared = Arc::new(Shared {
+            dir,
+            config,
+            wal: Mutex::new(wal),
+            index: RwLock::new(index),
+            stats,
+            segments: AtomicU64::new(segments.len() as u64),
+            wal_bytes: AtomicU64::new(wal_bytes),
+            wal_error: Mutex::new(None),
+        });
+        let (tx, rx) = mpsc::channel();
+        let flusher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("openapi-store-flusher".into())
+                .spawn(move || flusher_loop(&shared, &rx))?
+        };
+        let store = RegionStore {
+            shared,
+            tx,
+            flusher: Some(flusher),
+        };
+        if compact_now {
+            store.compact()?;
+        }
+        Ok(store)
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// Borrow the (clamped) configuration.
+    pub fn config(&self) -> &StoreConfig {
+        &self.shared.config
+    }
+
+    /// Distinct regions the store holds (durable or queued durable).
+    pub fn len(&self) -> usize {
+        self.shared.index.read().records.len()
+    }
+
+    /// Whether the store holds no regions.
+    pub fn is_empty(&self) -> bool {
+        self.shared.index.read().records.is_empty()
+    }
+
+    /// A point-in-time statistics snapshot (counters + gauges).
+    pub fn stats(&self) -> StoreStatsSnapshot {
+        self.shared.stats.snapshot(
+            self.len(),
+            self.shared.wal_bytes.load(Ordering::Relaxed),
+            self.shared.segments.load(Ordering::Relaxed) as usize,
+        )
+    }
+
+    /// Black-box membership lookup, mirroring
+    /// [`openapi_core::cache::RegionCache::lookup_probe`]: the first
+    /// stored region of `class` whose core parameters explain the
+    /// prediction `probs` observed at `x` (Theorem 2). The returned
+    /// interpretation is an `Arc` share of the stored record — no payload
+    /// copy.
+    pub fn lookup_probe(&self, x: &Vector, probs: &[f64], class: usize) -> Option<StoredRegion> {
+        StoreStats::add(&self.shared.stats.lookups, 1);
+        let rtol = self.shared.config.membership_rtol;
+        let index = self.shared.index.read();
+        let hit = index
+            .class_records(class)
+            .find(|r| r.interpretation.explains_probe(x, probs, rtol))
+            .cloned();
+        if hit.is_some() {
+            StoreStats::add(&self.shared.stats.hits, 1);
+        }
+        hit
+    }
+
+    /// Accepts a freshly solved region: deduplicates against the index
+    /// (an already-stored region costs one map probe and no I/O), then
+    /// queues the WAL append for the flusher. Returns whether the region
+    /// was new.
+    ///
+    /// Appends are asynchronous: the record is immediately visible to
+    /// [`RegionStore::lookup_probe`] but becomes durable at the flusher's
+    /// next batched fsync. Use [`RegionStore::flush`] for a durability
+    /// barrier.
+    pub fn append(
+        &self,
+        fingerprint: RegionFingerprint,
+        interpretation: Arc<Interpretation>,
+    ) -> bool {
+        let record = StoredRegion {
+            fingerprint,
+            interpretation,
+        };
+        let fresh = self
+            .shared
+            .index
+            .write()
+            .admit(record.clone(), self.shared.config.membership_rtol);
+        if !fresh {
+            StoreStats::add(&self.shared.stats.duplicate_appends, 1);
+            return false;
+        }
+        StoreStats::add(&self.shared.stats.appends, 1);
+        let frame = record::encode_record(record.fingerprint, &record.interpretation);
+        // A send failure means the flusher exited (shutdown race). Either
+        // way the record stays served from memory; if the WAL ever failed,
+        // the sticky `wal_error` surfaces through flush()/close().
+        let _ = self.tx.send(FlushMsg::Append(frame));
+        true
+    }
+
+    /// Durability barrier: blocks until every append accepted before this
+    /// call is written to the WAL and fsynced.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the flusher reports a write/sync failure —
+    /// the first failure is sticky, so once any accepted append has been
+    /// dropped, every later barrier (including the one in
+    /// [`RegionStore::close`]) fails rather than acking lost data.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let (ack_tx, ack_rx) = mpsc::channel();
+        if self.tx.send(FlushMsg::Barrier(ack_tx)).is_err() {
+            return Err(std::io::Error::other("store flusher is gone").into());
+        }
+        match ack_rx.recv() {
+            Ok(Ok(())) => Ok(()),
+            Ok(Err(msg)) => Err(std::io::Error::other(msg).into()),
+            Err(_) => Err(std::io::Error::other("store flusher died mid-flush").into()),
+        }
+    }
+
+    /// Folds everything the store holds into one fresh sealed segment,
+    /// then empties the WAL and removes the older segments. Crash-safe at
+    /// every step: the new segment is tmp-written, fsynced, and renamed
+    /// into place *before* any old data is dropped, so every record is in
+    /// at least one durable file at every instant (worst case it is in
+    /// two, and recovery's dedup folds the copies). Returns the records
+    /// sealed.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] from any filesystem step.
+    pub fn compact(&self) -> Result<usize, StoreError> {
+        // Hold the WAL lock across the whole pass: the flusher cannot
+        // interleave a write between the index snapshot and the WAL reset,
+        // so a record admitted concurrently is either in our snapshot
+        // (sealed) or its WAL write lands after the reset (kept) — never
+        // silently dropped.
+        let mut wal = self.shared.wal.lock();
+        let records: Vec<StoredRegion> = self.shared.index.read().records.clone();
+        let old_segments = segment::list_segments(&self.shared.dir)?;
+        let id = old_segments.last().map_or(1, |(last, _)| last + 1);
+        segment::write_segment(&self.shared.dir, id, &records)?;
+        wal.reset()?;
+        self.shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
+        for (_, path) in &old_segments {
+            std::fs::remove_file(path)?;
+        }
+        sync_dir(&self.shared.dir);
+        self.shared.segments.store(1, Ordering::Relaxed);
+        StoreStats::add(&self.shared.stats.compactions, 1);
+        Ok(records.len())
+    }
+
+    /// Graceful shutdown: durability barrier, then drains and joins the
+    /// flusher. The `Drop` impl does the same minus error reporting, so
+    /// `close` is for callers that must *observe* flush failures.
+    ///
+    /// # Errors
+    /// [`StoreError::Io`] when the final flush fails.
+    pub fn close(mut self) -> Result<(), StoreError> {
+        let result = self.flush();
+        let _ = self.tx.send(FlushMsg::Shutdown);
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+        result
+    }
+}
+
+impl Drop for RegionStore {
+    fn drop(&mut self) {
+        let _ = self.tx.send(FlushMsg::Shutdown);
+        if let Some(handle) = self.flusher.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// The flusher: drains the channel in batches, appends to the WAL, and
+/// fsyncs once per batch. Channel FIFO order means a barrier acks only
+/// after every append accepted before it is durable.
+fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
+    let mut stop = false;
+    while !stop {
+        let Ok(first) = rx.recv() else { break };
+        let mut pending: Vec<Vec<u8>> = Vec::new();
+        let mut barriers: Vec<mpsc::Sender<Result<(), String>>> = Vec::new();
+        match first {
+            FlushMsg::Append(frame) => pending.push(frame),
+            FlushMsg::Barrier(ack) => barriers.push(ack),
+            FlushMsg::Shutdown => stop = true,
+        }
+        while pending.len() < shared.config.flush_batch && !stop {
+            match rx.try_recv() {
+                Ok(FlushMsg::Append(frame)) => pending.push(frame),
+                Ok(FlushMsg::Barrier(ack)) => barriers.push(ack),
+                Ok(FlushMsg::Shutdown) => stop = true,
+                Err(_) => break,
+            }
+        }
+        if !pending.is_empty() || !barriers.is_empty() {
+            // A failed WAL is failed for good: stop writing (Wal::append
+            // already rolled the file back to its last good boundary, but
+            // a device that errored once gives no durability promises) and
+            // report the original failure to every later barrier instead
+            // of acking batches that were silently dropped.
+            let mut error = shared.wal_error.lock().clone();
+            if error.is_none() && !pending.is_empty() {
+                let mut wal = shared.wal.lock();
+                let result = wal.append(&pending).and_then(|_| wal.sync());
+                shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
+                drop(wal);
+                match result {
+                    Ok(()) => {
+                        StoreStats::add(&shared.stats.flushed_records, pending.len() as u64);
+                        StoreStats::add(&shared.stats.fsyncs, 1);
+                    }
+                    Err(e) => {
+                        let msg = e.to_string();
+                        *shared.wal_error.lock() = Some(msg.clone());
+                        error = Some(msg);
+                    }
+                }
+            }
+            for ack in barriers {
+                let _ = ack.send(match &error {
+                    None => Ok(()),
+                    Some(msg) => Err(msg.clone()),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{consistent_probs, region, temp_dir};
+
+    fn open(dir: &Path) -> RegionStore {
+        RegionStore::open(dir, StoreConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn appends_survive_a_clean_close_and_reopen() {
+        let dir = temp_dir("store_reopen");
+        let store = open(&dir);
+        let a = region(0, &[1.0, -0.5], 0.25);
+        let b = region(1, &[2.0, 0.5], -0.75);
+        assert!(store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        assert!(store.append(b.fingerprint, Arc::clone(&b.interpretation)));
+        assert!(
+            !store.append(a.fingerprint, Arc::clone(&a.interpretation)),
+            "duplicate append must be a no-op"
+        );
+        assert_eq!(store.len(), 2);
+        store.close().unwrap();
+
+        let store = open(&dir);
+        assert_eq!(store.len(), 2);
+        let stats = store.stats();
+        assert_eq!(stats.recovered_wal_records, 2);
+        assert_eq!(stats.recovered_discarded_bytes, 0);
+        // The recovered records serve probes exactly.
+        let x = Vector(vec![0.3, -0.2]);
+        let probs = consistent_probs(&a.interpretation, &x);
+        let hit = store.lookup_probe(&x, &probs, 0).expect("region stored");
+        assert_eq!(hit.interpretation, a.interpretation);
+        assert!(store.lookup_probe(&x, &[0.5, 0.5], 0).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn drop_without_close_still_flushes() {
+        let dir = temp_dir("store_drop");
+        let store = open(&dir);
+        let a = region(0, &[3.0], 0.0);
+        store.append(a.fingerprint, Arc::clone(&a.interpretation));
+        drop(store);
+        let store = open(&dir);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_folds_the_wal_into_one_segment() {
+        let dir = temp_dir("store_compact");
+        let store = open(&dir);
+        let regions: Vec<_> = (0..10).map(|i| region(0, &[i as f64 + 0.5], 0.0)).collect();
+        for r in &regions {
+            store.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        store.flush().unwrap();
+        assert!(store.stats().wal_bytes > crate::wal::WAL_HEADER);
+        assert_eq!(store.compact().unwrap(), 10);
+        let stats = store.stats();
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.wal_bytes, crate::wal::WAL_HEADER, "WAL emptied");
+        assert_eq!(stats.compactions, 1);
+        store.close().unwrap();
+
+        // Recovery now comes entirely from the segment.
+        let store = open(&dir);
+        assert_eq!(store.len(), 10);
+        let stats = store.stats();
+        assert_eq!(stats.recovered_segment_records, 10);
+        assert_eq!(stats.recovered_wal_records, 0);
+
+        // Appends after compaction land in the WAL and coexist.
+        let extra = region(1, &[99.0], 1.0);
+        store.append(extra.fingerprint, Arc::clone(&extra.interpretation));
+        store.close().unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 11);
+        // A second compaction supersedes the first segment.
+        store.compact().unwrap();
+        assert_eq!(segment::list_segments(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_wal_tail_recovers_the_valid_prefix() {
+        let dir = temp_dir("store_torn");
+        let store = open(&dir);
+        let keep = region(0, &[1.0], 0.0);
+        let lost = region(0, &[2.0], 0.0);
+        store.append(keep.fingerprint, Arc::clone(&keep.interpretation));
+        store.append(lost.fingerprint, Arc::clone(&lost.interpretation));
+        store.close().unwrap();
+        // Tear mid-way into the second record.
+        let wal = dir.join("wal.log");
+        let len = std::fs::metadata(&wal).unwrap().len();
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&wal)
+            .unwrap()
+            .set_len(len - 7)
+            .unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 1);
+        let stats = store.stats();
+        assert_eq!(stats.recovered_wal_records, 1);
+        assert!(stats.recovered_discarded_bytes > 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn auto_compaction_triggers_on_a_large_wal() {
+        let dir = temp_dir("store_autocompact");
+        let config = StoreConfig {
+            compact_wal_bytes: 64,
+            ..StoreConfig::default()
+        };
+        let store = RegionStore::open(&dir, config.clone()).unwrap();
+        for i in 0..8 {
+            let r = region(0, &[i as f64 + 0.25], 0.0);
+            store.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        store.close().unwrap();
+        // Reopen past the threshold: the WAL folds into a segment.
+        let store = RegionStore::open(&dir, config).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.compactions, 1);
+        assert_eq!(stats.segments, 1);
+        assert_eq!(stats.wal_bytes, crate::wal::WAL_HEADER);
+        assert_eq!(store.len(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_appends_and_lookups_stay_consistent() {
+        let dir = temp_dir("store_concurrent");
+        let store = open(&dir);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let store = &store;
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let r = region(0, &[(t * 25 + i) as f64 + 0.5], 0.0);
+                        store.append(r.fingerprint, Arc::clone(&r.interpretation));
+                    }
+                });
+            }
+            for _ in 0..2 {
+                let store = &store;
+                scope.spawn(move || {
+                    let x = Vector(vec![0.4]);
+                    for i in 0..100 {
+                        let target = region(0, &[i as f64 + 0.5], 0.0);
+                        let probs = consistent_probs(&target.interpretation, &x);
+                        if let Some(hit) = store.lookup_probe(&x, &probs, 0) {
+                            // Any hit is the queried region, never another.
+                            assert_eq!(hit.interpretation, target.interpretation);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 100);
+        store.close().unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_collisions_keep_both_regions() {
+        let dir = temp_dir("store_collision");
+        let store = open(&dir);
+        let a = region(0, &[1.0], 0.0);
+        // Same fingerprint key, genuinely different parameters.
+        let b = StoredRegion {
+            fingerprint: a.fingerprint,
+            interpretation: region(0, &[5.0], 1.0).interpretation,
+        };
+        assert!(store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        assert!(store.append(b.fingerprint, Arc::clone(&b.interpretation)));
+        assert!(!store.append(b.fingerprint, Arc::clone(&b.interpretation)));
+        assert_eq!(store.len(), 2);
+        // Both are served by membership, and reopen preserves both.
+        store.close().unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 2);
+        let x = Vector(vec![0.7]);
+        let probs = consistent_probs(&b.interpretation, &x);
+        let hit = store.lookup_probe(&x, &probs, 0).expect("collided region");
+        assert_eq!(hit.interpretation, b.interpretation);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

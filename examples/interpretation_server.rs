@@ -1,5 +1,5 @@
 //! Interpretation server: many clients, one shared exact-interpretation
-//! service.
+//! service — with an optional durable region store.
 //!
 //! Spins up an `openapi-serve` `InterpretationService` over a hidden ReLU
 //! network (a PLNN — queries only, no parameter access), hammers it from
@@ -12,6 +12,16 @@
 //! ```text
 //! cargo run --release --example interpretation_server
 //! ```
+//!
+//! With `--store-dir DIR`, the service is backed by an `openapi-store`
+//! `RegionStore` under `DIR`, and the demo restarts itself: the second
+//! service life replays the first life's write-ahead log and serves the
+//! same traffic with **zero** additional Algorithm-1 solves — run it
+//! twice and the *first* life of the second run is already warm:
+//!
+//! ```text
+//! cargo run --release --example interpretation_server -- --store-dir /tmp/openapi-regions
+//! ```
 
 use openapi_repro::api::CountingApi;
 use openapi_repro::nn::{Activation, Plnn};
@@ -19,6 +29,7 @@ use openapi_repro::prelude::*;
 use openapi_repro::serve::CacheSnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
 use std::time::Duration;
 
 const CLIENTS: usize = 4;
@@ -26,8 +37,8 @@ const REQUESTS_PER_CLIENT: usize = 50;
 
 /// A prediction API reached over a network: every query pays a round trip.
 /// This is the deployment reality the paper's threat model describes — and
-/// what makes the service's cache and coalescing matter: queries, not
-/// linear algebra, dominate the cost of an interpretation.
+/// what makes the service's cache, store, and coalescing matter: queries,
+/// not linear algebra, dominate the cost of an interpretation.
 struct RemoteApi<M> {
     inner: M,
     round_trip: Duration,
@@ -48,30 +59,39 @@ impl<M: PredictionApi> PredictionApi for RemoteApi<M> {
     }
 }
 
-fn main() {
-    // 1. Somebody else's model behind an API boundary: a 6-input, 3-class
-    //    ReLU network, reachable only over a ~300 µs round trip. The
-    //    counter meters what the audit traffic costs.
+type DemoApi = CountingApi<RemoteApi<Plnn>>;
+
+/// Builds the demo service: with a store directory, solved regions are
+/// durable; without one, the service is memory-only.
+fn build_service(store_dir: Option<&PathBuf>) -> InterpretationService<DemoApi> {
+    // Somebody else's model behind an API boundary: a 6-input, 3-class
+    // ReLU network, reachable only over a ~300 µs round trip. The counter
+    // meters what the audit traffic costs. (Same seed every life: the
+    // *model* persists across our simulated restarts, as it would in
+    // production — only our service process restarts.)
     let mut rng = StdRng::seed_from_u64(7);
     let hidden_model = Plnn::mlp(&[6, 12, 8, 3], Activation::ReLU, &mut rng);
+    let api = CountingApi::new(RemoteApi {
+        inner: hidden_model,
+        round_trip: Duration::from_micros(300),
+    });
+    let config = ServiceConfig {
+        workers: CLIENTS,
+        ..ServiceConfig::default()
+    };
+    match store_dir {
+        Some(dir) => InterpretationService::open(api, config, dir)
+            .expect("store directory must open (is it a store?)"),
+        None => InterpretationService::new(api, config),
+    }
+}
+
+/// Four clients, each interpreting 50 predictions. Instances are drawn
+/// from a handful of anchor points with small jitter, so the traffic has
+/// the shape real serving sees: many users, few hot regions — which is
+/// exactly what the Theorem-2 cache (and store) exploit.
+fn drive_traffic(service: &InterpretationService<DemoApi>) {
     let dim = 6;
-
-    // 2. The service: a worker pool over a sharded, bounded region cache.
-    let service = InterpretationService::new(
-        CountingApi::new(RemoteApi {
-            inner: hidden_model,
-            round_trip: Duration::from_micros(300),
-        }),
-        ServiceConfig {
-            workers: CLIENTS,
-            ..ServiceConfig::default()
-        },
-    );
-
-    // 3. Four clients, each interpreting 50 predictions. Instances are
-    //    drawn from a handful of anchor points with small jitter, so the
-    //    traffic has the shape real serving sees: many users, few hot
-    //    regions — which is exactly what the Theorem-2 cache exploits.
     let anchors: Vec<Vector> = (0..5)
         .map(|a| {
             Vector(
@@ -81,10 +101,9 @@ fn main() {
             )
         })
         .collect();
-    println!("serving {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests …\n");
     std::thread::scope(|scope| {
         for t in 0..CLIENTS {
-            let (service, anchors) = (&service, &anchors);
+            let (service, anchors) = (service, &anchors);
             scope.spawn(move || {
                 let mut rng = StdRng::seed_from_u64(100 + t as u64);
                 let tickets: Vec<Ticket> = (0..REQUESTS_PER_CLIENT)
@@ -104,9 +123,27 @@ fn main() {
             });
         }
     });
+}
 
-    // 4. The ledger: misses are the only full Algorithm-1 solves; hits and
-    //    coalesced requests each paid one membership probe.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let store_dir = match args.as_slice() {
+        [] => None,
+        [flag, dir] if flag == "--store-dir" => Some(PathBuf::from(dir)),
+        _ => {
+            eprintln!("usage: interpretation_server [--store-dir DIR]");
+            std::process::exit(2);
+        }
+    };
+
+    // Life 1: serve the traffic cold (or warm, if the directory already
+    // holds a previous run's regions).
+    let service = build_service(store_dir.as_ref());
+    println!("serving {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests …\n");
+    drive_traffic(&service);
+
+    // The ledger: misses are the only full Algorithm-1 solves; hits,
+    // store hits, and coalesced requests each paid one membership probe.
     let stats = service.stats();
     println!("{stats}\n");
     let per_request = stats.queries as f64 / stats.requests as f64;
@@ -115,18 +152,50 @@ fn main() {
          (a lone Algorithm-1 run pays ≥ {} here)",
         stats.requests,
         stats.queries,
-        dim + 2
+        6 + 2
     );
 
-    // 5. Warm starts: snapshot the solved regions, restore into a fresh
-    //    service, and the same traffic is all cache hits.
+    // Warm starts, tier by tier.
     let bytes = service.snapshot_cache().to_bytes();
     println!(
-        "\ncache snapshot: {} regions, {} bytes — a restarted service \
-         warm-starts from it instead of re-solving",
+        "\ncache snapshot: {} regions, {} bytes — a one-shot copy another \
+         service can restore",
         service.cache().len(),
         bytes.len()
     );
     let restored = CacheSnapshot::from_bytes(&bytes).expect("snapshot round-trips");
     println!("restored entries: {}", restored.entries.len());
+
+    let Some(dir) = store_dir else {
+        println!(
+            "\n(no --store-dir: restart durability not demonstrated; pass \
+             --store-dir DIR to see a restart re-serve without re-querying)"
+        );
+        return;
+    };
+
+    // Life 2: close the service (final WAL fsync), reopen the same
+    // directory — a simulated deploy/crash/scale-out — and replay the
+    // same traffic. Every region solved in life 1 is re-served for one
+    // probe; the solve counter stays at zero.
+    service.close().expect("clean close flushes the WAL");
+    println!("\n--- service restarted against {} ---\n", dir.display());
+    let reborn = build_service(Some(&dir));
+    println!(
+        "recovered {} regions from the store before the first request",
+        reborn.store().expect("store attached").len()
+    );
+    drive_traffic(&reborn);
+    let stats = reborn.stats();
+    println!("\n{stats}\n");
+    println!(
+        "after restart: {} Algorithm-1 solves, {} store hits — {} queries \
+         for {} requests ({:.1} per request)",
+        stats.misses,
+        stats.store_hits,
+        stats.queries,
+        stats.requests,
+        stats.queries as f64 / stats.requests as f64
+    );
+    reborn.close().expect("clean close");
 }

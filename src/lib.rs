@@ -20,6 +20,7 @@ pub use openapi_lmt as lmt;
 pub use openapi_metrics as metrics;
 pub use openapi_nn as nn;
 pub use openapi_serve as serve;
+pub use openapi_store as store;
 
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {
@@ -34,4 +35,5 @@ pub mod prelude {
         InterpretRequest, InterpretationService, ServeOutcome, ServiceConfig, SharedCacheConfig,
         SharedRegionCache, Ticket,
     };
+    pub use openapi_store::{RegionStore, StoreConfig, StoreError};
 }

@@ -39,12 +39,12 @@ fn cache_hits_are_bit_identical_to_the_region_cold_run() {
     // Every even-indexed instance shares region 0's interpretation — the
     // batch serves instance 0's cold result, bit for bit.
     let first = out.results[0].as_ref().unwrap();
-    assert_eq!(first.interpretation, cold_a.interpretation);
+    assert_eq!(*first.interpretation, cold_a.interpretation);
     for (i, r) in out.results.iter().enumerate() {
         let item = r.as_ref().unwrap();
         assert_eq!(item.cache_hit, i >= 2, "only the first two instances miss");
         if i % 2 == 0 {
-            assert_eq!(item.interpretation, cold_a.interpretation);
+            assert_eq!(*item.interpretation, cold_a.interpretation);
         }
         // All answers are exact w.r.t. the ground-truth oracle.
         let truth = plm
