@@ -10,7 +10,7 @@
 
 use crate::probability::softmax;
 use crate::traits::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
-use openapi_linalg::Vector;
+use openapi_linalg::{Matrix, Vector};
 
 /// A PLM with exactly two locally linear regions separated by the
 /// hyperplane `n·x = t`.
@@ -67,6 +67,43 @@ impl TwoRegionPlm {
         assert!(axis < low.dim(), "split axis out of range");
         let normal = Vector::basis(low.dim(), axis);
         Self::new(normal, threshold, low, high)
+    }
+
+    /// Input dimensionality of [`TwoRegionPlm::reference`] and its probe
+    /// instances ([`TwoRegionPlm::reference_instance`]).
+    pub const REFERENCE_DIM: usize = 8;
+
+    /// The workspace's canonical `d = 8`, `C = 3` two-region fixture
+    /// (split on axis 1 at 0.25): wide enough that Algorithm 1's
+    /// per-instance cost (≥ `d + 2` queries) towers over a cache layer's
+    /// 1-query hits, small enough to solve in microseconds. One
+    /// definition, shared by the facade's integration tests and the
+    /// `net_throughput` bench, so cross-suite numbers describe the same
+    /// model.
+    pub fn reference() -> Self {
+        const D: usize = TwoRegionPlm::REFERENCE_DIM;
+        let low = LocalLinearModel::new(
+            Matrix::from_fn(D, 3, |r, c| ((r * 5 + c * 3) % 11) as f64 * 0.2 - 1.0),
+            Vector(vec![0.1, -0.3, 0.2]),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_fn(D, 3, |r, c| ((r * 7 + c * 2) % 13) as f64 * 0.15 - 0.9),
+            Vector(vec![-0.2, 0.4, 0.0]),
+        );
+        Self::axis_split(1, 0.25, low, high)
+    }
+
+    /// The `i`-th canonical probe instance for [`TwoRegionPlm::reference`]:
+    /// deterministic, interior (well away from the split at 0.25), and
+    /// alternating regions with `i`'s parity. One generator, so the suites
+    /// that drive the reference model drive it with the same traffic.
+    pub fn reference_instance(i: usize) -> Vector {
+        const D: usize = TwoRegionPlm::REFERENCE_DIM;
+        let mut x: Vec<f64> = (0..D)
+            .map(|j| ((i * D + j) as f64 * 0.61).cos() * 0.4)
+            .collect();
+        x[1] = if i.is_multiple_of(2) { -0.6 } else { 1.1 };
+        Vector(x)
     }
 
     /// Index (0 or 1) of the region containing `x`.

@@ -22,6 +22,40 @@
 //! [`openapi_api::PredictionApi`]; the gradient baselines additionally
 //! require [`openapi_api::GradientOracle`] (the paper grants them parameter
 //! access); nothing in this crate can see ground-truth regions.
+//!
+//! # Example
+//!
+//! Recover the exact local decision function of a model from prediction
+//! queries alone, and check it against the (test-only) ground truth:
+//!
+//! ```
+//! use openapi_api::{GroundTruthOracle, LinearSoftmaxModel};
+//! use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
+//! use openapi_linalg::{Matrix, Vector};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // The hidden model: d = 4, C = 3. The interpreter only ever calls
+//! // its `predict` — parameters stay invisible.
+//! let model = LinearSoftmaxModel::new(
+//!     Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) % 5) as f64 * 0.25 - 0.5),
+//!     Vector(vec![0.1, -0.2, 0.05]),
+//! );
+//! let interpreter = OpenApiInterpreter::new(OpenApiConfig::default());
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = Vector(vec![0.3, -0.1, 0.7, 0.2]);
+//! let result = interpreter.interpret(&model, &x, 1, &mut rng).unwrap();
+//!
+//! // Closed form means exact: the recovered decision features match the
+//! // model's own local linear function at x (Equation 1) to round-off.
+//! let truth = model.local_model(x.as_slice()).decision_features(1);
+//! let err = result
+//!     .interpretation
+//!     .decision_features
+//!     .l1_distance(&truth)
+//!     .unwrap();
+//! assert!(err < 1e-7, "L1Dist {err}");
+//! ```
 
 pub mod baselines;
 pub mod batch;

@@ -69,6 +69,15 @@ pub struct ExperimentConfig {
     /// runs re-serve previously solved regions (store hits are reported
     /// in the printed stats). `None` = in-memory only, the default.
     pub service_store_dir: Option<PathBuf>,
+    /// Optional remote interpretation server for the `queries`
+    /// experiment: when set, the experiment additionally drives its work
+    /// items through `openapi-net` `Client` connections against this
+    /// address (`service_clients` of them, minimum 1) and reports the
+    /// server's stats over the wire. The server must front a model with
+    /// the same dimensionality as the panels (e.g. an
+    /// `interpretation_server --listen` over the same profile). `None` =
+    /// no remote leg, the default.
+    pub remote: Option<String>,
 }
 
 impl ExperimentConfig {
@@ -93,6 +102,7 @@ impl ExperimentConfig {
                 fig2_instances: 3,
                 service_clients: 0,
                 service_store_dir: None,
+                remote: None,
             },
             Profile::Quick => ExperimentConfig {
                 profile,
@@ -110,6 +120,7 @@ impl ExperimentConfig {
                 fig2_instances: 8,
                 service_clients: 0,
                 service_store_dir: None,
+                remote: None,
             },
             Profile::Paper => ExperimentConfig {
                 profile,
@@ -127,6 +138,7 @@ impl ExperimentConfig {
                 fig2_instances: 50,
                 service_clients: 0,
                 service_store_dir: None,
+                remote: None,
             },
         }
     }

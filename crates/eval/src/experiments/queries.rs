@@ -89,6 +89,15 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
                 cfg.service_clients
             );
         }
+
+        // Opt-in wire path: the same work items again, but through
+        // `openapi-net` client connections against a remote server.
+        if let Some(addr) = &cfg.remote {
+            match run_remote(cfg, &driver, addr) {
+                Ok(report) => println!("{report}\n"),
+                Err(e) => eprintln!("remote leg against {addr} failed: {e}\n"),
+            }
+        }
     }
     write_csv(
         &out_path(cfg, "queries_budget.csv"),
@@ -151,6 +160,51 @@ fn run_service(cfg: &ExperimentConfig, driver: &BatchDriver<'_>) -> StatsSnapsho
     stats
 }
 
+/// The opt-in wire path: `service_clients.max(1)` threads, each with its
+/// own [`openapi_net::Client`] connection to `addr`, submit the driver's
+/// full work-item list over the wire; afterwards one connection fetches
+/// the server's statistics. Per-item failures (e.g. a server fronting a
+/// model of a different dimensionality) are counted, not fatal — the
+/// experiment reports, it does not assert. Only a failed connect/handshake
+/// aborts the leg.
+fn run_remote(
+    cfg: &ExperimentConfig,
+    driver: &BatchDriver<'_>,
+    addr: &str,
+) -> Result<String, openapi_net::ClientError> {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    let clients = cfg.service_clients.max(1);
+    // Fail fast (before spawning a fleet) if nobody is listening.
+    let mut observer = openapi_net::Client::connect(addr)?;
+    let rtt = observer.ping()?;
+    let (ok, failed) = (AtomicU64::new(0), AtomicU64::new(0));
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            let (ok, failed) = (&ok, &failed);
+            scope.spawn(move || {
+                let Ok(mut client) = openapi_net::Client::connect(addr) else {
+                    failed.fetch_add(driver.items().len() as u64, Ordering::Relaxed);
+                    return;
+                };
+                for item in driver.items() {
+                    match client.interpret(driver.instance(*item), item.class) {
+                        Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
+                        Err(_) => failed.fetch_add(1, Ordering::Relaxed),
+                    };
+                }
+            });
+        }
+    });
+    let stats = observer.stats()?;
+    Ok(format!(
+        "OpenAPI served over the wire ({clients} connections to {addr}, rtt {rtt:?}): \
+         {} ok / {} failed\nserver-side stats:\n{stats}",
+        ok.load(Ordering::Relaxed),
+        failed.load(Ordering::Relaxed),
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +244,47 @@ mod tests {
         assert_eq!(second.misses, 0, "warm store run must not re-solve");
         assert!(second.store_hits >= 1, "store hits must be reported");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn remote_path_drives_items_over_the_wire() {
+        let mut cfg = ExperimentConfig::for_profile(Profile::Smoke);
+        cfg.eval_instances = 2;
+        cfg.service_clients = 2;
+        let panel = build_lmt_panel(&cfg, SynthStyle::MnistLike);
+        let driver = BatchDriver::new(&panel, &cfg);
+
+        // An in-process server over the same panel model, on an ephemeral
+        // port — exactly what `interpretation_server --listen` would host.
+        let service = openapi_serve::InterpretationService::new(
+            CountingApi::new(panel.model.clone()),
+            ServiceConfig {
+                workers: 2,
+                seed: cfg.seed,
+                max_leaders_per_class: 1,
+                ..ServiceConfig::default()
+            },
+        );
+        let server =
+            openapi_net::Server::bind("127.0.0.1:0", service, openapi_net::ServerConfig::default())
+                .unwrap();
+        cfg.remote = Some(server.local_addr().to_string());
+
+        let report = run_remote(&cfg, &driver, cfg.remote.as_ref().unwrap()).unwrap();
+        assert!(report.contains("2 connections"), "{report}");
+        // 2 connections × 2 items, all served, none failed.
+        assert!(report.contains("4 ok / 0 failed"), "{report}");
+        let stats = server.service().stats();
+        assert_eq!(stats.requests, 4);
+        assert_eq!(stats.failures, 0);
+        // The fleet shares the server's cache: at most one solve per
+        // distinct item, never one per connection.
+        assert!(stats.misses <= 2, "misses {}", stats.misses);
+        server.close().unwrap();
+
+        // Nobody listening: the leg reports a typed error instead of
+        // wedging the experiment.
+        assert!(run_remote(&cfg, &driver, cfg.remote.as_ref().unwrap()).is_err());
     }
 
     #[test]

@@ -12,13 +12,17 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: openapi-exp <experiment> [--profile smoke|quick|paper] [--seed N] \
-[--out DIR] [--service-clients N] [--service-store-dir DIR]
+[--out DIR] [--service-clients N] [--service-store-dir DIR] [--remote ADDR]
 experiments: table1 fig1 fig2 fig3 fig4 fig5 fig6 fig7 queries ablation reverse all
 --service-clients N additionally drives the queries experiment through a shared
 openapi-serve InterpretationService with N client threads (default 0 = off);
 --service-store-dir DIR backs that service with a durable openapi-store region
 store under DIR, so repeated runs re-serve solved regions (store hits are
-reported in the printed stats)";
+reported in the printed stats);
+--remote ADDR additionally drives the queries experiment over the openapi-net
+wire protocol against an interpretation server at ADDR (N client connections,
+minimum 1) — start one with: cargo run --release --example interpretation_server
+-- --listen ADDR (the server must front a model of the panels' dimensionality)";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +36,7 @@ fn main() -> ExitCode {
     let mut out: Option<PathBuf> = None;
     let mut service_clients: Option<usize> = None;
     let mut service_store_dir: Option<PathBuf> = None;
+    let mut remote: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -75,6 +80,14 @@ fn main() -> ExitCode {
                 service_store_dir = Some(PathBuf::from(dir));
                 i += 2;
             }
+            "--remote" => {
+                let Some(addr) = args.get(i + 1) else {
+                    eprintln!("bad --remote value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                remote = Some(addr.clone());
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}\n{USAGE}");
                 return ExitCode::FAILURE;
@@ -94,6 +107,9 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = service_store_dir {
         cfg.service_store_dir = Some(dir);
+    }
+    if let Some(addr) = remote {
+        cfg.remote = Some(addr);
     }
 
     println!(

@@ -1,0 +1,69 @@
+//! `openapi-net` — the wire tier: exact interpretations served over TCP.
+//!
+//! PRs 2–4 built the in-process stack that makes the paper's closed form
+//! cheap to serve — the Theorem-2 region cache, the concurrent
+//! [`openapi_serve::InterpretationService`], and the durable
+//! `openapi-store` region store. This crate puts a network boundary in
+//! front of it, because the deployment the paper describes (a model
+//! *hidden behind an API*, interrogated on behalf of many users) makes
+//! interpretation itself a service: one process pays each region's
+//! Algorithm-1 solve once, and every client of that process — not just
+//! every thread — shares the result.
+//!
+//! Three layers, one per module:
+//!
+//! * [`wire`] — the protocol: a magic + version hello, then CRC-64/XZ
+//!   framed request/response records (`Interpret`, `InterpretBatch`,
+//!   `Stats`, `Ping`) in the exact framing `openapi-store` uses on disk.
+//!   Byte-for-byte spec in `docs/PROTOCOL.md`; hostile bytes decode to
+//!   typed [`WireError`]s, never panics.
+//! * [`server`] — [`Server`]: a threaded acceptor over an
+//!   [`openapi_serve::InterpretationService`]. Each connection gets a
+//!   reader and a writer thread around a bounded in-flight queue; past the
+//!   bound the server answers a typed `Busy` (backpressure, not queueing
+//!   collapse). Responses are written in request order, deadlines ride the
+//!   requests, and [`Server::close`] drains every in-flight ticket before
+//!   closing the store.
+//! * [`client`] — [`Client`]: blocking calls over one reused connection,
+//!   with every failure a typed [`ClientError`].
+//!
+//! # Example
+//!
+//! A server over a (here: in-process) linear softmax model, and a client
+//! interpreting a prediction through it:
+//!
+//! ```
+//! use openapi_api::LinearSoftmaxModel;
+//! use openapi_linalg::{Matrix, Vector};
+//! use openapi_net::{Client, Server, ServerConfig};
+//! use openapi_serve::{InterpretationService, ServiceConfig};
+//!
+//! // The hidden model: d = 4, C = 3. In deployment this is somebody
+//! // else's model behind a prediction API.
+//! let model = LinearSoftmaxModel::new(
+//!     Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) % 5) as f64 * 0.25 - 0.5),
+//!     Vector(vec![0.1, -0.2, 0.05]),
+//! );
+//! let service = InterpretationService::new(model, ServiceConfig::default());
+//! let server = Server::bind("127.0.0.1:0", service, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! client.ping().unwrap();
+//! let x = Vector(vec![0.3, -0.1, 0.7, 0.2]);
+//! let served = client.interpret(&x, 1).unwrap();
+//! // The served parameters are exact: they explain the model's own
+//! // prediction at x (Theorem 2's membership identity).
+//! assert_eq!(served.interpretation.class, 1);
+//! assert_eq!(served.interpretation.decision_features.len(), 4);
+//! server.close().unwrap();
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerConfig};
+pub use wire::{ErrorCode, RemoteError, RemoteServed, Request, Response, WireError, VERSION};

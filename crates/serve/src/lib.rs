@@ -55,6 +55,31 @@
 //! different region's solve) is requeued and solved on its own — coalescing
 //! can only save queries, never change an answer.
 //!
+//! # Example
+//!
+//! ```
+//! use openapi_api::LinearSoftmaxModel;
+//! use openapi_linalg::{Matrix, Vector};
+//! use openapi_serve::{InterpretationService, ServeOutcome, ServiceConfig};
+//!
+//! let model = LinearSoftmaxModel::new(
+//!     Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) % 5) as f64 * 0.25 - 0.5),
+//!     Vector(vec![0.1, -0.2, 0.05]),
+//! );
+//! let service = InterpretationService::new(model, ServiceConfig::default());
+//! let x = Vector(vec![0.3, -0.1, 0.7, 0.2]);
+//!
+//! // The first request into a region pays the Algorithm-1 solve …
+//! let first = service.submit_instance(x.clone(), 1).wait().unwrap();
+//! assert_eq!(first.outcome, ServeOutcome::Solved);
+//! // … every later request in the region costs one membership probe and
+//! // is served the identical bits (the paper's consistency property).
+//! let again = service.submit_instance(x, 1).wait().unwrap();
+//! assert_eq!(again.outcome, ServeOutcome::CacheHit);
+//! assert_eq!(again.queries, 1);
+//! assert_eq!(again.interpretation, first.interpretation);
+//! ```
+//!
 //! A region's identity is unknowable before its solve (knowing it would
 //! require the very parameters being solved for), so the in-flight registry
 //! keys on the only thing a miss *does* know: its class. Up to

@@ -55,6 +55,37 @@
 //! different model entirely: a record either proves itself against the
 //! live API's prediction or it is ignored. The CRC framing exists to keep
 //! recovery honest (and cheap); correctness never rests on it.
+//!
+//! # Example
+//!
+//! Append a solved region, restart, and find it recovered:
+//!
+//! ```
+//! use openapi_core::decision::{Interpretation, PairwiseCoreParams};
+//! use openapi_linalg::Vector;
+//! use openapi_store::{RegionStore, StoreConfig};
+//! use std::sync::Arc;
+//!
+//! let dir = std::env::temp_dir().join(format!("openapi_store_doc_{}", std::process::id()));
+//! let store = RegionStore::open(&dir, StoreConfig::default()).unwrap();
+//! let region = Interpretation::from_pairwise(
+//!     0,
+//!     vec![PairwiseCoreParams {
+//!         c_prime: 1,
+//!         weights: Vector(vec![0.5, -1.0]),
+//!         bias: 0.25,
+//!     }],
+//! )
+//! .unwrap();
+//! store.append(region.fingerprint(6), Arc::new(region));
+//! store.close().unwrap(); // final WAL flush + fsync
+//!
+//! // A new process life: every previously solved region is recovered.
+//! let reopened = RegionStore::open(&dir, StoreConfig::default()).unwrap();
+//! assert_eq!(reopened.len(), 1);
+//! reopened.close().unwrap();
+//! std::fs::remove_dir_all(&dir).ok();
+//! ```
 
 mod error;
 pub mod record;

@@ -1,23 +1,28 @@
-//! Interpretation server: many clients, one shared exact-interpretation
-//! service — with an optional durable region store.
+//! Interpretation server: the exact-interpretation stack behind a real
+//! TCP endpoint — a thin wrapper over `openapi_net::Server`.
 //!
 //! Spins up an `openapi-serve` `InterpretationService` over a hidden ReLU
-//! network (a PLNN — queries only, no parameter access), hammers it from
-//! four client threads whose traffic overlaps on the same regions, and
-//! prints the service statistics: the first request into each region pays
-//! the Algorithm-1 solve, everyone else is served the exact cached
-//! parameters for one membership probe — or coalesces onto a solve already
-//! in flight. Run with:
+//! network (a PLNN — queries only, no parameter access) and exposes it on
+//! a socket speaking the `openapi-net` wire protocol (see
+//! `docs/PROTOCOL.md`). Two modes:
+//!
+//! **Listen mode** — serve remote clients until killed:
 //!
 //! ```text
-//! cargo run --release --example interpretation_server
+//! cargo run --release --example interpretation_server -- --listen 127.0.0.1:7077
 //! ```
 //!
-//! With `--store-dir DIR`, the service is backed by an `openapi-store`
-//! `RegionStore` under `DIR`, and the demo restarts itself: the second
-//! service life replays the first life's write-ahead log and serves the
-//! same traffic with **zero** additional Algorithm-1 solves — run it
-//! twice and the *first* life of the second run is already warm:
+//! Any `openapi_net::Client` can then ping it, fetch stats, and request
+//! interpretations; `openapi-exp queries --remote 127.0.0.1:7077` drives a
+//! whole experiment through it.
+//!
+//! **Demo mode** (no `--listen`) — bind an ephemeral port, hammer it from
+//! four real TCP clients whose traffic overlaps on the same regions, and
+//! print the service statistics: the first request into each region pays
+//! the Algorithm-1 solve, everyone else is served the exact cached
+//! parameters for one membership probe. With `--store-dir DIR` the demo
+//! then *restarts* the server against the same directory and replays the
+//! traffic — zero additional Algorithm-1 solves:
 //!
 //! ```text
 //! cargo run --release --example interpretation_server -- --store-dir /tmp/openapi-regions
@@ -26,14 +31,15 @@
 use openapi_repro::api::CountingApi;
 use openapi_repro::nn::{Activation, Plnn};
 use openapi_repro::prelude::*;
-use openapi_repro::serve::CacheSnapshot;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::time::Duration;
 
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 50;
+const DIM: usize = 6;
 
 /// A prediction API reached over a network: every query pays a round trip.
 /// This is the deployment reality the paper's threat model describes — and
@@ -61,16 +67,16 @@ impl<M: PredictionApi> PredictionApi for RemoteApi<M> {
 
 type DemoApi = CountingApi<RemoteApi<Plnn>>;
 
-/// Builds the demo service: with a store directory, solved regions are
-/// durable; without one, the service is memory-only.
-fn build_service(store_dir: Option<&PathBuf>) -> InterpretationService<DemoApi> {
+/// Builds the demo server: the hidden model behind its service, behind a
+/// socket. With a store directory, solved regions are durable.
+fn build_server(listen: &str, store_dir: Option<&PathBuf>) -> Server<DemoApi> {
     // Somebody else's model behind an API boundary: a 6-input, 3-class
     // ReLU network, reachable only over a ~300 µs round trip. The counter
     // meters what the audit traffic costs. (Same seed every life: the
     // *model* persists across our simulated restarts, as it would in
-    // production — only our service process restarts.)
+    // production — only our serving process restarts.)
     let mut rng = StdRng::seed_from_u64(7);
-    let hidden_model = Plnn::mlp(&[6, 12, 8, 3], Activation::ReLU, &mut rng);
+    let hidden_model = Plnn::mlp(&[DIM, 12, 8, 3], Activation::ReLU, &mut rng);
     let api = CountingApi::new(RemoteApi {
         inner: hidden_model,
         round_trip: Duration::from_micros(300),
@@ -79,72 +85,62 @@ fn build_service(store_dir: Option<&PathBuf>) -> InterpretationService<DemoApi> 
         workers: CLIENTS,
         ..ServiceConfig::default()
     };
-    match store_dir {
+    let service = match store_dir {
         Some(dir) => InterpretationService::open(api, config, dir)
             .expect("store directory must open (is it a store?)"),
         None => InterpretationService::new(api, config),
-    }
+    };
+    Server::bind(listen, service, ServerConfig::default()).expect("listen address must bind")
 }
 
-/// Four clients, each interpreting 50 predictions. Instances are drawn
-/// from a handful of anchor points with small jitter, so the traffic has
-/// the shape real serving sees: many users, few hot regions — which is
-/// exactly what the Theorem-2 cache (and store) exploit.
-fn drive_traffic(service: &InterpretationService<DemoApi>) {
-    let dim = 6;
+/// Four TCP clients, each interpreting 50 predictions over the wire.
+/// Instances are drawn from a handful of anchor points with small jitter,
+/// so the traffic has the shape real serving sees: many users, few hot
+/// regions — which is exactly what the Theorem-2 cache (and store)
+/// exploit.
+fn drive_traffic(server: &Server<DemoApi>) {
+    let addr = server.local_addr();
     let anchors: Vec<Vector> = (0..5)
         .map(|a| {
             Vector(
-                (0..dim)
-                    .map(|j| ((a * dim + j) as f64 * 0.83).sin())
+                (0..DIM)
+                    .map(|j| ((a * DIM + j) as f64 * 0.83).sin())
                     .collect(),
             )
         })
         .collect();
     std::thread::scope(|scope| {
         for t in 0..CLIENTS {
-            let (service, anchors) = (service, &anchors);
+            let (server, anchors) = (server, &anchors);
             scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("handshake");
                 let mut rng = StdRng::seed_from_u64(100 + t as u64);
-                let tickets: Vec<Ticket> = (0..REQUESTS_PER_CLIENT)
-                    .map(|_| {
-                        let anchor = &anchors[rng.gen_range(0..anchors.len())];
-                        let mut x = anchor.clone();
-                        for v in x.iter_mut() {
-                            *v += rng.gen_range(-0.01..0.01);
-                        }
-                        let class = service.api().predict_label(x.as_slice());
-                        service.submit_instance(x, class)
-                    })
-                    .collect();
-                for ticket in tickets {
-                    ticket.wait().expect("interior instances interpret");
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let anchor = &anchors[rng.gen_range(0..anchors.len())];
+                    let mut x = anchor.clone();
+                    for v in x.iter_mut() {
+                        *v += rng.gen_range(-0.01..0.01);
+                    }
+                    // In deployment the client knows its predicted class
+                    // (it has the prediction it wants interpreted); the
+                    // demo asks the in-process model for it.
+                    let class = server.service().api().predict_label(x.as_slice());
+                    client
+                        .interpret(&x, class)
+                        .expect("interior instances interpret");
                 }
             });
         }
     });
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let store_dir = match args.as_slice() {
-        [] => None,
-        [flag, dir] if flag == "--store-dir" => Some(PathBuf::from(dir)),
-        _ => {
-            eprintln!("usage: interpretation_server [--store-dir DIR]");
-            std::process::exit(2);
-        }
-    };
-
-    // Life 1: serve the traffic cold (or warm, if the directory already
-    // holds a previous run's regions).
-    let service = build_service(store_dir.as_ref());
-    println!("serving {CLIENTS} clients × {REQUESTS_PER_CLIENT} requests …\n");
-    drive_traffic(&service);
-
-    // The ledger: misses are the only full Algorithm-1 solves; hits,
-    // store hits, and coalesced requests each paid one membership probe.
-    let stats = service.stats();
+/// One life of the demo: drive the traffic, print the ledger (fetched over
+/// the wire, like any remote operator would).
+fn run_life(server: &Server<DemoApi>) {
+    drive_traffic(server);
+    let mut observer = Client::connect(server.local_addr()).expect("handshake");
+    println!("round trip: {:?}", observer.ping().expect("ping"));
+    let stats = observer.stats().expect("stats over the wire");
     println!("{stats}\n");
     let per_request = stats.queries as f64 / stats.requests as f64;
     println!(
@@ -152,41 +148,84 @@ fn main() {
          (a lone Algorithm-1 run pays ≥ {} here)",
         stats.requests,
         stats.queries,
-        6 + 2
+        DIM + 2
     );
+}
 
-    // Warm starts, tier by tier.
-    let bytes = service.snapshot_cache().to_bytes();
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen: Option<String> = None;
+    let mut store_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match (args[i].as_str(), args.get(i + 1)) {
+            ("--listen", Some(addr)) => {
+                listen = Some(addr.clone());
+                i += 2;
+            }
+            ("--store-dir", Some(dir)) => {
+                store_dir = Some(PathBuf::from(dir));
+                i += 2;
+            }
+            _ => {
+                eprintln!("usage: interpretation_server [--listen ADDR] [--store-dir DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // Listen mode: a long-running server for remote clients.
+    if let Some(addr) = listen {
+        let server = build_server(&addr, store_dir.as_ref());
+        let bound: SocketAddr = server.local_addr();
+        println!(
+            "interpretation server listening on {bound} (protocol v{})",
+            openapi_repro::net::VERSION
+        );
+        println!("  try: cargo run --release -p openapi-eval --bin openapi-exp -- \\");
+        println!("         queries --service-clients 4 --remote {bound}");
+        match store_dir {
+            Some(dir) => println!("  durable region store: {}", dir.display()),
+            None => println!("  in-memory only (pass --store-dir DIR for restart durability)"),
+        }
+        println!("serving until killed (ctrl-C) …");
+        loop {
+            std::thread::sleep(Duration::from_secs(3600));
+        }
+    }
+
+    // Demo mode, life 1: serve the traffic cold (or warm, if the store
+    // directory already holds a previous run's regions).
+    let server = build_server("127.0.0.1:0", store_dir.as_ref());
     println!(
-        "\ncache snapshot: {} regions, {} bytes — a one-shot copy another \
-         service can restore",
-        service.cache().len(),
-        bytes.len()
+        "serving {CLIENTS} TCP clients × {REQUESTS_PER_CLIENT} requests on {} …\n",
+        server.local_addr()
     );
-    let restored = CacheSnapshot::from_bytes(&bytes).expect("snapshot round-trips");
-    println!("restored entries: {}", restored.entries.len());
+    run_life(&server);
 
     let Some(dir) = store_dir else {
         println!(
             "\n(no --store-dir: restart durability not demonstrated; pass \
              --store-dir DIR to see a restart re-serve without re-querying)"
         );
+        drop(server);
         return;
     };
 
-    // Life 2: close the service (final WAL fsync), reopen the same
-    // directory — a simulated deploy/crash/scale-out — and replay the
-    // same traffic. Every region solved in life 1 is re-served for one
-    // probe; the solve counter stays at zero.
-    service.close().expect("clean close flushes the WAL");
-    println!("\n--- service restarted against {} ---\n", dir.display());
-    let reborn = build_service(Some(&dir));
+    // Life 2: close the server (drains in-flight tickets, final WAL
+    // fsync), rebind against the same directory — a simulated
+    // deploy/crash/scale-out — and replay the same traffic. Every region
+    // solved in life 1 is re-served for one probe; the solve counter
+    // stays at zero.
+    server.close().expect("clean close flushes the WAL");
+    println!("\n--- server restarted against {} ---\n", dir.display());
+    let reborn = build_server("127.0.0.1:0", Some(&dir));
     println!(
         "recovered {} regions from the store before the first request",
-        reborn.store().expect("store attached").len()
+        reborn.service().store().expect("store attached").len()
     );
     drive_traffic(&reborn);
-    let stats = reborn.stats();
+    let stats = reborn.service().stats();
     println!("\n{stats}\n");
     println!(
         "after restart: {} Algorithm-1 solves, {} store hits — {} queries \

@@ -8,9 +8,10 @@
 //! use openapi_repro::prelude::*;
 //! ```
 //!
-//! See the workspace `README.md` for the project overview, `DESIGN.md` for
-//! the system inventory, and `EXPERIMENTS.md` for the paper-vs-measured
-//! record of every table and figure.
+//! See the workspace `README.md` for the project overview,
+//! `docs/ARCHITECTURE.md` for the tier-by-tier system design and its
+//! mapping onto the paper, and `docs/PROTOCOL.md` for the byte-level wire
+//! protocol of the `openapi-net` serving tier.
 
 pub use openapi_api as api;
 pub use openapi_core as core;
@@ -18,6 +19,7 @@ pub use openapi_data as data;
 pub use openapi_linalg as linalg;
 pub use openapi_lmt as lmt;
 pub use openapi_metrics as metrics;
+pub use openapi_net as net;
 pub use openapi_nn as nn;
 pub use openapi_serve as serve;
 pub use openapi_store as store;
@@ -31,6 +33,7 @@ pub mod prelude {
     pub use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};
     pub use openapi_core::Method;
     pub use openapi_linalg::{Matrix, Vector};
+    pub use openapi_net::{Client, ClientError, RemoteServed, Server, ServerConfig};
     pub use openapi_serve::{
         InterpretRequest, InterpretationService, ServeOutcome, ServiceConfig, SharedCacheConfig,
         SharedRegionCache, Ticket,

@@ -1,23 +1,15 @@
 //! Fixtures shared by the facade integration tests.
 
-use openapi_repro::api::{LocalLinearModel, TwoRegionPlm};
-use openapi_repro::prelude::*;
+use openapi_repro::api::TwoRegionPlm;
 
-/// Input dimensionality of [`two_region_plm`].
-pub const DIM: usize = 8;
+/// Input dimensionality of [`two_region_plm`], derived from the fixture
+/// so it can never drift out of sync.
+pub const DIM: usize = TwoRegionPlm::REFERENCE_DIM;
 
-/// d = 8, C = 3, two regions: wide enough that Algorithm 1's per-instance
-/// cost (≥ d + 2 queries) towers over a cache layer's 1-query hits, small
-/// enough to solve in microseconds. One definition so the batch-cache and
-/// service tests always exercise the same model.
+/// The canonical d = 8, C = 3 two-region model
+/// ([`TwoRegionPlm::reference`]): one definition so the batch-cache,
+/// service, and wire tests (and the `net_throughput` bench) always
+/// exercise the same model.
 pub fn two_region_plm() -> TwoRegionPlm {
-    let low = LocalLinearModel::new(
-        Matrix::from_fn(DIM, 3, |r, c| ((r * 5 + c * 3) % 11) as f64 * 0.2 - 1.0),
-        Vector(vec![0.1, -0.3, 0.2]),
-    );
-    let high = LocalLinearModel::new(
-        Matrix::from_fn(DIM, 3, |r, c| ((r * 7 + c * 2) % 13) as f64 * 0.15 - 0.9),
-        Vector(vec![-0.2, 0.4, 0.0]),
-    );
-    TwoRegionPlm::axis_split(1, 0.25, low, high)
+    TwoRegionPlm::reference()
 }
