@@ -41,7 +41,7 @@
 //! share one membership-probe code path. [`BatchStats`] exposes the
 //! hit/miss/query accounting a capacity planner needs.
 
-use crate::cache::{RegionCache, RegionCacheConfig};
+use crate::cache::{CachedRegion, ProbeRef, RegionCache, RegionCacheConfig};
 use crate::decision::{Interpretation, RegionFingerprint};
 use crate::equations::Probe;
 use crate::error::InterpretError;
@@ -180,7 +180,7 @@ impl BatchInterpreter {
         let cache = RegionCache::new(RegionCacheConfig {
             membership_rtol: config.membership_rtol,
             fingerprint_digits: config.fingerprint_digits,
-            capacity: None,
+            ..RegionCacheConfig::default()
         });
         BatchInterpreter {
             config,
@@ -227,6 +227,17 @@ impl BatchInterpreter {
     /// reuse the probe as Algorithm 1's `x⁰` equation so nothing is queried
     /// twice. Results are in input order; per-instance failures land as
     /// `Err` entries without aborting the batch.
+    ///
+    /// The batch runs in three phases: every instance is probed up front
+    /// (one query each, exactly as the per-instance path would spend), the
+    /// whole probe batch is resolved against the pre-batch cache in **one
+    /// blocked kernel pass** ([`RegionCache::lookup_probe_batch`]), and a
+    /// final in-order sweep re-checks each leftover miss against only the
+    /// regions solved earlier *in the same batch* (a delta scan past the
+    /// pre-batch watermark) before running Algorithm 1 on it. Query
+    /// accounting, solver RNG consumption, and which entry serves each
+    /// instance are identical to the sequential formulation — the phases
+    /// only reorder the membership math so it runs batched.
     pub fn interpret_batch<M: PredictionApi, R: Rng>(
         &mut self,
         api: &M,
@@ -238,12 +249,93 @@ impl BatchInterpreter {
             return outcome;
         }
         let mut stats = new_stats(instances.len());
-        let mut results = Vec::with_capacity(instances.len());
+        let dim = api.dim();
+
+        // Phase 1: probe every well-dimensioned instance (1 query each;
+        // probes consume no solver RNG, so fronting them leaves the
+        // per-miss RNG stream untouched).
+        let mut probes: Vec<Option<Probe>> = Vec::with_capacity(instances.len());
         for x in instances {
-            let result = self.interpret_one_probed(api, x, class, rng, &mut stats);
-            if result.is_err() {
-                stats.failures += 1;
+            if x.len() == dim {
+                probes.push(Some(Probe::query(api, x.clone())));
+                stats.queries += 1;
+            } else {
+                probes.push(None);
             }
+        }
+
+        // Phase 2: one blocked pass resolves the whole batch against the
+        // cache as it stood when the batch arrived.
+        let watermark = self.cache.group_watermark(class, dim);
+        let mut hits: Vec<Option<CachedRegion>> = vec![None; instances.len()];
+        {
+            let mut refs = Vec::with_capacity(instances.len());
+            let mut owner = Vec::with_capacity(instances.len());
+            for (i, probe) in probes.iter().enumerate() {
+                if let Some(probe) = probe {
+                    refs.push(ProbeRef {
+                        x: &instances[i],
+                        probs: probe.probs.as_slice(),
+                        class,
+                    });
+                    owner.push(i);
+                }
+            }
+            let mut ref_hits = vec![None; refs.len()];
+            self.cache.lookup_probe_batch(&refs, &mut ref_hits);
+            for (j, hit) in ref_hits.into_iter().enumerate() {
+                hits[owner[j]] = hit;
+            }
+        }
+
+        // Phase 3: in-order sweep. A pre-batch miss may still belong to a
+        // region an *earlier instance of this batch* just solved — the
+        // delta scan checks exactly the groups admitted past the
+        // watermark, so the sweep sees the same cache state the sequential
+        // formulation would at this instance.
+        let mut results = Vec::with_capacity(instances.len());
+        for (i, x) in instances.iter().enumerate() {
+            let Some(probe) = probes[i].take() else {
+                stats.failures += 1;
+                results.push(Err(InterpretError::DimensionMismatch {
+                    expected: dim,
+                    found: x.len(),
+                }));
+                continue;
+            };
+            let hit = hits[i].take().or_else(|| {
+                self.cache
+                    .lookup_probe_from(x, probe.probs.as_slice(), class, watermark)
+            });
+            let result = match hit {
+                Some(hit) => {
+                    stats.hits += 1;
+                    Ok(BatchItem {
+                        interpretation: hit.interpretation,
+                        fingerprint: hit.fingerprint,
+                        cache_hit: true,
+                        queries: 1,
+                    })
+                }
+                None => match self
+                    .interpreter
+                    .interpret_with_probe(api, probe, class, rng)
+                {
+                    Ok(solved) => {
+                        // `solved.queries` counts the membership probe (as
+                        // Algorithm 1's x⁰ query); it was tallied in phase
+                        // 1, so only the sampling rounds add here.
+                        stats.queries += solved.queries - 1;
+                        stats.misses += 1;
+                        Ok(self.admit(solved.interpretation, None, solved.queries))
+                    }
+                    Err(e) => {
+                        stats.queries += queries_consumed(&e, dim);
+                        stats.failures += 1;
+                        Err(e)
+                    }
+                },
+            };
             results.push(result);
         }
         self.finish(class, &mut stats);
@@ -297,46 +389,6 @@ impl BatchInterpreter {
             results: (0..instances).map(|_| Err(error.clone())).collect(),
             stats,
         })
-    }
-
-    /// Black-box path: one membership probe, then scan → hit, or Algorithm 1
-    /// on the probe → miss.
-    fn interpret_one_probed<M: PredictionApi, R: Rng>(
-        &mut self,
-        api: &M,
-        x: &Vector,
-        class: usize,
-        rng: &mut R,
-        stats: &mut BatchStats,
-    ) -> Result<BatchItem, InterpretError> {
-        if x.len() != api.dim() {
-            return Err(InterpretError::DimensionMismatch {
-                expected: api.dim(),
-                found: x.len(),
-            });
-        }
-        let probe = Probe::query(api, x.clone());
-        stats.queries += 1;
-        if let Some(hit) = self.cache.lookup_probe(x, probe.probs.as_slice(), class) {
-            stats.hits += 1;
-            return Ok(BatchItem {
-                interpretation: hit.interpretation,
-                fingerprint: hit.fingerprint,
-                cache_hit: true,
-                queries: 1,
-            });
-        }
-        let solved = self
-            .interpreter
-            .interpret_with_probe(api, probe, class, rng)
-            .inspect_err(|e| {
-                stats.queries += queries_consumed(e, api.dim());
-            })?;
-        // `solved.queries` counts the membership probe (as Algorithm 1's x⁰
-        // query); it was tallied above, so only the sampling rounds add here.
-        stats.queries += solved.queries - 1;
-        stats.misses += 1;
-        Ok(self.admit(solved.interpretation, None, solved.queries))
     }
 
     /// Oracle path: region id decides membership; hits cost zero queries.

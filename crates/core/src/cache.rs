@@ -18,6 +18,24 @@
 //! * [`RegionCache::lookup_region`] — white-box oracle fast path keyed on
 //!   [`RegionId`], for evaluation and tests (zero queries per hit).
 //!
+//! # The blocked membership scan
+//!
+//! The black-box scan is the warm serving path's dominant cost, so it does
+//! not walk per-entry heap allocations: alongside the entries, the cache
+//! packs every boundary row of a class into one contiguous row-major
+//! [`RowMatrix`] per `(class, dimension)` pair (a `ClassBlock`), rebuilt
+//! incrementally on insert and eviction. A probe then runs as one batched
+//! kernel pass per chunk of rows — `y = W·x + b` for every cached contrast,
+//! Theorem-2 verdicts per region group — through the configured
+//! [`Backend`]. The observed log-probability ratios are memoized per probe
+//! (one `ln` per class instead of one per cached region), and
+//! [`RegionCache::lookup_probe_batch`] additionally iterates chunk-outer /
+//! probe-inner, running each chunk through the backend's *multi-probe*
+//! kernel ([`Backend::boundary_eval_batch`]) so a whole batch shares one
+//! sweep of the packed rows while they are hot in cache. Backends are
+//! bit-identical by contract, so the verdicts do not depend on which one
+//! is configured.
+//!
 //! An optional capacity bound turns the cache into a CLOCK (second-chance)
 //! eviction structure: lookups mark entries referenced through an atomic
 //! flag (no `&mut` required, so shared readers stay cheap), and inserts
@@ -27,10 +45,17 @@
 
 use crate::decision::{Interpretation, RegionFingerprint};
 use openapi_api::RegionId;
+use openapi_linalg::kernel::{default_backend, Backend, RowGroup, RowMatrix};
 use openapi_linalg::Vector;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+
+/// Rows evaluated per kernel pass of the membership scan. Sized so a
+/// chunk of `d = 196` boundaries (~200 KB) stays resident in L2 while a
+/// probe batch re-walks it, while still amortizing the per-pass setup.
+const CHUNK_ROWS: usize = 128;
 
 /// Configuration of a [`RegionCache`].
 #[derive(Debug, Clone)]
@@ -44,6 +69,10 @@ pub struct RegionCacheConfig {
     /// Maximum cached regions; `None` (the batch layer's setting) never
     /// evicts. A bound of 0 is clamped to 1.
     pub capacity: Option<usize>,
+    /// Kernel backend the blocked membership scan runs on (see
+    /// [`openapi_linalg::kernel`]). Backends are bit-identical by
+    /// contract; the default is the blocked implementation.
+    pub backend: Arc<dyn Backend>,
 }
 
 impl Default for RegionCacheConfig {
@@ -52,6 +81,7 @@ impl Default for RegionCacheConfig {
             membership_rtol: crate::openapi::OpenApiConfig::default().rtol,
             fingerprint_digits: 6,
             capacity: None,
+            backend: default_backend(),
         }
     }
 }
@@ -70,6 +100,26 @@ pub struct CachedRegion {
     pub interpretation: Arc<Interpretation>,
 }
 
+/// A borrowed probe for [`RegionCache::lookup_probe_batch`]: one instance,
+/// its observed prediction, and the explained class.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeRef<'a> {
+    /// The probed instance.
+    pub x: &'a Vector,
+    /// The model's predicted probability vector at `x`.
+    pub probs: &'a [f64],
+    /// The class whose regions are scanned.
+    pub class: usize,
+}
+
+/// Where a slot's boundary rows live inside the packed blocks.
+#[derive(Debug, Clone, Copy)]
+struct BlockRef {
+    class: usize,
+    dim: usize,
+    group: usize,
+}
+
 /// One cached region plus its CLOCK reference flag.
 #[derive(Debug)]
 struct Slot {
@@ -79,6 +129,68 @@ struct Slot {
     /// sweeping clock hand. Relaxed ordering suffices — the flag is a usage
     /// hint, not a synchronization point.
     referenced: AtomicBool,
+    /// The slot's group in its `(class, dim)` block, when it has one
+    /// (entries with no contrasts or ragged dimensions explain no probe
+    /// and are not packed).
+    block: Option<BlockRef>,
+}
+
+/// One region's contiguous run of rows inside a [`ClassBlock`].
+#[derive(Debug, Clone, Copy)]
+struct Group {
+    /// First row of the group in the block's pack.
+    start: usize,
+    /// Rows (pairwise contrasts) in the group.
+    len: usize,
+    /// The `entries` index served when the group's verdict passes.
+    slot: usize,
+}
+
+/// The packed boundary rows of every cached region of one `(class, dim)`
+/// pair: `w` holds the contrast weight rows back to back, `bias` and
+/// `c_prime` are parallel per-row arrays, and `groups` partitions the rows
+/// by region in scan order.
+#[derive(Debug)]
+struct ClassBlock {
+    w: RowMatrix,
+    bias: Vec<f64>,
+    c_prime: Vec<usize>,
+    groups: Vec<Group>,
+}
+
+impl ClassBlock {
+    fn new(dim: usize) -> Self {
+        ClassBlock {
+            w: RowMatrix::new(dim),
+            bias: Vec::new(),
+            c_prime: Vec::new(),
+            groups: Vec::new(),
+        }
+    }
+}
+
+/// Reusable per-thread buffers of the kernel passes, so `lookup_probe`
+/// stays `&self` and allocation-free on the warm path.
+#[derive(Debug, Default)]
+struct Scratch {
+    ln_probs: Vec<f64>,
+    y: Vec<f64>,
+    targets: Vec<f64>,
+    groups: Vec<RowGroup>,
+    verdicts: Vec<bool>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Memoizes `ln(max(p, MIN_POSITIVE))` per class — the scan recombines
+/// these by subtraction, bit-identical to
+/// [`openapi_api::probability::log_ratio`] but costing one `ln` per class
+/// instead of one per cached region.
+fn fill_ln(out: &mut Vec<f64>, probs: &[f64]) {
+    out.clear();
+    out.extend(probs.iter().map(|&p| p.max(f64::MIN_POSITIVE).ln()));
 }
 
 /// The region cache (see the module docs).
@@ -86,8 +198,11 @@ struct Slot {
 pub struct RegionCache {
     config: RegionCacheConfig,
     /// Cached regions in insertion order (until eviction reorders via
-    /// `swap_remove`); membership scans walk this.
+    /// `swap_remove`).
     entries: Vec<Slot>,
+    /// Packed boundary rows per `(class, dim)`; the membership scan walks
+    /// these, in group (registration) order.
+    blocks: HashMap<(usize, usize), ClassBlock>,
     /// `(class, fingerprint) → entries index` — merges duplicate solves.
     by_fingerprint: HashMap<(usize, RegionFingerprint), usize>,
     /// `(class, oracle region id) → entries index` — oracle fast path only.
@@ -137,6 +252,7 @@ impl RegionCache {
     /// Drops every cached region (the eviction count is kept).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.blocks.clear();
         self.by_fingerprint.clear();
         self.by_region_id.clear();
         self.hand = 0;
@@ -154,31 +270,256 @@ impl RegionCache {
 
     /// Black-box membership lookup: the first cached region of `class`
     /// whose core parameters explain the prediction `probs` observed at
-    /// `x` (Theorem 2 — see [`Interpretation::explains_probe`]).
+    /// `x` (Theorem 2 — see [`Interpretation::explains_probe`]), found by
+    /// one blocked kernel pass per `CHUNK_ROWS` packed boundaries
+    /// instead of a per-entry scan.
     pub fn lookup_probe(&self, x: &Vector, probs: &[f64], class: usize) -> Option<CachedRegion> {
-        let rtol = self.config.membership_rtol;
-        self.entries
-            .iter()
-            .filter(|e| e.interpretation.class == class)
-            .find(|e| e.interpretation.explains_probe(x, probs, rtol))
-            .map(|e| {
-                e.referenced.store(true, Ordering::Relaxed);
-                CachedRegion {
-                    fingerprint: e.fingerprint,
-                    interpretation: Arc::clone(&e.interpretation),
-                }
+        self.lookup_probe_from(x, probs, class, 0)
+    }
+
+    /// [`RegionCache::lookup_probe`] restricted to region groups admitted
+    /// at or after the watermark `from_group` (see
+    /// [`RegionCache::group_watermark`]). The batch layer uses this delta
+    /// scan to re-check only the regions solved *during* a batch after a
+    /// full pass over the pre-batch cache already missed.
+    ///
+    /// Watermarks stay valid only while the cache does not evict — delta
+    /// scans are for unbounded configurations (the batch layer's).
+    pub fn lookup_probe_from(
+        &self,
+        x: &Vector,
+        probs: &[f64],
+        class: usize,
+        from_group: usize,
+    ) -> Option<CachedRegion> {
+        if x.is_empty() {
+            // Zero-dimensional probes cannot be packed (a RowMatrix has at
+            // least one column); fall back to the reference entry scan.
+            let rtol = self.config.membership_rtol;
+            return self
+                .entries
+                .iter()
+                .filter(|e| e.interpretation.class == class)
+                .find(|e| e.interpretation.explains_probe(x, probs, rtol))
+                .map(|e| {
+                    e.referenced.store(true, Ordering::Relaxed);
+                    CachedRegion {
+                        fingerprint: e.fingerprint,
+                        interpretation: Arc::clone(&e.interpretation),
+                    }
+                });
+        }
+        let block = self.blocks.get(&(class, x.len()))?;
+        SCRATCH
+            .with(|scratch| {
+                let s = &mut *scratch.borrow_mut();
+                fill_ln(&mut s.ln_probs, probs);
+                self.scan_block(block, x.as_slice(), class, from_group, s)
             })
+            .map(|slot| self.serve(slot))
+    }
+
+    /// The number of region groups currently packed for `(class, dim)` —
+    /// a watermark for [`RegionCache::lookup_probe_from`] delta scans.
+    pub fn group_watermark(&self, class: usize, dim: usize) -> usize {
+        self.blocks.get(&(class, dim)).map_or(0, |b| b.groups.len())
+    }
+
+    /// Batched black-box lookup: resolves every probe whose `results` slot
+    /// is `None`, writing hits in place (slots already `Some` are skipped,
+    /// so callers can pre-resolve). Verdict-equivalent to calling
+    /// [`RegionCache::lookup_probe`] per probe, but iterates chunk-outer /
+    /// probe-inner so a whole batch walks each packed chunk while it is
+    /// hot in cache — the warm path of a wire batch costs one blocked pass
+    /// over the class's boundaries, not N sequential scans.
+    ///
+    /// # Panics
+    /// When `probes.len() != results.len()`.
+    pub fn lookup_probe_batch(
+        &self,
+        probes: &[ProbeRef<'_>],
+        results: &mut [Option<CachedRegion>],
+    ) {
+        assert_eq!(probes.len(), results.len(), "probes/results must align");
+        let mut by_key: HashMap<(usize, usize), Vec<usize>> = HashMap::new();
+        for (i, p) in probes.iter().enumerate() {
+            if results[i].is_some() {
+                continue;
+            }
+            if p.x.is_empty() {
+                results[i] = self.lookup_probe(p.x, p.probs, p.class);
+            } else {
+                by_key.entry((p.class, p.x.len())).or_default().push(i);
+            }
+        }
+        for ((class, dim), idxs) in by_key {
+            let Some(block) = self.blocks.get(&(class, dim)) else {
+                continue;
+            };
+            // Per-probe ln memo, computed once for the whole scan.
+            let memos: Vec<Vec<f64>> = idxs
+                .iter()
+                .map(|&i| {
+                    let mut ln = Vec::new();
+                    fill_ln(&mut ln, probes[i].probs);
+                    ln
+                })
+                .collect();
+            let mut unresolved: Vec<usize> = (0..idxs.len()).collect();
+            let mut g = 0;
+            while g < block.groups.len() && !unresolved.is_empty() {
+                let (g_end, row0, row_end) = chunk_bounds(block, g);
+                SCRATCH.with(|scratch| {
+                    let s = &mut *scratch.borrow_mut();
+                    s.groups.clear();
+                    for grp in &block.groups[g..g_end] {
+                        s.groups.push(RowGroup {
+                            start: grp.start - row0,
+                            len: grp.len,
+                        });
+                    }
+                    // One multi-probe kernel pass evaluates the chunk for
+                    // every still-unresolved probe (probe-major output),
+                    // then the per-probe verdict halves run off the shared
+                    // evaluation. Bit-identical to per-probe scans by the
+                    // `boundary_eval_batch` contract.
+                    let xs: Vec<&[f64]> = unresolved
+                        .iter()
+                        .map(|&u| probes[idxs[u]].x.as_slice())
+                        .collect();
+                    let backend = &*self.config.backend;
+                    let mut y = std::mem::take(&mut s.y);
+                    backend.boundary_eval_batch(&block.w, &block.bias, &xs, row0..row_end, &mut y);
+                    let n = row_end - row0;
+                    let mut p = 0;
+                    unresolved.retain(|&u| {
+                        let yp = &y[p * n..(p + 1) * n];
+                        p += 1;
+                        match self.verdict_scan(block, yp, class, &memos[u], (g, row0, row_end), s)
+                        {
+                            Some(slot) => {
+                                results[idxs[u]] = Some(self.serve(slot));
+                                false
+                            }
+                            None => true,
+                        }
+                    });
+                    s.y = y;
+                });
+                g = g_end;
+            }
+        }
+    }
+
+    /// Scans one block from group `from_group` on, chunk by chunk,
+    /// returning the first slot whose group verdict passes.
+    fn scan_block(
+        &self,
+        block: &ClassBlock,
+        x: &[f64],
+        class: usize,
+        from_group: usize,
+        s: &mut Scratch,
+    ) -> Option<usize> {
+        let mut g = from_group;
+        while g < block.groups.len() {
+            let (g_end, row0, row_end) = chunk_bounds(block, g);
+            s.groups.clear();
+            for grp in &block.groups[g..g_end] {
+                s.groups.push(RowGroup {
+                    start: grp.start - row0,
+                    len: grp.len,
+                });
+            }
+            // The ln memo doubles as the target source; take it out to
+            // satisfy the borrow checker, then restore.
+            let ln_probs = std::mem::take(&mut s.ln_probs);
+            let hit = self.scan_chunk(block, x, class, &ln_probs, (g, row0, row_end), s);
+            s.ln_probs = ln_probs;
+            if hit.is_some() {
+                return hit;
+            }
+            g = g_end;
+        }
+        None
+    }
+
+    /// One kernel pass over the chunk `[row0, row_end)` whose groups start
+    /// at index `g` (with `s.groups` pre-filled relative to `row0`):
+    /// boundary evaluation, target reconstruction from the ln memo, and
+    /// per-group verdicts. Returns the slot of the first passing group.
+    fn scan_chunk(
+        &self,
+        block: &ClassBlock,
+        x: &[f64],
+        class: usize,
+        ln_probs: &[f64],
+        (g, row0, row_end): (usize, usize, usize),
+        s: &mut Scratch,
+    ) -> Option<usize> {
+        let backend = &*self.config.backend;
+        backend.boundary_eval(&block.w, &block.bias, x, row0..row_end, &mut s.y);
+        let y = std::mem::take(&mut s.y);
+        let hit = self.verdict_scan(block, &y, class, ln_probs, (g, row0, row_end), s);
+        s.y = y;
+        hit
+    }
+
+    /// The verdict half of a chunk scan: given one probe's already
+    /// evaluated boundary values `y` for `[row0, row_end)`, reconstructs
+    /// the probe's targets from its ln memo and returns the slot of the
+    /// first passing group. Split from [`RegionCache::scan_chunk`] so the
+    /// batched lookup can share a single multi-probe evaluation.
+    fn verdict_scan(
+        &self,
+        block: &ClassBlock,
+        y: &[f64],
+        class: usize,
+        ln_probs: &[f64],
+        (g, row0, row_end): (usize, usize, usize),
+        s: &mut Scratch,
+    ) -> Option<usize> {
+        let backend = &*self.config.backend;
+        let class_ln = ln_probs.get(class).copied();
+        s.targets.clear();
+        s.targets
+            .extend(block.c_prime[row0..row_end].iter().map(|&cp| {
+                match (class_ln, ln_probs.get(cp)) {
+                    // Identical recombination to `log_ratio(probs, class, cp)`.
+                    (Some(lc), Some(&lcp)) => lc - lcp,
+                    // Out-of-range class/contrast can never be explained:
+                    // NaN fails every comparison, exactly like the scalar
+                    // path's early `false`.
+                    _ => f64::NAN,
+                }
+            }));
+        backend.membership_verdicts(
+            y,
+            &s.targets,
+            self.config.membership_rtol,
+            &s.groups,
+            &mut s.verdicts,
+        );
+        s.verdicts
+            .iter()
+            .position(|&v| v)
+            .map(|hit| block.groups[g + hit].slot)
+    }
+
+    /// Marks a slot referenced and serves it.
+    fn serve(&self, slot: usize) -> CachedRegion {
+        let e = &self.entries[slot];
+        e.referenced.store(true, Ordering::Relaxed);
+        CachedRegion {
+            fingerprint: e.fingerprint,
+            interpretation: Arc::clone(&e.interpretation),
+        }
     }
 
     /// Oracle fast-path lookup keyed on [`RegionId`].
     pub fn lookup_region(&self, class: usize, region: &RegionId) -> Option<CachedRegion> {
         let &index = self.by_region_id.get(&(class, region.clone()))?;
-        let e = &self.entries[index];
-        e.referenced.store(true, Ordering::Relaxed);
-        Some(CachedRegion {
-            fingerprint: e.fingerprint,
-            interpretation: Arc::clone(&e.interpretation),
-        })
+        Some(self.serve(index))
     }
 
     /// Admits a freshly solved region, merging with an existing entry when
@@ -209,8 +550,8 @@ impl RegionCache {
             }
             Some(_) => {
                 // Collision: cache the new region un-indexed (the membership
-                // scan over `entries` still serves it; only the fingerprint
-                // shortcut is unavailable for it).
+                // scan still serves it; only the fingerprint shortcut is
+                // unavailable for it).
                 self.push_slot(fingerprint, interpretation)
             }
             None => {
@@ -229,8 +570,9 @@ impl RegionCache {
         }
     }
 
-    /// Pushes a new slot, evicting first when at capacity. The fresh entry
-    /// starts referenced so it survives at least one full clock sweep.
+    /// Pushes a new slot, evicting first when at capacity, and packs its
+    /// boundary rows into the `(class, dim)` block. The fresh entry starts
+    /// referenced so it survives at least one full clock sweep.
     fn push_slot(
         &mut self,
         fingerprint: RegionFingerprint,
@@ -246,8 +588,70 @@ impl RegionCache {
             fingerprint,
             interpretation,
             referenced: AtomicBool::new(true),
+            block: None,
         });
-        self.entries.len() - 1
+        let index = self.entries.len() - 1;
+        self.register_slot(index);
+        index
+    }
+
+    /// Packs `entries[index]`'s boundary rows into its class block. Slots
+    /// whose contrasts are absent or dimensionally ragged explain no probe
+    /// (the scalar semantics' dot product fails) and stay unpacked.
+    fn register_slot(&mut self, index: usize) {
+        let interp = &self.entries[index].interpretation;
+        let Some(first) = interp.pairwise.first() else {
+            return;
+        };
+        let dim = first.weights.len();
+        if dim == 0 || interp.pairwise.iter().any(|p| p.weights.len() != dim) {
+            return;
+        }
+        let class = interp.class;
+        let block = self
+            .blocks
+            .entry((class, dim))
+            .or_insert_with(|| ClassBlock::new(dim));
+        let start = block.w.rows();
+        for p in &interp.pairwise {
+            block.w.push_row(p.weights.as_slice());
+            block.bias.push(p.bias);
+            block.c_prime.push(p.c_prime);
+        }
+        let group = block.groups.len();
+        block.groups.push(Group {
+            start,
+            len: interp.pairwise.len(),
+            slot: index,
+        });
+        self.entries[index].block = Some(BlockRef { class, dim, group });
+    }
+
+    /// Unpacks a slot's rows from its block: the row range is drained
+    /// (later rows shift down, preserving scan order), later groups'
+    /// offsets and their slots' back-references are repaired, and an
+    /// emptied block is dropped.
+    fn unregister_slot(&mut self, bref: BlockRef) {
+        let block = self
+            .blocks
+            .get_mut(&(bref.class, bref.dim))
+            .expect("slot block ref points at a live block");
+        let g = block.groups[bref.group];
+        block.w.remove_rows(g.start..g.start + g.len);
+        block.bias.drain(g.start..g.start + g.len);
+        block.c_prime.drain(g.start..g.start + g.len);
+        block.groups.remove(bref.group);
+        for grp in &mut block.groups[bref.group..] {
+            grp.start -= g.len;
+            let back = self.entries[grp.slot]
+                .block
+                .as_mut()
+                .expect("packed slot keeps its block ref");
+            back.group -= 1;
+        }
+        if block.groups.is_empty() {
+            self.blocks.remove(&(bref.class, bref.dim));
+        }
     }
 
     /// CLOCK sweep: clears reference bits until an unreferenced victim is
@@ -273,12 +677,25 @@ impl RegionCache {
     }
 
     /// Removes the slot at `index` via `swap_remove`, repairing both index
-    /// maps: entries pointing at the victim vanish, entries pointing at the
-    /// moved last slot are redirected.
+    /// maps (entries pointing at the victim vanish, entries pointing at the
+    /// moved last slot are redirected) and the packed blocks (the victim's
+    /// rows are unpacked; the moved slot's group follows it).
     fn remove_slot(&mut self, index: usize) {
+        if let Some(bref) = self.entries[index].block {
+            self.unregister_slot(bref);
+        }
         let last = self.entries.len() - 1;
         self.entries.swap_remove(index);
         self.evictions += 1;
+        if index < self.entries.len() {
+            if let Some(bref) = self.entries[index].block {
+                self.blocks
+                    .get_mut(&(bref.class, bref.dim))
+                    .expect("moved slot's block ref points at a live block")
+                    .groups[bref.group]
+                    .slot = index;
+            }
+        }
         self.by_fingerprint.retain(|_, v| {
             if *v == index {
                 return false;
@@ -298,6 +715,21 @@ impl RegionCache {
             true
         });
     }
+}
+
+/// The chunk of whole groups starting at group `g`: extends until at
+/// least [`CHUNK_ROWS`] rows are covered (groups are never split, so a
+/// region's verdict is always decided within one pass). Returns
+/// `(end_group, first_row, end_row)`.
+fn chunk_bounds(block: &ClassBlock, g: usize) -> (usize, usize, usize) {
+    let row0 = block.groups[g].start;
+    let mut g_end = g;
+    let mut row_end = row0;
+    while g_end < block.groups.len() && row_end - row0 < CHUNK_ROWS {
+        row_end += block.groups[g_end].len;
+        g_end += 1;
+    }
+    (g_end, row0, row_end)
 }
 
 /// Whether two interpretations recovered the same region's parameters, up
@@ -339,6 +771,19 @@ mod tests {
             )
             .unwrap(),
         )
+    }
+
+    /// A probe consistent with `interp(class, w)` at `x` (two-class
+    /// sigmoid whose log-ratio matches `w·x`).
+    fn consistent_probs(i: &Interpretation, x: &Vector) -> Vec<f64> {
+        let p = &i.pairwise[0];
+        let target = p.weights.dot(x).unwrap() + p.bias;
+        let r = target.exp();
+        let denom = 1.0 + r;
+        let mut probs = vec![0.0; p.c_prime + 1];
+        probs[i.class] = r / denom;
+        probs[p.c_prime] = 1.0 / denom;
+        probs
     }
 
     fn bounded(capacity: usize) -> RegionCache {
@@ -412,6 +857,100 @@ mod tests {
     }
 
     #[test]
+    fn eviction_keeps_the_packed_scan_serving_the_right_regions() {
+        let mut cache = bounded(8);
+        let x = Vector(vec![0.4]);
+        for i in 0..50 {
+            cache.insert(interp(0, i as f64 + 0.5), None);
+            // Every probe that hits must return exactly its own region —
+            // the packed blocks track every eviction and swap.
+            for j in 0..=i {
+                let target = interp(0, j as f64 + 0.5);
+                let probs = consistent_probs(&target, &x);
+                if let Some(hit) = cache.lookup_probe(&x, &probs, 0) {
+                    assert_eq!(hit.interpretation, target, "probe {j} after insert {i}");
+                }
+            }
+        }
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn probe_lookup_hits_through_the_packed_scan() {
+        let mut cache = RegionCache::default();
+        let x = Vector(vec![-0.3]);
+        for i in 0..30 {
+            cache.insert(interp(0, i as f64 + 0.25), None);
+        }
+        let target = interp(0, 17.25);
+        let probs = consistent_probs(&target, &x);
+        let hit = cache.lookup_probe(&x, &probs, 0).expect("region cached");
+        assert_eq!(hit.interpretation, target);
+        // A probe nothing explains, and a class with no block, both miss.
+        assert!(cache.lookup_probe(&x, &[0.4, 0.6], 0).is_none());
+        assert!(cache.lookup_probe(&x, &probs, 5).is_none());
+    }
+
+    #[test]
+    fn batched_lookup_matches_per_probe_lookup() {
+        let mut cache = RegionCache::default();
+        let xs: Vec<Vector> = (0..6).map(|i| Vector(vec![0.1 * i as f64 - 0.2])).collect();
+        for i in 0..200 {
+            cache.insert(interp(0, i as f64 + 0.5), None);
+        }
+        let targets: Vec<_> = [3usize, 60, 199, 123, 0, 77]
+            .iter()
+            .map(|&i| interp(0, i as f64 + 0.5))
+            .collect();
+        let probs: Vec<Vec<f64>> = targets
+            .iter()
+            .zip(&xs)
+            .map(|(t, x)| consistent_probs(t, x))
+            .collect();
+        let probes: Vec<ProbeRef> = xs
+            .iter()
+            .zip(&probs)
+            .map(|(x, p)| ProbeRef {
+                x,
+                probs: p,
+                class: 0,
+            })
+            .collect();
+        let mut results = vec![None; probes.len()];
+        // Pre-resolved slots must be left alone.
+        results[4] = cache.lookup_probe(&xs[4], &probs[4], 0);
+        cache.lookup_probe_batch(&probes, &mut results);
+        for (i, r) in results.iter().enumerate() {
+            let single = cache.lookup_probe(&xs[i], &probs[i], 0).unwrap();
+            let batched = r.as_ref().expect("batched lookup must hit");
+            assert_eq!(batched.interpretation, single.interpretation, "probe {i}");
+        }
+    }
+
+    #[test]
+    fn delta_scans_see_only_groups_past_the_watermark() {
+        let mut cache = RegionCache::default();
+        let x = Vector(vec![0.9]);
+        cache.insert(interp(0, 1.0), None);
+        let watermark = cache.group_watermark(0, 1);
+        assert_eq!(watermark, 1);
+        let old = interp(0, 1.0);
+        let old_probs = consistent_probs(&old, &x);
+        // The pre-watermark region is invisible to a delta scan...
+        assert!(cache
+            .lookup_probe_from(&x, &old_probs, 0, watermark)
+            .is_none());
+        // ...while a region admitted after the watermark is found.
+        let fresh = interp(0, 2.0);
+        cache.insert(Arc::clone(&fresh), None);
+        let fresh_probs = consistent_probs(&fresh, &x);
+        let hit = cache
+            .lookup_probe_from(&x, &fresh_probs, 0, watermark)
+            .expect("fresh region visible to the delta scan");
+        assert_eq!(hit.interpretation, fresh);
+    }
+
+    #[test]
     fn duplicate_solves_merge_to_the_first_entry() {
         let mut cache = RegionCache::default();
         let a = cache.insert(interp(0, 5.0), None);
@@ -419,6 +958,8 @@ mod tests {
         assert_eq!(cache.len(), 1);
         assert_eq!(a.fingerprint, b.fingerprint);
         assert_eq!(a.interpretation, b.interpretation);
+        // The merge left exactly one packed group behind.
+        assert_eq!(cache.group_watermark(0, 1), 1);
     }
 
     #[test]
@@ -442,6 +983,7 @@ mod tests {
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!(cache.evictions(), evicted);
+        assert_eq!(cache.group_watermark(0, 1), 0);
         assert!(cache.lookup_region(0, &RegionId::from_index(0)).is_none());
     }
 }

@@ -19,10 +19,18 @@
 //!
 //! All routines are deterministic and allocate only what they return; hot
 //! paths (factor/solve) reuse caller-provided buffers where it matters.
+//!
+//! The [`kernel`] module adds the batched layer on top: a [`Backend`]
+//! trait with blocked, SIMD-friendly kernels for boundary evaluation and
+//! Theorem-2 membership over contiguous row packs, used by the cache and
+//! serving tiers for the warm path.
+
+#![deny(missing_docs)]
 
 pub mod cholesky;
 pub mod codec;
 pub mod error;
+pub mod kernel;
 pub mod lu;
 pub mod matrix;
 pub mod qr;
@@ -33,6 +41,7 @@ pub mod vector;
 
 pub use cholesky::CholeskyFactor;
 pub use error::LinalgError;
+pub use kernel::{Backend, BlockedBackend, RowGroup, RowMatrix, ScalarBackend};
 pub use lu::LuFactor;
 pub use matrix::Matrix;
 pub use qr::QrFactor;

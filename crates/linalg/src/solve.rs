@@ -8,6 +8,7 @@
 //! analyze.
 
 use crate::error::LinalgError;
+use crate::kernel::{Backend, ScalarBackend};
 use crate::lu::LuFactor;
 use crate::matrix::Matrix;
 use crate::qr::QrFactor;
@@ -111,6 +112,23 @@ pub fn check_consistency(
     rtol: f64,
     strategy: ConsistencyStrategy,
 ) -> Result<ConsistencyReport> {
+    check_consistency_with(a, b, rtol, strategy, &ScalarBackend)
+}
+
+/// [`check_consistency`] with an explicit [`Backend`] for the residual
+/// sweep of the `SquareThenCheck` strategy. Backends are bit-identical by
+/// contract (see [`crate::kernel`]), so this changes speed, never the
+/// verdict; the default entry point uses the scalar reference.
+///
+/// # Errors
+/// As [`check_consistency`].
+pub fn check_consistency_with(
+    a: &Matrix,
+    b: &[f64],
+    rtol: f64,
+    strategy: ConsistencyStrategy,
+    backend: &dyn Backend,
+) -> Result<ConsistencyReport> {
     let (m, n) = (a.rows(), a.cols());
     if m <= n {
         return Err(LinalgError::DimensionMismatch {
@@ -130,7 +148,6 @@ pub fn check_consistency(
     let threshold = rtol * bscale;
 
     match strategy {
-        #[allow(clippy::needless_range_loop)] // triangular row sweep reads clearest indexed
         ConsistencyStrategy::SquareThenCheck => {
             // Solve the leading n×n block.
             let head = Matrix::from_fn(n, n, |r, c| a[(r, c)]);
@@ -138,11 +155,7 @@ pub fn check_consistency(
             let x = f.solve(&b[..n])?;
             // Residuals of the held-out equations decide consistency
             // (Theorem 2's Θ construction: any solution of Ω solves every Θ).
-            let mut worst = 0.0f64;
-            for r in n..m {
-                let pred: f64 = a.row(r).iter().zip(x.iter()).map(|(p, q)| p * q).sum();
-                worst = worst.max((pred - b[r]).abs());
-            }
+            let worst = backend.residual_inf(a, n, x.as_slice(), b);
             Ok(ConsistencyReport {
                 solution: x,
                 residual: worst,
@@ -251,6 +264,25 @@ mod tests {
         assert!((x[0] - 1.0).abs() < 1e-10);
         assert!((x[1] - 1.0).abs() < 1e-10);
         assert!(res < 1e-10);
+    }
+
+    #[test]
+    fn blocked_backend_reproduces_the_reference_report_bit_for_bit() {
+        let (a, mut b) = consistent_system();
+        b[3] += 3e-10; // sit near the tolerance boundary on purpose
+        let reference =
+            check_consistency(&a, &b, 1e-9, ConsistencyStrategy::SquareThenCheck).unwrap();
+        let blocked = check_consistency_with(
+            &a,
+            &b,
+            1e-9,
+            ConsistencyStrategy::SquareThenCheck,
+            &crate::kernel::BlockedBackend,
+        )
+        .unwrap();
+        assert_eq!(reference.residual.to_bits(), blocked.residual.to_bits());
+        assert_eq!(reference.consistent, blocked.consistent);
+        assert_eq!(reference.solution, blocked.solution);
     }
 
     #[test]

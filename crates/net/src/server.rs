@@ -33,7 +33,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -347,7 +347,47 @@ fn serve_connection<M: PredictionApi + Send + Sync + 'static>(
     let result = reader_loop(shared, stream, &slot_tx, &inflight);
     drop(slot_tx);
     let _ = writer.join();
-    result
+    if matches!(result, Ok(ReaderExit::DrainThenClose)) {
+        // The writer has flushed the typed `Malformed` reply; before the
+        // socket closes, briefly consume whatever the desynced client is
+        // still sending. Unread bytes at close would turn the close into a
+        // TCP RST, which discards in-flight data — including the reply the
+        // client needs to see. Draining first lets the close send a FIN
+        // and the reply win the race.
+        drain_read_side(stream);
+    }
+    result.map(|_| ())
+}
+
+/// Bounds on the post-`Malformed` read-side drain: a desynced client gets
+/// this much grace to finish its in-flight garbage, not an open-ended sink.
+const DRAIN_CAP_BYTES: usize = 64 * 1024;
+const DRAIN_WINDOW: Duration = Duration::from_millis(100);
+
+fn drain_read_side(stream: &mut TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
+    let deadline = Instant::now() + DRAIN_WINDOW;
+    let mut sink = [0u8; 4096];
+    let mut drained = 0;
+    while drained < DRAIN_CAP_BYTES && Instant::now() < deadline {
+        match io::Read::read(stream, &mut sink) {
+            Ok(0) => break, // client closed its write half: fully drained
+            Ok(n) => drained += n,
+            Err(_) => break, // timeout or error: best effort only
+        }
+    }
+    let _ = stream.shutdown(Shutdown::Read);
+}
+
+/// How `reader_loop` ended, beyond I/O failure.
+#[derive(Debug, PartialEq, Eq)]
+enum ReaderExit {
+    /// Clean end of stream (client closed, writer gone, shutdown).
+    Closed,
+    /// A corrupt frame was answered with a typed error; the read side
+    /// should be drained before the connection closes so the reply
+    /// outruns the close (see `drain_read_side`).
+    DrainThenClose,
 }
 
 fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
@@ -355,10 +395,10 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
     stream: &mut TcpStream,
     slot_tx: &mpsc::SyncSender<Slot>,
     inflight: &AtomicUsize,
-) -> io::Result<()> {
+) -> io::Result<ReaderExit> {
     loop {
         let payload = match wire::read_frame(stream)? {
-            FrameRead::Closed => return Ok(()),
+            FrameRead::Closed => return Ok(ReaderExit::Closed),
             FrameRead::Corrupt(e) => {
                 // The stream lost sync: answer with a typed error (the
                 // writer drains anything already in flight first) and stop
@@ -367,7 +407,7 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
                     code: ErrorCode::Malformed,
                     message: e.to_string(),
                 }))));
-                return Ok(());
+                return Ok(ReaderExit::DrainThenClose);
             }
             FrameRead::Payload(payload) => payload,
         };
@@ -385,7 +425,7 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
         if slot_tx.send(slot).is_err() {
             // Writer is gone (client stopped reading): nothing sensible
             // left to do with further requests.
-            return Ok(());
+            return Ok(ReaderExit::Closed);
         }
     }
 }
@@ -422,11 +462,15 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
                 return Slot::Ready(Box::new(Response::Error(busy(budget))));
             }
             inflight.fetch_add(n, Ordering::AcqRel);
-            let tickets = items
+            // The batched fast lane: one membership probe per item, then a
+            // single blocked kernel pass over the shared cache's shards —
+            // not N sequential per-probe scans (see
+            // [`InterpretationService::submit_batch`]).
+            let requests = items
                 .into_iter()
-                .map(|(instance, class)| submit(shared, instance, class, deadline_ms))
+                .map(|(instance, class)| to_request(instance, class, deadline_ms, shared))
                 .collect();
-            Slot::PendingBatch(tickets)
+            Slot::PendingBatch(shared.service.submit_batch(requests))
         }
     }
 }
@@ -438,23 +482,34 @@ fn busy(budget: usize) -> RemoteError {
     }
 }
 
-/// Submits one interpret request, mapping the wire deadline onto the
-/// service's: the request's own budget wins, else the server default.
+/// Maps a wire request onto a service request: the request's own deadline
+/// budget wins, else the server default.
+fn to_request<M: PredictionApi + Send + Sync + 'static>(
+    instance: Vector,
+    class: usize,
+    deadline_ms: u64,
+    shared: &Arc<Shared<M>>,
+) -> InterpretRequest {
+    let request = InterpretRequest::new(instance, class);
+    match deadline_ms {
+        0 => match shared.config.default_deadline {
+            Some(d) => request.with_timeout(d),
+            None => request,
+        },
+        ms => request.with_timeout(Duration::from_millis(ms)),
+    }
+}
+
+/// Submits one interpret request through the per-request path.
 fn submit<M: PredictionApi + Send + Sync + 'static>(
     shared: &Arc<Shared<M>>,
     instance: Vector,
     class: usize,
     deadline_ms: u64,
 ) -> Ticket {
-    let mut request = InterpretRequest::new(instance, class);
-    request = match deadline_ms {
-        0 => match shared.config.default_deadline {
-            Some(d) => request.with_timeout(d),
-            None => request,
-        },
-        ms => request.with_timeout(Duration::from_millis(ms)),
-    };
-    shared.service.submit(request)
+    shared
+        .service
+        .submit(to_request(instance, class, deadline_ms, shared))
 }
 
 fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, inflight: &AtomicUsize) {

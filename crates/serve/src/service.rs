@@ -7,6 +7,7 @@ use crate::stats::{ServiceStats, StatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender};
 use openapi_api::PredictionApi;
 use openapi_core::batch::queries_consumed;
+use openapi_core::cache::ProbeRef;
 use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_core::equations::Probe;
 use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
@@ -354,6 +355,116 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     /// Convenience: submit an instance/class pair with no deadline.
     pub fn submit_instance(&self, instance: Vector, class: usize) -> Ticket {
         self.submit(InterpretRequest::new(instance, class))
+    }
+
+    /// Submits a batch of requests through the warm-path fast lane: every
+    /// request is probed on the caller thread (one prediction query each —
+    /// the same query the per-request path pays), then the whole batch is
+    /// resolved against the shared cache in **one blocked kernel pass per
+    /// shard** ([`SharedRegionCache::lookup_probe_batch`]) instead of N
+    /// sequential scans. Hits complete immediately; misses carry their
+    /// probe to the worker pool and take the ordinary solve path (store
+    /// lookup, coalescing, Algorithm 1), so outcomes, query accounting,
+    /// and exactness are identical to N individual [`submit`] calls — only
+    /// the cache-hit path gets cheaper.
+    ///
+    /// Returns one [`Ticket`] per request, in submission order.
+    ///
+    /// [`submit`]: InterpretationService::submit
+    pub fn submit_batch(&self, requests: Vec<InterpretRequest>) -> Vec<Ticket> {
+        let inner = self.inner.as_ref();
+        let (d, c_total) = (inner.api.dim(), inner.api.num_classes());
+        let mut tickets = Vec::with_capacity(requests.len());
+        // Jobs that survive validation, paired with their (already paid)
+        // membership probe.
+        let mut pending: Vec<(Job, Vector)> = Vec::new();
+        for request in requests {
+            let (reply, rx) = mpsc::channel();
+            ServiceStats::add(&inner.stats.requests, 1);
+            let mut job = Job {
+                x: request.instance,
+                class: request.class,
+                deadline: request.deadline,
+                probs: None,
+                queries_spent: 0,
+                submitted: Instant::now(),
+                id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                reply,
+            };
+            tickets.push(Ticket { rx });
+            if expired(&job) {
+                finish(inner, job, Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+            // Validation mirrors `handle_job`: doomed requests are not
+            // billed a single query.
+            if job.x.len() != d {
+                let e = InterpretError::DimensionMismatch {
+                    expected: d,
+                    found: job.x.len(),
+                };
+                finish(inner, job, Err(ServeError::Interpret(e)));
+                continue;
+            }
+            if c_total < 2 {
+                let e = InterpretError::TooFewClasses {
+                    num_classes: c_total,
+                };
+                finish(inner, job, Err(ServeError::Interpret(e)));
+                continue;
+            }
+            if job.class >= c_total {
+                let e = InterpretError::ClassOutOfRange {
+                    class: job.class,
+                    num_classes: c_total,
+                };
+                finish(inner, job, Err(ServeError::Interpret(e)));
+                continue;
+            }
+            ServiceStats::add(&inner.stats.queries, 1);
+            job.queries_spent += 1;
+            let probs = inner.api.predict(job.x.as_slice());
+            pending.push((job, probs));
+        }
+
+        // One batched membership pass across the shards.
+        let probes: Vec<ProbeRef<'_>> = pending
+            .iter()
+            .map(|(job, probs)| ProbeRef {
+                x: &job.x,
+                probs: probs.as_slice(),
+                class: job.class,
+            })
+            .collect();
+        let mut hits = Vec::new();
+        hits.resize_with(probes.len(), || None);
+        inner.cache.lookup_probe_batch(&probes, &mut hits);
+        drop(probes);
+
+        for ((mut job, probs), hit) in pending.into_iter().zip(hits) {
+            match hit {
+                Some(cached) => {
+                    ServiceStats::add(&inner.stats.hits, 1);
+                    let served = Served {
+                        interpretation: cached.interpretation,
+                        fingerprint: cached.fingerprint,
+                        outcome: ServeOutcome::CacheHit,
+                        queries: job.queries_spent,
+                        latency: job.submitted.elapsed(),
+                    };
+                    finish(inner, job, Ok(served));
+                }
+                None => {
+                    // Hand the probe to the workers: `handle_job` takes it
+                    // from `job.probs` and never queries twice.
+                    job.probs = Some(probs);
+                    if let Err(channel::SendError(Msg::Job(job))) = self.tx.send(Msg::Job(job)) {
+                        finish(inner, job, Err(ServeError::ServiceStopped));
+                    }
+                }
+            }
+        }
+        tickets
     }
 
     /// A point-in-time statistics snapshot (counters + cache gauges +
@@ -936,6 +1047,81 @@ mod tests {
         // All 64 answers are bit-identical (consistency).
         // (Checked via stats here; tests/service_concurrency.rs does the
         // full bitwise comparison across threads.)
+    }
+
+    #[test]
+    fn batched_submission_serves_warm_probes_in_one_pass() {
+        let svc = service(2);
+        // Warm both regions through the ordinary path.
+        let warm = [Vector(vec![0.2, 0.3]), Vector(vec![0.8, -0.2])];
+        for x in &warm {
+            assert_eq!(
+                svc.submit_instance(x.clone(), 0).wait().unwrap().outcome,
+                ServeOutcome::Solved
+            );
+        }
+        let queries_before = svc.api().queries();
+
+        // A mixed batch: six warm probes, one invalid dimension, one
+        // pre-expired deadline.
+        let mut requests: Vec<InterpretRequest> = (0..6)
+            .map(|i| {
+                let side = if i % 2 == 0 { 0.2 } else { 0.8 };
+                InterpretRequest::new(Vector(vec![side, (i as f64 * 0.31).sin() * 0.3]), 0)
+            })
+            .collect();
+        requests.push(InterpretRequest::new(Vector(vec![0.0; 5]), 0));
+        requests.push(InterpretRequest {
+            instance: Vector(vec![0.2, 0.1]),
+            class: 0,
+            deadline: Some(Instant::now() - Duration::from_millis(1)),
+        });
+        let tickets = svc.submit_batch(requests);
+        assert_eq!(tickets.len(), 8);
+        let mut results: Vec<_> = tickets.into_iter().map(Ticket::wait).collect();
+        assert!(matches!(
+            results.pop().unwrap(),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        assert!(matches!(
+            results.pop().unwrap(),
+            Err(ServeError::Interpret(
+                InterpretError::DimensionMismatch { .. }
+            ))
+        ));
+        for r in results {
+            let served = r.expect("warm probes must serve");
+            assert_eq!(served.outcome, ServeOutcome::CacheHit);
+            assert_eq!(served.queries, 1, "one probe, zero solve queries");
+        }
+        // The whole warm batch cost exactly one prediction per valid probe.
+        assert_eq!(svc.api().queries() - queries_before, 6);
+        let stats = svc.stats();
+        assert_eq!(stats.requests, 10);
+        assert_eq!(stats.hits, 6);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.failures, 2);
+    }
+
+    #[test]
+    fn batched_submission_routes_cold_probes_to_the_workers() {
+        let svc = service(2);
+        // Cold cache: the batch itself must trigger the solves.
+        let tickets = svc.submit_batch(vec![
+            InterpretRequest::new(Vector(vec![0.2, 0.3]), 0),
+            InterpretRequest::new(Vector(vec![0.8, -0.2]), 0),
+        ]);
+        let outcomes: Vec<_> = tickets
+            .into_iter()
+            .map(|t| t.wait().expect("cold batch must solve").outcome)
+            .collect();
+        // Distinct regions: both solve (no coalescing possible between them).
+        assert!(outcomes.iter().all(|o| *o == ServeOutcome::Solved));
+        let stats = svc.stats();
+        assert_eq!(stats.misses, 2);
+        // The metered API agrees with the ledger — the batch probe was
+        // reused as Algorithm 1's x⁰ equation, never paid twice.
+        assert_eq!(stats.queries, svc.api().queries());
     }
 
     /// Sleeps on exactly one designated prediction call (1-indexed), long

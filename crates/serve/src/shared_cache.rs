@@ -13,8 +13,9 @@
 //! bound no matter how many distinct regions traffic touches.
 
 use crate::snapshot::{CacheSnapshot, SnapshotEntry};
-use openapi_core::cache::{CachedRegion, RegionCache, RegionCacheConfig};
+use openapi_core::cache::{CachedRegion, ProbeRef, RegionCache, RegionCacheConfig};
 use openapi_core::decision::Interpretation;
+use openapi_linalg::kernel::Backend;
 use openapi_linalg::Vector;
 use parking_lot::RwLock;
 use std::sync::Arc;
@@ -32,6 +33,10 @@ pub struct SharedCacheConfig {
     pub membership_rtol: f64,
     /// Fingerprint canonicalization digits.
     pub fingerprint_digits: u32,
+    /// Kernel backend every shard's blocked membership scan runs on (see
+    /// [`openapi_linalg::kernel`]); backends are bit-identical by
+    /// contract.
+    pub backend: Arc<dyn Backend>,
 }
 
 impl Default for SharedCacheConfig {
@@ -42,6 +47,7 @@ impl Default for SharedCacheConfig {
             capacity: 4096,
             membership_rtol: base.membership_rtol,
             fingerprint_digits: base.fingerprint_digits,
+            backend: base.backend,
         }
     }
 }
@@ -66,6 +72,7 @@ impl SharedRegionCache {
                     membership_rtol: config.membership_rtol,
                     fingerprint_digits: config.fingerprint_digits,
                     capacity: Some(per_shard),
+                    backend: Arc::clone(&config.backend),
                 }))
             })
             .collect();
@@ -112,6 +119,31 @@ impl SharedRegionCache {
         self.shards
             .iter()
             .find_map(|shard| shard.read().lookup_probe(x, probs, class))
+    }
+
+    /// Batched black-box lookup: resolves every probe whose `results` slot
+    /// is `None`, writing hits in place. Each shard is visited **once**
+    /// for the whole batch (one read lock, one blocked kernel pass over
+    /// its packed boundaries — see
+    /// [`openapi_core::cache::RegionCache::lookup_probe_batch`]) instead
+    /// of once per probe; probes already resolved stop participating at
+    /// later shards, preserving the shard-order semantics of
+    /// [`SharedRegionCache::lookup_probe`].
+    ///
+    /// # Panics
+    /// When `probes.len() != results.len()`.
+    pub fn lookup_probe_batch(
+        &self,
+        probes: &[ProbeRef<'_>],
+        results: &mut [Option<CachedRegion>],
+    ) {
+        assert_eq!(probes.len(), results.len(), "probes/results must align");
+        for shard in &self.shards {
+            if results.iter().all(Option::is_some) {
+                break;
+            }
+            shard.read().lookup_probe_batch(probes, results);
+        }
     }
 
     /// Admits a freshly solved (or store-recovered) region into its
@@ -208,6 +240,41 @@ mod tests {
         assert_eq!(hit.interpretation, target);
         // A probe no cached region explains misses every shard.
         assert!(cache.lookup_probe(&x, &[0.31, 0.69], 0).is_none());
+    }
+
+    #[test]
+    fn batched_lookup_matches_per_probe_lookup_across_shards() {
+        let cache = SharedRegionCache::new(SharedCacheConfig {
+            shards: 4,
+            ..SharedCacheConfig::default()
+        });
+        let x = Vector(vec![0.3, -0.8]);
+        for w in 1..=32 {
+            cache.insert(interp(0, w as f64));
+        }
+        // Probes spread across every shard, plus one that misses and one
+        // pre-resolved slot that must be left alone.
+        let targets: Vec<_> = [3, 8, 17, 30, 11].map(|w| interp(0, w as f64)).to_vec();
+        let probs: Vec<Vec<f64>> = targets.iter().map(|t| consistent_probs(t, &x)).collect();
+        let miss = vec![0.45, 0.55];
+        let mut all_probs: Vec<&[f64]> = probs.iter().map(Vec::as_slice).collect();
+        all_probs.push(&miss);
+        let probes: Vec<ProbeRef> = all_probs
+            .iter()
+            .map(|p| ProbeRef {
+                x: &x,
+                probs: p,
+                class: 0,
+            })
+            .collect();
+        let mut results = vec![None; probes.len()];
+        results[1] = cache.lookup_probe(&x, &probs[1], 0);
+        cache.lookup_probe_batch(&probes, &mut results);
+        for (i, target) in targets.iter().enumerate() {
+            let hit = results[i].as_ref().expect("batched lookup must hit");
+            assert_eq!(&hit.interpretation, target, "probe {i}");
+        }
+        assert!(results[5].is_none(), "unexplained probe must miss");
     }
 
     #[test]

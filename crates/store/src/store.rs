@@ -31,6 +31,14 @@ pub struct StoreConfig {
     /// bytes (`u64::MAX` disables; compaction is always available
     /// explicitly via [`RegionStore::compact`]).
     pub compact_wal_bytes: u64,
+    /// Auto-compact from the flusher thread once the *live* WAL reaches
+    /// this many bytes (after the batch that crossed the threshold is
+    /// written and any waiting durability barriers are acked). On by
+    /// default; `u64::MAX` disables. A failed background pass is not a
+    /// durability event — every record is still in the WAL — so it leaves
+    /// [`RegionStore::flush`] healthy and is simply retried at the next
+    /// flush batch.
+    pub auto_compact_bytes: u64,
 }
 
 impl Default for StoreConfig {
@@ -39,6 +47,7 @@ impl Default for StoreConfig {
             membership_rtol: openapi_core::cache::RegionCacheConfig::default().membership_rtol,
             flush_batch: 64,
             compact_wal_bytes: 8 << 20,
+            auto_compact_bytes: 32 << 20,
         }
     }
 }
@@ -347,25 +356,7 @@ impl RegionStore {
     /// # Errors
     /// [`StoreError::Io`] from any filesystem step.
     pub fn compact(&self) -> Result<usize, StoreError> {
-        // Hold the WAL lock across the whole pass: the flusher cannot
-        // interleave a write between the index snapshot and the WAL reset,
-        // so a record admitted concurrently is either in our snapshot
-        // (sealed) or its WAL write lands after the reset (kept) — never
-        // silently dropped.
-        let mut wal = self.shared.wal.lock();
-        let records: Vec<StoredRegion> = self.shared.index.read().records.clone();
-        let old_segments = segment::list_segments(&self.shared.dir)?;
-        let id = old_segments.last().map_or(1, |(last, _)| last + 1);
-        segment::write_segment(&self.shared.dir, id, &records)?;
-        wal.reset()?;
-        self.shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
-        for (_, path) in &old_segments {
-            std::fs::remove_file(path)?;
-        }
-        sync_dir(&self.shared.dir);
-        self.shared.segments.store(1, Ordering::Relaxed);
-        StoreStats::add(&self.shared.stats.compactions, 1);
-        Ok(records.len())
+        self.shared.compact()
     }
 
     /// Graceful shutdown: durability barrier, then drains and joins the
@@ -390,6 +381,33 @@ impl Drop for RegionStore {
         if let Some(handle) = self.flusher.take() {
             let _ = handle.join();
         }
+    }
+}
+
+impl Shared {
+    /// The compaction pass behind [`RegionStore::compact`] — on `Shared`
+    /// so the flusher thread can run it too (see
+    /// [`StoreConfig::auto_compact_bytes`]).
+    fn compact(&self) -> Result<usize, StoreError> {
+        // Hold the WAL lock across the whole pass: the flusher cannot
+        // interleave a write between the index snapshot and the WAL reset,
+        // so a record admitted concurrently is either in our snapshot
+        // (sealed) or its WAL write lands after the reset (kept) — never
+        // silently dropped.
+        let mut wal = self.wal.lock();
+        let records: Vec<StoredRegion> = self.index.read().records.clone();
+        let old_segments = segment::list_segments(&self.dir)?;
+        let id = old_segments.last().map_or(1, |(last, _)| last + 1);
+        segment::write_segment(&self.dir, id, &records)?;
+        wal.reset()?;
+        self.wal_bytes.store(wal.len(), Ordering::Relaxed);
+        for (_, path) in &old_segments {
+            std::fs::remove_file(path)?;
+        }
+        sync_dir(&self.dir);
+        self.segments.store(1, Ordering::Relaxed);
+        StoreStats::add(&self.stats.compactions, 1);
+        Ok(records.len())
     }
 }
 
@@ -444,6 +462,17 @@ fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
                     None => Ok(()),
                     Some(msg) => Err(msg.clone()),
                 });
+            }
+            // Background compaction: once the live WAL crosses the
+            // threshold, fold it into a sealed segment right here on the
+            // flusher — after the barriers acked, so durability waiters
+            // never queue behind a compaction pass. A failure is NOT a
+            // WAL error (every record is still durable in the WAL); the
+            // pass simply retries at the next batch.
+            if error.is_none()
+                && shared.wal_bytes.load(Ordering::Relaxed) >= shared.config.auto_compact_bytes
+            {
+                let _ = shared.compact();
             }
         }
     }
@@ -581,6 +610,55 @@ mod tests {
         assert_eq!(stats.segments, 1);
         assert_eq!(stats.wal_bytes, crate::wal::WAL_HEADER);
         assert_eq!(store.len(), 8);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flusher_auto_compacts_past_the_live_threshold() {
+        let dir = temp_dir("store_live_autocompact");
+        let store = RegionStore::open(
+            &dir,
+            StoreConfig {
+                // Wide weights make every record frame larger than the
+                // threshold, so whichever way the flusher batches the
+                // appends, the batch that lands last also compacts last.
+                auto_compact_bytes: 64,
+                ..StoreConfig::default()
+            },
+        )
+        .unwrap();
+        let weights: Vec<f64> = (0..32).map(|j| j as f64 * 0.1 - 1.5).collect();
+        for i in 0..8 {
+            let mut w = weights.clone();
+            w[0] += i as f64;
+            let r = region(0, &w, 0.0);
+            store.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        store.flush().unwrap();
+        // The compaction runs on the flusher right after the barrier acks;
+        // wait for it to land.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        loop {
+            let stats = store.stats();
+            if stats.compactions >= 1 && stats.wal_bytes == crate::wal::WAL_HEADER {
+                assert_eq!(stats.segments, 1);
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "flusher never compacted the live WAL"
+            );
+            std::thread::yield_now();
+        }
+        assert_eq!(store.len(), 8);
+        // Everything survives a reopen from the sealed segment (plus any
+        // later appends from the fresh WAL).
+        let extra = region(1, &[42.0], 0.5);
+        store.append(extra.fingerprint, Arc::clone(&extra.interpretation));
+        store.close().unwrap();
+        let store = open(&dir);
+        assert_eq!(store.len(), 9);
+        assert!(store.stats().recovered_segment_records >= 8);
         std::fs::remove_dir_all(&dir).ok();
     }
 
