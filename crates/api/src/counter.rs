@@ -7,7 +7,7 @@
 
 use crate::traits::{GradientOracle, GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
 use openapi_linalg::Vector;
-use std::sync::atomic::{AtomicU64, Ordering};
+use openapi_sync::atomic::{AtomicU64, Ordering};
 
 /// Transparent wrapper that counts prediction queries.
 ///
@@ -31,11 +31,14 @@ impl<M> CountingApi<M> {
 
     /// Number of `predict` calls so far.
     pub fn queries(&self) -> u64 {
+        // ordering: Relaxed — a statistic, not a synchronization point
+        // (see the struct docs); callers quiesce before exact reads.
         self.queries.load(Ordering::Relaxed)
     }
 
     /// Resets the counter to zero and returns the previous value.
     pub fn reset(&self) -> u64 {
+        // ordering: Relaxed — same statistic contract as `queries`.
         self.queries.swap(0, Ordering::Relaxed)
     }
 
@@ -60,6 +63,8 @@ impl<M: PredictionApi> PredictionApi for CountingApi<M> {
     }
 
     fn predict(&self, x: &[f64]) -> Vector {
+        // ordering: Relaxed — the RMW is atomic regardless; no ordering
+        // needed for a billing statistic.
         self.queries.fetch_add(1, Ordering::Relaxed);
         self.inner.predict(x)
     }

@@ -10,7 +10,7 @@
 
 use crate::traits::{GroundTruthOracle, LocalLinearModel, PredictionApi, RegionId};
 use openapi_linalg::Vector;
-use parking_lot::Mutex;
+use openapi_sync::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -257,6 +257,8 @@ mod tests {
         let raw = QuantizedApi::new(model(), 0);
         let p = raw.predict(&[10.0, 0.0]);
         assert!(p.is_finite());
+        // float: 0-decimal quantization rounds to exactly 0.0 or 1.0 by
+        // construction; bit-exact equality is the assertion.
         assert!(p.iter().all(|v| *v == 0.0 || *v == 1.0));
         let renorm = QuantizedApi::renormalized(model(), 0);
         let q = renorm.predict(&[10.0, 0.0]);

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! The hidden-model boundary of the OpenAPI reproduction.
 //!
 //! The paper's threat model is precise: the interpreter sees **only** a

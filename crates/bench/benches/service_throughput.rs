@@ -23,9 +23,9 @@ use openapi_bench::{banner, hot_region_workload, plnn_panel};
 use openapi_core::batch::{BatchConfig, BatchInterpreter};
 use openapi_linalg::Vector;
 use openapi_serve::{InterpretationService, ServiceConfig};
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 const WORKLOAD: usize = 100;
@@ -126,11 +126,16 @@ impl<M: PredictionApi> PredictionApi for ConcurrencyProbe<M> {
     }
 
     fn predict(&self, x: &[f64]) -> Vector {
+        // Gauges for a concurrency probe: the RMWs are atomic regardless,
+        // the final reads happen after every ticket resolved (reply-channel
+        // edges), and a stale `peak` only under-reports parallelism.
+        // ordering: Relaxed — on all three updates below.
         self.calls.fetch_add(1, Ordering::Relaxed);
         let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         self.peak.fetch_max(now, Ordering::Relaxed);
         std::thread::sleep(self.round_trip);
         let out = self.inner.predict(x);
+        // ordering: Relaxed — gauge decrement, as above.
         self.in_flight.fetch_sub(1, Ordering::Relaxed);
         out
     }
@@ -164,6 +169,8 @@ fn assert_cold_misses_parallelize(instances: &[Vector]) {
     }
     let elapsed = start.elapsed();
     let api = service.api();
+    // ordering: Relaxed — every ticket resolved above; the reply-channel
+    // receives ordered all probe RMWs before these loads.
     let calls = api.calls.load(Ordering::Relaxed);
     let peak = api.peak.load(Ordering::Relaxed);
     let serial_floor = round_trip * calls as u32;

@@ -20,8 +20,8 @@ use openapi_api::CountingApi;
 use openapi_bench::{banner, hot_region_workload, plnn_panel};
 use openapi_linalg::Vector;
 use openapi_serve::{InterpretationService, ServiceConfig};
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 const WORKLOAD: usize = 100;
 const MAX_REGIONS: usize = 5;
@@ -35,6 +35,7 @@ fn temp_store_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "openapi_bench_store_{tag}_{}_{}",
         std::process::id(),
+        // ordering: Relaxed — uniqueness only; nothing published.
         NEXT.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).unwrap();

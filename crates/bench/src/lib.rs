@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Shared fixtures for the Criterion benchmark harness.
 //!
 //! Every bench target needs a trained PLM panel; training inside the

@@ -47,9 +47,9 @@ use crate::decision::{Interpretation, RegionFingerprint};
 use openapi_api::RegionId;
 use openapi_linalg::kernel::{default_backend, Backend, RowGroup, RowMatrix};
 use openapi_linalg::Vector;
+use openapi_sync::atomic::{AtomicBool, Ordering};
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Rows evaluated per kernel pass of the membership scan. Sized so a
@@ -302,6 +302,9 @@ impl RegionCache {
                 .filter(|e| e.interpretation.class == class)
                 .find(|e| e.interpretation.explains_probe(x, probs, rtol))
                 .map(|e| {
+                    // ordering: Relaxed — a CLOCK reference bit, read and
+                    // cleared only by `evict_one`, which runs under the
+                    // owner's exclusive borrow; no data is published.
                     e.referenced.store(true, Ordering::Relaxed);
                     CachedRegion {
                         fingerprint: e.fingerprint,
@@ -509,6 +512,7 @@ impl RegionCache {
     /// Marks a slot referenced and serves it.
     fn serve(&self, slot: usize) -> CachedRegion {
         let e = &self.entries[slot];
+        // ordering: Relaxed — CLOCK reference bit (see `lookup_probe`).
         e.referenced.store(true, Ordering::Relaxed);
         CachedRegion {
             fingerprint: e.fingerprint,
@@ -663,10 +667,10 @@ impl RegionCache {
             if self.hand >= self.entries.len() {
                 self.hand = 0;
             }
-            if self.entries[self.hand]
-                .referenced
-                .swap(false, Ordering::Relaxed)
-            {
+            let referenced = &self.entries[self.hand].referenced;
+            // ordering: Relaxed — the bit only steers eviction; `&mut
+            // self` already excludes concurrent markers.
+            if referenced.swap(false, Ordering::Relaxed) {
                 self.hand += 1;
             } else {
                 let victim = self.hand;

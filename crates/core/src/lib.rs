@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! The paper's contribution: **OpenAPI** — exact and consistent
 //! interpretation of piecewise linear models hidden behind APIs — plus every
 //! method it is evaluated against.

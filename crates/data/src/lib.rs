@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Dataset substrate for the OpenAPI reproduction.
 //!
 //! The paper evaluates on MNIST and Fashion-MNIST (28×28 grayscale, 10

@@ -172,7 +172,7 @@ fn run_remote(
     driver: &BatchDriver<'_>,
     addr: &str,
 ) -> Result<String, openapi_net::ClientError> {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use openapi_sync::atomic::{AtomicU64, Ordering};
 
     let clients = cfg.service_clients.max(1);
     // Fail fast (before spawning a fleet) if nobody is listening.
@@ -184,11 +184,14 @@ fn run_remote(
             let (ok, failed) = (&ok, &failed);
             scope.spawn(move || {
                 let Ok(mut client) = openapi_net::Client::connect(addr) else {
+                    // ordering: Relaxed — tally counters; the scope join
+                    // publishes them before the final loads.
                     failed.fetch_add(driver.items().len() as u64, Ordering::Relaxed);
                     return;
                 };
                 for item in driver.items() {
                     match client.interpret(driver.instance(*item), item.class) {
+                        // ordering: Relaxed — tallies, as above.
                         Ok(_) => ok.fetch_add(1, Ordering::Relaxed),
                         Err(_) => failed.fetch_add(1, Ordering::Relaxed),
                     };
@@ -200,6 +203,8 @@ fn run_remote(
     Ok(format!(
         "OpenAPI served over the wire ({clients} connections to {addr}, rtt {rtt:?}): \
          {} ok / {} failed\nserver-side stats:\n{stats}",
+        // ordering: Relaxed — the thread-scope join above already ordered
+        // every tally before these loads.
         ok.load(Ordering::Relaxed),
         failed.load(Ordering::Relaxed),
     ))

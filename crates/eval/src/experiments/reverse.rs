@@ -53,6 +53,7 @@ pub fn run(cfg: &ExperimentConfig, panels: &[Panel]) -> std::io::Result<()> {
         let near = ok.iter().map(|r| r.0).sum::<f64>() / n;
         let far = ok.iter().map(|r| r.1).sum::<f64>() / n;
         let mut dists: Vec<f64> = ok.iter().filter_map(|r| r.2).collect();
+        // float: sort comparator for a median; expect guards NaN.
         dists.sort_by(|a, b| a.partial_cmp(b).expect("finite distances"));
         let found = dists.len();
         let median = dists

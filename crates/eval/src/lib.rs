@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Experiment harness: regenerates every table and figure of the paper.
 //!
 //! The `openapi-exp` binary dispatches to one module per artifact:

@@ -48,20 +48,23 @@ where
     let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
     // Split the output buffer into per-item cells that workers claim via an
     // atomic cursor (work distribution without unsafe).
-    let cells: Vec<std::sync::Mutex<&mut Option<U>>> =
-        out.iter_mut().map(std::sync::Mutex::new).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let cells: Vec<openapi_sync::Mutex<&mut Option<U>>> =
+        out.iter_mut().map(openapi_sync::Mutex::new).collect();
+    let next = openapi_sync::atomic::AtomicUsize::new(0);
     crossbeam::scope(|scope| {
         let (cells, next, f) = (&cells, &next, &f);
         for _ in 0..threads {
             scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                // ordering: Relaxed — the cursor only claims indices (RMW
+                // atomicity); results publish via each cell's mutex and
+                // the scope join.
+                let i = next.fetch_add(1, openapi_sync::atomic::Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 let mut rng = item_rng(seed, i);
                 let value = f(i, &items[i], &mut rng);
-                **cells[i].lock().expect("cell lock") = Some(value);
+                **cells[i].lock() = Some(value);
             });
         }
     })

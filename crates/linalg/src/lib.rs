@@ -25,6 +25,7 @@
 //! Theorem-2 membership over contiguous row packs, used by the cache and
 //! serving tiers for the warm path.
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod cholesky;

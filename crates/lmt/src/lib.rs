@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Logistic Model Trees — the second PLM family the paper interprets.
 //!
 //! Following the paper's experimental setup (§V, citing Landwehr et al.):

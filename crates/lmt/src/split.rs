@@ -76,6 +76,7 @@ pub fn best_split(
         values.clear();
         values.extend(indices.iter().map(|&i| data.instance(i)[feature]));
         let mut sorted = values.clone();
+        // float: sort comparator over dataset features (expect guards NaN).
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite features"));
         sorted.dedup();
         if sorted.len() < 2 {

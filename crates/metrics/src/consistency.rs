@@ -23,6 +23,7 @@ pub fn sorted_similarity_series(similarities: &[f64]) -> Vec<f64> {
         (true, true) => Ordering::Equal,
         (true, false) => Ordering::Greater,
         (false, true) => Ordering::Less,
+        // float: sort comparator; NaN already routed to the arms above.
         (false, false) => b.partial_cmp(a).expect("both finite-or-inf"),
     });
     s

@@ -78,6 +78,8 @@ pub fn alteration_curve<M: PredictionApi>(
     order.sort_by(|&a, &b| {
         attribution[b]
             .abs()
+            // float: sort comparator over finite attribution weights
+            // (expect guards NaN); no equality rides on float identity.
             .partial_cmp(&attribution[a].abs())
             .expect("finite attribution weights")
             .then(a.cmp(&b))

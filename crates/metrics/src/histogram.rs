@@ -8,7 +8,7 @@
 //! reported quantile — amply precise for p50/p99 dashboards, and `record`
 //! is a single relaxed `fetch_add`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Number of log₂ buckets: `[2^0, 2^1) ns` … `[2^47, ∞) ns` (~78 hours).
@@ -44,11 +44,33 @@ impl LatencyHistogram {
 
     /// Records one observation. Lock-free; callable from any thread.
     pub fn record(&self, duration: Duration) {
+        // ordering: Relaxed suffices — each bucket is an independent counter
+        // and the RMW can never lose an increment; readers that need "all
+        // records from thread T" obtain it from a join/channel edge, not
+        // from the counter itself. Verified: `histogram_records_are_never_lost`
+        // in tests/loom.rs.
         self.buckets[Self::bucket_of(duration)].fetch_add(1, Ordering::Relaxed);
     }
 
+    /// A deliberately torn `record`: a Relaxed load+store instead of the
+    /// atomic RMW. Compiled only under `--cfg loom` as the seeded mutant the
+    /// checker must catch (`histogram_checker_catches_torn_record` in
+    /// tests/loom.rs); never part of a normal build.
+    #[cfg(loom)]
+    pub fn record_torn(&self, duration: Duration) {
+        let bucket = &self.buckets[Self::bucket_of(duration)];
+        // ordering: (mutant fixture) intentionally non-atomic increment.
+        bucket.store(bucket.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+    }
+
     /// Total observations recorded.
+    ///
+    /// Relaxed per-bucket reads: concurrent with writers the sum may miss
+    /// in-flight records (it is a monitoring statistic), but it is exact
+    /// once all recording threads are joined or otherwise happen-before the
+    /// read.
     pub fn count(&self) -> u64 {
+        // ordering: Relaxed — see above; per-bucket staleness only.
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
@@ -63,6 +85,7 @@ impl LatencyHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // ordering: Relaxed — monitoring statistic; see `count`.
             .map(|b| b.load(Ordering::Relaxed))
             .collect();
         let total: u64 = counts.iter().sum();
@@ -99,6 +122,7 @@ impl LatencyHistogram {
     pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
         let mut out = [0u64; LATENCY_BUCKETS];
         for (o, b) in out.iter_mut().zip(&self.buckets) {
+            // ordering: Relaxed — monitoring statistic; see `count`.
             *o = b.load(Ordering::Relaxed);
         }
         out

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! The paper's evaluation metrics (§V) and report writers.
 //!
 //! | Paper | Module | Used by |

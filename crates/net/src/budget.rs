@@ -1,0 +1,128 @@
+//! Per-connection in-flight admission budget.
+//!
+//! Each connection bounds how many interpret requests may be in flight at
+//! once — queued, solving, or with a reply still unwritten. The reader
+//! thread admits work ([`ConnBudget::try_admit`] /
+//! [`ConnBudget::try_admit_batch`]); the writer thread releases it
+//! ([`ConnBudget::release`]) only **after** the reply is written (or
+//! abandoned on a broken pipe), so a stalled client cannot spend freed
+//! budget on new requests while its replies still occupy the writer.
+//!
+//! # Concurrency contract
+//!
+//! Exactly **one reader** admits and **one writer** releases per budget —
+//! the admission check-then-add is not atomic against other *admitters*,
+//! only against the releasing writer. The release carries a release edge
+//! and the admission check an acquire edge, so an admit that observes
+//! freed budget also observes everything the writer did before freeing it
+//! (the reply write). That edge — and the mutant that drops it — is
+//! model-checked under `--cfg loom` in `tests/loom.rs` at the workspace
+//! root; see `docs/CONCURRENCY.md` § connection budget.
+
+use openapi_sync::atomic::{AtomicUsize, Ordering};
+
+/// The reader/writer admission counter for one connection (see the module
+/// docs for the single-admitter contract).
+#[derive(Debug)]
+pub struct ConnBudget {
+    inflight: AtomicUsize,
+    budget: usize,
+}
+
+impl ConnBudget {
+    /// A fresh budget admitting up to `budget` in-flight requests.
+    pub fn new(budget: usize) -> Self {
+        ConnBudget {
+            inflight: AtomicUsize::new(0),
+            budget,
+        }
+    }
+
+    /// The configured in-flight limit.
+    pub fn limit(&self) -> usize {
+        self.budget
+    }
+
+    /// Admits one request, or returns `false` when the connection is at
+    /// its limit (reply with `Busy`).
+    pub fn try_admit(&self) -> bool {
+        // ordering: Acquire pairs with the Release in `release` — a load
+        // that observes freed budget also observes the written reply that
+        // freed it. The check-then-add is sound because only this reader
+        // admits (module docs); the writer only ever *decreases* the count,
+        // so the check is conservative, never over-admitting.
+        if self.inflight.load(Ordering::Acquire) >= self.budget {
+            return false;
+        }
+        // ordering: AcqRel — the add itself is the admission record the
+        // writer's release pairs against; Acquire keeps it from floating
+        // above the limit check on the admitting thread.
+        self.inflight.fetch_add(1, Ordering::AcqRel);
+        true
+    }
+
+    /// Admits a batch of `n` requests.
+    ///
+    /// A batch larger than the whole budget would be `Busy` forever if the
+    /// bound were applied unconditionally; on an *idle* connection any
+    /// protocol-legal batch is admitted, so "retry after draining
+    /// responses" always eventually succeeds.
+    pub fn try_admit_batch(&self, n: usize) -> bool {
+        // ordering: Acquire — same pairing as `try_admit`.
+        let current = self.inflight.load(Ordering::Acquire);
+        if current > 0 && current + n > self.budget {
+            return false;
+        }
+        // ordering: AcqRel — as in `try_admit`.
+        self.inflight.fetch_add(n, Ordering::AcqRel);
+        true
+    }
+
+    /// Releases `n` admissions. Call **after** the replies are written (or
+    /// abandoned): the Release half of this RMW is what publishes the
+    /// reply bytes to the next admission.
+    pub fn release(&self, n: usize) {
+        // ordering: AcqRel — Release publishes the written reply to the
+        // paired Acquire in `try_admit`; Acquire orders the sub after the
+        // writer's own prior releases when replies complete back-to-back.
+        self.inflight.fetch_sub(n, Ordering::AcqRel);
+    }
+
+    /// Deliberately weakened [`ConnBudget::release`]: a Relaxed decrement
+    /// publishes nothing, so an admit can observe freed budget without the
+    /// reply that freed it. Exists only as a checker fixture — the loom
+    /// suite asserts the model checker catches exactly this bug.
+    #[cfg(loom)]
+    pub fn release_relaxed(&self, n: usize) {
+        // ordering: Relaxed — intentionally wrong; see the doc comment.
+        self.inflight.fetch_sub(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_the_limit_then_reports_busy() {
+        let b = ConnBudget::new(2);
+        assert!(b.try_admit());
+        assert!(b.try_admit());
+        assert!(!b.try_admit());
+        b.release(1);
+        assert!(b.try_admit());
+        assert_eq!(b.limit(), 2);
+    }
+
+    #[test]
+    fn oversized_batch_is_admitted_only_when_idle() {
+        let b = ConnBudget::new(4);
+        // Idle: a batch larger than the whole budget goes through.
+        assert!(b.try_admit_batch(7));
+        // Busy: nothing else fits until the batch drains.
+        assert!(!b.try_admit_batch(1));
+        assert!(!b.try_admit());
+        b.release(7);
+        assert!(b.try_admit_batch(4));
+    }
+}

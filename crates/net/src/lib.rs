@@ -58,12 +58,15 @@
 //! server.close().unwrap();
 //! ```
 
+#![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod budget;
 pub mod client;
 pub mod server;
 pub mod wire;
 
+pub use budget::ConnBudget;
 pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig};
 pub use wire::{ErrorCode, RemoteError, RemoteServed, Request, Response, WireError, VERSION};

@@ -17,6 +17,7 @@
 //! responses, join all threads, then close the service — which flushes and
 //! fsyncs the durable store when one is attached.
 
+use crate::budget::ConnBudget;
 use crate::wire::{
     self, ErrorCode, FrameRead, RemoteError, RemoteServed, Request, Response, VERSION,
 };
@@ -24,14 +25,15 @@ use openapi_api::PredictionApi;
 use openapi_linalg::Vector;
 use openapi_serve::{InterpretRequest, InterpretationService, ServeError, Served, Ticket};
 use openapi_store::StoreError;
+use openapi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use openapi_sync::Mutex;
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
 use std::net::{
     IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs,
 };
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -180,6 +182,10 @@ impl<M: PredictionApi + Send + Sync + 'static> Server<M> {
     /// Stops the acceptor and drains every live connection. Idempotent.
     fn drain(&mut self) {
         let shared = Arc::clone(self.shared());
+        // ordering: SeqCst — shutdown takes the strongest ordering so the
+        // store, the acceptor's load, and every connection's recheck agree
+        // on one total order; this runs once per server lifetime, so the
+        // cost is irrelevant and the simplicity is not.
         shared.stopping.store(true, Ordering::SeqCst);
         // Unblock `accept` with a throwaway connection to ourselves; the
         // acceptor sees `stopping` before handling it. A `0.0.0.0`/`::`
@@ -204,10 +210,10 @@ impl<M: PredictionApi + Send + Sync + 'static> Server<M> {
         }
         // Readers blocked in `read` observe EOF once the read half shuts;
         // their writers then drain pending tickets and exit.
-        for (_, conn) in shared.conns.lock().expect("registry lock").iter() {
+        for (_, conn) in shared.conns.lock().iter() {
             let _ = conn.shutdown(Shutdown::Read);
         }
-        let handlers = std::mem::take(&mut *self.handlers.lock().expect("handler lock"));
+        let handlers = std::mem::take(&mut *self.handlers.lock());
         for handle in handlers {
             let _ = handle.join();
         }
@@ -237,6 +243,7 @@ fn accept_loop<M: PredictionApi + Send + Sync + 'static>(
     handlers: &Arc<Mutex<Vec<JoinHandle<()>>>>,
 ) {
     for stream in listener.incoming() {
+        // ordering: SeqCst — pairs with the shutdown store (see `drain`).
         if shared.stopping.load(Ordering::SeqCst) {
             break;
         }
@@ -247,7 +254,7 @@ fn accept_loop<M: PredictionApi + Send + Sync + 'static>(
             std::thread::sleep(Duration::from_millis(20));
             continue;
         };
-        let mut guard = handlers.lock().expect("handler lock");
+        let mut guard = handlers.lock();
         // Opportunistically reap finished connections so a long-lived
         // server does not accumulate a handle per past connection.
         guard.retain(|h| !h.is_finished());
@@ -266,13 +273,11 @@ fn handle_connection<M: PredictionApi + Send + Sync + 'static>(
     mut stream: TcpStream,
 ) {
     stream.set_nodelay(true).ok();
+    // ordering: Relaxed — connection IDs only need uniqueness; all the
+    // registry traffic they key is ordered by the registry mutex.
     let conn_id = shared.next_conn_id.fetch_add(1, Ordering::Relaxed);
     match stream.try_clone() {
-        Ok(clone) => shared
-            .conns
-            .lock()
-            .expect("registry lock")
-            .insert(conn_id, clone),
+        Ok(clone) => shared.conns.lock().insert(conn_id, clone),
         // No clone means no shutdown handle: serving anyway would leave a
         // connection graceful shutdown cannot reach (a blocked reader
         // would hang `Server::close` forever). Refuse it instead —
@@ -285,6 +290,8 @@ fn handle_connection<M: PredictionApi + Send + Sync + 'static>(
     // and would never see its read half shut. The recheck closes the
     // window — either the sweep saw us, or we see `stopping` (the store
     // precedes the sweep, whose registry unlock precedes our insert).
+    // ordering: SeqCst — pairs with the shutdown store (see `drain`); the
+    // comment above explains why the recheck closes the race window.
     if shared.stopping.load(Ordering::SeqCst) {
         let _ = stream.shutdown(Shutdown::Read);
     }
@@ -293,7 +300,7 @@ fn handle_connection<M: PredictionApi + Send + Sync + 'static>(
         // I/O trouble mid-connection: nothing to salvage, just hang up.
         let _ = stream.shutdown(Shutdown::Both);
     }
-    shared.conns.lock().expect("registry lock").remove(&conn_id);
+    shared.conns.lock().remove(&conn_id);
 }
 
 fn serve_connection<M: PredictionApi + Send + Sync + 'static>(
@@ -331,20 +338,21 @@ fn serve_connection<M: PredictionApi + Send + Sync + 'static>(
         return Ok(());
     }
 
-    // In-flight interpret budget for this connection: the reader
-    // increments at submit, the writer decrements after the response is
-    // written, so the bound covers queue + solve + reply. The slot channel
-    // is bounded too: a client that pipelines faster than its responses
-    // drain eventually blocks the reader — TCP backpressure, not memory.
-    let inflight = Arc::new(AtomicUsize::new(0));
+    // In-flight interpret budget for this connection: the reader admits
+    // at submit, the writer releases after the response is written, so the
+    // bound covers queue + solve + reply (see [`crate::budget`] for the
+    // protocol and its loom model checks). The slot channel is bounded
+    // too: a client that pipelines faster than its responses drain
+    // eventually blocks the reader — TCP backpressure, not memory.
+    let budget = Arc::new(ConnBudget::new(shared.config.max_inflight_per_conn));
     let (slot_tx, slot_rx) =
         mpsc::sync_channel::<Slot>(shared.config.max_inflight_per_conn * 2 + 16);
     let writer = {
-        let inflight = Arc::clone(&inflight);
-        std::thread::spawn(move || writer_loop(&slot_rx, write_half, &inflight))
+        let budget = Arc::clone(&budget);
+        std::thread::spawn(move || writer_loop(&slot_rx, write_half, &budget))
     };
 
-    let result = reader_loop(shared, stream, &slot_tx, &inflight);
+    let result = reader_loop(shared, stream, &slot_tx, &budget);
     drop(slot_tx);
     let _ = writer.join();
     if matches!(result, Ok(ReaderExit::DrainThenClose)) {
@@ -394,7 +402,7 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
     shared: &Arc<Shared<M>>,
     stream: &mut TcpStream,
     slot_tx: &mpsc::SyncSender<Slot>,
-    inflight: &AtomicUsize,
+    budget: &ConnBudget,
 ) -> io::Result<ReaderExit> {
     loop {
         let payload = match wire::read_frame(stream)? {
@@ -420,7 +428,7 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
                     message: e.to_string(),
                 })))
             }
-            Ok(request) => handle_request(shared, request, inflight),
+            Ok(request) => handle_request(shared, request, budget),
         };
         if slot_tx.send(slot).is_err() {
             // Writer is gone (client stopped reading): nothing sensible
@@ -433,9 +441,8 @@ fn reader_loop<M: PredictionApi + Send + Sync + 'static>(
 fn handle_request<M: PredictionApi + Send + Sync + 'static>(
     shared: &Arc<Shared<M>>,
     request: Request,
-    inflight: &AtomicUsize,
+    budget: &ConnBudget,
 ) -> Slot {
-    let budget = shared.config.max_inflight_per_conn;
     match request {
         Request::Ping { nonce } => Slot::Ready(Box::new(Response::Pong { nonce })),
         Request::Stats => Slot::Ready(Box::new(Response::StatsReply(shared.service.stats()))),
@@ -444,24 +451,21 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
             deadline_ms,
             instance,
         } => {
-            if inflight.load(Ordering::Acquire) >= budget {
-                return Slot::Ready(Box::new(Response::Error(busy(budget))));
+            if !budget.try_admit() {
+                return Slot::Ready(Box::new(Response::Error(busy(budget.limit()))));
             }
-            inflight.fetch_add(1, Ordering::AcqRel);
             Slot::Pending(submit(shared, instance, class, deadline_ms))
         }
         Request::InterpretBatch { deadline_ms, items } => {
             let n = items.len();
-            // A batch larger than the whole budget would be Busy forever
-            // if the bound were applied unconditionally; on an *idle*
-            // connection any protocol-legal batch (≤ MAX_BATCH, already
-            // enforced by the decoder) is admitted, so "retry after
-            // draining responses" always eventually succeeds.
-            let current = inflight.load(Ordering::Acquire);
-            if current > 0 && current + n > budget {
-                return Slot::Ready(Box::new(Response::Error(busy(budget))));
+            // Batch admission is idle-aware — a batch larger than the whole
+            // budget is admitted on an idle connection (≤ MAX_BATCH is
+            // already enforced by the decoder), so "retry after draining
+            // responses" always eventually succeeds; see
+            // [`ConnBudget::try_admit_batch`].
+            if !budget.try_admit_batch(n) {
+                return Slot::Ready(Box::new(Response::Error(busy(budget.limit()))));
             }
-            inflight.fetch_add(n, Ordering::AcqRel);
             // The batched fast lane: one membership probe per item, then a
             // single blocked kernel pass over the shared cache's shards —
             // not N sequential per-probe scans (see
@@ -512,7 +516,7 @@ fn submit<M: PredictionApi + Send + Sync + 'static>(
         .submit(to_request(instance, class, deadline_ms, shared))
 }
 
-fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, inflight: &AtomicUsize) {
+fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, budget: &ConnBudget) {
     let mut out = BufWriter::new(stream);
     let mut broken = false;
     while let Ok(slot) = slot_rx.recv() {
@@ -545,7 +549,7 @@ fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, inflight: &Ato
         // config documents — a stalled reader cannot spend freed budget
         // on new requests while its replies still occupy this writer.
         if completed > 0 {
-            inflight.fetch_sub(completed, Ordering::AcqRel);
+            budget.release(completed);
         }
     }
     let _ = out.flush();

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Piecewise linear neural networks (PLNNs) — one of the two PLM families
 //! the paper interprets.
 //!

@@ -80,6 +80,9 @@ impl Plnn {
                     new_c += &dense.bias;
                     for (j, &p) in pre.iter().enumerate() {
                         let slope = dense.activation.slope(p);
+                        // float: slope() returns literal 1.0 on the identity
+                        // piece; skipping the scale for bit-exact identity is
+                        // the point (multiplying by 1.0 could flip -0.0).
                         if slope != 1.0 {
                             for v in new_a.row_mut(j) {
                                 *v *= slope;

@@ -1,0 +1,193 @@
+//! Per-class leader election for request coalescing.
+//!
+//! The service bounds how many Algorithm-1 solves of one class run
+//! concurrently: requests beyond the limit park as waiters and are settled
+//! by whichever leader finishes next. This module owns that registry — the
+//! [`ClassLedger`] — as a standalone, generic type so its protocol can be
+//! model-checked under `--cfg loom` without spinning up the full service
+//! (see `tests/loom.rs` at the workspace root and `docs/CONCURRENCY.md`).
+//!
+//! # Protocol
+//!
+//! 1. A miss bids for leadership with [`ClassLedger::try_lead`]. The
+//!    leaders-at-limit check and the park are **one atomic step** under the
+//!    registry mutex — a bid can never observe a free slot and then park,
+//!    nor park after the last leader drained the waiter list.
+//! 2. A winning leader publishes its result (cache insert), then calls
+//!    [`ClassLedger::record_solve`], then [`ClassLedger::step_down`] — in
+//!    that order. Step 1's mutex makes the ordering observable: any bid
+//!    that sees the freed slot also sees the bumped generation and the
+//!    published cache entry (mutex release/acquire edges).
+//! 3. The miss path snapshots [`ClassLedger::generation`] before its cache
+//!    lookup; a leader re-reads it after winning an election and repeats
+//!    the lookup only when the generation moved — the cheap "did a solve
+//!    complete while I was busy?" test.
+
+use openapi_sync::atomic::{AtomicU64, Ordering};
+use openapi_sync::Mutex;
+use std::collections::HashMap;
+
+/// Per-class coalescing state: how many leaders are currently solving,
+/// and the requests parked behind them.
+struct ClassInflight<J> {
+    leaders: usize,
+    waiters: Vec<J>,
+}
+
+impl<J> Default for ClassInflight<J> {
+    fn default() -> Self {
+        ClassInflight {
+            leaders: 0,
+            waiters: Vec::new(),
+        }
+    }
+}
+
+/// Outcome of a leadership bid ([`ClassLedger::try_lead`]).
+#[derive(Debug)]
+pub enum Election<J> {
+    /// The bid won a leader slot; the job is handed back to run the solve.
+    Led(J),
+    /// The class was at its leader limit; the job is parked in the ledger
+    /// and will be settled (or requeued) by a finishing leader's
+    /// [`ClassLedger::step_down`].
+    Parked,
+}
+
+/// The per-class in-flight solve registry.
+///
+/// Generic over the parked job type `J` so the protocol can be exercised
+/// under the loom model checker with a unit payload instead of a full
+/// service `Job`.
+pub struct ClassLedger<J> {
+    /// Leader counts and parked waiters, keyed by class.
+    inflight: Mutex<HashMap<usize, ClassInflight<J>>>,
+    /// Bumped by [`ClassLedger::record_solve`] after every successful
+    /// solve's cache insert (and before its registry bookkeeping). Lets
+    /// the miss path skip the duplicate-solve recheck — a cache scan —
+    /// unless a solve actually completed since it last read the cache.
+    generation: AtomicU64,
+}
+
+impl<J> Default for ClassLedger<J> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<J> ClassLedger<J> {
+    /// An empty ledger at generation 0.
+    pub fn new() -> Self {
+        ClassLedger {
+            inflight: Mutex::new(HashMap::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Bids for a leader slot on `class`.
+    ///
+    /// Returns [`Election::Led`] (job handed back, leader count bumped)
+    /// when fewer than `max_leaders` leaders are in flight, otherwise
+    /// parks `job` behind them and returns [`Election::Parked`]. The check
+    /// and the park happen atomically under the registry mutex.
+    pub fn try_lead(&self, class: usize, max_leaders: usize, job: J) -> Election<J> {
+        let mut inflight = self.inflight.lock();
+        let entry = inflight.entry(class).or_default();
+        if entry.leaders >= max_leaders {
+            entry.waiters.push(job);
+            return Election::Parked;
+        }
+        entry.leaders += 1;
+        Election::Led(job)
+    }
+
+    /// Records a completed solve by bumping the generation.
+    ///
+    /// Call **after** publishing the result (cache insert) and **before**
+    /// [`ClassLedger::step_down`]: the registry mutex inside `step_down`
+    /// then orders all three, so any bid observing the freed slot also
+    /// observes the bump and the published entry.
+    pub fn record_solve(&self) {
+        // ordering: Relaxed is enough — the generation is only consulted
+        // together with registry state, and the registry mutex acquired in
+        // `step_down` (release) / `try_lead` (acquire) carries the
+        // happens-before edge that makes this bump, and the cache insert
+        // before it, visible. See docs/CONCURRENCY.md § coalescing.
+        self.generation.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The current solve generation (see [`ClassLedger::record_solve`]).
+    pub fn generation(&self) -> u64 {
+        // ordering: Relaxed — a stale read is benign in both directions.
+        // Too old: the miss path does one redundant cache scan. Too few
+        // bumps observed: the recheck is skipped, exactly as if the lookup
+        // had raced ahead of the solve, and coalescing/duplicate-merging
+        // still keep the result exact. Precise reads ride the registry
+        // mutex edge instead (see `record_solve`).
+        self.generation.load(Ordering::Relaxed)
+    }
+
+    /// Steps a leader of `class` down and drains its parked waiters for
+    /// the finishing leader to settle. The registry entry is removed once
+    /// the last leader steps down.
+    ///
+    /// # Panics
+    /// Panics if no leader of `class` is in flight — step-down without a
+    /// matching [`Election::Led`] is a protocol bug.
+    pub fn step_down(&self, class: usize) -> Vec<J> {
+        let mut inflight = self.inflight.lock();
+        let entry = inflight
+            .get_mut(&class)
+            .expect("a leader owns an in-flight slot");
+        entry.leaders -= 1;
+        let waiters = std::mem::take(&mut entry.waiters);
+        if entry.leaders == 0 {
+            inflight.remove(&class);
+        }
+        waiters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leads_until_the_limit_then_parks() {
+        let ledger = ClassLedger::new();
+        assert!(matches!(ledger.try_lead(7, 2, "a"), Election::Led("a")));
+        assert!(matches!(ledger.try_lead(7, 2, "b"), Election::Led("b")));
+        assert!(matches!(ledger.try_lead(7, 2, "c"), Election::Parked));
+        // A different class has its own slots.
+        assert!(matches!(ledger.try_lead(8, 2, "d"), Election::Led("d")));
+    }
+
+    #[test]
+    fn step_down_drains_waiters_and_frees_the_slot() {
+        let ledger = ClassLedger::new();
+        let Election::Led(_) = ledger.try_lead(3, 1, 0u32) else {
+            panic!("first bid must lead");
+        };
+        assert!(matches!(ledger.try_lead(3, 1, 1), Election::Parked));
+        assert!(matches!(ledger.try_lead(3, 1, 2), Election::Parked));
+        assert_eq!(ledger.step_down(3), vec![1, 2]);
+        // Slot freed: the next bid leads and finds no stale waiters.
+        assert!(matches!(ledger.try_lead(3, 1, 9), Election::Led(9)));
+        assert_eq!(ledger.step_down(3), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn generation_counts_recorded_solves() {
+        let ledger = ClassLedger::<()>::new();
+        assert_eq!(ledger.generation(), 0);
+        ledger.record_solve();
+        ledger.record_solve();
+        assert_eq!(ledger.generation(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight slot")]
+    fn step_down_without_leading_is_a_bug() {
+        ClassLedger::<()>::new().step_down(0);
+    }
+}

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! `openapi-serve` — a concurrent interpretation service over the paper's
 //! Theorem-2 region cache.
 //!
@@ -11,7 +13,7 @@
 //!
 //! * [`SharedRegionCache`] — N shards of [`openapi_core::RegionCache`]
 //!   keyed by [`openapi_core::RegionFingerprint`], each behind a
-//!   `parking_lot::RwLock`, with a capacity bound and CLOCK eviction so
+//!   `openapi_sync::RwLock`, with a capacity bound and CLOCK eviction so
 //!   memory stays flat under millions of distinct regions. Slots hold
 //!   `Arc<Interpretation>`, so a hit is a reference-count bump, never a
 //!   multi-KB parameter copy. Snapshot / restore ([`CacheSnapshot`]) lets
@@ -114,11 +116,13 @@
 //!                                              else ──► requeue
 //! ```
 
+pub mod coalesce;
 mod service;
 mod shared_cache;
 mod snapshot;
 mod stats;
 
+pub use coalesce::{ClassLedger, Election};
 pub use service::{
     InterpretRequest, InterpretationService, ServeError, ServeOutcome, Served, ServiceConfig,
     Ticket,

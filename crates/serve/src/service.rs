@@ -1,6 +1,7 @@
 //! The concurrent interpretation service (see the crate docs for the
 //! request lifecycle and the exactness argument for coalescing).
 
+use crate::coalesce::{ClassLedger, Election};
 use crate::shared_cache::{SharedCacheConfig, SharedRegionCache};
 use crate::snapshot::CacheSnapshot;
 use crate::stats::{ServiceStats, StatsSnapshot};
@@ -14,12 +15,10 @@ use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
 use openapi_core::InterpretError;
 use openapi_linalg::Vector;
 use openapi_store::{RegionStore, StoreConfig, StoreError};
-use parking_lot::Mutex;
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use rand::rngs::StdRng;
-use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -203,14 +202,6 @@ enum Msg {
     Shutdown,
 }
 
-/// Per-class coalescing state: how many leaders are currently solving,
-/// and the requests parked behind them.
-#[derive(Default)]
-struct ClassInflight {
-    leaders: usize,
-    waiters: Vec<Job>,
-}
-
 /// State shared between the service handle and its workers.
 struct Inner<M> {
     api: M,
@@ -222,13 +213,10 @@ struct Inner<M> {
     /// Per-class in-flight solve registry: up to
     /// [`ServiceConfig::max_leaders_per_class`] leaders solve
     /// concurrently; requests beyond that park as waiters and are settled
-    /// (or requeued) by whichever leader finishes next.
-    inflight: Mutex<HashMap<usize, ClassInflight>>,
-    /// Bumped after every successful solve's cache insert (and before its
-    /// registry bookkeeping). Lets the miss path skip the duplicate-solve
-    /// recheck — a cache scan — unless a solve actually completed since it
-    /// last read the cache.
-    solve_generation: AtomicU64,
+    /// (or requeued) by whichever leader finishes next. Owns the solve
+    /// generation too — see [`crate::coalesce`] for the protocol and its
+    /// `--cfg loom` model checks.
+    ledger: ClassLedger<Job>,
 }
 
 /// The concurrent interpretation service (see the crate docs).
@@ -289,8 +277,7 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             stats: ServiceStats::default(),
             interpreter,
             config,
-            inflight: Mutex::new(HashMap::new()),
-            solve_generation: AtomicU64::new(0),
+            ledger: ClassLedger::new(),
         });
         let (tx, rx) = channel::unbounded::<Msg>();
         let workers = (0..inner.config.workers)
@@ -340,6 +327,8 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             probs: None,
             queries_spent: 0,
             submitted: Instant::now(),
+            // ordering: Relaxed — the ID only needs uniqueness (the RMW is
+            // atomic regardless of ordering); nothing is published through it.
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             reply,
         };
@@ -388,6 +377,7 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
                 probs: None,
                 queries_spent: 0,
                 submitted: Instant::now(),
+                // ordering: Relaxed — uniqueness only, as in `submit`.
                 id: self.next_id.fetch_add(1, Ordering::Relaxed),
                 reply,
             };
@@ -581,24 +571,8 @@ impl<'a, M: PredictionApi> LeaderGuard<'a, M> {
     /// hands back the waiters that parked during the solve.
     fn release(mut self) -> Vec<Job> {
         self.armed = false;
-        step_down(self.inner, self.class)
+        self.inner.ledger.step_down(self.class)
     }
-}
-
-/// Decrements `class`'s leader count and drains its parked waiters (the
-/// finishing leader settles them); the registry entry is removed once the
-/// last leader steps down.
-fn step_down<M: PredictionApi>(inner: &Inner<M>, class: usize) -> Vec<Job> {
-    let mut inflight = inner.inflight.lock();
-    let entry = inflight
-        .get_mut(&class)
-        .expect("a leader owns an in-flight slot");
-    entry.leaders -= 1;
-    let waiters = std::mem::take(&mut entry.waiters);
-    if entry.leaders == 0 {
-        inflight.remove(&class);
-    }
-    waiters
 }
 
 impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
@@ -609,7 +583,7 @@ impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
         // Unwinding: step down and requeue the waiters. A send failure
         // means shutdown; dropping the job resolves its ticket as
         // `ServiceStopped`.
-        for waiter in step_down(self.inner, self.class) {
+        for waiter in self.inner.ledger.step_down(self.class) {
             let _ = self.tx.send(Msg::Job(waiter));
         }
     }
@@ -670,7 +644,7 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
         }
     };
 
-    let generation = inner.solve_generation.load(Ordering::Relaxed);
+    let generation = inner.ledger.generation();
     if let Some(hit) = inner
         .cache
         .lookup_probe(&job.x, probs.as_slice(), job.class)
@@ -706,25 +680,35 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
         }
     }
 
+    // The probe rides in the job across the election: a parked request is
+    // settled (or requeued) with its probe intact and never pays it twice.
+    job.probs = Some(probs);
     let leadership = if inner.config.coalesce {
-        let mut inflight = inner.inflight.lock();
-        let entry = inflight.entry(job.class).or_default();
-        if entry.leaders >= inner.config.max_leaders_per_class {
-            // The class is at its concurrent-solve limit: park and let a
-            // finishing leader's result decide (serve if it explains our
-            // probe, requeue otherwise).
-            ServiceStats::add(&inner.stats.coalesced_waits, 1);
-            job.probs = Some(probs);
-            entry.waiters.push(job);
-            return;
+        let class = job.class;
+        match inner
+            .ledger
+            .try_lead(class, inner.config.max_leaders_per_class, job)
+        {
+            Election::Parked => {
+                // The class is at its concurrent-solve limit: parked (the
+                // limit check and the park were one atomic step inside the
+                // ledger). A finishing leader's result decides our fate —
+                // serve if it explains our probe, requeue otherwise.
+                ServiceStats::add(&inner.stats.coalesced_waits, 1);
+                return;
+            }
+            Election::Led(led) => {
+                job = led;
+                // Guard constructed immediately after winning the slot: from
+                // here on, a panic anywhere in the solve steps this leader
+                // down via `Drop`.
+                Some(LeaderGuard::new(inner, tx, class))
+            }
         }
-        entry.leaders += 1;
-        // Guard constructed before the lock drops: from here on, a panic
-        // anywhere in the solve steps this leader down via `Drop`.
-        Some(LeaderGuard::new(inner, tx, job.class))
     } else {
         None
     };
+    let probs = job.probs.take().expect("the probe rides the election");
 
     // Double-checked lookup before solving: a leader that finished between
     // our cache miss and our election has already inserted its region
@@ -735,8 +719,7 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
     // same-class concurrency, so the scan serializes nobody — and only in
     // the rare race, when the generation says a solve completed since our
     // lookup began.
-    let recheck = (leadership.is_some()
-        && inner.solve_generation.load(Ordering::Relaxed) != generation)
+    let recheck = (leadership.is_some() && inner.ledger.generation() != generation)
         .then(|| {
             inner
                 .cache
@@ -806,7 +789,7 @@ fn lead_solve<M: PredictionApi>(
             // After the insert, before the leader steps down: anyone who
             // later observes a free leader slot also observes this bump
             // (the registry mutex orders both), and rechecks.
-            inner.solve_generation.fetch_add(1, Ordering::Relaxed);
+            inner.ledger.record_solve();
             Ok((cached.interpretation, cached.fingerprint))
         }
         Err(e) => {
@@ -905,6 +888,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!(
             "openapi_serve_{tag}_{}_{}",
             std::process::id(),
+            // ordering: Relaxed — uniqueness only; nothing published.
             NEXT.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::create_dir_all(&dir).unwrap();
@@ -1154,6 +1138,8 @@ mod tests {
         }
 
         fn predict(&self, x: &[f64]) -> Vector {
+            // ordering: Relaxed — a monotone call counter; the test below
+            // only polls it for progress, never to publish data.
             let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
             if n == self.slow_call {
                 std::thread::sleep(self.sleep);
@@ -1170,6 +1156,8 @@ mod tests {
     fn slow_first_solve(svc: &InterpretationService<SlowCall<TwoRegionPlm>>) -> (Ticket, Ticket) {
         let a = svc.submit_instance(Vector(vec![0.2, 0.1]), 0); // low region
         let deadline = Instant::now() + Duration::from_secs(30);
+        // ordering: Relaxed — progress polling; the sleep itself is the
+        // only synchronization the scenario needs.
         while svc.api().calls.load(Ordering::Relaxed) < 2 {
             assert!(Instant::now() < deadline, "request A never began solving");
             std::thread::yield_now();
@@ -1254,6 +1242,7 @@ mod tests {
             }
 
             fn predict(&self, x: &[f64]) -> Vector {
+                // ordering: Relaxed — monotone call counter, uniqueness only.
                 let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
                 assert!(n != self.panic_on, "injected mid-solve panic");
                 self.inner.predict(x)

@@ -1,7 +1,7 @@
 //! The sharded, thread-safe region cache.
 //!
-//! [`SharedRegionCache`] spreads one [`RegionCache`] per shard behind a
-//! `parking_lot::RwLock`. Inserts route by [`RegionFingerprint`] (shard =
+//! [`SharedRegionCache`] spreads one [`RegionCache`] per shard behind an
+//! `openapi_sync::RwLock`. Inserts route by [`RegionFingerprint`] (shard =
 //! `fingerprint mod N`), so write contention is diluted N ways; lookups
 //! cannot know a probe's fingerprint before solving (that would require the
 //! very parameters being looked up), so they scan the shards under read
@@ -17,7 +17,7 @@ use openapi_core::cache::{CachedRegion, ProbeRef, RegionCache, RegionCacheConfig
 use openapi_core::decision::Interpretation;
 use openapi_linalg::kernel::Backend;
 use openapi_linalg::Vector;
-use parking_lot::RwLock;
+use openapi_sync::RwLock;
 use std::sync::Arc;
 
 /// Configuration of a [`SharedRegionCache`].

@@ -2,8 +2,8 @@
 
 use openapi_metrics::LatencyHistogram;
 use openapi_store::StoreStatsSnapshot;
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Lock-free counters every worker thread records into, plus the request
@@ -35,6 +35,8 @@ pub struct ServiceStats {
 
 impl ServiceStats {
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — independent monotone counters; no reader
+        // infers cross-counter state from one load (see `snapshot`).
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
@@ -45,7 +47,19 @@ impl ServiceStats {
     /// A point-in-time copy of the counters. `evictions` and
     /// `cached_regions` describe the cache, which the service owns — it
     /// fills them in (see `InterpretationService::stats`).
+    ///
+    /// # Torn reads
+    /// The counters are loaded one by one with no cross-counter atomicity:
+    /// a snapshot taken while requests are in flight may observe, say, a
+    /// request's `requests` increment but not yet its outcome bucket.
+    /// Each individual counter is still exact, and once every submitted
+    /// ticket has resolved the snapshot is exact as a whole (the ledger
+    /// identity on [`StatsSnapshot`] holds) — the reply-channel `recv` the
+    /// caller blocked on happens-after the worker's final `add`.
     pub(crate) fn snapshot(&self, evictions: u64, cached_regions: usize) -> StatsSnapshot {
+        // ordering: Relaxed — per-counter exactness is all the contract
+        // promises mid-flight (see the torn-reads note above); quiescent
+        // exactness rides the reply-channel happens-before edge.
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StatsSnapshot {
             requests: load(&self.requests),

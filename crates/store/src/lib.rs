@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! `openapi-store` — a durable, log-structured persistence tier for
 //! recovered locally linear regions.
 //!
@@ -91,6 +93,7 @@ mod error;
 pub mod record;
 mod segment;
 mod stats;
+pub mod sticky;
 mod store;
 mod wal;
 
@@ -98,6 +101,7 @@ pub use error::StoreError;
 pub use record::{RecordError, StoredRegion};
 pub use segment::{read_segment, segment_name, SegmentRecovery, SEGMENT_MAGIC};
 pub use stats::{StoreStats, StoreStatsSnapshot};
+pub use sticky::StickyError;
 pub use store::{RegionStore, StoreConfig};
 pub use wal::{Wal, WalRecovery, WAL_MAGIC};
 
@@ -106,8 +110,8 @@ pub(crate) mod testutil {
     use crate::record::StoredRegion;
     use openapi_core::decision::{Interpretation, PairwiseCoreParams};
     use openapi_linalg::Vector;
+    use openapi_sync::atomic::{AtomicU64, Ordering};
     use std::path::PathBuf;
-    use std::sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
 
     /// A unique, created temp directory per call — concurrent tests never
@@ -117,6 +121,7 @@ pub(crate) mod testutil {
         let dir = std::env::temp_dir().join(format!(
             "openapi_store_{tag}_{}_{}",
             std::process::id(),
+            // ordering: Relaxed — uniqueness only; nothing published.
             NEXT.fetch_add(1, Ordering::Relaxed)
         ));
         std::fs::create_dir_all(&dir).unwrap();

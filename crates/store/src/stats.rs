@@ -1,7 +1,7 @@
 //! Atomic store statistics: recovery, append, flush, and lookup counters.
 
+use openapi_sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lock-free counters the store's callers and its flusher thread record
 /// into. Recovery counters are written once at open; the rest are monotone
@@ -32,18 +32,27 @@ pub struct StoreStats {
 
 impl StoreStats {
     pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — independent monotone counters; no reader
+        // infers cross-counter state from one load (see `snapshot`).
         counter.fetch_add(n, Ordering::Relaxed);
     }
 
     /// A point-in-time copy of the counters; the gauges (`regions`,
     /// `wal_bytes`, `segments`) describe state the store owns and are
     /// filled in by [`crate::RegionStore::stats`].
+    ///
+    /// # Torn reads
+    /// Counters are loaded one by one with no cross-counter atomicity: a
+    /// snapshot racing the flusher may see an append without its flush.
+    /// Each counter is individually exact; after `flush`/`close` returns,
+    /// the barrier ack's channel edge makes the whole snapshot exact.
     pub(crate) fn snapshot(
         &self,
         regions: usize,
         wal_bytes: u64,
         segments: usize,
     ) -> StoreStatsSnapshot {
+        // ordering: Relaxed — see the torn-reads contract above.
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         StoreStatsSnapshot {
             regions,

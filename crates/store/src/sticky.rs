@@ -1,0 +1,56 @@
+//! First-error-sticky failure slot for the WAL/flusher handoff.
+//!
+//! A failed WAL is failed for good: once any accepted append has been
+//! dropped, no later durability barrier may ack — otherwise lost data is
+//! silently acknowledged. [`StickyError`] is the single-assignment slot
+//! that enforces this: the **first** recorded failure wins, every later
+//! record is a no-op, and every reader (each barrier, including the final
+//! one in `RegionStore::close`) sees that first failure forever. The
+//! first-write-wins race is model-checked under `--cfg loom` in
+//! `tests/loom.rs` at the workspace root.
+
+use openapi_sync::Mutex;
+
+/// A write-once error slot (see the module docs).
+#[derive(Debug, Default)]
+pub struct StickyError {
+    slot: Mutex<Option<String>>,
+}
+
+impl StickyError {
+    /// An empty (healthy) slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `msg` if no failure was recorded yet; later calls are
+    /// no-ops. Returns whether this call was the one that stuck.
+    pub fn record(&self, msg: impl Into<String>) -> bool {
+        let mut slot = self.slot.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(msg.into());
+        true
+    }
+
+    /// The sticky failure, if any. A `Some` is the first failure ever
+    /// recorded and never changes afterwards.
+    pub fn get(&self) -> Option<String> {
+        self.slot.lock().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_recorded_error_wins_forever() {
+        let sticky = StickyError::new();
+        assert_eq!(sticky.get(), None);
+        assert!(sticky.record("disk on fire"));
+        assert!(!sticky.record("later, unrelated"));
+        assert_eq!(sticky.get().as_deref(), Some("disk on fire"));
+    }
+}

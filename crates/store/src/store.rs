@@ -5,14 +5,15 @@ use crate::error::StoreError;
 use crate::record::{self, StoredRegion};
 use crate::segment::{self, sync_dir};
 use crate::stats::{StoreStats, StoreStatsSnapshot};
+use crate::sticky::StickyError;
 use crate::wal::Wal;
 use openapi_core::cache::interpretations_agree;
 use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::Vector;
-use parking_lot::{Mutex, RwLock};
+use openapi_sync::atomic::{AtomicU64, Ordering};
+use openapi_sync::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
 
@@ -153,7 +154,7 @@ struct Shared {
     /// writing (records stay served from memory) and every later barrier —
     /// including the one inside [`RegionStore::close`] — reports it, so an
     /// accepted-but-lost append can never be silently acknowledged.
-    wal_error: Mutex<Option<String>>,
+    wal_error: StickyError,
 }
 
 /// The durable log-structured region store (see the crate docs).
@@ -220,7 +221,7 @@ impl RegionStore {
             stats,
             segments: AtomicU64::new(segments.len() as u64),
             wal_bytes: AtomicU64::new(wal_bytes),
-            wal_error: Mutex::new(None),
+            wal_error: StickyError::new(),
         });
         let (tx, rx) = mpsc::channel();
         let flusher = {
@@ -264,6 +265,10 @@ impl RegionStore {
     pub fn stats(&self) -> StoreStatsSnapshot {
         self.shared.stats.snapshot(
             self.len(),
+            // ordering: Relaxed — gauges mirrored out of mutex-protected
+            // state so a snapshot never queues behind an fsync; each load
+            // is individually exact, cross-gauge tearing is accepted.
+            // ordering: (same for both loads below)
             self.shared.wal_bytes.load(Ordering::Relaxed),
             self.shared.segments.load(Ordering::Relaxed) as usize,
         )
@@ -400,11 +405,14 @@ impl Shared {
         let id = old_segments.last().map_or(1, |(last, _)| last + 1);
         segment::write_segment(&self.dir, id, &records)?;
         wal.reset()?;
+        // ordering: Relaxed — stats gauges (see `RegionStore::stats`); the
+        // WAL mutex held across the pass orders the underlying state.
         self.wal_bytes.store(wal.len(), Ordering::Relaxed);
         for (_, path) in &old_segments {
             std::fs::remove_file(path)?;
         }
         sync_dir(&self.dir);
+        // ordering: Relaxed — gauge, as above.
         self.segments.store(1, Ordering::Relaxed);
         StoreStats::add(&self.stats.compactions, 1);
         Ok(records.len())
@@ -439,10 +447,12 @@ fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
             // a device that errored once gives no durability promises) and
             // report the original failure to every later barrier instead
             // of acking batches that were silently dropped.
-            let mut error = shared.wal_error.lock().clone();
+            let mut error = shared.wal_error.get();
             if error.is_none() && !pending.is_empty() {
                 let mut wal = shared.wal.lock();
                 let result = wal.append(&pending).and_then(|_| wal.sync());
+                // ordering: Relaxed — a stats gauge; the authoritative
+                // value lives in `wal` under its mutex (see `Shared`).
                 shared.wal_bytes.store(wal.len(), Ordering::Relaxed);
                 drop(wal);
                 match result {
@@ -452,7 +462,7 @@ fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
                     }
                     Err(e) => {
                         let msg = e.to_string();
-                        *shared.wal_error.lock() = Some(msg.clone());
+                        shared.wal_error.record(msg.clone());
                         error = Some(msg);
                     }
                 }
@@ -469,6 +479,8 @@ fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
             // never queue behind a compaction pass. A failure is NOT a
             // WAL error (every record is still durable in the WAL); the
             // pass simply retries at the next batch.
+            // ordering: Relaxed — a threshold probe on the gauge; the
+            // compaction itself re-reads the WAL under its mutex.
             if error.is_none()
                 && shared.wal_bytes.load(Ordering::Relaxed) >= shared.config.auto_compact_bytes
             {

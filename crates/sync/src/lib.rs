@@ -1,0 +1,35 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Synchronization facade for the workspace's concurrency cores.
+//!
+//! Every crate with cross-thread state imports its atomics and locks from
+//! here instead of `std::sync`/`parking_lot` directly (machine-enforced by
+//! `cargo xtask lint`). Normally the facade re-exports the plain primitives,
+//! so it compiles away. Under `RUSTFLAGS="--cfg loom"` it re-exports the
+//! vendored loom stand-in's *checked* shims instead, so `loom::model` tests
+//! can exhaustively explore the interleavings of the real production types —
+//! the same `LatencyHistogram`, coalescing ledger, connection budget, and
+//! sticky-error cell that serve traffic.
+//!
+//! The lock API follows parking_lot's shape in both configurations:
+//! `lock()`/`read()`/`write()` return guards directly and panics never
+//! poison.
+//!
+//! See `docs/CONCURRENCY.md` for the catalogue of protocols built on these
+//! primitives and the loom suite that owns each one.
+
+#[cfg(loom)]
+pub use loom::sync::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[cfg(not(loom))]
+pub use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Atomic integer and bool types plus `Ordering`, re-exported from
+/// `std::sync::atomic` (or the loom shims under `--cfg loom`).
+pub mod atomic {
+    #[cfg(loom)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(not(loom))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

@@ -1,0 +1,41 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `cargo xtask` — workspace tooling. Currently one subcommand: `lint`.
+
+mod lint;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => {
+            let root = workspace_root();
+            let violations = lint::lint_tree(&root);
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            if violations.is_empty() {
+                eprintln!("xtask lint: ok");
+            } else {
+                eprintln!("xtask lint: {} violation(s)", violations.len());
+                std::process::exit(1);
+            }
+        }
+        other => {
+            eprintln!(
+                "usage: cargo xtask lint\n  (got: {:?})",
+                other.unwrap_or("<none>")
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The workspace root: two levels up from this crate's manifest.
+fn workspace_root() -> std::path::PathBuf {
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(std::path::Path::parent)
+        .expect("crates/xtask sits two levels below the workspace root")
+        .to_path_buf()
+}

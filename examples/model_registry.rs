@@ -81,6 +81,7 @@ fn main() {
                 let top: Vec<usize> = {
                     let d = &result.interpretation.decision_features;
                     let mut idx: Vec<usize> = (0..d.len()).collect();
+                    // float: sort comparator over finite decision features.
                     idx.sort_by(|&a, &b| d[b].abs().partial_cmp(&d[a].abs()).unwrap());
                     idx.into_iter().take(5).collect()
                 };

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 //! Facade crate for the OpenAPI reproduction workspace.
 //!
 //! Re-exports every member crate under a stable, discoverable namespace so
@@ -23,6 +25,7 @@ pub use openapi_net as net;
 pub use openapi_nn as nn;
 pub use openapi_serve as serve;
 pub use openapi_store as store;
+pub use openapi_sync as sync;
 
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {

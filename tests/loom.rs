@@ -1,0 +1,245 @@
+//! Model-checked concurrency suites for the workspace's protocol cores.
+//!
+//! Compiled and run only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test --release -p openapi_repro --test loom
+//! ```
+//!
+//! Under that cfg the `openapi-sync` facade re-exports the vendored loom
+//! stand-in's checked shims, so the types under test here — the *production*
+//! `LatencyHistogram`, `ClassLedger`, `ConnBudget`, and `StickyError` — run
+//! their real code over every interleaving the scheduler can produce (up to
+//! the preemption bound).
+//!
+//! Each protocol is pinned from both sides:
+//!
+//! * a **conservation/visibility test** proves the shipped orderings uphold
+//!   the invariant documented in `docs/CONCURRENCY.md`, and
+//! * a **mutant test** runs a deliberately weakened variant (a torn RMW, a
+//!   relaxed release, a mis-ordered publish) and asserts the checker
+//!   *fails* — evidence the passing test has teeth, not a vacuous pass.
+//!
+//! Models are kept tiny (two threads, one or two operations each): the DFS
+//! explores every schedule, so breadth comes from the checker, not from
+//! iteration counts.
+
+#![cfg(loom)]
+
+use openapi_repro::metrics::LatencyHistogram;
+use openapi_repro::net::ConnBudget;
+use openapi_repro::serve::{ClassLedger, Election};
+use openapi_repro::store::StickyError;
+use openapi_repro::sync::atomic::{AtomicU64, Ordering};
+use openapi_repro::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Runs `f` under the model checker and reports whether any explored
+/// schedule failed. The mutant tests assert `true` — the checker's whole
+/// value is that it *finds* the seeded bug.
+fn model_fails(f: impl Fn() + Send + Sync + 'static) -> bool {
+    catch_unwind(AssertUnwindSafe(|| loom::model(f))).is_err()
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram: concurrent `record` never loses an observation.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn histogram_records_are_never_lost() {
+    loom::model(|| {
+        let h = Arc::new(LatencyHistogram::new());
+        let h2 = Arc::clone(&h);
+        // Same bucket on purpose: both increments hit one counter, the
+        // worst case for a lost update.
+        let t = loom::thread::spawn(move || h2.record(Duration::from_nanos(100)));
+        h.record(Duration::from_nanos(100));
+        t.join().unwrap();
+        // The join edge makes both relaxed increments visible.
+        assert_eq!(h.count(), 2, "a concurrent record was lost");
+    });
+}
+
+#[test]
+fn histogram_checker_catches_torn_record() {
+    // Same model, but with the seeded mutant: `record_torn` replaces the
+    // atomic RMW with a relaxed load+store, so two concurrent records can
+    // both read 0 and both store 1. The checker must find that schedule.
+    let caught = model_fails(|| {
+        let h = Arc::new(LatencyHistogram::new());
+        let h2 = Arc::clone(&h);
+        let t = loom::thread::spawn(move || h2.record_torn(Duration::from_nanos(100)));
+        h.record_torn(Duration::from_nanos(100));
+        t.join().unwrap();
+        assert_eq!(h.count(), 2, "a concurrent record was lost");
+    });
+    assert!(caught, "the checker failed to catch the torn-record mutant");
+}
+
+// ---------------------------------------------------------------------------
+// ClassLedger: the publish -> record_solve -> step_down leader protocol.
+// ---------------------------------------------------------------------------
+
+/// A finished leader's exit, in the documented order: publish the result
+/// (cache insert), bump the generation, then free the slot. The registry
+/// mutex inside `step_down` is what makes the first two visible to the
+/// next bid that sees the freed slot.
+fn leader_exit(ledger: &ClassLedger<&'static str>, cache: &Mutex<Option<u64>>) {
+    *cache.lock() = Some(42);
+    ledger.record_solve();
+    let drained = ledger.step_down(0);
+    assert!(drained.is_empty() || drained == ["b"]);
+}
+
+/// A mis-ordered exit — the mutant protocol this suite exists to reject:
+/// the slot is freed (and the generation bumped) *before* the result is
+/// published, so a new leader can observe "a solve completed" with nothing
+/// in the cache and re-pay the solve (or worse, serve a miss as a hit).
+fn leader_exit_misordered(ledger: &ClassLedger<&'static str>, cache: &Mutex<Option<u64>>) {
+    ledger.record_solve();
+    let drained = ledger.step_down(0);
+    assert!(drained.is_empty() || drained == ["b"]);
+    *cache.lock() = Some(42);
+}
+
+/// The second bid: whoever wins a slot after a recorded solve must also
+/// see the published entry — the exactness hinge of the coalescing tier.
+fn bid_and_check(ledger: &ClassLedger<&'static str>, cache: &Mutex<Option<u64>>) {
+    match ledger.try_lead(0, 1, "b") {
+        // Parked: the incumbent leader settles this job from its own
+        // published result after step_down; nothing to check here.
+        Election::Parked => {}
+        Election::Led(_) => {
+            // Led with a moved generation means the first leader fully
+            // exited; its publish must be visible through the same mutex.
+            if ledger.generation() > 0 {
+                assert!(
+                    cache.lock().is_some(),
+                    "generation moved but the published result is not visible"
+                );
+            }
+            ledger.step_down(0);
+        }
+    }
+}
+
+#[test]
+fn ledger_handoff_publishes_before_the_slot_frees() {
+    loom::model(|| {
+        let ledger = Arc::new(ClassLedger::new());
+        let cache = Arc::new(Mutex::new(None::<u64>));
+        let Election::Led(_) = ledger.try_lead(0, 1, "a") else {
+            panic!("the first bid on an empty ledger must lead");
+        };
+        let (l2, c2) = (Arc::clone(&ledger), Arc::clone(&cache));
+        let t = loom::thread::spawn(move || bid_and_check(&l2, &c2));
+        leader_exit(&ledger, &cache);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn ledger_checker_catches_a_misordered_publish() {
+    let caught = model_fails(|| {
+        let ledger = Arc::new(ClassLedger::new());
+        let cache = Arc::new(Mutex::new(None::<u64>));
+        let Election::Led(_) = ledger.try_lead(0, 1, "a") else {
+            panic!("the first bid on an empty ledger must lead");
+        };
+        let (l2, c2) = (Arc::clone(&ledger), Arc::clone(&cache));
+        let t = loom::thread::spawn(move || bid_and_check(&l2, &c2));
+        leader_exit_misordered(&ledger, &cache);
+        t.join().unwrap();
+    });
+    assert!(
+        caught,
+        "the checker failed to catch the publish-after-step-down mutant"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// ConnBudget: release-after-reply publishes the reply to the next admit.
+// ---------------------------------------------------------------------------
+
+/// The reader side of the budget contract: an admit that observes freed
+/// budget must also observe the reply bytes whose write freed it. The
+/// "reply" is a relaxed cell — only the budget's own release/acquire edge
+/// may order it.
+fn admit_and_check(budget: &ConnBudget, reply: &AtomicU64) {
+    if budget.try_admit() {
+        // ordering: Relaxed on purpose — the test asserts the *budget*
+        // edge alone publishes the reply; see docs/CONCURRENCY.md.
+        assert_eq!(
+            reply.load(Ordering::Relaxed),
+            1,
+            "admitted on freed budget without seeing the reply that freed it"
+        );
+    }
+}
+
+#[test]
+fn budget_release_publishes_the_reply() {
+    loom::model(|| {
+        let budget = Arc::new(ConnBudget::new(1));
+        let reply = Arc::new(AtomicU64::new(0));
+        assert!(budget.try_admit(), "an idle budget must admit");
+        let (b2, r2) = (Arc::clone(&budget), Arc::clone(&reply));
+        // The writer thread: write the reply, then free the budget.
+        let t = loom::thread::spawn(move || {
+            // ordering: Relaxed — published by `release`'s Release half.
+            r2.store(1, Ordering::Relaxed);
+            b2.release(1);
+        });
+        // The reader races the writer: its admit succeeds only in the
+        // schedules where the release landed first.
+        admit_and_check(&budget, &reply);
+        t.join().unwrap();
+    });
+}
+
+#[test]
+fn budget_checker_catches_a_relaxed_release() {
+    let caught = model_fails(|| {
+        let budget = Arc::new(ConnBudget::new(1));
+        let reply = Arc::new(AtomicU64::new(0));
+        assert!(budget.try_admit(), "an idle budget must admit");
+        let (b2, r2) = (Arc::clone(&budget), Arc::clone(&reply));
+        let t = loom::thread::spawn(move || {
+            // ordering: Relaxed — the mutant release below publishes
+            // nothing, so this store may stay invisible to the admitter.
+            r2.store(1, Ordering::Relaxed);
+            b2.release_relaxed(1);
+        });
+        admit_and_check(&budget, &reply);
+        t.join().unwrap();
+    });
+    assert!(caught, "the checker failed to catch the relaxed release");
+}
+
+// ---------------------------------------------------------------------------
+// StickyError: exactly one first failure, visible to everyone, forever.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sticky_error_first_write_wins_under_a_race() {
+    loom::model(|| {
+        let sticky = Arc::new(StickyError::new());
+        let s2 = Arc::clone(&sticky);
+        let t = loom::thread::spawn(move || s2.record("wal: short write"));
+        let mine = sticky.record("wal: fsync failed");
+        let theirs = t.join().unwrap();
+        // Exactly one recorder stuck, in every schedule.
+        assert!(mine ^ theirs, "exactly one first failure must win");
+        // And the slot holds the winner's message, immutably.
+        let expected = if mine {
+            "wal: fsync failed"
+        } else {
+            "wal: short write"
+        };
+        assert_eq!(sticky.get().as_deref(), Some(expected));
+        assert!(!sticky.record("late, must lose"));
+        assert_eq!(sticky.get().as_deref(), Some(expected));
+    });
+}

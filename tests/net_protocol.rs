@@ -20,9 +20,9 @@ use openapi_repro::api::{CountingApi, PredictionApi, TwoRegionPlm};
 use openapi_repro::net::wire::{self, ErrorCode, FrameRead, Request, Response};
 use openapi_repro::net::{Client, ClientError, Server, ServerConfig, VERSION};
 use openapi_repro::prelude::*;
+use openapi_repro::sync::atomic::{AtomicUsize, Ordering};
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Duration;
 
 mod common;
@@ -138,6 +138,8 @@ fn remote_serves_are_exact_and_bit_identical_to_direct() {
                     let i = (k * (t + 1)) % instances.len();
                     let x = &instances[i];
                     let Ok(served) = client.interpret(x, 0) else {
+                        // ordering: Relaxed — a tally read after the scoped
+                        // threads join; the join is the happens-before edge.
                         failures.fetch_add(1, Ordering::Relaxed);
                         continue;
                     };
@@ -167,6 +169,7 @@ fn remote_serves_are_exact_and_bit_identical_to_direct() {
             });
         }
     });
+    // ordering: Relaxed — all writers joined above; no concurrency left.
     assert_eq!(failures.load(Ordering::Relaxed), 0);
 
     // The ledger adds up across all connections: warm pass + hammer.

@@ -15,11 +15,11 @@ use openapi_repro::prelude::*;
 use openapi_repro::serve::ServeOutcome;
 use openapi_repro::store::record::{encode_record, StoredRegion};
 use openapi_repro::store::{Wal, WAL_MAGIC};
+use openapi_repro::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 mod common;
@@ -31,6 +31,7 @@ fn temp_dir(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
         "openapi_store_it_{tag}_{}_{}",
         std::process::id(),
+        // ordering: Relaxed — uniqueness only; nothing published.
         NEXT.fetch_add(1, Ordering::Relaxed)
     ));
     std::fs::create_dir_all(&dir).unwrap();

@@ -1,0 +1,835 @@
+//! The model-checking runtime: a deterministic "turnstile" scheduler plus a
+//! vector-clock memory model.
+//!
+//! One OS thread exists per model thread, but exactly one is ever *running*
+//! model code past a visible operation: every visible op waits for the
+//! kernel's `current` token, applies its effect to the shared [`Kernel`],
+//! asks the decision [`Path`] who runs next, and hands the token over. All
+//! nondeterminism is funneled through [`Path::decide`], so a recorded
+//! decision vector replays an execution exactly — the basis of the DFS.
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering as StdOrdering;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Hard cap on model threads per execution (vector clocks are fixed-width).
+pub(crate) const MAX_THREADS: usize = 8;
+
+/// Distinguishes model iterations so location handles embedded in shims
+/// (possibly living in statics across iterations) re-register lazily.
+static GLOBAL_EPOCH: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+// ---------------------------------------------------------------------------
+// Vector clocks
+// ---------------------------------------------------------------------------
+
+/// A fixed-width vector clock over model thread ids.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(crate) struct VClock(pub(crate) [u64; MAX_THREADS]);
+
+impl VClock {
+    pub(crate) fn join(&mut self, other: &VClock) {
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DFS decision path
+// ---------------------------------------------------------------------------
+
+/// The recorded sequence of nondeterministic choices for one execution.
+///
+/// Replay consumes the prefix; past the prefix, `decide` records choice 0.
+/// `advance` backtracks to the deepest incrementable decision, giving a
+/// depth-first enumeration of the whole (bounded) decision tree.
+#[derive(Default)]
+pub(crate) struct Path {
+    decisions: Vec<(usize, usize)>, // (chosen, total)
+    pos: usize,
+}
+
+impl Path {
+    fn decide(&mut self, total: usize) -> usize {
+        debug_assert!(total >= 1);
+        if self.pos < self.decisions.len() {
+            let (chosen, recorded_total) = self.decisions[self.pos];
+            assert_eq!(
+                recorded_total, total,
+                "non-deterministic loom model: a replayed execution reached a branch \
+                 point with a different number of choices; model closures must be \
+                 deterministic apart from scheduling"
+            );
+            self.pos += 1;
+            chosen
+        } else {
+            self.decisions.push((0, total));
+            self.pos += 1;
+            0
+        }
+    }
+
+    fn advance(&mut self) -> bool {
+        while let Some(&(chosen, total)) = self.decisions.last() {
+            if chosen + 1 < total {
+                self.decisions.last_mut().expect("non-empty").0 = chosen + 1;
+                self.pos = 0;
+                return true;
+            }
+            self.decisions.pop();
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Modeled locations: atomics and locks
+// ---------------------------------------------------------------------------
+
+/// One store in an atomic's modification order.
+#[derive(Clone, Copy)]
+struct StoreRec {
+    value: u64,
+    writer: usize,
+    /// The writer's own clock component at the store; `stamp <= clock[writer]`
+    /// means the store happens-before an observer with that clock.
+    stamp: u64,
+    /// Clock published to acquire-loads: `Some` iff the store was release-ish
+    /// or continues a release sequence (RMWs inherit it).
+    release: Option<VClock>,
+}
+
+struct AtomicState {
+    stores: Vec<StoreRec>,
+    /// Per-thread floor into `stores`: a thread never reads older than what
+    /// it last read or wrote (per-location coherence).
+    last_seen: [usize; MAX_THREADS],
+}
+
+enum LockKind {
+    Mutex { held: bool },
+    RwLock { writer: bool, readers: usize },
+}
+
+struct LockState {
+    kind: LockKind,
+    /// Clock merged on every release and joined by every acquirer.
+    clock: VClock,
+}
+
+enum Location {
+    Atomic(AtomicState),
+    Lock(LockState),
+}
+
+/// Lazily-registered kernel location id, embedded in each shim. The epoch
+/// check makes handles self-healing across model iterations (and across
+/// distinct models for long-lived shims).
+pub(crate) struct LocHandle {
+    epoch: std::sync::atomic::AtomicU64,
+    id: std::sync::atomic::AtomicUsize,
+}
+
+impl LocHandle {
+    pub(crate) const fn new() -> Self {
+        LocHandle {
+            epoch: std::sync::atomic::AtomicU64::new(0),
+            id: std::sync::atomic::AtomicUsize::new(0),
+        }
+    }
+
+    /// Resolve (registering if needed) under the kernel lock; `init` supplies
+    /// the location's initial state.
+    fn resolve(&self, k: &mut Kernel, epoch: u64, init: impl FnOnce() -> Location) -> usize {
+        // Relaxed suffices: all accesses happen under the kernel mutex.
+        if self.epoch.load(StdOrdering::Relaxed) == epoch {
+            return self.id.load(StdOrdering::Relaxed);
+        }
+        let id = k.locations.len();
+        k.locations.push(init());
+        self.id.store(id, StdOrdering::Relaxed);
+        self.epoch.store(epoch, StdOrdering::Relaxed);
+        id
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kernel + scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Run {
+    Runnable,
+    BlockedOnLock(usize),
+    BlockedOnJoin(usize),
+    Finished,
+}
+
+struct ThreadCell {
+    state: Run,
+    clock: VClock,
+}
+
+pub(crate) struct Kernel {
+    threads: Vec<ThreadCell>,
+    current: usize,
+    locations: Vec<Location>,
+    path: Path,
+    preemptions: usize,
+    max_preemptions: usize,
+    cancelled: bool,
+    failure: Option<Box<dyn Any + Send + 'static>>,
+    os_handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Kernel {
+    fn new(path: Path, max_preemptions: usize) -> Self {
+        Kernel {
+            threads: vec![ThreadCell {
+                state: Run::Runnable,
+                clock: VClock::default(),
+            }],
+            current: 0,
+            locations: Vec::new(),
+            path,
+            preemptions: 0,
+            max_preemptions,
+            cancelled: false,
+            failure: None,
+            os_handles: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, payload: Box<dyn Any + Send + 'static>) {
+        if self.failure.is_none() {
+            self.failure = Some(payload);
+        }
+        self.cancelled = true;
+    }
+
+    /// Pick who runs next after `me` completed (or failed to complete) a
+    /// visible op. Continuing `me` is always choice 0 when possible, so the
+    /// DFS's greedy extension explores the preemption-free schedule first.
+    fn reschedule(&mut self, me: usize) {
+        let runnable: Vec<usize> = self
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.state == Run::Runnable)
+            .map(|(i, _)| i)
+            .collect();
+        if runnable.is_empty() {
+            if self.threads.iter().any(|t| t.state != Run::Finished) {
+                self.fail(Box::new(
+                    "deadlock: every live model thread is blocked".to_string(),
+                ));
+            }
+            self.current = usize::MAX;
+            return;
+        }
+        let me_runnable = runnable.contains(&me);
+        let options: Vec<usize> = if me_runnable {
+            if self.preemptions >= self.max_preemptions {
+                vec![me]
+            } else {
+                let mut v = vec![me];
+                v.extend(runnable.iter().copied().filter(|&t| t != me));
+                v
+            }
+        } else {
+            runnable
+        };
+        let next = options[self.path.decide(options.len())];
+        if me_runnable && next != me {
+            self.preemptions += 1;
+        }
+        self.current = next;
+    }
+
+    fn atomic(&mut self, id: usize) -> &mut AtomicState {
+        match &mut self.locations[id] {
+            Location::Atomic(a) => a,
+            Location::Lock(_) => unreachable!("location kind mismatch"),
+        }
+    }
+
+    fn lock_state(&mut self, id: usize) -> &mut LockState {
+        match &mut self.locations[id] {
+            Location::Lock(l) => l,
+            Location::Atomic(_) => unreachable!("location kind mismatch"),
+        }
+    }
+
+    fn wake_lock_waiters(&mut self, id: usize) {
+        for t in &mut self.threads {
+            if t.state == Run::BlockedOnLock(id) {
+                t.state = Run::Runnable;
+            }
+        }
+    }
+}
+
+pub(crate) struct Rt {
+    kernel: Mutex<Kernel>,
+    cv: Condvar,
+    epoch: u64,
+}
+
+/// Per-OS-thread binding to a running model.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) rt: Arc<Rt>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    static UNWINDING: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn current_ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+fn set_ctx(ctx: Option<Ctx>) {
+    CTX.with(|c| *c.borrow_mut() = ctx);
+}
+
+/// True while the current thread is unwinding from a panic inside a model.
+/// Shim operations (e.g. a `MutexGuard` drop) must then apply best-effort,
+/// non-blocking effects only — never wait or branch.
+pub(crate) fn is_unwinding() -> bool {
+    UNWINDING.with(|u| u.get())
+}
+
+/// Sentinel panic payload used to tear down sibling threads once an
+/// execution is cancelled; never reported as the model's failure.
+struct Cancelled;
+
+fn filter_cancel(p: Box<dyn Any + Send + 'static>) -> Option<Box<dyn Any + Send + 'static>> {
+    if p.is::<Cancelled>() {
+        None
+    } else {
+        Some(p)
+    }
+}
+
+static HOOK: std::sync::Once = std::sync::Once::new();
+
+/// Installs a global panic hook (once) that flags model threads as unwinding
+/// and suppresses the default backtrace print for panics inside a model: the
+/// failure is re-raised from `model()` and reported by the test harness, and
+/// expected "teeth" failures stay quiet.
+fn install_hook() {
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_model = CTX.with(|c| c.borrow().is_some());
+            if in_model {
+                UNWINDING.with(|u| u.set(true));
+            } else {
+                prev(info);
+            }
+        }));
+    });
+}
+
+enum Blocked {
+    OnLock(usize),
+    OnJoin(usize),
+}
+
+fn lock_kernel(rt: &Rt) -> std::sync::MutexGuard<'_, Kernel> {
+    rt.kernel
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Perform one visible operation: wait for the scheduler token, apply `f`,
+/// hand the token over. `f` may return `Err(Blocked)` to park the thread; it
+/// is retried after being woken, so it must not consume decisions on a
+/// blocking attempt.
+fn step<R>(ctx: &Ctx, mut f: impl FnMut(&mut Kernel, usize) -> Result<R, Blocked>) -> R {
+    let mut k = lock_kernel(&ctx.rt);
+    loop {
+        while !k.cancelled && k.current != ctx.tid {
+            k = ctx
+                .rt
+                .cv
+                .wait(k)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        if k.cancelled {
+            drop(k);
+            std::panic::panic_any(Cancelled);
+        }
+        match f(&mut k, ctx.tid) {
+            Ok(r) => {
+                k.reschedule(ctx.tid);
+                ctx.rt.cv.notify_all();
+                return r;
+            }
+            Err(blocked) => {
+                k.threads[ctx.tid].state = match blocked {
+                    Blocked::OnLock(id) => Run::BlockedOnLock(id),
+                    Blocked::OnJoin(tid) => Run::BlockedOnJoin(tid),
+                };
+                k.reschedule(ctx.tid);
+                ctx.rt.cv.notify_all();
+            }
+        }
+    }
+}
+
+fn finish_thread(ctx: &Ctx) {
+    step(ctx, |k, me| {
+        k.threads[me].state = Run::Finished;
+        for t in &mut k.threads {
+            if t.state == Run::BlockedOnJoin(me) {
+                t.state = Run::Runnable;
+            }
+        }
+        Ok(())
+    })
+}
+
+/// Tear down after a panic on this model thread: record the payload (unless
+/// it is the cancellation sentinel), cancel the execution, and wake everyone.
+fn abort_thread(ctx: &Ctx, payload: Option<Box<dyn Any + Send + 'static>>) {
+    let mut k = lock_kernel(&ctx.rt);
+    if let Some(p) = payload {
+        k.fail(p);
+    } else {
+        k.cancelled = true;
+    }
+    k.threads[ctx.tid].state = Run::Finished;
+    ctx.rt.cv.notify_all();
+}
+
+// ---------------------------------------------------------------------------
+// Operations used by the shims
+// ---------------------------------------------------------------------------
+
+fn acquire_ish(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Acquire | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+fn release_ish(ord: StdOrdering) -> bool {
+    matches!(
+        ord,
+        StdOrdering::Release | StdOrdering::AcqRel | StdOrdering::SeqCst
+    )
+}
+
+fn init_atomic(value: u64) -> Location {
+    Location::Atomic(AtomicState {
+        // The initial value happens-before everything (stamp 0, zero release
+        // clock): shims are published to model threads via real sync (Arc,
+        // closure capture), so initialization is always visible.
+        stores: vec![StoreRec {
+            value,
+            writer: 0,
+            stamp: 0,
+            release: Some(VClock::default()),
+        }],
+        last_seen: [0; MAX_THREADS],
+    })
+}
+
+pub(crate) fn atomic_load(ctx: &Ctx, loc: &LocHandle, init: u64, ord: StdOrdering) -> u64 {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, || init_atomic(init));
+        let clock = k.threads[me].clock;
+        let (floor, len) = {
+            let st = k.atomic(id);
+            let mut floor = st.last_seen[me];
+            for (i, s) in st.stores.iter().enumerate() {
+                // Stores that happen-before this load bound how stale a read
+                // may be; anything newer is a legal (branching) choice.
+                if s.stamp <= clock.0[s.writer] {
+                    floor = floor.max(i);
+                }
+            }
+            (floor, st.stores.len())
+        };
+        let span = len - floor;
+        let pick = if span == 1 || ord == StdOrdering::SeqCst {
+            span - 1
+        } else {
+            k.path.decide(span)
+        };
+        let idx = floor + pick;
+        let st = k.atomic(id);
+        let (value, release) = {
+            let s = &st.stores[idx];
+            (s.value, s.release)
+        };
+        st.last_seen[me] = st.last_seen[me].max(idx);
+        if acquire_ish(ord) {
+            if let Some(rc) = release {
+                k.threads[me].clock.join(&rc);
+            }
+        }
+        Ok(value)
+    })
+}
+
+pub(crate) fn atomic_store(ctx: &Ctx, loc: &LocHandle, init: u64, value: u64, ord: StdOrdering) {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, || init_atomic(init));
+        k.threads[me].clock.0[me] += 1;
+        let clock = k.threads[me].clock;
+        let release = release_ish(ord).then_some(clock);
+        let st = k.atomic(id);
+        st.stores.push(StoreRec {
+            value,
+            writer: me,
+            stamp: clock.0[me],
+            release,
+        });
+        st.last_seen[me] = st.stores.len() - 1;
+        Ok(())
+    })
+}
+
+/// Read-modify-write: always reads the latest store in modification order
+/// (RMW atomicity), and continues any release sequence it interrupts — an
+/// acquire load of the new store still synchronizes with the earlier release
+/// head, but with *this* writer only if `ord` is itself release-ish. This is
+/// exactly why a Relaxed `fetch_sub` on a budget counter publishes nothing of
+/// the releasing thread's prior writes.
+pub(crate) fn atomic_rmw(
+    ctx: &Ctx,
+    loc: &LocHandle,
+    init: u64,
+    ord: StdOrdering,
+    mut f: impl FnMut(u64) -> u64,
+) -> u64 {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, || init_atomic(init));
+        let (old, prev_release) = {
+            let st = k.atomic(id);
+            let s = st.stores.last().expect("non-empty store history");
+            (s.value, s.release)
+        };
+        if acquire_ish(ord) {
+            if let Some(rc) = prev_release {
+                k.threads[me].clock.join(&rc);
+            }
+        }
+        k.threads[me].clock.0[me] += 1;
+        let clock = k.threads[me].clock;
+        let release = if release_ish(ord) {
+            let mut c = clock;
+            if let Some(p) = prev_release {
+                c.join(&p);
+            }
+            Some(c)
+        } else {
+            prev_release
+        };
+        let st = k.atomic(id);
+        st.stores.push(StoreRec {
+            value: f(old),
+            writer: me,
+            stamp: clock.0[me],
+            release,
+        });
+        st.last_seen[me] = st.stores.len() - 1;
+        Ok(old)
+    })
+}
+
+fn init_mutex() -> Location {
+    Location::Lock(LockState {
+        kind: LockKind::Mutex { held: false },
+        clock: VClock::default(),
+    })
+}
+
+fn init_rwlock() -> Location {
+    Location::Lock(LockState {
+        kind: LockKind::RwLock {
+            writer: false,
+            readers: 0,
+        },
+        clock: VClock::default(),
+    })
+}
+
+pub(crate) fn mutex_lock(ctx: &Ctx, loc: &LocHandle) {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, init_mutex);
+        let l = k.lock_state(id);
+        match &mut l.kind {
+            LockKind::Mutex { held } => {
+                if *held {
+                    return Err(Blocked::OnLock(id));
+                }
+                *held = true;
+            }
+            LockKind::RwLock { .. } => unreachable!("lock kind mismatch"),
+        }
+        let lc = l.clock;
+        k.threads[me].clock.join(&lc);
+        Ok(())
+    })
+}
+
+pub(crate) fn mutex_try_lock(ctx: &Ctx, loc: &LocHandle) -> bool {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, init_mutex);
+        let l = k.lock_state(id);
+        match &mut l.kind {
+            LockKind::Mutex { held } => {
+                if *held {
+                    return Ok(false);
+                }
+                *held = true;
+            }
+            LockKind::RwLock { .. } => unreachable!("lock kind mismatch"),
+        }
+        let lc = l.clock;
+        k.threads[me].clock.join(&lc);
+        Ok(true)
+    })
+}
+
+pub(crate) fn mutex_unlock(ctx: &Ctx, loc: &LocHandle) {
+    if is_unwinding() {
+        // Guard dropped during a panic: apply the state change without
+        // scheduling so nothing deadlocks while the execution tears down.
+        // The epoch check ensures the handle really names one of *this*
+        // execution's locations.
+        let mut k = lock_kernel(&ctx.rt);
+        if loc.epoch.load(StdOrdering::Relaxed) == ctx.rt.epoch {
+            if let Some(Location::Lock(l)) = k.locations.get_mut(loc.id.load(StdOrdering::Relaxed))
+            {
+                if let LockKind::Mutex { held } = &mut l.kind {
+                    *held = false;
+                }
+            }
+        }
+        ctx.rt.cv.notify_all();
+        return;
+    }
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, init_mutex);
+        k.threads[me].clock.0[me] += 1;
+        let clock = k.threads[me].clock;
+        let l = k.lock_state(id);
+        match &mut l.kind {
+            LockKind::Mutex { held } => *held = false,
+            LockKind::RwLock { .. } => unreachable!("lock kind mismatch"),
+        }
+        l.clock.join(&clock);
+        k.wake_lock_waiters(id);
+        Ok(())
+    })
+}
+
+pub(crate) fn rwlock_lock(ctx: &Ctx, loc: &LocHandle, write: bool) {
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, init_rwlock);
+        let l = k.lock_state(id);
+        match &mut l.kind {
+            LockKind::RwLock { writer, readers } => {
+                if *writer || (write && *readers > 0) {
+                    return Err(Blocked::OnLock(id));
+                }
+                if write {
+                    *writer = true;
+                } else {
+                    *readers += 1;
+                }
+            }
+            LockKind::Mutex { .. } => unreachable!("lock kind mismatch"),
+        }
+        let lc = l.clock;
+        k.threads[me].clock.join(&lc);
+        Ok(())
+    })
+}
+
+pub(crate) fn rwlock_unlock(ctx: &Ctx, loc: &LocHandle, write: bool) {
+    if is_unwinding() {
+        let mut k = lock_kernel(&ctx.rt);
+        if loc.epoch.load(StdOrdering::Relaxed) == ctx.rt.epoch {
+            if let Some(Location::Lock(l)) = k.locations.get_mut(loc.id.load(StdOrdering::Relaxed))
+            {
+                if let LockKind::RwLock { writer, readers } = &mut l.kind {
+                    if write {
+                        *writer = false;
+                    } else {
+                        *readers = readers.saturating_sub(1);
+                    }
+                }
+            }
+        }
+        ctx.rt.cv.notify_all();
+        return;
+    }
+    let epoch = ctx.rt.epoch;
+    step(ctx, |k, me| {
+        let id = loc.resolve(k, epoch, init_rwlock);
+        k.threads[me].clock.0[me] += 1;
+        let clock = k.threads[me].clock;
+        let l = k.lock_state(id);
+        match &mut l.kind {
+            LockKind::RwLock { writer, readers } => {
+                if write {
+                    *writer = false;
+                } else {
+                    *readers -= 1;
+                }
+            }
+            LockKind::Mutex { .. } => unreachable!("lock kind mismatch"),
+        }
+        // Readers over-synchronize slightly by also merging into the lock
+        // clock; harmless (adds edges, never removes real behaviors we rely
+        // on finding — no checked protocol publishes via a read-unlock).
+        l.clock.join(&clock);
+        k.wake_lock_waiters(id);
+        Ok(())
+    })
+}
+
+pub(crate) fn yield_now(ctx: &Ctx) {
+    step(ctx, |_, _| Ok(()));
+}
+
+// ---------------------------------------------------------------------------
+// Spawn / join / model
+// ---------------------------------------------------------------------------
+
+/// Register a new model thread; returns its tid. The OS thread itself is
+/// spawned by the caller (`thread::spawn`).
+pub(crate) fn register_thread(ctx: &Ctx) -> usize {
+    step(ctx, |k, me| {
+        assert!(
+            k.threads.len() < MAX_THREADS,
+            "loom model exceeded MAX_THREADS ({MAX_THREADS})"
+        );
+        let tid = k.threads.len();
+        let clock = k.threads[me].clock;
+        // Tick the parent so its post-spawn events are not ordered before the
+        // child's view of the spawn.
+        k.threads[me].clock.0[me] += 1;
+        k.threads.push(ThreadCell {
+            state: Run::Runnable,
+            clock,
+        });
+        Ok(tid)
+    })
+}
+
+pub(crate) fn track_os_handle(ctx: &Ctx, handle: std::thread::JoinHandle<()>) {
+    lock_kernel(&ctx.rt).os_handles.push(handle);
+}
+
+pub(crate) fn join_thread(ctx: &Ctx, target: usize) {
+    step(ctx, |k, me| {
+        if k.threads[target].state != Run::Finished {
+            return Err(Blocked::OnJoin(target));
+        }
+        let child_clock = k.threads[target].clock;
+        k.threads[me].clock.join(&child_clock);
+        Ok(())
+    })
+}
+
+/// Body run on each spawned model thread's OS thread.
+pub(crate) fn run_model_thread(ctx: Ctx, body: impl FnOnce()) {
+    set_ctx(Some(ctx.clone()));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        body();
+        finish_thread(&ctx);
+    }));
+    if let Err(p) = result {
+        abort_thread(&ctx, filter_cancel(p));
+    }
+    UNWINDING.with(|u| u.set(false));
+    set_ctx(None);
+}
+
+/// Exhaustively explore the interleavings of `f` (up to the preemption
+/// bound), panicking with the first failing execution's payload.
+pub fn model<F: Fn()>(f: F) {
+    install_hook();
+    assert!(
+        current_ctx().is_none(),
+        "nested loom::model calls are not supported"
+    );
+    let max_preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 2) as usize;
+    let max_iterations = env_u64("LOOM_MAX_ITERATIONS", 200_000);
+    let mut path = Path::default();
+    let mut iterations: u64 = 0;
+    loop {
+        iterations += 1;
+        assert!(
+            iterations <= max_iterations,
+            "loom model exceeded {max_iterations} iterations; shrink the model \
+             or raise LOOM_MAX_ITERATIONS"
+        );
+        let rt = Arc::new(Rt {
+            kernel: Mutex::new(Kernel::new(path, max_preemptions)),
+            cv: Condvar::new(),
+            epoch: GLOBAL_EPOCH.fetch_add(1, StdOrdering::Relaxed),
+        });
+        let ctx = Ctx {
+            rt: rt.clone(),
+            tid: 0,
+        };
+        set_ctx(Some(ctx.clone()));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            f();
+            finish_thread(&ctx);
+        }));
+        if let Err(p) = result {
+            abort_thread(&ctx, filter_cancel(p));
+        }
+        UNWINDING.with(|u| u.set(false));
+        // Join every OS thread this execution spawned (loop: a child may
+        // itself spawn before finishing).
+        loop {
+            let handles: Vec<_> = lock_kernel(&rt).os_handles.drain(..).collect();
+            if handles.is_empty() {
+                break;
+            }
+            for h in handles {
+                let _ = h.join();
+            }
+        }
+        set_ctx(None);
+        let mut k = lock_kernel(&rt);
+        if let Some(p) = k.failure.take() {
+            drop(k);
+            std::panic::resume_unwind(p);
+        }
+        path = std::mem::take(&mut k.path);
+        drop(k);
+        if !path.advance() {
+            return;
+        }
+    }
+}

@@ -1,0 +1,455 @@
+//! Checked `sync` shims: atomics with modeled acquire/release visibility,
+//! and `Mutex`/`RwLock` whose lock/unlock edges the scheduler controls.
+//!
+//! Every shim carries a `std` mirror. Outside a model (or while unwinding
+//! from a model failure) operations hit the mirror directly, so code
+//! compiled against these types behaves exactly like `std::sync` when no
+//! model is active. Inside a model the mirror tracks the latest store so a
+//! shim living in a `static` re-registers with its carried-over value.
+//!
+//! The lock guards follow parking_lot's API shape (`lock()` returns the
+//! guard directly, no poisoning), matching the facade these shims stand
+//! behind.
+
+use crate::rt;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::Arc;
+
+/// Atomic types whose loads may observe coherence-permissible stale stores.
+pub mod atomic {
+    use super::rt;
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! checked_atomic {
+        ($name:ident, $std:ty, $raw:ty) => {
+            /// Checked stand-in for the `std::sync::atomic` type of the same
+            /// name. Inside `loom::model`, loads/stores/RMWs are visible
+            /// operations with modeled acquire/release semantics.
+            pub struct $name {
+                mirror: $std,
+                loc: rt::LocHandle,
+            }
+
+            impl $name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(value: $raw) -> Self {
+                    $name {
+                        mirror: <$std>::new(value),
+                        loc: rt::LocHandle::new(),
+                    }
+                }
+
+                fn init(&self) -> u64 {
+                    self.mirror.load(Ordering::Relaxed) as u64
+                }
+
+                /// Atomic load; under a model, `Relaxed`/`Acquire` loads may
+                /// branch over every stale store the memory model permits.
+                pub fn load(&self, order: Ordering) -> $raw {
+                    match rt::current_ctx() {
+                        Some(ctx) if !rt::is_unwinding() => {
+                            rt::atomic_load(&ctx, &self.loc, self.init(), order) as $raw
+                        }
+                        _ => self.mirror.load(order),
+                    }
+                }
+
+                /// Atomic store.
+                pub fn store(&self, value: $raw, order: Ordering) {
+                    match rt::current_ctx() {
+                        Some(ctx) if !rt::is_unwinding() => {
+                            rt::atomic_store(&ctx, &self.loc, self.init(), value as u64, order);
+                            self.mirror.store(value, Ordering::Relaxed);
+                        }
+                        _ => self.mirror.store(value, order),
+                    }
+                }
+
+                /// Atomic swap; returns the previous value.
+                #[allow(clippy::unnecessary_cast)]
+                pub fn swap(&self, value: $raw, order: Ordering) -> $raw {
+                    self.rmw(order, |_| value as u64, |m| m.swap(value, order))
+                }
+
+                // The u64 round-trips are identity casts for AtomicU64 only.
+                #[allow(clippy::unnecessary_cast)]
+                fn rmw(
+                    &self,
+                    order: Ordering,
+                    model_op: impl FnMut(u64) -> u64,
+                    std_op: impl FnOnce(&$std) -> $raw,
+                ) -> $raw {
+                    match rt::current_ctx() {
+                        Some(ctx) if !rt::is_unwinding() => {
+                            let mut op = model_op;
+                            let old = rt::atomic_rmw(&ctx, &self.loc, self.init(), order, &mut op);
+                            self.mirror.store(op(old) as $raw, Ordering::Relaxed);
+                            old as $raw
+                        }
+                        _ => std_op(&self.mirror),
+                    }
+                }
+
+                /// Consumes the atomic, returning the contained value.
+                pub fn into_inner(self) -> $raw {
+                    self.mirror.into_inner()
+                }
+            }
+
+            impl std::fmt::Debug for $name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($name))
+                        .field(&self.load(Ordering::Relaxed))
+                        .finish()
+                }
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(Default::default())
+                }
+            }
+        };
+    }
+
+    checked_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    checked_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    macro_rules! int_rmw_ops {
+        ($name:ident, $raw:ty) => {
+            #[allow(clippy::unnecessary_cast)]
+            impl $name {
+                /// Atomic add; returns the previous value.
+                pub fn fetch_add(&self, value: $raw, order: Ordering) -> $raw {
+                    self.rmw(
+                        order,
+                        |v| (v as $raw).wrapping_add(value) as u64,
+                        |m| m.fetch_add(value, order),
+                    )
+                }
+
+                /// Atomic subtract; returns the previous value.
+                pub fn fetch_sub(&self, value: $raw, order: Ordering) -> $raw {
+                    self.rmw(
+                        order,
+                        |v| (v as $raw).wrapping_sub(value) as u64,
+                        |m| m.fetch_sub(value, order),
+                    )
+                }
+
+                /// Atomic max; returns the previous value.
+                pub fn fetch_max(&self, value: $raw, order: Ordering) -> $raw {
+                    self.rmw(
+                        order,
+                        |v| (v as $raw).max(value) as u64,
+                        |m| m.fetch_max(value, order),
+                    )
+                }
+            }
+        };
+    }
+
+    int_rmw_ops!(AtomicU64, u64);
+    int_rmw_ops!(AtomicUsize, usize);
+
+    /// Checked stand-in for `std::sync::atomic::AtomicBool`.
+    pub struct AtomicBool {
+        mirror: std::sync::atomic::AtomicBool,
+        loc: rt::LocHandle,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic with the given initial value.
+        pub const fn new(value: bool) -> Self {
+            AtomicBool {
+                mirror: std::sync::atomic::AtomicBool::new(value),
+                loc: rt::LocHandle::new(),
+            }
+        }
+
+        fn init(&self) -> u64 {
+            self.mirror.load(Ordering::Relaxed) as u64
+        }
+
+        /// Atomic load.
+        pub fn load(&self, order: Ordering) -> bool {
+            match rt::current_ctx() {
+                Some(ctx) if !rt::is_unwinding() => {
+                    rt::atomic_load(&ctx, &self.loc, self.init(), order) != 0
+                }
+                _ => self.mirror.load(order),
+            }
+        }
+
+        /// Atomic store.
+        pub fn store(&self, value: bool, order: Ordering) {
+            match rt::current_ctx() {
+                Some(ctx) if !rt::is_unwinding() => {
+                    rt::atomic_store(&ctx, &self.loc, self.init(), value as u64, order);
+                    self.mirror.store(value, Ordering::Relaxed);
+                }
+                _ => self.mirror.store(value, order),
+            }
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, value: bool, order: Ordering) -> bool {
+            match rt::current_ctx() {
+                Some(ctx) if !rt::is_unwinding() => {
+                    let old = rt::atomic_rmw(&ctx, &self.loc, self.init(), order, |_| value as u64);
+                    self.mirror.store(value, Ordering::Relaxed);
+                    old != 0
+                }
+                _ => self.mirror.swap(value, order),
+            }
+        }
+
+        /// Consumes the atomic, returning the contained value.
+        pub fn into_inner(self) -> bool {
+            self.mirror.into_inner()
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicBool")
+                .field(&self.load(Ordering::Relaxed))
+                .finish()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            AtomicBool::new(false)
+        }
+    }
+}
+
+/// Checked mutex with parking_lot-shaped API (`lock()` returns the guard,
+/// no poisoning). Lock acquisition is a blocking visible operation; unlock
+/// publishes the holder's clock to the next acquirer.
+pub struct Mutex<T: ?Sized> {
+    loc: rt::LocHandle,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard returned by [`Mutex::lock`]; unlocks (a visible op) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            loc: rt::LocHandle::new(),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking the model thread until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(ctx) = rt::current_ctx() {
+            if !rt::is_unwinding() {
+                rt::mutex_lock(&ctx, &self.loc);
+            }
+        }
+        let inner = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        MutexGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        if let Some(ctx) = rt::current_ctx() {
+            if !rt::is_unwinding() && !rt::mutex_try_lock(&ctx, &self.loc) {
+                return None;
+            }
+        }
+        match self.inner.try_lock() {
+            Ok(inner) => Some(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            }),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                lock: self,
+                inner: Some(p.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive ownership).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock first so the next model thread granted the
+        // location never contends on the std mutex.
+        drop(self.inner.take());
+        if let Some(ctx) = rt::current_ctx() {
+            rt::mutex_unlock(&ctx, &self.lock.loc);
+        }
+    }
+}
+
+/// Checked reader-writer lock with parking_lot-shaped API.
+pub struct RwLock<T: ?Sized> {
+    loc: rt::LocHandle,
+    inner: std::sync::RwLock<T>,
+}
+
+/// Shared-read guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockReadGuard<'a, T>>,
+}
+
+/// Exclusive-write guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+    inner: Option<std::sync::RwLockWriteGuard<'a, T>>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            loc: rt::LocHandle::new(),
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if let Some(ctx) = rt::current_ctx() {
+            if !rt::is_unwinding() {
+                rt::rwlock_lock(&ctx, &self.loc, false);
+            }
+        }
+        let inner = self
+            .inner
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if let Some(ctx) = rt::current_ctx() {
+            if !rt::is_unwinding() {
+                rt::rwlock_lock(&ctx, &self.loc, true);
+            }
+        }
+        let inner = self
+            .inner
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+        }
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(ctx) = rt::current_ctx() {
+            rt::rwlock_unlock(&ctx, &self.lock.loc, false);
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard accessed after release")
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.inner.take());
+        if let Some(ctx) = rt::current_ctx() {
+            rt::rwlock_unlock(&ctx, &self.lock.loc, true);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Model-aware `thread::spawn`/`join`/`yield_now`.
+//!
+//! Inside `loom::model`, spawn registers a model thread whose visible
+//! operations the scheduler controls; join is itself a visible (possibly
+//! blocking) operation that happens-after everything the child did. Outside
+//! a model, these delegate to `std::thread`.
+
+use crate::rt;
+use std::sync::{Arc, Mutex};
+
+enum Inner<T> {
+    Std(std::thread::JoinHandle<T>),
+    Model {
+        tid: usize,
+        slot: Arc<Mutex<Option<T>>>,
+    },
+}
+
+/// Handle to a spawned thread; `join` returns the closure's value.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    ///
+    /// Inside a model a child panic cancels the whole execution (the failure
+    /// is re-raised from `loom::model`), so the `Err` variant is only ever
+    /// observed on the std fallback path.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.0 {
+            Inner::Std(h) => h.join(),
+            Inner::Model { tid, slot } => {
+                let ctx = rt::current_ctx().expect("loom JoinHandle joined outside its model");
+                rt::join_thread(&ctx, tid);
+                let value = slot
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("joined model thread left no result");
+                Ok(value)
+            }
+        }
+    }
+}
+
+/// Spawn a thread. Inside a model the thread's visible operations come under
+/// scheduler control; outside, this is `std::thread::spawn`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current_ctx() {
+        None => JoinHandle(Inner::Std(std::thread::spawn(f))),
+        Some(ctx) => {
+            let tid = rt::register_thread(&ctx);
+            let slot: Arc<Mutex<Option<T>>> = Arc::new(Mutex::new(None));
+            let slot2 = slot.clone();
+            let child_ctx = rt::Ctx {
+                rt: ctx.rt.clone(),
+                tid,
+            };
+            let os = std::thread::Builder::new()
+                .name(format!("loom-{tid}"))
+                .spawn(move || {
+                    rt::run_model_thread(child_ctx, move || {
+                        let value = f();
+                        *slot2
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(value);
+                    });
+                })
+                .expect("failed to spawn loom model thread");
+            rt::track_os_handle(&ctx, os);
+            JoinHandle(Inner::Model { tid, slot })
+        }
+    }
+}
+
+/// A pure scheduling point inside a model; `std::thread::yield_now` outside.
+pub fn yield_now() {
+    match rt::current_ctx() {
+        None => std::thread::yield_now(),
+        Some(ctx) => rt::yield_now(&ctx),
+    }
+}
