@@ -18,6 +18,12 @@
 //!    single connection outright; on one core the gain is bounded by the
 //!    overlap of syscall waits, so the assertion is a collapse guard, not
 //!    a speedup claim (the printed scaling figure tells the real story).
+//! 3. **Tracing costs under 5%.** The same binary runs the warm fleet with
+//!    the `openapi-trace` runtime kill switch off and on, as back-to-back
+//!    A/B rounds whose median is scored (so background-load drift cancels
+//!    within a round and outlier rounds are rejected); enabled throughput
+//!    must stay within 5% of disabled. The measured figures land in
+//!    `BENCH_trace.json` at the workspace root.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use openapi_api::{CountingApi, TwoRegionPlm};
@@ -30,6 +36,9 @@ use std::time::Instant;
 const DIM: usize = TwoRegionPlm::REFERENCE_DIM;
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 400;
+/// Requests per arm-trial of the tracing-overhead A/B (claim 3): the
+/// whole fleet workload driven down one connection.
+const OVERHEAD_TRIAL: usize = 3 * CLIENTS * REQUESTS_PER_CLIENT;
 
 /// The hidden model: the canonical two-region d = 8, C = 3 fixture the
 /// facade's integration tests exercise too.
@@ -81,6 +90,55 @@ fn warm_run(server: &Server<CountingApi<TwoRegionPlm>>, threads: usize, per_conn
     (threads * per_conn) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Claim 3: tracing overhead, measured A/B in one binary. Returns
+/// `(disabled_rps, enabled_rps)` from the median of 8 interleaved warm A/B
+/// fleet runs, with the kill switch restored to on afterwards.
+fn measure_trace_overhead(server: &Server<CountingApi<TwoRegionPlm>>) -> (f64, f64) {
+    // Interleaved A/B, scored per round: the two arms of one round run
+    // back to back, so their ratio cancels whatever background load the
+    // machine had that instant; the median round then rejects the rounds
+    // a scheduler burst skewed entirely. (Best-of per arm is *not* noise
+    // robust here: it compares two different rounds' conditions.) One
+    // connection, not the fleet: the per-request tracing work is the
+    // same, but a single pipeline's rate doesn't depend on how the
+    // scheduler happens to interleave four client threads on a small
+    // (even single-core) box — fleet trials measure the scheduler, not
+    // the tracer.
+    let mut rounds: Vec<(f64, f64)> = Vec::new();
+    for _round in 0..8 {
+        let mut pair = [0f64; 2];
+        for (arm, on) in [(0usize, false), (1usize, true)] {
+            openapi_trace::set_runtime_enabled(on);
+            pair[arm] = warm_run(server, 1, OVERHEAD_TRIAL);
+        }
+        rounds.push((pair[0], pair[1]));
+    }
+    openapi_trace::set_runtime_enabled(true);
+    // float: total_cmp on finite throughput ratios — a deliberate sort key.
+    rounds.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    rounds[rounds.len() / 2]
+}
+
+/// Records the overhead measurement as `BENCH_trace.json` at the
+/// workspace root (hand-rolled JSON: the bench has no serializer dep).
+fn write_bench_trace(disabled_rps: f64, enabled_rps: f64, overhead: f64) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root");
+    let json = format!(
+        "{{\n  \"bench\": \"net_throughput trace overhead\",\n  \
+         \"workload\": \"1 conn x {OVERHEAD_TRIAL} warm requests per trial, median of 8 interleaved A/B rounds\",\n  \
+         \"disabled_rps\": {disabled_rps:.0},\n  \
+         \"enabled_rps\": {enabled_rps:.0},\n  \
+         \"overhead_fraction\": {overhead:.4},\n  \
+         \"budget_fraction\": 0.05\n}}\n"
+    );
+    if let Err(err) = std::fs::write(root.join("BENCH_trace.json"), json) {
+        eprintln!("could not write BENCH_trace.json: {err}");
+    }
+}
+
 fn bench_net_throughput(c: &mut Criterion) {
     banner(
         "net throughput",
@@ -128,6 +186,22 @@ fn bench_net_throughput(c: &mut Criterion) {
         fleet_rps > 0.6 * single_rps,
         "{CLIENTS} connections must not collapse against one: \
          {fleet_rps:.0} vs {single_rps:.0} req/s"
+    );
+
+    // Claim 3: the trace tier must cost under 5% of warm throughput.
+    let (disabled_rps, enabled_rps) = measure_trace_overhead(&server);
+    let overhead = (disabled_rps - enabled_rps) / disabled_rps;
+    println!(
+        "trace off     : {disabled_rps:>8.0} req/s\n\
+         trace on      : {enabled_rps:>8.0} req/s\n\
+         overhead {:.2}% (budget 5%)",
+        overhead * 100.0
+    );
+    write_bench_trace(disabled_rps, enabled_rps, overhead);
+    assert!(
+        overhead < 0.05,
+        "tracing overhead must stay under 5%: \
+         {enabled_rps:.0} req/s enabled vs {disabled_rps:.0} req/s disabled"
     );
 
     let mut group = c.benchmark_group("net_throughput");

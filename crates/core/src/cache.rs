@@ -394,6 +394,9 @@ impl RegionCache {
                     let mut y = std::mem::take(&mut s.y);
                     backend.boundary_eval_batch(&block.w, &block.bias, &xs, row0..row_end, &mut y);
                     let n = row_end - row0;
+                    // One multi-probe kernel pass; payload = total row
+                    // evaluations (rows × still-unresolved probes).
+                    openapi_trace::emit(openapi_trace::Stage::KernelPass, (n * xs.len()) as u64);
                     let mut p = 0;
                     unresolved.retain(|&u| {
                         let yp = &y[p * n..(p + 1) * n];
@@ -439,6 +442,10 @@ impl RegionCache {
             let ln_probs = std::mem::take(&mut s.ln_probs);
             let hit = self.scan_chunk(block, x, class, &ln_probs, (g, row0, row_end), s);
             s.ln_probs = ln_probs;
+            // One blocked kernel pass done; payload = boundary rows
+            // evaluated. Attributes to the calling request's span (if the
+            // serving tier set one on this thread).
+            openapi_trace::emit(openapi_trace::Stage::KernelPass, (row_end - row0) as u64);
             if hit.is_some() {
                 return hit;
             }

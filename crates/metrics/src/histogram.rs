@@ -74,33 +74,15 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
-    /// The quantile `q ∈ [0, 1]` as the upper bound of the bucket holding
-    /// the rank-`⌈q·n⌉` observation (so the true value is within 2× below
-    /// the reported one). `None` when the histogram is empty.
+    /// The quantile `q ∈ [0, 1]`, linearly interpolated within the bucket
+    /// holding the rank-`⌈q·n⌉` observation (see [`quantile_from_buckets`]).
+    /// `None` when the histogram is empty.
     ///
     /// Concurrent `record`s during the scan can skew the answer by the
     /// in-flight observations — quantiles are a monitoring statistic, not a
     /// synchronization point.
     pub fn quantile(&self, q: f64) -> Option<Duration> {
-        let counts: Vec<u64> = self
-            .buckets
-            .iter()
-            // ordering: Relaxed — monitoring statistic; see `count`.
-            .map(|b| b.load(Ordering::Relaxed))
-            .collect();
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return None;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (i, &c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return Some(Self::bucket_upper_bound(i));
-            }
-        }
-        Some(Self::bucket_upper_bound(LATENCY_BUCKETS - 1))
+        quantile_from_buckets(&self.snapshot(), q)
     }
 
     /// Median latency (`quantile(0.5)`).
@@ -113,11 +95,6 @@ impl LatencyHistogram {
         self.quantile(0.99)
     }
 
-    /// Exclusive upper bound of bucket `i`, `2^{i+1}` ns.
-    fn bucket_upper_bound(i: usize) -> Duration {
-        Duration::from_nanos(2u64.saturating_pow(i as u32 + 1))
-    }
-
     /// The per-bucket counts (for exporting/debugging).
     pub fn snapshot(&self) -> [u64; LATENCY_BUCKETS] {
         let mut out = [0u64; LATENCY_BUCKETS];
@@ -127,6 +104,52 @@ impl LatencyHistogram {
         }
         out
     }
+}
+
+/// The quantile `q ∈ [0, 1]` of a log₂ bucket-count array (the
+/// [`LatencyHistogram::snapshot`] layout: `counts[i]` = observations in
+/// `[2^i, 2^{i+1})` ns), linearly interpolated within the bucket that
+/// holds the rank-`⌈q·n⌉` observation. `None` when all counts are zero.
+///
+/// Interpolation matters at the edges: an all-sub-microsecond workload
+/// whose observations share one bucket used to report that bucket's
+/// upper bound for *every* quantile (a 2× overstatement); interpolating
+/// by rank position spreads the quantiles across the bucket instead. The
+/// top bucket interpolates toward its saturating `2^48` ns bound, never
+/// beyond.
+///
+/// A free function (not a method) so consumers holding only a wire-copied
+/// bucket array — the remote stats report, `StatsSnapshot::Display` — can
+/// reconstruct quantiles without a live histogram.
+pub fn quantile_from_buckets(counts: &[u64; LATENCY_BUCKETS], q: f64) -> Option<Duration> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        if seen + c >= rank {
+            let lo = 2u64.saturating_pow(i as u32);
+            let hi = 2u64.saturating_pow(i as u32 + 1);
+            // Rank position within this bucket, in (0, c]: interpolate
+            // linearly from the bucket's lower bound; position == c lands
+            // exactly on the (exclusive) upper bound, preserving the old
+            // conservative estimate for bucket-filling quantiles.
+            let pos = rank - seen;
+            let ns = lo as f64 + (hi - lo) as f64 * pos as f64 / c as f64;
+            return Some(Duration::from_nanos(ns as u64));
+        }
+        seen += c;
+    }
+    // Unreachable when the counts are stable (rank <= total), but
+    // concurrent recording can move the total under us; clamp to the top.
+    Some(Duration::from_nanos(
+        2u64.saturating_pow(LATENCY_BUCKETS as u32),
+    ))
 }
 
 #[cfg(test)]
@@ -170,6 +193,46 @@ mod tests {
             h.quantile(1.0).unwrap(),
             Duration::from_nanos(2u64.saturating_pow(LATENCY_BUCKETS as u32))
         );
+    }
+
+    #[test]
+    fn sub_bucket_quantiles_interpolate_instead_of_snapping_to_the_bound() {
+        // Regression: an all-sub-microsecond workload landing in a single
+        // bucket used to report the bucket's upper bound (128 ns here) for
+        // every quantile. Interpolation spreads ranks across [64, 128).
+        let h = LatencyHistogram::new();
+        for _ in 0..1000 {
+            h.record(Duration::from_nanos(100));
+        }
+        let p50 = h.p50().unwrap();
+        assert_eq!(p50, Duration::from_nanos(96), "64 + 64 * 500/1000");
+        let p99 = h.p99().unwrap();
+        assert!(p99 > p50 && p99 < Duration::from_nanos(128));
+        // Only a full-bucket rank reaches the upper bound exactly.
+        assert_eq!(h.quantile(1.0).unwrap(), Duration::from_nanos(128));
+    }
+
+    #[test]
+    fn top_bucket_quantiles_saturate_at_the_fixed_range_ceiling() {
+        // Observations beyond the histogram's range all clamp into the
+        // last bucket [2^47, 2^48) ns; quantiles interpolate inside it and
+        // never exceed the saturating 2^48 ns ceiling.
+        let h = LatencyHistogram::new();
+        for _ in 0..4 {
+            h.record(Duration::from_secs(1_000_000));
+        }
+        let lo = Duration::from_nanos(2u64.pow(47));
+        let hi = Duration::from_nanos(2u64.pow(48));
+        let p50 = h.p50().unwrap();
+        assert!(
+            p50 > lo && p50 < hi,
+            "p50 interpolates inside the top bucket"
+        );
+        assert_eq!(h.quantile(1.0).unwrap(), hi);
+        // From raw buckets too (the wire/report path).
+        let snap = h.snapshot();
+        assert_eq!(quantile_from_buckets(&snap, 0.5), Some(p50));
+        assert_eq!(quantile_from_buckets(&[0; LATENCY_BUCKETS], 0.5), None);
     }
 
     #[test]

@@ -29,6 +29,6 @@ pub mod weight_diff;
 
 pub use effectiveness::{AlterationCurve, EffectivenessConfig};
 pub use exactness::l1_dist;
-pub use histogram::LatencyHistogram;
+pub use histogram::{quantile_from_buckets, LatencyHistogram, LATENCY_BUCKETS};
 pub use region_diff::region_difference;
 pub use weight_diff::weight_difference;

@@ -5,10 +5,11 @@ use crate::wire::{
 };
 use openapi_linalg::Vector;
 use openapi_serve::StatsSnapshot;
+use openapi_trace::clock;
 use std::fmt;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
@@ -179,7 +180,7 @@ impl Client {
     pub fn ping(&mut self) -> Result<Duration, ClientError> {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
-        let start = Instant::now();
+        let start = clock::now();
         match self.call(&Request::Ping { nonce })? {
             Response::Pong { nonce: echoed } if echoed == nonce => Ok(start.elapsed()),
             Response::Pong { .. } => Err(ClientError::UnexpectedResponse {
@@ -266,9 +267,24 @@ impl Client {
     /// [`ClientError`] on transport, protocol, or server-side failures.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.call(&Request::Stats)? {
-            Response::StatsReply(stats) => Ok(stats),
+            Response::StatsReply(stats) => Ok(*stats),
             Response::Error(e) => Err(ClientError::Remote(e)),
             _ => Err(ClientError::UnexpectedResponse { expected: "stats" }),
+        }
+    }
+
+    /// Fetches the server's Prometheus-style metrics exposition (counters,
+    /// gauges, and per-stage latency histograms as text).
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server-side failures.
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.call(&Request::Metrics)? {
+            Response::MetricsReply(text) => Ok(text),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "metrics",
+            }),
         }
     }
 }

@@ -27,6 +27,7 @@ use openapi_serve::{InterpretRequest, InterpretationService, ServeError, Served,
 use openapi_store::StoreError;
 use openapi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use openapi_sync::Mutex;
+use openapi_trace::{clock, RequestSpan};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
 use std::net::{
@@ -35,7 +36,7 @@ use std::net::{
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -349,7 +350,8 @@ fn serve_connection<M: PredictionApi + Send + Sync + 'static>(
         mpsc::sync_channel::<Slot>(shared.config.max_inflight_per_conn * 2 + 16);
     let writer = {
         let budget = Arc::clone(&budget);
-        std::thread::spawn(move || writer_loop(&slot_rx, write_half, &budget))
+        let shared = Arc::clone(shared);
+        std::thread::spawn(move || writer_loop(&shared, &slot_rx, write_half, &budget))
     };
 
     let result = reader_loop(shared, stream, &slot_tx, &budget);
@@ -374,10 +376,10 @@ const DRAIN_WINDOW: Duration = Duration::from_millis(100);
 
 fn drain_read_side(stream: &mut TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(25)));
-    let deadline = Instant::now() + DRAIN_WINDOW;
+    let deadline = clock::now() + DRAIN_WINDOW;
     let mut sink = [0u8; 4096];
     let mut drained = 0;
-    while drained < DRAIN_CAP_BYTES && Instant::now() < deadline {
+    while drained < DRAIN_CAP_BYTES && clock::now() < deadline {
         match io::Read::read(stream, &mut sink) {
             Ok(0) => break, // client closed its write half: fully drained
             Ok(n) => drained += n,
@@ -445,7 +447,12 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
 ) -> Slot {
     match request {
         Request::Ping { nonce } => Slot::Ready(Box::new(Response::Pong { nonce })),
-        Request::Stats => Slot::Ready(Box::new(Response::StatsReply(shared.service.stats()))),
+        Request::Stats => Slot::Ready(Box::new(Response::StatsReply(Box::new(
+            shared.service.stats(),
+        )))),
+        Request::Metrics => Slot::Ready(Box::new(Response::MetricsReply(
+            shared.service.stats().to_prometheus(),
+        ))),
         Request::Interpret {
             class,
             deadline_ms,
@@ -454,7 +461,15 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
             if !budget.try_admit() {
                 return Slot::Ready(Box::new(Response::Error(busy(budget.limit()))));
             }
-            Slot::Pending(submit(shared, instance, class, deadline_ms))
+            // The trace span is minted here, right after frame decode, so
+            // the request's queue stage covers its time on the wire tier
+            // too (the channel hop into the worker pool).
+            let span = RequestSpan::root();
+            Slot::Pending(
+                shared
+                    .service
+                    .submit_spanned(to_request(instance, class, deadline_ms, shared), span),
+            )
         }
         Request::InterpretBatch { deadline_ms, items } => {
             let n = items.len();
@@ -474,7 +489,10 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
                 .into_iter()
                 .map(|(instance, class)| to_request(instance, class, deadline_ms, shared))
                 .collect();
-            Slot::PendingBatch(shared.service.submit_batch(requests))
+            // One frame-level span parents every item's span; the shared
+            // kernel pass attributes to the frame itself.
+            let frame_span = RequestSpan::root();
+            Slot::PendingBatch(shared.service.submit_batch_spanned(requests, frame_span))
         }
     }
 }
@@ -504,27 +522,27 @@ fn to_request<M: PredictionApi + Send + Sync + 'static>(
     }
 }
 
-/// Submits one interpret request through the per-request path.
-fn submit<M: PredictionApi + Send + Sync + 'static>(
+fn writer_loop<M: PredictionApi + Send + Sync + 'static>(
     shared: &Arc<Shared<M>>,
-    instance: Vector,
-    class: usize,
-    deadline_ms: u64,
-) -> Ticket {
-    shared
-        .service
-        .submit(to_request(instance, class, deadline_ms, shared))
-}
-
-fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, budget: &ConnBudget) {
+    slot_rx: &mpsc::Receiver<Slot>,
+    stream: TcpStream,
+    budget: &ConnBudget,
+) {
     let mut out = BufWriter::new(stream);
     let mut broken = false;
+    // Spans of the requests answered by the frame being written, so the
+    // reply-write time can be recorded against each of them.
+    let mut spans: Vec<u64> = Vec::new();
     while let Ok(slot) = slot_rx.recv() {
+        spans.clear();
         let (response, completed) = match slot {
             Slot::Ready(response) => (*response, 0),
             Slot::Pending(ticket) => {
                 let response = match ticket.wait() {
-                    Ok(served) => Response::Interpreted(to_remote(served)),
+                    Ok(served) => {
+                        spans.push(served.span);
+                        Response::Interpreted(to_remote(served))
+                    }
                     Err(e) => Response::Error(serve_error(&e)),
                 };
                 (response, 1)
@@ -533,7 +551,15 @@ fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, budget: &ConnB
                 let n = tickets.len();
                 let results = tickets
                     .into_iter()
-                    .map(|ticket| ticket.wait().map(to_remote).map_err(|e| serve_error(&e)))
+                    .map(|ticket| {
+                        ticket
+                            .wait()
+                            .map(|served| {
+                                spans.push(served.span);
+                                to_remote(served)
+                            })
+                            .map_err(|e| serve_error(&e))
+                    })
                     .collect();
                 (Response::Batch(results), n)
             }
@@ -541,8 +567,16 @@ fn writer_loop(slot_rx: &mpsc::Receiver<Slot>, stream: TcpStream, budget: &ConnB
         // A broken pipe must not stop the drain: tickets still pending in
         // later slots are waited out (their in-flight accounting and the
         // service's stats ledger stay exact), the bytes just go nowhere.
+        let write_start = clock::now();
         if !broken && wire::write_frame(&mut out, &wire::encode_response(&response)).is_err() {
             broken = true;
+        }
+        // Reply stage: encode + write of the answering frame, recorded for
+        // every request it carries (a batch frame answers all its items).
+        let write_end = clock::now();
+        let write_time = write_end.saturating_duration_since(write_start);
+        for &span in &spans {
+            shared.service.record_reply(span, write_time, write_end);
         }
         // Budget released only after the reply is written (or abandoned):
         // the per-connection bound covers queue + solve + reply, as the
@@ -562,6 +596,7 @@ fn to_remote(served: Served) -> RemoteServed {
         outcome: served.outcome,
         queries: served.queries,
         server_latency: served.latency,
+        span: served.span,
     }
 }
 

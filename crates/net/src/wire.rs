@@ -11,7 +11,7 @@
 //! A connection starts with a fixed-size hello in each direction
 //! ([`encode_hello`]/[`decode_hello`]); every subsequent message is one
 //! frame whose payload begins with a one-byte tag ([`Request`] tags in
-//! `0x01..=0x04`, [`Response`] tags in `0x81..=0x84` plus [`TAG_ERROR`]).
+//! `0x01..=0x05`, [`Response`] tags in `0x81..=0x85` plus [`TAG_ERROR`]).
 //! Decoding never panics on hostile bytes: every failure is a typed
 //! [`WireError`].
 
@@ -19,7 +19,8 @@ use bytes::{Buf, BufMut};
 use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::codec::{self, CodecError};
 use openapi_linalg::Vector;
-use openapi_serve::{ServeOutcome, StatsSnapshot};
+use openapi_metrics::LATENCY_BUCKETS;
+use openapi_serve::{ServeOutcome, StatsSnapshot, STAGES};
 use openapi_store::record::{self, RecordError};
 use openapi_store::StoreStatsSnapshot;
 use std::fmt;
@@ -49,6 +50,8 @@ pub const TAG_INTERPRET: u8 = 0x02;
 pub const TAG_INTERPRET_BATCH: u8 = 0x03;
 /// Request tag: [`Request::Stats`].
 pub const TAG_STATS: u8 = 0x04;
+/// Request tag: [`Request::Metrics`].
+pub const TAG_METRICS: u8 = 0x05;
 /// Response tag: [`Response::Pong`].
 pub const TAG_PONG: u8 = 0x81;
 /// Response tag: [`Response::Interpreted`].
@@ -57,6 +60,8 @@ pub const TAG_INTERPRETED: u8 = 0x82;
 pub const TAG_BATCH: u8 = 0x83;
 /// Response tag: [`Response::StatsReply`].
 pub const TAG_STATS_REPLY: u8 = 0x84;
+/// Response tag: [`Response::MetricsReply`].
+pub const TAG_METRICS_REPLY: u8 = 0x85;
 /// Response tag: [`Response::Error`].
 pub const TAG_ERROR: u8 = 0xEE;
 
@@ -230,6 +235,10 @@ pub struct RemoteServed {
     /// Server-side latency (submit → completion inside the service; wire
     /// time excluded).
     pub server_latency: Duration,
+    /// The server's trace span id for this request (0 when the server was
+    /// built without tracing) — quote it when reporting a slow request so
+    /// the operator can find the matching ring events and slow-log line.
+    pub span: u64,
 }
 
 /// One request message.
@@ -261,6 +270,9 @@ pub enum Request {
     },
     /// Fetch the server's service statistics snapshot.
     Stats,
+    /// Fetch a Prometheus-style text exposition of the server's metrics
+    /// (counters, gauges, and per-stage latency histograms).
+    Metrics,
 }
 
 /// One response message. On a connection, responses arrive in request
@@ -277,8 +289,12 @@ pub enum Response {
     /// Answer to [`Request::InterpretBatch`]: one result per item, in
     /// submission order.
     Batch(Vec<Result<RemoteServed, RemoteError>>),
-    /// Answer to [`Request::Stats`].
-    StatsReply(StatsSnapshot),
+    /// Answer to [`Request::Stats`]. Boxed: the snapshot carries the raw
+    /// latency bucket arrays (~2.3 KiB) and would otherwise dominate the
+    /// size of every `Response` on the stack.
+    StatsReply(Box<StatsSnapshot>),
+    /// Answer to [`Request::Metrics`]: the exposition text, UTF-8.
+    MetricsReply(String),
     /// A typed failure (answer to any request, or — for
     /// [`ErrorCode::Malformed`] frames — to bytes that never became one).
     Error(RemoteError),
@@ -403,6 +419,7 @@ fn put_served(buf: &mut Vec<u8>, served: &RemoteServed) {
     buf.put_u8(outcome_to_u8(served.outcome));
     codec::put_len(buf, served.queries);
     buf.put_u64_le(served.server_latency.as_micros().min(u128::from(u64::MAX)) as u64);
+    buf.put_u64_le(served.span);
     // The interpretation travels as one openapi-store record frame —
     // byte-identical to its on-disk representation, CRC included.
     record::put_record(buf, served.fingerprint, &served.interpretation);
@@ -412,6 +429,7 @@ fn get_served(buf: &mut &[u8]) -> Result<RemoteServed, WireError> {
     let outcome = outcome_from_u8(get_u8(buf, "served outcome")?)?;
     let queries = codec::get_len(buf, "served queries")?;
     let latency = Duration::from_micros(get_u64(buf, "served latency")?);
+    let span = get_u64(buf, "served span")?;
     let region = record::get_record(buf)?;
     Ok(RemoteServed {
         interpretation: region.interpretation,
@@ -419,6 +437,7 @@ fn get_served(buf: &mut &[u8]) -> Result<RemoteServed, WireError> {
         outcome,
         queries,
         server_latency: latency,
+        span,
     })
 }
 
@@ -500,6 +519,14 @@ fn put_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
     codec::put_len(buf, s.cached_regions);
     put_opt_duration(buf, s.p50_latency);
     put_opt_duration(buf, s.p99_latency);
+    for b in &s.latency_buckets {
+        buf.put_u64_le(*b);
+    }
+    for stage in &s.stage_buckets {
+        for b in stage {
+            buf.put_u64_le(*b);
+        }
+    }
     match &s.store {
         Some(store) => {
             buf.put_u8(1);
@@ -517,6 +544,16 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
     let cached_regions = codec::get_len(buf, "stats cached regions")?;
     let p50_latency = get_opt_duration(buf, "stats p50")?;
     let p99_latency = get_opt_duration(buf, "stats p99")?;
+    let mut latency_buckets = [0u64; LATENCY_BUCKETS];
+    for b in &mut latency_buckets {
+        *b = get_u64(buf, "stats latency bucket")?;
+    }
+    let mut stage_buckets = [[0u64; LATENCY_BUCKETS]; STAGES];
+    for stage in &mut stage_buckets {
+        for b in stage.iter_mut() {
+            *b = get_u64(buf, "stats stage bucket")?;
+        }
+    }
     let store = match get_u8(buf, "stats store flag")? {
         0 => None,
         1 => Some(get_store_stats(buf)?),
@@ -541,6 +578,8 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
         cached_regions,
         p50_latency,
         p99_latency,
+        latency_buckets,
+        stage_buckets,
         store,
     })
 }
@@ -596,6 +635,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
             encode_interpret_batch(*deadline_ms, items)
         }
         Request::Stats => frame(&[TAG_STATS]),
+        Request::Metrics => frame(&[TAG_METRICS]),
     }
 }
 
@@ -633,6 +673,7 @@ pub fn decode_request(mut payload: &[u8]) -> Result<Request, WireError> {
             Request::InterpretBatch { deadline_ms, items }
         }
         TAG_STATS => Request::Stats,
+        TAG_METRICS => Request::Metrics,
         tag => return Err(WireError::BadTag { tag }),
     };
     if !buf.is_empty() {
@@ -674,6 +715,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         Response::StatsReply(stats) => {
             payload.put_u8(TAG_STATS_REPLY);
             put_stats(&mut payload, stats);
+        }
+        Response::MetricsReply(text) => {
+            payload.put_u8(TAG_METRICS_REPLY);
+            put_string(&mut payload, text);
         }
         Response::Error(e) => {
             payload.put_u8(TAG_ERROR);
@@ -718,7 +763,8 @@ pub fn decode_response(mut payload: &[u8]) -> Result<Response, WireError> {
             }
             Response::Batch(results)
         }
-        TAG_STATS_REPLY => Response::StatsReply(get_stats(buf)?),
+        TAG_STATS_REPLY => Response::StatsReply(Box::new(get_stats(buf)?)),
+        TAG_METRICS_REPLY => Response::MetricsReply(get_string(buf, "metrics text")?),
         TAG_ERROR => Response::Error(get_remote_error(buf)?),
         tag => return Err(WireError::BadTag { tag }),
     };
@@ -862,6 +908,7 @@ mod tests {
             outcome,
             queries: 11,
             server_latency: Duration::from_micros(12_345),
+            span: 0xFACE,
         }
     }
 
@@ -880,6 +927,10 @@ mod tests {
             cached_regions: 16,
             p50_latency: Some(Duration::from_micros(250)),
             p99_latency: None,
+            latency_buckets: std::array::from_fn(|i| (i as u64) % 5),
+            stage_buckets: std::array::from_fn(|s| {
+                std::array::from_fn(|i| ((s * 7 + i) as u64) % 3)
+            }),
             store: with_store.then_some(StoreStatsSnapshot {
                 regions: 20,
                 wal_bytes: 4096,
@@ -927,6 +978,7 @@ mod tests {
             items: vec![(Vector(vec![1.0, 2.0]), 0), (Vector(vec![-0.5, 0.5]), 7)],
         });
         roundtrip_request(Request::Stats);
+        roundtrip_request(Request::Metrics);
     }
 
     #[test]
@@ -948,8 +1000,11 @@ mod tests {
             }),
             Ok(served(ServeOutcome::CacheHit)),
         ]));
-        roundtrip_response(Response::StatsReply(sample_stats(false)));
-        roundtrip_response(Response::StatsReply(sample_stats(true)));
+        roundtrip_response(Response::StatsReply(Box::new(sample_stats(false))));
+        roundtrip_response(Response::StatsReply(Box::new(sample_stats(true))));
+        roundtrip_response(Response::MetricsReply(
+            "# TYPE openapi_requests_total counter\nopenapi_requests_total 100\n".into(),
+        ));
         roundtrip_response(Response::Error(RemoteError {
             code: ErrorCode::Busy,
             message: String::new(),

@@ -129,4 +129,4 @@ pub use service::{
 };
 pub use shared_cache::{SharedCacheConfig, SharedRegionCache};
 pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError};
-pub use stats::{ServiceStats, StatsSnapshot};
+pub use stats::{ServiceStats, StageSlot, StatsSnapshot, STAGES, STAGE_NAMES};

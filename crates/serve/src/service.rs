@@ -4,7 +4,7 @@
 use crate::coalesce::{ClassLedger, Election};
 use crate::shared_cache::{SharedCacheConfig, SharedRegionCache};
 use crate::snapshot::CacheSnapshot;
-use crate::stats::{ServiceStats, StatsSnapshot};
+use crate::stats::{ServiceStats, StageSlot, StatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender};
 use openapi_api::PredictionApi;
 use openapi_core::batch::queries_consumed;
@@ -16,6 +16,7 @@ use openapi_core::InterpretError;
 use openapi_linalg::Vector;
 use openapi_store::{RegionStore, StoreConfig, StoreError};
 use openapi_sync::atomic::{AtomicU64, Ordering};
+use openapi_trace::{clock, slowlog, RequestSpan, Stage};
 use rand::rngs::StdRng;
 use std::fmt;
 use std::path::Path;
@@ -87,7 +88,7 @@ impl InterpretRequest {
 
     /// Sets a deadline `budget` from now.
     pub fn with_timeout(mut self, budget: Duration) -> Self {
-        self.deadline = Some(Instant::now() + budget);
+        self.deadline = Some(clock::now() + budget);
         self
     }
 }
@@ -122,6 +123,9 @@ pub struct Served {
     pub queries: usize,
     /// End-to-end latency (submit → completion).
     pub latency: Duration,
+    /// The request's trace span id (0 with tracing disabled), for
+    /// correlating this reply with its ring events and slow-log lines.
+    pub span: u64,
 }
 
 /// Why a request failed.
@@ -193,7 +197,16 @@ struct Job {
     probs: Option<Vector>,
     queries_spent: usize,
     submitted: Instant,
+    /// When the job last entered the queue: `submitted` at first, reset
+    /// on every requeue, so the queue-stage timing never double-counts a
+    /// previous pass.
+    enqueued: Instant,
     id: u64,
+    /// The request's trace span; every stage event carries its id.
+    span: RequestSpan,
+    /// Per-stage nanosecond breakdown accumulated across the job's life,
+    /// in [`crate::stats::STAGE_NAMES`] order — the slow log's timeline.
+    stage_ns: [u64; slowlog::STAGES],
     reply: mpsc::Sender<Result<Served, ServeError>>,
 }
 
@@ -316,20 +329,32 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
         &self.inner.api
     }
 
-    /// Submits a request; returns immediately with a [`Ticket`].
+    /// Submits a request; returns immediately with a [`Ticket`]. Mints a
+    /// fresh root trace span for the request.
     pub fn submit(&self, request: InterpretRequest) -> Ticket {
+        self.submit_spanned(request, RequestSpan::root())
+    }
+
+    /// [`submit`](InterpretationService::submit) under a caller-minted
+    /// trace span — `openapi-net` mints the span at frame decode so the
+    /// request's trace covers its wire time too.
+    pub fn submit_spanned(&self, request: InterpretRequest, span: RequestSpan) -> Ticket {
         let (reply, rx) = mpsc::channel();
         ServiceStats::add(&self.inner.stats.requests, 1);
+        let now = clock::now();
         let job = Job {
             x: request.instance,
             class: request.class,
             deadline: request.deadline,
             probs: None,
             queries_spent: 0,
-            submitted: Instant::now(),
+            submitted: now,
+            enqueued: now,
             // ordering: Relaxed — the ID only needs uniqueness (the RMW is
             // atomic regardless of ordering); nothing is published through it.
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            span,
+            stage_ns: [0; slowlog::STAGES],
             reply,
         };
         if let Err(channel::SendError(Msg::Job(job))) = self.tx.send(Msg::Job(job)) {
@@ -361,6 +386,18 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     ///
     /// [`submit`]: InterpretationService::submit
     pub fn submit_batch(&self, requests: Vec<InterpretRequest>) -> Vec<Ticket> {
+        self.submit_batch_spanned(requests, RequestSpan::root())
+    }
+
+    /// [`submit_batch`](InterpretationService::submit_batch) under a
+    /// caller-minted trace span: each request gets a child span of
+    /// `parent` (the wire frame's span, for remote batches), and the
+    /// shared kernel pass's events attribute to `parent` itself.
+    pub fn submit_batch_spanned(
+        &self,
+        requests: Vec<InterpretRequest>,
+        parent: RequestSpan,
+    ) -> Vec<Ticket> {
         let inner = self.inner.as_ref();
         let (d, c_total) = (inner.api.dim(), inner.api.num_classes());
         let mut tickets = Vec::with_capacity(requests.len());
@@ -370,15 +407,19 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
         for request in requests {
             let (reply, rx) = mpsc::channel();
             ServiceStats::add(&inner.stats.requests, 1);
+            let now = clock::now();
             let mut job = Job {
                 x: request.instance,
                 class: request.class,
                 deadline: request.deadline,
                 probs: None,
                 queries_spent: 0,
-                submitted: Instant::now(),
+                submitted: now,
+                enqueued: now,
                 // ordering: Relaxed — uniqueness only, as in `submit`.
                 id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                span: parent.child(),
+                stage_ns: [0; slowlog::STAGES],
                 reply,
             };
             tickets.push(Ticket { rx });
@@ -413,7 +454,13 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             }
             ServiceStats::add(&inner.stats.queries, 1);
             job.queries_spent += 1;
+            let probe_start = clock::now();
             let probs = inner.api.predict(job.x.as_slice());
+            // Per-request probe attribution in the batch path covers the
+            // prediction query; the shared kernel pass below is the
+            // frame's, not any one item's.
+            let (_, at) = mark_stage(inner, &mut job, StageSlot::Probe, probe_start);
+            job.span.event_at(Stage::Probe, 1, at);
             pending.push((job, probs));
         }
 
@@ -428,19 +475,28 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             .collect();
         let mut hits = Vec::new();
         hits.resize_with(probes.len(), || None);
-        inner.cache.lookup_probe_batch(&probes, &mut hits);
+        {
+            // The blocked pass's kernel events attribute to the frame span.
+            let _frame = openapi_trace::enter(parent);
+            inner.cache.lookup_probe_batch(&probes, &mut hits);
+        }
         drop(probes);
 
+        // One clock read covers every hit in the frame: the batched pass
+        // just ended, so all the hit events share its completion instant.
+        let batch_at = clock::now();
         for ((mut job, probs), hit) in pending.into_iter().zip(hits) {
             match hit {
                 Some(cached) => {
                     ServiceStats::add(&inner.stats.hits, 1);
+                    job.span.event_at(Stage::CacheHit, 0, batch_at);
                     let served = Served {
                         interpretation: cached.interpretation,
                         fingerprint: cached.fingerprint,
                         outcome: ServeOutcome::CacheHit,
                         queries: job.queries_spent,
                         latency: job.submitted.elapsed(),
+                        span: job.span.id(),
                     };
                     finish(inner, job, Ok(served));
                 }
@@ -455,6 +511,20 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             }
         }
         tickets
+    }
+
+    /// Records the reply-write stage for a request served over the wire:
+    /// `openapi-net`'s writer thread calls this after framing and writing
+    /// the response, with the `span` taken from [`Served::span`] and `at`
+    /// the clock reading that ended the write (one reading stamps every
+    /// span a batch frame answers).
+    pub fn record_reply(&self, span: u64, latency: Duration, at: Instant) {
+        self.inner.stats.record_stage(StageSlot::Reply, latency);
+        RequestSpan::from_id(span).event_at(
+            Stage::Reply,
+            latency.as_nanos().min(u128::from(u64::MAX)) as u64,
+            at,
+        );
     }
 
     /// A point-in-time statistics snapshot (counters + cache gauges +
@@ -583,29 +653,66 @@ impl<M: PredictionApi> Drop for LeaderGuard<'_, M> {
         // Unwinding: step down and requeue the waiters. A send failure
         // means shutdown; dropping the job resolves its ticket as
         // `ServiceStopped`.
-        for waiter in self.inner.ledger.step_down(self.class) {
+        for mut waiter in self.inner.ledger.step_down(self.class) {
+            waiter.enqueued = clock::now();
             let _ = self.tx.send(Msg::Job(waiter));
         }
     }
 }
 
-/// Completes a job: records latency + outcome counters, sends the reply.
+/// Records one stage's elapsed time into the service's per-stage
+/// histogram and the job's slow-log breakdown; returns the elapsed
+/// nanoseconds (for use as an event payload) together with the clock
+/// reading that ended the stage, so the caller can stamp the stage's
+/// trace event without a second clock read.
+fn mark_stage(
+    inner: &Inner<impl PredictionApi>,
+    job: &mut Job,
+    slot: StageSlot,
+    start: Instant,
+) -> (u64, Instant) {
+    let now = clock::now();
+    let elapsed = now.saturating_duration_since(start);
+    inner.stats.record_stage(slot, elapsed);
+    let ns = elapsed.as_nanos().min(u128::from(u64::MAX)) as u64;
+    job.stage_ns[slot as usize] += ns;
+    (ns, now)
+}
+
+/// Completes a job: records latency + outcome counters, emits the span's
+/// terminal event, feeds the slow-request log, sends the reply.
 fn finish(inner: &Inner<impl PredictionApi>, job: Job, result: Result<Served, ServeError>) {
+    // Finish payload: 0 ok / 1 failed / 2 deadline-expired.
+    let outcome_code = match &result {
+        Ok(_) => 0,
+        Err(ServeError::DeadlineExceeded) => 2,
+        Err(_) => 1,
+    };
     if result.is_err() {
         ServiceStats::add(&inner.stats.failures, 1);
         if matches!(result, Err(ServeError::DeadlineExceeded)) {
             ServiceStats::add(&inner.stats.deadline_expired, 1);
         }
     }
-    inner.stats.record_latency(job.submitted.elapsed());
+    let now = clock::now();
+    let latency = now.saturating_duration_since(job.submitted);
+    inner.stats.record_latency(latency);
+    job.span.event_at(Stage::Finish, outcome_code, now);
+    slowlog::observe(job.span.id(), latency, &job.stage_ns);
     let _ = job.reply.send(result);
 }
 
 fn expired(job: &Job) -> bool {
-    job.deadline.is_some_and(|d| Instant::now() > d)
+    job.deadline.is_some_and(|d| clock::now() > d)
 }
 
 fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job) {
+    // Kernel and store events emitted below attribute to this request's
+    // span through the thread-local.
+    let _span_guard = openapi_trace::enter(job.span);
+    let enqueued = job.enqueued;
+    let (queue_ns, at) = mark_stage(inner, &mut job, StageSlot::Queue, enqueued);
+    job.span.event_at(Stage::Queue, queue_ns, at);
     if expired(&job) {
         return finish(inner, job, Err(ServeError::DeadlineExceeded));
     }
@@ -635,27 +742,33 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
 
     // The membership probe: one query, reused as Algorithm 1's x⁰ equation
     // on a miss and carried along on a requeue — never paid twice.
-    let probs = match job.probs.take() {
-        Some(probs) => probs,
+    let probe_start = clock::now();
+    let (probs, probe_queries) = match job.probs.take() {
+        Some(probs) => (probs, 0),
         None => {
             ServiceStats::add(&inner.stats.queries, 1);
             job.queries_spent += 1;
-            inner.api.predict(job.x.as_slice())
+            (inner.api.predict(job.x.as_slice()), 1)
         }
     };
 
     let generation = inner.ledger.generation();
-    if let Some(hit) = inner
+    let hit = inner
         .cache
-        .lookup_probe(&job.x, probs.as_slice(), job.class)
-    {
+        .lookup_probe(&job.x, probs.as_slice(), job.class);
+    // The probe stage covers the prediction query plus the cache scan.
+    let (_, at) = mark_stage(inner, &mut job, StageSlot::Probe, probe_start);
+    job.span.event_at(Stage::Probe, probe_queries, at);
+    if let Some(hit) = hit {
         ServiceStats::add(&inner.stats.hits, 1);
+        job.span.event_at(Stage::CacheHit, 0, at);
         let served = Served {
             interpretation: hit.interpretation,
             fingerprint: hit.fingerprint,
             outcome: ServeOutcome::CacheHit,
             queries: job.queries_spent,
             latency: job.submitted.elapsed(),
+            span: job.span.id(),
         };
         return finish(inner, job, Ok(served));
     }
@@ -666,7 +779,12 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
     // no Algorithm-1 queries. The membership test just passed against
     // *this* request's live probe, so the serve is as exact as any hit.
     if let Some(store) = &inner.store {
-        if let Some(stored) = store.lookup_probe(&job.x, probs.as_slice(), job.class) {
+        let store_start = clock::now();
+        let stored = store.lookup_probe(&job.x, probs.as_slice(), job.class);
+        let (_, at) = mark_stage(inner, &mut job, StageSlot::Store, store_start);
+        job.span
+            .event_at(Stage::StoreLookup, u64::from(stored.is_some()), at);
+        if let Some(stored) = stored {
             ServiceStats::add(&inner.stats.store_hits, 1);
             let cached = inner.cache.insert(stored.interpretation);
             let served = Served {
@@ -675,6 +793,7 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
                 outcome: ServeOutcome::StoreHit,
                 queries: job.queries_spent,
                 latency: job.submitted.elapsed(),
+                span: job.span.id(),
             };
             return finish(inner, job, Ok(served));
         }
@@ -685,6 +804,10 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
     job.probs = Some(probs);
     let leadership = if inner.config.coalesce {
         let class = job.class;
+        // The span outlives the election either way; keep a copy so the
+        // parked branch (which surrenders the job to the ledger) can
+        // still emit its event.
+        let span = job.span;
         match inner
             .ledger
             .try_lead(class, inner.config.max_leaders_per_class, job)
@@ -695,10 +818,12 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
                 // ledger). A finishing leader's result decides our fate —
                 // serve if it explains our probe, requeue otherwise.
                 ServiceStats::add(&inner.stats.coalesced_waits, 1);
+                span.event(Stage::CoalesceWait, 0);
                 return;
             }
             Election::Led(led) => {
                 job = led;
+                job.span.event(Stage::CoalesceLead, 0);
                 // Guard constructed immediately after winning the slot: from
                 // here on, a panic anywhere in the solve steps this leader
                 // down via `Drop`.
@@ -730,12 +855,24 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
     let (solved, outcome) = match recheck {
         Some(hit) => {
             ServiceStats::add(&inner.stats.hits, 1);
+            job.span.event(Stage::CacheHit, 0);
             (
                 Ok((hit.interpretation, hit.fingerprint)),
                 ServeOutcome::CacheHit,
             )
         }
-        None => (lead_solve(inner, &mut job, probs), ServeOutcome::Solved),
+        None => {
+            let solve_start = clock::now();
+            let queries_before = job.queries_spent;
+            let solved = lead_solve(inner, &mut job, probs);
+            let (_, at) = mark_stage(inner, &mut job, StageSlot::Solve, solve_start);
+            job.span.event_at(
+                Stage::Solve,
+                (job.queries_spent - queries_before) as u64,
+                at,
+            );
+            (solved, ServeOutcome::Solved)
+        }
     };
 
     if let Some(guard) = leadership {
@@ -750,6 +887,7 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
             outcome,
             queries: job.queries_spent,
             latency: job.submitted.elapsed(),
+            span: job.span.id(),
         }),
         Err(e) => Err(ServeError::Interpret(e)),
     };
@@ -815,7 +953,7 @@ fn settle_waiters<M: PredictionApi>(
     waiters: Vec<Job>,
 ) {
     let rtol = inner.config.cache.membership_rtol;
-    for waiter in waiters {
+    for mut waiter in waiters {
         if expired(&waiter) {
             finish(inner, waiter, Err(ServeError::DeadlineExceeded));
             continue;
@@ -836,10 +974,16 @@ fn settle_waiters<M: PredictionApi>(
                 outcome: ServeOutcome::Coalesced,
                 queries: waiter.queries_spent,
                 latency: waiter.submitted.elapsed(),
+                span: waiter.span.id(),
             };
             finish(inner, waiter, Ok(served));
-        } else if let Err(channel::SendError(Msg::Job(waiter))) = tx.send(Msg::Job(waiter)) {
-            finish(inner, waiter, Err(ServeError::ServiceStopped));
+        } else {
+            // Back on the queue: reset the queue-stage clock so the next
+            // pass counts only its own wait.
+            waiter.enqueued = clock::now();
+            if let Err(channel::SendError(Msg::Job(waiter))) = tx.send(Msg::Job(waiter)) {
+                finish(inner, waiter, Err(ServeError::ServiceStopped));
+            }
         }
     }
 }
@@ -965,7 +1109,7 @@ mod tests {
         let req = InterpretRequest {
             instance: Vector(vec![0.2, 0.1]),
             class: 0,
-            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            deadline: Some(clock::now() - Duration::from_millis(1)),
         };
         assert!(matches!(
             svc.submit(req).wait(),
@@ -978,12 +1122,12 @@ mod tests {
     fn tickets_can_be_polled() {
         let svc = service(1);
         let ticket = svc.submit_instance(Vector(vec![0.2, 0.1]), 0);
-        let deadline = Instant::now() + Duration::from_secs(10);
+        let deadline = clock::now() + Duration::from_secs(10);
         let result = loop {
             if let Some(r) = ticket.poll() {
                 break r;
             }
-            assert!(Instant::now() < deadline, "request never completed");
+            assert!(clock::now() < deadline, "request never completed");
             std::thread::yield_now();
         };
         assert!(result.is_ok());
@@ -1058,7 +1202,7 @@ mod tests {
         requests.push(InterpretRequest {
             instance: Vector(vec![0.2, 0.1]),
             class: 0,
-            deadline: Some(Instant::now() - Duration::from_millis(1)),
+            deadline: Some(clock::now() - Duration::from_millis(1)),
         });
         let tickets = svc.submit_batch(requests);
         assert_eq!(tickets.len(), 8);
@@ -1155,11 +1299,11 @@ mod tests {
     /// with B's submitted only after A is provably mid-solve.
     fn slow_first_solve(svc: &InterpretationService<SlowCall<TwoRegionPlm>>) -> (Ticket, Ticket) {
         let a = svc.submit_instance(Vector(vec![0.2, 0.1]), 0); // low region
-        let deadline = Instant::now() + Duration::from_secs(30);
+        let deadline = clock::now() + Duration::from_secs(30);
         // ordering: Relaxed — progress polling; the sleep itself is the
         // only synchronization the scenario needs.
         while svc.api().calls.load(Ordering::Relaxed) < 2 {
-            assert!(Instant::now() < deadline, "request A never began solving");
+            assert!(clock::now() < deadline, "request A never began solving");
             std::thread::yield_now();
         }
         let b = svc.submit_instance(Vector(vec![0.8, -0.2]), 0); // high region

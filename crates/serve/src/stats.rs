@@ -1,10 +1,29 @@
 //! Atomic service statistics: the numbers a capacity planner needs.
 
-use openapi_metrics::LatencyHistogram;
+use openapi_metrics::{quantile_from_buckets, LatencyHistogram, LATENCY_BUCKETS};
 use openapi_store::StoreStatsSnapshot;
 use openapi_sync::atomic::{AtomicU64, Ordering};
 use std::fmt;
 use std::time::Duration;
+
+pub use openapi_trace::slowlog::{STAGES, STAGE_NAMES};
+
+/// Index of a per-stage latency slot (the [`STAGE_NAMES`] order): where a
+/// request's wall time went, one histogram per stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum StageSlot {
+    /// Queue wait: `submit` to a worker picking the job up.
+    Queue = 0,
+    /// Black-box membership probe (cache scan + model queries).
+    Probe = 1,
+    /// Durable store lookup after a cache miss.
+    Store = 2,
+    /// A led Algorithm-1 solve.
+    Solve = 3,
+    /// Reply frame write on the wire (recorded by `openapi-net`).
+    Reply = 4,
+}
 
 /// Lock-free counters every worker thread records into, plus the request
 /// latency histogram. All counters are monotone over the service lifetime.
@@ -31,6 +50,8 @@ pub struct ServiceStats {
     pub(crate) queries: AtomicU64,
     /// End-to-end request latency (submit → reply).
     pub(crate) latency: LatencyHistogram,
+    /// Per-stage latency, one histogram per [`StageSlot`].
+    pub(crate) stage: [LatencyHistogram; STAGES],
 }
 
 impl ServiceStats {
@@ -42,6 +63,11 @@ impl ServiceStats {
 
     pub(crate) fn record_latency(&self, latency: Duration) {
         self.latency.record(latency);
+    }
+
+    /// Records one observation into a stage's latency histogram.
+    pub(crate) fn record_stage(&self, slot: StageSlot, latency: Duration) {
+        self.stage[slot as usize].record(latency);
     }
 
     /// A point-in-time copy of the counters. `evictions` and
@@ -75,6 +101,8 @@ impl ServiceStats {
             cached_regions,
             p50_latency: self.latency.p50(),
             p99_latency: self.latency.p99(),
+            latency_buckets: self.latency.snapshot(),
+            stage_buckets: std::array::from_fn(|i| self.stage[i].snapshot()),
             store: None,
         }
     }
@@ -119,6 +147,12 @@ pub struct StatsSnapshot {
     pub p50_latency: Option<Duration>,
     /// 99th-percentile request latency.
     pub p99_latency: Option<Duration>,
+    /// Raw end-to-end latency bucket counts (the `LatencyHistogram` log₂
+    /// layout), so remote consumers can reconstruct any quantile.
+    pub latency_buckets: [u64; LATENCY_BUCKETS],
+    /// Raw per-stage latency bucket counts, one array per [`StageSlot`]
+    /// in [`STAGE_NAMES`] order.
+    pub stage_buckets: [[u64; LATENCY_BUCKETS]; STAGES],
     /// The durable store's own counters (`None` when the service runs
     /// without a store).
     pub store: Option<StoreStatsSnapshot>,
@@ -145,16 +179,166 @@ impl fmt::Display for StatsSnapshot {
             Some(d) => format!("{:.3} ms", d.as_secs_f64() * 1e3),
             None => "n/a".to_string(),
         };
-        write!(
+        let q = |buckets: &[u64; LATENCY_BUCKETS], q: f64| quantile_from_buckets(buckets, q);
+        writeln!(
             f,
-            "latency  p50 ≤ {}   p99 ≤ {}",
-            show(self.p50_latency),
-            show(self.p99_latency)
+            "latency  p50 {}   p90 {}   p99 {}",
+            show(q(&self.latency_buckets, 0.5)),
+            show(q(&self.latency_buckets, 0.9)),
+            show(q(&self.latency_buckets, 0.99)),
         )?;
+        write!(f, "stages   ")?;
+        for (i, name) in STAGE_NAMES.iter().enumerate() {
+            if i > 0 {
+                write!(f, "   ")?;
+            }
+            write!(
+                f,
+                "{} p50/p99 {}/{}",
+                name,
+                show(q(&self.stage_buckets[i], 0.5)),
+                show(q(&self.stage_buckets[i], 0.99)),
+            )?;
+        }
         if let Some(store) = &self.store {
             write!(f, "\n{store}")?;
         }
         Ok(())
+    }
+}
+
+impl StatsSnapshot {
+    /// Renders this snapshot as a Prometheus text-format exposition:
+    /// counters, cache gauges, the end-to-end latency histogram, the
+    /// per-stage histograms (labelled `stage="queue"` … `stage="reply"`),
+    /// the store's counters when present, and the trace ring's own
+    /// emit/drop counters. Served by the `Metrics` wire request and the
+    /// example server's `--metrics-addr` listener; conventions are
+    /// documented in `docs/OBSERVABILITY.md`.
+    ///
+    /// The ring counters come from this process's global ring, so call it
+    /// where the snapshot was taken (the server side), not on a
+    /// wire-copied snapshot.
+    pub fn to_prometheus(&self) -> String {
+        let mut m = openapi_trace::expose::MetricsText::new();
+        m.counter(
+            "openapi_requests_total",
+            "Requests submitted to the interpretation service.",
+            self.requests,
+        );
+        m.counter(
+            "openapi_cache_hits_total",
+            "Requests served from the shared region cache.",
+            self.hits,
+        );
+        m.counter(
+            "openapi_store_hits_total",
+            "Requests served from the durable region store.",
+            self.store_hits,
+        );
+        m.counter(
+            "openapi_misses_total",
+            "Requests that led an Algorithm-1 solve.",
+            self.misses,
+        );
+        m.counter(
+            "openapi_coalesced_waits_total",
+            "Times a request parked behind an in-flight solve.",
+            self.coalesced_waits,
+        );
+        m.counter(
+            "openapi_coalesced_served_total",
+            "Requests served from a leader's solve.",
+            self.coalesced_served,
+        );
+        m.counter(
+            "openapi_failures_total",
+            "Requests that completed with an error.",
+            self.failures,
+        );
+        m.counter(
+            "openapi_deadline_expired_total",
+            "Failures caused by an expired deadline.",
+            self.deadline_expired,
+        );
+        m.counter(
+            "openapi_queries_total",
+            "Prediction queries issued to the model API.",
+            self.queries,
+        );
+        m.counter(
+            "openapi_cache_evictions_total",
+            "Regions evicted from the bounded cache.",
+            self.evictions,
+        );
+        m.gauge(
+            "openapi_cache_regions",
+            "Regions currently cached.",
+            self.cached_regions as u64,
+        );
+        m.histogram_log2ns(
+            "openapi_request_latency_seconds",
+            "End-to-end request latency (submit to reply).",
+            &[("", &self.latency_buckets)],
+        );
+        let labels: Vec<String> = STAGE_NAMES
+            .iter()
+            .map(|n| format!("stage=\"{n}\""))
+            .collect();
+        let series: Vec<(&str, &[u64])> = labels
+            .iter()
+            .zip(&self.stage_buckets)
+            .map(|(l, b)| (l.as_str(), b.as_slice()))
+            .collect();
+        m.histogram_log2ns(
+            "openapi_stage_latency_seconds",
+            "Per-stage request latency by serving stage.",
+            &series,
+        );
+        if let Some(store) = &self.store {
+            m.gauge(
+                "openapi_store_regions",
+                "Distinct regions durable (or queued durable).",
+                store.regions as u64,
+            );
+            m.gauge(
+                "openapi_store_wal_bytes",
+                "Current WAL length in bytes.",
+                store.wal_bytes,
+            );
+            m.counter(
+                "openapi_store_appends_total",
+                "New regions accepted by the store.",
+                store.appends,
+            );
+            m.counter(
+                "openapi_store_fsyncs_total",
+                "Batched fsync calls issued by the flusher.",
+                store.fsyncs,
+            );
+            m.counter(
+                "openapi_store_lookups_total",
+                "Membership lookups served by the store.",
+                store.lookups,
+            );
+            m.counter(
+                "openapi_store_lookup_hits_total",
+                "Store lookups that found their region.",
+                store.hits,
+            );
+        }
+        let ring = openapi_trace::ring_stats();
+        m.counter(
+            "openapi_trace_events_total",
+            "Trace events committed into the ring.",
+            ring.emitted,
+        );
+        m.counter(
+            "openapi_trace_dropped_total",
+            "Trace events dropped by lap contention.",
+            ring.dropped,
+        );
+        m.finish()
     }
 }
 
@@ -187,5 +371,59 @@ mod tests {
         // Display renders without panicking and mentions the key counters.
         let text = snap.to_string();
         assert!(text.contains("requests") && text.contains("p99"));
+    }
+
+    #[test]
+    fn stage_histograms_flow_into_the_snapshot_and_report() {
+        let stats = ServiceStats::default();
+        ServiceStats::add(&stats.requests, 1);
+        stats.record_stage(StageSlot::Queue, Duration::from_micros(3));
+        stats.record_stage(StageSlot::Probe, Duration::from_micros(20));
+        stats.record_stage(StageSlot::Reply, Duration::from_micros(5));
+        stats.record_latency(Duration::from_micros(30));
+        let snap = stats.snapshot(0, 0);
+        assert_eq!(
+            snap.stage_buckets[StageSlot::Queue as usize]
+                .iter()
+                .sum::<u64>(),
+            1
+        );
+        assert_eq!(
+            snap.stage_buckets[StageSlot::Solve as usize]
+                .iter()
+                .sum::<u64>(),
+            0
+        );
+        // The Display breakdown names every stage.
+        let text = snap.to_string();
+        for name in STAGE_NAMES {
+            assert!(text.contains(name), "stage {name} missing from report");
+        }
+        assert!(text.contains("p90"));
+    }
+
+    #[test]
+    fn the_prometheus_exposition_exposes_counters_and_stage_histograms() {
+        let stats = ServiceStats::default();
+        ServiceStats::add(&stats.requests, 4);
+        ServiceStats::add(&stats.queries, 9);
+        stats.record_stage(StageSlot::Probe, Duration::from_micros(20));
+        stats.record_latency(Duration::from_micros(25));
+        let doc = stats.snapshot(0, 2).to_prometheus();
+        assert!(doc.contains("# TYPE openapi_requests_total counter\n"));
+        assert!(doc.contains("openapi_requests_total 4\n"));
+        assert!(doc.contains("openapi_queries_total 9\n"));
+        assert!(doc.contains("openapi_cache_regions 2\n"));
+        assert!(doc.contains("# TYPE openapi_stage_latency_seconds histogram\n"));
+        for name in STAGE_NAMES {
+            assert!(doc.contains(&format!("stage=\"{name}\"")));
+        }
+        assert!(doc.contains("openapi_request_latency_seconds_bucket{le=\"+Inf\"} 1\n"));
+        // Every non-comment line is `name{labels} value` — parseable.
+        for line in doc.lines().filter(|l| !l.starts_with('#')) {
+            let (name, value) = line.rsplit_once(' ').expect("sample line");
+            assert!(!name.is_empty());
+            assert!(value.parse::<f64>().is_ok(), "unparseable value: {line}");
+        }
     }
 }

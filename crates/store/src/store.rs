@@ -12,6 +12,7 @@ use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::Vector;
 use openapi_sync::atomic::{AtomicU64, Ordering};
 use openapi_sync::{Mutex, RwLock};
+use openapi_trace::{RequestSpan, Stage};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
@@ -323,6 +324,10 @@ impl RegionStore {
         }
         StoreStats::add(&self.shared.stats.appends, 1);
         let frame = record::encode_record(record.fingerprint, &record.interpretation);
+        // Attributes to the solving request's span when called from a
+        // worker (the serving tier holds the span in its thread-local);
+        // payload = encoded frame bytes queued for the flusher.
+        openapi_trace::emit(Stage::WalAppend, frame.len() as u64);
         // A send failure means the flusher exited (shutdown race). Either
         // way the record stays served from memory; if the WAL ever failed,
         // the sticky `wal_error` surfaces through flush()/close().
@@ -459,6 +464,10 @@ fn flusher_loop(shared: &Shared, rx: &mpsc::Receiver<FlushMsg>) {
                     Ok(()) => {
                         StoreStats::add(&shared.stats.flushed_records, pending.len() as u64);
                         StoreStats::add(&shared.stats.fsyncs, 1);
+                        // A process-level event (the batched fsync serves
+                        // many requests), so it carries the detached span;
+                        // payload = records made durable by this sync.
+                        RequestSpan::detached().event(Stage::Fsync, pending.len() as u64);
                     }
                     Err(e) => {
                         let msg = e.to_string();
@@ -649,7 +658,7 @@ mod tests {
         store.flush().unwrap();
         // The compaction runs on the flusher right after the barrier acks;
         // wait for it to land.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let deadline = openapi_trace::clock::now() + std::time::Duration::from_secs(30);
         loop {
             let stats = store.stats();
             if stats.compactions >= 1 && stats.wal_bytes == crate::wal::WAL_HEADER {
@@ -657,7 +666,7 @@ mod tests {
                 break;
             }
             assert!(
-                std::time::Instant::now() < deadline,
+                openapi_trace::clock::now() < deadline,
                 "flusher never compacted the live WAL"
             );
             std::thread::yield_now();

@@ -1,0 +1,125 @@
+//! The trace event model: stages and the fixed-width [`TraceEvent`] record.
+//!
+//! Every observable step of a request's life is one [`Stage`]. An event is
+//! five words — span id, parent span id, stage, monotonic nanos, payload —
+//! so it packs into a handful of atomics in the ring (`ring.rs`) and never
+//! allocates on the hot path. The payload's meaning is per-stage (see
+//! [`Stage`]'s variant docs and `docs/OBSERVABILITY.md`).
+
+/// One step in a request's life. Discriminants are stable across builds —
+/// they are what the ring stores and what JSONL slow logs print.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Stage {
+    /// Span minted (at frame decode, or at `submit` for local callers).
+    /// Payload: the parent span id's low bits for batch children, else 0.
+    Begin = 1,
+    /// Queue wait between `submit` and a worker picking the job up.
+    /// Payload: the wait in nanoseconds.
+    Queue = 2,
+    /// Black-box membership probe against the region cache.
+    /// Payload: model queries spent by the probe.
+    Probe = 3,
+    /// One blocked kernel pass over packed boundaries (emitted by
+    /// `openapi-core` under the current span). Payload: rows scanned.
+    KernelPass = 4,
+    /// The probe hit a cached region. Payload: 0.
+    CacheHit = 5,
+    /// The durable store was consulted after a cache miss.
+    /// Payload: 1 on a hit, 0 on a miss.
+    StoreLookup = 6,
+    /// This job won the class election and will solve. Payload: 0.
+    CoalesceLead = 7,
+    /// This job parked behind an in-flight leader. Payload: 0.
+    CoalesceWait = 8,
+    /// A fresh region solve ran. Payload: model queries spent.
+    Solve = 9,
+    /// An interpretation was appended to the WAL (admission accepted).
+    /// Payload: the frame length in bytes.
+    WalAppend = 10,
+    /// The store flusher fsynced a batch (detached span 0).
+    /// Payload: appends in the batch.
+    Fsync = 11,
+    /// The reply frame was written to the socket. Payload: the write
+    /// duration in nanoseconds.
+    Reply = 12,
+    /// The request settled. Payload: outcome code (0 ok, 1 failed,
+    /// 2 deadline expired).
+    Finish = 13,
+}
+
+impl Stage {
+    /// Decodes a stored discriminant; `None` for values no [`Stage`] uses
+    /// (a torn ring slot, or a record from a different build).
+    pub fn from_u64(v: u64) -> Option<Stage> {
+        Some(match v {
+            1 => Stage::Begin,
+            2 => Stage::Queue,
+            3 => Stage::Probe,
+            4 => Stage::KernelPass,
+            5 => Stage::CacheHit,
+            6 => Stage::StoreLookup,
+            7 => Stage::CoalesceLead,
+            8 => Stage::CoalesceWait,
+            9 => Stage::Solve,
+            10 => Stage::WalAppend,
+            11 => Stage::Fsync,
+            12 => Stage::Reply,
+            13 => Stage::Finish,
+            _ => return None,
+        })
+    }
+
+    /// The stage's lowercase name, as used in metric labels and slow logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Begin => "begin",
+            Stage::Queue => "queue",
+            Stage::Probe => "probe",
+            Stage::KernelPass => "kernel_pass",
+            Stage::CacheHit => "cache_hit",
+            Stage::StoreLookup => "store_lookup",
+            Stage::CoalesceLead => "coalesce_lead",
+            Stage::CoalesceWait => "coalesce_wait",
+            Stage::Solve => "solve",
+            Stage::WalAppend => "wal_append",
+            Stage::Fsync => "fsync",
+            Stage::Reply => "reply",
+            Stage::Finish => "finish",
+        }
+    }
+}
+
+/// One structured trace event (see the module docs). `span == 0` marks a
+/// detached process-level event (e.g. a store fsync batch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The request span this event belongs to (0 = detached).
+    pub span: u64,
+    /// The span's parent (0 = root). Batch items parent on the frame span.
+    pub parent: u64,
+    /// What happened.
+    pub stage: Stage,
+    /// Monotonic nanoseconds since the process trace epoch
+    /// ([`crate::clock::nanos`]).
+    pub t_nanos: u64,
+    /// Stage-specific payload; see [`Stage`].
+    pub payload: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_discriminants_round_trip() {
+        for v in 0..=20u64 {
+            if let Some(s) = Stage::from_u64(v) {
+                assert_eq!(s as u64, v);
+                assert!(!s.name().is_empty());
+            }
+        }
+        assert_eq!(Stage::from_u64(0), None);
+        assert_eq!(Stage::from_u64(14), None);
+    }
+}

@@ -1,0 +1,135 @@
+//! Prometheus-style text exposition builder.
+//!
+//! Always compiled (it formats counters the serving tier keeps anyway —
+//! no ring involvement), so the `Metrics` wire request and the example
+//! server's `--metrics-addr` listener work even with tracing compiled
+//! out. The output follows the Prometheus text format, version 0.0.4:
+//! `# HELP` / `# TYPE` headers, one sample per line, histograms as
+//! cumulative `_bucket{le="..."}` series plus `_count`. See
+//! `docs/OBSERVABILITY.md` for naming conventions and a transcript.
+
+use std::fmt::Write as _;
+
+/// Incremental builder for one exposition document. Metric families are
+/// appended in call order; [`MetricsText::finish`] yields the document.
+#[derive(Debug, Default)]
+pub struct MetricsText {
+    out: String,
+}
+
+impl MetricsText {
+    /// Starts an empty document.
+    pub fn new() -> MetricsText {
+        MetricsText::default()
+    }
+
+    fn header(&mut self, name: &str, help: &str, kind: &str) {
+        let _ = writeln!(self.out, "# HELP {name} {help}");
+        let _ = writeln!(self.out, "# TYPE {name} {kind}");
+    }
+
+    /// Appends a monotone counter family with one unlabelled sample.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "counter");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a gauge family with one unlabelled sample.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.header(name, help, "gauge");
+        let _ = writeln!(self.out, "{name} {value}");
+    }
+
+    /// Appends a histogram family in seconds from log₂-nanosecond bucket
+    /// counts (`counts[i]` = observations in `[2^i, 2^{i+1})` ns — the
+    /// `LatencyHistogram` layout). `series` pairs an optional
+    /// `label="value"` selector (empty for none) with its counts; each
+    /// series renders cumulative `_bucket` samples (zero-run tails
+    /// collapse into the final `+Inf`) plus `_count`. `_sum` is omitted:
+    /// the log₂ buckets do not preserve it and an estimate would lie.
+    pub fn histogram_log2ns(&mut self, name: &str, help: &str, series: &[(&str, &[u64])]) {
+        self.header(name, help, "histogram");
+        for (label, counts) in series {
+            let sel = |le: &str| -> String {
+                if label.is_empty() {
+                    format!("{{le=\"{le}\"}}")
+                } else {
+                    format!("{{{label},le=\"{le}\"}}")
+                }
+            };
+            let total: u64 = counts.iter().sum();
+            let last_used = counts.iter().rposition(|&c| c != 0);
+            let mut cum = 0u64;
+            if let Some(last) = last_used {
+                for (i, &c) in counts.iter().enumerate().take(last + 1) {
+                    cum += c;
+                    let le = upper_bound_secs(i);
+                    let _ = writeln!(self.out, "{name}_bucket{} {cum}", sel(&le));
+                }
+            }
+            let _ = writeln!(self.out, "{name}_bucket{} {total}", sel("+Inf"));
+            let suffix = if label.is_empty() {
+                String::new()
+            } else {
+                format!("{{{label}}}")
+            };
+            let _ = writeln!(self.out, "{name}_count{suffix} {total}");
+        }
+    }
+
+    /// The finished exposition document.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Bucket `i`'s exclusive upper bound, `2^{i+1}` ns, rendered in seconds
+/// (Prometheus `le` values are seconds by convention).
+fn upper_bound_secs(i: usize) -> String {
+    let ns = 2f64.powi(i as i32 + 1);
+    format!("{:e}", ns / 1e9)
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_with_headers() {
+        let mut m = MetricsText::new();
+        m.counter("openapi_requests_total", "Requests admitted.", 42);
+        m.gauge("openapi_cache_regions", "Regions cached.", 7);
+        let doc = m.finish();
+        assert!(doc.contains("# TYPE openapi_requests_total counter\n"));
+        assert!(doc.contains("openapi_requests_total 42\n"));
+        assert!(doc.contains("# TYPE openapi_cache_regions gauge\n"));
+        assert!(doc.contains("openapi_cache_regions 7\n"));
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets_per_series() {
+        let mut counts = [0u64; 48];
+        counts[10] = 3; // [1024, 2048) ns
+        counts[12] = 1; // [4096, 8192) ns
+        let mut m = MetricsText::new();
+        m.histogram_log2ns(
+            "openapi_stage_latency_seconds",
+            "Per-stage latency.",
+            &[
+                ("stage=\"queue\"", &counts),
+                ("stage=\"solve\"", &[0u64; 48]),
+            ],
+        );
+        let doc = m.finish();
+        // Cumulative counts: 3 at the 2^11 ns bound, still 3 at 2^13 ns... 4 after.
+        assert!(doc.contains("stage=\"queue\",le=\"2.048e-6\"} 3\n"));
+        assert!(doc.contains("stage=\"queue\",le=\"8.192e-6\"} 4\n"));
+        assert!(doc.contains("stage=\"queue\",le=\"+Inf\"} 4\n"));
+        assert!(doc.contains("openapi_stage_latency_seconds_count{stage=\"queue\"} 4\n"));
+        // An empty series still exposes +Inf and _count.
+        assert!(doc.contains("stage=\"solve\",le=\"+Inf\"} 0\n"));
+        assert!(doc.contains("openapi_stage_latency_seconds_count{stage=\"solve\"} 0\n"));
+        // The zero tail collapsed: no bucket lines above the last used one.
+        assert!(!doc.contains("le=\"1.6384e-5\""));
+    }
+}

@@ -1,0 +1,177 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! Structured request tracing and metrics exposition for the serving path.
+//!
+//! The paper's evaluation axes — query count, interpretation latency,
+//! consistency (Cong et al., ICDE 2020) — are per-request quantities, but
+//! until this crate the stack only kept aggregates. `openapi-trace` adds
+//! the per-request view without touching the hot path's allocation or
+//! locking profile:
+//!
+//! * **[`RequestSpan`]** — a two-word handle minted at frame decode
+//!   (`openapi-net`) or at `submit`, carried on the job, and stamped on
+//!   every event. Batch items are children of the frame's span.
+//! * **The event ring** ([`ring::Ring`]) — a fixed-capacity lock-free
+//!   MPSC ring of [`TraceEvent`]s (span, parent, stage, monotonic nanos,
+//!   payload). Writers claim-and-commit with a per-slot seqlock; the ring
+//!   overwrites oldest and never blocks or tears (model-checked in
+//!   `tests/loom.rs`). [`snapshot_events`] drains a consistent view.
+//! * **[`clock`]** — the serving tier's single `Instant` source
+//!   (lint-enforced), so stage timings and trace timestamps share an
+//!   epoch.
+//! * **[`slowlog`]** — a sampling slow-request log: requests over a
+//!   configurable threshold render as an indented stage timeline (or
+//!   JSONL) on stderr.
+//! * **[`expose`]** — a Prometheus-text builder used by the `Metrics`
+//!   wire request and the example server's `--metrics-addr` listener.
+//!
+//! Everything event-related sits behind the **`trace` cargo feature**
+//! (default on). With it off, spans are id 0, [`emit`] and friends are
+//! inline no-ops, and the ring is not compiled; [`clock`] and [`expose`]
+//! remain, so dependent crates need no features of their own. At runtime,
+//! [`set_runtime_enabled`] is a kill switch used by the overhead bench.
+//!
+//! See `docs/OBSERVABILITY.md` for the event model, stage taxonomy, and
+//! exposition conventions.
+
+pub mod clock;
+mod event;
+pub mod expose;
+#[cfg(feature = "trace")]
+pub mod ring;
+pub mod slowlog;
+mod span;
+
+pub use event::{Stage, TraceEvent};
+pub use span::{current, emit, enter, RequestSpan, SpanGuard};
+
+#[cfg(feature = "trace")]
+pub use ring::RingStats;
+
+/// Emit/drop counters mirror for the disabled build (always zero).
+#[cfg(not(feature = "trace"))]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events committed (always 0: the ring is compiled out).
+    pub emitted: u64,
+    /// Events dropped (always 0: the ring is compiled out).
+    pub dropped: u64,
+}
+
+#[cfg(feature = "trace")]
+use openapi_sync::atomic::{AtomicBool, Ordering};
+
+/// Capacity of the global event ring, in events (~192 KiB of atomics).
+#[cfg(feature = "trace")]
+pub const RING_CAP: usize = 4096;
+
+#[cfg(feature = "trace")]
+static RING: ring::Ring<RING_CAP> = ring::Ring::new();
+
+/// Runtime kill switch; `true` at startup. The overhead bench flips it to
+/// measure the same binary with and without tracing.
+#[cfg(feature = "trace")]
+static RUNTIME_ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// Whether tracing is live: the `trace` feature is compiled in *and* the
+/// runtime switch is on. Event emission checks this once per call.
+#[cfg(feature = "trace")]
+#[inline]
+pub fn enabled() -> bool {
+    // ordering: Relaxed — a monitoring kill switch; emission order versus
+    // the flip is immaterial (a straggling event is harmless).
+    RUNTIME_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Whether tracing is live (`false`: compiled out).
+#[cfg(not(feature = "trace"))]
+#[inline]
+pub fn enabled() -> bool {
+    false
+}
+
+/// Flips the runtime kill switch (no-op when tracing is compiled out).
+/// Used by `net_throughput` to measure enabled-vs-disabled overhead in
+/// one binary.
+#[cfg(feature = "trace")]
+pub fn set_runtime_enabled(on: bool) {
+    // ordering: Relaxed — see `enabled`.
+    RUNTIME_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Flips the runtime kill switch (no-op: tracing is compiled out).
+#[cfg(not(feature = "trace"))]
+pub fn set_runtime_enabled(_on: bool) {}
+
+/// Pushes one event into the global ring (crate-internal hot path).
+#[cfg(feature = "trace")]
+pub(crate) fn ring_push(ev: &TraceEvent) {
+    RING.push(ev);
+}
+
+/// Snapshots the global ring's committed events, oldest first. Empty when
+/// tracing is compiled out.
+#[cfg(feature = "trace")]
+pub fn snapshot_events() -> Vec<TraceEvent> {
+    RING.snapshot()
+}
+
+/// Snapshots the global ring (tracing compiled out: always empty).
+#[cfg(not(feature = "trace"))]
+pub fn snapshot_events() -> Vec<TraceEvent> {
+    Vec::new()
+}
+
+/// The global ring's emit/drop counters.
+#[cfg(feature = "trace")]
+pub fn ring_stats() -> RingStats {
+    RING.stats()
+}
+
+/// The global ring's emit/drop counters (tracing compiled out: zeros).
+#[cfg(not(feature = "trace"))]
+pub fn ring_stats() -> RingStats {
+    RingStats::default()
+}
+
+#[cfg(all(test, not(loom), feature = "trace"))]
+mod tests {
+    use super::*;
+
+    // One test body: both halves toggle the process-global kill switch,
+    // so running them in parallel test threads would race.
+    #[test]
+    fn spans_thread_events_into_the_global_ring_and_the_kill_switch_stops_them() {
+        the_kill_switch_suppresses_emission();
+
+        let span = RequestSpan::root();
+        span.event(Stage::Queue, 123);
+        {
+            let _g = enter(span);
+            emit(Stage::KernelPass, 256);
+        }
+        let events = snapshot_events();
+        let mine: Vec<_> = events.iter().filter(|e| e.span == span.id()).collect();
+        let stages: Vec<_> = mine.iter().map(|e| e.stage).collect();
+        assert!(stages.contains(&Stage::Begin));
+        assert!(stages.contains(&Stage::Queue));
+        assert!(stages.contains(&Stage::KernelPass));
+        assert!(
+            mine.windows(2).all(|w| w[0].t_nanos <= w[1].t_nanos),
+            "span timestamps must be monotonic"
+        );
+    }
+
+    fn the_kill_switch_suppresses_emission() {
+        set_runtime_enabled(false);
+        let span = RequestSpan::root();
+        span.event(Stage::Queue, 1);
+        set_runtime_enabled(true);
+        assert_eq!(span.id(), 0, "disabled spans are detached");
+        // Nothing reached the ring while the switch was off: no detached
+        // Queue event with our payload exists.
+        assert!(!snapshot_events()
+            .iter()
+            .any(|e| e.span == 0 && e.stage == Stage::Queue && e.payload == 1));
+    }
+}

@@ -1,0 +1,322 @@
+//! The lock-free MPSC trace ring: fixed capacity, overwrite-oldest,
+//! allocation-free on the hot path.
+//!
+//! Every slot is six atomics — a sequence word plus the five
+//! [`TraceEvent`] fields — claimed and committed with a per-slot seqlock
+//! driven by a global ticket counter:
+//!
+//! * A writer takes ticket `i` (`head.fetch_add`), maps it to slot
+//!   `i % CAP`, and **claims** the slot by CAS-ing the sequence word from
+//!   the previous lap's committed value `2(i-CAP)+2` (or `0` on the first
+//!   lap) to the odd in-progress value `2i+1`. A failed CAS means a later
+//!   lap already owns the slot (the writer stalled for a whole lap) — the
+//!   event is dropped and counted, never torn.
+//! * The claim's owner stores the five fields, then **commits** with a
+//!   release store of `2i+2`.
+//! * The reader snapshots each slot with the seqlock read protocol: read
+//!   the sequence word, read the fields, re-read the sequence word, and
+//!   keep the event only if both reads saw the same even, non-zero value.
+//!
+//! The protocol is model-checked in `tests/loom.rs`
+//! (`ring_commits_are_atomic`), and the seeded torn-commit mutant
+//! `Ring::push_torn` (compiled only under `--cfg loom`, so not linkable
+//! here) proves the checker would catch a mis-ordered
+//! commit. See `docs/CONCURRENCY.md` and `docs/OBSERVABILITY.md`.
+
+use crate::event::{Stage, TraceEvent};
+use openapi_sync::atomic::{AtomicU64, Ordering};
+
+/// One ring slot: the seqlock word plus the five event fields.
+struct Slot {
+    seq: AtomicU64,
+    span: AtomicU64,
+    parent: AtomicU64,
+    stage: AtomicU64,
+    t_nanos: AtomicU64,
+    payload: AtomicU64,
+}
+
+impl Slot {
+    /// Const seed for the `[Slot; CAP]` array initializer. Interior
+    /// mutability in a `const` is deliberate here: the item is only ever
+    /// used as an array-repeat element, never borrowed directly.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const INIT: Slot = Slot {
+        seq: AtomicU64::new(0),
+        span: AtomicU64::new(0),
+        parent: AtomicU64::new(0),
+        stage: AtomicU64::new(0),
+        t_nanos: AtomicU64::new(0),
+        payload: AtomicU64::new(0),
+    };
+}
+
+/// Emit/drop counters for monitoring the ring itself (exported as
+/// `openapi_trace_events_total` / `openapi_trace_dropped_total`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RingStats {
+    /// Events successfully committed into the ring (including ones later
+    /// overwritten by newer laps).
+    pub emitted: u64,
+    /// Events dropped because a whole lap overtook the writer's claim.
+    pub dropped: u64,
+}
+
+/// A fixed-capacity MPSC trace ring (see the module docs). `CAP` is the
+/// event capacity; the global ring uses [`crate::RING_CAP`], loom models
+/// use tiny instances.
+pub struct Ring<const CAP: usize> {
+    head: AtomicU64,
+    emitted: AtomicU64,
+    dropped: AtomicU64,
+    slots: [Slot; CAP],
+}
+
+impl<const CAP: usize> Default for Ring<CAP> {
+    fn default() -> Self {
+        Ring::new()
+    }
+}
+
+impl<const CAP: usize> Ring<CAP> {
+    /// Creates an empty ring. `const` so the global ring lives in a
+    /// `static` under both the std and loom configurations.
+    pub const fn new() -> Self {
+        Ring {
+            head: AtomicU64::new(0),
+            emitted: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots: [Slot::INIT; CAP],
+        }
+    }
+
+    /// The committed sequence value of ticket `i`'s predecessor on the
+    /// same slot: the previous lap's commit, or 0 for the first lap.
+    fn prev_seq(ticket: u64) -> u64 {
+        let cap = CAP as u64;
+        if ticket < cap {
+            0
+        } else {
+            2 * (ticket - cap) + 2
+        }
+    }
+
+    /// Appends one event. Returns `false` when the event was dropped
+    /// because a newer lap overtook this writer's slot claim (the
+    /// overwrite-oldest policy under extreme producer skew); the drop is
+    /// counted in [`Ring::stats`]. Lock-free and allocation-free.
+    pub fn push(&self, ev: &TraceEvent) -> bool {
+        let (ticket, slot) = match self.claim(ev) {
+            Some(claimed) => claimed,
+            None => return false,
+        };
+        self.store_fields(slot, ev);
+        // ordering: Release — the commit publishes the field stores above:
+        // a reader whose second seq read returns this even value acquired
+        // it, so the fields it read are exactly this event's. Verified:
+        // `ring_commits_are_atomic` in tests/loom.rs.
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+        true
+    }
+
+    /// Takes a ticket and claims its slot; `None` (plus a counted drop)
+    /// when the slot already belongs to a newer lap.
+    fn claim(&self, _ev: &TraceEvent) -> Option<(u64, &Slot)> {
+        // ordering: Relaxed — the ticket counter only allocates indices;
+        // the slot's own seq CAS is what orders access to the fields.
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = &self.slots[(ticket % CAP as u64) as usize];
+        // ordering: AcqRel on success — Acquire pairs with the previous
+        // lap's committing Release store so this writer's field stores
+        // happen-after the old fields are fully published (no cross-lap
+        // tearing); Release makes the odd claim value visible before the
+        // field stores below, so a reader that observes a new field also
+        // observes an in-progress or newer seq and discards the slot.
+        // Failure is Relaxed: a lost claim only increments a counter.
+        if slot
+            .seq
+            .compare_exchange(
+                Self::prev_seq(ticket),
+                2 * ticket + 1,
+                // ordering: AcqRel success / Relaxed failure — see above.
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_err()
+        {
+            // ordering: Relaxed — monitoring counter.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        // ordering: Relaxed — monitoring counter.
+        self.emitted.fetch_add(1, Ordering::Relaxed);
+        Some((ticket, slot))
+    }
+
+    /// Stores the five event fields into a claimed slot.
+    fn store_fields(&self, slot: &Slot, ev: &TraceEvent) {
+        // ordering: Release on each field — pairs with the reader's
+        // Acquire field loads: a reader that observes one of these stores
+        // joins this writer's history, which already contains the odd
+        // claim store, so its seq re-read cannot validate against the
+        // previous lap's value. (On hardware this is the store side of
+        // the seqlock; loom models the same edge with vector clocks.)
+        for (cell, value) in [
+            (&slot.span, ev.span),
+            (&slot.parent, ev.parent),
+            (&slot.stage, ev.stage as u64),
+            (&slot.t_nanos, ev.t_nanos),
+            (&slot.payload, ev.payload),
+        ] {
+            // ordering: Release — the field-store side described above.
+            cell.store(value, Ordering::Release);
+        }
+    }
+
+    /// A deliberately torn `push`: it commits the even sequence value
+    /// *before* storing the fields, so a concurrent reader can validate a
+    /// slot whose fields are still the previous event's. Compiled only
+    /// under `--cfg loom` as the seeded mutant the model checker must
+    /// catch (`ring_checker_catches_torn_commit` in tests/loom.rs).
+    #[cfg(loom)]
+    pub fn push_torn(&self, ev: &TraceEvent) -> bool {
+        let (ticket, slot) = match self.claim(ev) {
+            Some(claimed) => claimed,
+            None => return false,
+        };
+        // ordering: (mutant fixture) the commit deliberately precedes the
+        // field stores — the exact bug the real `push` forbids.
+        slot.seq.store(2 * ticket + 2, Ordering::Release);
+        self.store_fields(slot, ev);
+        true
+    }
+
+    /// Snapshots every committed event, oldest first (by timestamp).
+    /// Slots mid-write or overwritten during the scan are skipped — the
+    /// seqlock validation guarantees no torn event is ever returned.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::with_capacity(CAP);
+        for slot in &self.slots {
+            // ordering: Acquire — pairs with the committing Release store
+            // so the field loads below see at least that commit's values.
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 == 0 || s1 % 2 == 1 {
+                continue; // never written, or mid-write
+            }
+            // ordering: Acquire on each field — see `store_fields`: if a
+            // load observes a *newer* writer's store it joins that
+            // writer's history (which includes its odd claim), so the
+            // re-read below sees seq != s1 and discards the slot.
+            let [span, parent, stage, t_nanos, payload] = [
+                &slot.span,
+                &slot.parent,
+                &slot.stage,
+                &slot.t_nanos,
+                &slot.payload,
+            ]
+            // ordering: Acquire — the field-load side described above.
+            .map(|cell| cell.load(Ordering::Acquire));
+            // ordering: Relaxed — the Acquire field loads above order this
+            // re-read after them; coherence then forbids it from seeing a
+            // value older than any writer those loads observed.
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            if s1 != s2 {
+                continue; // overwritten mid-read
+            }
+            let Some(stage) = Stage::from_u64(stage) else {
+                continue;
+            };
+            out.push(TraceEvent {
+                span,
+                parent,
+                stage,
+                t_nanos,
+                payload,
+            });
+        }
+        out.sort_by_key(|e| e.t_nanos);
+        out
+    }
+
+    /// Emit/drop counters (monitoring; relaxed reads).
+    pub fn stats(&self) -> RingStats {
+        RingStats {
+            // ordering: Relaxed — monitoring counters.
+            emitted: self.emitted.load(Ordering::Relaxed),
+            // ordering: Relaxed — monitoring counters.
+            dropped: self.dropped.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    fn ev(span: u64, stage: Stage, t: u64) -> TraceEvent {
+        TraceEvent {
+            span,
+            parent: 0,
+            stage,
+            t_nanos: t,
+            payload: span,
+        }
+    }
+
+    #[test]
+    fn pushed_events_come_back_in_timestamp_order() {
+        let ring = Ring::<8>::new();
+        assert!(ring.push(&ev(2, Stage::Queue, 20)));
+        assert!(ring.push(&ev(1, Stage::Begin, 10)));
+        assert!(ring.push(&ev(3, Stage::Finish, 30)));
+        let got = ring.snapshot();
+        assert_eq!(got.len(), 3);
+        assert!(got.windows(2).all(|w| w[0].t_nanos <= w[1].t_nanos));
+        assert_eq!(got[0].span, 1);
+        assert_eq!(
+            ring.stats(),
+            RingStats {
+                emitted: 3,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn the_ring_overwrites_oldest_when_full() {
+        let ring = Ring::<4>::new();
+        for i in 0..10u64 {
+            assert!(ring.push(&ev(i + 1, Stage::Begin, i)));
+        }
+        let got = ring.snapshot();
+        // Only the newest CAP events survive.
+        assert_eq!(got.len(), 4);
+        assert_eq!(
+            got.iter().map(|e| e.span).collect::<Vec<_>>(),
+            vec![7, 8, 9, 10]
+        );
+        assert_eq!(ring.stats().emitted, 10);
+    }
+
+    #[test]
+    fn concurrent_pushes_never_produce_a_torn_event() {
+        let ring = std::sync::Arc::new(Ring::<16>::new());
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ring = std::sync::Arc::clone(&ring);
+                s.spawn(move || {
+                    for i in 0..200 {
+                        ring.push(&ev(t * 1000 + i + 1, Stage::Queue, i));
+                    }
+                });
+            }
+        });
+        // Every surviving event is internally consistent (span == payload
+        // by construction) — the seqlock never serves a mix of writers.
+        for e in ring.snapshot() {
+            assert_eq!(e.span, e.payload, "torn event escaped the seqlock");
+        }
+        let stats = ring.stats();
+        assert_eq!(stats.emitted + stats.dropped, 800);
+    }
+}

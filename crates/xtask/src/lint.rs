@@ -18,6 +18,12 @@
 //!    float literal outside the kernel bit-identity oracle paths, unless
 //!    justified with a `// float:` comment. (Comparisons against exactly
 //!    `0.0` are IEEE-exact guards and allowed.)
+//! 5. **clock** — no direct `Instant::now()` or `SystemTime` in the
+//!    serving-path crates (`serve`, `net`, `store`, `trace`); time is read
+//!    through `openapi_trace::clock` so every latency measurement and trace
+//!    timestamp shares one clock domain (and one place to virtualize it).
+//!    The clock module itself is the single exemption; anything else needs
+//!    a `// clock:` justification.
 //!
 //! The scanner skips `vendor/` (stand-ins mirror external APIs), `target/`,
 //! and this crate itself (its fixtures and pattern literals would trip every
@@ -303,6 +309,44 @@ fn check_float_cmp(rel: &str, lines: &[SplitLine], out: &mut Vec<Violation>) {
     }
 }
 
+/// Serving-path crates whose code must read time through
+/// `openapi_trace::clock`, so every latency measurement and trace
+/// timestamp shares one clock domain.
+const CLOCK_PATHS: &[&str] = &[
+    "crates/serve/",
+    "crates/net/",
+    "crates/store/",
+    "crates/trace/",
+];
+
+/// The one file allowed to call `Instant::now()`: the clock itself.
+const CLOCK_SOURCE: &str = "crates/trace/src/clock.rs";
+
+fn check_clock(rel: &str, lines: &[SplitLine], out: &mut Vec<Violation>) {
+    if rel == CLOCK_SOURCE || !CLOCK_PATHS.iter().any(|p| rel.starts_with(p)) {
+        return;
+    }
+    for (idx, l) in lines.iter().enumerate() {
+        let offense = if l.code.contains("Instant::now(") {
+            Some("direct `Instant::now()` in a serving crate; use `openapi_trace::clock::now()`")
+        } else if l.code.contains("SystemTime") {
+            Some("`SystemTime` in a serving crate; read time through `openapi_trace::clock`")
+        } else {
+            None
+        };
+        if let Some(base) = offense {
+            if !justified(lines, idx, "clock:") {
+                out.push(Violation {
+                    file: rel.to_string(),
+                    line: idx + 1,
+                    rule: "clock",
+                    message: format!("{base}, or justify with a `// clock:` comment"),
+                });
+            }
+        }
+    }
+}
+
 /// Lint one file's source, `rel` being its workspace-relative path.
 pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -311,6 +355,7 @@ pub fn lint_file(rel: &str, source: &str) -> Vec<Violation> {
     if !rel.starts_with("vendor/") {
         check_ordering_comments(rel, &lines, &mut out);
         check_float_cmp(rel, &lines, &mut out);
+        check_clock(rel, &lines, &mut out);
     }
     check_std_sync(rel, &lines, &mut out);
     out
@@ -523,6 +568,39 @@ mod tests {
             rules("crates/nn/src/x.rs", "if a <= b && c >= d { y(); }\n"),
             Vec::<&str>::new()
         );
+    }
+
+    #[test]
+    fn instant_now_in_serving_crates_is_flagged() {
+        let src = "let t0 = Instant::now();\n";
+        assert_eq!(rules("crates/serve/src/x.rs", src), ["clock"]);
+        assert_eq!(rules("crates/net/src/x.rs", src), ["clock"]);
+        assert_eq!(rules("crates/store/src/x.rs", src), ["clock"]);
+        let qualified = "let t0 = std::time::Instant::now();\n";
+        assert_eq!(rules("crates/net/src/x.rs", qualified), ["clock"]);
+    }
+
+    #[test]
+    fn system_time_in_serving_crates_is_flagged() {
+        let src = "let wall = SystemTime::now();\n";
+        assert_eq!(rules("crates/store/src/x.rs", src), ["clock"]);
+    }
+
+    #[test]
+    fn clock_module_and_non_serving_crates_are_exempt() {
+        let src = "let t0 = Instant::now();\n";
+        assert_eq!(rules("crates/trace/src/clock.rs", src), Vec::<&str>::new());
+        // Measurement crates (eval, bench) sit outside the serving path.
+        assert_eq!(rules("crates/eval/src/x.rs", src), Vec::<&str>::new());
+        assert_eq!(rules("crates/bench/benches/x.rs", src), Vec::<&str>::new());
+    }
+
+    #[test]
+    fn clock_justification_comment_passes() {
+        let src = "// clock: wall-clock file mtime, not a latency measurement\nlet t0 = SystemTime::now();\n";
+        assert_eq!(rules("crates/store/src/x.rs", src), Vec::<&str>::new());
+        let mention = "// Instant::now() is forbidden here; see openapi_trace::clock.\n";
+        assert_eq!(rules("crates/serve/src/x.rs", mention), Vec::<&str>::new());
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //!
 //! Any `openapi_net::Client` can then ping it, fetch stats, and request
 //! interpretations; `openapi-exp queries --remote 127.0.0.1:7077` drives a
-//! whole experiment through it.
+//! whole experiment through it. Two observability flags ride along:
+//! `--metrics-addr ADDR` binds a plain-HTTP sidecar answering every
+//! connection with the Prometheus text exposition (`curl
+//! http://ADDR/metrics`), and `--slow-ms MS` arms the sampling
+//! slow-request log (per-stage timelines on stderr for any request over
+//! the threshold).
 //!
 //! **Demo mode** (no `--listen`) — bind an ephemeral port, hammer it from
 //! four real TCP clients whose traffic overlaps on the same regions, and
@@ -31,9 +36,11 @@
 use openapi_repro::api::CountingApi;
 use openapi_repro::nn::{Activation, Plnn};
 use openapi_repro::prelude::*;
+use openapi_repro::trace::slowlog;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -134,6 +141,27 @@ fn drive_traffic(server: &Server<DemoApi>) {
     });
 }
 
+/// Answers each connection on `listener` with one Prometheus text
+/// exposition rendered from the live service stats, wrapped in a minimal
+/// HTTP/1.0 response so `curl http://ADDR/metrics` (or any scraper) works.
+fn serve_metrics(listener: TcpListener, server: &Server<DemoApi>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        // Drain the scraper's request head before answering so the peer
+        // never sees a reset from unread bytes; the content is ignored —
+        // every request gets the same document.
+        let mut head = [0u8; 1024];
+        let _ = stream.read(&mut head);
+        let body = server.service().stats().to_prometheus();
+        let _ = write!(
+            stream,
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+    }
+}
+
 /// One life of the demo: drive the traffic, print the ledger (fetched over
 /// the wire, like any remote operator would).
 fn run_life(server: &Server<DemoApi>) {
@@ -156,6 +184,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut listen: Option<String> = None;
     let mut store_dir: Option<PathBuf> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_ms: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match (args[i].as_str(), args.get(i + 1)) {
@@ -167,11 +197,28 @@ fn main() {
                 store_dir = Some(PathBuf::from(dir));
                 i += 2;
             }
+            ("--metrics-addr", Some(addr)) => {
+                metrics_addr = Some(addr.clone());
+                i += 2;
+            }
+            ("--slow-ms", Some(ms)) => {
+                slow_ms = Some(ms.parse().expect("--slow-ms takes milliseconds"));
+                i += 2;
+            }
             _ => {
-                eprintln!("usage: interpretation_server [--listen ADDR] [--store-dir DIR]");
+                eprintln!(
+                    "usage: interpretation_server [--listen ADDR] [--metrics-addr ADDR] \
+                     [--slow-ms MS] [--store-dir DIR]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    // Slow-request log: any settled request over the threshold prints its
+    // per-stage timeline to stderr (sampled; see openapi-trace::slowlog).
+    if let Some(ms) = slow_ms {
+        slowlog::set_threshold(Some(Duration::from_millis(ms)));
     }
 
     // Listen mode: a long-running server for remote clients.
@@ -188,10 +235,25 @@ fn main() {
             Some(dir) => println!("  durable region store: {}", dir.display()),
             None => println!("  in-memory only (pass --store-dir DIR for restart durability)"),
         }
+        let metrics = metrics_addr.as_deref().map(|addr| {
+            let listener = TcpListener::bind(addr).expect("metrics address must bind");
+            let bound = listener.local_addr().expect("bound metrics address");
+            println!("  metrics exposition: curl http://{bound}/metrics");
+            listener
+        });
         println!("serving until killed (ctrl-C) …");
-        loop {
-            std::thread::sleep(Duration::from_secs(3600));
-        }
+        std::thread::scope(|scope| -> ! {
+            if let Some(listener) = metrics {
+                scope.spawn(|| serve_metrics(listener, &server));
+            }
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
+        });
+    }
+
+    if metrics_addr.is_some() {
+        println!("(--metrics-addr serves in --listen mode; the demo prints its stats inline)\n");
     }
 
     // Demo mode, life 1: serve the traffic cold (or warm, if the store

@@ -26,6 +26,7 @@ pub use openapi_nn as nn;
 pub use openapi_serve as serve;
 pub use openapi_store as store;
 pub use openapi_sync as sync;
+pub use openapi_trace as trace;
 
 /// The most commonly used items across the workspace, in one import.
 pub mod prelude {
@@ -42,4 +43,5 @@ pub mod prelude {
         SharedRegionCache, Ticket,
     };
     pub use openapi_store::{RegionStore, StoreConfig, StoreError};
+    pub use openapi_trace::{RequestSpan, Stage, TraceEvent};
 }

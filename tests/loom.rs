@@ -8,9 +8,9 @@
 //!
 //! Under that cfg the `openapi-sync` facade re-exports the vendored loom
 //! stand-in's checked shims, so the types under test here — the *production*
-//! `LatencyHistogram`, `ClassLedger`, `ConnBudget`, and `StickyError` — run
-//! their real code over every interleaving the scheduler can produce (up to
-//! the preemption bound).
+//! `LatencyHistogram`, `ClassLedger`, `ConnBudget`, `StickyError`, and the
+//! trace ring — run their real code over every interleaving the scheduler
+//! can produce (up to the preemption bound).
 //!
 //! Each protocol is pinned from both sides:
 //!
@@ -32,6 +32,8 @@ use openapi_repro::serve::{ClassLedger, Election};
 use openapi_repro::store::StickyError;
 use openapi_repro::sync::atomic::{AtomicU64, Ordering};
 use openapi_repro::sync::Mutex;
+use openapi_repro::trace::ring::Ring;
+use openapi_repro::trace::{Stage, TraceEvent};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Duration;
@@ -216,6 +218,77 @@ fn budget_checker_catches_a_relaxed_release() {
         t.join().unwrap();
     });
     assert!(caught, "the checker failed to catch the relaxed release");
+}
+
+// ---------------------------------------------------------------------------
+// Trace ring: the per-slot seqlock never surfaces a torn event.
+// ---------------------------------------------------------------------------
+
+/// An event whose every field mirrors its tag: a snapshotted event where
+/// any two disagree was assembled from two different writes — exactly what
+/// the seqlock read protocol must make impossible.
+fn tagged_event(tag: u64) -> TraceEvent {
+    TraceEvent {
+        span: tag,
+        parent: 0,
+        stage: Stage::Queue,
+        t_nanos: tag,
+        payload: tag,
+    }
+}
+
+/// Asserts a snapshot holds only whole events.
+fn assert_untorn(events: &[TraceEvent]) {
+    for ev in events {
+        assert!(
+            ev.span == ev.payload && ev.span == ev.t_nanos,
+            "torn event surfaced: span={} t={} payload={}",
+            ev.span,
+            ev.t_nanos,
+            ev.payload
+        );
+    }
+}
+
+#[test]
+fn ring_commits_are_atomic() {
+    loom::model(|| {
+        // CAP = 1: both writers contend on one slot (worst case — a lap
+        // overtake per schedule), while the reader races both.
+        let ring = Arc::new(Ring::<1>::new());
+        let r2 = Arc::clone(&ring);
+        let t = loom::thread::spawn(move || {
+            r2.push(&tagged_event(7));
+        });
+        ring.push(&tagged_event(9));
+        assert_untorn(&ring.snapshot());
+        t.join().unwrap();
+        // The join edge settles accounting: every push either committed or
+        // was counted as a lap-overtaken drop, and the survivor is whole.
+        let stats = ring.stats();
+        assert_eq!(stats.emitted + stats.dropped, 2, "a push went missing");
+        assert!(stats.emitted >= 1, "at least one push must commit");
+        let settled = ring.snapshot();
+        assert_eq!(settled.len(), 1, "one slot, one committed event");
+        assert_untorn(&settled);
+    });
+}
+
+#[test]
+fn ring_checker_catches_torn_commit() {
+    // The seeded mutant: `push_torn` commits the even sequence value
+    // *before* storing the fields, so a racing reader can validate a slot
+    // whose fields are half this event's and half the initial state's.
+    let caught = model_fails(|| {
+        let ring = Arc::new(Ring::<1>::new());
+        let r2 = Arc::clone(&ring);
+        let t = loom::thread::spawn(move || {
+            r2.push_torn(&tagged_event(7));
+        });
+        assert_untorn(&ring.snapshot());
+        t.join().unwrap();
+    });
+    assert!(caught, "the checker failed to catch the torn commit");
 }
 
 // ---------------------------------------------------------------------------

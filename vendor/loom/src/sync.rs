@@ -96,6 +96,38 @@ pub mod atomic {
                 pub fn into_inner(self) -> $raw {
                     self.mirror.into_inner()
                 }
+
+                /// Atomic compare-exchange: stores `new` iff the current
+                /// value equals `current`; `Ok(previous)` on success,
+                /// `Err(actual)` otherwise.
+                ///
+                /// Model simplification: a failed exchange is modeled as
+                /// an RMW that rewrites the observed value (C11 treats it
+                /// as a pure load at `failure` ordering). That is slightly
+                /// *stronger* than real failed-CAS semantics, so a bug
+                /// that requires failed-CAS weakness could be missed; the
+                /// protocols checked here only rely on the success path.
+                #[allow(clippy::unnecessary_cast)]
+                pub fn compare_exchange(
+                    &self,
+                    current: $raw,
+                    new: $raw,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$raw, $raw> {
+                    let old = self.rmw(
+                        success,
+                        |v| if v == current as u64 { new as u64 } else { v },
+                        |m| match m.compare_exchange(current, new, success, failure) {
+                            Ok(v) | Err(v) => v,
+                        },
+                    );
+                    if old == current {
+                        Ok(old)
+                    } else {
+                        Err(old)
+                    }
+                }
             }
 
             impl std::fmt::Debug for $name {
