@@ -1,0 +1,582 @@
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+//! `openapi-fabric` — anti-entropy replication of solved regions, so N
+//! servers fronting one hidden model pay each Algorithm-1 solve once
+//! *cluster-wide*.
+//!
+//! Theorem 2 makes replication embarrassingly easy: a solved region's
+//! interpretation is exact, immutable, and content-addressed (its record
+//! frame's CRC-64/XZ names its exact bytes), so replicating region stores
+//! is append-only set union — conflicts are impossible, and any gossip
+//! interleaving converges to the same set. This crate exploits that with
+//! classic anti-entropy *pull* gossip over the existing `openapi-net`
+//! wire protocol:
+//!
+//! 1. **Digest** — [`Client::sync_digest`] fetches the peer's
+//!    [`openapi_store::StoreDigest`]: 64 buckets of (XOR of sync keys,
+//!    count). Equal digests ⇒ equal record sets (w.h.p.); differing
+//!    buckets localize what to fetch.
+//! 2. **Pull** — [`Client::sync_pull`] names the differing buckets and
+//!    the sync keys already held there; the peer ships the absent record
+//!    frames *verbatim* — the exact bytes sitting in its WAL.
+//! 3. **Validate + ingest** — each pulled frame is CRC-verified, checked
+//!    against the local model's shape, spot-checked for self-consistency
+//!    (the record's parameters must explain the probe they themselves
+//!    induce — the identical `explains_probe` test the serving path
+//!    applies), then appended to the local store and promoted into the
+//!    shared cache. Because `openapi-store`'s record codec is
+//!    deterministic, the re-encoded local record is byte-identical to the
+//!    peer's — remote and local interpretations of one region are the
+//!    same bits.
+//!
+//! Model safety: interpretations are exact statements *about one
+//! function*. A peer declaring a different `(dim, num_classes,
+//! model_id)` in its server hello is refused at connect
+//! ([`FabricError::ModelMismatch`]), and servers independently refuse
+//! sync requests from mismatched callers with a typed
+//! [`openapi_net::ErrorCode::ModelMismatch`] — the fabric never merges
+//! stores of different hidden models.
+//!
+//! [`FabricNode::spawn`] runs the loop in the background (round-robin
+//! over configured peers, one exchange per tick); [`sync_peer_once`] runs
+//! one bounded exchange synchronously — tests drive it to deterministic
+//! convergence without timing assumptions.
+
+use openapi_api::PredictionApi;
+use openapi_core::decision::Interpretation;
+use openapi_linalg::Vector;
+use openapi_net::{Client, ClientError, ModelInfo};
+use openapi_serve::{FabricStats, ServiceCore};
+use openapi_store::record;
+use openapi_trace::{RequestSpan, Stage};
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs for a [`FabricNode`] (and the bounds of
+/// [`sync_peer_once`]).
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Peer addresses (`host:port`) to gossip with, round-robin. Empty
+    /// peers make [`FabricNode::spawn`] a no-op loop that exits at once.
+    pub peers: Vec<String>,
+    /// Pause between gossip ticks (one peer exchange per tick).
+    pub interval: Duration,
+    /// Soft cap on record-frame bytes fetched per pull; a truncated reply
+    /// is followed up within the same exchange, so the cap bounds memory,
+    /// not progress.
+    pub max_pull_bytes: usize,
+    /// This node's model identity, declared to peers and matched against
+    /// their hellos (see [`ModelInfo::model_id`]). `0` checks shape only.
+    pub model_id: u64,
+    /// Most digest→pull rounds one [`sync_peer_once`] call runs before
+    /// giving up on convergence (clamped to ≥ 1). Bounds the damage of a
+    /// byzantine peer whose digest never settles.
+    pub max_rounds: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            peers: Vec::new(),
+            interval: Duration::from_millis(250),
+            max_pull_bytes: 1 << 20,
+            model_id: 0,
+            max_rounds: 8,
+        }
+    }
+}
+
+/// Why one peer exchange failed.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The transport or protocol failed (includes typed server refusals
+    /// such as [`openapi_net::ErrorCode::NoStore`]).
+    Client(ClientError),
+    /// The peer fronts a different hidden model; syncing would merge
+    /// interpretations of different functions, so nothing was exchanged.
+    ModelMismatch {
+        /// This node's model declaration.
+        local: ModelInfo,
+        /// What the peer's hello declared.
+        remote: ModelInfo,
+    },
+    /// This node runs without a durable region store, so it has nothing
+    /// to sync into (or out of).
+    NoLocalStore,
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::Client(e) => write!(f, "peer exchange: {e}"),
+            FabricError::ModelMismatch { local, remote } => write!(
+                f,
+                "model mismatch: local {}x{} id {}, peer {}x{} id {}",
+                local.dim,
+                local.num_classes,
+                local.model_id,
+                remote.dim,
+                remote.num_classes,
+                remote.model_id
+            ),
+            FabricError::NoLocalStore => {
+                write!(f, "this node has no durable region store to sync")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+impl From<ClientError> for FabricError {
+    fn from(e: ClientError) -> Self {
+        FabricError::Client(e)
+    }
+}
+
+/// Why a pulled record was refused at ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestReject {
+    /// The frame failed CRC or record decoding — the rest of the pulled
+    /// blob cannot be re-synchronized and is dropped with it.
+    BadFrame,
+    /// The record's class is outside the local model's class range.
+    ClassOutOfRange,
+    /// A contrast class is out of range, or equals the record's own class.
+    BadContrast,
+    /// A contrast's weight vector disagrees with the local model's input
+    /// dimension.
+    DimensionMismatch,
+    /// The record carries no core parameters (attribution-only records
+    /// never travel the fabric — they cannot pass membership checks).
+    NoCoreParams,
+    /// A parameter is NaN or infinite.
+    NonFinite,
+    /// The record failed the structural self-check: its own parameters do
+    /// not explain the probe they induce.
+    FailedSelfCheck,
+}
+
+impl fmt::Display for IngestReject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self {
+            IngestReject::BadFrame => "frame failed CRC or decode",
+            IngestReject::ClassOutOfRange => "class out of range",
+            IngestReject::BadContrast => "contrast class out of domain",
+            IngestReject::DimensionMismatch => "weight dimension mismatch",
+            IngestReject::NoCoreParams => "no core parameters",
+            IngestReject::NonFinite => "non-finite parameter",
+            IngestReject::FailedSelfCheck => "failed structural self-check",
+        };
+        f.write_str(what)
+    }
+}
+
+/// What one [`sync_peer_once`] exchange accomplished.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Digest→pull rounds run.
+    pub rounds: u64,
+    /// Record frames the peer shipped.
+    pub pulled_records: u64,
+    /// Bytes of record frames the peer shipped.
+    pub pulled_bytes: u64,
+    /// Pulled records validated and ingested locally.
+    pub ingested: u64,
+    /// Pulled records the local store already held.
+    pub duplicates: u64,
+    /// Pulled records refused by validation.
+    pub rejected: u64,
+    /// Whether this node now holds everything the peer had (the digests
+    /// agreed, or the last pull came back empty and untruncated). The
+    /// *peer* converges on its own pull — this flag is one-directional.
+    pub converged: bool,
+}
+
+/// Runs one bounded anti-entropy exchange against `peer`: digest, pull
+/// what is missing, validate, ingest; repeat until this node holds
+/// everything the peer had or [`FabricConfig::max_rounds`] is spent.
+///
+/// Deterministic and synchronous — integration tests drive a cluster to
+/// digest equality by calling this from each node in turn, with no
+/// reliance on background timing.
+///
+/// # Errors
+/// [`FabricError`] when the node has no store, the peer fronts a
+/// different model, or the exchange itself fails. Individual bad
+/// *records* are not errors: they are counted in
+/// [`SyncReport::rejected`] and the exchange continues.
+pub fn sync_peer_once<M: PredictionApi + Send + Sync + 'static>(
+    core: &ServiceCore<M>,
+    peer: &str,
+    config: &FabricConfig,
+) -> Result<SyncReport, FabricError> {
+    if core.store().is_none() {
+        return Err(FabricError::NoLocalStore);
+    }
+    // Any exchange means the fabric tier is in use: surface its counters
+    // in stats snapshots from here on, driven syncs included.
+    core.mark_fabric_active();
+    let local_model = local_model(core, config.model_id);
+    let mut client = Client::connect(peer)?;
+    if client.server_model() != local_model {
+        return Err(FabricError::ModelMismatch {
+            local: local_model,
+            remote: client.server_model(),
+        });
+    }
+    let stats = core.fabric_stats();
+    let mut report = SyncReport::default();
+    for _ in 0..config.max_rounds.max(1) {
+        let remote = client.sync_digest(&local_model)?;
+        FabricStats::add(&stats.digests, 1);
+        RequestSpan::detached().event(Stage::FabricDigest, remote.total());
+        let store = core.store().expect("checked above");
+        let buckets = store.digest().differing_buckets(&remote);
+        if buckets.is_empty() {
+            report.converged = true;
+            break;
+        }
+        let have = store.keys_in_buckets(&buckets);
+        let delta = client.sync_pull(&buckets, &have, config.max_pull_bytes)?;
+        report.rounds += 1;
+        report.pulled_records += delta.records;
+        report.pulled_bytes += delta.frames.len() as u64;
+        FabricStats::add(&stats.pulled_records, delta.records);
+        FabricStats::add(&stats.pulled_bytes, delta.frames.len() as u64);
+        RequestSpan::detached().event(Stage::FabricPull, delta.records);
+        let ingest = ingest_frames(core, &delta.frames, &local_model);
+        report.ingested += ingest.ingested;
+        report.duplicates += ingest.duplicates;
+        report.rejected += ingest.rejected;
+        if delta.records == 0 && !delta.truncated {
+            // Remaining digest differences are records *we* hold and the
+            // peer lacks; its own pull fetches those. One-way converged.
+            report.converged = true;
+            break;
+        }
+    }
+    Ok(report)
+}
+
+/// Per-call ingest tallies (mirrored into [`FabricStats`] as they
+/// happen).
+#[derive(Debug, Default, Clone, Copy)]
+struct IngestSummary {
+    ingested: u64,
+    duplicates: u64,
+    rejected: u64,
+}
+
+/// Walks a pulled blob of concatenated record frames: CRC-verify, decode,
+/// validate against the local model, spot-check self-consistency, then
+/// append to the store and promote into the shared cache. The appended
+/// record re-encodes to bytes identical to the peer's frame (the record
+/// codec is deterministic), which is the fabric's replication invariant.
+fn ingest_frames<M: PredictionApi + Send + Sync + 'static>(
+    core: &ServiceCore<M>,
+    frames: &[u8],
+    model: &ModelInfo,
+) -> IngestSummary {
+    let stats = core.fabric_stats();
+    let rtol = core.config().openapi.rtol;
+    let mut buf = frames;
+    let mut summary = IngestSummary::default();
+    while !buf.is_empty() {
+        let before = buf.len();
+        let region = match record::get_record(&mut buf) {
+            Ok(region) => region,
+            Err(_) => {
+                // Framing is lost: nothing after this point in the blob
+                // can be trusted to start on a frame boundary.
+                FabricStats::add(&stats.rejected, 1);
+                summary.rejected += 1;
+                break;
+            }
+        };
+        let frame_bytes = (before - buf.len()) as u64;
+        FabricStats::add(&stats.spot_checks, 1);
+        match validate_record(&region.interpretation, model, rtol) {
+            Err(_reason) => {
+                FabricStats::add(&stats.rejected, 1);
+                summary.rejected += 1;
+            }
+            Ok(()) => {
+                if core.ingest(region.fingerprint, region.interpretation) {
+                    FabricStats::add(&stats.ingested, 1);
+                    RequestSpan::detached().event(Stage::FabricIngest, frame_bytes);
+                    summary.ingested += 1;
+                } else {
+                    FabricStats::add(&stats.duplicates, 1);
+                    summary.duplicates += 1;
+                }
+            }
+        }
+    }
+    summary
+}
+
+/// Validates a pulled record against the local model, ending in the
+/// structural self-check.
+///
+/// A live interior-point check is impossible without re-solving (the
+/// region's interior is unknowable from its parameters alone), and
+/// probing an arbitrary `x` would falsely reject valid records whose
+/// region lies elsewhere. Instead: the record's own parameters pin every
+/// log-ratio at the origin to its bias, so synthesize exactly the softmax
+/// those logits induce and require [`Interpretation::explains_probe`] to
+/// pass — the identical test the serving path re-applies per request, so
+/// a record that slips through here can still never serve a probe it does
+/// not explain.
+fn validate_record(
+    interpretation: &Interpretation,
+    model: &ModelInfo,
+    rtol: f64,
+) -> Result<(), IngestReject> {
+    if interpretation.class >= model.num_classes {
+        return Err(IngestReject::ClassOutOfRange);
+    }
+    if interpretation.pairwise.is_empty() {
+        return Err(IngestReject::NoCoreParams);
+    }
+    for p in &interpretation.pairwise {
+        if p.c_prime >= model.num_classes || p.c_prime == interpretation.class {
+            return Err(IngestReject::BadContrast);
+        }
+        if p.weights.len() != model.dim {
+            return Err(IngestReject::DimensionMismatch);
+        }
+        if !p.bias.is_finite() || p.weights.0.iter().any(|w| !w.is_finite()) {
+            return Err(IngestReject::NonFinite);
+        }
+    }
+    let x = Vector(vec![0.0; model.dim]);
+    let probs = probs_at_origin(interpretation, model.num_classes);
+    if !interpretation.explains_probe(&x, &probs, rtol) {
+        return Err(IngestReject::FailedSelfCheck);
+    }
+    Ok(())
+}
+
+/// The softmax the record's own parameters induce at `x = 0`: logit 0 for
+/// the record's class, `−B_{c,c'}` for each contrast class (so
+/// `ln(y_c/y_{c'}) = B_{c,c'}` exactly, which is what `explains_probe`
+/// asserts at the origin), 0 for classes no contrast names (never
+/// examined by the check).
+fn probs_at_origin(interpretation: &Interpretation, num_classes: usize) -> Vec<f64> {
+    let mut logits = vec![0.0f64; num_classes];
+    for p in &interpretation.pairwise {
+        logits[p.c_prime] = -p.bias;
+    }
+    let max = logits.iter().fold(f64::NEG_INFINITY, |m, &l| m.max(l));
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+/// The model declaration this node makes to peers.
+fn local_model<M: PredictionApi + Send + Sync + 'static>(
+    core: &ServiceCore<M>,
+    model_id: u64,
+) -> ModelInfo {
+    ModelInfo {
+        dim: core.api().dim(),
+        num_classes: core.api().num_classes(),
+        model_id,
+    }
+}
+
+/// The background anti-entropy loop: one gossip tick per
+/// [`FabricConfig::interval`], round-robin over the configured peers.
+///
+/// Shut the fabric down **before** closing the server/service it feeds —
+/// the node holds a live [`ServiceCore`] clone, and
+/// `InterpretationService::close` can only take its store out for a final
+/// observable flush once that clone is gone.
+#[derive(Debug)]
+pub struct FabricNode {
+    handle: Option<JoinHandle<()>>,
+    stop_tx: mpsc::Sender<()>,
+}
+
+impl FabricNode {
+    /// Marks the service's fabric tier active (its stats appear in
+    /// snapshots and Prometheus output from now on) and starts the gossip
+    /// thread.
+    pub fn spawn<M: PredictionApi + Send + Sync + 'static>(
+        core: ServiceCore<M>,
+        config: FabricConfig,
+    ) -> FabricNode {
+        core.mark_fabric_active();
+        FabricStats::add(&core.fabric_stats().peers, config.peers.len() as u64);
+        let (stop_tx, stop_rx) = mpsc::channel();
+        let handle = std::thread::spawn(move || run_loop(&core, &config, &stop_rx));
+        FabricNode {
+            handle: Some(handle),
+            stop_tx,
+        }
+    }
+
+    /// Stops the gossip thread and joins it. Dropping the node does the
+    /// same; `shutdown` exists to make the ordering explicit at call
+    /// sites that close the service next.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        let _ = self.stop_tx.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for FabricNode {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn run_loop<M: PredictionApi + Send + Sync + 'static>(
+    core: &ServiceCore<M>,
+    config: &FabricConfig,
+    stop_rx: &mpsc::Receiver<()>,
+) {
+    if config.peers.is_empty() {
+        return;
+    }
+    let mut next = 0usize;
+    loop {
+        let peer = &config.peers[next % config.peers.len()];
+        next = next.wrapping_add(1);
+        let stats = core.fabric_stats();
+        FabricStats::add(&stats.rounds, 1);
+        if sync_peer_once(core, peer, config).is_err() {
+            // A peer being down (or briefly mismatched mid-redeploy) is
+            // routine; count it and try again next tick.
+            FabricStats::add(&stats.peer_failures, 1);
+        }
+        match stop_rx.recv_timeout(config.interval) {
+            Ok(()) | Err(mpsc::RecvTimeoutError::Disconnected) => return,
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openapi_core::decision::PairwiseCoreParams;
+
+    fn record(class: usize, contrasts: &[(usize, Vec<f64>, f64)]) -> Interpretation {
+        Interpretation::from_pairwise(
+            class,
+            contrasts
+                .iter()
+                .map(|(c_prime, w, b)| PairwiseCoreParams {
+                    c_prime: *c_prime,
+                    weights: Vector(w.clone()),
+                    bias: *b,
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    const MODEL: ModelInfo = ModelInfo {
+        dim: 3,
+        num_classes: 4,
+        model_id: 0,
+    };
+
+    #[test]
+    fn a_solved_record_passes_validation() {
+        let good = record(
+            1,
+            &[
+                (0, vec![0.5, -1.0, 2.0], 0.25),
+                (2, vec![1.5, 0.0, -0.5], -1.75),
+                (3, vec![-2.0, 1.0, 0.5], 3.0),
+            ],
+        );
+        assert_eq!(validate_record(&good, &MODEL, 1e-6), Ok(()));
+    }
+
+    #[test]
+    fn shape_and_domain_violations_are_rejected() {
+        let wrong_dim = record(0, &[(1, vec![1.0, 2.0], 0.5)]);
+        assert_eq!(
+            validate_record(&wrong_dim, &MODEL, 1e-6),
+            Err(IngestReject::DimensionMismatch)
+        );
+        let class_oob = record(7, &[(1, vec![1.0, 2.0, 3.0], 0.5)]);
+        assert_eq!(
+            validate_record(&class_oob, &MODEL, 1e-6),
+            Err(IngestReject::ClassOutOfRange)
+        );
+        let contrast_oob = record(0, &[(9, vec![1.0, 2.0, 3.0], 0.5)]);
+        assert_eq!(
+            validate_record(&contrast_oob, &MODEL, 1e-6),
+            Err(IngestReject::BadContrast)
+        );
+        let self_contrast = record(2, &[(2, vec![1.0, 2.0, 3.0], 0.5)]);
+        assert_eq!(
+            validate_record(&self_contrast, &MODEL, 1e-6),
+            Err(IngestReject::BadContrast)
+        );
+        let non_finite = record(0, &[(1, vec![1.0, f64::NAN, 3.0], 0.5)]);
+        assert_eq!(
+            validate_record(&non_finite, &MODEL, 1e-6),
+            Err(IngestReject::NonFinite)
+        );
+        let no_core = Interpretation::attribution_only(0, Vector(vec![1.0, 2.0, 3.0]));
+        assert_eq!(
+            validate_record(&no_core, &MODEL, 1e-6),
+            Err(IngestReject::NoCoreParams)
+        );
+    }
+
+    #[test]
+    fn inconsistent_contrasts_fail_the_self_check() {
+        // Two contrasts against the same class with different biases can
+        // never both hold at one probe — the synthesized softmax satisfies
+        // (at most) the last, so the check must fire.
+        let inconsistent = record(
+            0,
+            &[
+                (1, vec![1.0, 0.0, 0.0], 2.0),
+                (1, vec![0.0, 1.0, 0.0], -2.0),
+            ],
+        );
+        assert_eq!(
+            validate_record(&inconsistent, &MODEL, 1e-6),
+            Err(IngestReject::FailedSelfCheck)
+        );
+    }
+
+    #[test]
+    fn origin_probs_satisfy_every_log_ratio() {
+        let good = record(
+            2,
+            &[
+                (0, vec![0.5, -1.0, 2.0], -20.0),
+                (1, vec![1.5, 0.0, -0.5], 0.125),
+                (3, vec![-2.0, 1.0, 0.5], 17.5),
+            ],
+        );
+        let probs = probs_at_origin(&good, 4);
+        assert_eq!(probs.len(), 4);
+        for p in &good.pairwise {
+            let ratio = (probs[good.class] / probs[p.c_prime]).ln();
+            assert!(
+                (ratio - p.bias).abs() <= 1e-9 * p.bias.abs().max(1.0),
+                "contrast {}: ln ratio {ratio} vs bias {}",
+                p.c_prime,
+                p.bias
+            );
+        }
+    }
+}

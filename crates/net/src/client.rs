@@ -1,10 +1,11 @@
 //! A blocking wire-protocol client with connection reuse.
 
 use crate::wire::{
-    self, FrameRead, RemoteError, RemoteServed, Request, Response, WireError, VERSION,
+    self, FrameRead, ModelInfo, RemoteError, RemoteServed, Request, Response, WireError, VERSION,
 };
 use openapi_linalg::Vector;
 use openapi_serve::StatsSnapshot;
+use openapi_store::{StoreDigest, SyncDelta};
 use openapi_trace::clock;
 use std::fmt;
 use std::io::{self, Write};
@@ -90,6 +91,9 @@ impl From<WireError> for ClientError {
 pub struct Client {
     stream: TcpStream,
     peer: SocketAddr,
+    /// The hidden model the server declared in its hello — dimensionality,
+    /// class count, and deployment identity.
+    server_model: ModelInfo,
     next_nonce: u64,
     /// Set when an exchange failed after its request was written: an
     /// unread response may still be in flight, so request/response
@@ -111,19 +115,36 @@ impl Client {
         stream.set_nodelay(true).ok();
         stream.write_all(&wire::encode_hello(VERSION))?;
         stream.flush()?;
-        let mut hello = [0u8; wire::HELLO_LEN];
-        io::Read::read_exact(&mut stream, &mut hello)?;
-        let server_version = wire::decode_hello(&hello)?;
+        // The server hello's first HELLO_LEN bytes are laid out exactly
+        // like a client hello; read those first, learn the version, and
+        // only then commit to reading the v2 model tail — a server
+        // speaking another version may not send one.
+        let mut hello = [0u8; wire::SERVER_HELLO_LEN];
+        io::Read::read_exact(&mut stream, &mut hello[..wire::HELLO_LEN])?;
+        let mut head = [0u8; wire::HELLO_LEN];
+        head.copy_from_slice(&hello[..wire::HELLO_LEN]);
+        let server_version = wire::decode_hello(&head)?;
         if server_version != VERSION {
             return Err(ClientError::VersionMismatch { server_version });
         }
+        io::Read::read_exact(&mut stream, &mut hello[wire::HELLO_LEN..])?;
+        let (_, server_model) = wire::decode_server_hello(&hello)?;
         let peer = stream.peer_addr()?;
         Ok(Client {
             stream,
             peer,
+            server_model,
             next_nonce: 1,
             poisoned: false,
         })
+    }
+
+    /// The hidden model the server declared at connect: input
+    /// dimensionality, class count, and deployment identity. Anti-entropy
+    /// peers compare this against their own model before syncing; ordinary
+    /// clients can use it to validate instance shapes up front.
+    pub fn server_model(&self) -> ModelInfo {
+        self.server_model
     }
 
     /// The server's address.
@@ -284,6 +305,54 @@ impl Client {
             Response::Error(e) => Err(ClientError::Remote(e)),
             _ => Err(ClientError::UnexpectedResponse {
                 expected: "metrics",
+            }),
+        }
+    }
+
+    /// Anti-entropy step 1: fetches the server's region-store digest,
+    /// declaring `model` as the caller's own hidden model. A server
+    /// fronting a different model refuses with
+    /// [`wire::ErrorCode::ModelMismatch`]; one without a durable store,
+    /// with [`wire::ErrorCode::NoStore`].
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server-side failures.
+    pub fn sync_digest(&mut self, model: &ModelInfo) -> Result<StoreDigest, ClientError> {
+        match self.call(&Request::SyncDigest {
+            dim: model.dim,
+            num_classes: model.num_classes,
+            model_id: model.model_id,
+        })? {
+            Response::SyncDigestReply(digest) => Ok(*digest),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "sync digest",
+            }),
+        }
+    }
+
+    /// Anti-entropy step 2: pulls record frames from the named digest
+    /// `buckets` that are absent from `have` (the caller's own sync keys
+    /// in those buckets), capped near `max_bytes`. A truncated reply means
+    /// more remains — pull again with the updated `have`.
+    ///
+    /// # Errors
+    /// [`ClientError`] on transport, protocol, or server-side failures.
+    pub fn sync_pull(
+        &mut self,
+        buckets: &[u32],
+        have: &[u64],
+        max_bytes: usize,
+    ) -> Result<SyncDelta, ClientError> {
+        match self.call(&Request::SyncPull {
+            buckets: buckets.to_vec(),
+            have: have.to_vec(),
+            max_bytes: max_bytes as u64,
+        })? {
+            Response::SyncPullReply(delta) => Ok(delta),
+            Response::Error(e) => Err(ClientError::Remote(e)),
+            _ => Err(ClientError::UnexpectedResponse {
+                expected: "sync pull",
             }),
         }
     }

@@ -12,11 +12,14 @@
 //!
 //! Three layers, one per module:
 //!
-//! * [`wire`] — the protocol: a magic + version hello, then CRC-64/XZ
-//!   framed request/response records (`Interpret`, `InterpretBatch`,
-//!   `Stats`, `Ping`) in the exact framing `openapi-store` uses on disk.
-//!   Byte-for-byte spec in `docs/PROTOCOL.md`; hostile bytes decode to
-//!   typed [`WireError`]s, never panics.
+//! * [`wire`] — the protocol: a magic + version hello (the server's reply
+//!   also declares its hidden model's shape and identity, so clients and
+//!   anti-entropy peers fail fast at connect), then CRC-64/XZ framed
+//!   request/response records (`Interpret`, `InterpretBatch`, `Stats`,
+//!   `Ping`, and the `SyncDigest`/`SyncPull` anti-entropy pair) in the
+//!   exact framing `openapi-store` uses on disk. Byte-for-byte spec in
+//!   `docs/PROTOCOL.md`; hostile bytes decode to typed [`WireError`]s,
+//!   never panics.
 //! * [`server`] — [`Server`]: a threaded acceptor over an
 //!   [`openapi_serve::InterpretationService`]. Each connection gets a
 //!   reader and a writer thread around a bounded in-flight queue; past the
@@ -69,4 +72,6 @@ pub mod wire;
 pub use budget::ConnBudget;
 pub use client::{Client, ClientError};
 pub use server::{Server, ServerConfig};
-pub use wire::{ErrorCode, RemoteError, RemoteServed, Request, Response, WireError, VERSION};
+pub use wire::{
+    ErrorCode, ModelInfo, RemoteError, RemoteServed, Request, Response, WireError, VERSION,
+};

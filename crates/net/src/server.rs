@@ -19,7 +19,7 @@
 
 use crate::budget::ConnBudget;
 use crate::wire::{
-    self, ErrorCode, FrameRead, RemoteError, RemoteServed, Request, Response, VERSION,
+    self, ErrorCode, FrameRead, ModelInfo, RemoteError, RemoteServed, Request, Response, VERSION,
 };
 use openapi_api::PredictionApi;
 use openapi_linalg::Vector;
@@ -27,7 +27,7 @@ use openapi_serve::{InterpretRequest, InterpretationService, ServeError, Served,
 use openapi_store::StoreError;
 use openapi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use openapi_sync::Mutex;
-use openapi_trace::{clock, RequestSpan};
+use openapi_trace::{clock, RequestSpan, Stage};
 use std::collections::HashMap;
 use std::io::{self, BufWriter, Write};
 use std::net::{
@@ -56,6 +56,12 @@ pub struct ServerConfig {
     /// reading its responses cannot stall the writer (and with it,
     /// graceful shutdown) forever. `None` disables the guard.
     pub write_timeout: Option<Duration>,
+    /// Operator-assigned identity of the hidden model this server fronts,
+    /// declared in the server hello and enforced on sync requests (see
+    /// [`ModelInfo::model_id`]). Two servers replicate region stores only
+    /// when dim, class count, *and* this id agree; `0` (the default)
+    /// checks shape alone.
+    pub model_id: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             max_inflight_per_conn: 64,
             default_deadline: None,
             write_timeout: Some(Duration::from_secs(30)),
+            model_id: 0,
         }
     }
 }
@@ -329,7 +336,7 @@ fn serve_connection<M: PredictionApi + Send + Sync + 'static>(
         Ok(v) => v,
         Err(_) => return Ok(()),
     };
-    write_half.write_all(&wire::encode_hello(VERSION))?;
+    write_half.write_all(&wire::encode_server_hello(VERSION, &local_model(shared)))?;
     if client_version != VERSION {
         let refusal = Response::Error(RemoteError {
             code: ErrorCode::UnsupportedVersion,
@@ -494,6 +501,73 @@ fn handle_request<M: PredictionApi + Send + Sync + 'static>(
             let frame_span = RequestSpan::root();
             Slot::PendingBatch(shared.service.submit_batch_spanned(requests, frame_span))
         }
+        Request::SyncDigest {
+            dim,
+            num_classes,
+            model_id,
+        } => {
+            let local = local_model(shared);
+            let remote = ModelInfo {
+                dim,
+                num_classes,
+                model_id,
+            };
+            if remote != local {
+                return Slot::Ready(Box::new(Response::Error(model_mismatch(&remote, &local))));
+            }
+            match shared.service.store() {
+                Some(store) => {
+                    let digest = store.digest();
+                    RequestSpan::detached().event(Stage::FabricDigest, digest.total());
+                    Slot::Ready(Box::new(Response::SyncDigestReply(Box::new(digest))))
+                }
+                None => Slot::Ready(Box::new(Response::Error(no_store()))),
+            }
+        }
+        Request::SyncPull {
+            buckets,
+            have,
+            max_bytes,
+        } => match shared.service.store() {
+            Some(store) => {
+                let delta = store.sync_delta(&buckets, &have, max_bytes as usize);
+                RequestSpan::detached().event(Stage::FabricPull, delta.records);
+                Slot::Ready(Box::new(Response::SyncPullReply(delta)))
+            }
+            None => Slot::Ready(Box::new(Response::Error(no_store()))),
+        },
+    }
+}
+
+/// The model declaration this server makes in its hello and holds sync
+/// requests against.
+fn local_model<M: PredictionApi + Send + Sync + 'static>(shared: &Arc<Shared<M>>) -> ModelInfo {
+    ModelInfo {
+        dim: shared.service.api().dim(),
+        num_classes: shared.service.api().num_classes(),
+        model_id: shared.config.model_id,
+    }
+}
+
+fn model_mismatch(remote: &ModelInfo, local: &ModelInfo) -> RemoteError {
+    RemoteError {
+        code: ErrorCode::ModelMismatch,
+        message: format!(
+            "peer model {}x{} id {}, local {}x{} id {}",
+            remote.dim,
+            remote.num_classes,
+            remote.model_id,
+            local.dim,
+            local.num_classes,
+            local.model_id
+        ),
+    }
+}
+
+fn no_store() -> RemoteError {
+    RemoteError {
+        code: ErrorCode::NoStore,
+        message: "this server runs without a durable region store".into(),
     }
 }
 

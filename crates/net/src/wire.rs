@@ -8,21 +8,24 @@
 //! byte-for-byte specification lives in `docs/PROTOCOL.md`; this module is
 //! its executable form.
 //!
-//! A connection starts with a fixed-size hello in each direction
-//! ([`encode_hello`]/[`decode_hello`]); every subsequent message is one
-//! frame whose payload begins with a one-byte tag ([`Request`] tags in
-//! `0x01..=0x05`, [`Response`] tags in `0x81..=0x85` plus [`TAG_ERROR`]).
-//! Decoding never panics on hostile bytes: every failure is a typed
-//! [`WireError`].
+//! A connection starts with a fixed-size hello in each direction: the
+//! client sends magic + version ([`encode_hello`]/[`decode_hello`]); the
+//! server answers with magic + version + the hidden model's shape and
+//! identity ([`encode_server_hello`]/[`decode_server_hello`]), so clients
+//! *and* anti-entropy peers fail fast at connect instead of on their
+//! first mismatched request. Every subsequent message is one frame whose
+//! payload begins with a one-byte tag ([`Request`] tags in `0x01..=0x07`,
+//! [`Response`] tags in `0x81..=0x87` plus [`TAG_ERROR`]). Decoding never
+//! panics on hostile bytes: every failure is a typed [`WireError`].
 
 use bytes::{Buf, BufMut};
 use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::codec::{self, CodecError};
 use openapi_linalg::Vector;
 use openapi_metrics::LATENCY_BUCKETS;
-use openapi_serve::{ServeOutcome, StatsSnapshot, STAGES};
+use openapi_serve::{FabricStatsSnapshot, ServeOutcome, StatsSnapshot, STAGES};
 use openapi_store::record::{self, RecordError};
-use openapi_store::StoreStatsSnapshot;
+use openapi_store::{DigestBucket, StoreDigest, StoreStatsSnapshot, SyncDelta, DIGEST_BUCKETS};
 use std::fmt;
 use std::io::{self, Read, Write};
 use std::sync::Arc;
@@ -31,11 +34,16 @@ use std::time::Duration;
 /// Magic bytes opening every connection, in both directions.
 pub const MAGIC: [u8; 8] = *b"OAPINET\0";
 
-/// The one protocol version this build speaks.
-pub const VERSION: u32 = 1;
+/// The one protocol version this build speaks. Version 2 added the
+/// model-describing server hello and the anti-entropy sync messages.
+pub const VERSION: u32 = 2;
 
-/// Byte length of a hello (magic + `u32` version).
+/// Byte length of a client hello (magic + `u32` version).
 pub const HELLO_LEN: usize = 12;
+
+/// Byte length of a server hello (magic + `u32` version + `u32` dim +
+/// `u32` num_classes + `u64` model id).
+pub const SERVER_HELLO_LEN: usize = 28;
 
 /// Most items accepted in one `InterpretBatch` request. Bounds the work a
 /// single frame can enqueue (the frame length itself is already bounded by
@@ -52,6 +60,10 @@ pub const TAG_INTERPRET_BATCH: u8 = 0x03;
 pub const TAG_STATS: u8 = 0x04;
 /// Request tag: [`Request::Metrics`].
 pub const TAG_METRICS: u8 = 0x05;
+/// Request tag: [`Request::SyncDigest`].
+pub const TAG_SYNC_DIGEST: u8 = 0x06;
+/// Request tag: [`Request::SyncPull`].
+pub const TAG_SYNC_PULL: u8 = 0x07;
 /// Response tag: [`Response::Pong`].
 pub const TAG_PONG: u8 = 0x81;
 /// Response tag: [`Response::Interpreted`].
@@ -62,6 +74,10 @@ pub const TAG_BATCH: u8 = 0x83;
 pub const TAG_STATS_REPLY: u8 = 0x84;
 /// Response tag: [`Response::MetricsReply`].
 pub const TAG_METRICS_REPLY: u8 = 0x85;
+/// Response tag: [`Response::SyncDigestReply`].
+pub const TAG_SYNC_DIGEST_REPLY: u8 = 0x86;
+/// Response tag: [`Response::SyncPullReply`].
+pub const TAG_SYNC_PULL_REPLY: u8 = 0x87;
 /// Response tag: [`Response::Error`].
 pub const TAG_ERROR: u8 = 0xEE;
 
@@ -155,6 +171,13 @@ pub enum ErrorCode {
     Interpret,
     /// The server is shutting down; the request was not served.
     Stopped,
+    /// The peer's declared model shape/identity does not match this
+    /// server's hidden model; syncing their region stores would merge
+    /// interpretations of different functions, so the request is refused.
+    ModelMismatch,
+    /// The request needs a durable region store, but this server runs
+    /// without one (in-memory cache only).
+    NoStore,
 }
 
 impl ErrorCode {
@@ -167,6 +190,8 @@ impl ErrorCode {
             ErrorCode::DeadlineExceeded => 4,
             ErrorCode::Interpret => 5,
             ErrorCode::Stopped => 6,
+            ErrorCode::ModelMismatch => 7,
+            ErrorCode::NoStore => 8,
         }
     }
 
@@ -179,6 +204,8 @@ impl ErrorCode {
             4 => Some(ErrorCode::DeadlineExceeded),
             5 => Some(ErrorCode::Interpret),
             6 => Some(ErrorCode::Stopped),
+            7 => Some(ErrorCode::ModelMismatch),
+            8 => Some(ErrorCode::NoStore),
             _ => None,
         }
     }
@@ -193,6 +220,8 @@ impl fmt::Display for ErrorCode {
             ErrorCode::DeadlineExceeded => "deadline exceeded",
             ErrorCode::Interpret => "interpretation failed",
             ErrorCode::Stopped => "server stopped",
+            ErrorCode::ModelMismatch => "model mismatch",
+            ErrorCode::NoStore => "no durable store",
         };
         f.write_str(name)
     }
@@ -241,6 +270,23 @@ pub struct RemoteServed {
     pub span: u64,
 }
 
+/// The hidden model's shape and identity, as declared in the server
+/// hello. Two servers may sync region stores only when all three fields
+/// agree — interpretations are exact statements *about one function*, and
+/// merging stores of different functions would silently serve wrong
+/// answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Input dimensionality of the hidden model.
+    pub dim: usize,
+    /// Number of output classes.
+    pub num_classes: usize,
+    /// Operator-assigned identity of the hidden model deployment. Two
+    /// models with equal shape but different weights must get different
+    /// ids; `0` (the default) opts out of identity checking beyond shape.
+    pub model_id: u64,
+}
+
 /// One request message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -273,6 +319,32 @@ pub enum Request {
     /// Fetch a Prometheus-style text exposition of the server's metrics
     /// (counters, gauges, and per-stage latency histograms).
     Metrics,
+    /// Anti-entropy round, step 1: ask for the server's region-store
+    /// digest. Carries the caller's own model declaration so the server
+    /// can refuse cross-model syncs with a typed
+    /// [`ErrorCode::ModelMismatch`] even when the caller skipped the
+    /// hello check.
+    SyncDigest {
+        /// The caller's model input dimensionality.
+        dim: usize,
+        /// The caller's model class count.
+        num_classes: usize,
+        /// The caller's model identity (see [`ModelInfo::model_id`]).
+        model_id: u64,
+    },
+    /// Anti-entropy round, step 2: pull record frames the caller is
+    /// missing from the named digest buckets.
+    SyncPull {
+        /// Digest buckets (each `< DIGEST_BUCKETS`) whose contents the
+        /// caller wants.
+        buckets: Vec<u32>,
+        /// Sync keys (record-frame CRCs) the caller already holds in
+        /// those buckets; the server ships only what is absent here.
+        have: Vec<u64>,
+        /// Soft cap on shipped frame bytes; the server marks the reply
+        /// truncated when it stops early, and the caller pulls again.
+        max_bytes: u64,
+    },
 }
 
 /// One response message. On a connection, responses arrive in request
@@ -295,6 +367,13 @@ pub enum Response {
     StatsReply(Box<StatsSnapshot>),
     /// Answer to [`Request::Metrics`]: the exposition text, UTF-8.
     MetricsReply(String),
+    /// Answer to [`Request::SyncDigest`]. Boxed: the digest is a
+    /// 64-bucket array (~1 KiB) that would otherwise dominate every
+    /// `Response`'s stack size.
+    SyncDigestReply(Box<StoreDigest>),
+    /// Answer to [`Request::SyncPull`]: verbatim record frames the
+    /// caller was missing, exactly as they sit in the server's WAL.
+    SyncPullReply(SyncDelta),
     /// A typed failure (answer to any request, or — for
     /// [`ErrorCode::Malformed`] frames — to bytes that never became one).
     Error(RemoteError),
@@ -319,6 +398,42 @@ pub fn decode_hello(hello: &[u8; HELLO_LEN]) -> Result<u32, WireError> {
         return Err(WireError::BadMagic { found });
     }
     Ok(u32::from_le_bytes(hello[8..].try_into().expect("4 bytes")))
+}
+
+/// Encodes a server hello: magic + version + the hidden model's shape and
+/// identity. The first [`HELLO_LEN`] bytes are laid out exactly like a
+/// client hello, so a client can read those, learn the version, and only
+/// then commit to reading the model tail.
+pub fn encode_server_hello(version: u32, model: &ModelInfo) -> [u8; SERVER_HELLO_LEN] {
+    let mut hello = [0u8; SERVER_HELLO_LEN];
+    hello[..8].copy_from_slice(&MAGIC);
+    hello[8..12].copy_from_slice(&version.to_le_bytes());
+    hello[12..16].copy_from_slice(&(model.dim.min(u32::MAX as usize) as u32).to_le_bytes());
+    hello[16..20].copy_from_slice(&(model.num_classes.min(u32::MAX as usize) as u32).to_le_bytes());
+    hello[20..28].copy_from_slice(&model.model_id.to_le_bytes());
+    hello
+}
+
+/// Decodes a server hello, returning the peer's version and model
+/// declaration.
+///
+/// # Errors
+/// [`WireError::BadMagic`] when the magic bytes are wrong.
+pub fn decode_server_hello(hello: &[u8; SERVER_HELLO_LEN]) -> Result<(u32, ModelInfo), WireError> {
+    let mut head = [0u8; HELLO_LEN];
+    head.copy_from_slice(&hello[..HELLO_LEN]);
+    let version = decode_hello(&head)?;
+    let dim = u32::from_le_bytes(hello[12..16].try_into().expect("4 bytes")) as usize;
+    let num_classes = u32::from_le_bytes(hello[16..20].try_into().expect("4 bytes")) as usize;
+    let model_id = u64::from_le_bytes(hello[20..28].try_into().expect("8 bytes"));
+    Ok((
+        version,
+        ModelInfo {
+            dim,
+            num_classes,
+            model_id,
+        },
+    ))
 }
 
 fn get_u8(buf: &mut &[u8], what: &'static str) -> Result<u8, WireError> {
@@ -501,6 +616,60 @@ fn get_store_stats(buf: &mut &[u8]) -> Result<StoreStatsSnapshot, WireError> {
     })
 }
 
+fn put_digest(buf: &mut Vec<u8>, digest: &StoreDigest) {
+    for bucket in &digest.buckets {
+        buf.put_u64_le(bucket.xor);
+        buf.put_u64_le(bucket.count);
+    }
+}
+
+fn get_digest(buf: &mut &[u8]) -> Result<StoreDigest, WireError> {
+    let mut digest = StoreDigest::default();
+    for bucket in &mut digest.buckets {
+        *bucket = DigestBucket {
+            xor: get_u64(buf, "digest bucket xor")?,
+            count: get_u64(buf, "digest bucket count")?,
+        };
+    }
+    Ok(digest)
+}
+
+fn put_fabric_stats(buf: &mut Vec<u8>, s: &FabricStatsSnapshot) {
+    for v in [
+        s.peers,
+        s.rounds,
+        s.digests,
+        s.pulled_records,
+        s.pulled_bytes,
+        s.ingested,
+        s.duplicates,
+        s.rejected,
+        s.peer_failures,
+        s.spot_checks,
+    ] {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_fabric_stats(buf: &mut &[u8]) -> Result<FabricStatsSnapshot, WireError> {
+    let mut counters = [0u64; 10];
+    for c in &mut counters {
+        *c = get_u64(buf, "fabric counter")?;
+    }
+    Ok(FabricStatsSnapshot {
+        peers: counters[0],
+        rounds: counters[1],
+        digests: counters[2],
+        pulled_records: counters[3],
+        pulled_bytes: counters[4],
+        ingested: counters[5],
+        duplicates: counters[6],
+        rejected: counters[7],
+        peer_failures: counters[8],
+        spot_checks: counters[9],
+    })
+}
+
 fn put_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
     for v in [
         s.requests,
@@ -534,6 +703,13 @@ fn put_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
         }
         None => buf.put_u8(0),
     }
+    match &s.fabric {
+        Some(fabric) => {
+            buf.put_u8(1);
+            put_fabric_stats(buf, fabric);
+        }
+        None => buf.put_u8(0),
+    }
 }
 
 fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
@@ -564,6 +740,16 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
             })
         }
     };
+    let fabric = match get_u8(buf, "stats fabric flag")? {
+        0 => None,
+        1 => Some(get_fabric_stats(buf)?),
+        other => {
+            return Err(WireError::BadValue {
+                what: "stats fabric flag",
+                value: u64::from(other),
+            })
+        }
+    };
     Ok(StatsSnapshot {
         requests: counters[0],
         hits: counters[1],
@@ -581,6 +767,7 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
         latency_buckets,
         stage_buckets,
         store,
+        fabric,
     })
 }
 
@@ -636,6 +823,36 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Stats => frame(&[TAG_STATS]),
         Request::Metrics => frame(&[TAG_METRICS]),
+        Request::SyncDigest {
+            dim,
+            num_classes,
+            model_id,
+        } => {
+            let mut payload = Vec::with_capacity(27);
+            payload.put_u8(TAG_SYNC_DIGEST);
+            codec::put_len(&mut payload, *dim);
+            codec::put_len(&mut payload, *num_classes);
+            payload.put_u64_le(*model_id);
+            frame(&payload)
+        }
+        Request::SyncPull {
+            buckets,
+            have,
+            max_bytes,
+        } => {
+            let mut payload = Vec::with_capacity(19 + 4 * buckets.len() + 8 * have.len());
+            payload.put_u8(TAG_SYNC_PULL);
+            codec::put_len(&mut payload, buckets.len());
+            for b in buckets {
+                payload.put_u32_le(*b);
+            }
+            codec::put_len(&mut payload, have.len());
+            for key in have {
+                payload.put_u64_le(*key);
+            }
+            payload.put_u64_le(*max_bytes);
+            frame(&payload)
+        }
     }
 }
 
@@ -674,6 +891,52 @@ pub fn decode_request(mut payload: &[u8]) -> Result<Request, WireError> {
         }
         TAG_STATS => Request::Stats,
         TAG_METRICS => Request::Metrics,
+        TAG_SYNC_DIGEST => Request::SyncDigest {
+            dim: codec::get_len(buf, "sync digest dim")?,
+            num_classes: codec::get_len(buf, "sync digest classes")?,
+            model_id: get_u64(buf, "sync digest model id")?,
+        },
+        TAG_SYNC_PULL => {
+            let count = codec::get_len(buf, "sync pull bucket count")?;
+            if count > DIGEST_BUCKETS {
+                return Err(WireError::BadValue {
+                    what: "sync pull bucket count",
+                    value: count as u64,
+                });
+            }
+            let mut buckets = Vec::with_capacity(count);
+            for _ in 0..count {
+                if buf.remaining() < 4 {
+                    return Err(CodecError::Truncated {
+                        what: "sync pull bucket",
+                        needed: 4,
+                        remaining: buf.remaining(),
+                    }
+                    .into());
+                }
+                let b = buf.get_u32_le();
+                if b as usize >= DIGEST_BUCKETS {
+                    return Err(WireError::BadValue {
+                        what: "sync pull bucket",
+                        value: u64::from(b),
+                    });
+                }
+                buckets.push(b);
+            }
+            let have_count = codec::get_len(buf, "sync pull have count")?;
+            // No fixed cap: the frame length (MAX_PAYLOAD) already bounds
+            // this, and the allocation below grows with bytes actually
+            // present, never with a hostile count alone.
+            let mut have = Vec::with_capacity(have_count.min(buf.remaining() / 8));
+            for _ in 0..have_count {
+                have.push(get_u64(buf, "sync pull have key")?);
+            }
+            Request::SyncPull {
+                buckets,
+                have,
+                max_bytes: get_u64(buf, "sync pull max bytes")?,
+            }
+        }
         tag => return Err(WireError::BadTag { tag }),
     };
     if !buf.is_empty() {
@@ -720,6 +983,17 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             payload.put_u8(TAG_METRICS_REPLY);
             put_string(&mut payload, text);
         }
+        Response::SyncDigestReply(digest) => {
+            payload.put_u8(TAG_SYNC_DIGEST_REPLY);
+            put_digest(&mut payload, digest);
+        }
+        Response::SyncPullReply(delta) => {
+            payload.put_u8(TAG_SYNC_PULL_REPLY);
+            payload.put_u64_le(delta.records);
+            payload.put_u8(u8::from(delta.truncated));
+            codec::put_len(&mut payload, delta.frames.len());
+            payload.extend_from_slice(&delta.frames);
+        }
         Response::Error(e) => {
             payload.put_u8(TAG_ERROR);
             put_remote_error(&mut payload, e);
@@ -765,6 +1039,37 @@ pub fn decode_response(mut payload: &[u8]) -> Result<Response, WireError> {
         }
         TAG_STATS_REPLY => Response::StatsReply(Box::new(get_stats(buf)?)),
         TAG_METRICS_REPLY => Response::MetricsReply(get_string(buf, "metrics text")?),
+        TAG_SYNC_DIGEST_REPLY => Response::SyncDigestReply(Box::new(get_digest(buf)?)),
+        TAG_SYNC_PULL_REPLY => {
+            let records = get_u64(buf, "sync pull records")?;
+            let truncated = match get_u8(buf, "sync pull truncated flag")? {
+                0 => false,
+                1 => true,
+                other => {
+                    return Err(WireError::BadValue {
+                        what: "sync pull truncated flag",
+                        value: u64::from(other),
+                    })
+                }
+            };
+            let len = codec::get_len(buf, "sync pull frame bytes")?;
+            if buf.remaining() < len {
+                return Err(CodecError::Truncated {
+                    what: "sync pull frames",
+                    needed: len,
+                    remaining: buf.remaining(),
+                }
+                .into());
+            }
+            let (bytes, rest) = buf.split_at(len);
+            let frames = bytes.to_vec();
+            *buf = rest;
+            Response::SyncPullReply(SyncDelta {
+                frames,
+                records,
+                truncated,
+            })
+        }
         TAG_ERROR => Response::Error(get_remote_error(buf)?),
         tag => return Err(WireError::BadTag { tag }),
     };
@@ -946,6 +1251,18 @@ mod tests {
                 recovered_segment_records: 15,
                 recovered_discarded_bytes: 13,
             }),
+            fabric: with_store.then_some(FabricStatsSnapshot {
+                peers: 2,
+                rounds: 40,
+                digests: 80,
+                pulled_records: 17,
+                pulled_bytes: 9999,
+                ingested: 15,
+                duplicates: 2,
+                rejected: 0,
+                peer_failures: 1,
+                spot_checks: 15,
+            }),
         }
     }
 
@@ -979,6 +1296,21 @@ mod tests {
         });
         roundtrip_request(Request::Stats);
         roundtrip_request(Request::Metrics);
+        roundtrip_request(Request::SyncDigest {
+            dim: 16,
+            num_classes: 4,
+            model_id: 0xFEED_F00D,
+        });
+        roundtrip_request(Request::SyncPull {
+            buckets: vec![0, 17, 63],
+            have: vec![0xAAAA, 0xBBBB, u64::MAX],
+            max_bytes: 1 << 20,
+        });
+        roundtrip_request(Request::SyncPull {
+            buckets: Vec::new(),
+            have: Vec::new(),
+            max_bytes: 0,
+        });
     }
 
     #[test]
@@ -1009,6 +1341,72 @@ mod tests {
             code: ErrorCode::Busy,
             message: String::new(),
         }));
+        roundtrip_response(Response::Error(RemoteError {
+            code: ErrorCode::ModelMismatch,
+            message: "peer model 3x2 id 7, local 3x2 id 9".into(),
+        }));
+        let mut digest = StoreDigest::default();
+        digest.add(0xDEAD_BEEF);
+        digest.add(0xFEED_F00D);
+        roundtrip_response(Response::SyncDigestReply(Box::new(digest)));
+        let mut frames = Vec::new();
+        record::put_record(
+            &mut frames,
+            served(ServeOutcome::Solved).fingerprint,
+            &served(ServeOutcome::Solved).interpretation,
+        );
+        roundtrip_response(Response::SyncPullReply(SyncDelta {
+            frames,
+            records: 1,
+            truncated: true,
+        }));
+        roundtrip_response(Response::SyncPullReply(SyncDelta::default()));
+    }
+
+    #[test]
+    fn sync_pull_rejects_out_of_domain_buckets() {
+        let mut payload = vec![TAG_SYNC_PULL];
+        codec::put_len(&mut payload, 1);
+        payload.put_u32_le(DIGEST_BUCKETS as u32);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadValue {
+                what: "sync pull bucket",
+                ..
+            })
+        ));
+        let mut payload = vec![TAG_SYNC_PULL];
+        codec::put_len(&mut payload, DIGEST_BUCKETS + 1);
+        assert!(matches!(
+            decode_request(&payload),
+            Err(WireError::BadValue {
+                what: "sync pull bucket count",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn server_hello_round_trips_and_shares_the_client_prefix() {
+        let model = ModelInfo {
+            dim: 24,
+            num_classes: 5,
+            model_id: 0xC0FF_EE00,
+        };
+        let hello = encode_server_hello(VERSION, &model);
+        assert_eq!(decode_server_hello(&hello).unwrap(), (VERSION, model));
+        // A version-only reader parses the first HELLO_LEN bytes as an
+        // ordinary hello — that is what lets old clients learn the
+        // version before rejecting us.
+        let mut head = [0u8; HELLO_LEN];
+        head.copy_from_slice(&hello[..HELLO_LEN]);
+        assert_eq!(decode_hello(&head).unwrap(), VERSION);
+        let mut bad = hello;
+        bad[3] ^= 0x40;
+        assert!(matches!(
+            decode_server_hello(&bad),
+            Err(WireError::BadMagic { .. })
+        ));
     }
 
     #[test]

@@ -125,8 +125,10 @@ mod stats;
 pub use coalesce::{ClassLedger, Election};
 pub use service::{
     InterpretRequest, InterpretationService, ServeError, ServeOutcome, Served, ServiceConfig,
-    Ticket,
+    ServiceCore, Ticket,
 };
 pub use shared_cache::{SharedCacheConfig, SharedRegionCache};
 pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError};
-pub use stats::{ServiceStats, StageSlot, StatsSnapshot, STAGES, STAGE_NAMES};
+pub use stats::{
+    FabricStats, FabricStatsSnapshot, ServiceStats, StageSlot, StatsSnapshot, STAGES, STAGE_NAMES,
+};

@@ -4,7 +4,7 @@
 use crate::coalesce::{ClassLedger, Election};
 use crate::shared_cache::{SharedCacheConfig, SharedRegionCache};
 use crate::snapshot::CacheSnapshot;
-use crate::stats::{ServiceStats, StageSlot, StatsSnapshot};
+use crate::stats::{FabricStats, ServiceStats, StageSlot, StatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender};
 use openapi_api::PredictionApi;
 use openapi_core::batch::queries_consumed;
@@ -15,7 +15,7 @@ use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter};
 use openapi_core::InterpretError;
 use openapi_linalg::Vector;
 use openapi_store::{RegionStore, StoreConfig, StoreError};
-use openapi_sync::atomic::{AtomicU64, Ordering};
+use openapi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use openapi_trace::{clock, slowlog, RequestSpan, Stage};
 use rand::rngs::StdRng;
 use std::fmt;
@@ -221,6 +221,14 @@ struct Inner<M> {
     cache: SharedRegionCache,
     store: Option<RegionStore>,
     stats: ServiceStats,
+    /// Counters the anti-entropy fabric (`openapi-fabric`, a tier above
+    /// this crate) records into through a [`ServiceCore`]. Always present
+    /// so recording is lock-free; surfaced in snapshots only once
+    /// `fabric_active` is set.
+    fabric_stats: FabricStats,
+    /// Set by [`ServiceCore::mark_fabric_active`]; gates whether
+    /// [`InterpretationService::stats`] carries the fabric counters.
+    fabric_active: AtomicBool,
     interpreter: OpenApiInterpreter,
     config: ServiceConfig,
     /// Per-class in-flight solve registry: up to
@@ -288,6 +296,8 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             cache,
             store,
             stats: ServiceStats::default(),
+            fabric_stats: FabricStats::default(),
+            fabric_active: AtomicBool::new(false),
             interpreter,
             config,
             ledger: ClassLedger::new(),
@@ -327,6 +337,15 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
     /// Borrow the wrapped prediction API.
     pub fn api(&self) -> &M {
         &self.inner.api
+    }
+
+    /// A cloneable handle onto the service's shared state, for sibling
+    /// subsystems (the anti-entropy fabric) that outlive individual
+    /// requests. See [`ServiceCore`] for the shutdown-ordering caveat.
+    pub fn core(&self) -> ServiceCore<M> {
+        ServiceCore {
+            inner: Arc::clone(&self.inner),
+        }
     }
 
     /// Submits a request; returns immediately with a [`Ticket`]. Mints a
@@ -535,6 +554,11 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             .stats
             .snapshot(self.inner.cache.evictions(), self.inner.cache.len());
         snapshot.store = self.inner.store.as_ref().map(RegionStore::stats);
+        // ordering: Relaxed — a presence flag set once at fabric spawn;
+        // the counters it gates are themselves only per-counter exact.
+        if self.inner.fabric_active.load(Ordering::Relaxed) {
+            snapshot.fabric = Some(self.inner.fabric_stats.snapshot());
+        }
         snapshot
     }
 
@@ -584,6 +608,95 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
 impl<M: PredictionApi + Send + Sync + 'static> Drop for InterpretationService<M> {
     fn drop(&mut self) {
         self.shutdown_workers();
+    }
+}
+
+/// A cloneable handle onto an [`InterpretationService`]'s shared state:
+/// the API, the durable store, the shared cache, and the fabric counters.
+/// `openapi-fabric`'s gossip loop holds one so it can read digests, ingest
+/// peer records, and promote them — without owning the service.
+///
+/// **Shutdown ordering:** a live core keeps the service's shared state
+/// alive, so [`InterpretationService::close`] cannot take the store out
+/// for a fallible close while one exists — the store still flushes (its
+/// own destructor), but flush errors become unobservable. Shut the fabric
+/// down (dropping its core) before closing the service.
+pub struct ServiceCore<M: PredictionApi + Send + Sync + 'static> {
+    inner: Arc<Inner<M>>,
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> Clone for ServiceCore<M> {
+    fn clone(&self) -> Self {
+        ServiceCore {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> fmt::Debug for ServiceCore<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServiceCore")
+            .field("cached_regions", &self.inner.cache.len())
+            .field(
+                "stored_regions",
+                &self.inner.store.as_ref().map(RegionStore::len),
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M: PredictionApi + Send + Sync + 'static> ServiceCore<M> {
+    /// Borrow the wrapped prediction API.
+    pub fn api(&self) -> &M {
+        &self.inner.api
+    }
+
+    /// Borrow the durable store, when the service has one.
+    pub fn store(&self) -> Option<&RegionStore> {
+        self.inner.store.as_ref()
+    }
+
+    /// Borrow the (clamped) service configuration.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.inner.config
+    }
+
+    /// The fabric counters this service surfaces in its stats snapshots.
+    pub fn fabric_stats(&self) -> &FabricStats {
+        &self.inner.fabric_stats
+    }
+
+    /// Marks the fabric attached: from now on,
+    /// [`InterpretationService::stats`] snapshots carry the fabric
+    /// counters (and the wire/Prometheus expositions with them).
+    pub fn mark_fabric_active(&self) {
+        // ordering: Relaxed — a one-way presence flag; the counters it
+        // gates carry their own (per-counter) contract.
+        self.inner.fabric_active.store(true, Ordering::Relaxed);
+    }
+
+    /// Ingests a validated record pulled from a peer: appends it to the
+    /// durable store (idempotent — the store dedupes re-appends) and
+    /// promotes it into the shared region cache, so the next request in
+    /// that region warm-serves without a solve. Returns whether the store
+    /// accepted the record as new.
+    ///
+    /// Exactness is *not* delegated to the peer: the serving path
+    /// re-verifies membership against each request's own probe before the
+    /// record ever answers anything, identical to a locally solved region.
+    pub fn ingest(
+        &self,
+        fingerprint: RegionFingerprint,
+        interpretation: Arc<Interpretation>,
+    ) -> bool {
+        let fresh = match &self.inner.store {
+            Some(store) => store.append(fingerprint, Arc::clone(&interpretation)),
+            None => false,
+        };
+        // Promote through the cache's own insert so fingerprint merging
+        // keeps one canonical entry per region.
+        let _ = self.inner.cache.insert(interpretation);
+        fresh
     }
 }
 

@@ -104,8 +104,91 @@ impl ServiceStats {
             latency_buckets: self.latency.snapshot(),
             stage_buckets: std::array::from_fn(|i| self.stage[i].snapshot()),
             store: None,
+            fabric: None,
         }
     }
+}
+
+/// Lock-free counters for the anti-entropy replication fabric. The service
+/// owns one (`Arc`-shared with the `openapi-fabric` gossip loop, which
+/// lives *above* this crate in the dependency graph) so a stats snapshot
+/// can carry the fabric's view without a dependency cycle.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Completed anti-entropy rounds (one round = one peer exchange).
+    pub rounds: AtomicU64,
+    /// Digest exchanges performed against peers.
+    pub digests: AtomicU64,
+    /// Record frames pulled from peers.
+    pub pulled_records: AtomicU64,
+    /// Bytes of record frames pulled from peers.
+    pub pulled_bytes: AtomicU64,
+    /// Pulled records validated and ingested into the local store.
+    pub ingested: AtomicU64,
+    /// Pulled records the local store already held (benign gossip overlap).
+    pub duplicates: AtomicU64,
+    /// Pulled records rejected by validation (frame CRC, model shape, or
+    /// the self-consistency spot-check).
+    pub rejected: AtomicU64,
+    /// Rounds lost to transport or peer errors (the loop retries later).
+    pub peer_failures: AtomicU64,
+    /// Self-consistency spot-checks run against pulled records.
+    pub spot_checks: AtomicU64,
+    /// Configured peers (gauge).
+    pub peers: AtomicU64,
+}
+
+impl FabricStats {
+    /// Adds `n` to one fabric counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — independent monotone counters; no reader
+        // infers cross-counter state from one load (see `snapshot`).
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (per-counter exact; no
+    /// cross-counter atomicity, same contract as [`ServiceStats`]).
+    pub fn snapshot(&self) -> FabricStatsSnapshot {
+        // ordering: Relaxed — per-counter exactness is the contract.
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        FabricStatsSnapshot {
+            rounds: load(&self.rounds),
+            digests: load(&self.digests),
+            pulled_records: load(&self.pulled_records),
+            pulled_bytes: load(&self.pulled_bytes),
+            ingested: load(&self.ingested),
+            duplicates: load(&self.duplicates),
+            rejected: load(&self.rejected),
+            peer_failures: load(&self.peer_failures),
+            spot_checks: load(&self.spot_checks),
+            peers: load(&self.peers),
+        }
+    }
+}
+
+/// A point-in-time view of [`FabricStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStatsSnapshot {
+    /// Completed anti-entropy rounds.
+    pub rounds: u64,
+    /// Digest exchanges performed against peers.
+    pub digests: u64,
+    /// Record frames pulled from peers.
+    pub pulled_records: u64,
+    /// Bytes of record frames pulled from peers.
+    pub pulled_bytes: u64,
+    /// Pulled records validated and ingested into the local store.
+    pub ingested: u64,
+    /// Pulled records the local store already held.
+    pub duplicates: u64,
+    /// Pulled records rejected by validation.
+    pub rejected: u64,
+    /// Rounds lost to transport or peer errors.
+    pub peer_failures: u64,
+    /// Self-consistency spot-checks run against pulled records.
+    pub spot_checks: u64,
+    /// Configured peers (gauge).
+    pub peers: u64,
 }
 
 /// A point-in-time view of [`ServiceStats`] plus the cache gauges (and
@@ -156,6 +239,9 @@ pub struct StatsSnapshot {
     /// The durable store's own counters (`None` when the service runs
     /// without a store).
     pub store: Option<StoreStatsSnapshot>,
+    /// The anti-entropy fabric's counters (`None` when no fabric node is
+    /// attached to the service).
+    pub fabric: Option<FabricStatsSnapshot>,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -202,6 +288,19 @@ impl fmt::Display for StatsSnapshot {
         }
         if let Some(store) = &self.store {
             write!(f, "\n{store}")?;
+        }
+        if let Some(fabric) = &self.fabric {
+            write!(
+                f,
+                "\nfabric   peers {:>3}   rounds {:>6}   pulled {:>6} ({} B)   ingested {:>6} (dup {}, rejected {})",
+                fabric.peers,
+                fabric.rounds,
+                fabric.pulled_records,
+                fabric.pulled_bytes,
+                fabric.ingested,
+                fabric.duplicates,
+                fabric.rejected
+            )?;
         }
         Ok(())
     }
@@ -327,6 +426,58 @@ impl StatsSnapshot {
                 store.hits,
             );
         }
+        if let Some(fabric) = &self.fabric {
+            m.gauge(
+                "openapi_fabric_peers",
+                "Anti-entropy peers configured.",
+                fabric.peers,
+            );
+            m.counter(
+                "openapi_fabric_rounds_total",
+                "Completed anti-entropy rounds.",
+                fabric.rounds,
+            );
+            m.counter(
+                "openapi_fabric_digests_total",
+                "Digest exchanges performed against peers.",
+                fabric.digests,
+            );
+            m.counter(
+                "openapi_fabric_pulled_records_total",
+                "Record frames pulled from peers.",
+                fabric.pulled_records,
+            );
+            m.counter(
+                "openapi_fabric_pulled_bytes_total",
+                "Bytes of record frames pulled from peers.",
+                fabric.pulled_bytes,
+            );
+            m.counter(
+                "openapi_fabric_ingested_total",
+                "Pulled records validated and ingested into the store.",
+                fabric.ingested,
+            );
+            m.counter(
+                "openapi_fabric_duplicates_total",
+                "Pulled records the local store already held.",
+                fabric.duplicates,
+            );
+            m.counter(
+                "openapi_fabric_rejected_total",
+                "Pulled records rejected by validation.",
+                fabric.rejected,
+            );
+            m.counter(
+                "openapi_fabric_peer_failures_total",
+                "Anti-entropy rounds lost to transport or peer errors.",
+                fabric.peer_failures,
+            );
+            m.counter(
+                "openapi_fabric_spot_checks_total",
+                "Self-consistency spot-checks run on pulled records.",
+                fabric.spot_checks,
+            );
+        }
         let ring = openapi_trace::ring_stats();
         m.counter(
             "openapi_trace_events_total",
@@ -400,6 +551,31 @@ mod tests {
             assert!(text.contains(name), "stage {name} missing from report");
         }
         assert!(text.contains("p90"));
+    }
+
+    #[test]
+    fn fabric_counters_flow_into_display_and_prometheus() {
+        let fabric = FabricStats::default();
+        FabricStats::add(&fabric.rounds, 3);
+        FabricStats::add(&fabric.pulled_records, 5);
+        FabricStats::add(&fabric.ingested, 5);
+        FabricStats::add(&fabric.peers, 2);
+        let stats = ServiceStats::default();
+        let mut snap = stats.snapshot(0, 0);
+        assert!(
+            snap.fabric.is_none(),
+            "the service fills the fabric view in"
+        );
+        snap.fabric = Some(fabric.snapshot());
+        let text = snap.to_string();
+        assert!(text.contains("fabric") && text.contains("rounds"));
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("openapi_fabric_rounds_total 3\n"));
+        assert!(doc.contains("openapi_fabric_ingested_total 5\n"));
+        assert!(doc.contains("openapi_fabric_peers 2\n"));
+        // Without a fabric the series are absent entirely.
+        let bare = stats.snapshot(0, 0).to_prometheus();
+        assert!(!bare.contains("openapi_fabric_"));
     }
 
     #[test]

@@ -95,6 +95,7 @@ mod segment;
 mod stats;
 pub mod sticky;
 mod store;
+pub mod sync;
 mod wal;
 
 pub use error::StoreError;
@@ -103,6 +104,7 @@ pub use segment::{read_segment, segment_name, SegmentRecovery, SEGMENT_MAGIC};
 pub use stats::{StoreStats, StoreStatsSnapshot};
 pub use sticky::StickyError;
 pub use store::{RegionStore, StoreConfig};
+pub use sync::{DigestBucket, StoreDigest, SyncDelta, DIGEST_BUCKETS};
 pub use wal::{Wal, WalRecovery, WAL_MAGIC};
 
 #[cfg(test)]

@@ -6,6 +6,7 @@ use crate::record::{self, StoredRegion};
 use crate::segment::{self, sync_dir};
 use crate::stats::{StoreStats, StoreStatsSnapshot};
 use crate::sticky::StickyError;
+use crate::sync::{StoreDigest, SyncDelta};
 use crate::wal::Wal;
 use openapi_core::cache::interpretations_agree;
 use openapi_core::decision::{Interpretation, RegionFingerprint};
@@ -13,7 +14,7 @@ use openapi_linalg::Vector;
 use openapi_sync::atomic::{AtomicU64, Ordering};
 use openapi_sync::{Mutex, RwLock};
 use openapi_trace::{RequestSpan, Stage};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -69,11 +70,19 @@ struct Index {
     /// dedup scan) only ever touch one class's bucket, so a store holding
     /// many classes never pays for the others on a lookup.
     by_class: HashMap<usize, Vec<usize>>,
+    /// `sync key → records index`. The sync key is the record frame's
+    /// CRC-64/XZ (bytes `[4..12]` of the encoded frame): it addresses the
+    /// exact record bytes, so the anti-entropy tier can summarize and
+    /// exchange records without conflating fingerprint collisions.
+    by_sync_key: HashMap<u64, usize>,
 }
 
 impl Index {
-    /// Admits a record; `true` means it was new (and must be persisted).
-    fn admit(&mut self, record: StoredRegion, rtol: f64) -> bool {
+    /// Admits a record; `Some(frame)` means it was new — the returned
+    /// encoded frame is what must be persisted (append reuses it for the
+    /// WAL; recovery, which already has it on disk, drops it). `None`
+    /// means an agreeing record was already present (idempotent).
+    fn admit(&mut self, record: StoredRegion, rtol: f64) -> Option<Vec<u8>> {
         let class = record.interpretation.class;
         let key = (class, record.fingerprint.0);
         match self.by_key.get(&key) {
@@ -84,7 +93,7 @@ impl Index {
                     rtol,
                 ) =>
             {
-                false
+                None
             }
             Some(_) => {
                 // Fingerprint collision: store the new region un-indexed —
@@ -95,26 +104,36 @@ impl Index {
                     .class_records(class)
                     .any(|r| interpretations_agree(&r.interpretation, &record.interpretation, rtol))
                 {
-                    false
+                    None
                 } else {
-                    self.push(record);
-                    true
+                    Some(self.push(record))
                 }
             }
             None => {
                 self.by_key.insert(key, self.records.len());
-                self.push(record);
-                true
+                Some(self.push(record))
             }
         }
     }
 
-    fn push(&mut self, record: StoredRegion) {
+    /// Appends an admitted record, indexing it by class and sync key, and
+    /// returns its canonical encoded frame (deterministic, so it is
+    /// byte-identical to what recovery will read back).
+    fn push(&mut self, record: StoredRegion) -> Vec<u8> {
+        let frame = record::encode_record(record.fingerprint, &record.interpretation);
+        let sync_key = u64::from_le_bytes(frame[4..12].try_into().expect("frame header"));
+        // A CRC collision between different records would leave the later
+        // one unsummarized (it still serves locally; it just never gossips)
+        // — `or_insert` keeps the digest an exact image of `by_sync_key`.
+        self.by_sync_key
+            .entry(sync_key)
+            .or_insert(self.records.len());
         self.by_class
             .entry(record.interpretation.class)
             .or_default()
             .push(self.records.len());
         self.records.push(record);
+        frame
     }
 
     /// The records of one class, in admission order.
@@ -202,14 +221,16 @@ impl RegionStore {
             );
             StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
             for r in recovered.records {
-                index.admit(r, config.membership_rtol);
+                // Already durable: the returned frame is not re-persisted.
+                let _ = index.admit(r, config.membership_rtol);
             }
         }
         let (wal, recovered) = Wal::open(&dir.join("wal.log"))?;
         StoreStats::add(&stats.recovered_wal_records, recovered.records.len() as u64);
         StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
         for r in recovered.records {
-            index.admit(r, config.membership_rtol);
+            // Already durable: the returned frame is not re-persisted.
+            let _ = index.admit(r, config.membership_rtol);
         }
 
         let wal_bytes = wal.len();
@@ -313,17 +334,16 @@ impl RegionStore {
             fingerprint,
             interpretation,
         };
-        let fresh = self
+        let admitted = self
             .shared
             .index
             .write()
-            .admit(record.clone(), self.shared.config.membership_rtol);
-        if !fresh {
+            .admit(record, self.shared.config.membership_rtol);
+        let Some(frame) = admitted else {
             StoreStats::add(&self.shared.stats.duplicate_appends, 1);
             return false;
-        }
+        };
         StoreStats::add(&self.shared.stats.appends, 1);
-        let frame = record::encode_record(record.fingerprint, &record.interpretation);
         // Attributes to the solving request's span when called from a
         // worker (the serving tier holds the span in its thread-local);
         // payload = encoded frame bytes queued for the flusher.
@@ -333,6 +353,105 @@ impl RegionStore {
         // the sticky `wal_error` surfaces through flush()/close().
         let _ = self.tx.send(FlushMsg::Append(frame));
         true
+    }
+
+    /// A bucketed XOR/count digest of the store's record set, keyed by
+    /// each record frame's CRC-64/XZ. Two stores whose digests are equal
+    /// hold the same record set (w.h.p. — and membership re-verification
+    /// on the serving path means a false match can only delay a gossip
+    /// round, never corrupt an answer).
+    pub fn digest(&self) -> StoreDigest {
+        let index = self.shared.index.read();
+        let mut digest = StoreDigest::default();
+        for &key in index.by_sync_key.keys() {
+            digest.add(key);
+        }
+        digest
+    }
+
+    /// Whether the store already holds the record whose frame CRC is
+    /// `sync_key` (i.e. that exact record byte string).
+    pub fn contains_record(&self, sync_key: u64) -> bool {
+        self.shared.index.read().by_sync_key.contains_key(&sync_key)
+    }
+
+    /// Whether the store holds a canonical record under
+    /// `(class, fingerprint)`. A collided (un-indexed) duplicate does not
+    /// count — this answers "is the fingerprint key taken", mirroring the
+    /// cache's keying.
+    pub fn contains_fingerprint(&self, class: usize, fingerprint: RegionFingerprint) -> bool {
+        self.shared
+            .index
+            .read()
+            .by_key
+            .contains_key(&(class, fingerprint.0))
+    }
+
+    /// Every record's sync key, sorted (a stable iteration surface for
+    /// tests and debugging; the digest is the compact form).
+    pub fn record_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .shared
+            .index
+            .read()
+            .by_sync_key
+            .keys()
+            .copied()
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The sync keys that hash into any of `buckets`, sorted — what a
+    /// puller sends alongside a pull so the peer ships only records the
+    /// puller is actually missing.
+    pub fn keys_in_buckets(&self, buckets: &[u32]) -> Vec<u64> {
+        let wanted: HashSet<u32> = buckets.iter().copied().collect();
+        let mut keys: Vec<u64> = self
+            .shared
+            .index
+            .read()
+            .by_sync_key
+            .keys()
+            .copied()
+            .filter(|&k| wanted.contains(&(StoreDigest::bucket_of(k) as u32)))
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The delta a peer needs: the encoded frames of every record in
+    /// `buckets` whose sync key is not in `have`, concatenated, capped at
+    /// roughly `max_bytes` (at least one record always ships, so a pull
+    /// loop makes progress). Frames are re-encoded from the index —
+    /// [`record::encode_record`] is deterministic, so they are
+    /// byte-identical to this store's own on-disk records.
+    pub fn sync_delta(&self, buckets: &[u32], have: &[u64], max_bytes: usize) -> SyncDelta {
+        let wanted: HashSet<u32> = buckets.iter().copied().collect();
+        let have: HashSet<u64> = have.iter().copied().collect();
+        let index = self.shared.index.read();
+        let mut missing: Vec<(u64, usize)> = index
+            .by_sync_key
+            .iter()
+            .filter(|&(&k, _)| {
+                wanted.contains(&(StoreDigest::bucket_of(k) as u32)) && !have.contains(&k)
+            })
+            .map(|(&k, &i)| (k, i))
+            .collect();
+        // Deterministic delta order regardless of hash-map iteration.
+        missing.sort_unstable();
+        let mut delta = SyncDelta::default();
+        for (_, i) in missing {
+            let r = &index.records[i];
+            let frame = record::encode_record(r.fingerprint, &r.interpretation);
+            if delta.records > 0 && delta.frames.len() + frame.len() > max_bytes {
+                delta.truncated = true;
+                break;
+            }
+            delta.frames.extend_from_slice(&frame);
+            delta.records += 1;
+        }
+        delta
     }
 
     /// Durability barrier: blocks until every append accepted before this
@@ -716,6 +835,109 @@ mod tests {
         store.close().unwrap();
         let store = open(&dir);
         assert_eq!(store.len(), 100);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_is_idempotent_and_sync_surfaces_reflect_the_set() {
+        let dir = temp_dir("store_sync_surface");
+        let store = open(&dir);
+        let a = region(0, &[1.0, -0.5], 0.25);
+        let b = region(1, &[2.0, 0.5], -0.75);
+        assert!(store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        assert!(store.append(b.fingerprint, Arc::clone(&b.interpretation)));
+        // Idempotent: re-appending changes nothing observable.
+        for _ in 0..3 {
+            assert!(!store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        }
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().duplicate_appends, 3);
+
+        let keys = store.record_keys();
+        assert_eq!(keys.len(), 2);
+        let frame_a = record::encode_record(a.fingerprint, &a.interpretation);
+        let key_a = u64::from_le_bytes(frame_a[4..12].try_into().unwrap());
+        assert!(keys.contains(&key_a));
+        assert!(store.contains_record(key_a));
+        assert!(!store.contains_record(key_a ^ 1));
+        assert!(store.contains_fingerprint(0, a.fingerprint));
+        assert!(!store.contains_fingerprint(5, a.fingerprint));
+
+        // The digest summarizes exactly the key set, and the duplicate
+        // appends above never inflated it.
+        let digest = store.digest();
+        assert_eq!(digest.total(), 2);
+        let mut expect = StoreDigest::default();
+        for &k in &keys {
+            expect.add(k);
+        }
+        assert_eq!(digest, expect);
+        store.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sync_delta_ships_exact_frames_and_respects_the_cap() {
+        let dir = temp_dir("store_sync_delta");
+        let store = open(&dir);
+        let regions: Vec<_> = (0..6).map(|i| region(0, &[i as f64 + 0.5], 0.0)).collect();
+        for r in &regions {
+            store.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        let all_buckets: Vec<u32> = (0..crate::sync::DIGEST_BUCKETS as u32).collect();
+
+        // A peer holding nothing gets every record, as exact frames.
+        let delta = store.sync_delta(&all_buckets, &[], usize::MAX);
+        assert_eq!(delta.records, 6);
+        assert!(!delta.truncated);
+        let mut slice = delta.frames.as_slice();
+        let mut decoded = 0;
+        while !slice.is_empty() {
+            let rec = record::get_record(&mut slice).unwrap();
+            assert!(
+                store.contains_fingerprint(rec.interpretation.class, rec.fingerprint),
+                "delta record must come from the store"
+            );
+            decoded += 1;
+        }
+        assert_eq!(decoded, 6);
+
+        // A peer that already has everything gets an empty delta.
+        let have = store.record_keys();
+        let none = store.sync_delta(&all_buckets, &have, usize::MAX);
+        assert_eq!(none.records, 0);
+        assert!(!none.truncated);
+
+        // A tight cap still ships at least one record and flags the rest.
+        let tiny = store.sync_delta(&all_buckets, &[], 1);
+        assert_eq!(tiny.records, 1);
+        assert!(tiny.truncated);
+
+        // Pull-looping to completion over the capped path converges on
+        // the identical byte set as the uncapped pull.
+        let mut have: Vec<u64> = Vec::new();
+        let mut gathered = Vec::new();
+        loop {
+            let step = store.sync_delta(&all_buckets, &have, 64);
+            if step.records == 0 {
+                break;
+            }
+            let mut slice = step.frames.as_slice();
+            while !slice.is_empty() {
+                let start = slice;
+                let _ = record::get_record(&mut slice).unwrap();
+                let frame = &start[..start.len() - slice.len()];
+                have.push(u64::from_le_bytes(frame[4..12].try_into().unwrap()));
+                gathered.extend_from_slice(frame);
+            }
+            if !step.truncated {
+                break;
+            }
+        }
+        have.sort_unstable();
+        assert_eq!(have, store.record_keys());
+        assert_eq!(gathered, delta.frames, "same bytes, any pull schedule");
+        store.close().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,136 @@
+//! Anti-entropy digests and deltas: the store-side half of the fabric.
+//!
+//! Theorem 2 makes every stored record an immutable fact, so two stores of
+//! the same hidden model converge by *set union* — no versions, no
+//! tombstones, no conflicts. This module gives a store the two primitives
+//! union-by-gossip needs:
+//!
+//! * [`StoreDigest`] — a compact summary of the record set, bucketed by
+//!   sync key (the frame's CRC-64/XZ, which content-addresses the exact
+//!   record bytes). Two stores compare digests bucket-by-bucket; equal
+//!   buckets are skipped wholesale, differing buckets name exactly where
+//!   the missing records live.
+//! * [`SyncDelta`] — the raw WAL record frames for keys a peer is missing,
+//!   size-capped so one pull never balloons; `truncated` tells the peer to
+//!   come back for the rest.
+//!
+//! The sync key is deliberately the *frame CRC*, not the region
+//! fingerprint: the fingerprint is a quantized locality key (two genuinely
+//! different regions may collide), while the CRC addresses the exact
+//! on-disk bytes. A record crosses the fabric as those bytes, unmodified,
+//! so "peer has key k" means "peer has this exact record".
+
+/// Number of digest buckets. Keys spread by `key % DIGEST_BUCKETS`; with
+/// CRC-distributed keys each bucket's XOR/count pair detects any single
+/// missing record, and equal digests mean equal sets with overwhelming
+/// probability (the serving path re-verifies membership anyway — a false
+/// "in sync" costs a later gossip round, never a wrong answer).
+pub const DIGEST_BUCKETS: usize = 64;
+
+/// One digest bucket: XOR of the sync keys in it, and how many there are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestBucket {
+    /// XOR of every sync key hashed into this bucket.
+    pub xor: u64,
+    /// Number of keys in this bucket.
+    pub count: u64,
+}
+
+/// A compact fingerprint-set summary: [`DIGEST_BUCKETS`] XOR/count pairs
+/// over the store's sync keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreDigest {
+    /// The per-bucket summaries, indexed by `key % DIGEST_BUCKETS`.
+    pub buckets: [DigestBucket; DIGEST_BUCKETS],
+}
+
+impl Default for StoreDigest {
+    // Manual impl: std derives array Default only up to 32 elements.
+    fn default() -> Self {
+        StoreDigest {
+            buckets: [DigestBucket::default(); DIGEST_BUCKETS],
+        }
+    }
+}
+
+impl StoreDigest {
+    /// The bucket index a sync key hashes into.
+    pub fn bucket_of(key: u64) -> usize {
+        (key % DIGEST_BUCKETS as u64) as usize
+    }
+
+    /// Folds one sync key into the digest.
+    pub fn add(&mut self, key: u64) {
+        let b = &mut self.buckets[Self::bucket_of(key)];
+        b.xor ^= key;
+        b.count += 1;
+    }
+
+    /// Total records summarized.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().map(|b| b.count).sum()
+    }
+
+    /// Bucket indices where `self` and `other` disagree — the only places
+    /// a pull needs to look. Equal digests return an empty vector.
+    pub fn differing_buckets(&self, other: &StoreDigest) -> Vec<u32> {
+        (0..DIGEST_BUCKETS as u32)
+            .filter(|&i| self.buckets[i as usize] != other.buckets[i as usize])
+            .collect()
+    }
+}
+
+/// The answer to a pull: concatenated raw record frames (each exactly the
+/// bytes the serving store wrote to its own WAL), with a size cap.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SyncDelta {
+    /// Concatenated record frames, decodable by
+    /// [`crate::record::get_record`] in a loop.
+    pub frames: Vec<u8>,
+    /// How many records `frames` holds.
+    pub records: u64,
+    /// True when the size cap cut the delta short: more records differ,
+    /// pull again with the keys now held.
+    pub truncated: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_independent_and_detects_any_difference() {
+        let keys = [3u64, 77, 64, 65, 1 << 40, u64::MAX];
+        let mut forward = StoreDigest::default();
+        let mut backward = StoreDigest::default();
+        for &k in &keys {
+            forward.add(k);
+        }
+        for &k in keys.iter().rev() {
+            backward.add(k);
+        }
+        assert_eq!(forward, backward);
+        assert_eq!(forward.total(), keys.len() as u64);
+        assert!(forward.differing_buckets(&backward).is_empty());
+
+        // Dropping any one key moves exactly that key's bucket.
+        for (i, &k) in keys.iter().enumerate() {
+            let mut partial = StoreDigest::default();
+            for (j, &other) in keys.iter().enumerate() {
+                if j != i {
+                    partial.add(other);
+                }
+            }
+            let diff = forward.differing_buckets(&partial);
+            assert_eq!(diff, vec![StoreDigest::bucket_of(k) as u32]);
+        }
+    }
+
+    #[test]
+    fn empty_digests_agree() {
+        let a = StoreDigest::default();
+        let b = StoreDigest::default();
+        assert_eq!(a.total(), 0);
+        assert!(a.differing_buckets(&b).is_empty());
+    }
+}

@@ -46,6 +46,15 @@ pub enum Stage {
     /// The request settled. Payload: outcome code (0 ok, 1 failed,
     /// 2 deadline expired).
     Finish = 13,
+    /// An anti-entropy digest was served to (or fetched from) a peer.
+    /// Payload: the digest's total record count.
+    FabricDigest = 14,
+    /// A sync pull shipped record frames to (or from) a peer.
+    /// Payload: records in the delta.
+    FabricPull = 15,
+    /// A record pulled from a peer passed validation and was ingested.
+    /// Payload: the record frame length in bytes.
+    FabricIngest = 16,
 }
 
 impl Stage {
@@ -66,6 +75,9 @@ impl Stage {
             11 => Stage::Fsync,
             12 => Stage::Reply,
             13 => Stage::Finish,
+            14 => Stage::FabricDigest,
+            15 => Stage::FabricPull,
+            16 => Stage::FabricIngest,
             _ => return None,
         })
     }
@@ -86,6 +98,9 @@ impl Stage {
             Stage::Fsync => "fsync",
             Stage::Reply => "reply",
             Stage::Finish => "finish",
+            Stage::FabricDigest => "fabric_digest",
+            Stage::FabricPull => "fabric_pull",
+            Stage::FabricIngest => "fabric_ingest",
         }
     }
 }
@@ -120,6 +135,6 @@ mod tests {
             }
         }
         assert_eq!(Stage::from_u64(0), None);
-        assert_eq!(Stage::from_u64(14), None);
+        assert_eq!(Stage::from_u64(17), None);
     }
 }

@@ -317,6 +317,7 @@ const CLOCK_PATHS: &[&str] = &[
     "crates/net/",
     "crates/store/",
     "crates/trace/",
+    "crates/fabric/",
 ];
 
 /// The one file allowed to call `Instant::now()`: the clock itself.

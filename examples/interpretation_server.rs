@@ -14,7 +14,13 @@
 //!
 //! Any `openapi_net::Client` can then ping it, fetch stats, and request
 //! interpretations; `openapi-exp queries --remote 127.0.0.1:7077` drives a
-//! whole experiment through it. Two observability flags ride along:
+//! whole experiment through it. With one or more repeatable `--peer ADDR`
+//! flags (plus `--store-dir`, which replication requires), the server
+//! joins the anti-entropy fabric: it gossips digests with its peers and
+//! pulls any region a peer has already solved, so a cluster of servers
+//! fronting the same hidden model pays each Algorithm-1 solve once
+//! cluster-wide (see `docs/ARCHITECTURE.md`, fabric tier). Two
+//! observability flags ride along:
 //! `--metrics-addr ADDR` binds a plain-HTTP sidecar answering every
 //! connection with the Prometheus text exposition (`curl
 //! http://ADDR/metrics`), and `--slow-ms MS` arms the sampling
@@ -76,7 +82,7 @@ type DemoApi = CountingApi<RemoteApi<Plnn>>;
 
 /// Builds the demo server: the hidden model behind its service, behind a
 /// socket. With a store directory, solved regions are durable.
-fn build_server(listen: &str, store_dir: Option<&PathBuf>) -> Server<DemoApi> {
+fn build_server(listen: &str, store_dir: Option<&PathBuf>, model_id: u64) -> Server<DemoApi> {
     // Somebody else's model behind an API boundary: a 6-input, 3-class
     // ReLU network, reachable only over a ~300 µs round trip. The counter
     // meters what the audit traffic costs. (Same seed every life: the
@@ -97,7 +103,11 @@ fn build_server(listen: &str, store_dir: Option<&PathBuf>) -> Server<DemoApi> {
             .expect("store directory must open (is it a store?)"),
         None => InterpretationService::new(api, config),
     };
-    Server::bind(listen, service, ServerConfig::default()).expect("listen address must bind")
+    let config = ServerConfig {
+        model_id,
+        ..ServerConfig::default()
+    };
+    Server::bind(listen, service, config).expect("listen address must bind")
 }
 
 /// Four TCP clients, each interpreting 50 predictions over the wire.
@@ -186,11 +196,21 @@ fn main() {
     let mut store_dir: Option<PathBuf> = None;
     let mut metrics_addr: Option<String> = None;
     let mut slow_ms: Option<u64> = None;
+    let mut peers: Vec<String> = Vec::new();
+    let mut model_id: u64 = 0;
     let mut i = 0;
     while i < args.len() {
         match (args[i].as_str(), args.get(i + 1)) {
             ("--listen", Some(addr)) => {
                 listen = Some(addr.clone());
+                i += 2;
+            }
+            ("--peer", Some(addr)) => {
+                peers.push(addr.clone());
+                i += 2;
+            }
+            ("--model-id", Some(id)) => {
+                model_id = id.parse().expect("--model-id takes a u64");
                 i += 2;
             }
             ("--store-dir", Some(dir)) => {
@@ -208,7 +228,7 @@ fn main() {
             _ => {
                 eprintln!(
                     "usage: interpretation_server [--listen ADDR] [--metrics-addr ADDR] \
-                     [--slow-ms MS] [--store-dir DIR]"
+                     [--slow-ms MS] [--store-dir DIR] [--peer ADDR]... [--model-id ID]"
                 );
                 std::process::exit(2);
             }
@@ -223,7 +243,7 @@ fn main() {
 
     // Listen mode: a long-running server for remote clients.
     if let Some(addr) = listen {
-        let server = build_server(&addr, store_dir.as_ref());
+        let server = build_server(&addr, store_dir.as_ref(), model_id);
         let bound: SocketAddr = server.local_addr();
         println!(
             "interpretation server listening on {bound} (protocol v{})",
@@ -231,10 +251,30 @@ fn main() {
         );
         println!("  try: cargo run --release -p openapi-eval --bin openapi-exp -- \\");
         println!("         queries --service-clients 4 --remote {bound}");
-        match store_dir {
+        match &store_dir {
             Some(dir) => println!("  durable region store: {}", dir.display()),
             None => println!("  in-memory only (pass --store-dir DIR for restart durability)"),
         }
+        // The anti-entropy fabric: gossip with each configured peer so
+        // regions solved anywhere in the cluster are warm-served here.
+        // Replication needs the durable store (it is what the digests
+        // describe); without one the node would refuse every exchange.
+        let _fabric = if peers.is_empty() {
+            None
+        } else if store_dir.is_none() {
+            println!("  --peer ignored: replication requires --store-dir");
+            None
+        } else {
+            println!("  anti-entropy peers: {}", peers.join(", "));
+            Some(FabricNode::spawn(
+                server.service().core(),
+                FabricConfig {
+                    peers: peers.clone(),
+                    model_id,
+                    ..FabricConfig::default()
+                },
+            ))
+        };
         let metrics = metrics_addr.as_deref().map(|addr| {
             let listener = TcpListener::bind(addr).expect("metrics address must bind");
             let bound = listener.local_addr().expect("bound metrics address");
@@ -256,9 +296,13 @@ fn main() {
         println!("(--metrics-addr serves in --listen mode; the demo prints its stats inline)\n");
     }
 
+    if !peers.is_empty() {
+        println!("(--peer joins the fabric in --listen mode; the demo runs standalone)\n");
+    }
+
     // Demo mode, life 1: serve the traffic cold (or warm, if the store
     // directory already holds a previous run's regions).
-    let server = build_server("127.0.0.1:0", store_dir.as_ref());
+    let server = build_server("127.0.0.1:0", store_dir.as_ref(), model_id);
     println!(
         "serving {CLIENTS} TCP clients × {REQUESTS_PER_CLIENT} requests on {} …\n",
         server.local_addr()
@@ -281,7 +325,7 @@ fn main() {
     // stays at zero.
     server.close().expect("clean close flushes the WAL");
     println!("\n--- server restarted against {} ---\n", dir.display());
-    let reborn = build_server("127.0.0.1:0", Some(&dir));
+    let reborn = build_server("127.0.0.1:0", Some(&dir), model_id);
     println!(
         "recovered {} regions from the store before the first request",
         reborn.service().store().expect("store attached").len()

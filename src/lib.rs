@@ -18,6 +18,7 @@
 pub use openapi_api as api;
 pub use openapi_core as core;
 pub use openapi_data as data;
+pub use openapi_fabric as fabric;
 pub use openapi_linalg as linalg;
 pub use openapi_lmt as lmt;
 pub use openapi_metrics as metrics;
@@ -36,11 +37,12 @@ pub mod prelude {
     pub use openapi_core::decision::{Interpretation, PairwiseCoreParams, RegionFingerprint};
     pub use openapi_core::openapi::{OpenApiConfig, OpenApiInterpreter, OpenApiResult};
     pub use openapi_core::Method;
+    pub use openapi_fabric::{FabricConfig, FabricNode};
     pub use openapi_linalg::{Matrix, Vector};
-    pub use openapi_net::{Client, ClientError, RemoteServed, Server, ServerConfig};
+    pub use openapi_net::{Client, ClientError, ModelInfo, RemoteServed, Server, ServerConfig};
     pub use openapi_serve::{
-        InterpretRequest, InterpretationService, ServeOutcome, ServiceConfig, SharedCacheConfig,
-        SharedRegionCache, Ticket,
+        InterpretRequest, InterpretationService, ServeOutcome, ServiceConfig, ServiceCore,
+        SharedCacheConfig, SharedRegionCache, Ticket,
     };
     pub use openapi_store::{RegionStore, StoreConfig, StoreError};
     pub use openapi_trace::{RequestSpan, Stage, TraceEvent};

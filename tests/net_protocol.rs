@@ -63,9 +63,10 @@ fn raw_handshake(addr: SocketAddr) -> TcpStream {
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     stream.write_all(&wire::encode_hello(VERSION)).unwrap();
-    let mut hello = [0u8; wire::HELLO_LEN];
+    let mut hello = [0u8; wire::SERVER_HELLO_LEN];
     stream.read_exact(&mut hello).unwrap();
-    assert_eq!(wire::decode_hello(&hello).unwrap(), VERSION);
+    let (version, _model) = wire::decode_server_hello(&hello).unwrap();
+    assert_eq!(version, VERSION);
     stream
 }
 
@@ -291,9 +292,13 @@ fn version_negotiation_rejects_strangers_with_typed_errors() {
         .set_read_timeout(Some(Duration::from_secs(60)))
         .unwrap();
     stream.write_all(&wire::encode_hello(99)).unwrap();
-    let mut hello = [0u8; wire::HELLO_LEN];
+    // The refusing server still sends its full 28-byte hello — the
+    // version-only prefix tells the stranger what we speak, the model
+    // tail costs it nothing.
+    let mut hello = [0u8; wire::SERVER_HELLO_LEN];
     stream.read_exact(&mut hello).unwrap();
-    assert_eq!(wire::decode_hello(&hello).unwrap(), VERSION);
+    let (version, _model) = wire::decode_server_hello(&hello).unwrap();
+    assert_eq!(version, VERSION);
     let responses = read_until_close(&mut stream);
     assert_eq!(responses.len(), 1);
     match &responses[0] {
