@@ -17,9 +17,11 @@
 //!   against ground truth, never by interpreters.
 //!
 //! It also ships instrumentation and degradation wrappers ([`counter`],
-//! [`degrade`]) and two self-contained reference PLMs ([`linear`], [`toy`])
-//! used pervasively in tests.
+//! [`degrade`]), a deterministic fault-injection wrapper ([`chaos`]) for
+//! the adversarial suites, and two self-contained reference PLMs
+//! ([`linear`], [`toy`]) used pervasively in tests.
 
+pub mod chaos;
 pub mod counter;
 pub mod degrade;
 pub mod linear;
@@ -27,6 +29,7 @@ pub mod probability;
 pub mod toy;
 pub mod traits;
 
+pub use chaos::{ApiError, ChaosApi, ChaosConfig, ChaosStats};
 pub use counter::CountingApi;
 pub use degrade::{NoisyApi, QuantizedApi};
 pub use linear::LinearSoftmaxModel;

@@ -93,6 +93,25 @@ impl TwoRegionPlm {
         Self::axis_split(1, 0.25, low, high)
     }
 
+    /// The "silently updated" counterpart of [`TwoRegionPlm::reference`]:
+    /// identical shape and region boundary, different local classifiers
+    /// in both regions — the model a vendor swaps in behind the same
+    /// endpoint. Every region solved against [`TwoRegionPlm::reference`]
+    /// fails `explains_probe` against this model (the weights differ
+    /// everywhere), which is what the drift-detection suites rely on.
+    pub fn reference_v2() -> Self {
+        const D: usize = TwoRegionPlm::REFERENCE_DIM;
+        let low = LocalLinearModel::new(
+            Matrix::from_fn(D, 3, |r, c| ((r * 3 + c * 5) % 17) as f64 * 0.18 - 1.2),
+            Vector(vec![-0.15, 0.25, 0.05]),
+        );
+        let high = LocalLinearModel::new(
+            Matrix::from_fn(D, 3, |r, c| ((r * 11 + c * 7) % 19) as f64 * 0.12 - 0.8),
+            Vector(vec![0.3, -0.1, 0.15]),
+        );
+        Self::axis_split(1, 0.25, low, high)
+    }
+
     /// The `i`-th canonical probe instance for [`TwoRegionPlm::reference`]:
     /// deterministic, interior (well away from the split at 0.25), and
     /// alternating regions with `i`'s parity. One generator, so the suites

@@ -1,0 +1,159 @@
+//! Drift-detection overhead on the calm warm path: what witnessing every
+//! serve costs when the hidden model behaves.
+//!
+//! The drift detector's steady-state price is paid on every successful
+//! serve (record the instance → region witness) and on every two-tier
+//! miss (consult the witness book). Chaos suites prove the detector
+//! *works* (`tests/chaos_drift.rs`); this bench pins what it costs when
+//! nothing is wrong, with the same methodology as the tracing-overhead
+//! gate in `net_throughput`: back-to-back A/B rounds flipping the
+//! `openapi_serve::set_drift_detection_enabled` runtime kill switch, the
+//! median round scored, enabled throughput required within 5% of
+//! disabled. The measured figures land in `BENCH_chaos.json` at the
+//! workspace root — the chaos analogue of `BENCH_trace.json`.
+//!
+//! The workload serves warm requests through an `InterpretationService`
+//! fronting a calm `ChaosApi` (all fault rates zero — the wrapper itself
+//! is part of the serving stack under audit), so a request is one
+//! membership probe plus a cache hit plus the witness bookkeeping the
+//! A/B prices.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openapi_api::{ChaosApi, TwoRegionPlm};
+use openapi_bench::banner;
+use openapi_linalg::Vector;
+use openapi_serve::{set_drift_detection_enabled, InterpretationService, ServiceConfig};
+use std::time::Instant;
+
+const DIM: usize = TwoRegionPlm::REFERENCE_DIM;
+/// Warm requests per arm-trial of the A/B.
+const OVERHEAD_TRIAL: usize = 4800;
+
+/// Eight hot instances alternating between the two regions — the same
+/// canonical generator the adversarial suites drive.
+fn hot_instances() -> Vec<Vector> {
+    (0..8).map(TwoRegionPlm::reference_instance).collect()
+}
+
+fn spawn_service() -> InterpretationService<ChaosApi<TwoRegionPlm>> {
+    InterpretationService::new(
+        ChaosApi::new(TwoRegionPlm::reference(), 0xBE7C),
+        ServiceConfig {
+            workers: 2,
+            seed: 1,
+            ..ServiceConfig::default()
+        },
+    )
+}
+
+/// Drives `n` warm requests down one submission stream; returns requests
+/// per second.
+fn warm_run(svc: &InterpretationService<ChaosApi<TwoRegionPlm>>, n: usize) -> f64 {
+    let instances = hot_instances();
+    let start = Instant::now();
+    for k in 0..n {
+        let x = instances[k % instances.len()].clone();
+        svc.submit_instance(x, 0).wait().expect("warm serve");
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The A/B: `(disabled_rps, enabled_rps)` from the median of 8
+/// interleaved rounds (both arms of a round run back to back, so
+/// background-load drift cancels within a round and the median rejects
+/// rounds a scheduler burst skewed entirely), with the detector restored
+/// to on afterwards.
+fn measure_drift_overhead(svc: &InterpretationService<ChaosApi<TwoRegionPlm>>) -> (f64, f64) {
+    let mut rounds: Vec<(f64, f64)> = Vec::new();
+    for _round in 0..8 {
+        let mut pair = [0f64; 2];
+        for (arm, on) in [(0usize, false), (1usize, true)] {
+            set_drift_detection_enabled(on);
+            pair[arm] = warm_run(svc, OVERHEAD_TRIAL);
+        }
+        rounds.push((pair[0], pair[1]));
+    }
+    set_drift_detection_enabled(true);
+    // float: total_cmp on finite throughput ratios — a deliberate sort key.
+    rounds.sort_by(|a, b| (a.1 / a.0).total_cmp(&(b.1 / b.0)));
+    rounds[rounds.len() / 2]
+}
+
+/// Records the measurement as `BENCH_chaos.json` at the workspace root
+/// (hand-rolled JSON: the bench has no serializer dep).
+fn write_bench_chaos(disabled_rps: f64, enabled_rps: f64, overhead: f64) {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/bench sits two levels below the workspace root");
+    let json = format!(
+        "{{\n  \"bench\": \"chaos_overhead drift detection\",\n  \
+         \"workload\": \"1 stream x {OVERHEAD_TRIAL} warm requests per trial, median of 8 interleaved A/B rounds\",\n  \
+         \"disabled_rps\": {disabled_rps:.0},\n  \
+         \"enabled_rps\": {enabled_rps:.0},\n  \
+         \"overhead_fraction\": {overhead:.4},\n  \
+         \"budget_fraction\": 0.05\n}}\n"
+    );
+    if let Err(err) = std::fs::write(root.join("BENCH_chaos.json"), json) {
+        eprintln!("could not write BENCH_chaos.json: {err}");
+    }
+}
+
+fn bench_chaos_overhead(c: &mut Criterion) {
+    banner(
+        "chaos overhead",
+        &format!("warm serving with the drift detector off/on, two-region PLM, d = {DIM}"),
+    );
+    let svc = spawn_service();
+
+    // Warm the cache: the only Algorithm-1 solves of the whole bench.
+    for x in &hot_instances() {
+        svc.submit_instance(x.clone(), 0).wait().expect("warmup");
+    }
+    let cold = svc.stats();
+    assert_eq!(cold.misses, 2, "two regions, two solves");
+
+    let (disabled_rps, enabled_rps) = measure_drift_overhead(&svc);
+    let overhead = (disabled_rps - enabled_rps) / disabled_rps;
+    println!(
+        "drift off     : {disabled_rps:>8.0} req/s\n\
+         drift on      : {enabled_rps:>8.0} req/s\n\
+         overhead {:.2}% (budget 5%)",
+        overhead * 100.0
+    );
+
+    // The calm path stayed calm: every timed request was a warm hit, no
+    // drift was detected, and the enabled arms recorded witnesses.
+    let warm = svc.stats();
+    assert_eq!(warm.misses, cold.misses, "warm phase must not solve");
+    assert_eq!(warm.failures, 0);
+    let drift = warm.drift.expect("service stats carry drift counters");
+    assert_eq!(drift.detected, 0, "a calm model must never read as drift");
+    assert!(
+        drift.witnesses > 0,
+        "enabled arms must witness their serves"
+    );
+
+    write_bench_chaos(disabled_rps, enabled_rps, overhead);
+    assert!(
+        overhead < 0.05,
+        "drift detection must cost under 5% of warm throughput: \
+         {enabled_rps:.0} req/s enabled vs {disabled_rps:.0} req/s disabled"
+    );
+
+    let mut group = c.benchmark_group("chaos_overhead");
+    group.sample_size(10);
+    group.bench_function("warm_interpret_detector_on", |b| {
+        let x = hot_instances()[0].clone();
+        b.iter(|| {
+            svc.submit_instance(x.clone(), 0)
+                .wait()
+                .expect("warm serve")
+                .queries
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_chaos_overhead);
+criterion_main!(benches);

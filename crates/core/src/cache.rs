@@ -682,9 +682,30 @@ impl RegionCache {
             } else {
                 let victim = self.hand;
                 self.remove_slot(victim);
+                self.evictions += 1;
                 return;
             }
         }
+    }
+
+    /// Drops every cached entry of `class` keyed by `fingerprint` —
+    /// collision-fallback entries included, which is why this scans
+    /// instead of consulting `by_fingerprint` alone. The drift detector's
+    /// cache half: a region the hidden model no longer explains is removed
+    /// here (and tombstoned in the durable store by the serving tier).
+    /// Returns the number of entries removed; removals do not count as
+    /// capacity evictions.
+    pub fn evict_fingerprint(&mut self, class: usize, fingerprint: RegionFingerprint) -> usize {
+        let mut removed = 0;
+        while let Some(index) = self
+            .entries
+            .iter()
+            .position(|e| e.fingerprint == fingerprint && e.interpretation.class == class)
+        {
+            self.remove_slot(index);
+            removed += 1;
+        }
+        removed
     }
 
     /// Removes the slot at `index` via `swap_remove`, repairing both index
@@ -697,7 +718,6 @@ impl RegionCache {
         }
         let last = self.entries.len() - 1;
         self.entries.swap_remove(index);
-        self.evictions += 1;
         if index < self.entries.len() {
             if let Some(bref) = self.entries[index].block {
                 self.blocks
@@ -884,6 +904,39 @@ mod tests {
             }
         }
         assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn evict_fingerprint_forgets_exactly_the_named_region() {
+        let mut cache = RegionCache::default();
+        let x = Vector(vec![0.4]);
+        let victim = interp(0, 3.0);
+        let fingerprint = victim.fingerprint(6);
+        for i in 0..8 {
+            cache.insert(interp(0, i as f64), Some(RegionId::from_index(i)));
+        }
+        assert_eq!(cache.evict_fingerprint(0, fingerprint), 1);
+        assert_eq!(cache.len(), 7);
+        // Invalidation is not a capacity eviction.
+        assert_eq!(cache.evictions(), 0);
+        // The victim no longer serves; every survivor still serves its own
+        // exact parameters through the repaired packed blocks and maps.
+        let probs = consistent_probs(&victim, &x);
+        assert!(cache.lookup_probe(&x, &probs, 0).is_none());
+        assert!(cache.lookup_region(0, &RegionId::from_index(3)).is_none());
+        for j in (0..8).filter(|&j| j != 3) {
+            let target = interp(0, j as f64);
+            let probs = consistent_probs(&target, &x);
+            let hit = cache.lookup_probe(&x, &probs, 0).expect("survivor serves");
+            assert_eq!(hit.interpretation, target);
+        }
+        // Idempotent: the region is already gone.
+        assert_eq!(cache.evict_fingerprint(0, fingerprint), 0);
+        // Class-scoped: another class's entry under the same fingerprint
+        // value is untouched.
+        cache.insert(interp(1, 3.0), None);
+        let other = interp(1, 3.0).fingerprint(6);
+        assert_eq!(cache.evict_fingerprint(0, other), 0);
     }
 
     #[test]

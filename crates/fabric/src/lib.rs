@@ -29,6 +29,15 @@
 //!    peer's — remote and local interpretations of one region are the
 //!    same bits.
 //!
+//! Tombstones ride the same union: a region invalidated for drift (the
+//! hidden model stopped explaining it — see `openapi-serve`'s drift
+//! detector) is itself an immutable fact, and the store's digest and
+//! delta cover tombstone frames like any other record. A pulled tombstone
+//! is applied through [`ServiceCore::apply_tombstone`] — cache eviction
+//! plus durable suppression — and because the store's admit refuses live
+//! records for tombstoned keys, no gossip interleaving can resurrect a
+//! forgotten region.
+//!
 //! Model safety: interpretations are exact statements *about one
 //! function*. A peer declaring a different `(dim, num_classes,
 //! model_id)` in its server hello is refused at connect
@@ -47,7 +56,7 @@ use openapi_core::decision::Interpretation;
 use openapi_linalg::Vector;
 use openapi_net::{Client, ClientError, ModelInfo};
 use openapi_serve::{FabricStats, ServiceCore};
-use openapi_store::record;
+use openapi_store::record::{self, StoreRecord};
 use openapi_trace::{RequestSpan, Stage};
 use std::fmt;
 use std::sync::mpsc;
@@ -286,8 +295,8 @@ fn ingest_frames<M: PredictionApi + Send + Sync + 'static>(
     let mut summary = IngestSummary::default();
     while !buf.is_empty() {
         let before = buf.len();
-        let region = match record::get_record(&mut buf) {
-            Ok(region) => region,
+        let pulled = match record::get_any_record(&mut buf) {
+            Ok(pulled) => pulled,
             Err(_) => {
                 // Framing is lost: nothing after this point in the blob
                 // can be trusted to start on a frame boundary.
@@ -298,13 +307,36 @@ fn ingest_frames<M: PredictionApi + Send + Sync + 'static>(
         };
         let frame_bytes = (before - buf.len()) as u64;
         FabricStats::add(&stats.spot_checks, 1);
-        match validate_record(&region.interpretation, model, rtol) {
-            Err(_reason) => {
-                FabricStats::add(&stats.rejected, 1);
-                summary.rejected += 1;
+        match pulled {
+            StoreRecord::Live(region) => {
+                match validate_record(&region.interpretation, model, rtol) {
+                    Err(_reason) => {
+                        FabricStats::add(&stats.rejected, 1);
+                        summary.rejected += 1;
+                    }
+                    Ok(()) => {
+                        if core.ingest(region.fingerprint, region.interpretation) {
+                            FabricStats::add(&stats.ingested, 1);
+                            RequestSpan::detached().event(Stage::FabricIngest, frame_bytes);
+                            summary.ingested += 1;
+                        } else {
+                            FabricStats::add(&stats.duplicates, 1);
+                            summary.duplicates += 1;
+                        }
+                    }
+                }
             }
-            Ok(()) => {
-                if core.ingest(region.fingerprint, region.interpretation) {
+            StoreRecord::Tombstone(t) => {
+                // A replicated "forget this region" fact. The only shape
+                // a tombstone can violate is its class domain; the
+                // fingerprint needs no self-check because applying a
+                // tombstone for a key nobody holds is a no-op by design
+                // (the suppression must land *before* the live record can
+                // arrive from a third peer).
+                if t.class >= model.num_classes {
+                    FabricStats::add(&stats.rejected, 1);
+                    summary.rejected += 1;
+                } else if core.apply_tombstone(t.class, t.fingerprint) {
                     FabricStats::add(&stats.ingested, 1);
                     RequestSpan::detached().event(Stage::FabricIngest, frame_bytes);
                     summary.ingested += 1;

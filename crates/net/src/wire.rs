@@ -23,7 +23,7 @@ use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::codec::{self, CodecError};
 use openapi_linalg::Vector;
 use openapi_metrics::LATENCY_BUCKETS;
-use openapi_serve::{FabricStatsSnapshot, ServeOutcome, StatsSnapshot, STAGES};
+use openapi_serve::{DriftStatsSnapshot, FabricStatsSnapshot, ServeOutcome, StatsSnapshot, STAGES};
 use openapi_store::record::{self, RecordError};
 use openapi_store::{DigestBucket, StoreDigest, StoreStatsSnapshot, SyncDelta, DIGEST_BUCKETS};
 use std::fmt;
@@ -710,6 +710,39 @@ fn put_stats(buf: &mut Vec<u8>, s: &StatsSnapshot) {
         }
         None => buf.put_u8(0),
     }
+    match &s.drift {
+        Some(drift) => {
+            buf.put_u8(1);
+            put_drift_stats(buf, drift);
+        }
+        None => buf.put_u8(0),
+    }
+}
+
+fn put_drift_stats(buf: &mut Vec<u8>, s: &DriftStatsSnapshot) {
+    for v in [
+        s.detected,
+        s.invalidated,
+        s.tombstones,
+        s.resolves,
+        s.witnesses,
+    ] {
+        buf.put_u64_le(v);
+    }
+}
+
+fn get_drift_stats(buf: &mut &[u8]) -> Result<DriftStatsSnapshot, WireError> {
+    let mut counters = [0u64; 5];
+    for c in &mut counters {
+        *c = get_u64(buf, "drift counter")?;
+    }
+    Ok(DriftStatsSnapshot {
+        detected: counters[0],
+        invalidated: counters[1],
+        tombstones: counters[2],
+        resolves: counters[3],
+        witnesses: counters[4],
+    })
 }
 
 fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
@@ -750,6 +783,16 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
             })
         }
     };
+    let drift = match get_u8(buf, "stats drift flag")? {
+        0 => None,
+        1 => Some(get_drift_stats(buf)?),
+        other => {
+            return Err(WireError::BadValue {
+                what: "stats drift flag",
+                value: u64::from(other),
+            })
+        }
+    };
     Ok(StatsSnapshot {
         requests: counters[0],
         hits: counters[1],
@@ -768,6 +811,7 @@ fn get_stats(buf: &mut &[u8]) -> Result<StatsSnapshot, WireError> {
         stage_buckets,
         store,
         fabric,
+        drift,
     })
 }
 
@@ -1262,6 +1306,13 @@ mod tests {
                 rejected: 0,
                 peer_failures: 1,
                 spot_checks: 15,
+            }),
+            drift: with_store.then_some(DriftStatsSnapshot {
+                detected: 3,
+                invalidated: 4,
+                tombstones: 3,
+                resolves: 2,
+                witnesses: 11,
             }),
         }
     }

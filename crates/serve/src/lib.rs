@@ -124,11 +124,12 @@ mod stats;
 
 pub use coalesce::{ClassLedger, Election};
 pub use service::{
-    InterpretRequest, InterpretationService, ServeError, ServeOutcome, Served, ServiceConfig,
-    ServiceCore, Ticket,
+    drift_detection_enabled, set_drift_detection_enabled, InterpretRequest, InterpretationService,
+    ServeError, ServeOutcome, Served, ServiceConfig, ServiceCore, Ticket,
 };
 pub use shared_cache::{SharedCacheConfig, SharedRegionCache};
 pub use snapshot::{CacheSnapshot, SnapshotEntry, SnapshotError};
 pub use stats::{
-    FabricStats, FabricStatsSnapshot, ServiceStats, StageSlot, StatsSnapshot, STAGES, STAGE_NAMES,
+    DriftStats, DriftStatsSnapshot, FabricStats, FabricStatsSnapshot, ServiceStats, StageSlot,
+    StatsSnapshot, STAGES, STAGE_NAMES,
 };

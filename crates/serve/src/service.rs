@@ -4,7 +4,7 @@
 use crate::coalesce::{ClassLedger, Election};
 use crate::shared_cache::{SharedCacheConfig, SharedRegionCache};
 use crate::snapshot::CacheSnapshot;
-use crate::stats::{FabricStats, ServiceStats, StageSlot, StatsSnapshot};
+use crate::stats::{DriftStats, FabricStats, ServiceStats, StageSlot, StatsSnapshot};
 use crossbeam::channel::{self, Receiver, Sender};
 use openapi_api::PredictionApi;
 use openapi_core::batch::queries_consumed;
@@ -16,8 +16,10 @@ use openapi_core::InterpretError;
 use openapi_linalg::Vector;
 use openapi_store::{RegionStore, StoreConfig, StoreError};
 use openapi_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use openapi_sync::Mutex;
 use openapi_trace::{clock, slowlog, RequestSpan, Stage};
 use rand::rngs::StdRng;
+use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::{mpsc, Arc};
@@ -202,6 +204,10 @@ struct Job {
     /// previous pass.
     enqueued: Instant,
     id: u64,
+    /// Set when the drift detector invalidated this request's former
+    /// region: its eventual successful serve is a *re-solve* and is traced
+    /// ([`Stage::Resolve`]) and counted as such.
+    drifted: bool,
     /// The request's trace span; every stage event carries its id.
     span: RequestSpan,
     /// Per-stage nanosecond breakdown accumulated across the job's life,
@@ -213,6 +219,93 @@ struct Job {
 enum Msg {
     Job(Job),
     Shutdown,
+}
+
+/// Most served instances the drift detector remembers. Witnesses are the
+/// detector's ground truth ("this exact `x` was served by that region"),
+/// so the book is bounded: once full, new serves are simply not witnessed
+/// (drift on them is still caught the moment a *witnessed* instance of
+/// the same region misses, or by an [`InterpretationService::audit_drift`]
+/// sweep).
+const DRIFT_WITNESS_CAP: usize = 4096;
+
+/// Runtime kill switch for the drift detector — witness recording on the
+/// serve path and conviction on the miss path. On by default; the
+/// overhead A/B in `--bench chaos_overhead` flips it to price the
+/// calm-path bookkeeping (`BENCH_chaos.json` at the workspace root), and
+/// an operator who accepts staleness-on-swap can do the same.
+static DRIFT_DETECTION: AtomicBool = AtomicBool::new(true);
+
+/// Enables or disables the drift detector at runtime (default: enabled).
+///
+/// Disabling stops witness recording and miss-path convictions; it does
+/// not forget already-held witnesses, and tombstones already written stay
+/// suppressed (a tombstone is a store fact, not detector state).
+pub fn set_drift_detection_enabled(on: bool) {
+    // ordering: Relaxed — an independent on/off knob; every serve
+    // re-reads it, and no other state is published through it.
+    DRIFT_DETECTION.store(on, Ordering::Relaxed);
+}
+
+/// Whether the drift detector is currently enabled.
+pub fn drift_detection_enabled() -> bool {
+    // ordering: Relaxed — see `set_drift_detection_enabled`.
+    DRIFT_DETECTION.load(Ordering::Relaxed)
+}
+
+/// The drift detector's memory: for instances the service has served, the
+/// exact bit pattern of `x` (keyed per class) and the fingerprint of the
+/// region that served it. A later request for the same exact instance
+/// whose probe misses *both* tiers while that region is still on offer is
+/// proof the hidden model changed — predictions moved, so the once-exact
+/// parameters no longer explain them.
+#[derive(Debug, Default)]
+struct WitnessBook {
+    by_instance: HashMap<(usize, Vec<u64>), RegionFingerprint>,
+}
+
+/// The exact identity of a served instance: its class and the bit
+/// patterns of its coordinates (bit equality, not float equality — the
+/// witness must name the very probe that was served).
+fn witness_key(class: usize, x: &Vector) -> (usize, Vec<u64>) {
+    (class, x.as_slice().iter().map(|v| v.to_bits()).collect())
+}
+
+impl WitnessBook {
+    /// Remembers (or refreshes) a successful serve. Past the cap, new
+    /// instances are not admitted; known instances always refresh.
+    fn record(&mut self, class: usize, x: &Vector, fingerprint: RegionFingerprint) {
+        let key = witness_key(class, x);
+        if self.by_instance.len() >= DRIFT_WITNESS_CAP && !self.by_instance.contains_key(&key) {
+            return;
+        }
+        self.by_instance.insert(key, fingerprint);
+    }
+
+    /// Removes and returns the witnessed fingerprint for an instance, if
+    /// any — the serving path consumes the witness while deciding whether
+    /// a two-tier miss is drift (a successful re-serve re-records it).
+    fn take(&mut self, class: usize, x: &Vector) -> Option<RegionFingerprint> {
+        self.by_instance.remove(&witness_key(class, x))
+    }
+
+    /// Witnesses currently held (gauge).
+    fn len(&self) -> usize {
+        self.by_instance.len()
+    }
+
+    /// A copy of every witness, for the audit sweep.
+    fn entries(&self) -> Vec<((usize, Vec<u64>), RegionFingerprint)> {
+        self.by_instance
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+
+    /// Drops one witness by its exact key.
+    fn remove(&mut self, class: usize, bits: &[u64]) {
+        self.by_instance.remove(&(class, bits.to_vec()));
+    }
 }
 
 /// State shared between the service handle and its workers.
@@ -229,6 +322,10 @@ struct Inner<M> {
     /// Set by [`ServiceCore::mark_fabric_active`]; gates whether
     /// [`InterpretationService::stats`] carries the fabric counters.
     fabric_active: AtomicBool,
+    /// Counters of the drift detector (see [`WitnessBook`]).
+    drift_stats: DriftStats,
+    /// Served instances remembered for drift detection.
+    witnesses: Mutex<WitnessBook>,
     interpreter: OpenApiInterpreter,
     config: ServiceConfig,
     /// Per-class in-flight solve registry: up to
@@ -298,6 +395,8 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             stats: ServiceStats::default(),
             fabric_stats: FabricStats::default(),
             fabric_active: AtomicBool::new(false),
+            drift_stats: DriftStats::default(),
+            witnesses: Mutex::new(WitnessBook::default()),
             interpreter,
             config,
             ledger: ClassLedger::new(),
@@ -372,6 +471,7 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
             // ordering: Relaxed — the ID only needs uniqueness (the RMW is
             // atomic regardless of ordering); nothing is published through it.
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            drifted: false,
             span,
             stage_ns: [0; slowlog::STAGES],
             reply,
@@ -437,6 +537,7 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
                 enqueued: now,
                 // ordering: Relaxed — uniqueness only, as in `submit`.
                 id: self.next_id.fetch_add(1, Ordering::Relaxed),
+                drifted: false,
                 span: parent.child(),
                 stage_ns: [0; slowlog::STAGES],
                 reply,
@@ -559,7 +660,19 @@ impl<M: PredictionApi + Send + Sync + 'static> InterpretationService<M> {
         if self.inner.fabric_active.load(Ordering::Relaxed) {
             snapshot.fabric = Some(self.inner.fabric_stats.snapshot());
         }
+        let witnesses = self.inner.witnesses.lock().len() as u64;
+        snapshot.drift = Some(self.inner.drift_stats.snapshot(witnesses));
         snapshot
+    }
+
+    /// Actively audits the served history against the live API: re-probes
+    /// every witnessed instance (one prediction query each) and
+    /// invalidates any whose probe no cached or stored region explains
+    /// while the region that once served it is still on offer — the same
+    /// verdict the inline detector reaches, without waiting for traffic to
+    /// touch the stale region. Returns the number of regions invalidated.
+    pub fn audit_drift(&self) -> u64 {
+        audit_drift(self.inner.as_ref())
     }
 
     /// Snapshot of the solved regions, for [`CacheSnapshot::to_bytes`] /
@@ -689,6 +802,15 @@ impl<M: PredictionApi + Send + Sync + 'static> ServiceCore<M> {
         fingerprint: RegionFingerprint,
         interpretation: Arc<Interpretation>,
     ) -> bool {
+        if let Some(store) = &self.inner.store {
+            // Tombstones win permanently: a region invalidated for drift
+            // must never be resurrected by a replicated live record, no
+            // matter the arrival order — neither in the store (its admit
+            // also refuses) nor, crucially, in the cache.
+            if store.contains_tombstone(interpretation.class, fingerprint) {
+                return false;
+            }
+        }
         let fresh = match &self.inner.store {
             Some(store) => store.append(fingerprint, Arc::clone(&interpretation)),
             None => false,
@@ -697,6 +819,39 @@ impl<M: PredictionApi + Send + Sync + 'static> ServiceCore<M> {
         // keeps one canonical entry per region.
         let _ = self.inner.cache.insert(interpretation);
         fresh
+    }
+
+    /// The drift detector's counters this service surfaces in its stats
+    /// snapshots.
+    pub fn drift_stats(&self) -> &DriftStats {
+        &self.inner.drift_stats
+    }
+
+    /// Applies a "forget this region" fact — detected locally by
+    /// [`InterpretationService::audit_drift`]/the serving path on a peer
+    /// and replicated through the fabric, or decided by an operator:
+    /// evicts the region's cache entries and tombstones it in the durable
+    /// store, so it can never be served again nor resurrected by
+    /// anti-entropy set union. Returns whether the tombstone was fresh
+    /// (false when the store already held it, or without a store).
+    pub fn apply_tombstone(&self, class: usize, fingerprint: RegionFingerprint) -> bool {
+        let evicted = self.inner.cache.evict(class, fingerprint) as u64;
+        DriftStats::add(&self.inner.drift_stats.invalidated, evicted);
+        let fresh = match &self.inner.store {
+            Some(store) => store.tombstone(class, fingerprint),
+            None => false,
+        };
+        if fresh {
+            DriftStats::add(&self.inner.drift_stats.tombstones, 1);
+            RequestSpan::detached().event(Stage::Invalidate, fingerprint.0);
+        }
+        fresh
+    }
+
+    /// [`InterpretationService::audit_drift`] through the core handle, for
+    /// sibling subsystems (the fabric's chaos soak, operator tooling).
+    pub fn audit_drift(&self) -> u64 {
+        audit_drift(self.inner.as_ref())
     }
 }
 
@@ -810,6 +965,22 @@ fn finish(inner: &Inner<impl PredictionApi>, job: Job, result: Result<Served, Se
     let now = clock::now();
     let latency = now.saturating_duration_since(job.submitted);
     inner.stats.record_latency(latency);
+    if let Ok(served) = &result {
+        if job.drifted {
+            // The drift detector invalidated this request's former region
+            // and this serve replaced it with a live answer.
+            DriftStats::add(&inner.drift_stats.resolves, 1);
+            job.span.event_at(Stage::Resolve, served.fingerprint.0, now);
+        }
+        // Witness the serve: the exact instance and the region that
+        // answered it, the ground truth later drift checks test against.
+        if drift_detection_enabled() {
+            inner
+                .witnesses
+                .lock()
+                .record(job.class, &job.x, served.fingerprint);
+        }
+    }
     job.span.event_at(Stage::Finish, outcome_code, now);
     slowlog::observe(job.span.id(), latency, &job.stage_ns);
     let _ = job.reply.send(result);
@@ -909,6 +1080,37 @@ fn handle_job<M: PredictionApi>(inner: &Inner<M>, tx: &Sender<Msg>, mut job: Job
                 span: job.span.id(),
             };
             return finish(inner, job, Ok(served));
+        }
+    }
+
+    // Drift detection: this exact instance was served before (witnessed),
+    // yet its probe now misses both tiers. If the region that served it is
+    // still being offered, the hidden model changed behind the API — the
+    // once-exact parameters no longer explain its predictions. Invalidate
+    // the stale region everywhere (cache evict + store tombstone), then
+    // fall through to re-solve against the live API. A consumed witness is
+    // re-recorded when this request's fresh serve completes.
+    let witnessed = if drift_detection_enabled() {
+        inner.witnesses.lock().take(job.class, &job.x)
+    } else {
+        None
+    };
+    if let Some(stale) = witnessed {
+        let evicted = inner.cache.evict(job.class, stale) as u64;
+        let stored = inner
+            .store
+            .as_ref()
+            .is_some_and(|s| s.contains_fingerprint(job.class, stale));
+        if evicted > 0 || stored {
+            DriftStats::add(&inner.drift_stats.detected, 1);
+            DriftStats::add(&inner.drift_stats.invalidated, evicted);
+            job.span.event(Stage::Invalidate, stale.0);
+            if let Some(store) = &inner.store {
+                if store.tombstone(job.class, stale) {
+                    DriftStats::add(&inner.drift_stats.tombstones, 1);
+                }
+            }
+            job.drifted = true;
         }
     }
 
@@ -1099,6 +1301,54 @@ fn settle_waiters<M: PredictionApi>(
             }
         }
     }
+}
+
+/// The active half of the drift detector (the inline half lives in
+/// `handle_job`): re-probes every witnessed instance against the live API
+/// and invalidates any stale region it convicts. One prediction query per
+/// witness; witnesses that no longer convict anything (their region is
+/// already gone everywhere) are dropped, witnesses still explained by a
+/// cached or stored region are kept.
+fn audit_drift<M: PredictionApi>(inner: &Inner<M>) -> u64 {
+    let entries = inner.witnesses.lock().entries();
+    let mut invalidated = 0;
+    for ((class, bits), stale) in entries {
+        let x = Vector(bits.iter().map(|&b| f64::from_bits(b)).collect());
+        ServiceStats::add(&inner.stats.queries, 1);
+        let probs = inner.api.predict(x.as_slice());
+        if inner
+            .cache
+            .lookup_probe(&x, probs.as_slice(), class)
+            .is_some()
+        {
+            continue;
+        }
+        if let Some(store) = &inner.store {
+            if store.lookup_probe(&x, probs.as_slice(), class).is_some() {
+                continue;
+            }
+        }
+        // Nothing explains the live prediction any more. If the witnessed
+        // region is still on offer, it is stale: invalidate it everywhere.
+        let evicted = inner.cache.evict(class, stale) as u64;
+        let stored = inner
+            .store
+            .as_ref()
+            .is_some_and(|s| s.contains_fingerprint(class, stale));
+        if evicted > 0 || stored {
+            DriftStats::add(&inner.drift_stats.detected, 1);
+            DriftStats::add(&inner.drift_stats.invalidated, evicted);
+            RequestSpan::detached().event(Stage::Invalidate, stale.0);
+            if let Some(store) = &inner.store {
+                if store.tombstone(class, stale) {
+                    DriftStats::add(&inner.drift_stats.tombstones, 1);
+                }
+            }
+            invalidated += 1;
+        }
+        inner.witnesses.lock().remove(class, &bits);
+    }
+    invalidated
 }
 
 /// Derives a request's sampling RNG from `(seed, request id)` via
@@ -1703,6 +1953,172 @@ mod tests {
         assert_eq!(served.outcome, ServeOutcome::Solved);
         assert_eq!(svc.stats().store_hits, 0, "foreign entries never pass");
         assert_eq!(svc.stats().failures, 0);
+        svc.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn silent_model_swap_is_detected_tombstoned_and_resolved() {
+        use openapi_api::{ChaosApi, GroundTruthOracle};
+
+        let dir = temp_store_dir("drift");
+        let api = ChaosApi::new(TwoRegionPlm::reference(), 0xD21F7)
+            .with_standby(TwoRegionPlm::reference_v2());
+        let svc = InterpretationService::open(
+            api,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        let x = TwoRegionPlm::reference_instance(0);
+
+        // Calm phase: solve, then hit — the serve records a drift witness.
+        let first = svc.submit_instance(x.clone(), 0).wait().unwrap();
+        assert_eq!(first.outcome, ServeOutcome::Solved);
+        assert_eq!(
+            svc.submit_instance(x.clone(), 0).wait().unwrap().outcome,
+            ServeOutcome::CacheHit
+        );
+        let drift = svc.stats().drift.unwrap();
+        assert_eq!(drift.detected, 0);
+        assert_eq!(drift.witnesses, 1);
+
+        // The vendor silently swaps the hidden model. The next request's
+        // own membership probe convicts the cached region: the serving
+        // path must invalidate it everywhere and re-solve, never serve
+        // the stale parameters.
+        assert!(svc.api().swap_now());
+        let resolved = svc.submit_instance(x.clone(), 0).wait().unwrap();
+        assert_eq!(resolved.outcome, ServeOutcome::Solved);
+        assert_ne!(resolved.fingerprint, first.fingerprint);
+        // Exactness against the NEW model (the oracle follows the swap).
+        let truth = svc.api().local_model(x.as_slice()).decision_features(0);
+        let err = resolved
+            .interpretation
+            .decision_features
+            .l1_distance(&truth)
+            .unwrap();
+        assert!(
+            err < 1e-7,
+            "re-solve must be exact for the new model: {err}"
+        );
+
+        let drift = svc.stats().drift.unwrap();
+        assert_eq!(drift.detected, 1);
+        assert_eq!(drift.invalidated, 1, "one stale cache entry evicted");
+        assert_eq!(drift.tombstones, 1);
+        assert_eq!(drift.resolves, 1);
+        assert_eq!(drift.witnesses, 1, "the fresh serve re-witnessed");
+        let store = svc.store().unwrap();
+        assert!(store.contains_tombstone(0, first.fingerprint));
+        assert!(
+            !store.contains_fingerprint(0, first.fingerprint),
+            "the stale record is suppressed, not just shadowed"
+        );
+
+        // Steady state again: the new region serves from cache.
+        assert_eq!(
+            svc.submit_instance(x, 0).wait().unwrap().outcome,
+            ServeOutcome::CacheHit
+        );
+        assert_eq!(svc.stats().drift.unwrap().detected, 1, "no re-detection");
+        svc.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_sweep_invalidates_every_stale_witness() {
+        use openapi_api::ChaosApi;
+
+        let dir = temp_store_dir("audit");
+        let api = ChaosApi::new(TwoRegionPlm::reference(), 0xA0D17)
+            .with_standby(TwoRegionPlm::reference_v2());
+        let svc = InterpretationService::open(
+            api,
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        // One witnessed instance per region.
+        let xs = [
+            TwoRegionPlm::reference_instance(0),
+            TwoRegionPlm::reference_instance(1),
+        ];
+        for x in &xs {
+            assert_eq!(
+                svc.submit_instance(x.clone(), 0).wait().unwrap().outcome,
+                ServeOutcome::Solved
+            );
+        }
+        // Calm audit: every witness is still explained; nothing happens.
+        assert_eq!(svc.audit_drift(), 0);
+        let drift = svc.stats().drift.unwrap();
+        assert_eq!((drift.detected, drift.witnesses), (0, 2));
+
+        // After the swap, an active sweep (no client traffic needed)
+        // convicts and tombstones both stale regions.
+        assert!(svc.api().swap_now());
+        assert_eq!(svc.audit_drift(), 2);
+        let drift = svc.stats().drift.unwrap();
+        assert_eq!(drift.detected, 2);
+        assert_eq!(drift.invalidated, 2);
+        assert_eq!(drift.tombstones, 2);
+        assert_eq!(drift.witnesses, 0, "convicted witnesses are retired");
+        assert_eq!(svc.store().unwrap().tombstone_count(), 2);
+        assert_eq!(svc.store().unwrap().len(), 0, "no live records remain");
+
+        // Traffic after the sweep re-solves fresh regions — the sweep
+        // already cleared the stale ones, so no inline detection fires.
+        for x in &xs {
+            assert_eq!(
+                svc.submit_instance(x.clone(), 0).wait().unwrap().outcome,
+                ServeOutcome::Solved
+            );
+        }
+        assert_eq!(svc.stats().drift.unwrap().detected, 2);
+        svc.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstoned_region_refuses_resurrection_by_ingest() {
+        let dir = temp_store_dir("tombstone_ingest");
+        let svc = InterpretationService::open(
+            CountingApi::new(two_region_model()),
+            ServiceConfig {
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+            &dir,
+        )
+        .unwrap();
+        let x = Vector(vec![0.2, 0.1]);
+        let served = svc.submit_instance(x.clone(), 0).wait().unwrap();
+        let core = svc.core();
+
+        assert!(core.apply_tombstone(0, served.fingerprint));
+        assert!(
+            !core.apply_tombstone(0, served.fingerprint),
+            "tombstoning is idempotent"
+        );
+        // A peer replicating the (now stale) live record must not bring
+        // the region back — neither into the store nor the cache.
+        assert!(!core.ingest(served.fingerprint, Arc::clone(&served.interpretation)));
+        assert!(!svc
+            .store()
+            .unwrap()
+            .contains_fingerprint(0, served.fingerprint));
+        let probs = svc.api().predict(x.as_slice());
+        assert!(
+            svc.cache().lookup_probe(&x, probs.as_slice(), 0).is_none(),
+            "the evicted region must not reappear in the cache"
+        );
         svc.close().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }

@@ -14,7 +14,7 @@
 
 use crate::snapshot::{CacheSnapshot, SnapshotEntry};
 use openapi_core::cache::{CachedRegion, ProbeRef, RegionCache, RegionCacheConfig};
-use openapi_core::decision::Interpretation;
+use openapi_core::decision::{Interpretation, RegionFingerprint};
 use openapi_linalg::kernel::Backend;
 use openapi_linalg::Vector;
 use openapi_sync::RwLock;
@@ -157,6 +157,18 @@ impl SharedRegionCache {
         self.shards[shard].write().insert(interpretation, None)
     }
 
+    /// Drops every cached entry of `class` keyed by `fingerprint` across
+    /// all shards (inserts route by fingerprint, but restores and
+    /// collision fallbacks can land entries anywhere, so the sweep checks
+    /// every shard). The drift detector's cache half; returns the number
+    /// of entries removed.
+    pub fn evict(&self, class: usize, fingerprint: RegionFingerprint) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.write().evict_fingerprint(class, fingerprint))
+            .sum()
+    }
+
     /// A point-in-time copy of every cached region, for persistence or
     /// warm-starting another service (see [`CacheSnapshot`]). Entries are
     /// `Arc` shares of the live slots — no payload copies. Shards are
@@ -275,6 +287,30 @@ mod tests {
             assert_eq!(&hit.interpretation, target, "probe {i}");
         }
         assert!(results[5].is_none(), "unexplained probe must miss");
+    }
+
+    #[test]
+    fn evict_sweeps_every_shard_and_only_the_named_region() {
+        let cache = SharedRegionCache::new(SharedCacheConfig {
+            shards: 4,
+            ..SharedCacheConfig::default()
+        });
+        let x = Vector(vec![0.3, -0.8]);
+        for w in 1..=16 {
+            cache.insert(interp(0, w as f64));
+        }
+        let victim = interp(0, 7.0);
+        let fingerprint = victim.fingerprint(6);
+        assert_eq!(cache.evict(0, fingerprint), 1);
+        assert_eq!(cache.len(), 15);
+        let probs = consistent_probs(&victim, &x);
+        assert!(cache.lookup_probe(&x, &probs, 0).is_none());
+        // Idempotent, and survivors still serve.
+        assert_eq!(cache.evict(0, fingerprint), 0);
+        let survivor = interp(0, 9.0);
+        let probs = consistent_probs(&survivor, &x);
+        let hit = cache.lookup_probe(&x, &probs, 0).expect("survivor serves");
+        assert_eq!(hit.interpretation, survivor);
     }
 
     #[test]

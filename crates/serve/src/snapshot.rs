@@ -108,6 +108,14 @@ impl From<RecordError> for SnapshotError {
                 SnapshotError::Corrupt { stored, computed }
             }
             RecordError::BadEntry(e) => SnapshotError::BadEntry(e),
+            // Tombstones never enter the cache, so a tombstone frame in a
+            // snapshot is a foreign entry, not a region.
+            RecordError::UnexpectedTombstone(t) => {
+                SnapshotError::BadEntry(openapi_core::InterpretError::ClassOutOfRange {
+                    class: t.class,
+                    num_classes: 0,
+                })
+            }
         }
     }
 }

@@ -105,8 +105,67 @@ impl ServiceStats {
             stage_buckets: std::array::from_fn(|i| self.stage[i].snapshot()),
             store: None,
             fabric: None,
+            drift: None,
         }
     }
+}
+
+/// Lock-free counters for the drift detector: what the service did when
+/// the hidden model stopped explaining a region it had already solved
+/// (a silent model swap behind the API). The serving path records
+/// detections inline; [`crate::ServiceCore::apply_tombstone`] records
+/// replicated invalidations from the fabric.
+#[derive(Debug, Default)]
+pub struct DriftStats {
+    /// Confirmed drift detections: a previously witnessed instance whose
+    /// probe no cached or stored region explains any more, while its old
+    /// region was still being offered.
+    pub detected: AtomicU64,
+    /// Cache entries evicted by invalidations (local or replicated).
+    pub invalidated: AtomicU64,
+    /// Fresh tombstones written to the durable store.
+    pub tombstones: AtomicU64,
+    /// Drifted requests that completed a fresh solve against the live API.
+    pub resolves: AtomicU64,
+}
+
+impl DriftStats {
+    /// Adds `n` to one drift counter.
+    pub fn add(counter: &AtomicU64, n: u64) {
+        // ordering: Relaxed — independent monotone counters; no reader
+        // infers cross-counter state from one load (see `snapshot`).
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of the counters (per-counter exact, same
+    /// contract as [`ServiceStats`]). The witness-book size is a gauge the
+    /// service owns, so it passes the current value in.
+    pub fn snapshot(&self, witnesses: u64) -> DriftStatsSnapshot {
+        // ordering: Relaxed — per-counter exactness is the contract.
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        DriftStatsSnapshot {
+            detected: load(&self.detected),
+            invalidated: load(&self.invalidated),
+            tombstones: load(&self.tombstones),
+            resolves: load(&self.resolves),
+            witnesses,
+        }
+    }
+}
+
+/// A point-in-time view of [`DriftStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DriftStatsSnapshot {
+    /// Confirmed drift detections.
+    pub detected: u64,
+    /// Cache entries evicted by invalidations.
+    pub invalidated: u64,
+    /// Fresh tombstones written to the durable store.
+    pub tombstones: u64,
+    /// Drifted requests that completed a fresh solve.
+    pub resolves: u64,
+    /// Served instances currently remembered as drift witnesses (gauge).
+    pub witnesses: u64,
 }
 
 /// Lock-free counters for the anti-entropy replication fabric. The service
@@ -242,6 +301,9 @@ pub struct StatsSnapshot {
     /// The anti-entropy fabric's counters (`None` when no fabric node is
     /// attached to the service).
     pub fabric: Option<FabricStatsSnapshot>,
+    /// The drift detector's counters (`None` only on snapshots not taken
+    /// through a service — the detector itself is always on).
+    pub drift: Option<DriftStatsSnapshot>,
 }
 
 impl fmt::Display for StatsSnapshot {
@@ -300,6 +362,17 @@ impl fmt::Display for StatsSnapshot {
                 fabric.ingested,
                 fabric.duplicates,
                 fabric.rejected
+            )?;
+        }
+        if let Some(drift) = &self.drift {
+            write!(
+                f,
+                "\ndrift    detected {:>4}   invalidated {:>4}   tombstones {:>4}   resolves {:>4}   witnesses {:>6}",
+                drift.detected,
+                drift.invalidated,
+                drift.tombstones,
+                drift.resolves,
+                drift.witnesses
             )?;
         }
         Ok(())
@@ -478,6 +551,33 @@ impl StatsSnapshot {
                 fabric.spot_checks,
             );
         }
+        if let Some(drift) = &self.drift {
+            m.counter(
+                "openapi_drift_detected_total",
+                "Confirmed drift detections (stale regions caught).",
+                drift.detected,
+            );
+            m.counter(
+                "openapi_drift_invalidated_total",
+                "Cache entries evicted by drift invalidations.",
+                drift.invalidated,
+            );
+            m.counter(
+                "openapi_drift_tombstones_total",
+                "Fresh tombstones written to the durable store.",
+                drift.tombstones,
+            );
+            m.counter(
+                "openapi_drift_resolves_total",
+                "Drifted requests re-solved against the live API.",
+                drift.resolves,
+            );
+            m.gauge(
+                "openapi_drift_witnesses",
+                "Served instances remembered as drift witnesses.",
+                drift.witnesses,
+            );
+        }
         let ring = openapi_trace::ring_stats();
         m.counter(
             "openapi_trace_events_total",
@@ -576,6 +676,28 @@ mod tests {
         // Without a fabric the series are absent entirely.
         let bare = stats.snapshot(0, 0).to_prometheus();
         assert!(!bare.contains("openapi_fabric_"));
+    }
+
+    #[test]
+    fn drift_counters_flow_into_display_and_prometheus() {
+        let drift = DriftStats::default();
+        DriftStats::add(&drift.detected, 2);
+        DriftStats::add(&drift.invalidated, 3);
+        DriftStats::add(&drift.tombstones, 2);
+        DriftStats::add(&drift.resolves, 2);
+        let stats = ServiceStats::default();
+        let mut snap = stats.snapshot(0, 0);
+        assert!(snap.drift.is_none(), "the service fills the drift view in");
+        snap.drift = Some(drift.snapshot(11));
+        let text = snap.to_string();
+        assert!(text.contains("drift") && text.contains("tombstones"));
+        let doc = snap.to_prometheus();
+        assert!(doc.contains("openapi_drift_detected_total 2\n"));
+        assert!(doc.contains("openapi_drift_tombstones_total 2\n"));
+        assert!(doc.contains("openapi_drift_witnesses 11\n"));
+        // Without the drift view the series are absent entirely.
+        let bare = stats.snapshot(0, 0).to_prometheus();
+        assert!(!bare.contains("openapi_drift_"));
     }
 
     #[test]

@@ -28,6 +28,12 @@
 //! `(fingerprint, Interpretation)` payload inside a `len + CRC-64/XZ`
 //! frame. The cache snapshot format in `openapi-serve` wraps the same
 //! frames, so the workspace has exactly one persistence framing to audit.
+//! *Tombstones* — "forget this region" facts emitted by the drift
+//! detector when the hidden model was silently swapped — travel in the
+//! same framing ([`record::RegionTombstone`]): they replay from the WAL,
+//! seal into segments, and win permanently over the records they
+//! suppress, so compaction genuinely forgets a stale region while the
+//! fact of its staleness survives restart and anti-entropy exchange.
 //!
 //! # Durability protocol
 //!
@@ -99,7 +105,7 @@ pub mod sync;
 mod wal;
 
 pub use error::StoreError;
-pub use record::{RecordError, StoredRegion};
+pub use record::{RecordError, RegionTombstone, StoreRecord, StoredRegion};
 pub use segment::{read_segment, segment_name, SegmentRecovery, SEGMENT_MAGIC};
 pub use stats::{StoreStats, StoreStatsSnapshot};
 pub use sticky::StickyError;

@@ -50,6 +50,51 @@ pub struct StoredRegion {
     pub interpretation: Arc<Interpretation>,
 }
 
+/// A durable "forget this region" fact: the `(class, fingerprint)` key of
+/// a region the hidden model stopped explaining (drift detection caught an
+/// `explains_probe` failure on it). Tombstones travel in the same framed
+/// codec as live records, so the WAL, sealed segments, and the anti-entropy
+/// fabric all carry them — an invalidated region stays invalidated through
+/// compaction, restart, and set-union with a stale peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionTombstone {
+    /// Canonical key of the suppressed region.
+    pub fingerprint: RegionFingerprint,
+    /// The class whose `(class, fingerprint)` key is suppressed.
+    pub class: usize,
+}
+
+/// Any record a durable surface can hold: a live region or a tombstone.
+/// Recovery and fabric ingestion decode this ([`get_any_record`]); the
+/// serving path's wire codec stays live-only ([`get_record`]) because a
+/// tombstone is never an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreRecord {
+    /// A solved region's interpretation.
+    Live(StoredRegion),
+    /// A "this key is stale, never serve it" marker.
+    Tombstone(RegionTombstone),
+}
+
+impl StoreRecord {
+    /// The `(class, fingerprint)` key this record is about.
+    pub fn key(&self) -> (usize, u64) {
+        match self {
+            StoreRecord::Live(r) => (r.interpretation.class, r.fingerprint.0),
+            StoreRecord::Tombstone(t) => (t.class, t.fingerprint.0),
+        }
+    }
+
+    /// Re-encodes the record's canonical frame (deterministic, so the
+    /// bytes are identical to what was — or will be — persisted).
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            StoreRecord::Live(r) => encode_record(r.fingerprint, &r.interpretation),
+            StoreRecord::Tombstone(t) => encode_tombstone(*t),
+        }
+    }
+}
+
 /// Why decoding a frame or record failed.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RecordError {
@@ -65,6 +110,10 @@ pub enum RecordError {
     /// The payload decoded structurally but is not a valid interpretation
     /// (empty contrast list, ragged dimensions).
     BadEntry(InterpretError),
+    /// A valid tombstone frame reached a live-records-only decoder
+    /// ([`get_record`], which backs the serving wire — a tombstone is
+    /// never an answer). Use [`get_any_record`] where tombstones belong.
+    UnexpectedTombstone(RegionTombstone),
 }
 
 impl fmt::Display for RecordError {
@@ -76,6 +125,11 @@ impl fmt::Display for RecordError {
                 "record checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
             ),
             RecordError::BadEntry(e) => write!(f, "record entry invalid: {e}"),
+            RecordError::UnexpectedTombstone(t) => write!(
+                f,
+                "tombstone for class {} fingerprint {:#018x} where only live records belong",
+                t.class, t.fingerprint.0
+            ),
         }
     }
 }
@@ -240,16 +294,96 @@ pub fn encode_record(fingerprint: RegionFingerprint, i: &Interpretation) -> Vec<
     buf
 }
 
-/// Reads one framed record, advancing `buf` past it.
+/// Marker leading every tombstone payload ("OATOMB" v1; bumped on any
+/// tombstone-layout change).
+pub const TOMBSTONE_MAGIC: u64 = 0x4F41_544F_4D42_0001;
+
+/// Exact byte length of a tombstone payload: magic + fingerprint + class,
+/// each a `u64` LE. A minimal *live* payload is strictly longer — its
+/// fingerprint, class, contrast count, and one mandatory contrast
+/// (`c'` + bias + weight-vector length prefix) already total 48 bytes —
+/// so payload length plus the leading magic disambiguates the two record
+/// kinds without changing the frame format.
+pub const TOMBSTONE_PAYLOAD: usize = 24;
+
+/// Whether a checksum-verified frame payload is a tombstone.
+fn is_tombstone_payload(payload: &[u8]) -> bool {
+    payload.len() == TOMBSTONE_PAYLOAD && payload[..8] == TOMBSTONE_MAGIC.to_le_bytes()
+}
+
+/// Decodes a tombstone payload already vetted by [`is_tombstone_payload`].
+fn get_tombstone_payload(payload: &[u8]) -> RegionTombstone {
+    let fingerprint = u64::from_le_bytes(payload[8..16].try_into().expect("24-byte payload"));
+    let class = u64::from_le_bytes(payload[16..24].try_into().expect("24-byte payload"));
+    RegionTombstone {
+        fingerprint: RegionFingerprint(fingerprint),
+        class: class as usize,
+    }
+}
+
+/// Appends one framed tombstone to `buf`.
+pub fn put_tombstone(buf: &mut Vec<u8>, t: RegionTombstone) {
+    let mut payload = Vec::with_capacity(TOMBSTONE_PAYLOAD);
+    payload.put_u64_le(TOMBSTONE_MAGIC);
+    payload.put_u64_le(t.fingerprint.0);
+    payload.put_u64_le(t.class as u64);
+    put_frame(buf, &payload);
+}
+
+/// Encodes one framed tombstone into a fresh buffer.
+pub fn encode_tombstone(t: RegionTombstone) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_tombstone(&mut buf, t);
+    buf
+}
+
+/// The sync key of an encoded frame: its CRC-64/XZ, read straight out of
+/// the header (bytes `[4..12]`). Content-addresses the exact frame bytes,
+/// for live records and tombstones alike.
+///
+/// # Panics
+/// Panics when `frame` is shorter than a frame header — callers hand this
+/// frames they encoded themselves.
+pub fn sync_key_of(frame: &[u8]) -> u64 {
+    u64::from_le_bytes(frame[4..FRAME_HEADER].try_into().expect("frame header"))
+}
+
+/// Reads one framed **live** record, advancing `buf` past it.
 ///
 /// # Errors
-/// [`RecordError`] on a bad frame, checksum mismatch, or invalid entry;
-/// `buf` is only advanced on success, so prefix replays can stop exactly
-/// at the last valid record.
+/// [`RecordError`] on a bad frame, checksum mismatch, invalid entry, or a
+/// tombstone frame ([`RecordError::UnexpectedTombstone`] — this decoder
+/// backs the serving wire, where a tombstone is never an answer); `buf` is
+/// only advanced on success, so prefix replays can stop exactly at the
+/// last valid record.
 pub fn get_record(buf: &mut &[u8]) -> Result<StoredRegion, RecordError> {
     let mut probe = *buf;
     let payload = get_frame(&mut probe)?;
+    if is_tombstone_payload(payload) {
+        return Err(RecordError::UnexpectedTombstone(get_tombstone_payload(
+            payload,
+        )));
+    }
     let record = get_payload(payload)?;
+    *buf = probe;
+    Ok(record)
+}
+
+/// Reads one framed record of either kind, advancing `buf` past it. This
+/// is the recovery and fabric-ingestion decoder — the surfaces where
+/// tombstones legitimately appear.
+///
+/// # Errors
+/// [`RecordError`] on a bad frame, checksum mismatch, or invalid entry;
+/// `buf` is only advanced on success.
+pub fn get_any_record(buf: &mut &[u8]) -> Result<StoreRecord, RecordError> {
+    let mut probe = *buf;
+    let payload = get_frame(&mut probe)?;
+    let record = if is_tombstone_payload(payload) {
+        StoreRecord::Tombstone(get_tombstone_payload(payload))
+    } else {
+        StoreRecord::Live(get_payload(payload)?)
+    };
     *buf = probe;
     Ok(record)
 }
@@ -344,6 +478,105 @@ mod tests {
             get_frame(&mut buf.as_slice()),
             Err(RecordError::Codec(CodecError::BadLength { .. }))
         ));
+    }
+
+    fn tombstone(class: usize, fingerprint: u64) -> RegionTombstone {
+        RegionTombstone {
+            fingerprint: RegionFingerprint(fingerprint),
+            class,
+        }
+    }
+
+    #[test]
+    fn tombstones_round_trip_bit_exactly() {
+        for t in [tombstone(0, 0), tombstone(7, u64::MAX), tombstone(3, 42)] {
+            let bytes = encode_tombstone(t);
+            assert_eq!(bytes.len(), FRAME_HEADER + TOMBSTONE_PAYLOAD);
+            let mut slice = bytes.as_slice();
+            let back = get_any_record(&mut slice).unwrap();
+            assert_eq!(back, StoreRecord::Tombstone(t));
+            assert!(slice.is_empty(), "decoder must consume exactly");
+            assert_eq!(back.key(), (t.class, t.fingerprint.0));
+            assert_eq!(back.encode(), bytes, "re-encode is canonical");
+        }
+    }
+
+    #[test]
+    fn get_any_record_decodes_both_kinds_from_one_stream() {
+        let live = region(1, vec![0.5, -0.25], 0.75);
+        let t = tombstone(1, live.fingerprint.0);
+        let mut stream = encode_record(live.fingerprint, &live.interpretation);
+        stream.extend_from_slice(&encode_tombstone(t));
+        let mut slice = stream.as_slice();
+        assert_eq!(get_any_record(&mut slice).unwrap(), StoreRecord::Live(live));
+        assert_eq!(
+            get_any_record(&mut slice).unwrap(),
+            StoreRecord::Tombstone(t)
+        );
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn live_only_decoder_refuses_tombstones_without_advancing() {
+        let t = tombstone(2, 99);
+        let bytes = encode_tombstone(t);
+        let mut slice = bytes.as_slice();
+        assert_eq!(
+            get_record(&mut slice),
+            Err(RecordError::UnexpectedTombstone(t))
+        );
+        assert_eq!(slice.len(), bytes.len(), "cursor must not advance");
+    }
+
+    #[test]
+    fn every_tombstone_byte_flip_or_truncation_is_detected() {
+        let clean = encode_tombstone(tombstone(5, 0xDEAD_BEEF));
+        for i in 0..clean.len() {
+            let mut bytes = clean.clone();
+            bytes[i] ^= 0x40;
+            let mut slice = bytes.as_slice();
+            assert!(
+                get_any_record(&mut slice).is_err(),
+                "flip at byte {i} must not decode"
+            );
+        }
+        for keep in 0..clean.len() {
+            let mut slice = &clean[..keep];
+            let before = slice;
+            get_any_record(&mut slice).expect_err("truncated tombstone must fail");
+            assert_eq!(slice.len(), before.len(), "cursor must not advance");
+        }
+    }
+
+    #[test]
+    fn a_short_live_payload_never_masquerades_as_a_tombstone() {
+        // The smallest structurally attemptable live payload (fingerprint
+        // + class + zero contrasts) happens to be exactly 24 bytes — the
+        // tombstone length. Without the magic check it would be ambiguous;
+        // with it, a fingerprint would have to equal TOMBSTONE_MAGIC, and
+        // even then the old path only reached BadEntry. Pin the magic
+        // check: this payload must stay a (rejected) live record.
+        let mut payload = Vec::new();
+        payload.put_u64_le(42); // fingerprint ≠ TOMBSTONE_MAGIC
+        codec::put_len(&mut payload, 0); // class
+        codec::put_len(&mut payload, 0); // zero contrasts
+        assert_eq!(payload.len(), TOMBSTONE_PAYLOAD);
+        let mut buf = Vec::new();
+        put_frame(&mut buf, &payload);
+        assert!(matches!(
+            get_any_record(&mut buf.as_slice()),
+            Err(RecordError::BadEntry(_))
+        ));
+    }
+
+    #[test]
+    fn sync_key_reads_the_frame_crc() {
+        let r = region(0, vec![1.0], 0.5);
+        let frame = encode_record(r.fingerprint, &r.interpretation);
+        assert_eq!(sync_key_of(&frame), crc64(&frame[FRAME_HEADER..]));
+        let t = encode_tombstone(tombstone(0, 7));
+        assert_eq!(sync_key_of(&t), crc64(&t[FRAME_HEADER..]));
+        assert_ne!(sync_key_of(&frame), sync_key_of(&t));
     }
 
     #[test]

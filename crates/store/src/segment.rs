@@ -13,7 +13,7 @@
 //! trigger in practice.
 
 use crate::error::StoreError;
-use crate::record::{self, StoredRegion};
+use crate::record::{self, StoreRecord};
 use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -66,8 +66,9 @@ pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StoreError> {
 /// What reading one segment recovered.
 #[derive(Debug, Default)]
 pub struct SegmentRecovery {
-    /// The records of the longest valid prefix, in write order.
-    pub records: Vec<StoredRegion>,
+    /// The records of the longest valid prefix — live regions and
+    /// tombstones alike — in write order.
+    pub records: Vec<StoreRecord>,
     /// Bytes clipped off the tail (0 for a healthy sealed segment).
     pub discarded_bytes: u64,
 }
@@ -95,7 +96,7 @@ pub fn read_segment(path: &Path) -> Result<SegmentRecovery, StoreError> {
     let mut recovery = SegmentRecovery::default();
     let mut cursor = &bytes[8..];
     while !cursor.is_empty() {
-        match record::get_record(&mut cursor) {
+        match record::get_any_record(&mut cursor) {
             Ok(r) => recovery.records.push(r),
             Err(_) => {
                 recovery.discarded_bytes = cursor.len() as u64;
@@ -107,17 +108,22 @@ pub fn read_segment(path: &Path) -> Result<SegmentRecovery, StoreError> {
 }
 
 /// Writes a sealed segment atomically: `.tmp` + fsync + rename + dir
-/// fsync. Returns the final path.
+/// fsync. Tombstones seal alongside live records — compaction keeps the
+/// "forget this region" facts durable even after the records they
+/// suppressed are gone. Returns the final path.
 ///
 /// # Errors
 /// [`StoreError::Io`] from any write/fsync/rename step.
-pub fn write_segment(dir: &Path, id: u64, records: &[StoredRegion]) -> Result<PathBuf, StoreError> {
+pub fn write_segment(dir: &Path, id: u64, records: &[StoreRecord]) -> Result<PathBuf, StoreError> {
     let final_path = dir.join(segment_name(id));
     let tmp_path = dir.join(format!("{}.tmp", segment_name(id)));
     let mut buf = Vec::with_capacity(8 + records.len() * 128);
     buf.extend_from_slice(&SEGMENT_MAGIC.to_le_bytes());
     for r in records {
-        record::put_record(&mut buf, r.fingerprint, &r.interpretation);
+        match r {
+            StoreRecord::Live(r) => record::put_record(&mut buf, r.fingerprint, &r.interpretation),
+            StoreRecord::Tombstone(t) => record::put_tombstone(&mut buf, *t),
+        }
     }
     let mut file = File::create(&tmp_path)?;
     file.write_all(&buf)?;
@@ -140,7 +146,13 @@ pub(crate) fn sync_dir(dir: &Path) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::record::{RegionTombstone, StoredRegion};
     use crate::testutil::{region, temp_dir};
+    use openapi_core::decision::RegionFingerprint;
+
+    fn live(records: &[StoredRegion]) -> Vec<StoreRecord> {
+        records.iter().cloned().map(StoreRecord::Live).collect()
+    }
 
     #[test]
     fn names_round_trip() {
@@ -154,8 +166,8 @@ mod tests {
     #[test]
     fn segments_round_trip_and_list_in_order() {
         let dir = temp_dir("seg_roundtrip");
-        let a = vec![region(0, &[1.0], 0.0), region(1, &[2.0], 0.5)];
-        let b = vec![region(2, &[3.0], -1.0)];
+        let a = live(&[region(0, &[1.0], 0.0), region(1, &[2.0], 0.5)]);
+        let b = live(&[region(2, &[3.0], -1.0)]);
         write_segment(&dir, 2, &b).unwrap();
         write_segment(&dir, 1, &a).unwrap();
         let listed = list_segments(&dir).unwrap();
@@ -169,9 +181,27 @@ mod tests {
     }
 
     #[test]
+    fn tombstones_seal_and_read_back_in_order() {
+        let dir = temp_dir("seg_tombstone");
+        let r = region(0, &[1.0], 0.0);
+        let records = vec![
+            StoreRecord::Live(r),
+            StoreRecord::Tombstone(RegionTombstone {
+                fingerprint: RegionFingerprint(77),
+                class: 3,
+            }),
+        ];
+        let path = write_segment(&dir, 1, &records).unwrap();
+        let rec = read_segment(&path).unwrap();
+        assert_eq!(rec.records, records);
+        assert_eq!(rec.discarded_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn tmp_leftovers_are_swept_on_listing() {
         let dir = temp_dir("seg_tmp");
-        write_segment(&dir, 1, &[region(0, &[1.0], 0.0)]).unwrap();
+        write_segment(&dir, 1, &live(&[region(0, &[1.0], 0.0)])).unwrap();
         let stray = dir.join("seg-000009.seg.tmp");
         std::fs::write(&stray, b"partial compaction output").unwrap();
         let listed = list_segments(&dir).unwrap();
@@ -183,7 +213,7 @@ mod tests {
     #[test]
     fn torn_segment_tail_is_tolerated() {
         let dir = temp_dir("seg_torn");
-        let records = vec![region(0, &[1.0], 0.0), region(0, &[2.0], 0.0)];
+        let records = live(&[region(0, &[1.0], 0.0), region(0, &[2.0], 0.0)]);
         let path = write_segment(&dir, 1, &records).unwrap();
         let full = std::fs::metadata(&path).unwrap().len();
         let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();

@@ -2,7 +2,7 @@
 //! on-disk layout and durability protocol).
 
 use crate::error::StoreError;
-use crate::record::{self, StoredRegion};
+use crate::record::{self, RegionTombstone, StoreRecord, StoredRegion};
 use crate::segment::{self, sync_dir};
 use crate::stats::{StoreStats, StoreStatsSnapshot};
 use crate::sticky::StickyError;
@@ -55,40 +55,77 @@ impl Default for StoreConfig {
     }
 }
 
+/// What a sync key addresses: a live record slot or a tombstone slot.
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    /// Index into [`Index::records`].
+    Live(usize),
+    /// Index into [`Index::tombstones`].
+    Tombstone(usize),
+}
+
 /// The deduplicated in-memory image of everything durable: recovery fills
 /// it, appends extend it, lookups scan it. Mirrors the region cache's
 /// collision discipline — a fingerprint collision between genuinely
 /// different regions keeps both records (the second un-indexed), so the
 /// store can never conflate two regions.
+///
+/// Tombstones win, permanently: once a `(class, fingerprint)` key is
+/// tombstoned, every live record under it is suppressed (its slot cleared,
+/// its sync key dropped from the gossip surface) and no later admit under
+/// the same key succeeds — which makes tombstone-vs-record merge
+/// order-independent, so anti-entropy set-union stays conflict-free. A
+/// re-solve of a genuinely changed region lands under a fresh fingerprint,
+/// so suppression never blocks new facts.
 #[derive(Debug, Default)]
 struct Index {
-    records: Vec<StoredRegion>,
+    /// Live records in admission order; a slot goes `None` when its
+    /// region is tombstoned, keeping positional indices stable.
+    records: Vec<Option<StoredRegion>>,
+    /// Tombstones in admission order.
+    tombstones: Vec<RegionTombstone>,
+    /// Count of live (non-suppressed) records.
+    live: usize,
     /// `(class, fingerprint) → records index` for the first (canonical)
     /// record of each key.
     by_key: HashMap<(usize, u64), usize>,
     /// `class → records indices`: membership scans (and the collision
     /// dedup scan) only ever touch one class's bucket, so a store holding
-    /// many classes never pays for the others on a lookup.
+    /// many classes never pays for the others on a lookup. Buckets may
+    /// point at suppressed slots; iteration filters them.
     by_class: HashMap<usize, Vec<usize>>,
-    /// `sync key → records index`. The sync key is the record frame's
-    /// CRC-64/XZ (bytes `[4..12]` of the encoded frame): it addresses the
-    /// exact record bytes, so the anti-entropy tier can summarize and
-    /// exchange records without conflating fingerprint collisions.
-    by_sync_key: HashMap<u64, usize>,
+    /// `sync key → slot`. The sync key is the frame's CRC-64/XZ (bytes
+    /// `[4..12]` of the encoded frame): it addresses the exact frame
+    /// bytes, so the anti-entropy tier can summarize and exchange records
+    /// — live and tombstone alike — without conflating fingerprint
+    /// collisions.
+    by_sync_key: HashMap<u64, Slot>,
+    /// Permanently suppressed `(class, fingerprint)` keys.
+    tombstoned: HashSet<(usize, u64)>,
 }
 
 impl Index {
     /// Admits a record; `Some(frame)` means it was new — the returned
     /// encoded frame is what must be persisted (append reuses it for the
     /// WAL; recovery, which already has it on disk, drops it). `None`
-    /// means an agreeing record was already present (idempotent).
+    /// means an agreeing record was already present, or the key is
+    /// tombstoned (idempotent either way).
     fn admit(&mut self, record: StoredRegion, rtol: f64) -> Option<Vec<u8>> {
         let class = record.interpretation.class;
         let key = (class, record.fingerprint.0);
+        if self.tombstoned.contains(&key) {
+            // Tombstone-wins: the key is a dead fact forever. (The caller
+            // still owns the freshly solved interpretation and serves it
+            // to its own requester — it just never re-enters the store.)
+            return None;
+        }
         match self.by_key.get(&key) {
             Some(&i)
                 if interpretations_agree(
-                    &self.records[i].interpretation,
+                    &self.records[i]
+                        .as_ref()
+                        .expect("by_key points at live")
+                        .interpretation,
                     &record.interpretation,
                     rtol,
                 ) =>
@@ -116,33 +153,92 @@ impl Index {
         }
     }
 
+    /// Admits a tombstone: suppresses every live record under its
+    /// `(class, fingerprint)` key — the canonical one and any collided
+    /// duplicates — and removes their sync keys from the gossip surface,
+    /// so two stores that both tombstone a key converge to equal digests.
+    /// `Some(frame)` means the tombstone was new and must be persisted;
+    /// `None` means the key was already tombstoned (idempotent).
+    fn admit_tombstone(&mut self, t: RegionTombstone) -> Option<Vec<u8>> {
+        let key = (t.class, t.fingerprint.0);
+        if !self.tombstoned.insert(key) {
+            return None;
+        }
+        self.by_key.remove(&key);
+        for i in self.by_class.get(&t.class).cloned().unwrap_or_default() {
+            let suppressed = self.records[i]
+                .as_ref()
+                .is_some_and(|r| r.fingerprint == t.fingerprint);
+            if !suppressed {
+                continue;
+            }
+            let dead = self.records[i].take().expect("checked above");
+            self.live -= 1;
+            let sync_key = record::sync_key_of(&record::encode_record(
+                dead.fingerprint,
+                &dead.interpretation,
+            ));
+            // Drop the mapping only if this slot owns it (a CRC collision
+            // leaves the first owner in place).
+            if let Some(Slot::Live(owner)) = self.by_sync_key.get(&sync_key) {
+                if *owner == i {
+                    self.by_sync_key.remove(&sync_key);
+                }
+            }
+        }
+        let frame = record::encode_tombstone(t);
+        // `or_insert` as in `push`: a CRC collision never corrupts the
+        // digest's image of `by_sync_key`.
+        self.by_sync_key
+            .entry(record::sync_key_of(&frame))
+            .or_insert(Slot::Tombstone(self.tombstones.len()));
+        self.tombstones.push(t);
+        Some(frame)
+    }
+
     /// Appends an admitted record, indexing it by class and sync key, and
     /// returns its canonical encoded frame (deterministic, so it is
     /// byte-identical to what recovery will read back).
     fn push(&mut self, record: StoredRegion) -> Vec<u8> {
         let frame = record::encode_record(record.fingerprint, &record.interpretation);
-        let sync_key = u64::from_le_bytes(frame[4..12].try_into().expect("frame header"));
         // A CRC collision between different records would leave the later
         // one unsummarized (it still serves locally; it just never gossips)
         // — `or_insert` keeps the digest an exact image of `by_sync_key`.
         self.by_sync_key
-            .entry(sync_key)
-            .or_insert(self.records.len());
+            .entry(record::sync_key_of(&frame))
+            .or_insert(Slot::Live(self.records.len()));
         self.by_class
             .entry(record.interpretation.class)
             .or_default()
             .push(self.records.len());
-        self.records.push(record);
+        self.records.push(Some(record));
+        self.live += 1;
         frame
     }
 
-    /// The records of one class, in admission order.
+    /// The live records of one class, in admission order (suppressed
+    /// slots skipped).
     fn class_records(&self, class: usize) -> impl Iterator<Item = &StoredRegion> {
         self.by_class
             .get(&class)
             .into_iter()
             .flatten()
-            .map(|&i| &self.records[i])
+            .filter_map(|&i| self.records[i].as_ref())
+    }
+
+    /// Everything durable, for compaction: live records then tombstones,
+    /// each in admission order. (Tombstone-wins is order-independent, so
+    /// any deterministic order is a faithful fold.)
+    fn all_records(&self) -> Vec<StoreRecord> {
+        let mut out: Vec<StoreRecord> = self
+            .records
+            .iter()
+            .flatten()
+            .cloned()
+            .map(StoreRecord::Live)
+            .collect();
+        out.extend(self.tombstones.iter().copied().map(StoreRecord::Tombstone));
+        out
     }
 }
 
@@ -222,7 +318,14 @@ impl RegionStore {
             StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
             for r in recovered.records {
                 // Already durable: the returned frame is not re-persisted.
-                let _ = index.admit(r, config.membership_rtol);
+                match r {
+                    StoreRecord::Live(r) => {
+                        let _ = index.admit(r, config.membership_rtol);
+                    }
+                    StoreRecord::Tombstone(t) => {
+                        let _ = index.admit_tombstone(t);
+                    }
+                }
             }
         }
         let (wal, recovered) = Wal::open(&dir.join("wal.log"))?;
@@ -230,7 +333,14 @@ impl RegionStore {
         StoreStats::add(&stats.recovered_discarded_bytes, recovered.discarded_bytes);
         for r in recovered.records {
             // Already durable: the returned frame is not re-persisted.
-            let _ = index.admit(r, config.membership_rtol);
+            match r {
+                StoreRecord::Live(r) => {
+                    let _ = index.admit(r, config.membership_rtol);
+                }
+                StoreRecord::Tombstone(t) => {
+                    let _ = index.admit_tombstone(t);
+                }
+            }
         }
 
         let wal_bytes = wal.len();
@@ -273,14 +383,20 @@ impl RegionStore {
         &self.shared.config
     }
 
-    /// Distinct regions the store holds (durable or queued durable).
+    /// Distinct live regions the store holds (durable or queued durable;
+    /// tombstone-suppressed regions are not counted).
     pub fn len(&self) -> usize {
-        self.shared.index.read().records.len()
+        self.shared.index.read().live
     }
 
-    /// Whether the store holds no regions.
+    /// Whether the store holds no live regions.
     pub fn is_empty(&self) -> bool {
-        self.shared.index.read().records.is_empty()
+        self.shared.index.read().live == 0
+    }
+
+    /// Distinct tombstoned `(class, fingerprint)` keys the store holds.
+    pub fn tombstone_count(&self) -> usize {
+        self.shared.index.read().tombstones.len()
     }
 
     /// A point-in-time statistics snapshot (counters + gauges).
@@ -355,6 +471,39 @@ impl RegionStore {
         true
     }
 
+    /// Tombstones a `(class, fingerprint)` key: every stored record under
+    /// it stops serving immediately and for good — through compaction,
+    /// restart, and anti-entropy exchange (the tombstone frame gossips
+    /// like any record and wins the set-union). Returns whether the
+    /// tombstone was new; re-tombstoning is an idempotent no-op.
+    ///
+    /// Like [`RegionStore::append`], durability is asynchronous: the
+    /// suppression is immediate in memory, the WAL frame lands at the
+    /// flusher's next batch ([`RegionStore::flush`] is the barrier).
+    pub fn tombstone(&self, class: usize, fingerprint: RegionFingerprint) -> bool {
+        let t = RegionTombstone { fingerprint, class };
+        let admitted = self.shared.index.write().admit_tombstone(t);
+        let Some(frame) = admitted else {
+            return false;
+        };
+        StoreStats::add(&self.shared.stats.appends, 1);
+        // Same accounting as a record append: the tombstone is one more
+        // framed WAL write attributed to the invalidating request's span.
+        openapi_trace::emit(Stage::WalAppend, frame.len() as u64);
+        let _ = self.tx.send(FlushMsg::Append(frame));
+        true
+    }
+
+    /// Whether `(class, fingerprint)` is tombstoned (permanently
+    /// suppressed).
+    pub fn contains_tombstone(&self, class: usize, fingerprint: RegionFingerprint) -> bool {
+        self.shared
+            .index
+            .read()
+            .tombstoned
+            .contains(&(class, fingerprint.0))
+    }
+
     /// A bucketed XOR/count digest of the store's record set, keyed by
     /// each record frame's CRC-64/XZ. Two stores whose digests are equal
     /// hold the same record set (w.h.p. — and membership re-verification
@@ -420,30 +569,38 @@ impl RegionStore {
         keys
     }
 
-    /// The delta a peer needs: the encoded frames of every record in
-    /// `buckets` whose sync key is not in `have`, concatenated, capped at
-    /// roughly `max_bytes` (at least one record always ships, so a pull
-    /// loop makes progress). Frames are re-encoded from the index —
-    /// [`record::encode_record`] is deterministic, so they are
-    /// byte-identical to this store's own on-disk records.
+    /// The delta a peer needs: the encoded frames of every record —
+    /// live or tombstone — in `buckets` whose sync key is not in `have`,
+    /// concatenated, capped at roughly `max_bytes` (at least one record
+    /// always ships, even a lone tombstone, so a pull loop makes
+    /// progress). Frames are re-encoded from the index — the codec is
+    /// deterministic, so they are byte-identical to this store's own
+    /// on-disk records.
     pub fn sync_delta(&self, buckets: &[u32], have: &[u64], max_bytes: usize) -> SyncDelta {
         let wanted: HashSet<u32> = buckets.iter().copied().collect();
         let have: HashSet<u64> = have.iter().copied().collect();
         let index = self.shared.index.read();
-        let mut missing: Vec<(u64, usize)> = index
+        let mut missing: Vec<(u64, Slot)> = index
             .by_sync_key
             .iter()
             .filter(|&(&k, _)| {
                 wanted.contains(&(StoreDigest::bucket_of(k) as u32)) && !have.contains(&k)
             })
-            .map(|(&k, &i)| (k, i))
+            .map(|(&k, &slot)| (k, slot))
             .collect();
         // Deterministic delta order regardless of hash-map iteration.
-        missing.sort_unstable();
+        missing.sort_unstable_by_key(|&(k, _)| k);
         let mut delta = SyncDelta::default();
-        for (_, i) in missing {
-            let r = &index.records[i];
-            let frame = record::encode_record(r.fingerprint, &r.interpretation);
+        for (_, slot) in missing {
+            let frame = match slot {
+                Slot::Live(i) => {
+                    let r = index.records[i]
+                        .as_ref()
+                        .expect("live sync keys point at live slots");
+                    record::encode_record(r.fingerprint, &r.interpretation)
+                }
+                Slot::Tombstone(i) => record::encode_tombstone(index.tombstones[i]),
+            };
             if delta.records > 0 && delta.frames.len() + frame.len() > max_bytes {
                 delta.truncated = true;
                 break;
@@ -524,7 +681,10 @@ impl Shared {
         // (sealed) or its WAL write lands after the reset (kept) — never
         // silently dropped.
         let mut wal = self.wal.lock();
-        let records: Vec<StoredRegion> = self.index.read().records.clone();
+        // Live records plus tombstones: a compacted store genuinely
+        // forgets suppressed regions (their frames are dropped) while the
+        // "forget" facts themselves stay durable.
+        let records: Vec<StoreRecord> = self.index.read().all_records();
         let old_segments = segment::list_segments(&self.dir)?;
         let id = old_segments.last().map_or(1, |(last, _)| last + 1);
         segment::write_segment(&self.dir, id, &records)?;
@@ -937,6 +1097,114 @@ mod tests {
         have.sort_unstable();
         assert_eq!(have, store.record_keys());
         assert_eq!(gathered, delta.frames, "same bytes, any pull schedule");
+        store.close().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstones_suppress_serving_through_restart_and_compaction() {
+        let dir = temp_dir("store_tombstone");
+        let store = open(&dir);
+        let a = region(0, &[1.0, -0.5], 0.25);
+        let b = region(1, &[2.0, 0.5], -0.75);
+        assert!(store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        assert!(store.append(b.fingerprint, Arc::clone(&b.interpretation)));
+        let x = Vector(vec![0.3, -0.2]);
+        let probs = consistent_probs(&a.interpretation, &x);
+        assert!(store.lookup_probe(&x, &probs, 0).is_some());
+
+        assert!(store.tombstone(0, a.fingerprint));
+        assert!(!store.tombstone(0, a.fingerprint), "idempotent");
+        assert!(store.lookup_probe(&x, &probs, 0).is_none(), "suppressed");
+        assert!(store.contains_tombstone(0, a.fingerprint));
+        assert!(!store.contains_fingerprint(0, a.fingerprint));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.tombstone_count(), 1);
+        // Tombstone-wins is permanent: the same key never re-enters.
+        assert!(!store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        // The untouched region still serves.
+        let probs_b = consistent_probs(&b.interpretation, &x);
+        assert!(store.lookup_probe(&x, &probs_b, 1).is_some());
+        store.close().unwrap();
+
+        // Restart: the WAL replays the tombstone after the record.
+        let store = open(&dir);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.tombstone_count(), 1);
+        assert!(store.lookup_probe(&x, &probs, 0).is_none());
+        assert!(!store.append(a.fingerprint, Arc::clone(&a.interpretation)));
+        // Compaction folds the suppressed record away but keeps the fact.
+        assert_eq!(store.compact().unwrap(), 2, "one live + one tombstone");
+        store.close().unwrap();
+
+        // Restart from the compacted segment: still forgotten.
+        let store = open(&dir);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.tombstone_count(), 1);
+        assert!(store.lookup_probe(&x, &probs, 0).is_none());
+        assert!(store.contains_tombstone(0, a.fingerprint));
+        assert_eq!(store.stats().recovered_segment_records, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn digests_converge_after_both_stores_tombstone_the_same_key() {
+        // Regression for the anti-entropy livelock: suppressing a record
+        // must remove its sync key from the digest, or two stores that
+        // both tombstoned the same region would disagree forever.
+        let dir_a = temp_dir("store_ts_digest_a");
+        let dir_b = temp_dir("store_ts_digest_b");
+        let sa = open(&dir_a);
+        let sb = open(&dir_b);
+        let regions: Vec<_> = (0..4).map(|i| region(0, &[i as f64 + 0.5], 0.0)).collect();
+        for r in &regions {
+            sa.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        // Opposite admission order on the peer.
+        for r in regions.iter().rev() {
+            sb.append(r.fingerprint, Arc::clone(&r.interpretation));
+        }
+        let victim = &regions[1];
+        assert!(sa.tombstone(0, victim.fingerprint));
+        assert!(sb.tombstone(0, victim.fingerprint));
+        assert_eq!(sa.record_keys(), sb.record_keys());
+        assert_eq!(sa.digest(), sb.digest());
+        assert!(sa.digest().differing_buckets(&sb.digest()).is_empty());
+        // The tombstone frame itself is summarized (3 live + 1 tombstone).
+        assert_eq!(sa.digest().total(), 4);
+        sa.close().unwrap();
+        sb.close().unwrap();
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
+    }
+
+    #[test]
+    fn a_lone_tombstone_ships_through_sync_delta() {
+        // The ≥1-record progress guarantee covers tombstone-only deltas.
+        let dir = temp_dir("store_ts_delta");
+        let store = open(&dir);
+        let a = region(0, &[1.0], 0.0);
+        store.append(a.fingerprint, Arc::clone(&a.interpretation));
+        store.tombstone(0, a.fingerprint);
+        let all_buckets: Vec<u32> = (0..crate::sync::DIGEST_BUCKETS as u32).collect();
+        let delta = store.sync_delta(&all_buckets, &[], 1);
+        assert_eq!(delta.records, 1);
+        assert!(!delta.truncated);
+        let mut slice = delta.frames.as_slice();
+        match record::get_any_record(&mut slice).unwrap() {
+            StoreRecord::Tombstone(t) => {
+                assert_eq!(t.fingerprint, a.fingerprint);
+                assert_eq!(t.class, 0);
+            }
+            other => panic!("expected a tombstone frame, got {other:?}"),
+        }
+        assert!(slice.is_empty());
+        // The live-only wire decoder refuses the same frame, typed.
+        let mut slice = delta.frames.as_slice();
+        assert!(matches!(
+            record::get_record(&mut slice),
+            Err(crate::record::RecordError::UnexpectedTombstone(_))
+        ));
         store.close().unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }

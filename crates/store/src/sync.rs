@@ -1,24 +1,33 @@
 //! Anti-entropy digests and deltas: the store-side half of the fabric.
 //!
-//! Theorem 2 makes every stored record an immutable fact, so two stores of
-//! the same hidden model converge by *set union* — no versions, no
-//! tombstones, no conflicts. This module gives a store the two primitives
+//! Theorem 2 makes every stored fact *immutable*, so two stores of the
+//! same hidden model converge by *set union* — no versions, no conflicts.
+//! Two kinds of fact flow: live records ("this region's interpretation is
+//! exactly this") and tombstones ("this region's key is stale, never
+//! serve it" — the drift detector's verdict when the hidden model was
+//! silently swapped). A tombstone is itself an immutable fact, and it
+//! *wins* permanently: merging it with the record it suppresses yields
+//! the tombstone in any order, so the union stays conflict-free and
+//! order-independent. This module gives a store the two primitives
 //! union-by-gossip needs:
 //!
-//! * [`StoreDigest`] — a compact summary of the record set, bucketed by
+//! * [`StoreDigest`] — a compact summary of the fact set, bucketed by
 //!   sync key (the frame's CRC-64/XZ, which content-addresses the exact
-//!   record bytes). Two stores compare digests bucket-by-bucket; equal
-//!   buckets are skipped wholesale, differing buckets name exactly where
-//!   the missing records live.
-//! * [`SyncDelta`] — the raw WAL record frames for keys a peer is missing,
+//!   frame bytes — tombstone frames included, while records a tombstone
+//!   suppressed drop out, so two stores that forgot the same region agree
+//!   again). Two stores compare digests bucket-by-bucket; equal buckets
+//!   are skipped wholesale, differing buckets name exactly where the
+//!   missing facts live.
+//! * [`SyncDelta`] — the raw WAL frames for keys a peer is missing,
 //!   size-capped so one pull never balloons; `truncated` tells the peer to
-//!   come back for the rest.
+//!   come back for the rest. The ≥1-record progress guarantee covers
+//!   tombstone-only deltas too.
 //!
 //! The sync key is deliberately the *frame CRC*, not the region
 //! fingerprint: the fingerprint is a quantized locality key (two genuinely
 //! different regions may collide), while the CRC addresses the exact
-//! on-disk bytes. A record crosses the fabric as those bytes, unmodified,
-//! so "peer has key k" means "peer has this exact record".
+//! on-disk bytes. A fact crosses the fabric as those bytes, unmodified,
+//! so "peer has key k" means "peer has this exact fact".
 
 /// Number of digest buckets. Keys spread by `key % DIGEST_BUCKETS`; with
 /// CRC-distributed keys each bucket's XOR/count pair detects any single
@@ -84,8 +93,8 @@ impl StoreDigest {
 /// bytes the serving store wrote to its own WAL), with a size cap.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct SyncDelta {
-    /// Concatenated record frames, decodable by
-    /// [`crate::record::get_record`] in a loop.
+    /// Concatenated frames — live records and tombstones — decodable by
+    /// [`crate::record::get_any_record`] in a loop.
     pub frames: Vec<u8>,
     /// How many records `frames` holds.
     pub records: u64,

@@ -13,7 +13,7 @@
 //! [`Wal::sync`] (the store's flusher batches many appends per fsync).
 
 use crate::error::StoreError;
-use crate::record::{self, StoredRegion};
+use crate::record::{self, StoreRecord};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
@@ -27,8 +27,9 @@ pub const WAL_HEADER: u64 = 8;
 /// What [`Wal::open`] recovered from an existing log.
 #[derive(Debug, Default)]
 pub struct WalRecovery {
-    /// The records of the longest valid prefix, in append order.
-    pub records: Vec<StoredRegion>,
+    /// The records of the longest valid prefix — live regions and
+    /// tombstones alike — in append order.
+    pub records: Vec<StoreRecord>,
     /// Bytes clipped off the tail (torn final write, or garbage).
     pub discarded_bytes: u64,
 }
@@ -83,7 +84,7 @@ impl Wal {
             let mut cursor = &bytes[WAL_HEADER as usize..];
             loop {
                 let remaining_before = cursor.len();
-                match record::get_record(&mut cursor) {
+                match record::get_any_record(&mut cursor) {
                     Ok(r) => recovery.records.push(r),
                     Err(_) => {
                         // Torn tail (or in-place corruption): clip here.
@@ -177,8 +178,12 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::record::encode_record;
+    use crate::record::{encode_record, encode_tombstone, RegionTombstone, StoredRegion};
     use crate::testutil::{region, temp_dir};
+
+    fn live(records: &[StoredRegion]) -> Vec<StoreRecord> {
+        records.iter().cloned().map(StoreRecord::Live).collect()
+    }
 
     #[test]
     fn fresh_log_opens_empty_and_replays_appends() {
@@ -197,7 +202,39 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         let (_, rec) = Wal::open(&path).unwrap();
-        assert_eq!(rec.records, vec![a, b]);
+        assert_eq!(rec.records, live(&[a, b]));
+        assert_eq!(rec.discarded_bytes, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tombstones_replay_in_order_with_live_records() {
+        let dir = temp_dir("wal_tombstone");
+        let path = dir.join("wal.log");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        let a = region(0, &[1.0, 2.0], 0.5);
+        let t = RegionTombstone {
+            fingerprint: a.fingerprint,
+            class: 0,
+        };
+        let b = region(1, &[-3.0, 0.25], -1.0);
+        wal.append(&[
+            encode_record(a.fingerprint, &a.interpretation),
+            encode_tombstone(t),
+            encode_record(b.fingerprint, &b.interpretation),
+        ])
+        .unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(&path).unwrap();
+        assert_eq!(
+            rec.records,
+            vec![
+                StoreRecord::Live(a),
+                StoreRecord::Tombstone(t),
+                StoreRecord::Live(b),
+            ]
+        );
         assert_eq!(rec.discarded_bytes, 0);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -222,14 +259,14 @@ mod tests {
         file.set_len(full - 5).unwrap();
         drop(file);
         let (wal, rec) = Wal::open(&path).unwrap();
-        assert_eq!(rec.records, vec![a.clone()]);
+        assert_eq!(rec.records, live(std::slice::from_ref(&a)));
         assert!(rec.discarded_bytes > 0);
         // The file itself was truncated back to the valid prefix…
         let reopened_len = wal.len();
         drop(wal);
         // …so a second recovery sees a clean log.
         let (_, rec2) = Wal::open(&path).unwrap();
-        assert_eq!(rec2.records, vec![a]);
+        assert_eq!(rec2.records, live(&[a]));
         assert_eq!(rec2.discarded_bytes, 0);
         assert_eq!(std::fs::metadata(&path).unwrap().len(), reopened_len);
         std::fs::remove_dir_all(&dir).ok();
@@ -278,7 +315,7 @@ mod tests {
         wal.sync().unwrap();
         drop(wal);
         let (_, rec) = Wal::open(&path).unwrap();
-        assert_eq!(rec.records, vec![b]);
+        assert_eq!(rec.records, live(&[b]));
         std::fs::remove_dir_all(&dir).ok();
     }
 }

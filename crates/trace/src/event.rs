@@ -55,6 +55,13 @@ pub enum Stage {
     /// A record pulled from a peer passed validation and was ingested.
     /// Payload: the record frame length in bytes.
     FabricIngest = 16,
+    /// The drift detector invalidated a stale region: its cache entries
+    /// were evicted and a tombstone was queued to the durable store.
+    /// Payload: the stale region's fingerprint.
+    Invalidate = 17,
+    /// A request whose region was invalidated for drift completed a fresh
+    /// solve against the live API. Payload: the new region's fingerprint.
+    Resolve = 18,
 }
 
 impl Stage {
@@ -78,6 +85,8 @@ impl Stage {
             14 => Stage::FabricDigest,
             15 => Stage::FabricPull,
             16 => Stage::FabricIngest,
+            17 => Stage::Invalidate,
+            18 => Stage::Resolve,
             _ => return None,
         })
     }
@@ -101,6 +110,8 @@ impl Stage {
             Stage::FabricDigest => "fabric_digest",
             Stage::FabricPull => "fabric_pull",
             Stage::FabricIngest => "fabric_ingest",
+            Stage::Invalidate => "invalidate",
+            Stage::Resolve => "resolve",
         }
     }
 }
@@ -135,6 +146,6 @@ mod tests {
             }
         }
         assert_eq!(Stage::from_u64(0), None);
-        assert_eq!(Stage::from_u64(17), None);
+        assert_eq!(Stage::from_u64(19), None);
     }
 }

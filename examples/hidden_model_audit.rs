@@ -9,16 +9,63 @@
 //! ```text
 //! cargo run --release --example hidden_model_audit
 //! ```
+//!
+//! With `--chaos`, the one-shot audit becomes a **continuous auditing
+//! workload** against a misbehaving vendor: the API rate-limits, fails
+//! transiently, spikes — and, mid-soak, silently swaps in a fine-tuned
+//! model behind the same endpoint. The
+//! interpretation service's drift detector must notice every stale
+//! region, tombstone it, and re-solve; the run asserts **zero stale
+//! serves** (every reply explains a fresh probe of whatever the endpoint
+//! computes *now*) and exits non-zero otherwise:
+//!
+//! ```text
+//! cargo run --release --example hidden_model_audit -- --chaos [--soak-rounds N] [--seed S]
+//! ```
 
-use openapi_repro::api::CountingApi;
+use openapi_repro::api::{ChaosApi, CountingApi};
 use openapi_repro::data::synth::{ascii_art, SynthConfig, SynthStyle};
+use openapi_repro::data::Dataset;
 use openapi_repro::metrics::heatmap::signed_ascii;
 use openapi_repro::nn::{train, Activation, Optimizer, Plnn, TrainConfig};
 use openapi_repro::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Duration;
 
 fn main() {
+    let mut chaos = false;
+    let mut rounds = 4usize;
+    let mut seed = 0xC4A05u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--chaos" => chaos = true,
+            "--soak-rounds" => {
+                rounds = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--soak-rounds needs a round count");
+            }
+            "--seed" => {
+                seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a u64");
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}`; flags: --chaos [--soak-rounds N] [--seed S]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    assert!(
+        rounds >= 2,
+        "--soak-rounds needs at least a warm round and a post-swap round"
+    );
+
     // ---- vendor side (hidden from the auditor) -------------------------
     let (train_set, test_set) =
         SynthConfig::small(SynthStyle::FmnistLike, 1500, 100, 11).generate();
@@ -36,6 +83,11 @@ fn main() {
         report.final_train_accuracy * 100.0,
         vendor_model.param_count()
     );
+
+    if chaos {
+        chaos_audit(vendor_model, &train_set, &test_set, rounds, seed, &mut rng);
+        return;
+    }
 
     // ---- auditor side ---------------------------------------------------
     let api = CountingApi::new(&vendor_model);
@@ -73,4 +125,132 @@ fn main() {
         }
     }
     println!("total audit cost: {} prediction queries", api.queries());
+}
+
+/// The continuous-auditing soak: serve the same audit panel round after
+/// round through an [`InterpretationService`] fronting a [`ChaosApi`],
+/// swap the vendor model silently at the midpoint, and assert the drift
+/// detector leaves zero stale serves behind.
+fn chaos_audit(
+    v1: Plnn,
+    train_set: &Dataset,
+    test_set: &Dataset,
+    rounds: usize,
+    seed: u64,
+    rng: &mut StdRng,
+) {
+    println!("=== continuous audit under chaos (seed {seed:#x}, {rounds} rounds) ===");
+
+    // The silent model update: the vendor quietly fine-tunes the deployed
+    // model for two more epochs. Same endpoint, same shape — only the
+    // function changes, which only `explains_probe` can notice.
+    let mut v2 = v1.clone();
+    let finetune = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        optimizer: Optimizer::adam(3e-3),
+        weight_decay: 0.0,
+    };
+    train(&mut v2, train_set, &finetune, rng);
+
+    // Value-preserving chaos only: refusals and spikes change nothing the
+    // solver sees. Output *noise* is exercised at value scale in
+    // `tests/chaos_drift.rs` — this vendor model trains to saturation, so
+    // some class probabilities underflow toward zero and the log-ratio
+    // membership test would read ANY absolute noise as unbounded drift.
+    let api = ChaosApi::new(v1, seed).with_standby(v2);
+    api.configure(|c| {
+        c.rate_limit_rate = 0.05;
+        c.transient_rate = 0.10;
+        c.latency_spike_rate = 0.10;
+        c.spike = Duration::ZERO; // counted, not slept: the soak stays fast
+    });
+    let config = ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    };
+    let rtol = config.openapi.rtol;
+    // A durable store under the cache, so convictions leave tombstones a
+    // restart (or a gossiping peer) must also respect.
+    let store_dir =
+        std::env::temp_dir().join(format!("openapi_chaos_audit_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    std::fs::create_dir_all(&store_dir).expect("store dir");
+    let svc = InterpretationService::open(api, config, &store_dir).expect("open service");
+
+    let panel: Vec<Vector> = (0..12).map(|i| test_set.instance(i).clone()).collect();
+    let swap_before = rounds / 2;
+    let mut stale = 0u64;
+    for round in 0..rounds {
+        if round == swap_before {
+            svc.api().schedule_swap(svc.api().stats().served);
+            println!("--- vendor silently swaps the model before round {round} ---");
+        }
+        for x in &panel {
+            let class = svc.api().live().predict_label(x.as_slice());
+            let served = svc
+                .submit_instance(x.clone(), class)
+                .wait()
+                .expect("serves");
+            // The zero-stale check: every reply must explain a fresh,
+            // chaos-free probe of what the endpoint computes *now*.
+            let live = svc.api().live().predict(x.as_slice());
+            if !served
+                .interpretation
+                .explains_probe(x, live.as_slice(), rtol)
+            {
+                stale += 1;
+                eprintln!(
+                    "STALE SERVE in round {round}: {:?} no longer explained",
+                    served.outcome
+                );
+            }
+        }
+        let stats = svc.stats();
+        let drift = stats.drift.expect("service stats carry drift counters");
+        println!(
+            "round {round}: {} queries total, drift detected {} / resolved {}",
+            stats.queries, drift.detected, drift.resolves
+        );
+        if round < swap_before {
+            assert_eq!(drift.detected, 0, "false drift conviction before the swap");
+        }
+    }
+
+    // The active sweep after traffic: everything stale must already have
+    // been convicted on first touch, so the sweep comes back empty.
+    let swept = svc.audit_drift();
+    let drift = svc
+        .stats()
+        .drift
+        .expect("service stats carry drift counters");
+    let chaos = svc.api().stats();
+    println!("chaos injected: {chaos:?}");
+    println!("drift counters: {drift:?}");
+    assert_eq!(chaos.swaps, 1, "the silent swap never fired");
+    assert!(
+        chaos.rate_limited + chaos.transient > 0,
+        "the chaos schedule injected no refusals"
+    );
+    assert!(drift.detected > 0, "the model swap went undetected");
+    assert_eq!(
+        drift.tombstones, drift.detected,
+        "every convicted region must be tombstoned"
+    );
+    assert_eq!(
+        drift.resolves, drift.detected,
+        "every conviction must re-solve"
+    );
+    assert_eq!(
+        swept, 0,
+        "traffic left a stale region for the sweep to find"
+    );
+    assert_eq!(stale, 0, "stale serves escaped the drift detector");
+    println!(
+        "zero stale serves across {} requests ({} regions tombstoned and re-solved)",
+        rounds * panel.len(),
+        drift.tombstones
+    );
+    svc.close().expect("close service");
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

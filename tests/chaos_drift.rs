@@ -1,0 +1,235 @@
+//! Adversarial end-to-end coverage of the chaos API backend and the
+//! serving tier's drift detector.
+//!
+//! Two claims, both seeded and deterministic:
+//!
+//! 1. **Chaos without drift changes nothing.** Under transient refusals,
+//!    rate limits, latency spikes, and bounded output noise, the warm
+//!    path serves interpretations bit-identical to a calm run's — the
+//!    membership test absorbs bounded degradation (noise ≪ rtol), the
+//!    bounded retry absorbs refusals, and no false drift is detected.
+//! 2. **Drift never serves stale.** After a silent mid-run model swap
+//!    (the one fault `explains_probe` alone can witness), every stale
+//!    region is detected on first touch, invalidated from the cache,
+//!    tombstoned in the durable store, and re-solved against the live
+//!    API; the final interpretations are bit-identical to a fresh
+//!    interpreter run against the new model, and the tombstones survive
+//!    a restart so a stale region can never serve again.
+
+use openapi_repro::api::{ChaosApi, CountingApi, GroundTruthOracle, TwoRegionPlm};
+use openapi_repro::prelude::*;
+use openapi_repro::serve::ServeOutcome;
+use openapi_repro::store::record::encode_record;
+use openapi_repro::sync::atomic::{AtomicU64, Ordering};
+use std::path::PathBuf;
+
+mod common;
+use common::{two_region_plm, DIM};
+
+/// Fresh per-test store directory (same idiom as `store_recovery.rs`).
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    // ordering: Relaxed — the counter only disambiguates directory names.
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("openapi_chaos_it_{tag}_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Deterministic traffic alternating between the two regions of the
+/// reference model: even `i` lands in region 0, odd in region 1.
+fn instances(n: usize) -> Vec<Vector> {
+    let xs: Vec<Vector> = (0..n).map(TwoRegionPlm::reference_instance).collect();
+    assert!(xs.iter().all(|x| x.len() == DIM));
+    xs
+}
+
+/// Single worker so request ids — and with them each request's derived
+/// sampling RNG — replay identically across runs and services.
+fn config() -> ServiceConfig {
+    ServiceConfig {
+        workers: 1,
+        max_leaders_per_class: 1,
+        ..ServiceConfig::default()
+    }
+}
+
+#[test]
+fn chaos_without_drift_serves_bit_identical_to_a_calm_run() {
+    let xs = instances(10);
+    let serve_all = |svc: &InterpretationService<ChaosApi<TwoRegionPlm>>| -> Vec<Vec<u8>> {
+        xs.iter()
+            .map(|x| {
+                let served = svc.submit_instance(x.clone(), 0).wait().expect("serves");
+                encode_record(served.fingerprint, &served.interpretation)
+            })
+            .collect()
+    };
+
+    // Calm run: the ground truth for bit-identity.
+    let calm = InterpretationService::new(ChaosApi::new(two_region_plm(), 0xC40), config());
+    let calm_cold = serve_all(&calm);
+    let calm_warm = serve_all(&calm);
+    assert_eq!(calm_cold, calm_warm, "calm warm path is consistent");
+
+    // Chaos run: warm up against clean responses first (solves must see
+    // the true function), then turn every non-drift fault on and replay.
+    let chaotic = InterpretationService::new(ChaosApi::new(two_region_plm(), 0xC41), config());
+    let chaos_cold = serve_all(&chaotic);
+    assert_eq!(chaos_cold, calm_cold, "same seed-independent exact solves");
+    chaotic.api().configure(|c| {
+        c.rate_limit_rate = 0.15;
+        c.transient_rate = 0.25;
+        c.latency_spike_rate = 0.5;
+        c.spike = std::time::Duration::ZERO; // counted, not slept
+        c.noise_amplitude = 1e-10; // bounded: far below the 1e-6 rtol
+    });
+    let chaos_warm = serve_all(&chaotic);
+    assert_eq!(
+        chaos_warm, calm_warm,
+        "bounded chaos must not change a single served bit"
+    );
+
+    // The chaos actually happened — and none of it read as drift.
+    let chaos = chaotic.api().stats();
+    assert!(chaos.rate_limited > 0, "no rate limits injected: {chaos:?}");
+    assert!(chaos.transient > 0, "no transients injected: {chaos:?}");
+    assert!(chaos.latency_spikes > 0, "no spikes injected: {chaos:?}");
+    assert!(chaos.noisy > 0, "no noise injected: {chaos:?}");
+    assert_eq!(chaos.swaps, 0);
+    let stats = chaotic.stats();
+    assert_eq!(stats.failures, 0, "retries keep the surface total");
+    let drift = stats.drift.expect("service stats carry drift counters");
+    assert_eq!(drift.detected, 0, "bounded chaos must not read as drift");
+    assert_eq!(drift.tombstones, 0);
+}
+
+#[test]
+fn silent_swap_tombstones_every_stale_region_and_resolves_against_the_new_model() {
+    let dir = temp_dir("swap");
+    let xs = instances(8);
+    let svc = InterpretationService::open(
+        ChaosApi::new(two_region_plm(), 0x5A4B).with_standby(TwoRegionPlm::reference_v2()),
+        config(),
+        &dir,
+    )
+    .unwrap();
+
+    // Phase 1: calm traffic solves both regions and witnesses every
+    // instance.
+    let phase1: Vec<_> = xs
+        .iter()
+        .map(|x| svc.submit_instance(x.clone(), 0).wait().expect("serves"))
+        .collect();
+    let stale_fps = [phase1[0].fingerprint, phase1[1].fingerprint];
+    assert_ne!(stale_fps[0], stale_fps[1]);
+    assert_eq!(svc.stats().drift.unwrap().witnesses, xs.len() as u64);
+
+    // The vendor swaps the hidden model mid-run: scheduled at the current
+    // query count, so the very next prediction comes from the standby.
+    svc.api().schedule_swap(svc.api().stats().served);
+
+    // Phase 2: identical traffic. Nothing may serve stale — every reply
+    // must explain a fresh probe of the NEW model.
+    let v2 = TwoRegionPlm::reference_v2();
+    let rtol = config().openapi.rtol;
+    let phase2: Vec<_> = xs
+        .iter()
+        .map(|x| svc.submit_instance(x.clone(), 0).wait().expect("serves"))
+        .collect();
+    assert_eq!(svc.api().stats().swaps, 1, "the scheduled swap fired");
+    for (x, served) in xs.iter().zip(&phase2) {
+        assert!(
+            served
+                .interpretation
+                .explains_probe(x, v2.predict(x.as_slice()).as_slice(), rtol),
+            "stale serve: the reply does not explain the new model at {x:?}"
+        );
+        assert!(
+            !stale_fps.contains(&served.fingerprint),
+            "a tombstoned region was served"
+        );
+        // Exactness against the new model's own ground truth.
+        let truth = v2.local_model(x.as_slice()).decision_features(0);
+        let err = served
+            .interpretation
+            .decision_features
+            .l1_distance(&truth)
+            .unwrap();
+        assert!(err < 1e-7, "L1Dist {err}");
+    }
+
+    // Each region was detected exactly once — on its first post-swap
+    // touch — then invalidated, tombstoned, and re-solved; the region's
+    // remaining traffic warm-serves the re-solved parameters.
+    let drift = svc.stats().drift.unwrap();
+    assert_eq!(drift.detected, 2);
+    assert_eq!(drift.invalidated, 2, "one stale cache entry per region");
+    assert_eq!(drift.tombstones, 2);
+    assert_eq!(drift.resolves, 2);
+    let store = svc.store().unwrap();
+    for fp in &stale_fps {
+        assert!(store.contains_tombstone(0, *fp));
+        assert!(!store.contains_fingerprint(0, *fp));
+    }
+    assert_eq!(store.len(), 2, "the two re-solved regions");
+    assert_eq!(store.tombstone_count(), 2);
+
+    // The re-solved interpretations match a fresh interpreter run
+    // directly against the new model — drift recovery converges to what
+    // a clean slate computes. (Exact up to sampling arithmetic: each
+    // service's solve draws from its own request-derived RNG stream, so
+    // the recovered parameters agree to solver precision, not bits —
+    // bit-identity holds *within* a service, where one cached solve
+    // serves every request, as phase 2's own hits already exercised.)
+    let fresh =
+        InterpretationService::new(CountingApi::new(TwoRegionPlm::reference_v2()), config());
+    for (x, served) in xs.iter().zip(&phase2) {
+        let clean = fresh.submit_instance(x.clone(), 0).wait().expect("serves");
+        assert_eq!(served.interpretation.class, clean.interpretation.class);
+        let gap = served
+            .interpretation
+            .decision_features
+            .l1_distance(&clean.interpretation.decision_features)
+            .unwrap();
+        assert!(
+            gap < 1e-9,
+            "post-drift serve differs from a fresh interpreter at {x:?}: {gap}"
+        );
+        assert!(clean
+            .interpretation
+            .explains_probe(x, v2.predict(x.as_slice()).as_slice(), rtol));
+    }
+    svc.close().unwrap();
+
+    // Restart against the same directory with the new model live: the
+    // tombstones recovered, the stale regions stay unservable, and the
+    // re-solved regions serve with zero additional solves.
+    let svc = InterpretationService::open(
+        CountingApi::new(TwoRegionPlm::reference_v2()),
+        config(),
+        &dir,
+    )
+    .unwrap();
+    let store = svc.store().unwrap();
+    for fp in &stale_fps {
+        assert!(
+            store.contains_tombstone(0, *fp),
+            "tombstone lost on restart"
+        );
+        assert!(!store.contains_fingerprint(0, *fp));
+    }
+    for x in &xs {
+        let served = svc.submit_instance(x.clone(), 0).wait().expect("serves");
+        assert!(matches!(
+            served.outcome,
+            ServeOutcome::StoreHit | ServeOutcome::CacheHit
+        ));
+        assert!(!stale_fps.contains(&served.fingerprint));
+    }
+    assert_eq!(svc.stats().misses, 0, "zero solves after restart");
+    svc.close().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -20,6 +20,11 @@
 //!    regions are immutable and content-addressed, so any interleaving
 //!    of record-byte exchange converges to the same bytes) — checked by
 //!    property over seeded partitions and shuffles.
+//! 5. **Tombstones win the union, permanently.** A region invalidated
+//!    for drift replicates as a tombstone fact: a peer that pulls it
+//!    suppresses its live copy, a peer that held the tombstone first
+//!    refuses the live record no matter which neighbor re-ships it, and
+//!    the mixed record/tombstone exchange stays order-independent.
 
 use openapi_repro::api::{CountingApi, TwoRegionPlm};
 use openapi_repro::fabric::{sync_peer_once, FabricError};
@@ -407,6 +412,102 @@ fn fabric_requires_protocol_v2() {
     assert_eq!(VERSION, 2);
 }
 
+/// The anti-resurrection scenario: once any node tombstones a region,
+/// the suppression replicates like any other fact, beats the live record
+/// in every arrival order, and drives the cluster back to digest
+/// equality — a forgotten region stays forgotten cluster-wide.
+#[test]
+fn replicated_tombstone_beats_the_live_record_in_any_order() {
+    let dir_a = temp_dir("tomb_a");
+    let dir_b = temp_dir("tomb_b");
+    let dir_c = temp_dir("tomb_c");
+    let server_a = spawn_node(&dir_a, 5);
+    let server_b = spawn_node(&dir_b, 5);
+    let server_c = spawn_node(&dir_c, 5);
+    let core_a = server_a.service().core();
+    let core_b = server_b.service().core();
+    let core_c = server_c.service().core();
+    let addr_a = server_a.local_addr().to_string();
+    let addr_b = server_b.local_addr().to_string();
+    let config = fabric_config(5);
+
+    // A solves both regions; B replicates them while they are still live.
+    let stale = server_a
+        .service()
+        .submit_instance(instance(0), 0)
+        .wait()
+        .expect("A solves region 0");
+    server_a
+        .service()
+        .submit_instance(instance(1), 0)
+        .wait()
+        .expect("A solves region 1");
+    let report = sync_peer_once(&core_b, &addr_a, &config).expect("B pulls live records");
+    assert_eq!(report.ingested, 2);
+
+    // A invalidates region 0 (the drift detector's verdict, applied via
+    // the same entry point the fabric uses).
+    assert!(core_a.apply_tombstone(0, stale.fingerprint));
+    let store_a = core_a.store().expect("A has a store");
+    assert!(store_a.contains_tombstone(0, stale.fingerprint));
+    assert_eq!(store_a.len(), 1);
+
+    // Tombstone-first arrival: cold node C pulls A, receiving the
+    // surviving live record AND the tombstone — before ever seeing the
+    // stale live record.
+    let report = sync_peer_once(&core_c, &addr_a, &config).expect("C pulls A");
+    assert!(report.converged, "C must hold everything A had: {report:?}");
+    assert_eq!(report.ingested, 2, "one live record + one tombstone");
+    assert_eq!(report.rejected, 0);
+    let store_c = core_c.store().expect("C has a store");
+    assert!(store_c.contains_tombstone(0, stale.fingerprint));
+
+    // Resurrection attempt: B still holds the stale live record and
+    // happily ships it. C must refuse it — the tombstone wins.
+    let one_round = FabricConfig {
+        max_rounds: 1,
+        ..fabric_config(5)
+    };
+    let report = sync_peer_once(&core_c, &addr_b, &one_round).expect("C pulls B");
+    assert_eq!(report.ingested, 0, "nothing from B is news to C");
+    assert!(
+        report.pulled_records == 0 || report.duplicates > 0,
+        "a re-shipped stale record counts as a duplicate, never an ingest: {report:?}"
+    );
+    assert!(
+        !store_c.contains_fingerprint(0, stale.fingerprint),
+        "the stale region must not resurface on C"
+    );
+    assert!(store_c.contains_tombstone(0, stale.fingerprint));
+
+    // Late tombstone arrival: B pulls A and suppresses its live copy.
+    let report = sync_peer_once(&core_b, &addr_a, &config).expect("B pulls A");
+    assert!(report.converged);
+    let store_b = core_b.store().expect("B has a store");
+    assert!(store_b.contains_tombstone(0, stale.fingerprint));
+    assert!(!store_b.contains_fingerprint(0, stale.fingerprint));
+
+    // The regression the digest must catch: all three nodes tombstoned
+    // the same region by different routes, and their digests agree — a
+    // digest blind to tombstones would report false divergence here.
+    assert_eq!(store_a.digest(), store_b.digest());
+    assert_eq!(store_a.digest(), store_c.digest());
+    assert_eq!(full_dump(store_a), full_dump(store_b));
+    assert_eq!(full_dump(store_a), full_dump(store_c));
+    for store in [store_a, store_b, store_c] {
+        assert_eq!(store.len(), 1, "one live region survives cluster-wide");
+        assert_eq!(store.tombstone_count(), 1);
+    }
+
+    drop((core_a, core_b, core_c));
+    server_c.close().expect("C closes clean");
+    server_b.close().expect("B closes clean");
+    server_a.close().expect("A closes clean");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+    let _ = std::fs::remove_dir_all(&dir_c);
+}
+
 /// Builds a small synthetic pool of distinct, well-formed records.
 fn synthetic_records(count: usize) -> Vec<(RegionFingerprint, Arc<Interpretation>)> {
     const C: usize = 3;
@@ -434,12 +535,20 @@ fn synthetic_records(count: usize) -> Vec<(RegionFingerprint, Arc<Interpretation
         .collect()
 }
 
+/// The WAL frame either kind of store record encodes to.
+fn frame_of(r: &record::StoreRecord) -> Vec<u8> {
+    match r {
+        record::StoreRecord::Live(r) => record::encode_record(r.fingerprint, &r.interpretation),
+        record::StoreRecord::Tombstone(t) => record::encode_tombstone(*t),
+    }
+}
+
 /// Deterministic pseudo-shuffle: a seeded keyed sort, so each proptest
-/// case exercises a different ingestion interleaving without needing a
-/// runtime RNG.
-fn shuffled(mut records: Vec<record::StoredRegion>, seed: u64) -> Vec<record::StoredRegion> {
+/// case exercises a different ingestion interleaving — live records and
+/// tombstones mixed — without needing a runtime RNG.
+fn shuffled(mut records: Vec<record::StoreRecord>, seed: u64) -> Vec<record::StoreRecord> {
     records.sort_by_key(|r| {
-        record::encode_record(r.fingerprint, &r.interpretation)
+        frame_of(r)
             .iter()
             .fold(seed.wrapping_mul(0x9E3779B97F4A7C15), |acc, &b| {
                 acc.rotate_left(7) ^ u64::from(b)
@@ -448,32 +557,42 @@ fn shuffled(mut records: Vec<record::StoredRegion>, seed: u64) -> Vec<record::St
     records
 }
 
-/// Pulls every frame `from` would ship past `have`, decodes, and
-/// appends them to `into` in a seed-dependent order.
+/// Pulls every frame `from` would ship past `have`, decodes both record
+/// kinds, and applies them to `into` in a seed-dependent order.
 fn exchange(from: &RegionStore, into: &RegionStore, seed: u64) {
     let all: Vec<u32> = (0..DIGEST_BUCKETS as u32).collect();
     let delta = from.sync_delta(&all, &into.record_keys(), usize::MAX);
     let mut frames = delta.frames.as_slice();
     let mut records = Vec::new();
     while !frames.is_empty() {
-        records.push(record::get_record(&mut frames).expect("frames decode"));
+        records.push(record::get_any_record(&mut frames).expect("frames decode"));
     }
     for r in shuffled(records, seed) {
-        let _ = into.append(r.fingerprint, r.interpretation);
+        match r {
+            record::StoreRecord::Live(r) => {
+                let _ = into.append(r.fingerprint, r.interpretation);
+            }
+            record::StoreRecord::Tombstone(t) => {
+                let _ = into.tombstone(t.class, t.fingerprint);
+            }
+        }
     }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
-    /// Theorem-2 replication property: however a record set is
-    /// partitioned across two stores (with overlap) and however the
-    /// exchanged record bytes are interleaved on ingest, both stores
-    /// converge to the same bit-identical set union.
+    /// Theorem-2 replication property, now with both kinds of immutable
+    /// fact: however a record set is partitioned across two stores (with
+    /// overlap), wherever the tombstones originate, and however the
+    /// exchanged frames are interleaved on ingest, both stores converge
+    /// to the same bit-identical union — with every tombstoned key
+    /// suppressed on both sides.
     #[test]
     fn record_exchange_is_an_order_independent_set_union(
         seed in 0u64..1_000_000,
         mask in 1u32..(1 << 10) - 1,
+        tomb_mask in 0u32..(1 << 10) - 1,
     ) {
         let pool = synthetic_records(10);
         let dir_a = temp_dir("prop_a");
@@ -492,16 +611,36 @@ proptest! {
                 let _ = store_b.append(*fingerprint, Arc::clone(interpretation));
             }
         }
+        // Tombstones originate on the seed-chosen side — including for
+        // keys that side never held (the fact can outrun the record).
+        for (k, (fingerprint, interpretation)) in pool.iter().enumerate() {
+            if tomb_mask & (1 << k) != 0 {
+                let origin = if (seed >> k) & 1 == 0 { &store_a } else { &store_b };
+                let _ = origin.tombstone(interpretation.class, *fingerprint);
+            }
+        }
 
-        // Exchange in both directions, each with its own interleaving.
+        // Exchange in both directions, each with its own interleaving;
+        // one more round so late tombstones reach the far side too.
         exchange(&store_a, &store_b, seed);
         exchange(&store_b, &store_a, seed.rotate_left(17));
+        exchange(&store_a, &store_b, seed.rotate_left(31));
 
-        // Same set, same digest, same bytes — regardless of seed/mask.
-        prop_assert_eq!(store_a.len(), pool.len());
+        // Same set, same digest, same bytes — regardless of seed/masks —
+        // and tombstones won everywhere they apply.
+        let tombstoned = (0..pool.len()).filter(|k| tomb_mask & (1 << k) != 0).count();
+        prop_assert_eq!(store_a.len(), pool.len() - tombstoned);
+        prop_assert_eq!(store_a.tombstone_count(), tombstoned);
         prop_assert_eq!(store_a.record_keys(), store_b.record_keys());
         prop_assert_eq!(store_a.digest(), store_b.digest());
         prop_assert_eq!(full_dump(&store_a), full_dump(&store_b));
+        for (k, (fingerprint, interpretation)) in pool.iter().enumerate() {
+            let dead = tomb_mask & (1 << k) != 0;
+            for store in [&store_a, &store_b] {
+                prop_assert_eq!(store.contains_tombstone(interpretation.class, *fingerprint), dead);
+                prop_assert_eq!(store.contains_fingerprint(interpretation.class, *fingerprint), !dead);
+            }
+        }
 
         drop((store_a, store_b));
         let _ = std::fs::remove_dir_all(&dir_a);

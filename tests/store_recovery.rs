@@ -13,7 +13,9 @@ use openapi_repro::api::CountingApi;
 use openapi_repro::core::decision::{Interpretation, PairwiseCoreParams};
 use openapi_repro::prelude::*;
 use openapi_repro::serve::ServeOutcome;
-use openapi_repro::store::record::{encode_record, StoredRegion};
+use openapi_repro::store::record::{
+    encode_record, encode_tombstone, RegionTombstone, StoreRecord, StoredRegion,
+};
 use openapi_repro::store::{Wal, WAL_MAGIC};
 use openapi_repro::sync::atomic::{AtomicU64, Ordering};
 use proptest::prelude::*;
@@ -55,14 +57,28 @@ fn region(class: usize, weights: Vec<f64>, bias: f64) -> StoredRegion {
     }
 }
 
-/// Writes `records` into a fresh WAL file and returns its raw bytes.
-fn wal_bytes(dir: &std::path::Path, records: &[StoredRegion]) -> Vec<u8> {
+/// A tombstone suppressing `r`'s `(class, fingerprint)` key.
+fn tombstone_of(r: &StoredRegion) -> StoreRecord {
+    StoreRecord::Tombstone(RegionTombstone {
+        fingerprint: r.fingerprint,
+        class: r.interpretation.class,
+    })
+}
+
+/// Encodes any store record into its WAL frame.
+fn frame_of(record: &StoreRecord) -> Vec<u8> {
+    match record {
+        StoreRecord::Live(r) => encode_record(r.fingerprint, &r.interpretation),
+        StoreRecord::Tombstone(t) => encode_tombstone(*t),
+    }
+}
+
+/// Writes `records` — live regions and tombstones alike — into a fresh
+/// WAL file and returns its raw bytes.
+fn wal_bytes(dir: &std::path::Path, records: &[StoreRecord]) -> Vec<u8> {
     let path = dir.join("wal.log");
     let (mut wal, _) = Wal::open(&path).unwrap();
-    let frames: Vec<Vec<u8>> = records
-        .iter()
-        .map(|r| encode_record(r.fingerprint, &r.interpretation))
-        .collect();
+    let frames: Vec<Vec<u8>> = records.iter().map(frame_of).collect();
     wal.append(&frames).unwrap();
     wal.sync().unwrap();
     drop(wal);
@@ -72,8 +88,9 @@ fn wal_bytes(dir: &std::path::Path, records: &[StoredRegion]) -> Vec<u8> {
 /// Recovers a WAL from `bytes` (written into a scratch file) and asserts
 /// the fundamental safety property: the recovered records are exactly a
 /// prefix of `originals` — bit-identical, in order, possibly shorter,
-/// never different and never reordered.
-fn recover_and_check_prefix(scratch: &std::path::Path, bytes: &[u8], originals: &[StoredRegion]) {
+/// never different and never reordered. Tombstones obey the same law:
+/// damage can lose a suppression from the tail, never invent one.
+fn recover_and_check_prefix(scratch: &std::path::Path, bytes: &[u8], originals: &[StoreRecord]) {
     let path = scratch.join("wal.log");
     std::fs::write(&path, bytes).unwrap();
     match Wal::open(&path) {
@@ -104,7 +121,10 @@ fn recover_and_check_prefix(scratch: &std::path::Path, bytes: &[u8], originals: 
 #[test]
 fn truncating_the_wal_at_every_byte_boundary_recovers_a_valid_prefix() {
     let dir = temp_dir("truncate");
-    let originals: Vec<StoredRegion> = (0..6)
+    // Mixed live records and tombstones: one tombstone retracting an
+    // earlier record in the same log, one for a key the log never held
+    // (replicated from a peer before the record itself arrived).
+    let live: Vec<StoredRegion> = (0..5)
         .map(|i| {
             region(
                 i % 3,
@@ -113,6 +133,17 @@ fn truncating_the_wal_at_every_byte_boundary_recovers_a_valid_prefix() {
             )
         })
         .collect();
+    let foreign = region(1, vec![99.0, -3.5], 0.75);
+    let originals: Vec<StoreRecord> = vec![
+        StoreRecord::Live(live[0].clone()),
+        StoreRecord::Live(live[1].clone()),
+        tombstone_of(&live[0]),
+        StoreRecord::Live(live[2].clone()),
+        tombstone_of(&foreign),
+        StoreRecord::Live(live[3].clone()),
+        StoreRecord::Live(live[4].clone()),
+        tombstone_of(&live[4]),
+    ];
     let clean = wal_bytes(&dir, &originals);
     let scratch = temp_dir("truncate_scratch");
     // Every truncation point, exhaustively — including mid-header,
@@ -136,20 +167,22 @@ proptest! {
     /// yields a valid prefix or fails with a checksum/framing error —
     /// never a record that was not written. CRC-64 makes a silently
     /// accepted corruption a ~2⁻⁶⁴ event; these cases assert the handling
-    /// around it.
+    /// around it. Seeds divisible by 3 chase their record with its
+    /// tombstone, so the sweep covers mixed-kind logs too.
     #[test]
     fn random_byte_flips_never_yield_a_wrong_record(
         seeds in prop::collection::vec(0u64..1_000_000, 1..5),
         flips in prop::collection::vec((0usize..10_000, 1u8..=255), 1..8)
     ) {
-        let originals: Vec<StoredRegion> = seeds
-            .iter()
-            .enumerate()
-            .map(|(i, &s)| {
-                let w = (s % 997) as f64 * 0.01 - 4.0;
-                region(i % 4, vec![w, w * 0.5 - 1.0, 0.25], (s % 31) as f64 * 0.1)
-            })
-            .collect();
+        let mut originals: Vec<StoreRecord> = Vec::new();
+        for (i, &s) in seeds.iter().enumerate() {
+            let w = (s % 997) as f64 * 0.01 - 4.0;
+            let r = region(i % 4, vec![w, w * 0.5 - 1.0, 0.25], (s % 31) as f64 * 0.1);
+            if s % 3 == 0 {
+                originals.push(tombstone_of(&r));
+            }
+            originals.push(StoreRecord::Live(r));
+        }
         let dir = temp_dir("flip");
         let clean = wal_bytes(&dir, &originals);
         let mut corrupted = clean.clone();
@@ -167,7 +200,7 @@ proptest! {
 #[test]
 fn damaged_magic_refuses_instead_of_guessing() {
     let dir = temp_dir("magic");
-    let clean = wal_bytes(&dir, &[region(0, vec![1.0], 0.0)]);
+    let clean = wal_bytes(&dir, &[StoreRecord::Live(region(0, vec![1.0], 0.0))]);
     let mut damaged = clean;
     damaged[3] ^= 0xFF; // inside the 8-byte magic
     let path = dir.join("damaged.log");
@@ -368,5 +401,58 @@ fn store_written_by_a_different_model_never_poisons_serves() {
     assert_eq!(stats.store_hits, 0, "foreign records never pass membership");
     assert_eq!(stats.failures, 0);
     svc.close().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_recovered_tombstone_still_suppresses_its_region() {
+    // Durability of "forget this region": the suppression must survive a
+    // restart (WAL replay), a compaction (segment rewrite), and a restart
+    // after the compaction — and keep refusing re-appends at every stage.
+    let dir = temp_dir("tombstone_durability");
+    let kept = region(0, vec![1.0, 2.0], 0.5);
+    let dead = region(1, vec![-3.0, 0.25], -1.5);
+    let dead_class = dead.interpretation.class;
+    {
+        let store = RegionStore::open(&dir, StoreConfig::default()).unwrap();
+        assert!(store.append(kept.fingerprint, Arc::clone(&kept.interpretation)));
+        assert!(store.append(dead.fingerprint, Arc::clone(&dead.interpretation)));
+        assert!(store.tombstone(dead_class, dead.fingerprint));
+        store.close().unwrap();
+    }
+
+    let assert_suppressed = |store: &RegionStore, when: &str| {
+        assert!(
+            store.contains_tombstone(dead_class, dead.fingerprint),
+            "{when}: tombstone lost"
+        );
+        assert!(
+            !store.contains_fingerprint(dead_class, dead.fingerprint),
+            "{when}: suppressed record resurfaced"
+        );
+        assert!(
+            store.contains_fingerprint(kept.interpretation.class, kept.fingerprint),
+            "{when}: unrelated record lost"
+        );
+        assert_eq!(store.len(), 1, "{when}: live count");
+        assert!(
+            !store.append(dead.fingerprint, Arc::clone(&dead.interpretation)),
+            "{when}: a tombstoned key must refuse re-appends"
+        );
+    };
+
+    // Restart 1: the tombstone replays from the WAL.
+    let store = RegionStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_suppressed(&store, "after WAL replay");
+    // Compaction folds the WAL into segments; the suppression must be
+    // carried into the rewritten files, not resurrected out of them.
+    store.compact().unwrap();
+    assert_suppressed(&store, "after compaction");
+    store.close().unwrap();
+
+    // Restart 2: recovery now reads the compacted segments.
+    let store = RegionStore::open(&dir, StoreConfig::default()).unwrap();
+    assert_suppressed(&store, "after compacted restart");
+    store.close().unwrap();
     std::fs::remove_dir_all(&dir).ok();
 }
